@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! # now-anim
+//!
+//! Animation on top of `now-raytrace`: keyframed object transforms, whole
+//! animations as sequences of derived scenes, camera-cut segmentation
+//! (frame coherence "works only for sequences in which the camera is
+//! stationary; any camera movement logically separates one sequence from
+//! another"), the built-in evaluation scenes of the paper, and a small
+//! text scene-description language.
+//!
+//! Built-in animations:
+//!
+//! * [`scenes::newton`] — the paper's evaluation scene: a Newton's cradle
+//!   of chrome marbles ("one plane, five spheres, and sixteen cylinders"),
+//!   45 frames, designed by Chris Gulka; rebuilt procedurally here.
+//! * [`scenes::glassball`] — the Fig. 1/2 scene: a glass ball bouncing
+//!   around a brick room.
+//! * [`scenes::orbit`] — a many-moving-objects stress scene (low frame
+//!   coherence), used by the ablation benches.
+
+pub mod animation;
+pub mod parse;
+pub mod scenes;
+pub mod track;
+
+pub use animation::{Animation, Segment};
+pub use track::Track;

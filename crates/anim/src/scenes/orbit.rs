@@ -1,0 +1,151 @@
+//! A low-coherence stress scene: many spheres orbiting a chrome center.
+//!
+//! Every frame, every orbiter moves, so the dirty-pixel fraction is large;
+//! the ablation benches use this to show where frame coherence stops
+//! paying for its overhead (the paper: "performance depends on the amount
+//! of frame coherence we can actually extract from the scene").
+
+use crate::animation::Animation;
+use crate::track::Track;
+use now_math::{Color, Point3, Vec3};
+use now_raytrace::{Camera, Geometry, Material, Object, PointLight, Scene, Texture};
+
+/// Orbit radius.
+const ORBIT_R: f64 = 2.4;
+/// Orbiter sphere radius.
+const R: f64 = 0.35;
+
+/// Static scene with `n` orbiters at their frame-0 positions.
+pub fn scene(width: u32, height: u32, n: usize) -> Scene {
+    let camera = Camera::look_at(
+        Point3::new(0.0, 4.5, 8.0),
+        Point3::new(0.0, 0.6, 0.0),
+        Vec3::UNIT_Y,
+        48.0,
+        width,
+        height,
+    );
+    let mut s = Scene::new(camera);
+    s.background = Color::new(0.02, 0.02, 0.05);
+
+    s.add_object(
+        Object::new(
+            Geometry::Plane { point: Point3::ZERO, normal: Vec3::UNIT_Y },
+            Material {
+                texture: Texture::Checker {
+                    a: Color::gray(0.25),
+                    b: Color::gray(0.7),
+                    scale: 1.2,
+                },
+                ..Material::matte(Color::WHITE)
+            },
+        )
+        .named("floor"),
+    );
+    s.add_object(
+        Object::new(
+            Geometry::Sphere { center: Point3::new(0.0, 1.0, 0.0), radius: 0.8 },
+            Material::chrome(Color::new(0.95, 0.9, 0.8)),
+        )
+        .named("center"),
+    );
+    for i in 0..n {
+        let phase = i as f64 / n as f64 * std::f64::consts::TAU;
+        let hue = i as f64 / n as f64;
+        s.add_object(
+            Object::new(
+                Geometry::Sphere {
+                    center: Point3::new(
+                        ORBIT_R * phase.cos(),
+                        0.5 + 0.3 * (i % 3) as f64,
+                        ORBIT_R * phase.sin(),
+                    ),
+                    radius: R,
+                },
+                Material::plastic(Color::new(0.9 - 0.6 * hue, 0.3 + 0.5 * hue, 0.4)),
+            )
+            .named(&format!("orbiter{i}")),
+        );
+    }
+    s.add_light(PointLight::new(Point3::new(5.0, 8.0, 5.0), Color::WHITE));
+    s
+}
+
+/// Orbit animation: all `n` orbiters complete `turns` revolutions over the
+/// run.
+pub fn animation_sized(width: u32, height: u32, frames: usize, n: usize, turns: f64) -> Animation {
+    let base = scene(width, height, n);
+    let mut anim = Animation::still(base, frames);
+    let keys: Vec<(f64, f64)> = (0..frames)
+        .map(|f| {
+            (
+                f as f64,
+                f as f64 / (frames.max(2) - 1) as f64 * turns * std::f64::consts::TAU,
+            )
+        })
+        .collect();
+    for i in 0..n {
+        let id = anim.base.object_by_name(&format!("orbiter{i}")).unwrap();
+        anim.add_track(
+            id,
+            Track::Rotate {
+                pivot: Point3::ZERO,
+                axis: Vec3::UNIT_Y,
+                keys: keys.clone(),
+            },
+        );
+    }
+    anim
+}
+
+/// Default orbit animation: 8 orbiters, 30 frames, half a revolution.
+pub fn animation() -> Animation {
+    animation_sized(320, 240, 30, 8, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_orbiters_move_every_frame() {
+        let anim = animation_sized(32, 24, 10, 6, 0.5);
+        let a = anim.scene_at(4);
+        let b = anim.scene_at(5);
+        for i in 0..6 {
+            let id = a.object_by_name(&format!("orbiter{i}")).unwrap() as usize;
+            assert_ne!(a.objects[id].transform(), b.objects[id].transform());
+        }
+    }
+
+    #[test]
+    fn orbiters_keep_distance_from_axis() {
+        let anim = animation_sized(32, 24, 10, 4, 1.0);
+        let base_pos = Point3::new(ORBIT_R, 0.5, 0.0);
+        for f in 0..10 {
+            let s = anim.scene_at(f);
+            let id = s.object_by_name("orbiter0").unwrap() as usize;
+            let p = s.objects[id].transform().point(base_pos);
+            let dist = (p.x * p.x + p.z * p.z).sqrt();
+            assert!((dist - ORBIT_R).abs() < 1e-9, "frame {f}: {dist}");
+            assert!((p.y - base_pos.y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn center_and_floor_are_static() {
+        let anim = animation_sized(32, 24, 10, 4, 1.0);
+        let a = anim.scene_at(0);
+        let b = anim.scene_at(9);
+        for name in ["floor", "center"] {
+            let id = a.object_by_name(name).unwrap() as usize;
+            assert_eq!(a.objects[id].transform(), b.objects[id].transform());
+        }
+    }
+
+    #[test]
+    fn object_count_scales_with_n() {
+        assert_eq!(scene(8, 8, 3).objects.len(), 5);
+        assert_eq!(scene(8, 8, 12).objects.len(), 14);
+    }
+}

@@ -1,0 +1,239 @@
+//! Minimal byte codec for protocol payloads.
+//!
+//! Hand-rolled (no serde) so message sizes are explicit and predictable:
+//! the discrete-event Ethernet model charges transfer time per byte, and
+//! the paper's communication-cost arguments only hold if the bytes are
+//! honest. Little-endian, length-prefixed sequences.
+
+/// Byte-stream writer.
+#[derive(Debug, Default, Clone)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Fresh empty encoder.
+    pub fn new() -> Encoder {
+        Encoder::default()
+    }
+
+    /// Append a `u8`.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Append a `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append an `f64`.
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a length-prefixed byte slice.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) -> &mut Self {
+        self.bytes(v.as_bytes())
+    }
+
+    /// Append a length-prefixed `u32` sequence.
+    pub fn u32_slice(&mut self, v: &[u32]) -> &mut Self {
+        self.u32(v.len() as u32);
+        for &x in v {
+            self.u32(x);
+        }
+        self
+    }
+
+    /// Current encoded length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been encoded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finish, returning the bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Decoding failure (truncated or malformed payload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Offset at which decoding failed.
+    pub at: usize,
+    /// What was being decoded.
+    pub what: &'static str,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "decode error at byte {}: {}", self.at, self.what)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Byte-stream reader over a payload.
+#[derive(Debug, Clone)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Start decoding a payload.
+    pub fn new(buf: &'a [u8]) -> Decoder<'a> {
+        Decoder { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(DecodeError { at: self.pos, what });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Read a `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4, "u32")?.try_into().unwrap()))
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8, "u64")?.try_into().unwrap()))
+    }
+
+    /// Read an `f64`.
+    pub fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_le_bytes(self.take(8, "f64")?.try_into().unwrap()))
+    }
+
+    /// Read a length-prefixed byte slice.
+    pub fn bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let n = self.u32()? as usize;
+        self.take(n, "bytes body")
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, DecodeError> {
+        std::str::from_utf8(self.bytes()?).map_err(|_| DecodeError {
+            at: self.pos,
+            what: "utf-8 string",
+        })
+    }
+
+    /// Read a length-prefixed `u32` sequence.
+    pub fn u32_vec(&mut self) -> Result<Vec<u32>, DecodeError> {
+        let n = self.u32()? as usize;
+        let mut out = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            out.push(self.u32()?);
+        }
+        Ok(out)
+    }
+
+    /// True if every byte has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut e = Encoder::new();
+        e.u8(7)
+            .u32(0xDEAD_BEEF)
+            .u64(1 << 40)
+            .f64(-2.5)
+            .str("hello")
+            .bytes(&[1, 2, 3])
+            .u32_slice(&[10, 20, 30]);
+        let len = e.len();
+        let buf = e.finish();
+        assert_eq!(buf.len(), len);
+
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64().unwrap(), 1 << 40);
+        assert_eq!(d.f64().unwrap(), -2.5);
+        assert_eq!(d.str().unwrap(), "hello");
+        assert_eq!(d.bytes().unwrap(), &[1, 2, 3]);
+        assert_eq!(d.u32_vec().unwrap(), vec![10, 20, 30]);
+        assert!(d.is_done());
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_payload_errors() {
+        let mut e = Encoder::new();
+        e.u64(42);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf[..5]);
+        let err = d.u64().unwrap_err();
+        assert_eq!(err.at, 0);
+        assert!(err.to_string().contains("u64"));
+    }
+
+    #[test]
+    fn truncated_string_body_errors() {
+        let mut e = Encoder::new();
+        e.str("abcdef");
+        let mut buf = e.finish();
+        buf.truncate(6); // length says 6 but only 2 bytes of body remain
+        assert!(Decoder::new(&buf).str().is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_errors() {
+        let mut e = Encoder::new();
+        e.bytes(&[0xFF, 0xFE]);
+        let buf = e.finish();
+        assert!(Decoder::new(&buf).str().is_err());
+    }
+
+    #[test]
+    fn empty_encoder() {
+        let e = Encoder::new();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # now-cluster
+//!
+//! The "network of workstations" substrate — the PVM 3.1 stand-in.
+//!
+//! The paper ran on three SGI workstations coordinated by PVM over shared
+//! Ethernet. This crate reproduces that environment twice:
+//!
+//! * [`threads`] — a real parallel backend: each workstation is an OS
+//!   thread, messages travel over crossbeam channels. Use it to measure
+//!   actual wall-clock speedups on the machine running the benches.
+//! * [`sim`] — a deterministic discrete-event simulator of heterogeneous
+//!   workstations on a shared-bus Ethernet. Machines have relative speeds
+//!   (the paper's fast SGI is 2x the other two) and the bus has latency,
+//!   bandwidth and contention. Work is *really executed* (pixels really
+//!   rendered, rays really counted); only time is virtual, derived from
+//!   the measured work. The Table 1 reproduction runs here so the paper's
+//!   exact 3-machine heterogeneous setup is recreated regardless of the
+//!   host.
+//!
+//! Both backends drive the same application interface — [`MasterLogic`]
+//! on the master workstation and [`WorkerLogic`] on each slave — in the
+//! same demand-driven pattern the paper describes: "The only interprocessor
+//! communication occurs between the master and each of the slaves; the
+//! slaves themselves do not need to communicate with each other."
+//!
+//! [`codec`] is a small hand-rolled byte codec: protocol payloads are
+//! encoded through it so the simulator charges exact byte counts to the
+//! Ethernet model.
+
+pub mod codec;
+pub mod logic;
+pub mod message;
+pub mod report;
+pub mod sim;
+pub mod threads;
+
+pub use codec::{Decoder, Encoder};
+pub use logic::{MasterLogic, MasterWork, WorkCost, WorkerLogic};
+pub use message::{Endpoint, Message, NodeId};
+pub use report::{MachineReport, RunReport, SpanKind, TimelineSpan};
+pub use sim::{EthernetSpec, MachineSpec, SimCluster};
+pub use threads::ThreadCluster;

@@ -1,0 +1,87 @@
+//! The master/worker application interface shared by both backends.
+//!
+//! The paper's structure: "The master process handles this task in
+//! addition to collecting rendered image information and writing this
+//! information out to files. The only interprocessor communication occurs
+//! between the master and each of the slaves." Both the thread backend and
+//! the discrete-event simulator drive these traits with the same
+//! demand-driven loop:
+//!
+//! 1. every worker asks for work;
+//! 2. the master answers with a unit from [`MasterLogic::assign`] (or a
+//!    shutdown if `None`);
+//! 3. the worker runs [`WorkerLogic::perform`] and returns the result,
+//!    which doubles as the next work request;
+//! 4. the master folds the result in via [`MasterLogic::integrate`]
+//!    (e.g. writes the finished frame to disk).
+
+/// Cost accounting for one unit of worker computation.
+///
+/// The thread backend ignores `work_units` (real CPU time is the cost);
+/// the simulator divides it by the machine's speed factor to get virtual
+/// seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkCost {
+    /// Abstract CPU work (calibrated as "seconds on a speed-1.0 machine").
+    pub work_units: f64,
+    /// Size of the result message sent back to the master.
+    pub result_bytes: u64,
+    /// Peak working set of the unit in MB; the simulator applies a paging
+    /// penalty when this exceeds the machine's memory (the paper credits
+    /// "the increased aggregate memory of multiple machines" for part of
+    /// its distributed speedup).
+    pub working_set_mb: f64,
+}
+
+impl WorkCost {
+    /// Cost with no result payload or memory pressure.
+    pub fn compute_only(work_units: f64) -> WorkCost {
+        WorkCost { work_units, result_bytes: 0, working_set_mb: 0.0 }
+    }
+}
+
+/// Cost accounting for the master-side handling of one result.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MasterWork {
+    /// Abstract CPU work on the master (e.g. Targa file writing).
+    pub work_units: f64,
+    /// If true the master may overlap this work with receiving further
+    /// messages (the paper credits part of its super-multiplicative speedup
+    /// to "the overlapping of computation and file writing"). If false the
+    /// master is busy and messages queue behind it.
+    pub overlappable: bool,
+}
+
+/// Master-side application logic (scheduling + result collection).
+pub trait MasterLogic {
+    /// Work-unit descriptor shipped to workers.
+    type Unit: Clone + Send;
+    /// Result shipped back.
+    type Result: Send;
+
+    /// Hand the next unit to an idle worker, or `None` if no work remains
+    /// *for that worker right now*. A `None` answer shuts the worker down;
+    /// schedulers that may later produce more work for the worker should
+    /// only return `None` when the whole job is finished for it.
+    fn assign(&mut self, worker: usize) -> Option<Self::Unit>;
+
+    /// Fold a completed unit into the master state; returns the master-side
+    /// cost (file writing etc.).
+    fn integrate(&mut self, worker: usize, unit: Self::Unit, result: Self::Result) -> MasterWork;
+
+    /// Size in bytes of a unit assignment message (for the network model).
+    fn unit_bytes(&self, _unit: &Self::Unit) -> u64 {
+        64
+    }
+}
+
+/// Worker-side application logic.
+pub trait WorkerLogic: Send {
+    /// Work-unit descriptor (matches the master's).
+    type Unit;
+    /// Result type (matches the master's).
+    type Result: Send;
+
+    /// Execute one unit, returning the result and its cost.
+    fn perform(&mut self, unit: &Self::Unit) -> (Self::Result, WorkCost);
+}

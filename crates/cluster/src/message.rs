@@ -1,0 +1,133 @@
+//! Tagged message passing between nodes (the PVM-like layer).
+//!
+//! A [`Endpoint`] is one node's mailbox plus send handles to every other
+//! node, built on crossbeam channels. Delivery is reliable and FIFO per
+//! sender — the guarantees PVM gave the paper's implementation.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// Node identifier; node 0 is the master by convention.
+pub type NodeId = usize;
+
+/// A tagged message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Sending node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Application-defined tag (like PVM message tags).
+    pub tag: u32,
+    /// Payload bytes (see [`crate::codec`]).
+    pub payload: Vec<u8>,
+}
+
+/// One node's communication endpoint.
+#[derive(Debug)]
+pub struct Endpoint {
+    id: NodeId,
+    senders: Vec<Sender<Message>>,
+    inbox: Receiver<Message>,
+}
+
+impl Endpoint {
+    /// Create a fully-connected set of `n` endpoints.
+    pub fn network(n: usize) -> Vec<Endpoint> {
+        let channels: Vec<(Sender<Message>, Receiver<Message>)> =
+            (0..n).map(|_| unbounded()).collect();
+        let senders: Vec<Sender<Message>> = channels.iter().map(|(s, _)| s.clone()).collect();
+        channels
+            .into_iter()
+            .enumerate()
+            .map(|(id, (_, inbox))| Endpoint { id, senders: senders.clone(), inbox })
+            .collect()
+    }
+
+    /// This endpoint's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Number of nodes in the network.
+    pub fn node_count(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Send a message (never blocks; channels are unbounded like PVM's
+    /// buffered sends).
+    pub fn send(&self, to: NodeId, tag: u32, payload: Vec<u8>) {
+        self.senders[to]
+            .send(Message { from: self.id, to, tag, payload })
+            .expect("destination endpoint dropped");
+    }
+
+    /// Blocking receive of the next message addressed to this node.
+    pub fn recv(&self) -> Message {
+        self.inbox.recv().expect("all senders dropped")
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Message> {
+        self.inbox.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn network_roundtrip() {
+        let mut eps = Endpoint::network(3);
+        let c = eps.pop().unwrap();
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        assert_eq!((a.id(), b.id(), c.id()), (0, 1, 2));
+        assert_eq!(a.node_count(), 3);
+
+        a.send(1, 42, vec![1, 2, 3]);
+        let m = b.recv();
+        assert_eq!(m.from, 0);
+        assert_eq!(m.to, 1);
+        assert_eq!(m.tag, 42);
+        assert_eq!(m.payload, vec![1, 2, 3]);
+        assert!(b.try_recv().is_none());
+    }
+
+    #[test]
+    fn fifo_per_sender() {
+        let mut eps = Endpoint::network(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        for i in 0..100u32 {
+            a.send(1, i, vec![]);
+        }
+        for i in 0..100u32 {
+            assert_eq!(b.recv().tag, i);
+        }
+    }
+
+    #[test]
+    fn cross_thread_messaging() {
+        let mut eps = Endpoint::network(2);
+        let worker = eps.pop().unwrap();
+        let master = eps.pop().unwrap();
+        let h = thread::spawn(move || {
+            // echo server: double the tag until told to stop
+            loop {
+                let m = worker.recv();
+                if m.tag == 0 {
+                    break;
+                }
+                worker.send(0, m.tag * 2, m.payload);
+            }
+        });
+        master.send(1, 21, vec![9]);
+        let r = master.recv();
+        assert_eq!(r.tag, 42);
+        assert_eq!(r.payload, vec![9]);
+        master.send(1, 0, vec![]);
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,104 @@
+//! Run reports shared by both backends.
+
+/// What a recorded timeline span represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A worker computing a unit.
+    Compute,
+    /// The master handling/integrating a result (e.g. file writing).
+    MasterWork,
+    /// A transfer occupying the shared network.
+    Transfer,
+}
+
+/// One busy interval on a resource, for gantt-style visualisation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelineSpan {
+    /// Machine index for compute spans; the sender for transfers;
+    /// meaningless for master work.
+    pub machine: usize,
+    /// Start time (seconds).
+    pub start: f64,
+    /// End time (seconds).
+    pub end: f64,
+    /// What the span represents.
+    pub kind: SpanKind,
+}
+
+/// Per-machine accounting for one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MachineReport {
+    /// Machine name.
+    pub name: String,
+    /// Seconds spent computing (virtual seconds in the simulator, wall
+    /// seconds in the thread backend).
+    pub busy_s: f64,
+    /// Work units completed.
+    pub units_done: u64,
+    /// Bytes sent by this machine.
+    pub bytes_sent: u64,
+}
+
+/// Whole-run accounting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    /// End-to-end duration in seconds (virtual or wall).
+    pub makespan_s: f64,
+    /// Per-machine detail; index 0 is the master.
+    pub machines: Vec<MachineReport>,
+    /// Total messages exchanged.
+    pub messages: u64,
+    /// Total bytes moved over the network.
+    pub bytes: u64,
+    /// Seconds the network (shared bus) was busy.
+    pub network_busy_s: f64,
+    /// Seconds the master spent on non-overlappable integration work.
+    pub master_busy_s: f64,
+    /// Busy intervals for gantt rendering; only populated when the
+    /// simulator's `record_timeline` flag is set.
+    pub timeline: Vec<TimelineSpan>,
+}
+
+impl RunReport {
+    /// Utilisation of a machine: busy time / makespan.
+    pub fn utilisation(&self, machine: usize) -> f64 {
+        if self.makespan_s <= 0.0 {
+            return 0.0;
+        }
+        self.machines[machine].busy_s / self.makespan_s
+    }
+
+    /// Total compute performed across machines (for conservation checks).
+    pub fn total_busy_s(&self) -> f64 {
+        self.machines.iter().map(|m| m.busy_s).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilisation_math() {
+        let r = RunReport {
+            makespan_s: 10.0,
+            machines: vec![
+                MachineReport { name: "m".into(), busy_s: 5.0, units_done: 1, bytes_sent: 0 },
+                MachineReport { name: "w".into(), busy_s: 10.0, units_done: 2, bytes_sent: 0 },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(r.utilisation(0), 0.5);
+        assert_eq!(r.utilisation(1), 1.0);
+        assert_eq!(r.total_busy_s(), 15.0);
+    }
+
+    #[test]
+    fn zero_makespan_guard() {
+        let r = RunReport {
+            machines: vec![MachineReport::default()],
+            ..Default::default()
+        };
+        assert_eq!(r.utilisation(0), 0.0);
+    }
+}

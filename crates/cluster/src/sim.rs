@@ -1,0 +1,557 @@
+//! Deterministic discrete-event simulation of a heterogeneous NOW.
+//!
+//! Machines have relative speed factors and memory capacities; the network
+//! is a shared-bus Ethernet with latency and bandwidth ("the ethernet
+//! network, which is relatively slow compared to interconnection networks
+//! found on multiprocessor machines"). The master is a coordinator process
+//! whose result handling (Targa file writing) can overlap with worker
+//! computation — the mechanism behind the paper's better-than-
+//! multiplicative distributed speedups.
+//!
+//! Work is *executed for real* when a unit is assigned (the worker logic
+//! renders actual pixels); only time is virtual, charged as
+//! `work_units / speed` plus an optional paging penalty when a unit's
+//! working set exceeds the machine's memory.
+
+use crate::logic::{MasterLogic, WorkerLogic};
+use crate::report::{MachineReport, RunReport, SpanKind, TimelineSpan};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A simulated workstation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineSpec {
+    /// Display name (e.g. "SGI Indigo2 200MHz").
+    pub name: String,
+    /// Relative speed: work takes `work_units / speed` seconds here.
+    pub speed: f64,
+    /// Main memory in MB; units whose working set exceeds this are slowed
+    /// by the paging factor.
+    pub memory_mb: f64,
+}
+
+impl MachineSpec {
+    /// Convenience constructor.
+    pub fn new(name: &str, speed: f64, memory_mb: f64) -> MachineSpec {
+        MachineSpec { name: name.to_string(), speed, memory_mb }
+    }
+
+    /// The paper's cluster: one SGI Indigo2 at 200 MHz / 64 MB and two
+    /// 100 MHz / 32 MB machines. Speeds are relative to the slow machines.
+    pub fn paper_cluster() -> Vec<MachineSpec> {
+        vec![
+            MachineSpec::new("SGI Indigo2 200MHz/64MB", 2.0, 64.0),
+            MachineSpec::new("SGI Indigo2 100MHz/32MB", 1.0, 32.0),
+            MachineSpec::new("SGI Indigo 100MHz/32MB", 1.0, 32.0),
+        ]
+    }
+}
+
+/// Shared-bus Ethernet model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EthernetSpec {
+    /// Per-message latency in seconds.
+    pub latency_s: f64,
+    /// Bus bandwidth in bytes/second.
+    pub bandwidth: f64,
+    /// Per-message master handling overhead in seconds (unpack + assign).
+    pub master_overhead_s: f64,
+    /// Slowdown multiplier applied to compute whose working set exceeds
+    /// machine memory.
+    pub paging_factor: f64,
+}
+
+impl Default for EthernetSpec {
+    fn default() -> EthernetSpec {
+        // 10 Mb/s shared Ethernet of the era, ~1 ms latency
+        EthernetSpec {
+            latency_s: 1e-3,
+            bandwidth: 10e6 / 8.0,
+            master_overhead_s: 2e-4,
+            paging_factor: 2.5,
+        }
+    }
+}
+
+/// Simulation event.
+enum Event<U, R> {
+    /// A request (optionally carrying a finished unit's result) reaches the
+    /// master.
+    RequestAtMaster { worker: usize, done: Option<(U, R)> },
+    /// The master is ready to answer `worker`.
+    MasterReply { worker: usize },
+    /// A unit assignment reaches the worker.
+    UnitAtWorker { worker: usize, unit: U },
+    /// The worker has finished computing and starts sending its result.
+    ///
+    /// Bus capacity is allocated only when simulated time *reaches* the
+    /// send (not when the finish time is first computed) — allocating
+    /// eagerly would reserve the bus in the future and wrongly delay
+    /// earlier transfers from faster machines.
+    WorkerSend { worker: usize, done: (U, R), bytes: u64 },
+}
+
+struct Scheduled<U, R> {
+    at: f64,
+    seq: u64,
+    event: Event<U, R>,
+}
+
+impl<U, R> PartialEq for Scheduled<U, R> {
+    fn eq(&self, o: &Self) -> bool {
+        self.at == o.at && self.seq == o.seq
+    }
+}
+impl<U, R> Eq for Scheduled<U, R> {}
+impl<U, R> PartialOrd for Scheduled<U, R> {
+    fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl<U, R> Ord for Scheduled<U, R> {
+    fn cmp(&self, o: &Self) -> Ordering {
+        // min-heap via reversal: earlier time first, then lower seq
+        o.at.total_cmp(&self.at).then(o.seq.cmp(&self.seq))
+    }
+}
+
+/// A simulated cluster: machine roster plus network model.
+///
+/// Machine 0 hosts the master *coordinator*; every machine (including
+/// machine 0's CPU when `master_also_works` is set — not the default, to
+/// match the paper where the coordinating process was lightweight) runs a
+/// worker.
+#[derive(Debug, Clone)]
+pub struct SimCluster {
+    /// Worker machines (one worker per entry).
+    pub machines: Vec<MachineSpec>,
+    /// Network model.
+    pub net: EthernetSpec,
+    /// Bytes of a bare work request message.
+    pub request_bytes: u64,
+    /// Record per-span busy intervals into [`RunReport::timeline`]
+    /// (gantt rendering; off by default to keep reports small).
+    pub record_timeline: bool,
+}
+
+impl SimCluster {
+    /// Cluster with the given machines and default Ethernet.
+    pub fn new(machines: Vec<MachineSpec>) -> SimCluster {
+        SimCluster { machines, net: EthernetSpec::default(), request_bytes: 64, record_timeline: false }
+    }
+
+    /// The paper's 3-machine heterogeneous cluster.
+    pub fn paper() -> SimCluster {
+        SimCluster::new(MachineSpec::paper_cluster())
+    }
+
+    /// Run a master/worker job to completion, returning the master logic
+    /// (with all integrated results) and the timing report.
+    ///
+    /// `workers[i]` runs on `machines[i]`. Deterministic: same inputs give
+    /// the same virtual timeline, regardless of host machine or load.
+    ///
+    /// ```
+    /// use now_cluster::{MasterLogic, MasterWork, SimCluster, WorkCost, WorkerLogic};
+    ///
+    /// struct Master { left: u32, sum: u64 }
+    /// impl MasterLogic for Master {
+    ///     type Unit = u32;
+    ///     type Result = u64;
+    ///     fn assign(&mut self, _w: usize) -> Option<u32> {
+    ///         (self.left > 0).then(|| { self.left -= 1; self.left })
+    ///     }
+    ///     fn integrate(&mut self, _w: usize, _u: u32, r: u64) -> MasterWork {
+    ///         self.sum += r;
+    ///         MasterWork::default()
+    ///     }
+    /// }
+    /// struct Worker;
+    /// impl WorkerLogic for Worker {
+    ///     type Unit = u32;
+    ///     type Result = u64;
+    ///     fn perform(&mut self, u: &u32) -> (u64, WorkCost) {
+    ///         ((*u as u64) * 2, WorkCost::compute_only(1.0))
+    ///     }
+    /// }
+    ///
+    /// let cluster = SimCluster::paper(); // 3 machines, speeds 2/1/1
+    /// let (master, report) = cluster.run(
+    ///     Master { left: 8, sum: 0 },
+    ///     vec![Worker, Worker, Worker],
+    /// );
+    /// assert_eq!(master.sum, 2 * (0..8).sum::<u64>());
+    /// // 8 seconds of speed-1 work on aggregate power 4: about 2 virtual s
+    /// assert!(report.makespan_s >= 2.0 && report.makespan_s < 4.0);
+    /// ```
+    pub fn run<M, W>(&self, mut master: M, mut workers: Vec<W>) -> (M, RunReport)
+    where
+        M: MasterLogic,
+        W: WorkerLogic<Unit = M::Unit, Result = M::Result>,
+    {
+        assert_eq!(
+            workers.len(),
+            self.machines.len(),
+            "one worker per machine"
+        );
+        let n = workers.len();
+        assert!(n > 0, "need at least one machine");
+
+        let mut queue: BinaryHeap<Scheduled<M::Unit, M::Result>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let push = |q: &mut BinaryHeap<Scheduled<M::Unit, M::Result>>,
+                        seq: &mut u64,
+                        at: f64,
+                        event: Event<M::Unit, M::Result>| {
+            *seq += 1;
+            q.push(Scheduled { at, seq: *seq, event });
+        };
+
+        let mut bus_free = 0.0f64;
+        let mut master_free = 0.0f64;
+        let mut makespan = 0.0f64;
+        let mut network_busy = 0.0f64;
+        let mut master_busy = 0.0f64;
+        let mut report = RunReport {
+            machines: self
+                .machines
+                .iter()
+                .map(|m| MachineReport { name: m.name.clone(), ..Default::default() })
+                .collect(),
+            ..Default::default()
+        };
+
+        // a worker result currently waiting to be integrated, per worker
+        let mut active_workers = n;
+
+        // transfer over the shared bus: returns arrival time
+        macro_rules! transfer {
+            ($ready:expr, $bytes:expr, $sender:expr) => {{
+                let start = bus_free.max($ready);
+                let dur = self.net.latency_s + ($bytes as f64) / self.net.bandwidth;
+                bus_free = start + dur;
+                network_busy += dur;
+                if self.record_timeline {
+                    report.timeline.push(TimelineSpan {
+                        machine: $sender.unwrap_or(usize::MAX),
+                        start,
+                        end: bus_free,
+                        kind: SpanKind::Transfer,
+                    });
+                }
+                report.messages += 1;
+                report.bytes += $bytes;
+                if let Some(s) = $sender {
+                    report.machines[s as usize].bytes_sent += $bytes;
+                }
+                bus_free
+            }};
+        }
+
+        // every worker fires an initial request at t = 0
+        for w in 0..n {
+            let arrive = transfer!(0.0, self.request_bytes, Some(w));
+            push(&mut queue, &mut seq, arrive, Event::RequestAtMaster { worker: w, done: None });
+        }
+
+        while let Some(Scheduled { at, event, .. }) = queue.pop() {
+            makespan = makespan.max(at);
+            match event {
+                Event::RequestAtMaster { worker, done } => {
+                    // master unpacks the message
+                    let mut t = master_free.max(at) + self.net.master_overhead_s;
+                    master_busy += self.net.master_overhead_s;
+                    if let Some((unit, result)) = done {
+                        let mw = master.integrate(worker, unit, result);
+                        let work_start;
+                        if mw.overlappable {
+                            // reply first, absorb the work afterwards
+                            work_start = t;
+                            master_free = t + mw.work_units;
+                        } else {
+                            work_start = t;
+                            t += mw.work_units;
+                            master_free = t;
+                        }
+                        if self.record_timeline && mw.work_units > 0.0 {
+                            report.timeline.push(TimelineSpan {
+                                machine: 0,
+                                start: work_start,
+                                end: work_start + mw.work_units,
+                                kind: SpanKind::MasterWork,
+                            });
+                        }
+                        master_busy += mw.work_units;
+                        makespan = makespan.max(master_free).max(t);
+                    } else {
+                        master_free = t;
+                    }
+                    push(&mut queue, &mut seq, t, Event::MasterReply { worker });
+                }
+                Event::MasterReply { worker } => {
+                    match master.assign(worker) {
+                        Some(unit) => {
+                            let bytes = master.unit_bytes(&unit);
+                            let arrive = transfer!(at, bytes, None::<usize>);
+                            push(
+                                &mut queue,
+                                &mut seq,
+                                arrive,
+                                Event::UnitAtWorker { worker, unit },
+                            );
+                        }
+                        None => {
+                            active_workers -= 1;
+                        }
+                    }
+                }
+                Event::UnitAtWorker { worker, unit } => {
+                    let (result, cost) = workers[worker].perform(&unit);
+                    let spec = &self.machines[worker];
+                    let mut dur = cost.work_units / spec.speed;
+                    if cost.working_set_mb > spec.memory_mb && cost.working_set_mb > 0.0 {
+                        // only the excess fraction of the working set pages
+                        let excess = (cost.working_set_mb - spec.memory_mb) / cost.working_set_mb;
+                        dur *= 1.0 + (self.net.paging_factor - 1.0) * excess;
+                    }
+                    report.machines[worker].busy_s += dur;
+                    report.machines[worker].units_done += 1;
+                    if self.record_timeline {
+                        report.timeline.push(TimelineSpan {
+                            machine: worker,
+                            start: at,
+                            end: at + dur,
+                            kind: SpanKind::Compute,
+                        });
+                    }
+                    push(
+                        &mut queue,
+                        &mut seq,
+                        at + dur,
+                        Event::WorkerSend {
+                            worker,
+                            done: (unit, result),
+                            bytes: cost.result_bytes + self.request_bytes,
+                        },
+                    );
+                }
+                Event::WorkerSend { worker, done, bytes } => {
+                    let arrive = transfer!(at, bytes, Some(worker));
+                    push(
+                        &mut queue,
+                        &mut seq,
+                        arrive,
+                        Event::RequestAtMaster { worker, done: Some(done) },
+                    );
+                }
+            }
+        }
+        debug_assert_eq!(active_workers, 0, "all workers must be shut down");
+        makespan = makespan.max(master_free);
+
+        report.makespan_s = makespan;
+        report.network_busy_s = network_busy;
+        report.master_busy_s = master_busy;
+        (master, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::{MasterWork, WorkCost};
+
+    /// Fixed pool of equal-cost units.
+    struct PoolMaster {
+        remaining: usize,
+        integrated: Vec<(usize, u64)>, // (worker, unit id)
+        write_cost: f64,
+        overlappable: bool,
+    }
+
+    impl MasterLogic for PoolMaster {
+        type Unit = u64;
+        type Result = u64;
+        fn assign(&mut self, _worker: usize) -> Option<u64> {
+            if self.remaining == 0 {
+                None
+            } else {
+                self.remaining -= 1;
+                Some(self.remaining as u64)
+            }
+        }
+        fn integrate(&mut self, worker: usize, unit: u64, result: u64) -> MasterWork {
+            assert_eq!(result, unit * 2);
+            self.integrated.push((worker, unit));
+            MasterWork { work_units: self.write_cost, overlappable: self.overlappable }
+        }
+    }
+
+    struct Doubler {
+        unit_cost: f64,
+        result_bytes: u64,
+    }
+
+    impl WorkerLogic for Doubler {
+        type Unit = u64;
+        type Result = u64;
+        fn perform(&mut self, unit: &u64) -> (u64, WorkCost) {
+            (
+                unit * 2,
+                WorkCost {
+                    work_units: self.unit_cost,
+                    result_bytes: self.result_bytes,
+                    working_set_mb: 0.0,
+                },
+            )
+        }
+    }
+
+    fn run_pool(
+        machines: Vec<MachineSpec>,
+        units: usize,
+        unit_cost: f64,
+        write_cost: f64,
+        overlappable: bool,
+    ) -> (PoolMaster, RunReport) {
+        let cluster = SimCluster::new(machines);
+        let n = cluster.machines.len();
+        let master = PoolMaster {
+            remaining: units,
+            integrated: Vec::new(),
+            write_cost,
+            overlappable,
+        };
+        let workers: Vec<Doubler> = (0..n)
+            .map(|_| Doubler { unit_cost, result_bytes: 1000 })
+            .collect();
+        cluster.run(master, workers)
+    }
+
+    #[test]
+    fn all_units_complete_exactly_once() {
+        let (m, r) = run_pool(MachineSpec::paper_cluster(), 40, 1.0, 0.0, true);
+        assert_eq!(m.integrated.len(), 40);
+        let mut ids: Vec<u64> = m.integrated.iter().map(|&(_, u)| u).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..40).collect::<Vec<_>>());
+        assert_eq!(r.machines.iter().map(|m| m.units_done).sum::<u64>(), 40);
+    }
+
+    #[test]
+    fn heterogeneous_speedup_tracks_aggregate_power() {
+        // single fast machine
+        let (_, single) = run_pool(vec![MachineSpec::new("fast", 2.0, 64.0)], 60, 1.0, 0.0, true);
+        // paper cluster: aggregate power 4 vs fastest 2 -> ~2x
+        let (_, multi) = run_pool(MachineSpec::paper_cluster(), 60, 1.0, 0.0, true);
+        let speedup = single.makespan_s / multi.makespan_s;
+        assert!(
+            (1.7..=2.1).contains(&speedup),
+            "expected ~2x speedup, got {speedup:.3} ({} vs {})",
+            single.makespan_s,
+            multi.makespan_s
+        );
+    }
+
+    #[test]
+    fn fast_machine_does_more_units() {
+        let (_, r) = run_pool(MachineSpec::paper_cluster(), 60, 1.0, 0.0, true);
+        assert!(r.machines[0].units_done > r.machines[1].units_done);
+        assert!(r.machines[0].units_done > r.machines[2].units_done);
+        // demand-driven: the fast machine does ~2x the units of a slow one
+        let ratio = r.machines[0].units_done as f64 / r.machines[1].units_done as f64;
+        assert!((1.5..=2.6).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn determinism() {
+        let (_, a) = run_pool(MachineSpec::paper_cluster(), 30, 0.7, 0.01, true);
+        let (_, b) = run_pool(MachineSpec::paper_cluster(), 30, 0.7, 0.01, true);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn overlappable_writes_hide_master_cost() {
+        // with file writes small enough that compute dominates, overlapping
+        // the writes with worker compute must beat serialising them into
+        // the reply path
+        let (_, overlap) = run_pool(MachineSpec::paper_cluster(), 30, 1.5, 0.15, true);
+        let (_, serial) = run_pool(MachineSpec::paper_cluster(), 30, 1.5, 0.15, false);
+        assert!(
+            overlap.makespan_s < serial.makespan_s,
+            "overlap {} !< serial {}",
+            overlap.makespan_s,
+            serial.makespan_s
+        );
+    }
+
+    #[test]
+    fn network_charges_bytes() {
+        let (_, r) = run_pool(vec![MachineSpec::new("m", 1.0, 32.0)], 5, 0.1, 0.0, true);
+        // 1 initial request + 5 (unit + result/request) + 1 final exchange
+        assert!(r.messages >= 11);
+        assert!(r.bytes >= 5 * 1000);
+        assert!(r.network_busy_s > 0.0);
+        // conservation: busy time equals units * cost / speed
+        assert!((r.machines[0].busy_s - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paging_penalty_applies() {
+        struct BigWorker;
+        impl WorkerLogic for BigWorker {
+            type Unit = u64;
+            type Result = u64;
+            fn perform(&mut self, unit: &u64) -> (u64, WorkCost) {
+                (
+                    unit * 2,
+                    WorkCost { work_units: 1.0, result_bytes: 10, working_set_mb: 100.0 },
+                )
+            }
+        }
+        let cluster = SimCluster::new(vec![MachineSpec::new("small", 1.0, 32.0)]);
+        let master = PoolMaster {
+            remaining: 3,
+            integrated: vec![],
+            write_cost: 0.0,
+            overlappable: true,
+        };
+        let (_, r) = cluster.run(master, vec![BigWorker]);
+        // 100 MB working set on a 32 MB machine: 68% excess pages, so
+        // 3 units * 1.0 s * (1 + 1.5 * 0.68)
+        let expected = 3.0 * (1.0 + 1.5 * (100.0 - 32.0) / 100.0);
+        assert!((r.machines[0].busy_s - expected).abs() < 1e-9, "{}", r.machines[0].busy_s);
+    }
+
+    #[test]
+    fn slow_network_dominates_tiny_units() {
+        let mut cluster = SimCluster::new(vec![MachineSpec::new("m", 1.0, 32.0)]);
+        cluster.net.latency_s = 0.5; // terrible network
+        let master = PoolMaster {
+            remaining: 4,
+            integrated: vec![],
+            write_cost: 0.0,
+            overlappable: true,
+        };
+        let workers = vec![Doubler { unit_cost: 0.001, result_bytes: 10 }];
+        let (_, r) = cluster.run(master, workers);
+        // at least 2 transfers per unit at 0.5 s latency each
+        assert!(r.makespan_s > 4.0 * 2.0 * 0.5);
+        // compute utilisation is tiny: "the overhead of message passing ...
+        // would result in inefficiency" (the paper's per-pixel extreme)
+        assert!(r.utilisation(0) < 0.01);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_machine_mismatch_panics() {
+        let cluster = SimCluster::paper();
+        let master = PoolMaster {
+            remaining: 1,
+            integrated: vec![],
+            write_cost: 0.0,
+            overlappable: true,
+        };
+        let _ = cluster.run(master, vec![Doubler { unit_cost: 1.0, result_bytes: 1 }]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Property tests for the cluster substrate: codec round-trips, decoder
+//! robustness, and simulator invariants (determinism, work conservation,
+//! makespan bounds).
+
+use now_cluster::logic::{MasterWork, WorkCost};
+use now_cluster::{Decoder, Encoder, MachineSpec, MasterLogic, SimCluster, WorkerLogic};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Item {
+    U8(u8),
+    U32(u32),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Bytes(Vec<u8>),
+    U32s(Vec<u32>),
+}
+
+fn item_strategy() -> impl Strategy<Value = Item> {
+    prop_oneof![
+        any::<u8>().prop_map(Item::U8),
+        any::<u32>().prop_map(Item::U32),
+        any::<u64>().prop_map(Item::U64),
+        any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Item::F64),
+        "[a-zA-Z0-9 _-]{0,40}".prop_map(Item::Str),
+        prop::collection::vec(any::<u8>(), 0..64).prop_map(Item::Bytes),
+        prop::collection::vec(any::<u32>(), 0..32).prop_map(Item::U32s),
+    ]
+}
+
+proptest! {
+    /// Any sequence of encoded items decodes back identically.
+    #[test]
+    fn codec_roundtrip(items in prop::collection::vec(item_strategy(), 0..20)) {
+        let mut e = Encoder::new();
+        for it in &items {
+            match it {
+                Item::U8(v) => { e.u8(*v); }
+                Item::U32(v) => { e.u32(*v); }
+                Item::U64(v) => { e.u64(*v); }
+                Item::F64(v) => { e.f64(*v); }
+                Item::Str(v) => { e.str(v); }
+                Item::Bytes(v) => { e.bytes(v); }
+                Item::U32s(v) => { e.u32_slice(v); }
+            }
+        }
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        for it in &items {
+            match it {
+                Item::U8(v) => prop_assert_eq!(d.u8().unwrap(), *v),
+                Item::U32(v) => prop_assert_eq!(d.u32().unwrap(), *v),
+                Item::U64(v) => prop_assert_eq!(d.u64().unwrap(), *v),
+                Item::F64(v) => prop_assert_eq!(d.f64().unwrap(), *v),
+                Item::Str(v) => prop_assert_eq!(d.str().unwrap(), v),
+                Item::Bytes(v) => prop_assert_eq!(d.bytes().unwrap(), &v[..]),
+                Item::U32s(v) => prop_assert_eq!(&d.u32_vec().unwrap(), v),
+            }
+        }
+        prop_assert!(d.is_done());
+    }
+
+    /// Decoding arbitrary garbage never panics — it errors or yields values.
+    #[test]
+    fn decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        let mut d = Decoder::new(&bytes);
+        // try a fixed schedule of reads; all must return (not panic)
+        let _ = d.u8();
+        let _ = d.u32();
+        let _ = d.str();
+        let _ = d.u32_vec();
+        let _ = d.f64();
+        let _ = d.bytes();
+        let _ = d.remaining();
+    }
+}
+
+// ---------------------------------------------------------------------
+// simulator invariants
+// ---------------------------------------------------------------------
+
+struct Pool {
+    costs: Vec<f64>,
+    next: usize,
+    done: usize,
+}
+
+impl MasterLogic for Pool {
+    type Unit = usize;
+    type Result = usize;
+    fn assign(&mut self, _w: usize) -> Option<usize> {
+        if self.next < self.costs.len() {
+            self.next += 1;
+            Some(self.next - 1)
+        } else {
+            None
+        }
+    }
+    fn integrate(&mut self, _w: usize, unit: usize, result: usize) -> MasterWork {
+        assert_eq!(unit, result);
+        self.done += 1;
+        MasterWork::default()
+    }
+}
+
+#[derive(Clone)]
+struct Exec {
+    costs: Vec<f64>,
+}
+
+impl WorkerLogic for Exec {
+    type Unit = usize;
+    type Result = usize;
+    fn perform(&mut self, unit: &usize) -> (usize, WorkCost) {
+        (
+            *unit,
+            WorkCost {
+                work_units: self.costs[*unit],
+                result_bytes: 256,
+                working_set_mb: 0.0,
+            },
+        )
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn sim_completes_everything_and_respects_bounds(
+        costs in prop::collection::vec(0.01f64..2.0, 1..40),
+        speeds in prop::collection::vec(0.5f64..4.0, 1..5),
+    ) {
+        let machines: Vec<MachineSpec> = speeds
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| MachineSpec::new(&format!("m{i}"), s, 64.0))
+            .collect();
+        let cluster = SimCluster::new(machines);
+        let master = Pool { costs: costs.clone(), next: 0, done: 0 };
+        let workers: Vec<Exec> = speeds.iter().map(|_| Exec { costs: costs.clone() }).collect();
+        let (master, report) = cluster.run(master, workers);
+
+        // completion
+        prop_assert_eq!(master.done, costs.len());
+        prop_assert_eq!(
+            report.machines.iter().map(|m| m.units_done).sum::<u64>() as usize,
+            costs.len()
+        );
+
+        // work conservation: busy time equals work/speed summed per machine
+        let total_work: f64 = costs.iter().sum();
+        let max_speed = speeds.iter().cloned().fold(0.0, f64::max);
+        let total_speed: f64 = speeds.iter().sum();
+        // lower bound: perfect parallelism, no comm
+        let lower = total_work / total_speed;
+        prop_assert!(
+            report.makespan_s >= lower - 1e-9,
+            "makespan {} below physical bound {lower}",
+            report.makespan_s
+        );
+        // upper bound: everything serial on the slowest machine + generous
+        // per-message overhead
+        let min_speed = speeds.iter().cloned().fold(f64::INFINITY, f64::min);
+        let upper = total_work / min_speed + 1.0 + costs.len() as f64 * 0.1;
+        prop_assert!(
+            report.makespan_s <= upper,
+            "makespan {} above bound {upper}",
+            report.makespan_s
+        );
+        let _ = max_speed;
+
+        // determinism
+        let master2 = Pool { costs: costs.clone(), next: 0, done: 0 };
+        let workers2: Vec<Exec> = speeds.iter().map(|_| Exec { costs: costs.clone() }).collect();
+        let (_, report2) = cluster.run(master2, workers2);
+        prop_assert_eq!(report, report2);
+    }
+}

@@ -1,0 +1,131 @@
+//! Actual vs predicted frame-difference maps (paper Fig. 2).
+//!
+//! Fig. 2(a) shows "actual pixel differences between frames" (white where a
+//! pixel changed); Fig. 2(b) shows "pixel differences as computed by the
+//! frame coherence algorithm". Correctness requires (b) ⊇ (a): the
+//! prediction is conservative.
+
+use now_raytrace::{Framebuffer, PixelId};
+
+/// A pair of difference masks over one frame transition.
+#[derive(Debug, Clone)]
+pub struct DiffMaps {
+    /// Frame width.
+    pub width: u32,
+    /// Frame height.
+    pub height: u32,
+    /// Mask of pixels that actually changed (Fig. 2a).
+    pub actual: Vec<bool>,
+    /// Mask of pixels the coherence algorithm predicted would change
+    /// (Fig. 2b).
+    pub predicted: Vec<bool>,
+}
+
+impl DiffMaps {
+    /// Build the maps from two consecutively rendered frames and the
+    /// dirty-pixel set the engine predicted for the transition.
+    pub fn new(
+        prev: &Framebuffer,
+        next: &Framebuffer,
+        predicted: impl IntoIterator<Item = PixelId>,
+    ) -> DiffMaps {
+        let n = prev.len();
+        let mut actual = vec![false; n];
+        for id in prev.diff_ids(next) {
+            actual[id as usize] = true;
+        }
+        let mut pred = vec![false; n];
+        for id in predicted {
+            pred[id as usize] = true;
+        }
+        DiffMaps {
+            width: prev.width(),
+            height: prev.height(),
+            actual,
+            predicted: pred,
+        }
+    }
+
+    /// Number of actually-changed pixels.
+    pub fn actual_count(&self) -> usize {
+        self.actual.iter().filter(|&&b| b).count()
+    }
+
+    /// Number of predicted-dirty pixels.
+    pub fn predicted_count(&self) -> usize {
+        self.predicted.iter().filter(|&&b| b).count()
+    }
+
+    /// Pixels that changed but were not predicted (must be empty for a
+    /// correct conservative algorithm).
+    pub fn missed(&self) -> Vec<PixelId> {
+        self.actual
+            .iter()
+            .zip(self.predicted.iter())
+            .enumerate()
+            .filter_map(|(i, (&a, &p))| (a && !p).then_some(i as PixelId))
+            .collect()
+    }
+
+    /// True if the prediction covers every actual change.
+    pub fn is_conservative(&self) -> bool {
+        self.missed().is_empty()
+    }
+
+    /// Over-prediction ratio: predicted / actual (∞ if nothing actually
+    /// changed but something was predicted; 1.0 is a perfect prediction).
+    pub fn overprediction(&self) -> f64 {
+        let a = self.actual_count();
+        let p = self.predicted_count();
+        if a == 0 {
+            if p == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            p as f64 / a as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use now_math::Color;
+
+    #[test]
+    fn maps_and_counts() {
+        let mut a = Framebuffer::new(4, 4);
+        let mut b = Framebuffer::new(4, 4);
+        b.set(1, 1, Color::WHITE);
+        b.set(2, 2, Color::WHITE);
+        let _ = &mut a;
+        // predict a superset
+        let predicted = vec![a.id_of(1, 1), a.id_of(2, 2), a.id_of(3, 3)];
+        let maps = DiffMaps::new(&a, &b, predicted);
+        assert_eq!(maps.actual_count(), 2);
+        assert_eq!(maps.predicted_count(), 3);
+        assert!(maps.is_conservative());
+        assert!((maps.overprediction() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missed_pixels_detected() {
+        let a = Framebuffer::new(4, 4);
+        let mut b = Framebuffer::new(4, 4);
+        b.set(0, 0, Color::WHITE);
+        let maps = DiffMaps::new(&a, &b, std::iter::empty());
+        assert!(!maps.is_conservative());
+        assert_eq!(maps.missed(), vec![0]);
+        assert_eq!(maps.overprediction(), 0.0);
+    }
+
+    #[test]
+    fn no_change_no_prediction_is_perfect() {
+        let a = Framebuffer::new(2, 2);
+        let maps = DiffMaps::new(&a, &a.clone(), std::iter::empty());
+        assert!(maps.is_conservative());
+        assert_eq!(maps.overprediction(), 1.0);
+    }
+}

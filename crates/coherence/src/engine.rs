@@ -1,0 +1,298 @@
+//! The per-voxel pixel-list data structure.
+
+use now_grid::dda::Traverse;
+use now_grid::{GridCells, GridSpec, Voxel};
+use now_math::{Interval, Ray};
+use now_raytrace::{PixelId, RayKind, RayListener};
+
+/// One pixel-list entry: which pixel, and under which generation of that
+/// pixel it was recorded. Entries with a stale generation are ignored (the
+/// pixel has been re-rendered since) and purged lazily.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    pixel: PixelId,
+    gen: u32,
+}
+
+/// Stamp value that never equals a real `(pixel, gen)` pair (pixel ids are
+/// bounded well below `u32::MAX`).
+const STAMP_SENTINEL: (PixelId, u32) = (PixelId::MAX, u32::MAX);
+
+/// Bookkeeping statistics; Table 1's "overhead" column comes from the work
+/// these counters represent, and the cluster cost model charges time
+/// proportional to `marks`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoherenceStats {
+    /// Voxel-mark operations performed (per ray per voxel crossed).
+    pub marks: u64,
+    /// Entries currently live (approximation including stale ones).
+    pub entries: u64,
+    /// Entries dropped by lazy purging.
+    pub purged: u64,
+    /// Rays recorded.
+    pub rays_recorded: u64,
+    /// High-water mark of `entries`.
+    pub peak_entries: u64,
+}
+
+/// The frame-coherence data structure: a uniform grid whose voxels each
+/// carry the list of pixels that fired a ray through them.
+///
+/// Implements [`RayListener`]: install it as the tracer's listener while
+/// rendering and every ray is walked through the grid with the 3-D DDA,
+/// marking the voxels it crosses with the pixel being shaded.
+#[derive(Debug, Clone)]
+pub struct CoherenceEngine {
+    spec: GridSpec,
+    lists: GridCells<Vec<Entry>>,
+    /// Current generation per pixel; entries recorded under older
+    /// generations are stale.
+    gen: Vec<u32>,
+    /// Per-voxel de-duplication stamp: the (pixel, gen) most recently
+    /// appended, so a pixel whose several rays cross one voxel is stored
+    /// once. Initialised to a sentinel that no real (pixel, gen) can match.
+    stamps: GridCells<(PixelId, u32)>,
+    stats: CoherenceStats,
+}
+
+impl CoherenceEngine {
+    /// Create an engine for a `pixel_count`-pixel image over the given grid.
+    pub fn new(spec: GridSpec, pixel_count: usize) -> CoherenceEngine {
+        CoherenceEngine {
+            spec,
+            lists: GridCells::new(spec),
+            gen: vec![0; pixel_count],
+            stamps: GridCells::filled(spec, STAMP_SENTINEL),
+            stats: CoherenceStats::default(),
+        }
+    }
+
+    /// The grid geometry.
+    #[inline]
+    pub fn spec(&self) -> &GridSpec {
+        &self.spec
+    }
+
+    /// Current statistics.
+    #[inline]
+    pub fn stats(&self) -> CoherenceStats {
+        self.stats
+    }
+
+    /// Approximate bytes held by the pixel lists (the paper's observation
+    /// that "memory requirements are directly proportional to the size of
+    /// the image area" is measured through this).
+    pub fn memory_bytes(&self) -> usize {
+        self.lists
+            .as_slice()
+            .iter()
+            .map(|l| l.capacity() * std::mem::size_of::<Entry>())
+            .sum::<usize>()
+            + self.gen.len() * 4
+    }
+
+    /// The set of pixels (deduplicated, ascending) whose recorded rays pass
+    /// through any of the given changed voxels — i.e. the pixels that must
+    /// be recomputed for the next frame.
+    ///
+    /// Stale entries are skipped and purged from the scanned voxels as a
+    /// side effect.
+    pub fn dirty_pixels(&mut self, changed: &[Voxel]) -> Vec<PixelId> {
+        let mut dirty: Vec<PixelId> = Vec::new();
+        let mut seen = vec![false; self.gen.len()];
+        for &v in changed {
+            let gen = &self.gen;
+            let before;
+            {
+                let list = self.lists.get_mut(v);
+                before = list.len();
+                list.retain(|e| e.gen == gen[e.pixel as usize]);
+                for e in list.iter() {
+                    if !seen[e.pixel as usize] {
+                        seen[e.pixel as usize] = true;
+                        dirty.push(e.pixel);
+                    }
+                }
+            }
+            let after = self.lists.get(v).len();
+            self.stats.purged += (before - after) as u64;
+            self.stats.entries -= (before - after) as u64;
+        }
+        dirty.sort_unstable();
+        dirty
+    }
+
+    /// Invalidate the recorded rays of the given pixels (called right
+    /// before re-rendering them, so their new rays are recorded under a
+    /// fresh generation and the old entries become stale).
+    pub fn invalidate_pixels(&mut self, pixels: &[PixelId]) {
+        for &p in pixels {
+            self.gen[p as usize] = self.gen[p as usize].wrapping_add(1);
+        }
+    }
+
+    /// Eagerly drop every stale entry (bounds memory between frames; the
+    /// incremental renderer calls this when the stale fraction grows).
+    pub fn compact(&mut self) {
+        let gen = &self.gen;
+        let mut purged = 0u64;
+        for (_, list) in self.lists.iter_mut() {
+            let before = list.len();
+            list.retain(|e| e.gen == gen[e.pixel as usize]);
+            purged += (before - list.len()) as u64;
+        }
+        self.stats.purged += purged;
+        self.stats.entries -= purged;
+    }
+
+    /// Total live + stale entries currently stored.
+    pub fn entry_count(&self) -> usize {
+        self.lists.as_slice().iter().map(Vec::len).sum()
+    }
+
+    /// Pixels recorded in a voxel's list under their current generation
+    /// (test/diagnostic helper).
+    pub fn voxel_pixels(&self, v: Voxel) -> Vec<PixelId> {
+        self.lists
+            .get(v)
+            .iter()
+            .filter(|e| e.gen == self.gen[e.pixel as usize])
+            .map(|e| e.pixel)
+            .collect()
+    }
+}
+
+impl RayListener for CoherenceEngine {
+    fn on_ray(&mut self, pixel: PixelId, ray: &Ray, _kind: RayKind, t_max: f64) {
+        self.stats.rays_recorded += 1;
+        let gen = self.gen[pixel as usize];
+        let range = Interval::new(0.0, t_max);
+        // Split borrows: traverse is on the spec (copy), lists/stamps are
+        // disjoint fields.
+        let spec = self.spec;
+        let lists = &mut self.lists;
+        let stamps = &mut self.stamps;
+        let stats = &mut self.stats;
+        spec.traverse(ray, range, |step| {
+            stats.marks += 1;
+            let stamp = stamps.get_mut(step.voxel);
+            if *stamp != (pixel, gen) {
+                *stamp = (pixel, gen);
+                lists.get_mut(step.voxel).push(Entry { pixel, gen });
+                stats.entries += 1;
+                stats.peak_entries = stats.peak_entries.max(stats.entries);
+            }
+            true
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use now_math::{Aabb, Point3, Vec3};
+
+    fn engine() -> CoherenceEngine {
+        let spec = GridSpec::cubic(Aabb::new(Point3::ZERO, Point3::splat(4.0)), 4);
+        CoherenceEngine::new(spec, 100)
+    }
+
+    fn x_ray(y: f64, z: f64) -> Ray {
+        Ray::new(Point3::new(-1.0, y, z), Vec3::UNIT_X)
+    }
+
+    #[test]
+    fn marking_and_dirty_lookup() {
+        let mut e = engine();
+        // pixel 7's ray crosses the x row of voxels at y=z=0
+        e.on_ray(7, &x_ray(0.5, 0.5), RayKind::Primary, f64::INFINITY);
+        // pixel 9's ray crosses the row at y=2.5
+        e.on_ray(9, &x_ray(2.5, 0.5), RayKind::Primary, f64::INFINITY);
+
+        let dirty = e.dirty_pixels(&[Voxel::new(2, 0, 0)]);
+        assert_eq!(dirty, vec![7]);
+        let dirty = e.dirty_pixels(&[Voxel::new(0, 2, 0), Voxel::new(3, 0, 0)]);
+        assert_eq!(dirty, vec![7, 9]);
+        let dirty = e.dirty_pixels(&[Voxel::new(0, 0, 3)]);
+        assert!(dirty.is_empty());
+    }
+
+    #[test]
+    fn t_max_limits_marking() {
+        let mut e = engine();
+        // ray stops at t = 1.5 (origin -1, so x reaches 0.5): only voxel 0
+        e.on_ray(3, &x_ray(0.5, 0.5), RayKind::Primary, 1.5);
+        assert_eq!(e.dirty_pixels(&[Voxel::new(0, 0, 0)]), vec![3]);
+        assert!(e.dirty_pixels(&[Voxel::new(1, 0, 0)]).is_empty());
+    }
+
+    #[test]
+    fn multiple_rays_of_one_pixel_dedup() {
+        let mut e = engine();
+        e.on_ray(5, &x_ray(0.5, 0.5), RayKind::Primary, f64::INFINITY);
+        e.on_ray(5, &x_ray(0.5, 0.5), RayKind::Shadow, f64::INFINITY);
+        e.on_ray(5, &x_ray(0.6, 0.6), RayKind::Reflected, f64::INFINITY);
+        assert_eq!(e.voxel_pixels(Voxel::new(1, 0, 0)), vec![5]);
+        // but a different pixel is a separate entry
+        e.on_ray(6, &x_ray(0.5, 0.5), RayKind::Primary, f64::INFINITY);
+        assert_eq!(e.voxel_pixels(Voxel::new(1, 0, 0)), vec![5, 6]);
+    }
+
+    #[test]
+    fn invalidation_makes_entries_stale() {
+        let mut e = engine();
+        e.on_ray(4, &x_ray(0.5, 0.5), RayKind::Primary, f64::INFINITY);
+        e.invalidate_pixels(&[4]);
+        // old entry no longer reported dirty
+        assert!(e.dirty_pixels(&[Voxel::new(1, 0, 0)]).is_empty());
+        // re-record under the new generation: visible again
+        e.on_ray(4, &x_ray(2.5, 2.5), RayKind::Primary, f64::INFINITY);
+        assert_eq!(e.dirty_pixels(&[Voxel::new(1, 2, 2)]), vec![4]);
+        // the old path stays stale
+        assert!(e.dirty_pixels(&[Voxel::new(1, 0, 0)]).is_empty());
+    }
+
+    #[test]
+    fn compact_purges_stale_entries() {
+        let mut e = engine();
+        e.on_ray(1, &x_ray(0.5, 0.5), RayKind::Primary, f64::INFINITY);
+        e.on_ray(2, &x_ray(1.5, 0.5), RayKind::Primary, f64::INFINITY);
+        let before = e.entry_count();
+        assert_eq!(before, 8);
+        e.invalidate_pixels(&[1]);
+        e.compact();
+        assert_eq!(e.entry_count(), 4);
+        assert!(e.stats().purged >= 4);
+        // pixel 2 still intact
+        assert_eq!(e.dirty_pixels(&[Voxel::new(0, 1, 0)]), vec![2]);
+    }
+
+    #[test]
+    fn dirty_pixels_sorted_and_unique() {
+        let mut e = engine();
+        for p in [9, 3, 7, 3, 9] {
+            e.on_ray(p, &x_ray(0.5, 0.5), RayKind::Primary, f64::INFINITY);
+        }
+        let dirty = e.dirty_pixels(&[Voxel::new(0, 0, 0), Voxel::new(1, 0, 0)]);
+        assert_eq!(dirty, vec![3, 7, 9]);
+    }
+
+    #[test]
+    fn stats_track_marks_and_memory() {
+        let mut e = engine();
+        assert_eq!(e.memory_bytes(), 400); // gen array only
+        e.on_ray(0, &x_ray(0.5, 0.5), RayKind::Primary, f64::INFINITY);
+        let s = e.stats();
+        assert_eq!(s.rays_recorded, 1);
+        assert_eq!(s.marks, 4);
+        assert_eq!(s.entries, 4);
+        assert!(e.memory_bytes() > 400);
+    }
+
+    #[test]
+    fn rays_outside_grid_mark_nothing() {
+        let mut e = engine();
+        e.on_ray(0, &Ray::new(Point3::new(0.0, 10.0, 0.0), Vec3::UNIT_X), RayKind::Primary, f64::INFINITY);
+        assert_eq!(e.entry_count(), 0);
+    }
+}

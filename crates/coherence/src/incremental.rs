@@ -1,0 +1,589 @@
+//! The incremental (frame-coherent) sequence renderer.
+//!
+//! Renders an animation frame by frame; every frame after the first is
+//! produced by copying the previous frame and re-rendering only the pixels
+//! whose recorded rays pass through changed voxels.
+//!
+//! Granularity is configurable: group size 1 is the paper's pixel-level
+//! algorithm; larger groups reproduce Jevans' block-based scheme ("if one
+//! pixel in the block needs to be updated, all pixels in the block are
+//! re-computed"), which the paper contrasts against.
+
+use crate::change::{changed_voxels, ChangeSet};
+use crate::engine::{CoherenceEngine, CoherenceStats};
+use crate::region::PixelRegion;
+use now_grid::GridSpec;
+use now_math::Ray;
+use now_raytrace::{
+    render_pixels, Framebuffer, GridAccel, PixelId, RayKind, RayListener, RayStats,
+    RenderSettings, Scene,
+};
+
+/// Maps pixels to coherence groups (1x1 groups = pixel granularity).
+#[derive(Debug, Clone, Copy)]
+struct GroupMap {
+    width: u32,
+    height: u32,
+    block: u32,
+    groups_x: u32,
+}
+
+impl GroupMap {
+    fn new(width: u32, height: u32, block: u32) -> GroupMap {
+        assert!(block > 0);
+        GroupMap { width, height, block, groups_x: width.div_ceil(block) }
+    }
+
+    fn group_count(&self) -> usize {
+        (self.groups_x * self.height.div_ceil(self.block)) as usize
+    }
+
+    #[inline]
+    fn group_of(&self, pixel: PixelId) -> u32 {
+        if self.block == 1 {
+            return pixel;
+        }
+        let x = pixel % self.width;
+        let y = pixel / self.width;
+        (y / self.block) * self.groups_x + x / self.block
+    }
+
+    fn pixels_of_group(&self, g: u32) -> Vec<PixelId> {
+        if self.block == 1 {
+            return vec![g];
+        }
+        let gx = g % self.groups_x;
+        let gy = g / self.groups_x;
+        let x0 = gx * self.block;
+        let y0 = gy * self.block;
+        let mut out = Vec::new();
+        for y in y0..(y0 + self.block).min(self.height) {
+            for x in x0..(x0 + self.block).min(self.width) {
+                out.push(y * self.width + x);
+            }
+        }
+        out
+    }
+}
+
+/// Listener adapter that records rays under their *group* id, optionally
+/// skipping shadow rays.
+struct GroupListener<'a> {
+    engine: &'a mut CoherenceEngine,
+    map: GroupMap,
+    track_shadows: bool,
+}
+
+impl RayListener for GroupListener<'_> {
+    #[inline]
+    fn on_ray(&mut self, pixel: PixelId, ray: &Ray, kind: RayKind, t_max: f64) {
+        if !self.track_shadows && kind == RayKind::Shadow {
+            return;
+        }
+        self.engine.on_ray(self.map.group_of(pixel), ray, kind, t_max);
+    }
+}
+
+/// Per-frame outcome report.
+#[derive(Debug, Clone)]
+pub struct FrameReport {
+    /// Index of the frame within the sequence (0-based).
+    pub frame_index: usize,
+    /// True if the whole region was rendered from scratch.
+    pub full_render: bool,
+    /// Number of changed voxels detected (region-independent).
+    pub changed_voxels: usize,
+    /// Pixels actually re-rendered this frame.
+    pub pixels_rendered: usize,
+    /// The ids of the re-rendered pixels (what a farm worker ships to the
+    /// master as the frame delta).
+    pub rendered: Vec<PixelId>,
+    /// Pixels owned by this renderer's region.
+    pub region_pixels: usize,
+    /// Rays fired this frame.
+    pub rays: RayStats,
+    /// Cumulative coherence bookkeeping counters after this frame.
+    pub coherence: CoherenceStats,
+    /// Engine memory in bytes after this frame.
+    pub memory_bytes: usize,
+}
+
+/// Incremental renderer for one camera-stationary sequence over one pixel
+/// region.
+///
+/// The grid `spec` must cover the scene bounds of *every* frame of the
+/// sequence (the animation layer computes the swept bounds); the engine's
+/// pixel lists and the intersection accelerator share it.
+///
+/// ```
+/// use now_coherence::CoherentRenderer;
+/// use now_grid::GridSpec;
+/// use now_math::{Color, Point3, Vec3};
+/// use now_raytrace::{Camera, Geometry, Material, Object, PointLight, RenderSettings, Scene};
+///
+/// let cam = Camera::look_at(Point3::new(0.0, 1.0, 5.0), Point3::ZERO,
+///                           Vec3::UNIT_Y, 60.0, 16, 12);
+/// let mut scene = Scene::new(cam);
+/// scene.add_object(Object::new(
+///     Geometry::Sphere { center: Point3::ZERO, radius: 1.0 },
+///     Material::matte(Color::WHITE),
+/// ));
+/// scene.add_light(PointLight::new(Point3::new(4.0, 5.0, 4.0), Color::WHITE));
+///
+/// let spec = GridSpec::for_scene(scene.bounds(), 512);
+/// let mut renderer = CoherentRenderer::new(spec, 16, 12, RenderSettings::default());
+/// let (_, first) = renderer.render_next(&scene);
+/// assert!(first.full_render);
+/// // nothing changed: the second frame re-renders zero pixels
+/// let (_, second) = renderer.render_next(&scene);
+/// assert_eq!(second.pixels_rendered, 0);
+/// ```
+pub struct CoherentRenderer {
+    spec: GridSpec,
+    settings: RenderSettings,
+    region: PixelRegion,
+    map: GroupMap,
+    engine: CoherenceEngine,
+    prev: Option<(Scene, Framebuffer)>,
+    frame_index: usize,
+    /// Compact the engine when live+stale entries exceed this multiple of
+    /// the post-compaction size.
+    stale_factor: f64,
+    last_compact_size: usize,
+    track_shadows: bool,
+}
+
+impl CoherentRenderer {
+    /// Pixel-granularity renderer over the full frame.
+    pub fn new(spec: GridSpec, width: u32, height: u32, settings: RenderSettings) -> Self {
+        Self::with_region_and_block(spec, width, height, PixelRegion::full(width, height), 1, settings)
+    }
+
+    /// Renderer restricted to a region (frame-division worker) and/or with
+    /// a coherence block size (`block > 1` = Jevans-style).
+    pub fn with_region_and_block(
+        spec: GridSpec,
+        width: u32,
+        height: u32,
+        region: PixelRegion,
+        block: u32,
+        settings: RenderSettings,
+    ) -> Self {
+        let map = GroupMap::new(width, height, block);
+        CoherentRenderer {
+            spec,
+            settings,
+            region,
+            map,
+            engine: CoherenceEngine::new(spec, map.group_count()),
+            prev: None,
+            frame_index: 0,
+            stale_factor: 2.0,
+            last_compact_size: 0,
+            track_shadows: true,
+        }
+    }
+
+    /// Disable shadow-ray tracking.
+    ///
+    /// The paper's algorithm tracks shadow rays ("we are also exploring the
+    /// use of frame coherence in the generation of shadows"); without them
+    /// the engine is cheaper but **no longer conservative**: a pixel whose
+    /// only connection to a moving object is its shadow ray will not be
+    /// recomputed, leaving a stale shadow. The `ablations shadows` bench
+    /// quantifies that error.
+    pub fn without_shadow_tracking(mut self) -> Self {
+        self.track_shadows = false;
+        self
+    }
+
+    /// The region this renderer owns.
+    pub fn region(&self) -> PixelRegion {
+        self.region
+    }
+
+    /// Engine statistics.
+    pub fn coherence_stats(&self) -> CoherenceStats {
+        self.engine.stats()
+    }
+
+    /// Approximate memory held by coherence data structures.
+    pub fn memory_bytes(&self) -> usize {
+        self.engine.memory_bytes()
+    }
+
+    /// Forget all coherence state (used when a sequence is cut, e.g. the
+    /// camera moved: "any camera movement logically separates one sequence
+    /// from another").
+    pub fn reset(&mut self) {
+        self.engine = CoherenceEngine::new(self.spec, self.map.group_count());
+        self.prev = None;
+        self.frame_index = 0;
+        self.last_compact_size = 0;
+    }
+
+    /// Render the next frame of the sequence.
+    ///
+    /// Returns the full-size framebuffer (pixels outside the region are
+    /// black / stale) and a report of the work done.
+    pub fn render_next(&mut self, scene: &Scene) -> (Framebuffer, FrameReport) {
+        let accel = GridAccel::build_with_spec(scene, self.spec);
+        let mut rays = RayStats::default();
+
+        let (fb, full_render, changed, rendered_ids) = match self.prev.take() {
+            None => {
+                // first frame: render the whole region from scratch
+                let mut fb =
+                    Framebuffer::new(self.map.width, self.map.height);
+                let ids: Vec<PixelId> = self.region.pixel_ids(self.map.width).collect();
+                let mut listener = GroupListener {
+                    engine: &mut self.engine,
+                    map: self.map,
+                    track_shadows: self.track_shadows,
+                };
+                render_pixels(
+                    scene,
+                    &accel,
+                    &self.settings,
+                    &mut fb,
+                    ids.iter().copied(),
+                    &mut listener,
+                    &mut rays,
+                );
+                (fb, true, 0usize, ids)
+            }
+            Some((prev_scene, prev_fb)) => {
+                let change = changed_voxels(&self.spec, &prev_scene, scene);
+                let changed_n = change.len(&self.spec);
+                let (dirty_groups, full): (Vec<u32>, bool) = match &change {
+                    ChangeSet::Everything => (Vec::new(), true),
+                    ChangeSet::Voxels(vs) => (self.engine.dirty_pixels(vs), false),
+                };
+                let mut fb = prev_fb;
+                let ids: Vec<PixelId> = if full {
+                    self.region.pixel_ids(self.map.width).collect()
+                } else {
+                    let w = self.map.width;
+                    dirty_groups
+                        .iter()
+                        .flat_map(|&g| self.map.pixels_of_group(g))
+                        .filter(|&p| self.region.contains_id(p, w))
+                        .collect()
+                };
+                // invalidate the groups being recomputed so their old
+                // recorded rays go stale
+                if full {
+                    // a full re-render regenerates every group in the region
+                    let groups: std::collections::BTreeSet<u32> = self
+                        .region
+                        .pixel_ids(self.map.width)
+                        .map(|p| self.map.group_of(p))
+                        .collect();
+                    let groups: Vec<u32> = groups.into_iter().collect();
+                    self.engine.invalidate_pixels(&groups);
+                } else {
+                    self.engine.invalidate_pixels(&dirty_groups);
+                }
+                let mut listener = GroupListener {
+                    engine: &mut self.engine,
+                    map: self.map,
+                    track_shadows: self.track_shadows,
+                };
+                render_pixels(
+                    scene,
+                    &accel,
+                    &self.settings,
+                    &mut fb,
+                    ids.iter().copied(),
+                    &mut listener,
+                    &mut rays,
+                );
+                (fb, full, changed_n, ids)
+            }
+        };
+
+        // bound memory: compact when stale entries accumulate
+        let entries = self.engine.entry_count();
+        if entries > ((self.last_compact_size.max(1024)) as f64 * self.stale_factor) as usize {
+            self.engine.compact();
+            self.last_compact_size = self.engine.entry_count();
+        }
+
+        let report = FrameReport {
+            frame_index: self.frame_index,
+            full_render,
+            changed_voxels: changed,
+            pixels_rendered: rendered_ids.len(),
+            rendered: rendered_ids,
+            region_pixels: self.region.len(),
+            rays,
+            coherence: self.engine.stats(),
+            memory_bytes: self.engine.memory_bytes(),
+        };
+        self.frame_index += 1;
+        self.prev = Some((scene.clone(), fb.clone()));
+        (fb, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use now_math::{Affine, Color, Point3, Vec3};
+    use now_raytrace::{render_frame, Camera, Geometry, Material, NullListener, Object, PointLight};
+
+    /// A small scene with a moving ball over a floor box, mirror back wall.
+    fn frame_scene(t: f64) -> Scene {
+        let cam = Camera::look_at(
+            Point3::new(0.0, 1.5, 8.0),
+            Point3::new(0.0, 0.5, 0.0),
+            Vec3::UNIT_Y,
+            55.0,
+            48,
+            36,
+        );
+        let mut s = Scene::new(cam);
+        s.background = Color::new(0.05, 0.05, 0.1);
+        s.add_object(Object::new(
+            Geometry::Cuboid {
+                min: Point3::new(-4.0, -0.5, -4.0),
+                max: Point3::new(4.0, 0.0, 4.0),
+            },
+            Material::matte(Color::gray(0.6)),
+        ));
+        s.add_object(
+            Object::new(
+                Geometry::Sphere { center: Point3::new(-2.0, 0.6, 0.0), radius: 0.6 },
+                Material::chrome(Color::new(0.9, 0.9, 1.0)),
+            )
+            .named("ball")
+            .with_transform(Affine::translate(Vec3::new(t, 0.0, 0.0))),
+        );
+        s.add_light(PointLight::new(Point3::new(3.0, 6.0, 5.0), Color::WHITE));
+        s
+    }
+
+    fn sequence_spec() -> GridSpec {
+        // bounds covering the ball over t in [0, 2]
+        let b = frame_scene(0.0).bounds().union(&frame_scene(2.0).bounds());
+        GridSpec::for_scene(b, 16 * 16 * 16)
+    }
+
+    fn scratch_render(scene: &Scene, spec: GridSpec) -> Framebuffer {
+        let accel = GridAccel::build_with_spec(scene, spec);
+        render_frame(
+            scene,
+            &accel,
+            &RenderSettings::default(),
+            &mut NullListener,
+            &mut RayStats::default(),
+        )
+    }
+
+    #[test]
+    fn incremental_equals_scratch_for_moving_ball() {
+        let spec = sequence_spec();
+        let mut r = CoherentRenderer::new(spec, 48, 36, RenderSettings::default());
+        for i in 0..5 {
+            let t = i as f64 * 0.4;
+            let scene = frame_scene(t);
+            let (fb, report) = r.render_next(&scene);
+            let reference = scratch_render(&scene, spec);
+            assert!(
+                fb.same_image(&reference),
+                "frame {i}: incremental render deviates ({} pixels differ)",
+                fb.diff_ids(&reference).len()
+            );
+            if i == 0 {
+                assert!(report.full_render);
+            } else {
+                assert!(!report.full_render);
+                assert!(report.pixels_rendered < report.region_pixels,
+                    "frame {i} recomputed everything");
+                assert!(report.pixels_rendered > 0, "ball moved, something must change");
+            }
+        }
+    }
+
+    #[test]
+    fn static_frames_recompute_nothing() {
+        let spec = sequence_spec();
+        let mut r = CoherentRenderer::new(spec, 48, 36, RenderSettings::default());
+        let scene = frame_scene(0.0);
+        let _ = r.render_next(&scene);
+        let (_, report) = r.render_next(&scene);
+        assert_eq!(report.pixels_rendered, 0);
+        assert_eq!(report.changed_voxels, 0);
+        assert_eq!(report.rays.total_rays(), 0);
+    }
+
+    #[test]
+    fn region_renderer_owns_only_its_pixels() {
+        let spec = sequence_spec();
+        let region = PixelRegion { x0: 0, y0: 0, w: 24, h: 36 }; // left half
+        let mut r = CoherentRenderer::with_region_and_block(
+            spec,
+            48,
+            36,
+            region,
+            1,
+            RenderSettings::default(),
+        );
+        let scene = frame_scene(0.0);
+        let (fb, report) = r.render_next(&scene);
+        assert_eq!(report.pixels_rendered, region.len());
+        let reference = scratch_render(&scene, spec);
+        // inside the region: matches; outside: untouched black
+        for id in region.pixel_ids(48) {
+            assert_eq!(fb.get_id(id).to_u8(), reference.get_id(id).to_u8());
+        }
+        let outside = fb.id_of(40, 10);
+        assert_eq!(fb.get_id(outside), Color::BLACK);
+    }
+
+    #[test]
+    fn region_renderers_compose_to_full_frame() {
+        let spec = sequence_spec();
+        let regions = PixelRegion::tiles(48, 36, 24, 18);
+        let mut renderers: Vec<CoherentRenderer> = regions
+            .iter()
+            .map(|&reg| {
+                CoherentRenderer::with_region_and_block(
+                    spec,
+                    48,
+                    36,
+                    reg,
+                    1,
+                    RenderSettings::default(),
+                )
+            })
+            .collect();
+        for i in 0..3 {
+            let scene = frame_scene(i as f64 * 0.5);
+            let reference = scratch_render(&scene, spec);
+            let mut composed = Framebuffer::new(48, 36);
+            for (r, reg) in renderers.iter_mut().zip(regions.iter()) {
+                let (fb, _) = r.render_next(&scene);
+                composed.copy_ids_from(&fb, reg.pixel_ids(48));
+            }
+            assert!(composed.same_image(&reference), "frame {i} composition mismatch");
+        }
+    }
+
+    #[test]
+    fn block_granularity_recomputes_more_but_stays_correct() {
+        let spec = sequence_spec();
+        let mut pixel_r = CoherentRenderer::new(spec, 48, 36, RenderSettings::default());
+        let mut block_r = CoherentRenderer::with_region_and_block(
+            spec,
+            48,
+            36,
+            PixelRegion::full(48, 36),
+            8,
+            RenderSettings::default(),
+        );
+        let mut pixel_total = 0usize;
+        let mut block_total = 0usize;
+        for i in 0..4 {
+            let scene = frame_scene(i as f64 * 0.4);
+            let reference = scratch_render(&scene, spec);
+            let (fa, ra) = pixel_r.render_next(&scene);
+            let (fbimg, rb) = block_r.render_next(&scene);
+            assert!(fa.same_image(&reference));
+            assert!(fbimg.same_image(&reference));
+            if i > 0 {
+                pixel_total += ra.pixels_rendered;
+                block_total += rb.pixels_rendered;
+            }
+        }
+        assert!(
+            block_total >= pixel_total,
+            "blocks must recompute at least as many pixels ({block_total} vs {pixel_total})"
+        );
+        // block engine tracks fewer groups -> less memory
+        assert!(block_r.memory_bytes() < pixel_r.memory_bytes());
+    }
+
+    #[test]
+    fn camera_cut_via_reset() {
+        let spec = sequence_spec();
+        let mut r = CoherentRenderer::new(spec, 48, 36, RenderSettings::default());
+        let _ = r.render_next(&frame_scene(0.0));
+        r.reset();
+        let (_, report) = r.render_next(&frame_scene(1.0));
+        assert!(report.full_render);
+        assert_eq!(report.frame_index, 0);
+    }
+
+    #[test]
+    fn everything_change_forces_full_render_and_stays_correct() {
+        let spec = sequence_spec();
+        let mut r = CoherentRenderer::new(spec, 48, 36, RenderSettings::default());
+        let _ = r.render_next(&frame_scene(0.0));
+        // move the light: ChangeSet::Everything
+        let mut scene = frame_scene(0.4);
+        scene.lights[0] = PointLight::new(Point3::new(-3.0, 6.0, 5.0), Color::WHITE).into();
+        let (fb, report) = r.render_next(&scene);
+        assert!(report.full_render);
+        assert!(fb.same_image(&scratch_render(&scene, spec)));
+        // and coherence keeps working on the frame after
+        let mut scene2 = scene.clone();
+        scene2.objects[1].set_transform(Affine::translate(Vec3::new(0.8, 0.0, 0.0)));
+        let (fb2, report2) = r.render_next(&scene2);
+        assert!(!report2.full_render);
+        assert!(fb2.same_image(&scratch_render(&scene2, spec)));
+    }
+
+    #[test]
+    fn disabling_shadow_tracking_misses_shadow_changes() {
+        // a scene where a pixel's ONLY connection to the moving object is
+        // its shadow ray: without shadow tracking that pixel goes stale
+        let spec = sequence_spec();
+        let mut with = CoherentRenderer::new(spec, 48, 36, RenderSettings::default());
+        let mut without = CoherentRenderer::new(spec, 48, 36, RenderSettings::default())
+            .without_shadow_tracking();
+
+        let mut with_wrong = 0usize;
+        let mut without_wrong = 0usize;
+        let mut without_marks = 0;
+        let mut with_marks = 0;
+        for i in 0..4 {
+            let scene = frame_scene(i as f64 * 0.5);
+            let reference = scratch_render(&scene, spec);
+            let (fa, ra) = with.render_next(&scene);
+            let (fbm, rb) = without.render_next(&scene);
+            with_wrong += fa.diff_ids(&reference).len();
+            without_wrong += fbm.diff_ids(&reference).len();
+            with_marks = ra.coherence.marks;
+            without_marks = rb.coherence.marks;
+        }
+        // full tracking stays exact and does strictly more bookkeeping
+        assert_eq!(with_wrong, 0);
+        assert!(with_marks > without_marks);
+        // without shadow tracking, the moving ball's shadow goes stale
+        assert!(
+            without_wrong > 0,
+            "expected stale shadow pixels without shadow tracking"
+        );
+    }
+
+    #[test]
+    fn group_map_roundtrip() {
+        let m = GroupMap::new(10, 7, 4);
+        assert_eq!(m.group_count(), 3 * 2);
+        for p in 0..70u32 {
+            let g = m.group_of(p);
+            assert!(m.pixels_of_group(g).contains(&p));
+        }
+        // groups partition the pixels
+        let mut count = 0;
+        for g in 0..m.group_count() as u32 {
+            count += m.pixels_of_group(g).len();
+        }
+        assert_eq!(count, 70);
+        // identity map at block=1
+        let id = GroupMap::new(10, 7, 1);
+        assert_eq!(id.group_of(33), 33);
+        assert_eq!(id.pixels_of_group(33), vec![33]);
+    }
+}

@@ -1,0 +1,86 @@
+//! The Jevans block-coherence baseline.
+//!
+//! Jevans, "Object-Based Temporal Coherence" (GI 1992) — the prior work the
+//! paper positions itself against — tracks coherence for *blocks* of
+//! pixels: "if one pixel in the block needs to be updated, all pixels in
+//! the block are re-computed". This module is a thin façade over
+//! [`CoherentRenderer`] with a block size, so benches can compare pixel
+//! granularity against block granularity under identical machinery.
+
+use crate::incremental::{CoherentRenderer, FrameReport};
+use crate::region::PixelRegion;
+use now_grid::GridSpec;
+use now_raytrace::{Framebuffer, RenderSettings, Scene};
+
+/// Block-granularity incremental renderer.
+pub struct JevansRenderer {
+    inner: CoherentRenderer,
+    block: u32,
+}
+
+impl JevansRenderer {
+    /// Default block edge used by the baseline comparisons.
+    pub const DEFAULT_BLOCK: u32 = 8;
+
+    /// Create a block-coherent renderer over the full frame.
+    pub fn new(
+        spec: GridSpec,
+        width: u32,
+        height: u32,
+        block: u32,
+        settings: RenderSettings,
+    ) -> JevansRenderer {
+        assert!(block >= 2, "a 1x1 block is pixel granularity; use CoherentRenderer");
+        JevansRenderer {
+            inner: CoherentRenderer::with_region_and_block(
+                spec,
+                width,
+                height,
+                PixelRegion::full(width, height),
+                block,
+                settings,
+            ),
+            block,
+        }
+    }
+
+    /// Block edge length.
+    pub fn block(&self) -> u32 {
+        self.block
+    }
+
+    /// Render the next frame (see [`CoherentRenderer::render_next`]).
+    pub fn render_next(&mut self, scene: &Scene) -> (Framebuffer, FrameReport) {
+        self.inner.render_next(scene)
+    }
+
+    /// Coherence memory footprint.
+    pub fn memory_bytes(&self) -> usize {
+        self.inner.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic]
+    fn block_one_rejected() {
+        let spec = GridSpec::cubic(
+            now_math::Aabb::cube(now_math::Point3::ZERO, 2.0),
+            4,
+        );
+        let _ = JevansRenderer::new(spec, 8, 8, 1, RenderSettings::default());
+    }
+
+    #[test]
+    fn constructor_stores_block() {
+        let spec = GridSpec::cubic(
+            now_math::Aabb::cube(now_math::Point3::ZERO, 2.0),
+            4,
+        );
+        let r = JevansRenderer::new(spec, 16, 16, 4, RenderSettings::default());
+        assert_eq!(r.block(), 4);
+    }
+}

@@ -1,0 +1,528 @@
+//! The distributed render farm: master/worker logic over `now-cluster`.
+//!
+//! The master owns the scheduler (a [`PartitionScheme`] instance), a
+//! rolling frame canvas, and the Targa writing; each worker owns a
+//! [`CoherentRenderer`] for its current region and ships back only the
+//! pixels it recomputed. One implementation runs on both the
+//! discrete-event simulator and real threads.
+
+use crate::cost::CostModel;
+use crate::partition::{PartitionScheme, RenderUnit, Scheduler};
+use now_anim::Animation;
+use now_coherence::{CoherentRenderer, PixelRegion};
+use now_cluster::{
+    MachineSpec, MasterLogic, MasterWork, SimCluster, ThreadCluster, WorkCost, WorkerLogic,
+};
+use now_grid::GridSpec;
+use now_raytrace::{
+    render_pixels, Framebuffer, GridAccel, NullListener, PixelId, RayStats, RenderSettings,
+};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Farm configuration.
+#[derive(Debug, Clone)]
+pub struct FarmConfig {
+    /// Partitioning scheme.
+    pub scheme: PartitionScheme,
+    /// Use the frame-coherence algorithm (off = plain distributed
+    /// rendering, Table 1 columns 4–5).
+    pub coherence: bool,
+    /// Render settings.
+    pub settings: RenderSettings,
+    /// Cost model for the simulator.
+    pub cost: CostModel,
+    /// Target voxel count of the shared grid.
+    pub grid_voxels: u32,
+    /// Keep finished frame pixels in the result (tests); hashes are always
+    /// kept.
+    pub keep_frames: bool,
+}
+
+impl FarmConfig {
+    /// Coherent frame-division farm with paper-style defaults.
+    pub fn paper_default() -> FarmConfig {
+        FarmConfig {
+            scheme: PartitionScheme::paper_frame_division(),
+            coherence: true,
+            settings: RenderSettings::default(),
+            cost: CostModel::default(),
+            grid_voxels: 24 * 24 * 24,
+            keep_frames: false,
+        }
+    }
+}
+
+/// Result of one completed unit, shipped worker → master.
+#[derive(Debug, Clone)]
+pub struct UnitOutput {
+    /// Recomputed pixels (id, quantised color).
+    pub pixels: Vec<(PixelId, [u8; 3])>,
+    /// Rays fired for this unit.
+    pub rays: RayStats,
+    /// Coherence marks performed for this unit.
+    pub marks: u64,
+}
+
+/// Pixel updates accumulated for one frame plus the count of region
+/// reports received so far.
+type PendingFrame = (Vec<(PixelId, [u8; 3])>, usize);
+
+/// FNV-1a hash of a byte stream (frame fingerprints).
+fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Fingerprint a framebuffer the same way the farm fingerprints its
+/// assembled frames (quantised RGB, row-major).
+pub fn frame_hash(fb: &Framebuffer) -> u64 {
+    fnv1a(fb.pixels().iter().flat_map(|c| {
+        let (r, g, b) = c.to_u8();
+        [r, g, b]
+    }))
+}
+
+// ---------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------
+
+struct WorkerState {
+    region: PixelRegion,
+    renderer: CoherentRenderer,
+    prev_marks: u64,
+    next_frame: u32,
+}
+
+/// Worker-side logic: renders assigned units, maintaining coherence state
+/// for its current region.
+pub struct FarmWorker {
+    anim: Arc<Animation>,
+    spec: GridSpec,
+    cfg: FarmConfig,
+    width: u32,
+    height: u32,
+    state: Option<WorkerState>,
+}
+
+impl FarmWorker {
+    /// Create a worker for an animation (the grid spec must match the
+    /// master's and cover the swept bounds).
+    pub fn new(anim: Arc<Animation>, spec: GridSpec, cfg: FarmConfig) -> FarmWorker {
+        let width = anim.base.camera.width();
+        let height = anim.base.camera.height();
+        FarmWorker { anim, spec, cfg, width, height, state: None }
+    }
+
+    fn perform_coherent(&mut self, unit: &RenderUnit) -> (UnitOutput, WorkCost) {
+        let need_reset = unit.restart
+            || match &self.state {
+                Some(s) => s.region != unit.region || s.next_frame != unit.frame,
+                None => true,
+            };
+        if need_reset {
+            self.state = Some(WorkerState {
+                region: unit.region,
+                renderer: CoherentRenderer::with_region_and_block(
+                    self.spec,
+                    self.width,
+                    self.height,
+                    unit.region,
+                    1,
+                    self.cfg.settings.clone(),
+                ),
+                prev_marks: 0,
+                next_frame: unit.frame,
+            });
+        }
+        let state = self.state.as_mut().expect("state just ensured");
+        debug_assert_eq!(state.next_frame, unit.frame, "frames must be consecutive");
+        let scene = self.anim.scene_at(unit.frame as usize);
+        let (fb, report) = state.renderer.render_next(&scene);
+        state.next_frame = unit.frame + 1;
+        let marks = report.coherence.marks - state.prev_marks;
+        state.prev_marks = report.coherence.marks;
+
+        let pixels: Vec<(PixelId, [u8; 3])> = report
+            .rendered
+            .iter()
+            .map(|&id| {
+                let (r, g, b) = fb.get_id(id).to_u8();
+                (id, [r, g, b])
+            })
+            .collect();
+        let copied = (unit.region.len() - pixels.len()) as u64;
+        let work = self.cfg.cost.render_work(&report.rays, marks, copied);
+        let cost = WorkCost {
+            work_units: work,
+            result_bytes: (pixels.len() * 7 + 32) as u64,
+            working_set_mb: self
+                .cfg
+                .cost
+                .working_set_mb(unit.region.len(), &report.coherence),
+        };
+        (
+            UnitOutput { pixels, rays: report.rays, marks },
+            cost,
+        )
+    }
+
+    fn perform_plain(&mut self, unit: &RenderUnit) -> (UnitOutput, WorkCost) {
+        let scene = self.anim.scene_at(unit.frame as usize);
+        let accel = GridAccel::build_with_spec(&scene, self.spec);
+        let mut rays = RayStats::default();
+        let mut fb = Framebuffer::new(self.width, self.height);
+        let ids: Vec<PixelId> = unit.region.pixel_ids(self.width).collect();
+        render_pixels(
+            &scene,
+            &accel,
+            &self.cfg.settings,
+            &mut fb,
+            ids.iter().copied(),
+            &mut NullListener,
+            &mut rays,
+        );
+        let pixels: Vec<(PixelId, [u8; 3])> = ids
+            .iter()
+            .map(|&id| {
+                let (r, g, b) = fb.get_id(id).to_u8();
+                (id, [r, g, b])
+            })
+            .collect();
+        let work = self.cfg.cost.render_work(&rays, 0, 0);
+        let cost = WorkCost {
+            work_units: work,
+            result_bytes: (pixels.len() * 7 + 32) as u64,
+            working_set_mb: (unit.region.len() as f64 * 48.0) / (1024.0 * 1024.0),
+        };
+        (UnitOutput { pixels, rays, marks: 0 }, cost)
+    }
+}
+
+impl WorkerLogic for FarmWorker {
+    type Unit = RenderUnit;
+    type Result = UnitOutput;
+
+    fn perform(&mut self, unit: &RenderUnit) -> (UnitOutput, WorkCost) {
+        if self.cfg.coherence {
+            self.perform_coherent(unit)
+        } else {
+            self.perform_plain(unit)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Master
+// ---------------------------------------------------------------------
+
+/// Master-side logic: scheduling, frame assembly, Targa writing.
+pub struct FarmMaster {
+    scheduler: Scheduler,
+    frames: u32,
+    file_write_s: f64,
+    keep_frames: bool,
+    /// rolling canvas of quantised pixels
+    canvas: Vec<[u8; 3]>,
+    /// per-frame pending updates and how many region-updates have arrived
+    pending: BTreeMap<u32, PendingFrame>,
+    next_finalize: u32,
+    /// fingerprints of finalized frames, in order
+    pub frame_hashes: Vec<u64>,
+    /// full frames if `keep_frames`
+    pub frames_rgb: Vec<Vec<[u8; 3]>>,
+    /// aggregate ray counters
+    pub rays: RayStats,
+    /// aggregate coherence marks
+    pub marks: u64,
+    /// total pixels shipped by workers
+    pub pixels_shipped: u64,
+    /// units completed
+    pub units_done: u64,
+}
+
+impl FarmMaster {
+    /// Create the master for an animation and configuration.
+    pub fn new(anim: &Animation, cfg: &FarmConfig, workers: usize) -> FarmMaster {
+        let width = anim.base.camera.width();
+        let height = anim.base.camera.height();
+        let frames = anim.frames as u32;
+        FarmMaster {
+            scheduler: Scheduler::new(cfg.scheme, width, height, frames, workers),
+            frames,
+            file_write_s: cfg.cost.file_write_work(width, height),
+            keep_frames: cfg.keep_frames,
+            canvas: vec![[0u8; 3]; (width * height) as usize],
+            pending: BTreeMap::new(),
+            next_finalize: 0,
+            frame_hashes: Vec::new(),
+            frames_rgb: Vec::new(),
+            rays: RayStats::default(),
+            marks: 0,
+            pixels_shipped: 0,
+            units_done: 0,
+        }
+    }
+
+    /// Number of frames fully assembled and "written".
+    pub fn frames_finalized(&self) -> usize {
+        self.frame_hashes.len()
+    }
+
+    fn try_finalize(&mut self) -> usize {
+        let needed = self.scheduler.regions_per_frame();
+        let mut finalized = 0;
+        while self.next_finalize < self.frames {
+            match self.pending.get(&self.next_finalize) {
+                Some((_, count)) if *count == needed => {}
+                _ => break,
+            }
+            let (updates, _) = self.pending.remove(&self.next_finalize).expect("checked");
+            for (id, rgb) in updates {
+                self.canvas[id as usize] = rgb;
+            }
+            self.frame_hashes
+                .push(fnv1a(self.canvas.iter().flatten().copied()));
+            if self.keep_frames {
+                self.frames_rgb.push(self.canvas.clone());
+            }
+            self.next_finalize += 1;
+            finalized += 1;
+        }
+        finalized
+    }
+}
+
+impl MasterLogic for FarmMaster {
+    type Unit = RenderUnit;
+    type Result = UnitOutput;
+
+    fn assign(&mut self, worker: usize) -> Option<RenderUnit> {
+        self.scheduler.next_unit(worker)
+    }
+
+    fn integrate(&mut self, _worker: usize, unit: RenderUnit, result: UnitOutput) -> MasterWork {
+        self.rays.merge(&result.rays);
+        self.marks += result.marks;
+        self.pixels_shipped += result.pixels.len() as u64;
+        self.units_done += 1;
+        let entry = self.pending.entry(unit.frame).or_default();
+        entry.0.extend(result.pixels);
+        entry.1 += 1;
+        let finalized = self.try_finalize();
+        MasterWork {
+            work_units: finalized as f64 * self.file_write_s,
+            overlappable: true,
+        }
+    }
+
+    fn unit_bytes(&self, _unit: &RenderUnit) -> u64 {
+        48
+    }
+}
+
+// ---------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------
+
+/// Result of a farm run.
+#[derive(Debug, Clone)]
+pub struct FarmResult {
+    /// Timing report from the backend (virtual seconds on the simulator,
+    /// wall seconds on threads).
+    pub report: now_cluster::RunReport,
+    /// Fingerprints of the finished frames in order.
+    pub frame_hashes: Vec<u64>,
+    /// Finished frames (quantised RGB) if `keep_frames` was set.
+    pub frames_rgb: Vec<Vec<[u8; 3]>>,
+    /// Total rays fired across the cluster.
+    pub rays: RayStats,
+    /// Total coherence marks across the cluster.
+    pub marks: u64,
+    /// Total pixels shipped worker → master.
+    pub pixels_shipped: u64,
+    /// Units completed.
+    pub units_done: u64,
+}
+
+fn shared_spec(anim: &Animation, cfg: &FarmConfig) -> GridSpec {
+    GridSpec::for_scene(anim.swept_bounds(), cfg.grid_voxels)
+}
+
+fn collect(master: FarmMaster, report: now_cluster::RunReport, frames: u32) -> FarmResult {
+    assert_eq!(
+        master.frames_finalized() as u32,
+        frames,
+        "every frame must be assembled and written"
+    );
+    FarmResult {
+        report,
+        frame_hashes: master.frame_hashes,
+        frames_rgb: master.frames_rgb,
+        rays: master.rays,
+        marks: master.marks,
+        pixels_shipped: master.pixels_shipped,
+        units_done: master.units_done,
+    }
+}
+
+/// Run the farm on the discrete-event simulator (one worker per machine).
+pub fn run_sim(anim: &Animation, cfg: &FarmConfig, cluster: &SimCluster) -> FarmResult {
+    let spec = shared_spec(anim, cfg);
+    let anim = Arc::new(anim.clone());
+    let master = FarmMaster::new(&anim, cfg, cluster.machines.len());
+    let workers: Vec<FarmWorker> = cluster
+        .machines
+        .iter()
+        .map(|_| FarmWorker::new(Arc::clone(&anim), spec, cfg.clone()))
+        .collect();
+    let frames = anim.frames as u32;
+    let (master, report) = cluster.run(master, workers);
+    collect(master, report, frames)
+}
+
+/// Run the farm on real threads.
+pub fn run_threads(anim: &Animation, cfg: &FarmConfig, n_workers: usize) -> FarmResult {
+    let spec = shared_spec(anim, cfg);
+    let anim = Arc::new(anim.clone());
+    let master = FarmMaster::new(&anim, cfg, n_workers);
+    let workers: Vec<FarmWorker> = (0..n_workers)
+        .map(|_| FarmWorker::new(Arc::clone(&anim), spec, cfg.clone()))
+        .collect();
+    let frames = anim.frames as u32;
+    let (master, report) = ThreadCluster::new(n_workers).run(master, workers);
+    collect(master, report, frames)
+}
+
+/// Convenience: the paper's 3-machine simulated cluster.
+pub fn paper_cluster() -> SimCluster {
+    SimCluster::new(MachineSpec::paper_cluster())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::single::{render_sequence, SequenceMode};
+    use now_anim::scenes::glassball;
+
+    const W: u32 = 40;
+    const H: u32 = 32;
+    const FRAMES: usize = 5;
+
+    fn anim() -> Animation {
+        glassball::animation_sized(W, H, FRAMES)
+    }
+
+    fn reference_hashes(anim: &Animation, cfg: &FarmConfig) -> Vec<u64> {
+        let (frames, _) = render_sequence(
+            anim,
+            &cfg.settings,
+            &cfg.cost,
+            SequenceMode::Plain,
+            crate::single::SingleMachine::unit(),
+            cfg.grid_voxels,
+        );
+        frames.iter().map(frame_hash).collect()
+    }
+
+    fn cfg(scheme: PartitionScheme, coherence: bool) -> FarmConfig {
+        FarmConfig {
+            scheme,
+            coherence,
+            settings: RenderSettings::default(),
+            cost: CostModel::default(),
+            grid_voxels: 4096,
+            keep_frames: false,
+        }
+    }
+
+    #[test]
+    fn sim_frame_division_coherent_matches_reference() {
+        let anim = anim();
+        let cfg = cfg(
+            PartitionScheme::FrameDivision { tile_w: 16, tile_h: 16, adaptive: true },
+            true,
+        );
+        let result = run_sim(&anim, &cfg, &paper_cluster());
+        assert_eq!(result.frame_hashes, reference_hashes(&anim, &cfg));
+        assert_eq!(result.units_done as usize, 6 * FRAMES); // 3x2 tiles
+        assert!(result.report.makespan_s > 0.0);
+    }
+
+    #[test]
+    fn sim_sequence_division_coherent_matches_reference() {
+        let anim = anim();
+        let cfg = cfg(PartitionScheme::SequenceDivision { adaptive: true }, true);
+        let result = run_sim(&anim, &cfg, &paper_cluster());
+        assert_eq!(result.frame_hashes, reference_hashes(&anim, &cfg));
+    }
+
+    #[test]
+    fn sim_plain_distribution_matches_reference() {
+        let anim = anim();
+        let cfg = cfg(
+            PartitionScheme::FrameDivision { tile_w: 16, tile_h: 16, adaptive: true },
+            false,
+        );
+        let result = run_sim(&anim, &cfg, &paper_cluster());
+        assert_eq!(result.frame_hashes, reference_hashes(&anim, &cfg));
+        assert_eq!(result.marks, 0);
+    }
+
+    #[test]
+    fn sim_hybrid_matches_reference() {
+        let anim = anim();
+        let cfg = cfg(
+            PartitionScheme::Hybrid { tile_w: 20, tile_h: 16, subseq: 2 },
+            true,
+        );
+        let result = run_sim(&anim, &cfg, &paper_cluster());
+        assert_eq!(result.frame_hashes, reference_hashes(&anim, &cfg));
+    }
+
+    #[test]
+    fn threads_backend_matches_reference() {
+        let anim = anim();
+        let cfg = cfg(
+            PartitionScheme::FrameDivision { tile_w: 16, tile_h: 16, adaptive: true },
+            true,
+        );
+        let result = run_threads(&anim, &cfg, 3);
+        assert_eq!(result.frame_hashes, reference_hashes(&anim, &cfg));
+    }
+
+    #[test]
+    fn coherence_reduces_rays_and_traffic() {
+        let anim = anim();
+        let scheme = PartitionScheme::FrameDivision { tile_w: 16, tile_h: 16, adaptive: true };
+        let with = run_sim(&anim, &cfg(scheme, true), &paper_cluster());
+        let without = run_sim(&anim, &cfg(scheme, false), &paper_cluster());
+        assert!(with.rays.total_rays() < without.rays.total_rays());
+        assert!(with.pixels_shipped < without.pixels_shipped);
+        assert!(with.report.makespan_s < without.report.makespan_s);
+    }
+
+    #[test]
+    fn keep_frames_returns_full_pixels() {
+        let anim = anim();
+        let mut c = cfg(PartitionScheme::SequenceDivision { adaptive: true }, true);
+        c.keep_frames = true;
+        let result = run_sim(&anim, &c, &paper_cluster());
+        assert_eq!(result.frames_rgb.len(), FRAMES);
+        assert_eq!(result.frames_rgb[0].len(), (W * H) as usize);
+        // hash of kept pixels matches the recorded fingerprint
+        let h = {
+            let mut acc = 0xcbf29ce484222325u64;
+            for b in result.frames_rgb[2].iter().flatten() {
+                acc ^= *b as u64;
+                acc = acc.wrapping_mul(0x100000001b3);
+            }
+            acc
+        };
+        assert_eq!(h, result.frame_hashes[2]);
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # now-core
+//!
+//! The paper's system: rendering computer animations on a network of
+//! workstations by combining the frame-coherence algorithm
+//! (`now-coherence`) with master/slave distribution (`now-cluster`).
+//!
+//! * [`cost`] — the calibrated cost model mapping real measured work
+//!   (rays traced, voxels marked, pixels shaded, bytes written) to
+//!   virtual seconds on a speed-1.0 workstation; both the single-processor
+//!   timings and the cluster simulation are priced through it.
+//! * [`single`] — single-processor baselines: plain per-frame rendering
+//!   and frame-coherent rendering (Table 1 columns 1–3).
+//! * [`partition`] — the data-partitioning schemes of Section 3:
+//!   **sequence division** (contiguous frame subsequences per processor,
+//!   adaptively subdivided) and **frame division** (80x80 sub-areas
+//!   rendered across the whole sequence, demand-driven), plus the hybrid
+//!   and the per-pixel extreme the paper discusses.
+//! * [`farm`] — the render farm itself: [`farm::FarmMaster`] /
+//!   [`farm::FarmWorker`] implement the `now-cluster` master/worker
+//!   interface, so one implementation runs on both the discrete-event
+//!   simulator (paper reproduction) and real threads (wall-clock runs).
+
+pub mod cost;
+pub mod farm;
+pub mod partition;
+pub mod single;
+
+pub use cost::CostModel;
+pub use farm::{run_sim, run_threads, FarmConfig, FarmMaster, FarmResult, FarmWorker};
+pub use partition::PartitionScheme;
+pub use single::{render_sequence, SequenceMode, SequenceReport, SingleMachine};

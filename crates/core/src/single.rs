@@ -1,0 +1,256 @@
+//! Single-processor sequence rendering (Table 1, columns 1–3).
+
+use crate::cost::CostModel;
+use now_anim::Animation;
+use now_coherence::CoherentRenderer;
+use now_grid::GridSpec;
+use now_raytrace::{
+    render_frame, Framebuffer, GridAccel, NullListener, RayStats, RenderSettings,
+};
+
+/// The (virtual) workstation a single-processor run executes on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SingleMachine {
+    /// Relative speed (the paper's fast SGI is 2.0).
+    pub speed: f64,
+    /// Main memory in MB; working sets beyond it page.
+    pub memory_mb: f64,
+    /// Slowdown multiplier applied to the paged fraction of the working
+    /// set (same excess-fraction model as the cluster simulator).
+    pub paging_factor: f64,
+}
+
+impl SingleMachine {
+    /// The paper's fastest machine: SGI Indigo2, 200 MHz, 64 MB.
+    pub fn fastest() -> SingleMachine {
+        SingleMachine { speed: 2.0, memory_mb: 64.0, paging_factor: 2.5 }
+    }
+
+    /// A speed-1.0 machine with unlimited memory (cost-model units).
+    pub fn unit() -> SingleMachine {
+        SingleMachine { speed: 1.0, memory_mb: f64::INFINITY, paging_factor: 1.0 }
+    }
+
+    /// Speed-only machine with unlimited memory.
+    pub fn with_speed(speed: f64) -> SingleMachine {
+        SingleMachine { speed, memory_mb: f64::INFINITY, paging_factor: 1.0 }
+    }
+
+    /// Seconds to execute `work` CPU-seconds with a working set of
+    /// `ws_mb` MB.
+    pub fn time_for(&self, work: f64, ws_mb: f64) -> f64 {
+        let mut t = work / self.speed;
+        if ws_mb > self.memory_mb && ws_mb > 0.0 {
+            let excess = (ws_mb - self.memory_mb) / ws_mb;
+            t *= 1.0 + (self.paging_factor - 1.0) * excess;
+        }
+        t
+    }
+}
+
+/// Whether the single-processor run uses the frame-coherence algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SequenceMode {
+    /// Render every frame from scratch (POV-Ray's default behaviour:
+    /// "they produce successive frames individually from the scene
+    /// description").
+    Plain,
+    /// The paper's frame-coherence algorithm at pixel granularity.
+    Coherent,
+    /// Jevans-style block coherence with the given block edge.
+    BlockCoherent(u32),
+}
+
+/// Timing/byte report for a single-processor sequence run.
+#[derive(Debug, Clone)]
+pub struct SequenceReport {
+    /// Mode the run used.
+    pub mode_coherent: bool,
+    /// Virtual seconds for the first frame (including coherence overhead
+    /// and its file write).
+    pub first_frame_s: f64,
+    /// Mean virtual seconds per frame.
+    pub avg_frame_s: f64,
+    /// Total virtual seconds for the whole run.
+    pub total_s: f64,
+    /// Total rays fired.
+    pub rays: RayStats,
+    /// Total coherence voxel marks.
+    pub marks: u64,
+    /// Pixels recomputed per frame.
+    pub pixels_per_frame: Vec<u64>,
+    /// Virtual seconds per frame.
+    pub frame_s: Vec<f64>,
+    /// Peak coherence memory (bytes).
+    pub peak_memory_bytes: usize,
+}
+
+/// Render a whole animation on one (virtual) processor.
+///
+/// The paper's single-processor baseline ran on the fast 200 MHz machine
+/// ([`SingleMachine::fastest`]). Returned framebuffers are the finished
+/// frames, byte-identical to what any other mode produces.
+pub fn render_sequence(
+    anim: &Animation,
+    settings: &RenderSettings,
+    cost: &CostModel,
+    mode: SequenceMode,
+    machine: SingleMachine,
+    grid_voxels: u32,
+) -> (Vec<Framebuffer>, SequenceReport) {
+    let width = anim.base.camera.width();
+    let height = anim.base.camera.height();
+    let spec = GridSpec::for_scene(anim.swept_bounds(), grid_voxels);
+    let file_write = cost.file_write_work(width, height);
+    let total_pixels = (width as u64) * (height as u64);
+
+    let mut frames = Vec::with_capacity(anim.frames);
+    let mut frame_s = Vec::with_capacity(anim.frames);
+    let mut pixels_per_frame = Vec::with_capacity(anim.frames);
+    let mut total_rays = RayStats::default();
+    let mut total_marks = 0u64;
+    let mut peak_mem = 0usize;
+
+    match mode {
+        SequenceMode::Plain => {
+            for f in 0..anim.frames {
+                let scene = anim.scene_at(f);
+                let accel = GridAccel::build_with_spec(&scene, spec);
+                let mut rays = RayStats::default();
+                let fb = render_frame(&scene, &accel, settings, &mut NullListener, &mut rays);
+                let work = cost.render_work(&rays, 0, 0) + file_write;
+                let ws_mb = (width as f64 * height as f64 * 48.0) / (1024.0 * 1024.0);
+                frame_s.push(machine.time_for(work, ws_mb));
+                pixels_per_frame.push(rays.pixels);
+                total_rays.merge(&rays);
+                frames.push(fb);
+            }
+        }
+        SequenceMode::Coherent | SequenceMode::BlockCoherent(_) => {
+            let block = match mode {
+                SequenceMode::BlockCoherent(b) => b,
+                _ => 1,
+            };
+            let mut renderer = CoherentRenderer::with_region_and_block(
+                spec,
+                width,
+                height,
+                now_coherence::PixelRegion::full(width, height),
+                block,
+                settings.clone(),
+            );
+            let mut prev_marks = 0u64;
+            for f in 0..anim.frames {
+                let scene = anim.scene_at(f);
+                let (fb, report) = renderer.render_next(&scene);
+                let marks = report.coherence.marks - prev_marks;
+                prev_marks = report.coherence.marks;
+                let copied = total_pixels - report.pixels_rendered as u64;
+                let work = cost.render_work(&report.rays, marks, copied) + file_write;
+                let ws_mb = (report.memory_bytes as f64
+                    + width as f64 * height as f64 * 48.0)
+                    / (1024.0 * 1024.0);
+                frame_s.push(machine.time_for(work, ws_mb));
+                pixels_per_frame.push(report.pixels_rendered as u64);
+                total_rays.merge(&report.rays);
+                total_marks += marks;
+                peak_mem = peak_mem.max(report.memory_bytes);
+                frames.push(fb);
+            }
+        }
+    }
+
+    let total_s: f64 = frame_s.iter().sum();
+    let report = SequenceReport {
+        mode_coherent: !matches!(mode, SequenceMode::Plain),
+        first_frame_s: frame_s.first().copied().unwrap_or(0.0),
+        avg_frame_s: if frame_s.is_empty() { 0.0 } else { total_s / frame_s.len() as f64 },
+        total_s,
+        rays: total_rays,
+        marks: total_marks,
+        pixels_per_frame,
+        frame_s,
+        peak_memory_bytes: peak_mem,
+    };
+    (frames, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use now_anim::scenes::glassball;
+
+    fn small_anim() -> Animation {
+        glassball::animation_sized(40, 30, 6)
+    }
+
+    #[test]
+    fn coherent_and_plain_produce_identical_frames() {
+        let anim = small_anim();
+        let settings = RenderSettings::default();
+        let cost = CostModel::default();
+        let (plain, rp) = render_sequence(&anim, &settings, &cost, SequenceMode::Plain, SingleMachine::fastest(), 4096);
+        let (coh, rc) =
+            render_sequence(&anim, &settings, &cost, SequenceMode::Coherent, SingleMachine::fastest(), 4096);
+        assert_eq!(plain.len(), 6);
+        for (i, (a, b)) in plain.iter().zip(coh.iter()).enumerate() {
+            assert!(a.same_image(b), "frame {i} differs");
+        }
+        // coherence fires fewer rays and finishes faster
+        assert!(rc.rays.total_rays() < rp.rays.total_rays());
+        assert!(rc.total_s < rp.total_s);
+        assert!(!rp.mode_coherent && rc.mode_coherent);
+    }
+
+    #[test]
+    fn first_frame_overhead_is_modest() {
+        let anim = small_anim();
+        let settings = RenderSettings::default();
+        let cost = CostModel::default();
+        let (_, rp) = render_sequence(&anim, &settings, &cost, SequenceMode::Plain, SingleMachine::fastest(), 4096);
+        let (_, rc) = render_sequence(&anim, &settings, &cost, SequenceMode::Coherent, SingleMachine::fastest(), 4096);
+        let overhead = rc.first_frame_s / rp.first_frame_s - 1.0;
+        // the paper reports ~12%; accept a sane band
+        assert!(
+            (0.0..0.6).contains(&overhead),
+            "first frame coherence overhead {overhead:.3}"
+        );
+    }
+
+    #[test]
+    fn block_coherent_matches_images_but_recomputes_more() {
+        let anim = small_anim();
+        let settings = RenderSettings::default();
+        let cost = CostModel::default();
+        let (coh, rc) =
+            render_sequence(&anim, &settings, &cost, SequenceMode::Coherent, SingleMachine::unit(), 4096);
+        let (blk, rb) = render_sequence(
+            &anim,
+            &settings,
+            &cost,
+            SequenceMode::BlockCoherent(8),
+            SingleMachine::unit(),
+            4096,
+        );
+        for (a, b) in coh.iter().zip(blk.iter()) {
+            assert!(a.same_image(b));
+        }
+        let coh_px: u64 = rc.pixels_per_frame[1..].iter().sum();
+        let blk_px: u64 = rb.pixels_per_frame[1..].iter().sum();
+        assert!(blk_px >= coh_px);
+    }
+
+    #[test]
+    fn speed_divides_time() {
+        let anim = small_anim();
+        let settings = RenderSettings::default();
+        let cost = CostModel::default();
+        let (_, slow) = render_sequence(
+            &anim, &settings, &cost, SequenceMode::Plain, SingleMachine::with_speed(1.0), 4096,
+        );
+        let (_, fast) = render_sequence(
+            &anim, &settings, &cost, SequenceMode::Plain, SingleMachine::with_speed(2.0), 4096,
+        );
+        assert!((slow.total_s / fast.total_s - 2.0).abs() < 1e-9);
+    }
+}

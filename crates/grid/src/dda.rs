@@ -1,0 +1,343 @@
+//! 3-D DDA grid traversal (Amanatides & Woo).
+//!
+//! The paper: "Each of these rays passes through a modified 3D-DDA algorithm
+//! to determine which voxels they traverse." This module is that algorithm,
+//! exposed both as an iterator ([`GridTraversal`]) and as a visitor helper
+//! ([`GridSpec::traverse`] via the extension trait below).
+
+use crate::spec::{GridSpec, Voxel};
+use now_math::{Interval, Ray};
+
+/// One step of a DDA walk: the voxel and the ray-parameter interval the ray
+/// spends inside it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DdaStep {
+    /// The voxel being crossed.
+    pub voxel: Voxel,
+    /// Ray parameter at which the ray enters the voxel.
+    pub t_enter: f64,
+    /// Ray parameter at which the ray leaves the voxel.
+    pub t_exit: f64,
+}
+
+/// Iterator over the voxels a ray crosses, in order of increasing `t`.
+///
+/// Construct with [`GridTraversal::new`]; yields nothing if the ray misses
+/// the grid entirely.
+///
+/// ```
+/// use now_grid::{GridSpec, GridTraversal};
+/// use now_math::{Aabb, Interval, Point3, Ray, Vec3};
+///
+/// let spec = GridSpec::cubic(Aabb::new(Point3::ZERO, Point3::splat(4.0)), 4);
+/// let ray = Ray::new(Point3::new(-1.0, 0.5, 0.5), Vec3::UNIT_X);
+/// let voxels: Vec<_> = GridTraversal::new(&spec, &ray, Interval::non_negative())
+///     .map(|step| step.voxel.x)
+///     .collect();
+/// assert_eq!(voxels, vec![0, 1, 2, 3]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridTraversal {
+    spec: GridSpec,
+    // current voxel coordinates as signed values so stepping off the grid is
+    // representable
+    ix: i32,
+    iy: i32,
+    iz: i32,
+    step: [i32; 3],
+    // t at which the ray crosses the *next* boundary on each axis
+    t_max: [f64; 3],
+    // t advance per voxel on each axis
+    t_delta: [f64; 3],
+    // current entry t and overall exit t
+    t: f64,
+    t_end: f64,
+    done: bool,
+}
+
+impl GridTraversal {
+    /// Start a traversal of `ray` (direction need not be unit length) clipped
+    /// to `t_range` and to the grid bounds.
+    pub fn new(spec: &GridSpec, ray: &Ray, t_range: Interval) -> GridTraversal {
+        let clipped = spec.bounds.ray_range(ray, t_range);
+        if clipped.is_empty() || clipped.length() <= 0.0 {
+            return GridTraversal {
+                spec: *spec,
+                ix: 0,
+                iy: 0,
+                iz: 0,
+                step: [0; 3],
+                t_max: [0.0; 3],
+                t_delta: [0.0; 3],
+                t: 0.0,
+                t_end: -1.0,
+                done: true,
+            };
+        }
+        let t0 = clipped.min;
+        let t1 = clipped.max;
+        // Nudge the entry point inside the boundary voxel to sidestep the
+        // exact-boundary ambiguity, then clamp.
+        let entry = ray.at(t0 + 1e-12 * (1.0 + t0.abs()));
+        let start = spec.voxel_of_clamped(entry);
+        let size = spec.voxel_size();
+        let bmin = spec.bounds.min;
+
+        let mut step = [0i32; 3];
+        let mut t_max = [f64::INFINITY; 3];
+        let mut t_delta = [f64::INFINITY; 3];
+        let idx = [start.x as i32, start.y as i32, start.z as i32];
+        let dir = [ray.dir.x, ray.dir.y, ray.dir.z];
+        let orig = [ray.origin.x, ray.origin.y, ray.origin.z];
+        let sz = [size.x, size.y, size.z];
+        let bm = [bmin.x, bmin.y, bmin.z];
+        for a in 0..3 {
+            if dir[a] > 0.0 {
+                step[a] = 1;
+                let boundary = bm[a] + (idx[a] as f64 + 1.0) * sz[a];
+                t_max[a] = (boundary - orig[a]) / dir[a];
+                t_delta[a] = sz[a] / dir[a];
+            } else if dir[a] < 0.0 {
+                step[a] = -1;
+                let boundary = bm[a] + idx[a] as f64 * sz[a];
+                t_max[a] = (boundary - orig[a]) / dir[a];
+                t_delta[a] = -sz[a] / dir[a];
+            }
+        }
+        GridTraversal {
+            spec: *spec,
+            ix: idx[0],
+            iy: idx[1],
+            iz: idx[2],
+            step,
+            t_max,
+            t_delta,
+            t: t0,
+            t_end: t1,
+            done: false,
+        }
+    }
+
+    #[inline]
+    fn current_voxel(&self) -> Option<Voxel> {
+        if self.ix < 0
+            || self.iy < 0
+            || self.iz < 0
+            || self.ix >= self.spec.res[0] as i32
+            || self.iy >= self.spec.res[1] as i32
+            || self.iz >= self.spec.res[2] as i32
+        {
+            None
+        } else {
+            Some(Voxel::new(self.ix as u16, self.iy as u16, self.iz as u16))
+        }
+    }
+}
+
+impl Iterator for GridTraversal {
+    type Item = DdaStep;
+
+    fn next(&mut self) -> Option<DdaStep> {
+        if self.done {
+            return None;
+        }
+        let voxel = match self.current_voxel() {
+            Some(v) => v,
+            None => {
+                self.done = true;
+                return None;
+            }
+        };
+        // the nearest upcoming boundary crossing
+        let (axis, t_next) = {
+            let mut axis = 0;
+            let mut t_next = self.t_max[0];
+            if self.t_max[1] < t_next {
+                axis = 1;
+                t_next = self.t_max[1];
+            }
+            if self.t_max[2] < t_next {
+                axis = 2;
+                t_next = self.t_max[2];
+            }
+            (axis, t_next)
+        };
+        let t_exit = t_next.min(self.t_end);
+        let out = DdaStep { voxel, t_enter: self.t, t_exit };
+        if t_next >= self.t_end {
+            self.done = true;
+        } else {
+            self.t = t_next;
+            self.t_max[axis] += self.t_delta[axis];
+            match axis {
+                0 => self.ix += self.step[0],
+                1 => self.iy += self.step[1],
+                _ => self.iz += self.step[2],
+            }
+        }
+        Some(out)
+    }
+}
+
+/// Visitor-style traversal helpers on [`GridSpec`].
+pub trait Traverse {
+    /// Call `f` for every voxel the ray crosses (in order); stop early if
+    /// `f` returns `false`.
+    fn traverse(&self, ray: &Ray, t_range: Interval, f: impl FnMut(DdaStep) -> bool);
+
+    /// Collect every voxel the ray crosses.
+    fn traverse_vec(&self, ray: &Ray, t_range: Interval) -> Vec<Voxel>;
+}
+
+impl Traverse for GridSpec {
+    fn traverse(&self, ray: &Ray, t_range: Interval, mut f: impl FnMut(DdaStep) -> bool) {
+        for step in GridTraversal::new(self, ray, t_range) {
+            if !f(step) {
+                break;
+            }
+        }
+    }
+
+    fn traverse_vec(&self, ray: &Ray, t_range: Interval) -> Vec<Voxel> {
+        GridTraversal::new(self, ray, t_range).map(|s| s.voxel).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use now_math::{Aabb, Point3, Vec3};
+
+    fn grid4() -> GridSpec {
+        GridSpec::cubic(Aabb::new(Point3::ZERO, Point3::splat(4.0)), 4)
+    }
+
+    #[test]
+    fn straight_x_crossing() {
+        let g = grid4();
+        let ray = Ray::new(Point3::new(-1.0, 0.5, 0.5), Vec3::UNIT_X);
+        let vs = g.traverse_vec(&ray, Interval::non_negative());
+        assert_eq!(
+            vs,
+            vec![
+                Voxel::new(0, 0, 0),
+                Voxel::new(1, 0, 0),
+                Voxel::new(2, 0, 0),
+                Voxel::new(3, 0, 0)
+            ]
+        );
+    }
+
+    #[test]
+    fn reverse_direction_crossing() {
+        let g = grid4();
+        let ray = Ray::new(Point3::new(5.0, 0.5, 0.5), -Vec3::UNIT_X);
+        let vs = g.traverse_vec(&ray, Interval::non_negative());
+        assert_eq!(
+            vs,
+            vec![
+                Voxel::new(3, 0, 0),
+                Voxel::new(2, 0, 0),
+                Voxel::new(1, 0, 0),
+                Voxel::new(0, 0, 0)
+            ]
+        );
+    }
+
+    #[test]
+    fn miss_yields_nothing() {
+        let g = grid4();
+        let ray = Ray::new(Point3::new(-1.0, 9.0, 0.5), Vec3::UNIT_X);
+        assert!(g.traverse_vec(&ray, Interval::non_negative()).is_empty());
+        // pointing away from the grid
+        let ray2 = Ray::new(Point3::new(-1.0, 0.5, 0.5), -Vec3::UNIT_X);
+        assert!(g.traverse_vec(&ray2, Interval::non_negative()).is_empty());
+    }
+
+    #[test]
+    fn ray_starting_inside() {
+        let g = grid4();
+        let ray = Ray::new(Point3::new(2.5, 2.5, 2.5), Vec3::UNIT_Z);
+        let vs = g.traverse_vec(&ray, Interval::non_negative());
+        assert_eq!(vs, vec![Voxel::new(2, 2, 2), Voxel::new(2, 2, 3)]);
+    }
+
+    #[test]
+    fn clipped_t_range_limits_walk() {
+        let g = grid4();
+        let ray = Ray::new(Point3::new(0.5, 0.5, 0.5), Vec3::UNIT_X);
+        // only allowed to travel up to t = 1.2: voxels 0 and 1
+        let vs = g.traverse_vec(&ray, Interval::new(0.0, 1.2));
+        assert_eq!(vs, vec![Voxel::new(0, 0, 0), Voxel::new(1, 0, 0)]);
+    }
+
+    #[test]
+    fn diagonal_walk_is_connected_and_monotone() {
+        let g = grid4();
+        let ray = Ray::new(Point3::new(-0.1, -0.2, -0.3), Vec3::new(1.0, 1.1, 1.2).normalized());
+        let steps: Vec<DdaStep> = GridTraversal::new(&g, &ray, Interval::non_negative()).collect();
+        assert!(!steps.is_empty());
+        for w in steps.windows(2) {
+            // consecutive voxels differ by exactly one step on one axis
+            let (a, b) = (w[0].voxel, w[1].voxel);
+            let d = (a.x as i32 - b.x as i32).abs()
+                + (a.y as i32 - b.y as i32).abs()
+                + (a.z as i32 - b.z as i32).abs();
+            assert_eq!(d, 1, "voxel walk must be 6-connected: {a:?} -> {b:?}");
+            // t intervals chain
+            assert!((w[0].t_exit - w[1].t_enter).abs() < 1e-9);
+        }
+        // intervals are non-degenerate and increasing
+        for s in &steps {
+            assert!(s.t_exit >= s.t_enter);
+        }
+    }
+
+    #[test]
+    fn step_intervals_cover_clipped_range() {
+        let g = grid4();
+        let ray = Ray::new(Point3::new(-2.0, 1.7, 3.2), Vec3::new(1.0, 0.3, -0.4).normalized());
+        let clipped = g.bounds.ray_range(&ray, Interval::non_negative());
+        let steps: Vec<DdaStep> = GridTraversal::new(&g, &ray, Interval::non_negative()).collect();
+        assert!(!steps.is_empty());
+        assert!((steps.first().unwrap().t_enter - clipped.min).abs() < 1e-9);
+        assert!((steps.last().unwrap().t_exit - clipped.max).abs() < 1e-9);
+    }
+
+    #[test]
+    fn midpoints_of_steps_lie_in_reported_voxel() {
+        let g = grid4();
+        let ray = Ray::new(Point3::new(0.1, 3.9, 0.1), Vec3::new(0.7, -0.6, 0.4).normalized());
+        for s in GridTraversal::new(&g, &ray, Interval::non_negative()) {
+            let mid = ray.at((s.t_enter + s.t_exit) * 0.5);
+            assert_eq!(g.voxel_of_clamped(mid), s.voxel);
+        }
+    }
+
+    #[test]
+    fn axis_aligned_boundary_ray_terminates() {
+        // A ray running exactly along a voxel boundary plane must still
+        // terminate and visit a consistent column of voxels.
+        let g = grid4();
+        let ray = Ray::new(Point3::new(2.0, 0.5, -1.0), Vec3::UNIT_Z);
+        let vs = g.traverse_vec(&ray, Interval::non_negative());
+        assert_eq!(vs.len(), 4);
+        for w in vs.windows(2) {
+            assert_eq!(w[1].z, w[0].z + 1);
+            assert_eq!(w[1].x, w[0].x);
+        }
+    }
+
+    #[test]
+    fn early_exit_visitor_stops() {
+        use super::Traverse;
+        let g = grid4();
+        let ray = Ray::new(Point3::new(-1.0, 0.5, 0.5), Vec3::UNIT_X);
+        let mut n = 0;
+        g.traverse(&ray, Interval::non_negative(), |_| {
+            n += 1;
+            n < 2
+        });
+        assert_eq!(n, 2);
+    }
+}

@@ -1,0 +1,300 @@
+//! Grid geometry: bounds, resolution, voxel indexing.
+
+use now_math::{Aabb, Point3, Vec3};
+
+/// Integer coordinates of one voxel in the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Voxel {
+    /// x index, `0..res[0]`.
+    pub x: u16,
+    /// y index, `0..res[1]`.
+    pub y: u16,
+    /// z index, `0..res[2]`.
+    pub z: u16,
+}
+
+impl Voxel {
+    /// Construct from components.
+    #[inline]
+    pub const fn new(x: u16, y: u16, z: u16) -> Voxel {
+        Voxel { x, y, z }
+    }
+}
+
+/// Geometry of a uniform grid: world bounds and per-axis resolution.
+///
+/// Resolutions are limited to `u16` per axis (more than enough: the paper
+/// used modest grids, and the pixel lists dominate memory long before the
+/// voxel count does).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridSpec {
+    /// World-space bounds covered by the grid.
+    pub bounds: Aabb,
+    /// Number of voxels along x, y, z.
+    pub res: [u16; 3],
+}
+
+impl GridSpec {
+    /// Create a grid spec. Panics if the bounds are empty/degenerate or any
+    /// resolution is zero.
+    pub fn new(bounds: Aabb, res: [u16; 3]) -> GridSpec {
+        assert!(!bounds.is_empty(), "grid bounds must be non-empty");
+        let e = bounds.extent();
+        assert!(
+            e.x > 0.0 && e.y > 0.0 && e.z > 0.0,
+            "grid bounds must have positive extent on every axis"
+        );
+        assert!(res.iter().all(|&r| r > 0), "grid resolution must be positive");
+        GridSpec { bounds, res }
+    }
+
+    /// Cubic-resolution grid (`n` voxels on every axis).
+    pub fn cubic(bounds: Aabb, n: u16) -> GridSpec {
+        GridSpec::new(bounds, [n, n, n])
+    }
+
+    /// Grid sized for a scene: bounds slightly expanded (so geometry on the
+    /// boundary is strictly interior) with a resolution chosen so voxels are
+    /// roughly cubical, targeting `target_voxels` total.
+    pub fn for_scene(scene_bounds: Aabb, target_voxels: u32) -> GridSpec {
+        let bounds = scene_bounds.expand(1e-4 * (1.0 + scene_bounds.extent().max_component()));
+        let e = bounds.extent();
+        let volume = (e.x * e.y * e.z).max(1e-30);
+        // voxel edge so that total count ~ target
+        let edge = (volume / target_voxels as f64).cbrt();
+        let res = [
+            ((e.x / edge).round().max(1.0) as u16).min(256),
+            ((e.y / edge).round().max(1.0) as u16).min(256),
+            ((e.z / edge).round().max(1.0) as u16).min(256),
+        ];
+        GridSpec::new(bounds, res)
+    }
+
+    /// Total number of voxels.
+    #[inline]
+    pub fn voxel_count(&self) -> usize {
+        self.res[0] as usize * self.res[1] as usize * self.res[2] as usize
+    }
+
+    /// World-space size of one voxel.
+    #[inline]
+    pub fn voxel_size(&self) -> Vec3 {
+        let e = self.bounds.extent();
+        Vec3::new(
+            e.x / self.res[0] as f64,
+            e.y / self.res[1] as f64,
+            e.z / self.res[2] as f64,
+        )
+    }
+
+    /// Linear index of a voxel (x fastest, then y, then z).
+    #[inline]
+    pub fn linear_index(&self, v: Voxel) -> usize {
+        debug_assert!(self.in_range(v));
+        (v.z as usize * self.res[1] as usize + v.y as usize) * self.res[0] as usize + v.x as usize
+    }
+
+    /// Voxel from a linear index.
+    #[inline]
+    pub fn voxel_from_linear(&self, i: usize) -> Voxel {
+        debug_assert!(i < self.voxel_count());
+        let rx = self.res[0] as usize;
+        let ry = self.res[1] as usize;
+        Voxel::new((i % rx) as u16, ((i / rx) % ry) as u16, (i / (rx * ry)) as u16)
+    }
+
+    /// True if the voxel coordinates are within the resolution.
+    #[inline]
+    pub fn in_range(&self, v: Voxel) -> bool {
+        v.x < self.res[0] && v.y < self.res[1] && v.z < self.res[2]
+    }
+
+    /// Voxel containing a point, or `None` if the point is outside the grid.
+    ///
+    /// Points exactly on the max boundary are assigned to the last voxel
+    /// (closed upper edge), so every point of `bounds` maps to some voxel.
+    pub fn voxel_of(&self, p: Point3) -> Option<Voxel> {
+        if !self.bounds.contains(p) {
+            return None;
+        }
+        Some(self.voxel_of_clamped(p))
+    }
+
+    /// Voxel containing a point, clamping points outside the grid onto the
+    /// nearest boundary voxel.
+    pub fn voxel_of_clamped(&self, p: Point3) -> Voxel {
+        let size = self.voxel_size();
+        let rel = p - self.bounds.min;
+        let idx = |r: f64, s: f64, n: u16| -> u16 {
+            let i = (r / s).floor();
+            if i < 0.0 {
+                0
+            } else if i >= n as f64 {
+                n - 1
+            } else {
+                i as u16
+            }
+        };
+        Voxel::new(
+            idx(rel.x, size.x, self.res[0]),
+            idx(rel.y, size.y, self.res[1]),
+            idx(rel.z, size.z, self.res[2]),
+        )
+    }
+
+    /// World bounds of one voxel.
+    pub fn voxel_bounds(&self, v: Voxel) -> Aabb {
+        debug_assert!(self.in_range(v));
+        let s = self.voxel_size();
+        let min = self.bounds.min
+            + Vec3::new(v.x as f64 * s.x, v.y as f64 * s.y, v.z as f64 * s.z);
+        Aabb::new(min, min + s)
+    }
+
+    /// Invoke `f` for every voxel overlapping the given AABB (closed-set
+    /// overlap: boxes touching a voxel face count).
+    ///
+    /// This is how the coherence engine turns "this object's bounds moved"
+    /// into a set of changed voxels.
+    pub fn voxels_overlapping(&self, b: &Aabb, mut f: impl FnMut(Voxel)) {
+        if b.is_empty() || !b.overlaps(&self.bounds) {
+            return;
+        }
+        let lo = self.voxel_of_clamped(b.min);
+        let hi = self.voxel_of_clamped(b.max);
+        for z in lo.z..=hi.z {
+            for y in lo.y..=hi.y {
+                for x in lo.x..=hi.x {
+                    f(Voxel::new(x, y, z));
+                }
+            }
+        }
+    }
+
+    /// Collect the voxels overlapping an AABB into a vector.
+    pub fn voxels_overlapping_vec(&self, b: &Aabb) -> Vec<Voxel> {
+        let mut out = Vec::new();
+        self.voxels_overlapping(b, |v| out.push(v));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> GridSpec {
+        GridSpec::new(Aabb::new(Point3::ZERO, Point3::new(10.0, 20.0, 40.0)), [5, 10, 20])
+    }
+
+    #[test]
+    fn voxel_size_and_count() {
+        let g = spec();
+        assert_eq!(g.voxel_count(), 5 * 10 * 20);
+        assert!(g.voxel_size().approx_eq(Vec3::new(2.0, 2.0, 2.0), 1e-12));
+    }
+
+    #[test]
+    fn linear_index_roundtrip() {
+        let g = spec();
+        for i in 0..g.voxel_count() {
+            let v = g.voxel_from_linear(i);
+            assert_eq!(g.linear_index(v), i);
+            assert!(g.in_range(v));
+        }
+    }
+
+    #[test]
+    fn voxel_of_interior_points() {
+        let g = spec();
+        assert_eq!(g.voxel_of(Point3::new(0.5, 0.5, 0.5)), Some(Voxel::new(0, 0, 0)));
+        assert_eq!(g.voxel_of(Point3::new(9.9, 19.9, 39.9)), Some(Voxel::new(4, 9, 19)));
+        // exactly on an interior boundary belongs to the upper voxel
+        assert_eq!(g.voxel_of(Point3::new(2.0, 0.0, 0.0)), Some(Voxel::new(1, 0, 0)));
+    }
+
+    #[test]
+    fn voxel_of_max_boundary_maps_to_last_voxel() {
+        let g = spec();
+        assert_eq!(g.voxel_of(Point3::new(10.0, 20.0, 40.0)), Some(Voxel::new(4, 9, 19)));
+    }
+
+    #[test]
+    fn voxel_of_outside_is_none_but_clamped_works() {
+        let g = spec();
+        assert_eq!(g.voxel_of(Point3::new(-1.0, 5.0, 5.0)), None);
+        assert_eq!(g.voxel_of_clamped(Point3::new(-1.0, 5.0, 5.0)), Voxel::new(0, 2, 2));
+        assert_eq!(g.voxel_of_clamped(Point3::new(99.0, 99.0, 99.0)), Voxel::new(4, 9, 19));
+    }
+
+    #[test]
+    fn voxel_bounds_tile_the_grid() {
+        let g = spec();
+        let mut total_volume = 0.0;
+        for i in 0..g.voxel_count() {
+            let b = g.voxel_bounds(g.voxel_from_linear(i));
+            total_volume += b.volume();
+            assert!(g.bounds.expand(1e-9).contains(b.min));
+            assert!(g.bounds.expand(1e-9).contains(b.max));
+        }
+        assert!((total_volume - g.bounds.volume()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn voxel_center_maps_back_to_itself() {
+        let g = spec();
+        for i in 0..g.voxel_count() {
+            let v = g.voxel_from_linear(i);
+            assert_eq!(g.voxel_of(g.voxel_bounds(v).center()), Some(v));
+        }
+    }
+
+    #[test]
+    fn overlap_rasterisation_counts() {
+        let g = spec();
+        // a box covering exactly one voxel interior
+        let vs = g.voxels_overlapping_vec(&Aabb::new(
+            Point3::new(0.5, 0.5, 0.5),
+            Point3::new(1.5, 1.5, 1.5),
+        ));
+        assert_eq!(vs, vec![Voxel::new(0, 0, 0)]);
+        // a box straddling a boundary covers two voxels
+        let vs = g.voxels_overlapping_vec(&Aabb::new(
+            Point3::new(1.5, 0.5, 0.5),
+            Point3::new(2.5, 1.5, 1.5),
+        ));
+        assert_eq!(vs.len(), 2);
+        // whole-grid box covers all voxels
+        let vs = g.voxels_overlapping_vec(&g.bounds);
+        assert_eq!(vs.len(), g.voxel_count());
+        // disjoint box covers nothing
+        assert!(g
+            .voxels_overlapping_vec(&Aabb::cube(Point3::new(-50.0, 0.0, 0.0), 1.0))
+            .is_empty());
+    }
+
+    #[test]
+    fn for_scene_targets_voxel_count() {
+        let g = GridSpec::for_scene(Aabb::cube(Point3::ZERO, 5.0), 32 * 32 * 32);
+        let n = g.voxel_count() as f64;
+        assert!(n > 16.0 * 16.0 * 16.0 && n < 64.0 * 64.0 * 64.0, "n = {n}");
+        // cubic scene -> near-cubic voxels
+        let s = g.voxel_size();
+        assert!((s.x - s.y).abs() < 0.2 * s.x && (s.y - s.z).abs() < 0.2 * s.y);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_resolution_rejected() {
+        let _ = GridSpec::new(Aabb::cube(Point3::ZERO, 1.0), [0, 4, 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn degenerate_bounds_rejected() {
+        let _ = GridSpec::new(
+            Aabb::new(Point3::ZERO, Point3::new(1.0, 0.0, 1.0)),
+            [2, 2, 2],
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Closed scalar interval, used for ray parameter ranges.
+
+/// A closed interval `[min, max]` on the real line.
+///
+/// An interval with `min > max` is *empty*; [`Interval::EMPTY`] is the
+/// canonical empty interval. Ray tracing uses intervals for the valid `t`
+/// range of a ray and for slab-test clipping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower endpoint.
+    pub min: f64,
+    /// Upper endpoint.
+    pub max: f64,
+}
+
+impl Interval {
+    /// The canonical empty interval.
+    pub const EMPTY: Interval = Interval { min: f64::INFINITY, max: f64::NEG_INFINITY };
+
+    /// The whole real line.
+    pub const UNIVERSE: Interval = Interval { min: f64::NEG_INFINITY, max: f64::INFINITY };
+
+    /// Construct `[min, max]`.
+    #[inline]
+    pub const fn new(min: f64, max: f64) -> Interval {
+        Interval { min, max }
+    }
+
+    /// Non-negative half line `[0, +inf)` — the natural range of a ray.
+    #[inline]
+    pub const fn non_negative() -> Interval {
+        Interval { min: 0.0, max: f64::INFINITY }
+    }
+
+    /// True if the interval contains no points.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.min > self.max
+    }
+
+    /// Width (`max - min`); negative for empty intervals.
+    #[inline]
+    pub fn length(self) -> f64 {
+        self.max - self.min
+    }
+
+    /// True if `x` lies in `[min, max]`.
+    #[inline]
+    pub fn contains(self, x: f64) -> bool {
+        self.min <= x && x <= self.max
+    }
+
+    /// True if `x` lies strictly inside `(min, max)`.
+    #[inline]
+    pub fn surrounds(self, x: f64) -> bool {
+        self.min < x && x < self.max
+    }
+
+    /// Intersection of two intervals (possibly empty).
+    #[inline]
+    pub fn intersect(self, o: Interval) -> Interval {
+        Interval::new(self.min.max(o.min), self.max.min(o.max))
+    }
+
+    /// Smallest interval containing both.
+    #[inline]
+    pub fn union(self, o: Interval) -> Interval {
+        Interval::new(self.min.min(o.min), self.max.max(o.max))
+    }
+
+    /// Interval expanded by `delta` on each side.
+    #[inline]
+    pub fn expand(self, delta: f64) -> Interval {
+        Interval::new(self.min - delta, self.max + delta)
+    }
+
+    /// Clamp a value into the interval.
+    #[inline]
+    pub fn clamp(self, x: f64) -> f64 {
+        crate::clamp(x, self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emptiness() {
+        assert!(Interval::EMPTY.is_empty());
+        assert!(!Interval::new(0.0, 1.0).is_empty());
+        assert!(Interval::new(1.0, 0.0).is_empty());
+        assert!(!Interval::UNIVERSE.is_empty());
+    }
+
+    #[test]
+    fn containment() {
+        let i = Interval::new(1.0, 2.0);
+        assert!(i.contains(1.0));
+        assert!(i.contains(2.0));
+        assert!(!i.surrounds(1.0));
+        assert!(i.surrounds(1.5));
+        assert!(!i.contains(0.999));
+    }
+
+    #[test]
+    fn intersect_and_union() {
+        let a = Interval::new(0.0, 2.0);
+        let b = Interval::new(1.0, 3.0);
+        assert_eq!(a.intersect(b), Interval::new(1.0, 2.0));
+        assert_eq!(a.union(b), Interval::new(0.0, 3.0));
+        let disjoint = Interval::new(5.0, 6.0);
+        assert!(a.intersect(disjoint).is_empty());
+    }
+
+    #[test]
+    fn expand_and_clamp() {
+        let i = Interval::new(1.0, 2.0).expand(0.5);
+        assert_eq!(i, Interval::new(0.5, 2.5));
+        assert_eq!(i.clamp(0.0), 0.5);
+        assert_eq!(i.clamp(3.0), 2.5);
+        assert_eq!(i.clamp(1.0), 1.0);
+        assert_eq!(Interval::new(0.0, 4.0).length(), 4.0);
+    }
+
+    #[test]
+    fn non_negative_is_ray_range() {
+        let r = Interval::non_negative();
+        assert!(r.contains(0.0));
+        assert!(r.contains(1e300));
+        assert!(!r.contains(-1e-9));
+    }
+}

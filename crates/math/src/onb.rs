@@ -1,0 +1,99 @@
+//! Orthonormal bases.
+
+use crate::Vec3;
+
+/// A right-handed orthonormal basis `(u, v, w)`.
+///
+/// The camera uses an ONB built from its viewing direction and an "up" hint;
+/// `u` points right, `v` up, and `w` *backwards* (so the camera looks along
+/// `-w`), matching the classic graphics convention.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Onb {
+    /// First basis vector ("right").
+    pub u: Vec3,
+    /// Second basis vector ("up").
+    pub v: Vec3,
+    /// Third basis vector ("backward"; the frame looks along `-w`).
+    pub w: Vec3,
+}
+
+impl Onb {
+    /// Build a basis whose `w` is the unit vector along `w_dir`, with `v`
+    /// as close to `up_hint` as orthogonality allows.
+    ///
+    /// Panics in debug builds if `w_dir` is zero or parallel to `up_hint`.
+    pub fn from_w_up(w_dir: Vec3, up_hint: Vec3) -> Onb {
+        let w = w_dir.normalized();
+        let u = up_hint.cross(w);
+        debug_assert!(
+            u.length_squared() > 1e-24,
+            "up hint parallel to view direction"
+        );
+        let u = u.normalized();
+        let v = w.cross(u);
+        Onb { u, v, w }
+    }
+
+    /// Build a basis from `w` alone, choosing an arbitrary stable tangent.
+    pub fn from_w(w_dir: Vec3) -> Onb {
+        let w = w_dir.normalized();
+        let hint = if w.x.abs() > 0.9 { Vec3::UNIT_Y } else { Vec3::UNIT_X };
+        Onb::from_w_up(w, hint)
+    }
+
+    /// Express local coordinates `(a, b, c)` in world space.
+    #[inline]
+    pub fn local(&self, a: f64, b: f64, c: f64) -> Vec3 {
+        self.u * a + self.v * b + self.w * c
+    }
+
+    /// Project a world-space vector onto the basis, returning local coords.
+    #[inline]
+    pub fn to_local(&self, v: Vec3) -> Vec3 {
+        Vec3::new(v.dot(self.u), v.dot(self.v), v.dot(self.w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_orthonormal(b: &Onb) {
+        assert!((b.u.length() - 1.0).abs() < 1e-12);
+        assert!((b.v.length() - 1.0).abs() < 1e-12);
+        assert!((b.w.length() - 1.0).abs() < 1e-12);
+        assert!(b.u.dot(b.v).abs() < 1e-12);
+        assert!(b.v.dot(b.w).abs() < 1e-12);
+        assert!(b.w.dot(b.u).abs() < 1e-12);
+        // right-handed: u x v = w
+        assert!(b.u.cross(b.v).approx_eq(b.w, 1e-12));
+    }
+
+    #[test]
+    fn canonical_frame() {
+        let b = Onb::from_w_up(Vec3::UNIT_Z, Vec3::UNIT_Y);
+        assert_orthonormal(&b);
+        assert!(b.u.approx_eq(Vec3::UNIT_X, 1e-12));
+        assert!(b.v.approx_eq(Vec3::UNIT_Y, 1e-12));
+    }
+
+    #[test]
+    fn arbitrary_frames_are_orthonormal() {
+        for w in [
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(-1.0, 0.1, 0.0),
+            Vec3::new(0.0, 0.0, -1.0),
+            Vec3::new(5.0, -5.0, 2.0),
+        ] {
+            assert_orthonormal(&Onb::from_w(w));
+        }
+    }
+
+    #[test]
+    fn local_roundtrip() {
+        let b = Onb::from_w(Vec3::new(1.0, 1.0, 1.0));
+        let v = Vec3::new(0.3, -0.7, 2.0);
+        let world = b.local(v.x, v.y, v.z);
+        assert!(b.to_local(world).approx_eq(v, 1e-12));
+    }
+}

@@ -1,0 +1,57 @@
+//! Parametric rays.
+
+use crate::{Point3, Vec3};
+
+/// A ray `p(t) = origin + t * dir`.
+///
+/// `dir` is *not* required to be unit length in general, but the renderer
+/// always constructs unit-direction rays so that `t` is a metric distance —
+/// the coherence engine relies on this when clipping recorded ray segments
+/// to the scene grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ray {
+    /// Ray origin.
+    pub origin: Point3,
+    /// Ray direction.
+    pub dir: Vec3,
+}
+
+impl Ray {
+    /// Construct a ray.
+    #[inline]
+    pub const fn new(origin: Point3, dir: Vec3) -> Ray {
+        Ray { origin, dir }
+    }
+
+    /// Point at parameter `t`.
+    #[inline]
+    pub fn at(&self, t: f64) -> Point3 {
+        self.origin + self.dir * t
+    }
+
+    /// Ray with the same origin and normalized direction.
+    #[inline]
+    pub fn normalized(&self) -> Ray {
+        Ray::new(self.origin, self.dir.normalized())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_walks_along_direction() {
+        let r = Ray::new(Point3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 2.0, 0.0));
+        assert_eq!(r.at(0.0), r.origin);
+        assert_eq!(r.at(1.5), Point3::new(1.0, 3.0, 0.0));
+        assert_eq!(r.at(-1.0), Point3::new(1.0, -2.0, 0.0));
+    }
+
+    #[test]
+    fn normalized_preserves_origin_and_direction_line() {
+        let r = Ray::new(Point3::ZERO, Vec3::new(0.0, 0.0, 5.0)).normalized();
+        assert_eq!(r.origin, Point3::ZERO);
+        assert!(r.dir.approx_eq(Vec3::UNIT_Z, 1e-12));
+    }
+}

@@ -1,0 +1,265 @@
+//! Grid-based intersection acceleration.
+//!
+//! The same uniform spatial subdivision the coherence algorithm marks is
+//! also used to accelerate ray-object intersection (Glassner-style "space
+//! subdivision for fast ray tracing", which the paper cites as [6]).
+//! Bounded objects are rasterised into per-voxel object lists; unbounded
+//! objects (infinite planes) are kept in a separate list tested on every
+//! query.
+
+use crate::object::ObjectId;
+use crate::scene::Scene;
+use crate::shape::Hit;
+use crate::stats::RayStats;
+use now_grid::{GridCells, GridSpec, GridTraversal};
+use now_math::{Interval, Ray, RAY_BIAS};
+
+/// Spatial index over a scene's objects.
+#[derive(Debug, Clone)]
+pub struct GridAccel {
+    cells: GridCells<Vec<ObjectId>>,
+    unbounded: Vec<ObjectId>,
+}
+
+impl GridAccel {
+    /// Default grid resolution target (voxel count) when none is given.
+    pub const DEFAULT_TARGET_VOXELS: u32 = 32 * 32 * 32;
+
+    /// Build an index for the scene with a default-resolution grid over the
+    /// scene bounds.
+    pub fn build(scene: &Scene) -> GridAccel {
+        let spec = GridSpec::for_scene(scene.bounds(), Self::DEFAULT_TARGET_VOXELS);
+        GridAccel::build_with_spec(scene, spec)
+    }
+
+    /// Build an index using an explicit grid geometry. The coherence engine
+    /// passes its own spec here so both systems share one grid.
+    pub fn build_with_spec(scene: &Scene, spec: GridSpec) -> GridAccel {
+        let mut cells: GridCells<Vec<ObjectId>> = GridCells::new(spec);
+        let mut unbounded = Vec::new();
+        for (i, o) in scene.objects.iter().enumerate() {
+            let id = i as ObjectId;
+            match o.world_aabb() {
+                Some(b) => spec.voxels_overlapping(&b, |v| cells.get_mut(v).push(id)),
+                None => unbounded.push(id),
+            }
+        }
+        GridAccel { cells, unbounded }
+    }
+
+    /// The grid geometry shared with the coherence engine.
+    #[inline]
+    pub fn spec(&self) -> &GridSpec {
+        self.cells.spec()
+    }
+
+    /// Ids of unbounded objects (always tested).
+    #[inline]
+    pub fn unbounded(&self) -> &[ObjectId] {
+        &self.unbounded
+    }
+
+    /// Closest intersection along `ray` within `range`.
+    ///
+    /// Returns the object id and hit record. `stats` counts every
+    /// primitive intersection test performed (the cluster simulator's cost
+    /// model charges work per test).
+    pub fn intersect(
+        &self,
+        scene: &Scene,
+        ray: &Ray,
+        range: Interval,
+        stats: &mut RayStats,
+    ) -> Option<(ObjectId, Hit)> {
+        let mut best: Option<(ObjectId, Hit)> = None;
+        let mut best_t = range.max;
+
+        for &id in &self.unbounded {
+            stats.intersection_tests += 1;
+            if let Some(h) =
+                scene.objects[id as usize].intersect(ray, Interval::new(range.min, best_t))
+            {
+                best_t = h.t;
+                best = Some((id, h));
+            }
+        }
+
+        // Walk the grid front to back; once a voxel's entry t exceeds the
+        // best hit found so far, no later voxel can contain a closer hit.
+        for step in GridTraversal::new(self.cells.spec(), ray, range) {
+            if step.t_enter > best_t {
+                break;
+            }
+            for &id in self.cells.get(step.voxel) {
+                stats.intersection_tests += 1;
+                if let Some(h) =
+                    scene.objects[id as usize].intersect(ray, Interval::new(range.min, best_t))
+                {
+                    best_t = h.t;
+                    best = Some((id, h));
+                }
+            }
+        }
+        best
+    }
+
+    /// Any-hit occlusion test: is anything between `ray.origin` and
+    /// distance `dist` along the ray? Used for shadow rays.
+    pub fn occluded(&self, scene: &Scene, ray: &Ray, dist: f64, stats: &mut RayStats) -> bool {
+        let range = Interval::new(RAY_BIAS, dist - RAY_BIAS);
+        if range.is_empty() {
+            return false;
+        }
+        for &id in &self.unbounded {
+            stats.intersection_tests += 1;
+            if scene.objects[id as usize].intersects(ray, range) {
+                return true;
+            }
+        }
+        let mut hit = false;
+        for step in GridTraversal::new(self.cells.spec(), ray, range) {
+            if step.t_enter > range.max {
+                break;
+            }
+            for &id in self.cells.get(step.voxel) {
+                stats.intersection_tests += 1;
+                if scene.objects[id as usize].intersects(ray, range) {
+                    hit = true;
+                    break;
+                }
+            }
+            if hit {
+                break;
+            }
+        }
+        hit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::camera::Camera;
+    use crate::material::Material;
+    use crate::object::Object;
+    use crate::shape::Geometry;
+    use now_math::{Color, Point3, Vec3};
+
+    fn test_scene() -> Scene {
+        let cam = Camera::look_at(
+            Point3::new(0.0, 2.0, 10.0),
+            Point3::ZERO,
+            Vec3::UNIT_Y,
+            60.0,
+            64,
+            48,
+        );
+        let mut s = Scene::new(cam);
+        // floor plane (unbounded)
+        s.add_object(Object::new(
+            Geometry::Plane { point: Point3::new(0.0, -1.0, 0.0), normal: Vec3::UNIT_Y },
+            Material::matte(Color::gray(0.5)),
+        ));
+        // a row of spheres
+        for i in 0..5 {
+            s.add_object(Object::new(
+                Geometry::Sphere {
+                    center: Point3::new(i as f64 * 2.0 - 4.0, 0.0, 0.0),
+                    radius: 0.6,
+                },
+                Material::matte(Color::WHITE),
+            ));
+        }
+        s
+    }
+
+    fn brute_force_intersect(
+        scene: &Scene,
+        ray: &Ray,
+        range: Interval,
+    ) -> Option<(ObjectId, Hit)> {
+        let mut best: Option<(ObjectId, Hit)> = None;
+        for (i, o) in scene.objects.iter().enumerate() {
+            if let Some(h) = o.intersect(ray, range) {
+                if best.as_ref().is_none_or(|(_, b)| h.t < b.t) {
+                    best = Some((i as ObjectId, h));
+                }
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn grid_agrees_with_brute_force() {
+        let scene = test_scene();
+        let accel = GridAccel::build(&scene);
+        let mut stats = RayStats::default();
+        let range = Interval::new(1e-9, f64::INFINITY);
+        // a fan of rays from several origins
+        for i in 0..200 {
+            let a = i as f64 * 0.17;
+            let origin = Point3::new(8.0 * a.cos(), 3.0 * (a * 0.3).sin() + 1.0, 8.0 * a.sin());
+            let target = Point3::new((i % 9) as f64 - 4.0, ((i % 5) as f64 - 2.0) * 0.4, 0.0);
+            let ray = Ray::new(origin, (target - origin).normalized());
+            let fast = accel.intersect(&scene, &ray, range, &mut stats);
+            let slow = brute_force_intersect(&scene, &ray, range);
+            match (fast, slow) {
+                (None, None) => {}
+                (Some((fi, fh)), Some((si, sh))) => {
+                    assert_eq!(fi, si, "ray {i}: hit different objects");
+                    assert!((fh.t - sh.t).abs() < 1e-9, "ray {i}: t mismatch");
+                }
+                (f, s) => panic!("ray {i}: accel {f:?} vs brute {s:?}"),
+            }
+        }
+        assert!(stats.intersection_tests > 0);
+    }
+
+    #[test]
+    fn occlusion_between_spheres() {
+        let scene = test_scene();
+        let accel = GridAccel::build(&scene);
+        let mut stats = RayStats::default();
+        // from left of the row, looking right through all spheres
+        let origin = Point3::new(-8.0, 0.0, 0.0);
+        let ray = Ray::new(origin, Vec3::UNIT_X);
+        assert!(accel.occluded(&scene, &ray, 16.0, &mut stats));
+        // a ray passing above all spheres
+        let high = Ray::new(Point3::new(-8.0, 3.0, 0.0), Vec3::UNIT_X);
+        assert!(!accel.occluded(&scene, &high, 16.0, &mut stats));
+        // very short range stops before the first sphere
+        assert!(!accel.occluded(&scene, &ray, 1.0, &mut stats));
+    }
+
+    #[test]
+    fn occlusion_sees_unbounded_plane() {
+        let scene = test_scene();
+        let accel = GridAccel::build(&scene);
+        let mut stats = RayStats::default();
+        let ray = Ray::new(Point3::new(50.0, 5.0, 50.0), -Vec3::UNIT_Y);
+        assert!(accel.occluded(&scene, &ray, 100.0, &mut stats));
+    }
+
+    #[test]
+    fn unbounded_list_contains_the_plane() {
+        let scene = test_scene();
+        let accel = GridAccel::build(&scene);
+        assert_eq!(accel.unbounded(), &[0]);
+    }
+
+    #[test]
+    fn early_termination_front_to_back() {
+        // hitting the nearest of several collinear spheres must return the
+        // nearest one even though all are in grid cells along the ray
+        let scene = test_scene();
+        let accel = GridAccel::build(&scene);
+        let mut stats = RayStats::default();
+        let ray = Ray::new(Point3::new(-8.0, 0.0, 0.0), Vec3::UNIT_X);
+        let (id, h) = accel
+            .intersect(&scene, &ray, Interval::new(1e-9, f64::INFINITY), &mut stats)
+            .unwrap();
+        // nearest sphere is at x=-4 (object id 1), hit at x=-4.6
+        assert_eq!(id, 1);
+        assert!((h.t - 3.4).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,168 @@
+//! Pinhole camera.
+
+use now_math::{deg_to_rad, Onb, Point3, Ray, Vec3};
+
+/// A pinhole camera generating primary rays for an image of a given
+/// resolution.
+///
+/// The frame-coherence algorithm "works only for sequences in which the
+/// camera is stationary": [`Camera::same_view`] is the equality test the
+/// animation layer uses to segment an animation at camera cuts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Camera {
+    eye: Point3,
+    basis: Onb,
+    /// Half-width/half-height of the image plane at distance 1.
+    half_w: f64,
+    half_h: f64,
+    width: u32,
+    height: u32,
+}
+
+impl Camera {
+    /// Build a camera looking from `eye` toward `target`, with the given
+    /// vertical field of view in degrees and image resolution.
+    pub fn look_at(
+        eye: Point3,
+        target: Point3,
+        up: Vec3,
+        vfov_deg: f64,
+        width: u32,
+        height: u32,
+    ) -> Camera {
+        assert!(width > 0 && height > 0, "camera resolution must be positive");
+        assert!(vfov_deg > 0.0 && vfov_deg < 180.0, "vfov out of range");
+        // w points *backwards* (camera looks along -w)
+        let basis = Onb::from_w_up(eye - target, up);
+        let half_h = (deg_to_rad(vfov_deg) * 0.5).tan();
+        let half_w = half_h * width as f64 / height as f64;
+        Camera { eye, basis, half_w, half_h, width, height }
+    }
+
+    /// Camera position.
+    #[inline]
+    pub fn eye(&self) -> Point3 {
+        self.eye
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Primary ray through the pixel `(px, py)` at sub-pixel offset
+    /// `(sx, sy)` in `[0, 1)` (0.5 is the pixel center). `py = 0` is the
+    /// **top** row, matching framebuffer layout.
+    ///
+    /// The returned direction is unit length, so ray `t` is metric distance
+    /// — the coherence engine relies on this when walking recorded rays.
+    pub fn primary_ray(&self, px: u32, py: u32, sx: f64, sy: f64) -> Ray {
+        debug_assert!(px < self.width && py < self.height);
+        let u = ((px as f64 + sx) / self.width as f64) * 2.0 - 1.0;
+        let v = 1.0 - ((py as f64 + sy) / self.height as f64) * 2.0;
+        let dir = self
+            .basis
+            .local(u * self.half_w, v * self.half_h, -1.0)
+            .normalized();
+        Ray::new(self.eye, dir)
+    }
+
+    /// True if two cameras produce identical primary rays (same view):
+    /// used for camera-cut detection when segmenting an animation.
+    pub fn same_view(&self, other: &Camera) -> bool {
+        self == other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cam() -> Camera {
+        Camera::look_at(
+            Point3::new(0.0, 0.0, 5.0),
+            Point3::ZERO,
+            Vec3::UNIT_Y,
+            60.0,
+            320,
+            240,
+        )
+    }
+
+    #[test]
+    fn center_pixel_looks_at_target() {
+        let c = cam();
+        let r = c.primary_ray(160, 120, 0.0, 0.0); // exact image center
+        assert!(r.dir.approx_eq(-Vec3::UNIT_Z, 1e-12));
+        assert_eq!(r.origin, Point3::new(0.0, 0.0, 5.0));
+    }
+
+    #[test]
+    fn rays_are_unit_length() {
+        let c = cam();
+        for (px, py) in [(0, 0), (319, 0), (0, 239), (319, 239), (100, 57)] {
+            let r = c.primary_ray(px, py, 0.5, 0.5);
+            assert!((r.dir.length() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn top_row_looks_up_left_column_looks_left() {
+        let c = cam();
+        let top = c.primary_ray(160, 0, 0.0, 0.0);
+        assert!(top.dir.y > 0.0, "py=0 must be the top of the image");
+        let bottom = c.primary_ray(160, 239, 1.0, 1.0);
+        assert!(bottom.dir.y < 0.0);
+        let left = c.primary_ray(0, 120, 0.0, 0.0);
+        assert!(left.dir.x < 0.0);
+        let right = c.primary_ray(319, 120, 1.0, 1.0);
+        assert!(right.dir.x > 0.0);
+    }
+
+    #[test]
+    fn fov_controls_spread() {
+        let narrow = Camera::look_at(Point3::ZERO, -Point3::UNIT_Z, Vec3::UNIT_Y, 30.0, 100, 100);
+        let wide = Camera::look_at(Point3::ZERO, -Point3::UNIT_Z, Vec3::UNIT_Y, 90.0, 100, 100);
+        let n = narrow.primary_ray(0, 50, 0.0, 0.5);
+        let w = wide.primary_ray(0, 50, 0.0, 0.5);
+        assert!(w.dir.x.abs() > n.dir.x.abs());
+    }
+
+    #[test]
+    fn aspect_ratio_respected() {
+        let c = cam(); // 320x240, aspect 4:3
+        let h = c.primary_ray(0, 120, 0.0, 0.5).dir;
+        let v = c.primary_ray(160, 0, 0.5, 0.0).dir;
+        // horizontal extent of the frustum exceeds vertical by the aspect
+        assert!(h.x.abs() > v.y.abs());
+    }
+
+    #[test]
+    fn same_view_detects_cuts() {
+        let a = cam();
+        let b = cam();
+        assert!(a.same_view(&b));
+        let moved = Camera::look_at(
+            Point3::new(0.0, 1.0, 5.0),
+            Point3::ZERO,
+            Vec3::UNIT_Y,
+            60.0,
+            320,
+            240,
+        );
+        assert!(!a.same_view(&moved));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_resolution_rejected() {
+        let _ = Camera::look_at(Point3::ZERO, -Point3::UNIT_Z, Vec3::UNIT_Y, 60.0, 0, 100);
+    }
+}

@@ -1,0 +1,504 @@
+//! Constructive solid geometry (union / intersection / difference).
+//!
+//! POV-Ray's signature modelling feature: solids combined with boolean
+//! operations. Ray-CSG intersection works on *inside intervals*: each
+//! solid operand yields the parameter spans the ray spends inside it, the
+//! boolean operators combine span lists, and the first resulting boundary
+//! in range is the hit. Normals come from the primitive that generated the
+//! boundary; boundaries contributed by a subtracted solid are flipped.
+//!
+//! Supported leaf solids: [`Geometry::Sphere`], [`Geometry::Cuboid`],
+//! capped [`Geometry::Cylinder`], capped [`Geometry::Cone`],
+//! [`Geometry::Torus`] and [`Geometry::Plane`] (as the closed half-space
+//! on the side the normal points *away* from).
+
+use crate::shape::{Geometry, Hit};
+use now_math::{poly, Aabb, Interval, Ray, Vec3, EPSILON};
+
+/// A CSG expression tree.
+///
+/// ```
+/// use now_math::{Interval, Point3, Ray, Vec3};
+/// use now_raytrace::{Csg, Geometry};
+///
+/// // a lens: the intersection of two offset spheres
+/// let lens = Csg::intersection(
+///     Csg::Solid(Geometry::Sphere { center: Point3::new(-0.4, 0.0, 0.0), radius: 1.0 }),
+///     Csg::Solid(Geometry::Sphere { center: Point3::new(0.4, 0.0, 0.0), radius: 1.0 }),
+/// );
+/// let ray = Ray::new(Point3::new(-5.0, 0.0, 0.0), Vec3::UNIT_X);
+/// let hit = lens.intersect(&ray, Interval::new(1e-9, f64::INFINITY)).unwrap();
+/// // the lens's left face is the right sphere's surface at x = -0.6
+/// assert!((ray.at(hit.t).x - (-0.6)).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Csg {
+    /// A leaf solid (must be one of the supported closed geometries).
+    Solid(Geometry),
+    /// Points inside either operand.
+    Union(Box<Csg>, Box<Csg>),
+    /// Points inside both operands.
+    Intersection(Box<Csg>, Box<Csg>),
+    /// Points inside the first but not the second operand.
+    Difference(Box<Csg>, Box<Csg>),
+}
+
+/// One span boundary: where the ray crosses a solid's surface, with the
+/// solid's outward normal there.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Boundary {
+    t: f64,
+    normal: Vec3,
+}
+
+/// A maximal interval the ray spends inside a solid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Span {
+    enter: Boundary,
+    exit: Boundary,
+}
+
+impl Csg {
+    /// Union helper.
+    pub fn union(a: Csg, b: Csg) -> Csg {
+        Csg::Union(Box::new(a), Box::new(b))
+    }
+
+    /// Intersection helper.
+    pub fn intersection(a: Csg, b: Csg) -> Csg {
+        Csg::Intersection(Box::new(a), Box::new(b))
+    }
+
+    /// Difference helper (`a` minus `b`).
+    pub fn difference(a: Csg, b: Csg) -> Csg {
+        Csg::Difference(Box::new(a), Box::new(b))
+    }
+
+    /// True if the geometry can be a CSG leaf.
+    pub fn supports(g: &Geometry) -> bool {
+        matches!(
+            g,
+            Geometry::Sphere { .. }
+                | Geometry::Cuboid { .. }
+                | Geometry::Cylinder { capped: true, .. }
+                | Geometry::Cone { capped: true, .. }
+                | Geometry::Torus { .. }
+                | Geometry::Plane { .. }
+        )
+    }
+
+    /// Local-space bounds, or `None` when unbounded (contains a half-space
+    /// not cut down by an intersection/difference).
+    pub fn local_aabb(&self) -> Option<Aabb> {
+        match self {
+            Csg::Solid(g) => g.local_aabb(),
+            Csg::Union(a, b) => Some(a.local_aabb()?.union(&b.local_aabb()?)),
+            Csg::Intersection(a, b) => match (a.local_aabb(), b.local_aabb()) {
+                (Some(x), Some(y)) => Some(x.intersection(&y)),
+                (Some(x), None) | (None, Some(x)) => Some(x),
+                (None, None) => None,
+            },
+            Csg::Difference(a, _) => a.local_aabb(),
+        }
+    }
+
+    /// The spans the ray spends inside this solid, sorted by `t`.
+    fn spans(&self, ray: &Ray) -> Vec<Span> {
+        match self {
+            Csg::Solid(g) => solid_spans(g, ray),
+            Csg::Union(a, b) => merge_union(a.spans(ray), b.spans(ray)),
+            Csg::Intersection(a, b) => merge_intersection(a.spans(ray), b.spans(ray)),
+            Csg::Difference(a, b) => merge_difference(a.spans(ray), b.spans(ray)),
+        }
+    }
+
+    /// Closest surface hit within `range`.
+    pub fn intersect(&self, ray: &Ray, range: Interval) -> Option<Hit> {
+        let mut best: Option<Hit> = None;
+        for s in self.spans(ray) {
+            for b in [s.enter, s.exit] {
+                if range.surrounds(b.t) && best.as_ref().is_none_or(|h| b.t < h.t) {
+                    best = Some(Hit { t: b.t, point: ray.at(b.t), normal: b.normal });
+                }
+            }
+            if let Some(h) = &best {
+                // spans are sorted; once we have a hit no later span beats it
+                if h.t <= s.exit.t {
+                    break;
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Spans for a leaf solid. Panics if the geometry is unsupported.
+fn solid_spans(g: &Geometry, ray: &Ray) -> Vec<Span> {
+    let full = Interval::UNIVERSE;
+    match g {
+        Geometry::Sphere { center, radius } => {
+            let oc = ray.origin - *center;
+            let a = ray.dir.length_squared();
+            let roots = poly::solve_quadratic(
+                a,
+                2.0 * oc.dot(ray.dir),
+                oc.length_squared() - radius * radius,
+            );
+            if roots.len() == 2 {
+                let n = |t: f64| (ray.at(t) - *center) / *radius;
+                vec![Span {
+                    enter: Boundary { t: roots[0], normal: n(roots[0]) },
+                    exit: Boundary { t: roots[1], normal: n(roots[1]) },
+                }]
+            } else {
+                Vec::new()
+            }
+        }
+        Geometry::Plane { point, normal } => {
+            // closed half-space opposite the normal direction
+            let denom = ray.dir.dot(*normal);
+            let side = (ray.origin - *point).dot(*normal);
+            if denom.abs() < EPSILON {
+                // parallel: entirely inside or outside
+                if side <= 0.0 {
+                    return vec![whole_line_span(*normal)];
+                }
+                return Vec::new();
+            }
+            let t = -side / denom;
+            if denom > 0.0 {
+                // ray exits the half-space at t
+                vec![Span {
+                    enter: Boundary { t: f64::NEG_INFINITY, normal: -*normal },
+                    exit: Boundary { t, normal: *normal },
+                }]
+            } else {
+                vec![Span {
+                    enter: Boundary { t, normal: *normal },
+                    exit: Boundary { t: f64::INFINITY, normal: -*normal },
+                }]
+            }
+        }
+        Geometry::Cuboid { .. }
+        | Geometry::Cylinder { capped: true, .. }
+        | Geometry::Cone { capped: true, .. } => {
+            // convex solids have exactly 0 or 2 crossings with the whole
+            // line (tangencies dropped); two clipped intersect calls over
+            // the unbounded interval find both, including behind the origin
+            let Some(first) = g.intersect(ray, full) else {
+                return Vec::new();
+            };
+            match g.intersect(ray, Interval::new(first.t + 1e-9, f64::INFINITY)) {
+                Some(s) => vec![Span {
+                    enter: Boundary { t: first.t, normal: first.normal },
+                    exit: Boundary { t: s.t, normal: s.normal },
+                }],
+                None => Vec::new(), // grazing tangent
+            }
+        }
+        Geometry::Torus { major, minor } => torus_spans(*major, *minor, ray),
+        other => panic!("geometry not usable as a CSG solid: {other:?}"),
+    }
+}
+
+fn whole_line_span(plane_normal: Vec3) -> Span {
+    Span {
+        enter: Boundary { t: f64::NEG_INFINITY, normal: -plane_normal },
+        exit: Boundary { t: f64::INFINITY, normal: plane_normal },
+    }
+}
+
+fn torus_spans(major: f64, minor: f64, ray: &Ray) -> Vec<Span> {
+    let o = ray.origin;
+    let d = ray.dir;
+    let dd = d.length_squared();
+    let od = o.dot(d);
+    let oo = o.length_squared();
+    let k = oo + major * major - minor * minor;
+    let roots = poly::solve_quartic(
+        dd * dd,
+        4.0 * dd * od,
+        2.0 * dd * k + 4.0 * od * od - 4.0 * major * major * (d.x * d.x + d.z * d.z),
+        4.0 * od * k - 8.0 * major * major * (o.x * d.x + o.z * d.z),
+        k * k - 4.0 * major * major * (o.x * o.x + o.z * o.z),
+    );
+    let normal = |t: f64| {
+        let p = ray.at(t);
+        (p * (4.0 * (p.length_squared() + major * major - minor * minor))
+            - Vec3::new(p.x, 0.0, p.z) * (8.0 * major * major))
+            .try_normalized(EPSILON)
+            .unwrap_or(Vec3::UNIT_Y)
+    };
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i + 1 < roots.len() {
+        spans.push(Span {
+            enter: Boundary { t: roots[i], normal: normal(roots[i]) },
+            exit: Boundary { t: roots[i + 1], normal: normal(roots[i + 1]) },
+        });
+        i += 2;
+    }
+    spans
+}
+
+/// Collect the inside/outside transition points of a span list.
+fn transitions(spans: &[Span]) -> Vec<(Boundary, bool)> {
+    // (boundary, is_enter)
+    let mut out = Vec::with_capacity(spans.len() * 2);
+    for s in spans {
+        out.push((s.enter, true));
+        out.push((s.exit, false));
+    }
+    out
+}
+
+/// Generic 1-D boolean combiner over two span lists.
+fn combine(a: Vec<Span>, b: Vec<Span>, keep: impl Fn(bool, bool) -> bool, flip_b: bool) -> Vec<Span> {
+    let mut events: Vec<(Boundary, bool, bool)> = Vec::new(); // (boundary, is_a, is_enter)
+    for (bd, en) in transitions(&a) {
+        events.push((bd, true, en));
+    }
+    for (bd, en) in transitions(&b) {
+        let bd = if flip_b { Boundary { t: bd.t, normal: -bd.normal } } else { bd };
+        events.push((bd, false, en));
+    }
+    events.sort_by(|x, y| x.0.t.total_cmp(&y.0.t));
+
+    // walk the events from t = -inf, starting outside both solids
+    // (half-space spans carry explicit -inf enter events)
+    let mut in_a = false;
+    let mut in_b = false;
+    let mut inside = false;
+    let mut current_enter: Option<Boundary> = None;
+    let mut out = Vec::new();
+    for (bd, is_a, is_enter) in events {
+        if is_a {
+            in_a = is_enter;
+        } else {
+            in_b = is_enter;
+        }
+        let now = keep(in_a, in_b);
+        if now && !inside {
+            current_enter = Some(bd);
+            inside = true;
+        } else if !now && inside {
+            if let Some(enter) = current_enter.take() {
+                if bd.t > enter.t {
+                    out.push(Span { enter, exit: bd });
+                }
+            }
+            inside = false;
+        }
+    }
+    out
+}
+
+fn merge_union(a: Vec<Span>, b: Vec<Span>) -> Vec<Span> {
+    combine(a, b, |x, y| x || y, false)
+}
+
+fn merge_intersection(a: Vec<Span>, b: Vec<Span>) -> Vec<Span> {
+    combine(a, b, |x, y| x && y, false)
+}
+
+fn merge_difference(a: Vec<Span>, b: Vec<Span>) -> Vec<Span> {
+    // surfaces contributed by B face the opposite way in A - B
+    combine(a, b, |x, y| x && !y, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use now_math::Point3;
+
+    const FULL: Interval = Interval { min: 1e-9, max: f64::INFINITY };
+
+    fn sphere(x: f64, r: f64) -> Csg {
+        Csg::Solid(Geometry::Sphere { center: Point3::new(x, 0.0, 0.0), radius: r })
+    }
+
+    fn ray_x(from: f64) -> Ray {
+        Ray::new(Point3::new(from, 0.0, 0.0), Vec3::UNIT_X)
+    }
+
+    /// Brute-force inside test used to validate the span algebra.
+    fn inside(csg: &Csg, p: Point3) -> bool {
+        match csg {
+            Csg::Solid(g) => match g {
+                Geometry::Sphere { center, radius } => p.distance(*center) <= *radius,
+                Geometry::Cuboid { min, max } => Aabb::new(*min, *max).contains(p),
+                Geometry::Cylinder { radius, y0, y1, .. } => {
+                    p.y >= *y0 && p.y <= *y1 && p.x * p.x + p.z * p.z <= radius * radius
+                }
+                Geometry::Plane { point, normal } => (p - *point).dot(*normal) <= 0.0,
+                Geometry::Torus { major, minor } => {
+                    let q = (p.x * p.x + p.z * p.z).sqrt() - major;
+                    q * q + p.y * p.y <= minor * minor
+                }
+                _ => unreachable!(),
+            },
+            Csg::Union(a, b) => inside(a, p) || inside(b, p),
+            Csg::Intersection(a, b) => inside(a, p) && inside(b, p),
+            Csg::Difference(a, b) => inside(a, p) && !inside(b, p),
+        }
+    }
+
+    #[test]
+    fn union_of_overlapping_spheres() {
+        let u = Csg::union(sphere(0.0, 1.0), sphere(1.2, 1.0));
+        // entering from the left at x = -1, leaving at x = 2.2
+        let h = u.intersect(&ray_x(-5.0), FULL).unwrap();
+        assert!((h.t - 4.0).abs() < 1e-9);
+        assert!(h.normal.approx_eq(-Vec3::UNIT_X, 1e-9));
+        // a ray from inside the overlap exits at 2.2
+        let h2 = u.intersect(&ray_x(0.6), FULL).unwrap();
+        assert!((ray_x(0.6).at(h2.t).x - 2.2).abs() < 1e-9);
+        // bounds cover both operands
+        let b = u.local_aabb().unwrap();
+        assert!(b.contains(Point3::new(-1.0, 0.0, 0.0)));
+        assert!(b.contains(Point3::new(2.2, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn intersection_is_the_lens() {
+        let lens = Csg::intersection(sphere(0.0, 1.0), sphere(1.2, 1.0));
+        // lens spans x in [0.2, 1.0]
+        let h = lens.intersect(&ray_x(-5.0), FULL).unwrap();
+        assert!((ray_x(-5.0).at(h.t).x - 0.2).abs() < 1e-9);
+        // normal at the entry comes from the RIGHT sphere's left cap,
+        // pointing toward -x
+        assert!(h.normal.x < 0.0);
+        // off-axis ray through where only one sphere lies: miss
+        let high = Ray::new(Point3::new(-5.0, 0.9, 0.0), Vec3::UNIT_X);
+        assert!(lens.intersect(&high, FULL).is_none());
+        // bounds are within the intersection of operand bounds
+        let b = lens.local_aabb().unwrap();
+        assert!(b.max.x <= 1.0 + 1e-9 && b.min.x >= 0.2 - 1e-9);
+    }
+
+    #[test]
+    fn difference_carves_a_bite() {
+        // unit sphere minus a sphere covering its right half
+        let bitten = Csg::difference(sphere(0.0, 1.0), sphere(1.0, 0.8));
+        // from the right, the first surface is now the carved cavity wall
+        let ray = ray_x(5.0);
+        let ray = Ray::new(ray.origin, -ray.dir); // point leftward
+        let h = bitten.intersect(&ray, FULL).unwrap();
+        let px = ray.at(h.t).x;
+        // cavity wall: the bite sphere's surface at x = 0.2
+        assert!((px - 0.2).abs() < 1e-9, "hit at x = {px}");
+        // the normal is the bite sphere's normal FLIPPED (faces +x)
+        assert!(h.normal.x > 0.0, "cavity normal {:?}", h.normal);
+        // from the left the original surface remains at x = -1
+        let h2 = bitten.intersect(&ray_x(-5.0), FULL).unwrap();
+        assert!((ray_x(-5.0).at(h2.t).x + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plane_halfspace_clips() {
+        // sphere clipped to its lower half by the y=0 plane (normal +y
+        // keeps the side the normal points AWAY from)
+        let half = Csg::intersection(
+            sphere(0.0, 1.0),
+            Csg::Solid(Geometry::Plane { point: Point3::ZERO, normal: Vec3::UNIT_Y }),
+        );
+        // ray descending onto the dome from above hits the flat cut at y=0
+        let down = Ray::new(Point3::new(0.0, 5.0, 0.0), -Vec3::UNIT_Y);
+        let h = half.intersect(&down, FULL).unwrap();
+        assert!((h.point.y - 0.0).abs() < 1e-9);
+        assert!(h.normal.approx_eq(Vec3::UNIT_Y, 1e-9));
+        // ray rising from below hits the sphere surface at y=-1
+        let up = Ray::new(Point3::new(0.0, -5.0, 0.0), Vec3::UNIT_Y);
+        let h2 = half.intersect(&up, FULL).unwrap();
+        assert!((h2.point.y + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csg_against_brute_force_inside_sampling() {
+        // compare hit parity against dense inside() sampling for a nested
+        // expression: (box ∪ sphere) − cylinder
+        let expr = Csg::difference(
+            Csg::union(
+                Csg::Solid(Geometry::Cuboid {
+                    min: Point3::new(-1.0, -1.0, -1.0),
+                    max: Point3::new(1.0, 1.0, 1.0),
+                }),
+                sphere(1.2, 0.9),
+            ),
+            Csg::Solid(Geometry::Cylinder { radius: 0.5, y0: -2.0, y1: 2.0, capped: true }),
+        );
+        for i in 0..150 {
+            let a = i as f64 * 0.37;
+            let o = Point3::new(4.0 * a.cos(), 1.5 * (a * 0.7).sin(), 4.0 * a.sin());
+            let target = Point3::new(0.4 * (a * 2.0).cos(), 0.2, 0.4 * (a * 2.0).sin());
+            let ray = Ray::new(o, (target - o).normalized());
+            match expr.intersect(&ray, FULL) {
+                Some(h) => {
+                    // just before the hit: outside; just after: inside (or
+                    // vice versa for exits) — the surface is a transition
+                    let before = inside(&expr, ray.at(h.t - 1e-6));
+                    let after = inside(&expr, ray.at(h.t + 1e-6));
+                    assert_ne!(before, after, "ray {i}: hit is not a boundary");
+                    assert!((h.normal.length() - 1.0).abs() < 1e-9);
+                }
+                None => {
+                    // sample along the ray: must never be inside
+                    for k in 1..100 {
+                        let p = ray.at(k as f64 * 0.08);
+                        assert!(!inside(&expr, p), "ray {i} missed but {p} is inside");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torus_in_csg() {
+        // torus minus a box that removes its +x half
+        let cut = Csg::difference(
+            Csg::Solid(Geometry::Torus { major: 2.0, minor: 0.5 }),
+            Csg::Solid(Geometry::Cuboid {
+                min: Point3::new(0.0, -2.0, -3.0),
+                max: Point3::new(3.0, 2.0, 3.0),
+            }),
+        );
+        // the +x side of the ring is gone
+        let from_right = Ray::new(Point3::new(5.0, 0.0, 0.0), -Vec3::UNIT_X);
+        let h = cut.intersect(&from_right, FULL).unwrap();
+        // first hit is the cut face at x=0 (flipped box normal) where the
+        // tube crosses x=0... the tube at x=0 is at z=±2; on the x axis the
+        // ray passes through the hole; it should hit the -x side outer wall
+        let px = h.point.x;
+        assert!(px <= 1e-6, "hit at x = {px} must be on the remaining half");
+        // the -x half is intact
+        let from_left = ray_x(-5.0);
+        let h2 = cut.intersect(&from_left, FULL).unwrap();
+        assert!((h2.point.x + 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unbounded_csg_reports_no_aabb() {
+        let halfspace = Csg::Solid(Geometry::Plane { point: Point3::ZERO, normal: Vec3::UNIT_Y });
+        assert!(halfspace.local_aabb().is_none());
+        // intersecting with a bounded solid restores bounds
+        let clipped = Csg::intersection(halfspace, sphere(0.0, 1.0));
+        assert!(clipped.local_aabb().is_some());
+    }
+
+    #[test]
+    fn supports_lists_solids_only() {
+        assert!(Csg::supports(&Geometry::Sphere { center: Point3::ZERO, radius: 1.0 }));
+        assert!(Csg::supports(&Geometry::Torus { major: 1.0, minor: 0.2 }));
+        assert!(!Csg::supports(&Geometry::Cylinder {
+            radius: 1.0,
+            y0: 0.0,
+            y1: 1.0,
+            capped: false
+        }));
+        assert!(!Csg::supports(&Geometry::Disk {
+            center: Point3::ZERO,
+            normal: Vec3::UNIT_Y,
+            radius: 1.0
+        }));
+    }
+}

@@ -1,0 +1,172 @@
+//! Image writers: Targa (the paper's output format), PPM and PGM.
+//!
+//! "The POV-Ray renderer generated animation frames ... in targa format
+//! with 24-bit color" — [`write_tga`] produces exactly that: an
+//! uncompressed type-2 Targa with 24-bit BGR pixels, bottom-up row order
+//! as is conventional for TGA.
+
+use crate::framebuffer::Framebuffer;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Encode a framebuffer as an uncompressed 24-bit Targa (type 2) file.
+pub fn tga_bytes(fb: &Framebuffer) -> Vec<u8> {
+    let w = fb.width() as usize;
+    let h = fb.height() as usize;
+    let mut out = Vec::with_capacity(18 + w * h * 3);
+    // 18-byte TGA header
+    out.push(0); // id length
+    out.push(0); // no color map
+    out.push(2); // uncompressed true-color
+    out.extend_from_slice(&[0; 5]); // color map spec
+    out.extend_from_slice(&0u16.to_le_bytes()); // x origin
+    out.extend_from_slice(&0u16.to_le_bytes()); // y origin
+    out.extend_from_slice(&(fb.width() as u16).to_le_bytes());
+    out.extend_from_slice(&(fb.height() as u16).to_le_bytes());
+    out.push(24); // bits per pixel
+    out.push(0); // descriptor: bottom-left origin
+    // pixel data, bottom row first, BGR order
+    for y in (0..fb.height()).rev() {
+        for x in 0..fb.width() {
+            let (r, g, b) = fb.get(x, y).to_u8();
+            out.push(b);
+            out.push(g);
+            out.push(r);
+        }
+    }
+    out
+}
+
+/// Decoded image: width, height, and top-down RGB triples.
+pub type DecodedImage = (u32, u32, Vec<(u8, u8, u8)>);
+
+/// Decode the pixel bytes of a TGA produced by [`tga_bytes`] back into
+/// `(width, height, rgb_rows_top_down)`. Only the exact format this crate
+/// writes is supported (it exists for round-trip testing and for the bench
+/// harness to re-read frames).
+pub fn tga_decode(bytes: &[u8]) -> io::Result<DecodedImage> {
+    if bytes.len() < 18 || bytes[2] != 2 || bytes[16] != 24 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "unsupported TGA"));
+    }
+    let w = u16::from_le_bytes([bytes[12], bytes[13]]) as u32;
+    let h = u16::from_le_bytes([bytes[14], bytes[15]]) as u32;
+    let need = 18 + (w as usize) * (h as usize) * 3;
+    if bytes.len() < need {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated TGA"));
+    }
+    let mut px = vec![(0u8, 0u8, 0u8); (w * h) as usize];
+    let mut i = 18;
+    for y in (0..h).rev() {
+        for x in 0..w {
+            let (b, g, r) = (bytes[i], bytes[i + 1], bytes[i + 2]);
+            px[(y * w + x) as usize] = (r, g, b);
+            i += 3;
+        }
+    }
+    Ok((w, h, px))
+}
+
+/// Write a framebuffer to a TGA file.
+pub fn write_tga(fb: &Framebuffer, path: &Path) -> io::Result<()> {
+    std::fs::write(path, tga_bytes(fb))
+}
+
+/// Encode as binary PPM (P6), top-down RGB.
+pub fn ppm_bytes(fb: &Framebuffer) -> Vec<u8> {
+    let mut out = Vec::new();
+    let _ = write!(out, "P6\n{} {}\n255\n", fb.width(), fb.height());
+    for y in 0..fb.height() {
+        for x in 0..fb.width() {
+            let (r, g, b) = fb.get(x, y).to_u8();
+            out.extend_from_slice(&[r, g, b]);
+        }
+    }
+    out
+}
+
+/// Write a framebuffer to a PPM file.
+pub fn write_ppm(fb: &Framebuffer, path: &Path) -> io::Result<()> {
+    std::fs::write(path, ppm_bytes(fb))
+}
+
+/// Encode a binary mask as PGM (P5): 255 where `mask` is true, 0 elsewhere.
+/// Used for the Fig. 2 difference maps.
+pub fn pgm_mask_bytes(width: u32, height: u32, mask: &[bool]) -> Vec<u8> {
+    assert_eq!(mask.len(), (width * height) as usize);
+    let mut out = Vec::new();
+    let _ = write!(out, "P5\n{width} {height}\n255\n");
+    out.extend(mask.iter().map(|&m| if m { 255u8 } else { 0u8 }));
+    out
+}
+
+/// Write a binary mask to a PGM file.
+pub fn write_pgm_mask(width: u32, height: u32, mask: &[bool], path: &Path) -> io::Result<()> {
+    std::fs::write(path, pgm_mask_bytes(width, height, mask))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use now_math::Color;
+
+    fn sample_fb() -> Framebuffer {
+        let mut fb = Framebuffer::new(3, 2);
+        fb.set(0, 0, Color::new(1.0, 0.0, 0.0));
+        fb.set(1, 0, Color::new(0.0, 1.0, 0.0));
+        fb.set(2, 0, Color::new(0.0, 0.0, 1.0));
+        fb.set(0, 1, Color::gray(0.5));
+        fb
+    }
+
+    #[test]
+    fn tga_header_and_size() {
+        let bytes = tga_bytes(&sample_fb());
+        assert_eq!(bytes.len(), 18 + 3 * 2 * 3);
+        assert_eq!(bytes[2], 2);
+        assert_eq!(bytes[16], 24);
+        assert_eq!(u16::from_le_bytes([bytes[12], bytes[13]]), 3);
+        assert_eq!(u16::from_le_bytes([bytes[14], bytes[15]]), 2);
+    }
+
+    #[test]
+    fn tga_roundtrip() {
+        let fb = sample_fb();
+        let (w, h, px) = tga_decode(&tga_bytes(&fb)).unwrap();
+        assert_eq!((w, h), (3, 2));
+        assert_eq!(px[0], (255, 0, 0));
+        assert_eq!(px[1], (0, 255, 0));
+        assert_eq!(px[2], (0, 0, 255));
+        assert_eq!(px[3], (128, 128, 128));
+        // bottom row (black) comes last in top-down order
+        assert_eq!(px[4], (0, 0, 0));
+    }
+
+    #[test]
+    fn tga_decode_rejects_garbage() {
+        assert!(tga_decode(&[0u8; 4]).is_err());
+        let mut bytes = tga_bytes(&sample_fb());
+        bytes.truncate(20);
+        assert!(tga_decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn ppm_header() {
+        let bytes = ppm_bytes(&sample_fb());
+        assert!(bytes.starts_with(b"P6\n3 2\n255\n"));
+        assert_eq!(bytes.len(), 11 + 18);
+    }
+
+    #[test]
+    fn pgm_mask_encoding() {
+        let mask = [true, false, false, true];
+        let bytes = pgm_mask_bytes(2, 2, &mask);
+        assert!(bytes.starts_with(b"P5\n2 2\n255\n"));
+        assert_eq!(&bytes[11..], &[255, 0, 0, 255]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn pgm_mask_size_mismatch_panics() {
+        let _ = pgm_mask_bytes(2, 2, &[true; 3]);
+    }
+}

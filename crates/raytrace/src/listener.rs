@@ -1,0 +1,109 @@
+//! Ray observation hooks.
+//!
+//! "As rays are fired during the rendering process, the frame coherence
+//! algorithm tracks their paths and marks all of the voxels that they pass
+//! through." The tracer reports every ray it fires — with the pixel it
+//! belongs to, its kind, and the distance it travelled — to a
+//! [`RayListener`]; the coherence engine's listener walks each reported
+//! segment through the voxel grid.
+
+use crate::framebuffer::PixelId;
+use now_math::Ray;
+
+/// Classification of a fired ray.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RayKind {
+    /// Camera ray.
+    Primary,
+    /// Mirror-reflected ray.
+    Reflected,
+    /// Refracted (transmitted) ray.
+    Transmitted,
+    /// Shadow feeler toward a light.
+    Shadow,
+}
+
+/// Observer of every ray fired while shading.
+pub trait RayListener {
+    /// Called once per fired ray.
+    ///
+    /// * `pixel` — the pixel being shaded (all recursive rays carry the
+    ///   originating pixel).
+    /// * `ray` — origin and unit direction.
+    /// * `kind` — primary / reflected / transmitted / shadow.
+    /// * `t_max` — distance travelled: the hit distance, the distance to
+    ///   the light for shadow rays, or `f64::INFINITY` for rays that left
+    ///   the scene.
+    fn on_ray(&mut self, pixel: PixelId, ray: &Ray, kind: RayKind, t_max: f64);
+}
+
+/// Listener that ignores everything (plain, non-coherent rendering).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullListener;
+
+impl RayListener for NullListener {
+    #[inline]
+    fn on_ray(&mut self, _: PixelId, _: &Ray, _: RayKind, _: f64) {}
+}
+
+/// A recorded ray, as captured by [`RecordingListener`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordedRay {
+    /// Pixel the ray belongs to.
+    pub pixel: PixelId,
+    /// The ray itself.
+    pub ray: Ray,
+    /// Kind of ray.
+    pub kind: RayKind,
+    /// Distance travelled.
+    pub t_max: f64,
+}
+
+/// Listener that stores every reported ray; used by tests and by the
+/// bench harness for ray-census figures.
+#[derive(Debug, Clone, Default)]
+pub struct RecordingListener {
+    /// All recorded rays in firing order.
+    pub rays: Vec<RecordedRay>,
+}
+
+impl RayListener for RecordingListener {
+    fn on_ray(&mut self, pixel: PixelId, ray: &Ray, kind: RayKind, t_max: f64) {
+        self.rays.push(RecordedRay { pixel, ray: *ray, kind, t_max });
+    }
+}
+
+impl<L: RayListener + ?Sized> RayListener for &mut L {
+    #[inline]
+    fn on_ray(&mut self, pixel: PixelId, ray: &Ray, kind: RayKind, t_max: f64) {
+        (**self).on_ray(pixel, ray, kind, t_max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use now_math::{Point3, Vec3};
+
+    #[test]
+    fn recording_listener_captures_in_order() {
+        let mut l = RecordingListener::default();
+        let r = Ray::new(Point3::ZERO, Vec3::UNIT_X);
+        l.on_ray(3, &r, RayKind::Primary, 5.0);
+        l.on_ray(3, &r, RayKind::Shadow, 2.0);
+        assert_eq!(l.rays.len(), 2);
+        assert_eq!(l.rays[0].kind, RayKind::Primary);
+        assert_eq!(l.rays[1].t_max, 2.0);
+    }
+
+    #[test]
+    fn listener_by_mut_ref_works() {
+        fn feed(mut l: impl RayListener) {
+            l.on_ray(0, &Ray::new(Point3::ZERO, Vec3::UNIT_Y), RayKind::Primary, 1.0);
+        }
+        let mut rec = RecordingListener::default();
+        feed(&mut rec);
+        feed(&mut rec);
+        assert_eq!(rec.rays.len(), 2);
+    }
+}

@@ -1,0 +1,160 @@
+//! Scene container.
+
+use crate::camera::Camera;
+use crate::light::Light;
+use crate::object::{Object, ObjectId};
+use now_math::{Aabb, Color, Point3, Vec3};
+
+/// A renderable scene: objects, lights, a camera, and global shading terms.
+#[derive(Debug, Clone)]
+pub struct Scene {
+    /// All objects. [`ObjectId`]s index into this vector.
+    pub objects: Vec<Object>,
+    /// Light sources.
+    pub lights: Vec<Light>,
+    /// The camera.
+    pub camera: Camera,
+    /// Color returned by rays that leave the scene.
+    pub background: Color,
+    /// Global ambient light modulating each material's ambient term.
+    pub ambient: Color,
+}
+
+impl Scene {
+    /// Empty scene with the given camera.
+    pub fn new(camera: Camera) -> Scene {
+        Scene {
+            objects: Vec::new(),
+            lights: Vec::new(),
+            camera,
+            background: Color::BLACK,
+            ambient: Color::WHITE,
+        }
+    }
+
+    /// Add an object, returning its id.
+    pub fn add_object(&mut self, o: Object) -> ObjectId {
+        self.objects.push(o);
+        (self.objects.len() - 1) as ObjectId
+    }
+
+    /// Add a light (anything convertible into [`Light`]).
+    pub fn add_light(&mut self, l: impl Into<Light>) {
+        self.lights.push(l.into());
+    }
+
+    /// Find an object id by name (first match).
+    pub fn object_by_name(&self, name: &str) -> Option<ObjectId> {
+        self.objects
+            .iter()
+            .position(|o| o.name == name)
+            .map(|i| i as ObjectId)
+    }
+
+    /// Union of the world bounds of all *bounded* objects.
+    ///
+    /// Unbounded objects (infinite planes) do not contribute; if the scene
+    /// has no bounded objects at all, a unit cube around the origin is
+    /// returned so grid construction always has something to work with.
+    ///
+    /// Lights and the camera are deliberately *not* included: the grids
+    /// built over these bounds (intersection acceleration and coherence
+    /// pixel lists) only need to cover space that geometry can occupy.
+    /// Rays are clipped to the grid on traversal, and a changed voxel is by
+    /// construction inside some object's bounds, so keeping the grid tight
+    /// makes voxels finer and dirty sets sharper at no correctness cost.
+    pub fn bounds(&self) -> Aabb {
+        let b = self
+            .objects
+            .iter()
+            .filter_map(Object::world_aabb)
+            .fold(Aabb::EMPTY, |acc, ob| acc.union(&ob));
+        if b.is_empty() {
+            return Aabb::cube(Point3::ZERO, 1.0);
+        }
+        // guard against degenerate flat bounds (e.g. a single disk)
+        let min_extent = 1e-3 * (1.0 + b.extent().max_component());
+        let e = b.extent();
+        let grow = Vec3::new(
+            if e.x < min_extent { min_extent } else { 0.0 },
+            if e.y < min_extent { min_extent } else { 0.0 },
+            if e.z < min_extent { min_extent } else { 0.0 },
+        );
+        Aabb::new(b.min - grow, b.max + grow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::light::PointLight;
+    use crate::material::Material;
+    use crate::shape::Geometry;
+    use now_math::{Color, Vec3};
+
+    fn cam() -> Camera {
+        Camera::look_at(Point3::new(0.0, 0.0, 5.0), Point3::ZERO, Vec3::UNIT_Y, 60.0, 64, 48)
+    }
+
+    #[test]
+    fn add_and_lookup_objects() {
+        let mut s = Scene::new(cam());
+        let id = s.add_object(
+            Object::new(
+                Geometry::Sphere { center: Point3::ZERO, radius: 1.0 },
+                Material::default(),
+            )
+            .named("ball"),
+        );
+        assert_eq!(id, 0);
+        assert_eq!(s.object_by_name("ball"), Some(0));
+        assert_eq!(s.object_by_name("nope"), None);
+    }
+
+    #[test]
+    fn bounds_cover_objects_not_lights() {
+        let mut s = Scene::new(cam());
+        s.add_object(Object::new(
+            Geometry::Sphere { center: Point3::new(5.0, 0.0, 0.0), radius: 1.0 },
+            Material::default(),
+        ));
+        s.add_light(PointLight::new(Point3::new(-10.0, 8.0, 0.0), Color::WHITE));
+        let b = s.bounds();
+        assert!(b.contains(Point3::new(6.0, 0.0, 0.0)));
+        // lights do not inflate the grid bounds
+        assert!(!b.contains(Point3::new(-10.0, 8.0, 0.0)));
+    }
+
+    #[test]
+    fn bounds_ignore_infinite_planes() {
+        let mut s = Scene::new(cam());
+        s.add_object(Object::new(
+            Geometry::Plane { point: Point3::ZERO, normal: Vec3::UNIT_Y },
+            Material::default(),
+        ));
+        s.add_object(Object::new(
+            Geometry::Sphere { center: Point3::ZERO, radius: 2.0 },
+            Material::default(),
+        ));
+        let b = s.bounds();
+        assert!(b.extent().max_component() < 10.0);
+    }
+
+    #[test]
+    fn empty_scene_has_fallback_bounds() {
+        let s = Scene::new(cam());
+        assert!(!s.bounds().is_empty());
+    }
+
+    #[test]
+    fn flat_scene_bounds_get_thickness() {
+        let mut s = Scene::new(cam());
+        s.add_object(Object::new(
+            Geometry::Disk { center: Point3::ZERO, normal: Vec3::UNIT_Y, radius: 2.0 },
+            Material::default(),
+        ));
+        let b = s.bounds();
+        assert!(b.extent().y > 0.0);
+        assert!(b.volume() > 0.0);
+    }
+}

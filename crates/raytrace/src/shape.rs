@@ -1,0 +1,693 @@
+//! Geometric primitives and ray intersection, in local object space.
+//!
+//! The shape inventory matches what the paper's scenes need: the Newton
+//! animation is "one plane, five spheres, and sixteen cylinders"; the
+//! glass-ball scene needs boxes/planes for the brick room. Triangles and
+//! disks round the set out for user scenes.
+
+use now_math::{Aabb, Interval, Point3, Ray, Vec3, EPSILON};
+
+/// Result of a ray-primitive intersection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// Ray parameter of the hit.
+    pub t: f64,
+    /// Hit point.
+    pub point: Point3,
+    /// Geometric *outward* normal (unit length). The tracer flips it to face
+    /// the incoming ray and records which side was hit.
+    pub normal: Vec3,
+}
+
+/// A primitive in its local coordinate frame.
+///
+/// Cylinders are axis-aligned along local +y (`y0..y1`); arbitrary
+/// orientations come from the owning [`crate::Object`]'s transform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Geometry {
+    /// Sphere with the given center and radius.
+    Sphere {
+        /// Center point.
+        center: Point3,
+        /// Radius (must be positive).
+        radius: f64,
+    },
+    /// Infinite plane through `point` with unit `normal`.
+    Plane {
+        /// A point on the plane.
+        point: Point3,
+        /// Unit outward normal.
+        normal: Vec3,
+    },
+    /// Axis-aligned box.
+    Cuboid {
+        /// Minimum corner.
+        min: Point3,
+        /// Maximum corner.
+        max: Point3,
+    },
+    /// Cylinder along local +y, centered on the y axis.
+    Cylinder {
+        /// Radius.
+        radius: f64,
+        /// Lower extent on y.
+        y0: f64,
+        /// Upper extent on y.
+        y1: f64,
+        /// Whether end caps are solid.
+        capped: bool,
+    },
+    /// Triangle with vertices `a`, `b`, `c` (counter-clockwise outward).
+    Triangle {
+        /// First vertex.
+        a: Point3,
+        /// Second vertex.
+        b: Point3,
+        /// Third vertex.
+        c: Point3,
+    },
+    /// Flat disk.
+    Disk {
+        /// Center point.
+        center: Point3,
+        /// Unit normal.
+        normal: Vec3,
+        /// Radius.
+        radius: f64,
+    },
+    /// Conical frustum along local +y: radius `r0` at `y0` tapering to
+    /// `r1` at `y1` (either may be 0 for a true cone apex).
+    Cone {
+        /// Radius at `y0`.
+        r0: f64,
+        /// Radius at `y1`.
+        r1: f64,
+        /// Lower extent on y.
+        y0: f64,
+        /// Upper extent on y.
+        y1: f64,
+        /// Whether end caps are solid.
+        capped: bool,
+    },
+    /// Torus around the local y axis: major radius `major` (tube center
+    /// circle) and tube radius `minor`.
+    Torus {
+        /// Distance from the axis to the tube center.
+        major: f64,
+        /// Tube radius (must be < `major` for a ring torus).
+        minor: f64,
+    },
+    /// A triangle mesh with a prebuilt BVH (build with [`crate::mesh`]
+    /// helpers; triangles wind counter-clockwise outward).
+    Mesh {
+        /// The mesh and its bounding-volume hierarchy.
+        mesh: std::sync::Arc<crate::bvh::TriMesh>,
+    },
+    /// A constructive-solid-geometry expression (see [`crate::csg`]).
+    CsgNode {
+        /// The boolean expression tree.
+        node: std::sync::Arc<crate::csg::Csg>,
+    },
+}
+
+impl Geometry {
+    /// Local-space bounds, or `None` for unbounded primitives (planes).
+    pub fn local_aabb(&self) -> Option<Aabb> {
+        match self {
+            Geometry::Sphere { center, radius } => Some(Aabb::cube(*center, *radius)),
+            Geometry::Plane { .. } => None,
+            Geometry::Cuboid { min, max } => Some(Aabb::new(*min, *max)),
+            Geometry::Cylinder { radius, y0, y1, .. } => Some(Aabb::new(
+                Point3::new(-radius, *y0, -radius),
+                Point3::new(*radius, *y1, *radius),
+            )),
+            Geometry::Triangle { a, b, c } => Some(Aabb::from_points(&[*a, *b, *c])),
+            Geometry::Disk { center, radius, .. } => Some(Aabb::cube(*center, *radius)),
+            Geometry::Cone { r0, r1, y0, y1, .. } => {
+                let r = r0.max(*r1);
+                Some(Aabb::new(Point3::new(-r, *y0, -r), Point3::new(r, *y1, r)))
+            }
+            Geometry::Torus { major, minor } => {
+                let r = major + minor;
+                Some(Aabb::new(
+                    Point3::new(-r, -minor, -r),
+                    Point3::new(r, *minor, r),
+                ))
+            }
+            Geometry::Mesh { mesh } => Some(mesh.bounds()),
+            Geometry::CsgNode { node } => node.local_aabb(),
+        }
+    }
+
+    /// Closest intersection with `ray` whose `t` lies strictly inside
+    /// `range`, or `None`.
+    pub fn intersect(&self, ray: &Ray, range: Interval) -> Option<Hit> {
+        match self {
+            Geometry::Sphere { center, radius } => sphere_hit(*center, *radius, ray, range),
+            Geometry::Plane { point, normal } => plane_hit(*point, *normal, ray, range),
+            Geometry::Cuboid { min, max } => cuboid_hit(*min, *max, ray, range),
+            Geometry::Cylinder { radius, y0, y1, capped } => {
+                cylinder_hit(*radius, *y0, *y1, *capped, ray, range)
+            }
+            Geometry::Triangle { a, b, c } => triangle_hit(*a, *b, *c, ray, range),
+            Geometry::Disk { center, normal, radius } => {
+                disk_hit(*center, *normal, *radius, ray, range)
+            }
+            Geometry::Cone { r0, r1, y0, y1, capped } => {
+                cone_hit(*r0, *r1, *y0, *y1, *capped, ray, range)
+            }
+            Geometry::Torus { major, minor } => torus_hit(*major, *minor, ray, range),
+            Geometry::Mesh { mesh } => mesh.intersect(ray, range),
+            Geometry::CsgNode { node } => node.intersect(ray, range),
+        }
+    }
+
+    /// True if the ray hits anywhere strictly inside `range` (used for
+    /// shadow tests; may be cheaper than finding the closest hit).
+    pub fn intersects(&self, ray: &Ray, range: Interval) -> bool {
+        self.intersect(ray, range).is_some()
+    }
+}
+
+fn sphere_hit(center: Point3, radius: f64, ray: &Ray, range: Interval) -> Option<Hit> {
+    let oc = ray.origin - center;
+    let a = ray.dir.length_squared();
+    let half_b = oc.dot(ray.dir);
+    let c = oc.length_squared() - radius * radius;
+    let disc = half_b * half_b - a * c;
+    if disc < 0.0 {
+        return None;
+    }
+    let sqrt_d = disc.sqrt();
+    let mut t = (-half_b - sqrt_d) / a;
+    if !range.surrounds(t) {
+        t = (-half_b + sqrt_d) / a;
+        if !range.surrounds(t) {
+            return None;
+        }
+    }
+    let point = ray.at(t);
+    Some(Hit { t, point, normal: (point - center) / radius })
+}
+
+fn plane_hit(point: Point3, normal: Vec3, ray: &Ray, range: Interval) -> Option<Hit> {
+    let denom = ray.dir.dot(normal);
+    if denom.abs() < EPSILON {
+        return None;
+    }
+    let t = (point - ray.origin).dot(normal) / denom;
+    if !range.surrounds(t) {
+        return None;
+    }
+    Some(Hit { t, point: ray.at(t), normal })
+}
+
+fn cuboid_hit(min: Point3, max: Point3, ray: &Ray, range: Interval) -> Option<Hit> {
+    let b = Aabb::new(min, max);
+    let r = b.ray_range(ray, Interval::new(range.min, range.max));
+    if r.is_empty() {
+        return None;
+    }
+    // entry point if it's inside range, else exit point (ray starts inside)
+    let t = if range.surrounds(r.min) {
+        r.min
+    } else if range.surrounds(r.max) {
+        r.max
+    } else {
+        return None;
+    };
+    let p = ray.at(t);
+    // outward normal from the face the point lies on (largest normalized
+    // distance from center)
+    let c = b.center();
+    let half = b.extent() * 0.5;
+    let rel = Vec3::new(
+        (p.x - c.x) / half.x.max(EPSILON),
+        (p.y - c.y) / half.y.max(EPSILON),
+        (p.z - c.z) / half.z.max(EPSILON),
+    );
+    let ax = rel.abs();
+    let normal = if ax.x >= ax.y && ax.x >= ax.z {
+        Vec3::new(rel.x.signum(), 0.0, 0.0)
+    } else if ax.y >= ax.z {
+        Vec3::new(0.0, rel.y.signum(), 0.0)
+    } else {
+        Vec3::new(0.0, 0.0, rel.z.signum())
+    };
+    Some(Hit { t, point: p, normal })
+}
+
+fn cylinder_hit(
+    radius: f64,
+    y0: f64,
+    y1: f64,
+    capped: bool,
+    ray: &Ray,
+    range: Interval,
+) -> Option<Hit> {
+    let mut best: Option<Hit> = None;
+    let mut consider = |h: Hit| {
+        if best.is_none_or(|b| h.t < b.t) {
+            best = Some(h);
+        }
+    };
+
+    // lateral surface: (ox + t dx)^2 + (oz + t dz)^2 = r^2
+    let a = ray.dir.x * ray.dir.x + ray.dir.z * ray.dir.z;
+    if a > EPSILON {
+        let half_b = ray.origin.x * ray.dir.x + ray.origin.z * ray.dir.z;
+        let c = ray.origin.x * ray.origin.x + ray.origin.z * ray.origin.z - radius * radius;
+        let disc = half_b * half_b - a * c;
+        if disc >= 0.0 {
+            let sqrt_d = disc.sqrt();
+            for t in [(-half_b - sqrt_d) / a, (-half_b + sqrt_d) / a] {
+                if range.surrounds(t) {
+                    let p = ray.at(t);
+                    if p.y >= y0 && p.y <= y1 {
+                        let n = Vec3::new(p.x, 0.0, p.z) / radius;
+                        consider(Hit { t, point: p, normal: n });
+                    }
+                }
+            }
+        }
+    }
+
+    if capped {
+        for (y, n) in [(y0, -Vec3::UNIT_Y), (y1, Vec3::UNIT_Y)] {
+            if ray.dir.y.abs() > EPSILON {
+                let t = (y - ray.origin.y) / ray.dir.y;
+                if range.surrounds(t) {
+                    let p = ray.at(t);
+                    if p.x * p.x + p.z * p.z <= radius * radius {
+                        consider(Hit { t, point: p, normal: n });
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+fn triangle_hit(a: Point3, b: Point3, c: Point3, ray: &Ray, range: Interval) -> Option<Hit> {
+    // Möller–Trumbore
+    let e1 = b - a;
+    let e2 = c - a;
+    let pvec = ray.dir.cross(e2);
+    let det = e1.dot(pvec);
+    if det.abs() < EPSILON {
+        return None;
+    }
+    let inv_det = 1.0 / det;
+    let tvec = ray.origin - a;
+    let u = tvec.dot(pvec) * inv_det;
+    if !(0.0..=1.0).contains(&u) {
+        return None;
+    }
+    let qvec = tvec.cross(e1);
+    let v = ray.dir.dot(qvec) * inv_det;
+    if v < 0.0 || u + v > 1.0 {
+        return None;
+    }
+    let t = e2.dot(qvec) * inv_det;
+    if !range.surrounds(t) {
+        return None;
+    }
+    Some(Hit {
+        t,
+        point: ray.at(t),
+        normal: e1.cross(e2).normalized(),
+    })
+}
+
+fn cone_hit(
+    r0: f64,
+    r1: f64,
+    y0: f64,
+    y1: f64,
+    capped: bool,
+    ray: &Ray,
+    range: Interval,
+) -> Option<Hit> {
+    debug_assert!(y1 > y0);
+    let mut best: Option<Hit> = None;
+    let mut consider = |h: Hit| {
+        if best.is_none_or(|b| h.t < b.t) {
+            best = Some(h);
+        }
+    };
+    // lateral surface: x^2 + z^2 = (a + b y)^2 with linear radius profile
+    let b = (r1 - r0) / (y1 - y0);
+    let a = r0 - b * y0;
+    let (ox, oy, oz) = (ray.origin.x, ray.origin.y, ray.origin.z);
+    let (dx, dy, dz) = (ray.dir.x, ray.dir.y, ray.dir.z);
+    // (ox + t dx)^2 + (oz + t dz)^2 - (a + b (oy + t dy))^2 = 0
+    let k = a + b * oy;
+    let qa = dx * dx + dz * dz - b * b * dy * dy;
+    let qb = 2.0 * (ox * dx + oz * dz - k * b * dy);
+    let qc = ox * ox + oz * oz - k * k;
+    for t in now_math::poly::solve_quadratic(qa, qb, qc) {
+        if range.surrounds(t) {
+            let p = ray.at(t);
+            if p.y >= y0 && p.y <= y1 && (a + b * p.y) >= 0.0 {
+                // gradient of f = x^2 + z^2 - (a + b y)^2
+                let n = Vec3::new(p.x, -b * (a + b * p.y), p.z)
+                    .try_normalized(EPSILON)
+                    .unwrap_or(Vec3::UNIT_Y);
+                consider(Hit { t, point: p, normal: n });
+            }
+        }
+    }
+    if capped {
+        for (y, r, n) in [(y0, r0, -Vec3::UNIT_Y), (y1, r1, Vec3::UNIT_Y)] {
+            if r > 0.0 && dy.abs() > EPSILON {
+                let t = (y - oy) / dy;
+                if range.surrounds(t) {
+                    let p = ray.at(t);
+                    if p.x * p.x + p.z * p.z <= r * r {
+                        consider(Hit { t, point: p, normal: n });
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+fn torus_hit(major: f64, minor: f64, ray: &Ray, range: Interval) -> Option<Hit> {
+    // f(p) = (|p|^2 + R^2 - r^2)^2 - 4 R^2 (x^2 + z^2) = 0
+    // Substitute p = o + t d (d unit-ish) and expand into a quartic in t.
+    let o = ray.origin;
+    let d = ray.dir;
+    let dd = d.length_squared();
+    let od = o.dot(d);
+    let oo = o.length_squared();
+    let k = oo + major * major - minor * minor;
+    let c4 = dd * dd;
+    let c3 = 4.0 * dd * od;
+    let c2 = 2.0 * dd * k + 4.0 * od * od - 4.0 * major * major * (d.x * d.x + d.z * d.z);
+    let c1 = 4.0 * od * k - 8.0 * major * major * (o.x * d.x + o.z * d.z);
+    let c0 = k * k - 4.0 * major * major * (o.x * o.x + o.z * o.z);
+    for t in now_math::poly::solve_quartic(c4, c3, c2, c1, c0) {
+        if range.surrounds(t) {
+            let p = ray.at(t);
+            // gradient: 4 (|p|^2 + R^2 - r^2) p - 8 R^2 (x, 0, z)
+            let g = p * (4.0 * (p.length_squared() + major * major - minor * minor))
+                - Vec3::new(p.x, 0.0, p.z) * (8.0 * major * major);
+            let n = g.try_normalized(EPSILON)?;
+            return Some(Hit { t, point: p, normal: n });
+        }
+    }
+    None
+}
+
+fn disk_hit(center: Point3, normal: Vec3, radius: f64, ray: &Ray, range: Interval) -> Option<Hit> {
+    let h = plane_hit(center, normal, ray, range)?;
+    if h.point.distance(center) <= radius {
+        Some(h)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: Interval = Interval { min: 1e-9, max: f64::INFINITY };
+
+    #[test]
+    fn sphere_frontal_hit() {
+        let s = Geometry::Sphere { center: Point3::new(0.0, 0.0, -5.0), radius: 1.0 };
+        let r = Ray::new(Point3::ZERO, -Vec3::UNIT_Z);
+        let h = s.intersect(&r, FULL).unwrap();
+        assert!((h.t - 4.0).abs() < 1e-12);
+        assert!(h.normal.approx_eq(Vec3::UNIT_Z, 1e-12));
+        assert!(h.point.approx_eq(Point3::new(0.0, 0.0, -4.0), 1e-12));
+    }
+
+    #[test]
+    fn sphere_from_inside_hits_far_wall() {
+        let s = Geometry::Sphere { center: Point3::ZERO, radius: 2.0 };
+        let r = Ray::new(Point3::ZERO, Vec3::UNIT_X);
+        let h = s.intersect(&r, FULL).unwrap();
+        assert!((h.t - 2.0).abs() < 1e-12);
+        // outward normal points away from center (same direction as ray)
+        assert!(h.normal.approx_eq(Vec3::UNIT_X, 1e-12));
+    }
+
+    #[test]
+    fn sphere_miss_and_behind() {
+        let s = Geometry::Sphere { center: Point3::new(0.0, 0.0, -5.0), radius: 1.0 };
+        assert!(s.intersect(&Ray::new(Point3::ZERO, Vec3::UNIT_Y), FULL).is_none());
+        assert!(s.intersect(&Ray::new(Point3::ZERO, Vec3::UNIT_Z), FULL).is_none());
+    }
+
+    #[test]
+    fn sphere_respects_range() {
+        let s = Geometry::Sphere { center: Point3::new(0.0, 0.0, -5.0), radius: 1.0 };
+        let r = Ray::new(Point3::ZERO, -Vec3::UNIT_Z);
+        assert!(s.intersect(&r, Interval::new(1e-9, 3.0)).is_none());
+        // range admits only the far intersection
+        let h = s.intersect(&r, Interval::new(4.5, 10.0)).unwrap();
+        assert!((h.t - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plane_hit_and_parallel_miss() {
+        let p = Geometry::Plane { point: Point3::ZERO, normal: Vec3::UNIT_Y };
+        let r = Ray::new(Point3::new(0.0, 2.0, 0.0), Vec3::new(0.0, -1.0, 0.0));
+        let h = p.intersect(&r, FULL).unwrap();
+        assert!((h.t - 2.0).abs() < 1e-12);
+        let parallel = Ray::new(Point3::new(0.0, 2.0, 0.0), Vec3::UNIT_X);
+        assert!(p.intersect(&parallel, FULL).is_none());
+    }
+
+    #[test]
+    fn cuboid_face_normals() {
+        let b = Geometry::Cuboid { min: Point3::splat(-1.0), max: Point3::splat(1.0) };
+        let cases = [
+            (Point3::new(-3.0, 0.0, 0.0), Vec3::UNIT_X, -Vec3::UNIT_X),
+            (Point3::new(3.0, 0.0, 0.0), -Vec3::UNIT_X, Vec3::UNIT_X),
+            (Point3::new(0.0, 3.0, 0.0), -Vec3::UNIT_Y, Vec3::UNIT_Y),
+            (Point3::new(0.0, 0.0, -3.0), Vec3::UNIT_Z, -Vec3::UNIT_Z),
+        ];
+        for (o, d, n) in cases {
+            let h = b.intersect(&Ray::new(o, d), FULL).unwrap();
+            assert!((h.t - 2.0).abs() < 1e-12);
+            assert!(h.normal.approx_eq(n, 1e-12), "normal {} != {}", h.normal, n);
+        }
+    }
+
+    #[test]
+    fn cuboid_from_inside_hits_exit_face() {
+        let b = Geometry::Cuboid { min: Point3::splat(-1.0), max: Point3::splat(1.0) };
+        let h = b.intersect(&Ray::new(Point3::ZERO, Vec3::UNIT_Z), FULL).unwrap();
+        assert!((h.t - 1.0).abs() < 1e-12);
+        assert!(h.normal.approx_eq(Vec3::UNIT_Z, 1e-12));
+    }
+
+    #[test]
+    fn cylinder_side_hit() {
+        let c = Geometry::Cylinder { radius: 1.0, y0: 0.0, y1: 2.0, capped: true };
+        let r = Ray::new(Point3::new(-5.0, 1.0, 0.0), Vec3::UNIT_X);
+        let h = c.intersect(&r, FULL).unwrap();
+        assert!((h.t - 4.0).abs() < 1e-12);
+        assert!(h.normal.approx_eq(-Vec3::UNIT_X, 1e-12));
+    }
+
+    #[test]
+    fn cylinder_above_segment_misses_side() {
+        let c = Geometry::Cylinder { radius: 1.0, y0: 0.0, y1: 2.0, capped: false };
+        let r = Ray::new(Point3::new(-5.0, 3.0, 0.0), Vec3::UNIT_X);
+        assert!(c.intersect(&r, FULL).is_none());
+    }
+
+    #[test]
+    fn cylinder_cap_hit() {
+        let c = Geometry::Cylinder { radius: 1.0, y0: 0.0, y1: 2.0, capped: true };
+        let r = Ray::new(Point3::new(0.2, 5.0, 0.2), -Vec3::UNIT_Y);
+        let h = c.intersect(&r, FULL).unwrap();
+        assert!((h.t - 3.0).abs() < 1e-12);
+        assert!(h.normal.approx_eq(Vec3::UNIT_Y, 1e-12));
+        // uncapped: the same ray passes through the hollow tube
+        let open = Geometry::Cylinder { radius: 1.0, y0: 0.0, y1: 2.0, capped: false };
+        assert!(open.intersect(&r, FULL).is_none());
+    }
+
+    #[test]
+    fn cylinder_axis_parallel_ray_outside_radius_misses() {
+        let c = Geometry::Cylinder { radius: 1.0, y0: 0.0, y1: 2.0, capped: true };
+        let r = Ray::new(Point3::new(3.0, -5.0, 0.0), Vec3::UNIT_Y);
+        assert!(c.intersect(&r, FULL).is_none());
+    }
+
+    #[test]
+    fn triangle_inside_outside() {
+        let t = Geometry::Triangle {
+            a: Point3::new(0.0, 0.0, 0.0),
+            b: Point3::new(2.0, 0.0, 0.0),
+            c: Point3::new(0.0, 2.0, 0.0),
+        };
+        let hit = t
+            .intersect(&Ray::new(Point3::new(0.5, 0.5, 1.0), -Vec3::UNIT_Z), FULL)
+            .unwrap();
+        assert!((hit.t - 1.0).abs() < 1e-12);
+        assert!(hit.normal.approx_eq(Vec3::UNIT_Z, 1e-12));
+        // outside the triangle but on its plane
+        assert!(t
+            .intersect(&Ray::new(Point3::new(1.9, 1.9, 1.0), -Vec3::UNIT_Z), FULL)
+            .is_none());
+    }
+
+    #[test]
+    fn disk_inside_outside() {
+        let d = Geometry::Disk { center: Point3::ZERO, normal: Vec3::UNIT_Z, radius: 1.0 };
+        assert!(d
+            .intersect(&Ray::new(Point3::new(0.5, 0.0, 2.0), -Vec3::UNIT_Z), FULL)
+            .is_some());
+        assert!(d
+            .intersect(&Ray::new(Point3::new(1.5, 0.0, 2.0), -Vec3::UNIT_Z), FULL)
+            .is_none());
+    }
+
+    #[test]
+    fn cone_side_hit_with_tilted_normal() {
+        // frustum from radius 1 at y=0 to radius 0 at y=2 (a true cone)
+        let c = Geometry::Cone { r0: 1.0, r1: 0.0, y0: 0.0, y1: 2.0, capped: true };
+        let r = Ray::new(Point3::new(-5.0, 0.5, 0.0), Vec3::UNIT_X);
+        let h = c.intersect(&r, FULL).unwrap();
+        // at y = 0.5 the radius is 0.75
+        assert!((h.point.x + 0.75).abs() < 1e-9, "{}", h.point);
+        // the normal leans upward (surface slopes inward with height)
+        assert!(h.normal.x < 0.0);
+        assert!(h.normal.y > 0.0);
+        assert!((h.normal.length() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cone_apex_region_and_miss_above() {
+        let c = Geometry::Cone { r0: 1.0, r1: 0.0, y0: 0.0, y1: 2.0, capped: true };
+        // above the apex: miss
+        let r = Ray::new(Point3::new(-5.0, 2.5, 0.0), Vec3::UNIT_X);
+        assert!(c.intersect(&r, FULL).is_none());
+        // through the base cap from below
+        let up = Ray::new(Point3::new(0.3, -1.0, 0.0), Vec3::UNIT_Y);
+        let h = c.intersect(&up, FULL).unwrap();
+        assert!(h.normal.approx_eq(-Vec3::UNIT_Y, 1e-12));
+    }
+
+    #[test]
+    fn cone_frustum_respects_both_radii() {
+        let c = Geometry::Cone { r0: 2.0, r1: 1.0, y0: 0.0, y1: 1.0, capped: false };
+        // radius at y=0.5 is 1.5
+        let h = c
+            .intersect(&Ray::new(Point3::new(-5.0, 0.5, 0.0), Vec3::UNIT_X), FULL)
+            .unwrap();
+        assert!((h.point.x + 1.5).abs() < 1e-9);
+        // uncapped: a vertical ray inside the hole passes through
+        let inside = Ray::new(Point3::new(0.0, -1.0, 0.0), Vec3::UNIT_Y);
+        assert!(c.intersect(&inside, FULL).is_none());
+    }
+
+    #[test]
+    fn torus_hits_outer_and_inner_wall() {
+        let t = Geometry::Torus { major: 2.0, minor: 0.5 };
+        // ray along x through the tube at z=0: outer wall at x = -2.5
+        let r = Ray::new(Point3::new(-5.0, 0.0, 0.0), Vec3::UNIT_X);
+        let h = t.intersect(&r, FULL).unwrap();
+        assert!((h.t - 2.5).abs() < 1e-6, "t = {}", h.t);
+        assert!(h.normal.approx_eq(-Vec3::UNIT_X, 1e-6));
+        // from the center, the ray exits through the inner wall at x = 1.5
+        let r2 = Ray::new(Point3::ZERO, Vec3::UNIT_X);
+        let h2 = t.intersect(&r2, FULL).unwrap();
+        assert!((h2.t - 1.5).abs() < 1e-6);
+        assert!(h2.normal.approx_eq(-Vec3::UNIT_X, 1e-6), "{}", h2.normal);
+    }
+
+    #[test]
+    fn torus_hole_misses() {
+        let t = Geometry::Torus { major: 2.0, minor: 0.5 };
+        // straight down the axis: through the hole
+        let r = Ray::new(Point3::new(0.0, 5.0, 0.0), -Vec3::UNIT_Y);
+        assert!(t.intersect(&r, FULL).is_none());
+        // down through the tube
+        let r2 = Ray::new(Point3::new(2.0, 5.0, 0.0), -Vec3::UNIT_Y);
+        let h = t.intersect(&r2, FULL).unwrap();
+        assert!((h.t - 4.5).abs() < 1e-6);
+        assert!(h.normal.approx_eq(Vec3::UNIT_Y, 1e-6));
+    }
+
+    #[test]
+    fn torus_hit_points_satisfy_implicit_equation() {
+        let (maj, min) = (1.5, 0.4);
+        let t = Geometry::Torus { major: maj, minor: min };
+        let mut hits = 0;
+        for i in 0..300 {
+            let a = i as f64 * 0.21;
+            let o = Point3::new(5.0 * a.cos(), 2.0 * (a * 0.9).sin(), 5.0 * a.sin());
+            let target = Point3::new(maj * (a * 3.0).cos(), 0.0, maj * (a * 3.0).sin());
+            let ray = Ray::new(o, (target - o).normalized());
+            if let Some(h) = t.intersect(&ray, FULL) {
+                let p = h.point;
+                let f = (p.length_squared() + maj * maj - min * min).powi(2)
+                    - 4.0 * maj * maj * (p.x * p.x + p.z * p.z);
+                assert!(f.abs() < 1e-5, "implicit residual {f} at {p}");
+                assert!((h.normal.length() - 1.0).abs() < 1e-9);
+                hits += 1;
+            }
+        }
+        assert!(hits > 200, "only {hits} hits — aim is at the tube ring");
+    }
+
+    #[test]
+    fn local_aabbs_bound_sample_hits() {
+        let shapes = [
+            Geometry::Sphere { center: Point3::new(1.0, 2.0, 3.0), radius: 0.5 },
+            Geometry::Cuboid { min: Point3::splat(-1.0), max: Point3::new(2.0, 1.0, 1.0) },
+            Geometry::Cylinder { radius: 0.7, y0: -1.0, y1: 1.0, capped: true },
+            Geometry::Triangle {
+                a: Point3::ZERO,
+                b: Point3::UNIT_X,
+                c: Point3::UNIT_Y,
+            },
+            Geometry::Disk { center: Point3::ZERO, normal: Vec3::UNIT_Y, radius: 2.0 },
+            Geometry::Cone { r0: 1.2, r1: 0.2, y0: -0.5, y1: 1.5, capped: true },
+            Geometry::Torus { major: 1.4, minor: 0.3 },
+        ];
+        for s in &shapes {
+            let b = s.local_aabb().unwrap().expand(1e-9);
+            // fire a bundle of rays at the shape; all hit points must be
+            // inside the declared bounds
+            for i in 0..64 {
+                let ang = i as f64 * 0.4;
+                let o = Point3::new(6.0 * ang.cos(), 2.0 * (ang * 0.7).sin(), 6.0 * ang.sin());
+                let dir = (b.center() - o).normalized();
+                if let Some(h) = s.intersect(&Ray::new(o, dir), FULL) {
+                    assert!(b.contains(h.point), "{s:?} hit {:?} outside bounds", h.point);
+                }
+            }
+        }
+        assert!(Geometry::Plane { point: Point3::ZERO, normal: Vec3::UNIT_Y }
+            .local_aabb()
+            .is_none());
+    }
+
+    #[test]
+    fn normals_are_unit_length() {
+        let shapes = [
+            Geometry::Sphere { center: Point3::ZERO, radius: 1.3 },
+            Geometry::Cuboid { min: Point3::splat(-1.0), max: Point3::splat(1.0) },
+            Geometry::Cylinder { radius: 1.0, y0: -1.0, y1: 1.0, capped: true },
+        ];
+        for s in &shapes {
+            for i in 0..32 {
+                let ang = i as f64 * 0.7;
+                let o = Point3::new(5.0 * ang.cos(), 3.0 * (ang * 0.9).sin(), 5.0 * ang.sin());
+                let dir = (-o).normalized();
+                if let Some(h) = s.intersect(&Ray::new(o, dir), FULL) {
+                    assert!((h.normal.length() - 1.0).abs() < 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for constructive solid geometry: random expression
+//! trees validated against a point-membership oracle.
+
+use now_math::{Aabb, Interval, Point3, Ray, Vec3};
+use now_raytrace::{Csg, Geometry};
+use proptest::prelude::*;
+
+const FULL: Interval = Interval { min: 1e-9, max: f64::INFINITY };
+
+/// Point-membership oracle (independent of the span algebra under test).
+fn inside(csg: &Csg, p: Point3) -> bool {
+    match csg {
+        Csg::Solid(g) => match g {
+            Geometry::Sphere { center, radius } => p.distance(*center) <= *radius,
+            Geometry::Cuboid { min, max } => Aabb::new(*min, *max).contains(p),
+            Geometry::Cylinder { radius, y0, y1, .. } => {
+                p.y >= *y0 && p.y <= *y1 && p.x * p.x + p.z * p.z <= radius * radius
+            }
+            Geometry::Torus { major, minor } => {
+                let q = (p.x * p.x + p.z * p.z).sqrt() - major;
+                q * q + p.y * p.y <= minor * minor
+            }
+            _ => unreachable!("strategy only generates the solids above"),
+        },
+        Csg::Union(a, b) => inside(a, p) || inside(b, p),
+        Csg::Intersection(a, b) => inside(a, p) && inside(b, p),
+        Csg::Difference(a, b) => inside(a, p) && !inside(b, p),
+    }
+}
+
+fn leaf() -> impl Strategy<Value = Csg> {
+    prop_oneof![
+        ((-1.5..1.5f64, -1.5..1.5f64, -1.5..1.5f64), 0.4..1.4f64).prop_map(|(c, r)| {
+            Csg::Solid(Geometry::Sphere { center: Point3::new(c.0, c.1, c.2), radius: r })
+        }),
+        ((-1.5..0.0f64, -1.5..0.0f64, -1.5..0.0f64), (0.3..1.5f64, 0.3..1.5f64, 0.3..1.5f64))
+            .prop_map(|(mn, ext)| {
+                let min = Point3::new(mn.0, mn.1, mn.2);
+                Csg::Solid(Geometry::Cuboid {
+                    min,
+                    max: min + Vec3::new(ext.0, ext.1, ext.2),
+                })
+            }),
+        (0.3..1.2f64, -1.5..0.0f64, 0.3..1.5f64).prop_map(|(r, y0, h)| {
+            Csg::Solid(Geometry::Cylinder { radius: r, y0, y1: y0 + h, capped: true })
+        }),
+        (0.8..1.6f64, 0.15..0.5f64).prop_map(|(major, minor)| {
+            Csg::Solid(Geometry::Torus { major, minor })
+        }),
+    ]
+}
+
+fn csg_tree() -> impl Strategy<Value = Csg> {
+    leaf().prop_recursive(3, 8, 2, |inner| {
+        (inner.clone(), inner, 0..3u8).prop_map(|(a, b, op)| match op {
+            0 => Csg::union(a, b),
+            1 => Csg::intersection(a, b),
+            _ => Csg::difference(a, b),
+        })
+    })
+}
+
+fn probe_ray() -> impl Strategy<Value = Ray> {
+    (
+        (-5.0..5.0f64, -5.0..5.0f64, 3.0..6.0f64),
+        (-1.0..1.0f64, -1.0..1.0f64),
+    )
+        .prop_map(|(o, t)| {
+            let origin = Point3::new(o.0, o.1, o.2);
+            let target = Point3::new(t.0, t.1, 0.0);
+            Ray::new(origin, (target - origin).normalized())
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Every reported hit is a genuine inside/outside transition, and a
+    /// reported miss means the ray truly never enters the solid.
+    #[test]
+    fn csg_hits_are_boundaries_and_misses_are_empty(expr in csg_tree(), ray in probe_ray()) {
+        match expr.intersect(&ray, FULL) {
+            Some(h) => {
+                prop_assert!(h.t > 0.0);
+                let before = inside(&expr, ray.at(h.t - 1e-6));
+                let after = inside(&expr, ray.at(h.t + 1e-6));
+                // skip razor-thin tangencies where both probes land outside
+                if before != after {
+                    prop_assert!((h.normal.length() - 1.0).abs() < 1e-6);
+                }
+                // no inside point strictly before the first hit
+                let mut k = 1;
+                while (k as f64) * 0.05 < h.t - 1e-3 {
+                    let p = ray.at(k as f64 * 0.05);
+                    prop_assert!(
+                        !inside(&expr, p),
+                        "point {p} inside before first hit at t={}",
+                        h.t
+                    );
+                    k += 1;
+                }
+            }
+            None => {
+                for k in 1..200 {
+                    let p = ray.at(k as f64 * 0.06);
+                    prop_assert!(!inside(&expr, p), "missed but {p} is inside");
+                }
+            }
+        }
+    }
+
+    /// CSG bounds contain every inside point (sampled).
+    #[test]
+    fn csg_bounds_are_conservative(
+        expr in csg_tree(),
+        sx in -3.0..3.0f64,
+        sy in -3.0..3.0f64,
+        sz in -3.0..3.0f64,
+    ) {
+        let p = Point3::new(sx, sy, sz);
+        if inside(&expr, p) {
+            let b = expr.local_aabb().expect("bounded solids only");
+            prop_assert!(b.expand(1e-9).contains(p), "{p} outside bounds {b:?}");
+        }
+    }
+}

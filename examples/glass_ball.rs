@@ -1,0 +1,53 @@
+//! Reproduce the paper's Figures 1 and 2 on the glass-ball scene:
+//! render the first two frames (Fig. 1), compute the actual pixel
+//! differences between them (Fig. 2a) and the differences predicted by
+//! the frame-coherence algorithm (Fig. 2b), and verify the prediction is
+//! conservative.
+//!
+//! Run with: `cargo run --release --example glass_ball`
+
+use nowrender::anim::scenes::glassball;
+use nowrender::coherence::{CoherentRenderer, DiffMaps};
+use nowrender::grid::GridSpec;
+use nowrender::raytrace::{image_io, RenderSettings};
+use std::path::Path;
+
+fn main() -> std::io::Result<()> {
+    let (w, h) = (320, 240);
+    let anim = glassball::animation_sized(w, h, 30);
+    let spec = GridSpec::for_scene(anim.swept_bounds(), 24 * 24 * 24);
+    let mut renderer = CoherentRenderer::new(spec, w, h, RenderSettings::default());
+
+    let out = Path::new("out");
+    std::fs::create_dir_all(out)?;
+
+    // Fig. 1: the first two frames
+    let (frame0, _) = renderer.render_next(&anim.scene_at(0));
+    let (frame1, report) = renderer.render_next(&anim.scene_at(1));
+    image_io::write_tga(&frame0, &out.join("glassball_frame0.tga"))?;
+    image_io::write_tga(&frame1, &out.join("glassball_frame1.tga"))?;
+
+    // Fig. 2: actual vs predicted difference masks
+    let maps = DiffMaps::new(&frame0, &frame1, report.rendered.iter().copied());
+    image_io::write_pgm_mask(w, h, &maps.actual, &out.join("glassball_fig2a_actual.pgm"))?;
+    image_io::write_pgm_mask(
+        w,
+        h,
+        &maps.predicted,
+        &out.join("glassball_fig2b_predicted.pgm"),
+    )?;
+
+    let total = (w * h) as f64;
+    println!("Fig 2(a) actual changed pixels:   {:6} ({:.1}%)", maps.actual_count(),
+        100.0 * maps.actual_count() as f64 / total);
+    println!("Fig 2(b) predicted dirty pixels:  {:6} ({:.1}%)", maps.predicted_count(),
+        100.0 * maps.predicted_count() as f64 / total);
+    println!("over-prediction factor:           {:.2}x", maps.overprediction());
+    println!(
+        "conservative (predicted ⊇ actual): {}",
+        if maps.is_conservative() { "YES" } else { "NO — BUG" }
+    );
+    assert!(maps.is_conservative());
+    println!("wrote glassball_frame*.tga and glassball_fig2*.pgm to out/");
+    Ok(())
+}

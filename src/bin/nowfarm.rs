@@ -1,0 +1,272 @@
+//! `nowfarm` — command-line front end for the nowrender system.
+//!
+//! ```text
+//! nowfarm info   SCENE                      inspect a scene file
+//! nowfarm render SCENE [opts]               render the animation to TGA
+//!   --out DIR          output directory (default: out)
+//!   --plain            disable frame coherence
+//!   --block N          Jevans block coherence with NxN blocks
+//! nowfarm farm   SCENE [opts]               render on a cluster
+//!   --out DIR          output directory (default: out)
+//!   --threads N        real thread backend with N workers
+//!   --machines SPEC    simulated cluster, SPEC like 2.0x64,1.0x32,1.0x32
+//!   --scheme S         seq | frame | hybrid   (default: frame)
+//!   --plain            disable frame coherence
+//! nowfarm demo   NAME [frames [WxH]]        render a built-in animation
+//!                                           (newton | glassball | orbit)
+//! ```
+
+use nowrender::anim::parse::parse_animation;
+use nowrender::anim::scenes::{glassball, newton, orbit};
+use nowrender::anim::Animation;
+use nowrender::cluster::{MachineSpec, SimCluster};
+use nowrender::coherence::CoherentRenderer;
+use nowrender::core::{
+    run_sim, run_threads, CostModel, FarmConfig, PartitionScheme,
+};
+use nowrender::grid::GridSpec;
+use nowrender::raytrace::{image_io, Framebuffer, RenderSettings};
+use now_math::Color;
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("info") => cmd_info(&args[1..]),
+        Some("render") => cmd_render(&args[1..]),
+        Some("farm") => cmd_farm(&args[1..]),
+        Some("demo") => cmd_demo(&args[1..]),
+        _ => {
+            eprintln!("usage: nowfarm <info|render|farm|demo> ... (see --help in the README)");
+            exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+}
+
+type CliResult = Result<(), String>;
+
+fn load_animation(path: &str) -> Result<Animation, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_animation(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn outdir(args: &[String]) -> Result<PathBuf, String> {
+    let dir = PathBuf::from(flag_value(args, "--out").unwrap_or("out"));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+    Ok(dir)
+}
+
+fn cmd_info(args: &[String]) -> CliResult {
+    let path = args.first().ok_or("info needs a scene file")?;
+    let anim = load_animation(path)?;
+    println!("scene file: {path}");
+    println!("  resolution: {}x{}", anim.base.camera.width(), anim.base.camera.height());
+    println!("  frames:     {}", anim.frames);
+    println!("  objects:    {}", anim.base.objects.len());
+    for o in &anim.base.objects {
+        let kind = format!("{:?}", o.geometry);
+        let kind = kind.split([' ', '{']).next().unwrap_or("?");
+        println!("    - {:<12} {}", o.name, kind);
+    }
+    println!("  lights:     {}", anim.base.lights.len());
+    println!("  tracks:     {}", anim.tracks.len());
+    println!("  segments:   {:?}", anim.segments());
+    let b = anim.swept_bounds();
+    println!("  swept bounds: {} .. {}", b.min, b.max);
+    Ok(())
+}
+
+fn cmd_render(args: &[String]) -> CliResult {
+    let path = args.first().ok_or("render needs a scene file")?;
+    let anim = load_animation(path)?;
+    let dir = outdir(args)?;
+    let (w, h) = (anim.base.camera.width(), anim.base.camera.height());
+    let spec = GridSpec::for_scene(anim.swept_bounds(), 24 * 24 * 24);
+
+    let block: u32 = flag_value(args, "--block").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let coherent = !has_flag(args, "--plain");
+
+    let t0 = std::time::Instant::now();
+    if coherent {
+        let mut renderer = CoherentRenderer::with_region_and_block(
+            spec,
+            w,
+            h,
+            nowrender::coherence::PixelRegion::full(w, h),
+            block,
+            RenderSettings::default(),
+        );
+        for f in 0..anim.frames {
+            let (fb, rep) = renderer.render_next(&anim.scene_at(f));
+            write_frame(&fb, &dir, f)?;
+            println!(
+                "frame {f:3}: {:6} px recomputed, {:8} rays",
+                rep.pixels_rendered,
+                rep.rays.total_rays()
+            );
+        }
+    } else {
+        use nowrender::raytrace::{render_frame, GridAccel, NullListener, RayStats};
+        for f in 0..anim.frames {
+            let scene = anim.scene_at(f);
+            let accel = GridAccel::build_with_spec(&scene, spec);
+            let mut rays = RayStats::default();
+            let fb = render_frame(
+                &scene,
+                &accel,
+                &RenderSettings::default(),
+                &mut NullListener,
+                &mut rays,
+            );
+            write_frame(&fb, &dir, f)?;
+            println!("frame {f:3}: full render, {:8} rays", rays.total_rays());
+        }
+    }
+    println!(
+        "{} frames -> {} in {:.2}s",
+        anim.frames,
+        dir.display(),
+        t0.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+fn parse_machines(spec: &str) -> Result<Vec<MachineSpec>, String> {
+    spec.split(',')
+        .enumerate()
+        .map(|(i, m)| {
+            let (speed, mem) = m
+                .split_once('x')
+                .ok_or_else(|| format!("bad machine `{m}` (want SPEEDxMEM_MB)"))?;
+            Ok(MachineSpec::new(
+                &format!("sim-{i}"),
+                speed.parse().map_err(|_| format!("bad speed `{speed}`"))?,
+                mem.parse().map_err(|_| format!("bad memory `{mem}`"))?,
+            ))
+        })
+        .collect()
+}
+
+fn cmd_farm(args: &[String]) -> CliResult {
+    let path = args.first().ok_or("farm needs a scene file")?;
+    let anim = load_animation(path)?;
+    let dir = outdir(args)?;
+    let (w, h) = (anim.base.camera.width(), anim.base.camera.height());
+
+    let scheme = match flag_value(args, "--scheme").unwrap_or("frame") {
+        "seq" => PartitionScheme::SequenceDivision { adaptive: true },
+        "frame" => PartitionScheme::FrameDivision {
+            tile_w: w.div_ceil(4),
+            tile_h: h.div_ceil(3),
+            adaptive: true,
+        },
+        "hybrid" => PartitionScheme::Hybrid {
+            tile_w: w.div_ceil(2),
+            tile_h: h.div_ceil(2),
+            subseq: (anim.frames as u32 / 4).max(1),
+        },
+        other => return Err(format!("unknown scheme `{other}` (seq|frame|hybrid)")),
+    };
+    let cfg = FarmConfig {
+        scheme,
+        coherence: !has_flag(args, "--plain"),
+        settings: RenderSettings::default(),
+        cost: CostModel::default(),
+        grid_voxels: 24 * 24 * 24,
+        keep_frames: true,
+    };
+
+    let result = if let Some(n) = flag_value(args, "--threads") {
+        let n: usize = n.parse().map_err(|_| "bad --threads value")?;
+        println!("running on {n} real worker threads ...");
+        run_threads(&anim, &cfg, n)
+    } else {
+        let machines = match flag_value(args, "--machines") {
+            Some(spec) => parse_machines(spec)?,
+            None => MachineSpec::paper_cluster(),
+        };
+        println!("simulating {} machines ...", machines.len());
+        run_sim(&anim, &cfg, &SimCluster::new(machines))
+    };
+
+    println!(
+        "makespan {:.2}s, {} rays, {} units, {} messages, {} bytes over the wire",
+        result.report.makespan_s,
+        result.rays.total_rays(),
+        result.units_done,
+        result.report.messages,
+        result.report.bytes
+    );
+    for (i, m) in result.report.machines.iter().enumerate() {
+        println!(
+            "  {:<28} busy {:8.2}s  util {:3.0}%  units {:4}",
+            m.name,
+            m.busy_s,
+            100.0 * result.report.utilisation(i),
+            m.units_done
+        );
+    }
+    for (f, rgb) in result.frames_rgb.iter().enumerate() {
+        let mut fb = Framebuffer::new(w, h);
+        for (i, px) in rgb.iter().enumerate() {
+            fb.set_id(i as u32, Color::from_u8(px[0], px[1], px[2]));
+        }
+        write_frame(&fb, &dir, f)?;
+    }
+    println!("{} frames -> {}", result.frames_rgb.len(), dir.display());
+    Ok(())
+}
+
+fn cmd_demo(args: &[String]) -> CliResult {
+    let name = args.first().ok_or("demo needs a name: newton | glassball | orbit")?;
+    let frames: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(10);
+    let (w, h) = args
+        .get(2)
+        .and_then(|a| {
+            let (w, h) = a.split_once('x')?;
+            Some((w.parse().ok()?, h.parse().ok()?))
+        })
+        .unwrap_or((160, 120));
+    let anim = match name.as_str() {
+        "newton" => newton::animation_sized(w, h, frames),
+        "glassball" => glassball::animation_sized(w, h, frames),
+        "orbit" => orbit::animation_sized(w, h, frames, 8, 0.5),
+        other => return Err(format!("unknown demo `{other}`")),
+    };
+    let dir = outdir(args)?;
+    let spec = GridSpec::for_scene(anim.swept_bounds(), 24 * 24 * 24);
+    let mut renderer = CoherentRenderer::new(spec, w, h, RenderSettings::default());
+    for f in 0..anim.frames {
+        let (fb, rep) = renderer.render_next(&anim.scene_at(f));
+        write_frame(&fb, &dir, f)?;
+        println!(
+            "frame {f:3}: {:6} px recomputed ({:4.1}%)",
+            rep.pixels_rendered,
+            100.0 * rep.pixels_rendered as f64 / rep.region_pixels as f64
+        );
+    }
+    println!("{frames} frames -> {}", dir.display());
+    Ok(())
+}
+
+fn write_frame(fb: &Framebuffer, dir: &Path, frame: usize) -> CliResult {
+    let path = dir.join(format!("frame_{frame:04}.tga"));
+    image_io::write_tga(fb, &path).map_err(|e| format!("write {}: {e}", path.display()))
+}

@@ -1,0 +1,245 @@
+//! End-to-end integration: the full paper pipeline across crates.
+//!
+//! Every distribution scheme, backend, and coherence mode must produce the
+//! same 24-bit frames as a single-processor from-scratch render.
+
+use nowrender::anim::scenes::{glassball, newton};
+use nowrender::cluster::{MachineSpec, SimCluster};
+use nowrender::core::farm::frame_hash;
+use nowrender::core::{
+    run_sim, run_threads, render_sequence, CostModel, FarmConfig, PartitionScheme, SequenceMode,
+    SingleMachine,
+};
+use nowrender::raytrace::RenderSettings;
+
+const W: u32 = 48;
+const H: u32 = 36;
+const FRAMES: usize = 5;
+
+fn newton_anim() -> nowrender::anim::Animation {
+    newton::animation_sized(W, H, FRAMES)
+}
+
+fn base_cfg(scheme: PartitionScheme, coherence: bool) -> FarmConfig {
+    FarmConfig {
+        scheme,
+        coherence,
+        settings: RenderSettings::default(),
+        cost: CostModel::default(),
+        grid_voxels: 16 * 16 * 16,
+        keep_frames: false,
+    }
+}
+
+fn reference(anim: &nowrender::anim::Animation) -> Vec<u64> {
+    let (frames, _) = render_sequence(
+        anim,
+        &RenderSettings::default(),
+        &CostModel::default(),
+        SequenceMode::Plain,
+        SingleMachine::unit(),
+        16 * 16 * 16,
+    );
+    frames.iter().map(frame_hash).collect()
+}
+
+#[test]
+fn all_schemes_and_backends_agree_on_newton() {
+    let anim = newton_anim();
+    let expected = reference(&anim);
+    let cluster = SimCluster::paper();
+
+    let schemes = [
+        ("seq-div", PartitionScheme::SequenceDivision { adaptive: true }, true),
+        ("seq-div-static", PartitionScheme::SequenceDivision { adaptive: false }, true),
+        (
+            "frame-div",
+            PartitionScheme::FrameDivision { tile_w: 16, tile_h: 12, adaptive: true },
+            true,
+        ),
+        (
+            "frame-div-plain",
+            PartitionScheme::FrameDivision { tile_w: 16, tile_h: 12, adaptive: true },
+            false,
+        ),
+        ("hybrid", PartitionScheme::Hybrid { tile_w: 24, tile_h: 18, subseq: 2 }, true),
+    ];
+    for (name, scheme, coh) in schemes {
+        let r = run_sim(&anim, &base_cfg(scheme, coh), &cluster);
+        assert_eq!(r.frame_hashes, expected, "sim scheme {name} deviates");
+    }
+
+    // real threads
+    let r = run_threads(
+        &anim,
+        &base_cfg(
+            PartitionScheme::FrameDivision { tile_w: 16, tile_h: 12, adaptive: true },
+            true,
+        ),
+        3,
+    );
+    assert_eq!(r.frame_hashes, expected, "threads backend deviates");
+}
+
+#[test]
+fn coherent_single_equals_plain_single_on_glassball() {
+    let anim = glassball::animation_sized(W, H, FRAMES);
+    let settings = RenderSettings::default();
+    let cost = CostModel::default();
+    let (plain, pr) = render_sequence(
+        &anim, &settings, &cost, SequenceMode::Plain, SingleMachine::unit(), 4096,
+    );
+    let (coh, cr) = render_sequence(
+        &anim, &settings, &cost, SequenceMode::Coherent, SingleMachine::unit(), 4096,
+    );
+    for (i, (a, b)) in plain.iter().zip(coh.iter()).enumerate() {
+        assert!(a.same_image(b), "frame {i} differs");
+    }
+    assert!(cr.rays.total_rays() < pr.rays.total_rays());
+}
+
+#[test]
+fn unusual_cluster_shapes_still_correct() {
+    let anim = newton_anim();
+    let expected = reference(&anim);
+    // one machine
+    let single = SimCluster::new(vec![MachineSpec::new("only", 1.0, 64.0)]);
+    let r = run_sim(
+        &anim,
+        &base_cfg(PartitionScheme::SequenceDivision { adaptive: true }, true),
+        &single,
+    );
+    assert_eq!(r.frame_hashes, expected);
+    // more machines than frames
+    let many = SimCluster::new(
+        (0..8)
+            .map(|i| MachineSpec::new(&format!("m{i}"), 1.0 + (i % 3) as f64, 64.0))
+            .collect(),
+    );
+    let r = run_sim(
+        &anim,
+        &base_cfg(PartitionScheme::FrameDivision { tile_w: 12, tile_h: 12, adaptive: true }, true),
+        &many,
+    );
+    assert_eq!(r.frame_hashes, expected);
+}
+
+#[test]
+fn soft_shadows_keep_coherence_exact() {
+    // an area light casts penumbrae; a moving blocker's soft shadow must be
+    // recomputed correctly frame to frame (every shadow sample ray is
+    // tracked individually)
+    use now_math::{Color, Point3, Vec3};
+    use nowrender::anim::{Animation, Track};
+    use nowrender::raytrace::{AreaLight, Geometry, Material, Object, Scene};
+
+    let cam = nowrender::raytrace::Camera::look_at(
+        Point3::new(0.0, 4.0, 9.0),
+        Point3::new(0.0, 0.5, 0.0),
+        Vec3::UNIT_Y,
+        50.0,
+        W,
+        H,
+    );
+    let mut scene = Scene::new(cam);
+    scene.ambient = Color::gray(0.2);
+    scene.add_object(Object::new(
+        Geometry::Cuboid {
+            min: Point3::new(-5.0, -0.4, -5.0),
+            max: Point3::new(5.0, 0.0, 5.0),
+        },
+        Material::matte(Color::gray(0.7)),
+    ));
+    scene.add_object(
+        Object::new(
+            Geometry::Sphere { center: Point3::new(-1.5, 1.3, 0.0), radius: 0.5 },
+            Material::plastic(Color::new(0.8, 0.3, 0.3)),
+        )
+        .named("blocker"),
+    );
+    scene.add_light(AreaLight::new(
+        Point3::new(-1.0, 6.0, -1.0),
+        Vec3::new(2.0, 0.0, 0.0),
+        Vec3::new(0.0, 0.0, 2.0),
+        Color::gray(0.9),
+        3,
+    ));
+    let mut anim = Animation::still(scene, 4);
+    let id = anim.base.object_by_name("blocker").unwrap();
+    anim.add_track(
+        id,
+        Track::Translate(vec![(0.0, Vec3::ZERO), (3.0, Vec3::new(3.0, 0.0, 0.0))]),
+    );
+
+    let settings = RenderSettings::default();
+    let cost = CostModel::default();
+    let (plain, _) = render_sequence(
+        &anim, &settings, &cost, SequenceMode::Plain, SingleMachine::unit(), 4096,
+    );
+    let (coh, rc) = render_sequence(
+        &anim, &settings, &cost, SequenceMode::Coherent, SingleMachine::unit(), 4096,
+    );
+    for (i, (a, b)) in plain.iter().zip(coh.iter()).enumerate() {
+        assert!(a.same_image(b), "soft-shadow frame {i} deviates");
+    }
+    // 9 shadow samples per light per shading point
+    assert!(rc.rays.shadow > rc.rays.primary);
+}
+
+#[test]
+fn adaptive_antialiasing_keeps_coherence_exact() {
+    use nowrender::raytrace::Adaptive;
+    let anim = newton_anim();
+    let settings = RenderSettings {
+        max_depth: 3,
+        sqrt_samples: 1,
+        adaptive: Some(Adaptive { threshold: 0.1, max_level: 2 }),
+    };
+    let cost = CostModel::default();
+    let (plain, _) = render_sequence(
+        &anim, &settings, &cost, SequenceMode::Plain, SingleMachine::unit(), 4096,
+    );
+    let (coh, rc) = render_sequence(
+        &anim, &settings, &cost, SequenceMode::Coherent, SingleMachine::unit(), 4096,
+    );
+    for (i, (a, b)) in plain.iter().zip(coh.iter()).enumerate() {
+        assert!(a.same_image(b), "adaptive frame {i} deviates");
+    }
+    assert!(rc.rays.total_rays() > 0);
+}
+
+#[test]
+fn paper_shape_holds_at_test_scale() {
+    // the qualitative claims of Table 1, enforced at a small scale
+    let anim = newton_anim();
+    let cluster = SimCluster::paper();
+    let settings = RenderSettings::default();
+    let cost = CostModel::default();
+
+    let (_, plain) = render_sequence(
+        &anim, &settings, &cost, SequenceMode::Plain, SingleMachine::fastest(), 16 * 16 * 16,
+    );
+    let (_, coh) = render_sequence(
+        &anim, &settings, &cost, SequenceMode::Coherent, SingleMachine::fastest(), 16 * 16 * 16,
+    );
+    let dist = run_sim(
+        &anim,
+        &base_cfg(PartitionScheme::FrameDivision { tile_w: 16, tile_h: 12, adaptive: true }, false),
+        &cluster,
+    );
+    let fdiv = run_sim(
+        &anim,
+        &base_cfg(PartitionScheme::FrameDivision { tile_w: 16, tile_h: 12, adaptive: true }, true),
+        &cluster,
+    );
+
+    // coherence reduces rays and time
+    assert!(coh.rays.total_rays() < plain.rays.total_rays());
+    assert!(coh.total_s < plain.total_s);
+    // distribution alone speeds up, bounded by aggregate/fastest = 2
+    let dist_speedup = plain.total_s / dist.report.makespan_s;
+    assert!(dist_speedup > 1.2 && dist_speedup < 2.3, "dist speedup {dist_speedup}");
+    // combining multiplies: frame division beats both individual techniques
+    assert!(fdiv.report.makespan_s < coh.total_s);
+    assert!(fdiv.report.makespan_s < dist.report.makespan_s);
+}
