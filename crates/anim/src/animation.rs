@@ -46,7 +46,12 @@ pub struct Animation {
 impl Animation {
     /// Animation with no tracks (static scene repeated).
     pub fn still(base: Scene, frames: usize) -> Animation {
-        Animation { base, tracks: Vec::new(), cameras: Vec::new(), frames }
+        Animation {
+            base,
+            tracks: Vec::new(),
+            cameras: Vec::new(),
+            frames,
+        }
     }
 
     /// Add a track for an object.
@@ -106,7 +111,10 @@ impl Animation {
                 start = f;
             }
         }
-        out.push(Segment { start, end: self.frames });
+        out.push(Segment {
+            start,
+            end: self.frames,
+        });
         out
     }
 }
@@ -129,7 +137,10 @@ mod tests {
         let mut s = Scene::new(cam);
         s.add_object(
             Object::new(
-                Geometry::Sphere { center: Point3::ZERO, radius: 1.0 },
+                Geometry::Sphere {
+                    center: Point3::ZERO,
+                    radius: 1.0,
+                },
                 Material::matte(Color::WHITE),
             )
             .named("ball"),
@@ -162,8 +173,7 @@ mod tests {
     #[test]
     fn track_composes_with_base_transform() {
         let mut scene = base();
-        scene.objects[0]
-            .set_transform(now_math::Affine::translate(Vec3::new(0.0, 2.0, 0.0)));
+        scene.objects[0].set_transform(now_math::Affine::translate(Vec3::new(0.0, 2.0, 0.0)));
         let mut a = Animation::still(scene, 2);
         a.add_track(0, Track::Translate(vec![(0.0, Vec3::new(1.0, 0.0, 0.0))]));
         let s = a.scene_at(1);
@@ -196,7 +206,11 @@ mod tests {
             32,
             24,
         );
-        a.cameras = vec![(0, a.base.camera.clone()), (4, cam2.clone()), (7, a.base.camera.clone())];
+        a.cameras = vec![
+            (0, a.base.camera.clone()),
+            (4, cam2.clone()),
+            (7, a.base.camera.clone()),
+        ];
         let segs = a.segments();
         assert_eq!(
             segs,
@@ -223,7 +237,10 @@ mod tests {
         let mut scene = base();
         scene.add_object(
             Object::new(
-                Geometry::Sphere { center: Point3::new(3.0, 0.0, 0.0), radius: 0.5 },
+                Geometry::Sphere {
+                    center: Point3::new(3.0, 0.0, 0.0),
+                    radius: 0.5,
+                },
                 Material::matte(Color::WHITE),
             )
             .named("static"),

@@ -19,7 +19,9 @@ use crate::animation::Animation;
 use crate::scenes::{cone_between, cylinder_between};
 use crate::track::Track;
 use now_math::{Color, Point3, Vec3};
-use now_raytrace::{AreaLight, Camera, Geometry, Light, Material, Object, PointLight, Scene, SpotLight};
+use now_raytrace::{
+    AreaLight, Camera, Geometry, Light, Material, Object, PointLight, Scene, SpotLight,
+};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -49,11 +51,18 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn new(text: &'a str, line: usize) -> Cursor<'a> {
-        Cursor { tokens: text.split_whitespace().collect(), pos: 0, line }
+        Cursor {
+            tokens: text.split_whitespace().collect(),
+            pos: 0,
+            line,
+        }
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError { line: self.line, message: msg.into() }
+        ParseError {
+            line: self.line,
+            message: msg.into(),
+        }
     }
 
     fn peek(&self) -> Option<&'a str> {
@@ -117,7 +126,10 @@ impl<'a> Cursor<'a> {
         if self.pos == self.tokens.len() {
             Ok(())
         } else {
-            Err(self.err(format!("unexpected trailing tokens: `{}`", self.tokens[self.pos..].join(" "))))
+            Err(self.err(format!(
+                "unexpected trailing tokens: `{}`",
+                self.tokens[self.pos..].join(" ")
+            )))
         }
     }
 }
@@ -280,7 +292,10 @@ pub fn parse_animation(text: &str) -> Result<Animation, ParseError> {
                         let normal = c.next_vec3("normal")?;
                         let m = take_material(&mut c, &materials)?;
                         Object::new(
-                            Geometry::Plane { point, normal: normal.normalized() },
+                            Geometry::Plane {
+                                point,
+                                normal: normal.normalized(),
+                            },
                             m,
                         )
                     }
@@ -352,10 +367,9 @@ pub fn parse_animation(text: &str) -> Result<Animation, ParseError> {
                 let m = take_material(&mut c, &materials)?;
                 c.finish()?;
                 let mut take_operand = |n: &str| -> Result<Geometry, ParseError> {
-                    let idx = objects
-                        .iter()
-                        .position(|o| o.name == n)
-                        .ok_or_else(|| c.err(format!("csg operand `{n}` is not a declared object")))?;
+                    let idx = objects.iter().position(|o| o.name == n).ok_or_else(|| {
+                        c.err(format!("csg operand `{n}` is not a declared object"))
+                    })?;
                     if !objects[idx].transform().is_identity() {
                         return Err(c.err(format!(
                             "csg operand `{n}` must be declared at the identity transform"
@@ -382,7 +396,9 @@ pub fn parse_animation(text: &str) -> Result<Animation, ParseError> {
                 };
                 objects.push(
                     Object::new(
-                        Geometry::CsgNode { node: std::sync::Arc::new(node) },
+                        Geometry::CsgNode {
+                            node: std::sync::Arc::new(node),
+                        },
                         m,
                     )
                     .named(&name),
@@ -425,7 +441,11 @@ pub fn parse_animation(text: &str) -> Result<Animation, ParseError> {
                         if keys.is_empty() {
                             return Err(c.err("rotate needs at least one `key F ANGLE`"));
                         }
-                        Track::Rotate { pivot, axis: axis.normalized(), keys }
+                        Track::Rotate {
+                            pivot,
+                            axis: axis.normalized(),
+                            keys,
+                        }
                     }
                     other => return Err(c.err(format!("unknown track kind `{other}`"))),
                 };
@@ -624,7 +644,8 @@ mod tests {
             let origin = Point3::new(0.0, 3.0, 8.0);
             let ray = now_math::Ray::new(origin, (target - origin).normalized());
             assert!(
-                obj.intersect(&ray, Interval::new(1e-9, f64::INFINITY)).is_some(),
+                obj.intersect(&ray, Interval::new(1e-9, f64::INFINITY))
+                    .is_some(),
                 "{name} not hit"
             );
         }
@@ -650,9 +671,13 @@ mod tests {
         use now_math::{Interval, Ray};
         let lens = &anim.base.objects[0];
         let on = Ray::new(Point3::new(0.0, 0.0, 5.0), -Vec3::UNIT_Z);
-        assert!(lens.intersect(&on, Interval::new(1e-9, f64::INFINITY)).is_some());
+        assert!(lens
+            .intersect(&on, Interval::new(1e-9, f64::INFINITY))
+            .is_some());
         let off = Ray::new(Point3::new(-1.2, 0.0, 5.0), -Vec3::UNIT_Z);
-        assert!(lens.intersect(&off, Interval::new(1e-9, f64::INFINITY)).is_none());
+        assert!(lens
+            .intersect(&off, Interval::new(1e-9, f64::INFINITY))
+            .is_none());
         // errors: unknown operand, transformed operand, unknown op
         let bad = text.replace("intersect a b", "intersect a ghost");
         assert!(parse_animation(&bad).is_err());

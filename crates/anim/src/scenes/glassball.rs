@@ -44,7 +44,7 @@ pub fn scene(width: u32, height: u32) -> Scene {
     s.ambient = Color::gray(0.8);
 
     let wall = 0.2; // wall slab thickness
-    // floor: wooden-checker slab
+                    // floor: wooden-checker slab
     s.add_object(
         Object::new(
             Geometry::Cuboid {
@@ -109,7 +109,10 @@ pub fn scene(width: u32, height: u32) -> Scene {
     // the glass ball at its frame-0 position (left side, at bounce apex)
     s.add_object(
         Object::new(
-            Geometry::Sphere { center: ball_position(0.0), radius: R },
+            Geometry::Sphere {
+                center: ball_position(0.0),
+                radius: R,
+            },
             Material::glass(),
         )
         .named("ball"),
@@ -166,7 +169,11 @@ mod tests {
         for f in 0..30 {
             let p = ball_position(f as f64);
             assert!(p.x.abs() < HW - R, "frame {f}: x = {}", p.x);
-            assert!(p.y > R - 1e-9 && p.y < 2.0 * HH - R, "frame {f}: y = {}", p.y);
+            assert!(
+                p.y > R - 1e-9 && p.y < 2.0 * HH - R,
+                "frame {f}: y = {}",
+                p.y
+            );
             assert!(p.z.abs() < HD - R, "frame {f}: z = {}", p.z);
         }
     }
@@ -211,7 +218,8 @@ mod tests {
         let s = scene(64, 48);
         let ray = s.camera.primary_ray(32, 24, 0.5, 0.5);
         let hit_any = s.objects.iter().any(|o| {
-            o.intersect(&ray, Interval::new(1e-9, f64::INFINITY)).is_some()
+            o.intersect(&ray, Interval::new(1e-9, f64::INFINITY))
+                .is_some()
         });
         assert!(hit_any);
     }

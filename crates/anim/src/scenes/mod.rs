@@ -25,7 +25,12 @@ pub fn cylinder_between(a: Point3, b: Point3, radius: f64, material: Material) -
         .then(&rot)
         .then(&Affine::translate(a));
     Object::new(
-        Geometry::Cylinder { radius, y0: 0.0, y1: 1.0, capped: true },
+        Geometry::Cylinder {
+            radius,
+            y0: 0.0,
+            y1: 1.0,
+            capped: true,
+        },
         material,
     )
     .with_transform(xf)
@@ -42,7 +47,13 @@ pub fn cone_between(a: Point3, b: Point3, r0: f64, r1: f64, material: Material) 
         .then(&rotation_from_y(dir))
         .then(&Affine::translate(a));
     Object::new(
-        Geometry::Cone { r0, r1, y0: 0.0, y1: 1.0, capped: true },
+        Geometry::Cone {
+            r0,
+            r1,
+            y0: 0.0,
+            y1: 1.0,
+            capped: true,
+        },
         material,
     )
     .with_transform(xf)
@@ -93,7 +104,10 @@ mod tests {
         // a ray through the midpoint, perpendicular to the axis, hits
         let mid = a.lerp(b, 0.5);
         let axis = (b - a).normalized();
-        let perp = axis.cross(Vec3::UNIT_X).try_normalized(1e-6).unwrap_or(Vec3::UNIT_Z);
+        let perp = axis
+            .cross(Vec3::UNIT_X)
+            .try_normalized(1e-6)
+            .unwrap_or(Vec3::UNIT_Z);
         let ray = now_math::Ray::new(mid + perp * 5.0, -perp);
         let mut stats = RayStats::default();
         let _ = &mut stats;

@@ -59,7 +59,10 @@ pub fn scene(width: u32, height: u32) -> Scene {
     // (1 plane) marble floor
     s.add_object(
         Object::new(
-            Geometry::Plane { point: Point3::ZERO, normal: Vec3::UNIT_Y },
+            Geometry::Plane {
+                point: Point3::ZERO,
+                normal: Vec3::UNIT_Y,
+            },
             Material {
                 texture: Texture::Marble {
                     a: Color::new(0.35, 0.32, 0.3),
@@ -139,10 +142,14 @@ pub fn scene(width: u32, height: u32) -> Scene {
         }
     }
 
-    s.add_light(PointLight::new(Point3::new(6.0, 9.0, 7.0), Color::gray(0.95)));
-    s.add_light(
-        PointLight::new(Point3::new(-5.0, 7.0, 4.0), Color::gray(0.35)),
-    );
+    s.add_light(PointLight::new(
+        Point3::new(6.0, 9.0, 7.0),
+        Color::gray(0.95),
+    ));
+    s.add_light(PointLight::new(
+        Point3::new(-5.0, 7.0, 4.0),
+        Color::gray(0.35),
+    ));
     s
 }
 
@@ -261,12 +268,11 @@ pub fn animation_sized(width: u32, height: u32, frames: usize) -> Animation {
     let scale = frames as f64 / 45.0;
 
     // dense per-frame keys from the phase functions
-    let keys =
-        |angle: &dyn Fn(f64) -> f64| -> Vec<(f64, f64)> {
-            (0..frames)
-                .map(|f| (f as f64, angle(f as f64 / scale)))
-                .collect()
-        };
+    let keys = |angle: &dyn Fn(f64) -> f64| -> Vec<(f64, f64)> {
+        (0..frames)
+            .map(|f| (f as f64, angle(f as f64 / scale)))
+            .collect()
+    };
 
     // the left marble (ball0 and its strings) rotates about the axis
     // through its rail anchors
@@ -375,9 +381,12 @@ mod tests {
         let rest = anim.scene_at(15); // left ball at rest here
         let swung = anim.scene_at(0); // left ball at full extension
         let id = rest.object_by_name("ball0").unwrap() as usize;
-        let center_rest = rest.objects[id].transform().point(Point3::new(ball_x(0), BALL_Y, 0.0));
-        let center_swung =
-            swung.objects[id].transform().point(Point3::new(ball_x(0), BALL_Y, 0.0));
+        let center_rest = rest.objects[id]
+            .transform()
+            .point(Point3::new(ball_x(0), BALL_Y, 0.0));
+        let center_swung = swung.objects[id]
+            .transform()
+            .point(Point3::new(ball_x(0), BALL_Y, 0.0));
         let pivot = Point3::new(ball_x(0), RAIL_Y, 0.0);
         assert!(
             (center_rest.distance(pivot) - center_swung.distance(pivot)).abs() < 1e-9,

@@ -30,7 +30,10 @@ pub fn scene(width: u32, height: u32, n: usize) -> Scene {
 
     s.add_object(
         Object::new(
-            Geometry::Plane { point: Point3::ZERO, normal: Vec3::UNIT_Y },
+            Geometry::Plane {
+                point: Point3::ZERO,
+                normal: Vec3::UNIT_Y,
+            },
             Material {
                 texture: Texture::Checker {
                     a: Color::gray(0.25),
@@ -44,7 +47,10 @@ pub fn scene(width: u32, height: u32, n: usize) -> Scene {
     );
     s.add_object(
         Object::new(
-            Geometry::Sphere { center: Point3::new(0.0, 1.0, 0.0), radius: 0.8 },
+            Geometry::Sphere {
+                center: Point3::new(0.0, 1.0, 0.0),
+                radius: 0.8,
+            },
             Material::chrome(Color::new(0.95, 0.9, 0.8)),
         )
         .named("center"),

@@ -109,11 +109,11 @@ mod tests {
 
     #[test]
     fn translate_interpolates_and_clamps() {
-        let t = Track::Translate(vec![
-            (10.0, Vec3::ZERO),
-            (20.0, Vec3::new(2.0, 0.0, 0.0)),
-        ]);
-        assert!(t.sample(0.0).point(Point3::ZERO).approx_eq(Point3::ZERO, 1e-12));
+        let t = Track::Translate(vec![(10.0, Vec3::ZERO), (20.0, Vec3::new(2.0, 0.0, 0.0))]);
+        assert!(t
+            .sample(0.0)
+            .point(Point3::ZERO)
+            .approx_eq(Point3::ZERO, 1e-12));
         assert!(t
             .sample(15.0)
             .point(Point3::ZERO)
@@ -170,8 +170,12 @@ mod tests {
             keys: vec![(0.0, 1.0), (10.0, 3.0)],
         };
         let m = t.sample(10.0);
-        assert!(m.point(Point3::new(1.0, 1.0, 1.0)).approx_eq(Point3::new(1.0, 1.0, 1.0), 1e-12));
-        assert!(m.point(Point3::new(2.0, 1.0, 1.0)).approx_eq(Point3::new(4.0, 1.0, 1.0), 1e-12));
+        assert!(m
+            .point(Point3::new(1.0, 1.0, 1.0))
+            .approx_eq(Point3::new(1.0, 1.0, 1.0), 1e-12));
+        assert!(m
+            .point(Point3::new(2.0, 1.0, 1.0))
+            .approx_eq(Point3::new(4.0, 1.0, 1.0), 1e-12));
     }
 
     #[test]
@@ -185,7 +189,10 @@ mod tests {
             },
         ]);
         // translate to (1,0,0), then rotate 90° about origin -> (0,1,0)
-        assert!(t.sample(0.0).point(Point3::ZERO).approx_eq(Point3::UNIT_Y, 1e-12));
+        assert!(t
+            .sample(0.0)
+            .point(Point3::ZERO)
+            .approx_eq(Point3::UNIT_Y, 1e-12));
         assert_eq!(t.end_frame(), 0.0);
     }
 

@@ -1,16 +1,17 @@
-//! Criterion benches for the frame-coherence engine: ray recording
-//! (marking) throughput, dirty-pixel lookup, and the incremental-vs-full
-//! frame cost on a real scene.
+//! Benches for the frame-coherence engine: ray recording (marking)
+//! throughput, dirty-pixel lookup, and the incremental-vs-full frame cost
+//! on a real scene.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use now_anim::scenes::glassball;
 use now_coherence::{changed_voxels, ChangeSet, CoherenceEngine, CoherentRenderer};
 use now_grid::GridSpec;
-use now_math::{Aabb, Interval, Point3, Ray, Vec3};
+use now_math::{Aabb, Point3, Ray, Vec3};
 use now_raytrace::{RayKind, RayListener, RenderSettings};
+use now_testkit::bench;
 use std::hint::black_box;
 
-fn bench_marking(c: &mut Criterion) {
+fn main() {
+    // marking throughput: a fresh engine per iteration
     let spec = GridSpec::cubic(Aabb::cube(Point3::ZERO, 8.0), 24);
     let rays: Vec<Ray> = (0..512)
         .map(|i| {
@@ -21,21 +22,15 @@ fn bench_marking(c: &mut Criterion) {
             )
         })
         .collect();
-    c.bench_function("engine_record_512_rays", |b| {
-        b.iter_batched(
-            || CoherenceEngine::new(spec, 4096),
-            |mut engine| {
-                for (i, r) in rays.iter().enumerate() {
-                    engine.on_ray((i % 4096) as u32, r, RayKind::Primary, f64::INFINITY);
-                }
-                black_box(engine.entry_count())
-            },
-            BatchSize::SmallInput,
-        )
+    bench("engine_record_512_rays", 50, || {
+        let mut engine = CoherenceEngine::new(spec, 4096);
+        for (i, r) in rays.iter().enumerate() {
+            engine.on_ray((i % 4096) as u32, r, RayKind::Primary, f64::INFINITY);
+        }
+        black_box(engine.entry_count());
     });
-}
 
-fn bench_dirty_lookup(c: &mut Criterion) {
+    // dirty-pixel lookup on a heavily populated engine
     let spec = GridSpec::cubic(Aabb::cube(Point3::ZERO, 8.0), 24);
     let mut engine = CoherenceEngine::new(spec, 65536);
     for i in 0..20_000u32 {
@@ -46,76 +41,42 @@ fn bench_dirty_lookup(c: &mut Criterion) {
         );
         engine.on_ray(i % 65536, &r, RayKind::Primary, f64::INFINITY);
     }
-    let changed: Vec<_> = spec
-        .voxels_overlapping_vec(&Aabb::cube(Point3::new(1.0, 0.5, -0.5), 1.2));
-    c.bench_function("dirty_pixels_lookup", |b| {
-        b.iter_batched(
-            || engine.clone(),
-            |mut e| black_box(e.dirty_pixels(black_box(&changed))),
-            BatchSize::LargeInput,
-        )
+    let changed: Vec<_> =
+        spec.voxels_overlapping_vec(&Aabb::cube(Point3::new(1.0, 0.5, -0.5), 1.2));
+    bench("dirty_pixels_lookup", 50, || {
+        let mut e = engine.clone();
+        black_box(e.dirty_pixels(black_box(&changed)));
     });
-}
 
-fn bench_change_detection(c: &mut Criterion) {
+    // scene-diff change detection
     let anim = glassball::animation_sized(64, 48, 5);
-    let spec = GridSpec::for_scene(anim.swept_bounds(), 24 * 24 * 24);
+    let dspec = GridSpec::for_scene(anim.swept_bounds(), 24 * 24 * 24);
     let a = anim.scene_at(1);
     let b = anim.scene_at(2);
-    c.bench_function("changed_voxels_glassball", |bch| {
-        bch.iter(|| {
-            let cs = changed_voxels(&spec, black_box(&a), black_box(&b));
-            assert!(matches!(cs, ChangeSet::Voxels(_)));
-            black_box(cs)
-        })
+    bench("changed_voxels_glassball", 50, || {
+        let cs = changed_voxels(&dspec, black_box(&a), black_box(&b));
+        assert!(matches!(cs, ChangeSet::Voxels(_)));
+        black_box(cs);
     });
-}
 
-fn bench_incremental_vs_full(c: &mut Criterion) {
+    // incremental vs full frame cost
     let anim = glassball::animation_sized(64, 48, 4);
-    let spec = GridSpec::for_scene(anim.swept_bounds(), 16 * 16 * 16);
-    let mut g = c.benchmark_group("frame_render_64x48");
-    g.sample_size(20);
-    g.bench_function("full_with_marking", |b| {
-        b.iter_batched(
-            || CoherentRenderer::new(spec, 64, 48, RenderSettings::default()),
-            |mut r| black_box(r.render_next(&anim.scene_at(0))),
-            BatchSize::SmallInput,
-        )
+    let rspec = GridSpec::for_scene(anim.swept_bounds(), 16 * 16 * 16);
+    bench("frame_render_64x48/full_with_marking", 20, || {
+        let mut r = CoherentRenderer::new(rspec, 64, 48, RenderSettings::default());
+        black_box(r.render_next(&anim.scene_at(0)));
     });
-    g.bench_function("incremental_dirty_only", |b| {
-        b.iter_batched(
-            || {
-                let mut r = CoherentRenderer::new(spec, 64, 48, RenderSettings::default());
-                let _ = r.render_next(&anim.scene_at(0));
-                r
-            },
-            |mut r| black_box(r.render_next(&anim.scene_at(1))),
-            BatchSize::SmallInput,
-        )
+    bench("frame_render_64x48/incremental_dirty_only", 20, || {
+        let mut r = CoherentRenderer::new(rspec, 64, 48, RenderSettings::default());
+        let _ = r.render_next(&anim.scene_at(0));
+        black_box(r.render_next(&anim.scene_at(1)));
     });
-    g.finish();
-}
 
-fn bench_ray_record_overhead(c: &mut Criterion) {
     // cost of the DDA clip for rays that miss the grid entirely
-    let spec = GridSpec::cubic(Aabb::cube(Point3::ZERO, 2.0), 16);
-    let mut engine = CoherenceEngine::new(spec, 16);
+    let mspec = GridSpec::cubic(Aabb::cube(Point3::ZERO, 2.0), 16);
+    let mut miss_engine = CoherenceEngine::new(mspec, 16);
     let miss = Ray::new(Point3::new(0.0, 50.0, 0.0), Vec3::UNIT_X);
-    c.bench_function("record_miss_ray", |b| {
-        b.iter(|| {
-            engine.on_ray(0, black_box(&miss), RayKind::Shadow, f64::INFINITY);
-        })
+    bench("record_miss_ray", 10_000, || {
+        miss_engine.on_ray(0, black_box(&miss), RayKind::Shadow, f64::INFINITY);
     });
-    let _ = Interval::non_negative();
 }
-
-criterion_group!(
-    benches,
-    bench_marking,
-    bench_dirty_lookup,
-    bench_change_detection,
-    bench_incremental_vs_full,
-    bench_ray_record_overhead
-);
-criterion_main!(benches);

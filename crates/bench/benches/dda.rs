@@ -1,10 +1,10 @@
-//! Criterion benches for the uniform grid: 3-D DDA traversal throughput
-//! and AABB-to-voxel rasterisation.
+//! Benches for the uniform grid: 3-D DDA traversal throughput and
+//! AABB-to-voxel rasterisation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use now_grid::dda::Traverse;
 use now_grid::{GridSpec, GridTraversal};
 use now_math::{Aabb, Interval, Point3, Ray, Vec3};
+use now_testkit::bench;
 use std::hint::black_box;
 
 fn rays(n: usize) -> Vec<Ray> {
@@ -20,57 +20,42 @@ fn rays(n: usize) -> Vec<Ray> {
         .collect()
 }
 
-fn bench_dda(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dda_walk_256_rays");
+fn main() {
     for n in [8u16, 16, 32, 64] {
         let spec = GridSpec::cubic(Aabb::cube(Point3::ZERO, 8.0), n);
         let rs = rays(256);
-        g.bench_function(format!("grid_{n}^3"), |b| {
-            b.iter(|| {
-                let mut visited = 0usize;
-                for r in &rs {
-                    for step in GridTraversal::new(&spec, r, Interval::non_negative()) {
-                        visited += 1;
-                        black_box(step.voxel);
-                    }
+        bench(&format!("dda_walk_256_rays/grid_{n}^3"), 100, || {
+            let mut visited = 0usize;
+            for r in &rs {
+                for step in GridTraversal::new(&spec, r, Interval::non_negative()) {
+                    visited += 1;
+                    black_box(step.voxel);
                 }
-                black_box(visited)
-            })
+            }
+            black_box(visited);
         });
     }
-    g.finish();
-}
 
-fn bench_visitor_vs_iterator(c: &mut Criterion) {
     let spec = GridSpec::cubic(Aabb::cube(Point3::ZERO, 8.0), 32);
     let rs = rays(256);
-    let mut g = c.benchmark_group("dda_api");
-    g.bench_function("iterator", |b| {
-        b.iter(|| {
-            let mut n = 0;
-            for r in &rs {
-                n += GridTraversal::new(&spec, r, Interval::non_negative()).count();
-            }
-            black_box(n)
-        })
+    bench("dda_api/iterator", 100, || {
+        let mut n = 0usize;
+        for r in &rs {
+            n += GridTraversal::new(&spec, r, Interval::non_negative()).count();
+        }
+        black_box(n);
     });
-    g.bench_function("visitor", |b| {
-        b.iter(|| {
-            let mut n = 0usize;
-            for r in &rs {
-                spec.traverse(r, Interval::non_negative(), |_| {
-                    n += 1;
-                    true
-                });
-            }
-            black_box(n)
-        })
+    bench("dda_api/visitor", 100, || {
+        let mut n = 0usize;
+        for r in &rs {
+            spec.traverse(r, Interval::non_negative(), |_| {
+                n += 1;
+                true
+            });
+        }
+        black_box(n);
     });
-    g.finish();
-}
 
-fn bench_overlap(c: &mut Criterion) {
-    let spec = GridSpec::cubic(Aabb::cube(Point3::ZERO, 8.0), 32);
     let boxes: Vec<Aabb> = (0..64)
         .map(|i| {
             let a = i as f64 * 0.41;
@@ -80,16 +65,11 @@ fn bench_overlap(c: &mut Criterion) {
             )
         })
         .collect();
-    c.bench_function("aabb_voxel_rasterise_64_boxes", |b| {
-        b.iter(|| {
-            let mut n = 0usize;
-            for bx in &boxes {
-                spec.voxels_overlapping(bx, |_| n += 1);
-            }
-            black_box(n)
-        })
+    bench("aabb_voxel_rasterise_64_boxes", 100, || {
+        let mut n = 0usize;
+        for bx in &boxes {
+            spec.voxels_overlapping(bx, |_| n += 1);
+        }
+        black_box(n);
     });
 }
-
-criterion_group!(benches, bench_dda, bench_visitor_vs_iterator, bench_overlap);
-criterion_main!(benches);

@@ -1,11 +1,11 @@
-//! Criterion benches for the render farm: simulated partition schemes and
-//! the real-thread backend's wall-clock scaling.
+//! Benches for the render farm: simulated partition schemes and the
+//! real-thread backend's wall-clock scaling.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use now_anim::scenes::glassball;
 use now_cluster::SimCluster;
 use now_core::{run_sim, run_threads, CostModel, FarmConfig, PartitionScheme};
 use now_raytrace::RenderSettings;
+use now_testkit::bench;
 use std::hint::black_box;
 
 fn cfg(scheme: PartitionScheme, coherence: bool) -> FarmConfig {
@@ -19,55 +19,57 @@ fn cfg(scheme: PartitionScheme, coherence: bool) -> FarmConfig {
     }
 }
 
-fn bench_sim_schemes(c: &mut Criterion) {
+fn main() {
     let anim = glassball::animation_sized(48, 36, 4);
     let cluster = SimCluster::paper();
-    let mut g = c.benchmark_group("sim_farm_48x36x4");
-    g.sample_size(10);
     for (name, scheme, coh) in [
         (
-            "frame_div_plain",
-            PartitionScheme::FrameDivision { tile_w: 16, tile_h: 18, adaptive: true },
+            "sim_farm_48x36x4/frame_div_plain",
+            PartitionScheme::FrameDivision {
+                tile_w: 16,
+                tile_h: 18,
+                adaptive: true,
+            },
             false,
         ),
         (
-            "frame_div_coherent",
-            PartitionScheme::FrameDivision { tile_w: 16, tile_h: 18, adaptive: true },
+            "sim_farm_48x36x4/frame_div_coherent",
+            PartitionScheme::FrameDivision {
+                tile_w: 16,
+                tile_h: 18,
+                adaptive: true,
+            },
             true,
         ),
         (
-            "seq_div_coherent",
+            "sim_farm_48x36x4/seq_div_coherent",
             PartitionScheme::SequenceDivision { adaptive: true },
             true,
         ),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(run_sim(&anim, &cfg(scheme, coh), &cluster)))
+        bench(name, 10, || {
+            black_box(run_sim(&anim, &cfg(scheme, coh), &cluster));
         });
     }
-    g.finish();
-}
 
-fn bench_thread_scaling(c: &mut Criterion) {
-    let anim = glassball::animation_sized(48, 36, 4);
-    let mut g = c.benchmark_group("threads_farm_48x36x4");
-    g.sample_size(10);
     for workers in [1usize, 2, 4] {
-        g.bench_function(format!("workers_{workers}"), |b| {
-            b.iter(|| {
+        bench(
+            &format!("threads_farm_48x36x4/workers_{workers}"),
+            10,
+            || {
                 black_box(run_threads(
                     &anim,
                     &cfg(
-                        PartitionScheme::FrameDivision { tile_w: 16, tile_h: 12, adaptive: true },
+                        PartitionScheme::FrameDivision {
+                            tile_w: 16,
+                            tile_h: 12,
+                            adaptive: true,
+                        },
                         true,
                     ),
                     workers,
-                ))
-            })
-        });
+                ));
+            },
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_sim_schemes, bench_thread_scaling);
-criterion_main!(benches);

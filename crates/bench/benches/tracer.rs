@@ -1,101 +1,74 @@
-//! Criterion benches for the ray-tracing kernel: primary-ray shading on
-//! the evaluation scenes, recursion cost, and supersampling cost.
+//! Benches for the ray-tracing kernel: primary-ray shading on the
+//! evaluation scenes, recursion cost, and supersampling cost.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use now_anim::scenes::{glassball, newton};
-use now_raytrace::{
-    render_frame, GridAccel, NullListener, RayStats, RenderSettings, Scene,
-};
+use now_raytrace::{render_frame, GridAccel, NullListener, RayStats, RenderSettings, Scene};
+use now_testkit::bench;
 use std::hint::black_box;
 
 fn newton_scene() -> Scene {
     newton::scene(64, 48)
 }
 
-fn bench_full_frame(c: &mut Criterion) {
-    let mut g = c.benchmark_group("render_frame_64x48");
+fn main() {
     for (name, scene) in [
-        ("newton", newton_scene()),
-        ("glassball", glassball::scene(64, 48)),
+        ("render_frame_64x48/newton", newton_scene()),
+        ("render_frame_64x48/glassball", glassball::scene(64, 48)),
     ] {
         let accel = GridAccel::build(&scene);
         let settings = RenderSettings::default();
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let mut stats = RayStats::default();
-                let fb = render_frame(
-                    black_box(&scene),
-                    &accel,
-                    &settings,
-                    &mut NullListener,
-                    &mut stats,
-                );
-                black_box((fb, stats))
-            })
+        bench(name, 10, || {
+            let mut stats = RayStats::default();
+            let fb = render_frame(
+                black_box(&scene),
+                &accel,
+                &settings,
+                &mut NullListener,
+                &mut stats,
+            );
+            black_box((fb, stats));
         });
     }
-    g.finish();
-}
 
-fn bench_ray_depth(c: &mut Criterion) {
     let scene = newton_scene();
     let accel = GridAccel::build(&scene);
-    let mut g = c.benchmark_group("ray_depth");
     for depth in [0u32, 1, 3, 5] {
-        let settings = RenderSettings { max_depth: depth, sqrt_samples: 1, adaptive: None };
-        g.bench_function(format!("depth_{depth}"), |b| {
-            b.iter(|| {
-                let mut stats = RayStats::default();
-                black_box(render_frame(
-                    &scene,
-                    &accel,
-                    &settings,
-                    &mut NullListener,
-                    &mut stats,
-                ))
-            })
+        let settings = RenderSettings {
+            max_depth: depth,
+            sqrt_samples: 1,
+            adaptive: None,
+        };
+        bench(&format!("ray_depth/depth_{depth}"), 10, || {
+            let mut stats = RayStats::default();
+            black_box(render_frame(
+                &scene,
+                &accel,
+                &settings,
+                &mut NullListener,
+                &mut stats,
+            ));
         });
     }
-    g.finish();
-}
 
-fn bench_supersampling(c: &mut Criterion) {
-    let scene = newton_scene();
-    let accel = GridAccel::build(&scene);
-    let mut g = c.benchmark_group("supersampling");
     for n in [1u32, 2, 3] {
-        let settings = RenderSettings { max_depth: 3, sqrt_samples: n, adaptive: None };
-        g.bench_function(format!("{n}x{n}"), |b| {
-            b.iter_batched(
-                RayStats::default,
-                |mut stats| {
-                    black_box(render_frame(
-                        &scene,
-                        &accel,
-                        &settings,
-                        &mut NullListener,
-                        &mut stats,
-                    ))
-                },
-                BatchSize::SmallInput,
-            )
+        let settings = RenderSettings {
+            max_depth: 3,
+            sqrt_samples: n,
+            adaptive: None,
+        };
+        bench(&format!("supersampling/{n}x{n}"), 10, || {
+            let mut stats = RayStats::default();
+            black_box(render_frame(
+                &scene,
+                &accel,
+                &settings,
+                &mut NullListener,
+                &mut stats,
+            ));
         });
     }
-    g.finish();
-}
 
-fn bench_accel_build(c: &mut Criterion) {
-    let scene = newton_scene();
-    c.bench_function("grid_accel_build", |b| {
-        b.iter(|| black_box(GridAccel::build(black_box(&scene))))
+    bench("grid_accel_build", 50, || {
+        black_box(GridAccel::build(black_box(&scene)));
     });
 }
-
-criterion_group!(
-    benches,
-    bench_full_frame,
-    bench_ray_depth,
-    bench_supersampling,
-    bench_accel_build
-);
-criterion_main!(benches);

@@ -26,15 +26,17 @@ use now_anim::scenes::{glassball, newton, orbit};
 use now_anim::Animation;
 use now_bench::commas;
 use now_cluster::{MachineSpec, SimCluster};
-use now_core::{
-    run_sim, CostModel, FarmConfig, PartitionScheme, SequenceMode, SingleMachine,
-};
+use now_core::{run_sim, CostModel, FarmConfig, PartitionScheme, SequenceMode, SingleMachine};
 use now_raytrace::RenderSettings;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let which: Vec<&str> = args.iter().map(|s| s.as_str()).filter(|a| !a.starts_with("--")).collect();
+    let which: Vec<&str> = args
+        .iter()
+        .map(|s| s.as_str())
+        .filter(|a| !a.starts_with("--"))
+        .collect();
     let all = which.is_empty();
     let run = |name: &str| all || which.contains(&name);
 
@@ -81,10 +83,20 @@ fn sequence_length(w: u32, h: u32) {
         let settings = RenderSettings::default();
         let cost = CostModel::default();
         let (_, plain) = now_core::render_sequence(
-            &anim, &settings, &cost, SequenceMode::Plain, SingleMachine::unit(), 20 * 20 * 20,
+            &anim,
+            &settings,
+            &cost,
+            SequenceMode::Plain,
+            SingleMachine::unit(),
+            20 * 20 * 20,
         );
         let (_, coh) = now_core::render_sequence(
-            &anim, &settings, &cost, SequenceMode::Coherent, SingleMachine::unit(), 20 * 20 * 20,
+            &anim,
+            &settings,
+            &cost,
+            SequenceMode::Coherent,
+            SingleMachine::unit(),
+            20 * 20 * 20,
         );
         println!(
             "{:>8} {:>12.1} {:>12.1} {:>11.2}x {:>9.2}x",
@@ -156,7 +168,11 @@ fn granularity_sweep(w: u32, h: u32, frames: usize) {
             24 * 24 * 24,
         );
         let recomputed: u64 = rep.pixels_per_frame[1..].iter().sum();
-        let label = if block == 1 { "pixel".to_string() } else { format!("{block}x{block}") };
+        let label = if block == 1 {
+            "pixel".to_string()
+        } else {
+            format!("{block}x{block}")
+        };
         println!(
             "{:>12} {:>12} {:>12} {:>12.1} {:>10.1}",
             label,
@@ -178,9 +194,20 @@ fn tile_sweep(w: u32, h: u32, frames: usize) {
     );
     let anim = newton_anim(w, h, frames);
     let cluster = SimCluster::paper();
-    for (tw, th) in [(w, h), (w / 2, h / 2), (w / 4, h / 3), (w / 8, h / 6), (8, 8), (2, 2)] {
+    for (tw, th) in [
+        (w, h),
+        (w / 2, h / 2),
+        (w / 4, h / 3),
+        (w / 8, h / 6),
+        (8, 8),
+        (2, 2),
+    ] {
         let cfg = FarmConfig {
-            scheme: PartitionScheme::FrameDivision { tile_w: tw.max(1), tile_h: th.max(1), adaptive: true },
+            scheme: PartitionScheme::FrameDivision {
+                tile_w: tw.max(1),
+                tile_h: th.max(1),
+                adaptive: true,
+            },
             coherence: true,
             settings: RenderSettings::default(),
             cost: CostModel::default(),
@@ -201,26 +228,37 @@ fn tile_sweep(w: u32, h: u32, frames: usize) {
             util
         );
     }
-    println!("(\"at the extreme ... the overhead of message passing would result in inefficiency\")");
+    println!(
+        "(\"at the extreme ... the overhead of message passing would result in inefficiency\")"
+    );
 }
 
 /// Adaptive vs static sequence division under heterogeneity.
 fn adaptive_vs_static(w: u32, h: u32, frames: usize) {
     println!("\n=== ablation: adaptive vs static sequence division ===");
     let anim = newton_anim(w, h, frames);
-    println!("{:>32} {:>12} {:>10}", "cluster", "static (s)", "adaptive (s)");
+    println!(
+        "{:>32} {:>12} {:>10}",
+        "cluster", "static (s)", "adaptive (s)"
+    );
     for (name, machines) in [
-        ("homogeneous 3x1.0", vec![
-            MachineSpec::new("a", 1.0, 64.0),
-            MachineSpec::new("b", 1.0, 64.0),
-            MachineSpec::new("c", 1.0, 64.0),
-        ]),
+        (
+            "homogeneous 3x1.0",
+            vec![
+                MachineSpec::new("a", 1.0, 64.0),
+                MachineSpec::new("b", 1.0, 64.0),
+                MachineSpec::new("c", 1.0, 64.0),
+            ],
+        ),
         ("paper 2.0/1.0/1.0", MachineSpec::paper_cluster()),
-        ("extreme 4.0/1.0/1.0", vec![
-            MachineSpec::new("fast", 4.0, 64.0),
-            MachineSpec::new("slow1", 1.0, 32.0),
-            MachineSpec::new("slow2", 1.0, 32.0),
-        ]),
+        (
+            "extreme 4.0/1.0/1.0",
+            vec![
+                MachineSpec::new("fast", 4.0, 64.0),
+                MachineSpec::new("slow1", 1.0, 32.0),
+                MachineSpec::new("slow2", 1.0, 32.0),
+            ],
+        ),
     ] {
         let mut times = Vec::new();
         for adaptive in [false, true] {
@@ -250,25 +288,55 @@ fn adaptive_vs_static(w: u32, h: u32, frames: usize) {
 fn machine_mix(w: u32, h: u32, frames: usize) {
     println!("\n=== ablation: machine mixes (coherent frame division) ===");
     let anim = newton_anim(w, h, frames);
-    println!("{:>36} {:>10} {:>12} {:>10}", "cluster", "power", "time (s)", "speedup");
+    println!(
+        "{:>36} {:>10} {:>12} {:>10}",
+        "cluster", "power", "time (s)", "speedup"
+    );
     let mut base = None;
     let mixes: Vec<(String, Vec<MachineSpec>)> = vec![
         ("1x 1.0".into(), vec![MachineSpec::new("m0", 1.0, 64.0)]),
-        ("2x 1.0".into(), (0..2).map(|i| MachineSpec::new(&format!("m{i}"), 1.0, 64.0)).collect()),
-        ("3x 1.0".into(), (0..3).map(|i| MachineSpec::new(&format!("m{i}"), 1.0, 64.0)).collect()),
+        (
+            "2x 1.0".into(),
+            (0..2)
+                .map(|i| MachineSpec::new(&format!("m{i}"), 1.0, 64.0))
+                .collect(),
+        ),
+        (
+            "3x 1.0".into(),
+            (0..3)
+                .map(|i| MachineSpec::new(&format!("m{i}"), 1.0, 64.0))
+                .collect(),
+        ),
         ("paper: 2.0+1.0+1.0".into(), MachineSpec::paper_cluster()),
-        ("4x 1.0".into(), (0..4).map(|i| MachineSpec::new(&format!("m{i}"), 1.0, 64.0)).collect()),
-        ("6x 1.0".into(), (0..6).map(|i| MachineSpec::new(&format!("m{i}"), 1.0, 64.0)).collect()),
-        ("2.0+2.0+1.0".into(), vec![
-            MachineSpec::new("f1", 2.0, 64.0),
-            MachineSpec::new("f2", 2.0, 64.0),
-            MachineSpec::new("s", 1.0, 32.0),
-        ]),
+        (
+            "4x 1.0".into(),
+            (0..4)
+                .map(|i| MachineSpec::new(&format!("m{i}"), 1.0, 64.0))
+                .collect(),
+        ),
+        (
+            "6x 1.0".into(),
+            (0..6)
+                .map(|i| MachineSpec::new(&format!("m{i}"), 1.0, 64.0))
+                .collect(),
+        ),
+        (
+            "2.0+2.0+1.0".into(),
+            vec![
+                MachineSpec::new("f1", 2.0, 64.0),
+                MachineSpec::new("f2", 2.0, 64.0),
+                MachineSpec::new("s", 1.0, 32.0),
+            ],
+        ),
     ];
     for (name, machines) in mixes {
         let power: f64 = machines.iter().map(|m| m.speed).sum();
         let cfg = FarmConfig {
-            scheme: PartitionScheme::FrameDivision { tile_w: w / 4, tile_h: h / 3, adaptive: true },
+            scheme: PartitionScheme::FrameDivision {
+                tile_w: w / 4,
+                tile_h: h / 3,
+                adaptive: true,
+            },
             coherence: true,
             settings: RenderSettings::default(),
             cost: CostModel::default(),
@@ -279,7 +347,10 @@ fn machine_mix(w: u32, h: u32, frames: usize) {
         let b = *base.get_or_insert(r.report.makespan_s);
         println!(
             "{:>36} {:>10.1} {:>12.1} {:>9.2}x",
-            name, power, r.report.makespan_s, b / r.report.makespan_s
+            name,
+            power,
+            r.report.makespan_s,
+            b / r.report.makespan_s
         );
     }
     println!("(speedup should track aggregate power while coherence restarts stay amortised)");
@@ -296,7 +367,10 @@ fn shadow_tracking(w: u32, h: u32, frames: usize) {
     let anim = newton_anim(w, h, frames);
     let spec = GridSpec::for_scene(anim.swept_bounds(), 24 * 24 * 24);
 
-    for (name, track) in [("with shadow tracking", true), ("without shadow tracking", false)] {
+    for (name, track) in [
+        ("with shadow tracking", true),
+        ("without shadow tracking", false),
+    ] {
         let mut renderer = CoherentRenderer::new(spec, w, h, RenderSettings::default());
         if !track {
             renderer = renderer.without_shadow_tracking();
@@ -348,10 +422,20 @@ fn scene_sweep(w: u32, h: u32, frames: usize) {
         let settings = RenderSettings::default();
         let cost = CostModel::default();
         let (_, plain) = now_core::render_sequence(
-            &anim, &settings, &cost, SequenceMode::Plain, SingleMachine::unit(), 20 * 20 * 20,
+            &anim,
+            &settings,
+            &cost,
+            SequenceMode::Plain,
+            SingleMachine::unit(),
+            20 * 20 * 20,
         );
         let (_, coh) = now_core::render_sequence(
-            &anim, &settings, &cost, SequenceMode::Coherent, SingleMachine::unit(), 20 * 20 * 20,
+            &anim,
+            &settings,
+            &cost,
+            SequenceMode::Coherent,
+            SingleMachine::unit(),
+            20 * 20 * 20,
         );
         println!(
             "{:>12} {:>14} {:>14} {:>9.2}x {:>11.2}x",

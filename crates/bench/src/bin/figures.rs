@@ -90,7 +90,10 @@ fn main() -> std::io::Result<()> {
         }
     }
     image_io::write_tga(&frame22.unwrap(), &outdir.join("fig5_newton22.tga"))?;
-    println!("\nwrote fig1_*.tga, fig2*.pgm, fig5_newton22.tga to {}", outdir.display());
+    println!(
+        "\nwrote fig1_*.tga, fig2*.pgm, fig5_newton22.tga to {}",
+        outdir.display()
+    );
     Ok(())
 }
 
@@ -107,7 +110,11 @@ fn print_sequence_division(procs: usize, frames: usize) {
     println!("  frames: {row}");
     let mut owners = String::new();
     for p in 0..procs {
-        owners.push_str(&format!("{:^width$} ", format!("P{}", p + 1), width = per * 4));
+        owners.push_str(&format!(
+            "{:^width$} ",
+            format!("P{}", p + 1),
+            width = per * 4
+        ));
     }
     println!("  owner:  {owners}");
 }

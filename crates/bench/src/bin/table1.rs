@@ -21,9 +21,7 @@
 use now_anim::scenes::newton;
 use now_bench::{commas, hms};
 use now_cluster::SimCluster;
-use now_core::{
-    run_sim, CostModel, FarmConfig, PartitionScheme, SequenceMode, SingleMachine,
-};
+use now_core::{run_sim, CostModel, FarmConfig, PartitionScheme, SequenceMode, SingleMachine};
 use now_raytrace::RenderSettings;
 
 struct Column {
@@ -74,7 +72,12 @@ fn main() {
     // (1) single processor, no coherence, on the fastest machine
     eprintln!("[1/5] single processor, no coherence ...");
     let (_, plain) = now_core::render_sequence(
-        &anim, &settings, &cost, SequenceMode::Plain, fast, grid_voxels,
+        &anim,
+        &settings,
+        &cost,
+        SequenceMode::Plain,
+        fast,
+        grid_voxels,
     );
     cols.push(Column {
         name: "single",
@@ -87,7 +90,12 @@ fn main() {
     // (2) single processor with frame coherence
     eprintln!("[2/5] single processor + frame coherence ...");
     let (_, coh) = now_core::render_sequence(
-        &anim, &settings, &cost, SequenceMode::Coherent, fast, grid_voxels,
+        &anim,
+        &settings,
+        &cost,
+        SequenceMode::Coherent,
+        fast,
+        grid_voxels,
     );
     cols.push(Column {
         name: "single+FC",
@@ -110,7 +118,11 @@ fn main() {
     let dist = run_sim(
         &anim,
         &mk_cfg(
-            PartitionScheme::FrameDivision { tile_w: tile.0, tile_h: tile.1, adaptive: true },
+            PartitionScheme::FrameDivision {
+                tile_w: tile.0,
+                tile_h: tile.1,
+                adaptive: true,
+            },
             false,
         ),
         &cluster,
@@ -143,7 +155,11 @@ fn main() {
     let fdiv = run_sim(
         &anim,
         &mk_cfg(
-            PartitionScheme::FrameDivision { tile_w: tile.0, tile_h: tile.1, adaptive: true },
+            PartitionScheme::FrameDivision {
+                tile_w: tile.0,
+                tile_h: tile.1,
+                adaptive: true,
+            },
             true,
         ),
         &cluster,
@@ -181,16 +197,42 @@ fn main() {
 
     println!();
     println!("paper's Table 1 shape targets (Newton, 45 frames, 320x240):");
-    println!("  ray reduction (1)/(2):        paper ~5.0x   ours {:.2}x",
-        cols[0].rays as f64 / cols[1].rays as f64);
-    println!("  FC speedup (3):               paper ~2.9x   ours {:.2}x", base / cols[1].total_s);
-    println!("  distribution speedup (5):     paper ~2.0x   ours {:.2}x", base / cols[2].total_s);
-    println!("  FC x seq division (7):        paper ~5.0x   ours {:.2}x", base / cols[3].total_s);
-    println!("  FC x frame division (9):      paper ~7.0x   ours {:.2}x", base / cols[4].total_s);
-    println!("  FC first-frame overhead:      paper ~12%    ours {:.0}%",
-        100.0 * (cols[1].first_frame_s.unwrap() / cols[0].first_frame_s.unwrap() - 1.0));
-    println!("  frame div > seq div:          paper yes     ours {}",
-        if cols[4].total_s < cols[3].total_s { "yes" } else { "NO" });
-    println!("  better than multiplicative:   paper yes ({:.1}% for frame div)",
-        100.0 * ((base / cols[4].total_s) / ((base / cols[1].total_s) * (base / cols[2].total_s)) - 1.0));
+    println!(
+        "  ray reduction (1)/(2):        paper ~5.0x   ours {:.2}x",
+        cols[0].rays as f64 / cols[1].rays as f64
+    );
+    println!(
+        "  FC speedup (3):               paper ~2.9x   ours {:.2}x",
+        base / cols[1].total_s
+    );
+    println!(
+        "  distribution speedup (5):     paper ~2.0x   ours {:.2}x",
+        base / cols[2].total_s
+    );
+    println!(
+        "  FC x seq division (7):        paper ~5.0x   ours {:.2}x",
+        base / cols[3].total_s
+    );
+    println!(
+        "  FC x frame division (9):      paper ~7.0x   ours {:.2}x",
+        base / cols[4].total_s
+    );
+    println!(
+        "  FC first-frame overhead:      paper ~12%    ours {:.0}%",
+        100.0 * (cols[1].first_frame_s.unwrap() / cols[0].first_frame_s.unwrap() - 1.0)
+    );
+    println!(
+        "  frame div > seq div:          paper yes     ours {}",
+        if cols[4].total_s < cols[3].total_s {
+            "yes"
+        } else {
+            "NO"
+        }
+    );
+    println!(
+        "  better than multiplicative:   paper yes ({:.1}% for frame div)",
+        100.0
+            * ((base / cols[4].total_s) / ((base / cols[1].total_s) * (base / cols[2].total_s))
+                - 1.0)
+    );
 }

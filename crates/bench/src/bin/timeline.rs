@@ -36,7 +36,11 @@ fn main() {
     for (name, scheme, coherence) in [
         (
             "frame division, no coherence",
-            PartitionScheme::FrameDivision { tile_w: w / 4, tile_h: h / 3, adaptive: true },
+            PartitionScheme::FrameDivision {
+                tile_w: w / 4,
+                tile_h: h / 3,
+                adaptive: true,
+            },
             false,
         ),
         (
@@ -46,7 +50,11 @@ fn main() {
         ),
         (
             "frame division + coherence",
-            PartitionScheme::FrameDivision { tile_w: w / 4, tile_h: h / 3, adaptive: true },
+            PartitionScheme::FrameDivision {
+                tile_w: w / 4,
+                tile_h: h / 3,
+                adaptive: true,
+            },
             true,
         ),
     ] {
@@ -99,13 +107,29 @@ fn print_gantt(report: &RunReport, cols: usize) {
                     *c = '#';
                 }
             }
+            // a lease expiry re-issuing a unit: mark the moment on the master
+            SpanKind::Reassign => {
+                master_row[b0] = 'R';
+            }
         }
     }
     for (name, row) in &rows {
-        println!("{:>26} |{}|", truncate(name, 26), row.iter().collect::<String>());
+        println!(
+            "{:>26} |{}|",
+            truncate(name, 26),
+            row.iter().collect::<String>()
+        );
     }
-    println!("{:>26} |{}|", "master (file writes)", master_row.iter().collect::<String>());
-    println!("{:>26} |{}|", "ethernet", net_row.iter().collect::<String>());
+    println!(
+        "{:>26} |{}|",
+        "master (file writes)",
+        master_row.iter().collect::<String>()
+    );
+    println!(
+        "{:>26} |{}|",
+        "ethernet",
+        net_row.iter().collect::<String>()
+    );
 }
 
 fn truncate(s: &str, n: usize) -> &str {

@@ -1,0 +1,505 @@
+//! Fault model and master-side recovery protocol shared by both backends.
+//!
+//! The paper's PVM farm assumes every slave survives the whole run; on a
+//! real network of workstations machines get rebooted, reclaimed and
+//! overloaded mid-run. This module provides:
+//!
+//! * [`FaultPlan`] — deterministic per-worker fault injection: crash at
+//!   the Nth unit, stall (receive a unit and never reply), slow down by a
+//!   factor, or silently drop a result message. The discrete-event
+//!   simulator applies these to virtual time; the thread backend applies
+//!   them for real (early thread exit, injected sleeps, suppressed sends).
+//! * [`RecoveryConfig`] — the lease/timeout/backoff/exclusion policy.
+//! * [`Ledger`] — the master-side bookkeeping that makes the demand-driven
+//!   loop robust: every assignment gets a lease with a deadline; expired
+//!   leases re-enter a retry queue with exponential backoff; workers are
+//!   excluded after K consecutive failures; and completions are
+//!   *at-most-once* — a late duplicate result from a slow-but-alive worker
+//!   is recognised by its stale assignment id and discarded, so
+//!   "integrated exactly once" invariants (and frame hashes) hold with and
+//!   without faults.
+//!
+//! Time is a plain `f64` in seconds: virtual seconds in the simulator,
+//! wall-clock seconds since run start in the thread backend.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// One kind of injected fault, triggered by the 0-based count of units the
+/// worker has *started* (received).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The worker dies when it receives its `n`th unit (0-based): the unit
+    /// is never computed and the worker is gone for good.
+    CrashAtUnit(u64),
+    /// The worker receives its `n`th unit and never replies, but stays
+    /// alive (a wedged process: from the master's view, identical to a
+    /// crash until it is excluded).
+    StallAtUnit(u64),
+    /// Every unit from the `n`th onward takes `factor`× as long. With a
+    /// factor pushing compute past the lease this produces late duplicate
+    /// results, exercising the at-most-once ledger.
+    SlowFromUnit {
+        /// First affected unit (0-based count of started units).
+        unit: u64,
+        /// Compute-time multiplier (> 1 slows the worker down).
+        factor: f64,
+    },
+    /// The worker computes its `n`th unit but the result message is lost
+    /// in transit (the work request it doubles as is lost too, so the
+    /// worker sits idle until the master re-engages or excludes it).
+    DropResultAtUnit(u64),
+}
+
+/// A deterministic per-worker fault schedule.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    faults: BTreeMap<usize, Vec<FaultKind>>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, behaviour identical to the seed farm.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// True if no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Add an arbitrary fault for `worker`.
+    pub fn with(mut self, worker: usize, kind: FaultKind) -> FaultPlan {
+        self.faults.entry(worker).or_default().push(kind);
+        self
+    }
+
+    /// Worker `worker` crashes when receiving its `unit`th unit (0-based).
+    pub fn crash_at(self, worker: usize, unit: u64) -> FaultPlan {
+        self.with(worker, FaultKind::CrashAtUnit(unit))
+    }
+
+    /// Worker `worker` stalls forever on its `unit`th unit.
+    pub fn stall_at(self, worker: usize, unit: u64) -> FaultPlan {
+        self.with(worker, FaultKind::StallAtUnit(unit))
+    }
+
+    /// Worker `worker` computes units from `unit` onward `factor`× slower.
+    pub fn slow_from(self, worker: usize, unit: u64, factor: f64) -> FaultPlan {
+        self.with(worker, FaultKind::SlowFromUnit { unit, factor })
+    }
+
+    /// Worker `worker` loses the result of its `unit`th unit.
+    pub fn drop_result_at(self, worker: usize, unit: u64) -> FaultPlan {
+        self.with(worker, FaultKind::DropResultAtUnit(unit))
+    }
+
+    /// Unit index at which `worker` crashes, if any.
+    pub fn crash_unit(&self, worker: usize) -> Option<u64> {
+        self.kinds(worker).iter().find_map(|k| match k {
+            FaultKind::CrashAtUnit(n) => Some(*n),
+            _ => None,
+        })
+    }
+
+    /// Unit index at which `worker` stalls, if any.
+    pub fn stall_unit(&self, worker: usize) -> Option<u64> {
+        self.kinds(worker).iter().find_map(|k| match k {
+            FaultKind::StallAtUnit(n) => Some(*n),
+            _ => None,
+        })
+    }
+
+    /// Combined slowdown factor for `worker`'s `unit`th unit (1.0 = none).
+    pub fn slowdown(&self, worker: usize, unit: u64) -> f64 {
+        self.kinds(worker)
+            .iter()
+            .filter_map(|k| match k {
+                FaultKind::SlowFromUnit { unit: from, factor } if unit >= *from => Some(*factor),
+                _ => None,
+            })
+            .product()
+    }
+
+    /// True if the result of `worker`'s `unit`th unit is dropped.
+    pub fn drops_result(&self, worker: usize, unit: u64) -> bool {
+        self.kinds(worker)
+            .iter()
+            .any(|k| matches!(k, FaultKind::DropResultAtUnit(n) if *n == unit))
+    }
+
+    fn kinds(&self, worker: usize) -> &[FaultKind] {
+        self.faults.get(&worker).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// Lease/timeout policy for the recovery protocol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryConfig {
+    /// Base lease duration in seconds; a unit whose result has not arrived
+    /// within its lease is presumed lost and re-issued. `INFINITY`
+    /// disables recovery (the seed's trusting behaviour).
+    pub lease_timeout_s: f64,
+    /// Each re-issue of the same unit multiplies its lease by this factor
+    /// (exponential backoff against spurious timeouts).
+    pub backoff: f64,
+    /// A worker is excluded (counted lost, never assigned again) after
+    /// this many consecutive lease expiries.
+    pub max_worker_failures: u32,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> RecoveryConfig {
+        RecoveryConfig {
+            lease_timeout_s: f64::INFINITY,
+            backoff: 2.0,
+            max_worker_failures: 2,
+        }
+    }
+}
+
+impl RecoveryConfig {
+    /// Recovery enabled with the given base lease and default policy.
+    pub fn with_lease(lease_timeout_s: f64) -> RecoveryConfig {
+        RecoveryConfig {
+            lease_timeout_s,
+            ..RecoveryConfig::default()
+        }
+    }
+
+    /// True if leases are finite (recovery active).
+    pub fn enabled(&self) -> bool {
+        self.lease_timeout_s.is_finite()
+    }
+
+    /// Lease duration for re-issue attempt `attempt` (0 = first issue).
+    pub fn lease_for_attempt(&self, attempt: u32) -> f64 {
+        self.lease_timeout_s * self.backoff.powi(attempt.min(20) as i32)
+    }
+}
+
+/// Aggregate fault/recovery counters for a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Faults injected by the [`FaultPlan`] (each affected unit counts).
+    pub faults_injected: u64,
+    /// Units re-issued after a lease expiry or observed worker death.
+    pub units_reassigned: u64,
+    /// Late duplicate results discarded by the at-most-once ledger.
+    pub duplicates_dropped: u64,
+    /// Workers excluded as lost.
+    pub workers_lost: u64,
+}
+
+/// An outstanding assignment.
+#[derive(Debug, Clone)]
+pub struct Lease<U> {
+    /// The unit (kept so it can be re-issued verbatim).
+    pub unit: U,
+    /// Worker it was assigned to.
+    pub worker: usize,
+    /// Absolute deadline in seconds.
+    pub deadline: f64,
+    /// Re-issue attempt (0 = first issue).
+    pub attempt: u32,
+}
+
+/// A lease that expired and was requeued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Expiry {
+    /// The worker whose lease expired.
+    pub worker: usize,
+    /// True if this expiry pushed the worker over the exclusion threshold
+    /// (the caller should notify the application via `on_worker_lost`).
+    pub newly_lost: bool,
+}
+
+/// Master-side assignment ledger: leases, retry queue, worker health.
+///
+/// Every handed-out unit gets a fresh assignment id. Completion is keyed
+/// by that id, which makes integration at-most-once: once a unit has been
+/// completed (or its lease expired and the unit re-issued under a new
+/// id), the stale id no longer exists in the ledger and the late result
+/// is reported as a duplicate.
+#[derive(Debug, Clone)]
+pub struct Ledger<U> {
+    cfg: RecoveryConfig,
+    next_id: u64,
+    pending: BTreeMap<u64, Lease<U>>,
+    /// (unit, re-issue attempt, worker it was taken from)
+    retry: VecDeque<(U, u32, usize)>,
+    consecutive_fails: Vec<u32>,
+    total_fails: Vec<u64>,
+    excluded: Vec<bool>,
+    /// Aggregate counters, exported into `RunReport` by the backends.
+    pub counters: FaultCounters,
+}
+
+impl<U: Clone> Ledger<U> {
+    /// Fresh ledger for `workers` workers.
+    pub fn new(cfg: RecoveryConfig, workers: usize) -> Ledger<U> {
+        Ledger {
+            cfg,
+            next_id: 0,
+            pending: BTreeMap::new(),
+            retry: VecDeque::new(),
+            consecutive_fails: vec![0; workers],
+            total_fails: vec![0; workers],
+            excluded: vec![false; workers],
+            counters: FaultCounters::default(),
+        }
+    }
+
+    /// The policy this ledger runs.
+    pub fn config(&self) -> &RecoveryConfig {
+        &self.cfg
+    }
+
+    /// Record the assignment of `unit` to `worker` at time `now`; returns
+    /// the assignment id. The deadline honours the attempt's backoff.
+    pub fn issue(&mut self, unit: U, worker: usize, now: f64, attempt: u32) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let deadline = now + self.cfg.lease_for_attempt(attempt);
+        self.pending.insert(
+            id,
+            Lease {
+                unit,
+                worker,
+                deadline,
+                attempt,
+            },
+        );
+        id
+    }
+
+    /// A result for assignment `id` arrived. `Some` means it is the first
+    /// (integrate it; the worker's failure streak resets); `None` means the
+    /// assignment is stale — a late duplicate to discard.
+    pub fn complete(&mut self, id: u64) -> Option<Lease<U>> {
+        match self.pending.remove(&id) {
+            Some(lease) => {
+                self.consecutive_fails[lease.worker] = 0;
+                Some(lease)
+            }
+            None => {
+                self.counters.duplicates_dropped += 1;
+                None
+            }
+        }
+    }
+
+    /// Earliest pending deadline, if any lease is outstanding and finite.
+    pub fn next_deadline(&self) -> Option<f64> {
+        self.pending
+            .values()
+            .map(|l| l.deadline)
+            .filter(|d| d.is_finite())
+            .min_by(f64::total_cmp)
+    }
+
+    /// Expire every lease whose deadline has passed: units move to the
+    /// retry queue, the owning workers take a failure (possibly crossing
+    /// the exclusion threshold).
+    pub fn expire_due(&mut self, now: f64) -> Vec<Expiry> {
+        let due: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, l)| l.deadline <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        due.into_iter().map(|id| self.expire_one(id)).collect()
+    }
+
+    /// The caller observed `worker` die outright (e.g. its channel
+    /// disconnected). All of its leases are requeued immediately and the
+    /// worker is excluded.
+    pub fn worker_died(&mut self, worker: usize) -> Expiry {
+        let ids: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, l)| l.worker == worker)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in ids {
+            self.expire_one(id);
+        }
+        let newly_lost = !self.excluded[worker];
+        if newly_lost {
+            self.excluded[worker] = true;
+            self.counters.workers_lost += 1;
+        }
+        Expiry { worker, newly_lost }
+    }
+
+    fn expire_one(&mut self, id: u64) -> Expiry {
+        let lease = self.pending.remove(&id).expect("expiring a live lease");
+        let w = lease.worker;
+        self.retry.push_back((lease.unit, lease.attempt + 1, w));
+        self.counters.units_reassigned += 1;
+        self.consecutive_fails[w] += 1;
+        self.total_fails[w] += 1;
+        let newly_lost =
+            !self.excluded[w] && self.consecutive_fails[w] >= self.cfg.max_worker_failures;
+        if newly_lost {
+            self.excluded[w] = true;
+            self.counters.workers_lost += 1;
+        }
+        Expiry {
+            worker: w,
+            newly_lost,
+        }
+    }
+
+    /// Pop the next unit awaiting re-issue, with its attempt number and
+    /// the worker whose lease on it expired.
+    pub fn take_retry(&mut self) -> Option<(U, u32, usize)> {
+        self.retry.pop_front()
+    }
+
+    /// True if any unit is waiting to be re-issued.
+    pub fn has_retry(&self) -> bool {
+        !self.retry.is_empty()
+    }
+
+    /// True if any lease is outstanding.
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// True if `worker` must not be assigned further work.
+    pub fn is_excluded(&self, worker: usize) -> bool {
+        self.excluded[worker]
+    }
+
+    /// Lifetime lease-expiry count for `worker` (for `MachineReport`).
+    pub fn total_failures(&self, worker: usize) -> u64 {
+        self.total_fails[worker]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(lease: f64, k: u32) -> RecoveryConfig {
+        RecoveryConfig {
+            lease_timeout_s: lease,
+            backoff: 2.0,
+            max_worker_failures: k,
+        }
+    }
+
+    #[test]
+    fn plan_queries() {
+        let p = FaultPlan::none()
+            .crash_at(0, 3)
+            .stall_at(1, 2)
+            .slow_from(2, 4, 3.0)
+            .drop_result_at(2, 9);
+        assert!(!p.is_empty());
+        assert_eq!(p.crash_unit(0), Some(3));
+        assert_eq!(p.crash_unit(1), None);
+        assert_eq!(p.stall_unit(1), Some(2));
+        assert_eq!(p.slowdown(2, 3), 1.0);
+        assert_eq!(p.slowdown(2, 4), 3.0);
+        assert_eq!(p.slowdown(2, 100), 3.0);
+        assert!(p.drops_result(2, 9));
+        assert!(!p.drops_result(2, 8));
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn lease_completes_exactly_once() {
+        let mut led: Ledger<u32> = Ledger::new(cfg(10.0, 2), 2);
+        let id = led.issue(7, 0, 0.0, 0);
+        assert!(led.has_pending());
+        assert!(led.complete(id).is_some());
+        assert!(
+            led.complete(id).is_none(),
+            "second completion is a duplicate"
+        );
+        assert_eq!(led.counters.duplicates_dropped, 1);
+        assert!(!led.has_pending());
+    }
+
+    #[test]
+    fn expiry_requeues_with_backoff_and_excludes() {
+        let mut led: Ledger<u32> = Ledger::new(cfg(10.0, 2), 2);
+        let id0 = led.issue(7, 0, 0.0, 0);
+        assert_eq!(led.next_deadline(), Some(10.0));
+        assert!(led.expire_due(9.9).is_empty());
+        let ex = led.expire_due(10.0);
+        assert_eq!(
+            ex,
+            vec![Expiry {
+                worker: 0,
+                newly_lost: false
+            }]
+        );
+        assert_eq!(led.counters.units_reassigned, 1);
+        // stale completion is a duplicate
+        assert!(led.complete(id0).is_none());
+        // retry carries attempt 1 → doubled lease, tagged with the loser
+        let (unit, attempt, from) = led.take_retry().unwrap();
+        assert_eq!((unit, attempt, from), (7, 1, 0));
+        led.issue(unit, 0, 100.0, attempt);
+        assert_eq!(led.next_deadline(), Some(120.0));
+        // second consecutive failure crosses the threshold
+        let ex = led.expire_due(120.0);
+        assert_eq!(
+            ex,
+            vec![Expiry {
+                worker: 0,
+                newly_lost: true
+            }]
+        );
+        assert!(led.is_excluded(0));
+        assert_eq!(led.counters.workers_lost, 1);
+        assert_eq!(led.total_failures(0), 2);
+    }
+
+    #[test]
+    fn success_resets_consecutive_failures() {
+        let mut led: Ledger<u32> = Ledger::new(cfg(10.0, 2), 1);
+        let _ = led.issue(1, 0, 0.0, 0);
+        led.expire_due(10.0);
+        let id = led.issue(2, 0, 20.0, 0);
+        assert!(led.complete(id).is_some());
+        // streak reset: one more failure does not exclude
+        let _ = led.issue(3, 0, 40.0, 0);
+        let ex = led.expire_due(50.0);
+        assert!(!ex[0].newly_lost);
+        assert!(!led.is_excluded(0));
+    }
+
+    #[test]
+    fn observed_death_requeues_everything_at_once() {
+        let mut led: Ledger<u32> = Ledger::new(cfg(1000.0, 5), 3);
+        led.issue(1, 2, 0.0, 0);
+        led.issue(2, 2, 0.0, 0);
+        led.issue(3, 1, 0.0, 0);
+        let ex = led.worker_died(2);
+        assert!(ex.newly_lost);
+        assert!(led.is_excluded(2));
+        assert_eq!(led.counters.units_reassigned, 2);
+        assert_eq!(led.counters.workers_lost, 1);
+        let mut retried = vec![];
+        while let Some((u, _, from)) = led.take_retry() {
+            assert_eq!(from, 2);
+            retried.push(u);
+        }
+        retried.sort_unstable();
+        assert_eq!(retried, vec![1, 2]);
+        // worker 1's lease is untouched
+        assert!(led.has_pending());
+    }
+
+    #[test]
+    fn disabled_recovery_never_expires() {
+        let mut led: Ledger<u32> = Ledger::new(RecoveryConfig::default(), 1);
+        assert!(!led.config().enabled());
+        led.issue(1, 0, 0.0, 0);
+        assert!(led.expire_due(f64::MAX).is_empty());
+        assert_eq!(led.next_deadline(), None);
+    }
+}

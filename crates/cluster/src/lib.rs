@@ -8,7 +8,8 @@
 //! Ethernet. This crate reproduces that environment twice:
 //!
 //! * [`threads`] — a real parallel backend: each workstation is an OS
-//!   thread, messages travel over crossbeam channels. Use it to measure
+//!   thread, messages travel over `std::sync::mpsc` channels. Use it to
+//!   measure
 //!   actual wall-clock speedups on the machine running the benches.
 //! * [`sim`] — a deterministic discrete-event simulator of heterogeneous
 //!   workstations on a shared-bus Ethernet. Machines have relative speeds
@@ -28,8 +29,14 @@
 //! [`codec`] is a small hand-rolled byte codec: protocol payloads are
 //! encoded through it so the simulator charges exact byte counts to the
 //! Ethernet model.
+//!
+//! [`fault`] makes the substrate honest about failure: a [`FaultPlan`]
+//! injects worker crashes, stalls, slowdowns and dropped results into
+//! either backend, and the lease/retry/exclusion [`fault::Ledger`] lets
+//! the master survive them with every unit integrated exactly once.
 
 pub mod codec;
+pub mod fault;
 pub mod logic;
 pub mod message;
 pub mod report;
@@ -37,8 +44,9 @@ pub mod sim;
 pub mod threads;
 
 pub use codec::{Decoder, Encoder};
+pub use fault::{FaultCounters, FaultKind, FaultPlan, Ledger, RecoveryConfig};
 pub use logic::{MasterLogic, MasterWork, WorkCost, WorkerLogic};
-pub use message::{Endpoint, Message, NodeId};
+pub use message::{ChannelError, Endpoint, Message, NodeId};
 pub use report::{MachineReport, RunReport, SpanKind, TimelineSpan};
 pub use sim::{EthernetSpec, MachineSpec, SimCluster};
 pub use threads::ThreadCluster;

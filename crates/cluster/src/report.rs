@@ -9,6 +9,9 @@ pub enum SpanKind {
     MasterWork,
     /// A transfer occupying the shared network.
     Transfer,
+    /// A lease expired and the unit was requeued for another worker; the
+    /// span's machine is the worker that timed out.
+    Reassign,
 }
 
 /// One busy interval on a resource, for gantt-style visualisation.
@@ -37,6 +40,11 @@ pub struct MachineReport {
     pub units_done: u64,
     /// Bytes sent by this machine.
     pub bytes_sent: u64,
+    /// Lease expiries charged to this machine over the whole run.
+    pub failures: u64,
+    /// True if the machine was excluded as lost (crashed, stalled or
+    /// repeatedly timed out).
+    pub lost: bool,
 }
 
 /// Whole-run accounting.
@@ -57,6 +65,14 @@ pub struct RunReport {
     /// Busy intervals for gantt rendering; only populated when the
     /// simulator's `record_timeline` flag is set.
     pub timeline: Vec<TimelineSpan>,
+    /// Faults injected by the run's `FaultPlan` (affected units).
+    pub faults_injected: u64,
+    /// Units re-issued after a lease expiry or observed worker death.
+    pub units_reassigned: u64,
+    /// Late duplicate results discarded by the at-most-once ledger.
+    pub duplicates_dropped: u64,
+    /// Workers excluded as lost during the run.
+    pub workers_lost: u64,
 }
 
 impl RunReport {
@@ -83,8 +99,18 @@ mod tests {
         let r = RunReport {
             makespan_s: 10.0,
             machines: vec![
-                MachineReport { name: "m".into(), busy_s: 5.0, units_done: 1, bytes_sent: 0 },
-                MachineReport { name: "w".into(), busy_s: 10.0, units_done: 2, bytes_sent: 0 },
+                MachineReport {
+                    name: "m".into(),
+                    busy_s: 5.0,
+                    units_done: 1,
+                    ..Default::default()
+                },
+                MachineReport {
+                    name: "w".into(),
+                    busy_s: 10.0,
+                    units_done: 2,
+                    ..Default::default()
+                },
             ],
             ..Default::default()
         };

@@ -12,11 +12,18 @@
 //! renders actual pixels); only time is virtual, charged as
 //! `work_units / speed` plus an optional paging penalty when a unit's
 //! working set exceeds the machine's memory.
+//!
+//! Unlike the paper's PVM setup, machines are allowed to fail: a
+//! [`FaultPlan`] injects crashes, stalls, slowdowns and dropped results
+//! deterministically into the virtual timeline, and the master recovers
+//! through the lease/retry/exclusion protocol of [`crate::fault`] when
+//! [`SimCluster::recovery`] enables finite leases.
 
+use crate::fault::{FaultPlan, Ledger, RecoveryConfig};
 use crate::logic::{MasterLogic, WorkerLogic};
 use crate::report::{MachineReport, RunReport, SpanKind, TimelineSpan};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeSet, BinaryHeap};
 
 /// A simulated workstation.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,7 +40,11 @@ pub struct MachineSpec {
 impl MachineSpec {
     /// Convenience constructor.
     pub fn new(name: &str, speed: f64, memory_mb: f64) -> MachineSpec {
-        MachineSpec { name: name.to_string(), speed, memory_mb }
+        MachineSpec {
+            name: name.to_string(),
+            speed,
+            memory_mb,
+        }
     }
 
     /// The paper's cluster: one SGI Indigo2 at 200 MHz / 64 MB and two
@@ -75,20 +86,31 @@ impl Default for EthernetSpec {
 
 /// Simulation event.
 enum Event<U, R> {
-    /// A request (optionally carrying a finished unit's result) reaches the
-    /// master.
-    RequestAtMaster { worker: usize, done: Option<(U, R)> },
+    /// A request (optionally carrying a finished unit's result, tagged
+    /// with its assignment id) reaches the master.
+    RequestAtMaster {
+        worker: usize,
+        done: Option<(u64, U, R)>,
+    },
     /// The master is ready to answer `worker`.
     MasterReply { worker: usize },
     /// A unit assignment reaches the worker.
-    UnitAtWorker { worker: usize, unit: U },
+    UnitAtWorker { worker: usize, assign: u64, unit: U },
     /// The worker has finished computing and starts sending its result.
     ///
     /// Bus capacity is allocated only when simulated time *reaches* the
     /// send (not when the finish time is first computed) — allocating
     /// eagerly would reserve the bus in the future and wrongly delay
     /// earlier transfers from faster machines.
-    WorkerSend { worker: usize, done: (U, R), bytes: u64 },
+    WorkerSend {
+        worker: usize,
+        assign: u64,
+        done: (U, R),
+        bytes: u64,
+    },
+    /// A lease deadline passed; expire whatever is overdue and wake
+    /// parked workers to pick up the requeued units.
+    LeaseCheck,
 }
 
 struct Scheduled<U, R> {
@@ -132,12 +154,24 @@ pub struct SimCluster {
     /// Record per-span busy intervals into [`RunReport::timeline`]
     /// (gantt rendering; off by default to keep reports small).
     pub record_timeline: bool,
+    /// Deterministic fault injection (empty by default).
+    pub faults: FaultPlan,
+    /// Lease/timeout recovery policy (disabled by default: infinite
+    /// leases reproduce the seed's trusting behaviour).
+    pub recovery: RecoveryConfig,
 }
 
 impl SimCluster {
     /// Cluster with the given machines and default Ethernet.
     pub fn new(machines: Vec<MachineSpec>) -> SimCluster {
-        SimCluster { machines, net: EthernetSpec::default(), request_bytes: 64, record_timeline: false }
+        SimCluster {
+            machines,
+            net: EthernetSpec::default(),
+            request_bytes: 64,
+            record_timeline: false,
+            faults: FaultPlan::none(),
+            recovery: RecoveryConfig::default(),
+        }
     }
 
     /// The paper's 3-machine heterogeneous cluster.
@@ -189,22 +223,22 @@ impl SimCluster {
         M: MasterLogic,
         W: WorkerLogic<Unit = M::Unit, Result = M::Result>,
     {
-        assert_eq!(
-            workers.len(),
-            self.machines.len(),
-            "one worker per machine"
-        );
+        assert_eq!(workers.len(), self.machines.len(), "one worker per machine");
         let n = workers.len();
         assert!(n > 0, "need at least one machine");
 
         let mut queue: BinaryHeap<Scheduled<M::Unit, M::Result>> = BinaryHeap::new();
         let mut seq = 0u64;
         let push = |q: &mut BinaryHeap<Scheduled<M::Unit, M::Result>>,
-                        seq: &mut u64,
-                        at: f64,
-                        event: Event<M::Unit, M::Result>| {
+                    seq: &mut u64,
+                    at: f64,
+                    event: Event<M::Unit, M::Result>| {
             *seq += 1;
-            q.push(Scheduled { at, seq: *seq, event });
+            q.push(Scheduled {
+                at,
+                seq: *seq,
+                event,
+            });
         };
 
         let mut bus_free = 0.0f64;
@@ -216,12 +250,22 @@ impl SimCluster {
             machines: self
                 .machines
                 .iter()
-                .map(|m| MachineReport { name: m.name.clone(), ..Default::default() })
+                .map(|m| MachineReport {
+                    name: m.name.clone(),
+                    ..Default::default()
+                })
                 .collect(),
             ..Default::default()
         };
 
-        // a worker result currently waiting to be integrated, per worker
+        let mut ledger: Ledger<M::Unit> = Ledger::new(self.recovery, n);
+        // units each worker has started (0-based fault trigger counter)
+        let mut units_started = vec![0u64; n];
+        // workers whose simulated process crashed (produce no events)
+        let mut dead = vec![false; n];
+        // idle workers waiting out pending leases instead of shutting down
+        let mut parked: BTreeSet<usize> = BTreeSet::new();
+
         let mut active_workers = n;
 
         // transfer over the shared bus: returns arrival time
@@ -251,17 +295,34 @@ impl SimCluster {
         // every worker fires an initial request at t = 0
         for w in 0..n {
             let arrive = transfer!(0.0, self.request_bytes, Some(w));
-            push(&mut queue, &mut seq, arrive, Event::RequestAtMaster { worker: w, done: None });
+            push(
+                &mut queue,
+                &mut seq,
+                arrive,
+                Event::RequestAtMaster {
+                    worker: w,
+                    done: None,
+                },
+            );
         }
 
         while let Some(Scheduled { at, event, .. }) = queue.pop() {
-            makespan = makespan.max(at);
+            // lease checks whose lease already completed are lazy-cancelled
+            // no-ops and must not stretch the makespan
+            if !matches!(event, Event::LeaseCheck) {
+                makespan = makespan.max(at);
+            }
             match event {
                 Event::RequestAtMaster { worker, done } => {
                     // master unpacks the message
                     let mut t = master_free.max(at) + self.net.master_overhead_s;
                     master_busy += self.net.master_overhead_s;
-                    if let Some((unit, result)) = done {
+                    let first = done.and_then(|(assign, unit, result)| {
+                        // at-most-once: a stale assignment id means the
+                        // unit was already re-issued — drop the duplicate.
+                        ledger.complete(assign).map(|_| (unit, result))
+                    });
+                    if let Some((unit, result)) = first {
                         let mw = master.integrate(worker, unit, result);
                         let work_start;
                         if mw.overlappable {
@@ -286,26 +347,82 @@ impl SimCluster {
                     } else {
                         master_free = t;
                     }
+                    // parked workers wait on outstanding leases; once the
+                    // last one resolves (or a retry is waiting) let them
+                    // come back for an answer — work or shutdown
+                    if !parked.is_empty() && (ledger.has_retry() || !ledger.has_pending()) {
+                        for w in std::mem::take(&mut parked) {
+                            push(&mut queue, &mut seq, t, Event::MasterReply { worker: w });
+                        }
+                    }
                     push(&mut queue, &mut seq, t, Event::MasterReply { worker });
                 }
                 Event::MasterReply { worker } => {
-                    match master.assign(worker) {
-                        Some(unit) => {
+                    if ledger.is_excluded(worker) {
+                        // a lost-then-returned worker gets no more work
+                        active_workers = active_workers.saturating_sub(1);
+                        continue;
+                    }
+                    // requeued units take priority over fresh assignments
+                    let next = match ledger.take_retry() {
+                        Some((mut unit, attempt, from)) => {
+                            master.on_reassign(from, &mut unit);
+                            Some((unit, attempt))
+                        }
+                        None => master.assign(worker).map(|u| (u, 0)),
+                    };
+                    match next {
+                        Some((unit, attempt)) => {
+                            let assign = ledger.issue(unit.clone(), worker, at, attempt);
+                            if self.recovery.enabled() {
+                                let deadline = at + self.recovery.lease_for_attempt(attempt);
+                                push(&mut queue, &mut seq, deadline, Event::LeaseCheck);
+                            }
                             let bytes = master.unit_bytes(&unit);
                             let arrive = transfer!(at, bytes, None::<usize>);
                             push(
                                 &mut queue,
                                 &mut seq,
                                 arrive,
-                                Event::UnitAtWorker { worker, unit },
+                                Event::UnitAtWorker {
+                                    worker,
+                                    assign,
+                                    unit,
+                                },
                             );
                         }
                         None => {
-                            active_workers -= 1;
+                            if ledger.has_pending() || ledger.has_retry() || !master.all_done() {
+                                // work may still come back as a retry, or
+                                // sit queued behind a worker that is
+                                // momentarily between leases — park
+                                // instead of shutting down
+                                parked.insert(worker);
+                            } else {
+                                active_workers -= 1;
+                            }
                         }
                     }
                 }
-                Event::UnitAtWorker { worker, unit } => {
+                Event::UnitAtWorker {
+                    worker,
+                    assign,
+                    unit,
+                } => {
+                    let idx = units_started[worker];
+                    units_started[worker] += 1;
+                    if dead[worker] {
+                        continue;
+                    }
+                    if self.faults.crash_unit(worker) == Some(idx) {
+                        dead[worker] = true;
+                        ledger.counters.faults_injected += 1;
+                        continue;
+                    }
+                    if self.faults.stall_unit(worker) == Some(idx) {
+                        ledger.counters.faults_injected += 1;
+                        continue;
+                    }
                     let (result, cost) = workers[worker].perform(&unit);
                     let spec = &self.machines[worker];
                     let mut dur = cost.work_units / spec.speed;
@@ -313,6 +430,11 @@ impl SimCluster {
                         // only the excess fraction of the working set pages
                         let excess = (cost.working_set_mb - spec.memory_mb) / cost.working_set_mb;
                         dur *= 1.0 + (self.net.paging_factor - 1.0) * excess;
+                    }
+                    let slow = self.faults.slowdown(worker, idx);
+                    if slow != 1.0 {
+                        dur *= slow;
+                        ledger.counters.faults_injected += 1;
                     }
                     report.machines[worker].busy_s += dur;
                     report.machines[worker].units_done += 1;
@@ -324,34 +446,83 @@ impl SimCluster {
                             kind: SpanKind::Compute,
                         });
                     }
+                    if self.faults.drops_result(worker, idx) {
+                        ledger.counters.faults_injected += 1;
+                        continue;
+                    }
                     push(
                         &mut queue,
                         &mut seq,
                         at + dur,
                         Event::WorkerSend {
                             worker,
+                            assign,
                             done: (unit, result),
                             bytes: cost.result_bytes + self.request_bytes,
                         },
                     );
                 }
-                Event::WorkerSend { worker, done, bytes } => {
+                Event::WorkerSend {
+                    worker,
+                    assign,
+                    done,
+                    bytes,
+                } => {
                     let arrive = transfer!(at, bytes, Some(worker));
                     push(
                         &mut queue,
                         &mut seq,
                         arrive,
-                        Event::RequestAtMaster { worker, done: Some(done) },
+                        Event::RequestAtMaster {
+                            worker,
+                            done: Some((assign, done.0, done.1)),
+                        },
                     );
+                }
+                Event::LeaseCheck => {
+                    let expiries = ledger.expire_due(at);
+                    if expiries.is_empty() {
+                        continue;
+                    }
+                    makespan = makespan.max(at);
+                    for e in &expiries {
+                        if self.record_timeline {
+                            report.timeline.push(TimelineSpan {
+                                machine: e.worker,
+                                start: at,
+                                end: at,
+                                kind: SpanKind::Reassign,
+                            });
+                        }
+                        if e.newly_lost {
+                            master.on_worker_lost(e.worker);
+                        }
+                    }
+                    // wake every parked worker; each picks up one requeued
+                    // unit (or re-parks if another woke first)
+                    for w in std::mem::take(&mut parked) {
+                        push(&mut queue, &mut seq, at, Event::MasterReply { worker: w });
+                    }
                 }
             }
         }
-        debug_assert_eq!(active_workers, 0, "all workers must be shut down");
+        debug_assert!(
+            !self.faults.is_empty() || active_workers == 0,
+            "all workers must be shut down in a fault-free run"
+        );
         makespan = makespan.max(master_free);
 
         report.makespan_s = makespan;
         report.network_busy_s = network_busy;
         report.master_busy_s = master_busy;
+        report.faults_injected = ledger.counters.faults_injected;
+        report.units_reassigned = ledger.counters.units_reassigned;
+        report.duplicates_dropped = ledger.counters.duplicates_dropped;
+        report.workers_lost = ledger.counters.workers_lost;
+        for w in 0..n {
+            report.machines[w].failures = ledger.total_failures(w);
+            report.machines[w].lost = ledger.is_excluded(w);
+        }
         (master, report)
     }
 }
@@ -382,8 +553,15 @@ mod tests {
         }
         fn integrate(&mut self, worker: usize, unit: u64, result: u64) -> MasterWork {
             assert_eq!(result, unit * 2);
+            assert!(
+                !self.integrated.iter().any(|&(_, u)| u == unit),
+                "unit {unit} integrated twice"
+            );
             self.integrated.push((worker, unit));
-            MasterWork { work_units: self.write_cost, overlappable: self.overlappable }
+            MasterWork {
+                work_units: self.write_cost,
+                overlappable: self.overlappable,
+            }
         }
     }
 
@@ -414,7 +592,29 @@ mod tests {
         write_cost: f64,
         overlappable: bool,
     ) -> (PoolMaster, RunReport) {
-        let cluster = SimCluster::new(machines);
+        run_pool_faulty(
+            machines,
+            units,
+            unit_cost,
+            write_cost,
+            overlappable,
+            FaultPlan::none(),
+            RecoveryConfig::default(),
+        )
+    }
+
+    fn run_pool_faulty(
+        machines: Vec<MachineSpec>,
+        units: usize,
+        unit_cost: f64,
+        write_cost: f64,
+        overlappable: bool,
+        faults: FaultPlan,
+        recovery: RecoveryConfig,
+    ) -> (PoolMaster, RunReport) {
+        let mut cluster = SimCluster::new(machines);
+        cluster.faults = faults;
+        cluster.recovery = recovery;
         let n = cluster.machines.len();
         let master = PoolMaster {
             remaining: units,
@@ -423,7 +623,10 @@ mod tests {
             overlappable,
         };
         let workers: Vec<Doubler> = (0..n)
-            .map(|_| Doubler { unit_cost, result_bytes: 1000 })
+            .map(|_| Doubler {
+                unit_cost,
+                result_bytes: 1000,
+            })
             .collect();
         cluster.run(master, workers)
     }
@@ -441,7 +644,13 @@ mod tests {
     #[test]
     fn heterogeneous_speedup_tracks_aggregate_power() {
         // single fast machine
-        let (_, single) = run_pool(vec![MachineSpec::new("fast", 2.0, 64.0)], 60, 1.0, 0.0, true);
+        let (_, single) = run_pool(
+            vec![MachineSpec::new("fast", 2.0, 64.0)],
+            60,
+            1.0,
+            0.0,
+            true,
+        );
         // paper cluster: aggregate power 4 vs fastest 2 -> ~2x
         let (_, multi) = run_pool(MachineSpec::paper_cluster(), 60, 1.0, 0.0, true);
         let speedup = single.makespan_s / multi.makespan_s;
@@ -505,7 +714,11 @@ mod tests {
             fn perform(&mut self, unit: &u64) -> (u64, WorkCost) {
                 (
                     unit * 2,
-                    WorkCost { work_units: 1.0, result_bytes: 10, working_set_mb: 100.0 },
+                    WorkCost {
+                        work_units: 1.0,
+                        result_bytes: 10,
+                        working_set_mb: 100.0,
+                    },
                 )
             }
         }
@@ -520,7 +733,11 @@ mod tests {
         // 100 MB working set on a 32 MB machine: 68% excess pages, so
         // 3 units * 1.0 s * (1 + 1.5 * 0.68)
         let expected = 3.0 * (1.0 + 1.5 * (100.0 - 32.0) / 100.0);
-        assert!((r.machines[0].busy_s - expected).abs() < 1e-9, "{}", r.machines[0].busy_s);
+        assert!(
+            (r.machines[0].busy_s - expected).abs() < 1e-9,
+            "{}",
+            r.machines[0].busy_s
+        );
     }
 
     #[test]
@@ -533,7 +750,10 @@ mod tests {
             write_cost: 0.0,
             overlappable: true,
         };
-        let workers = vec![Doubler { unit_cost: 0.001, result_bytes: 10 }];
+        let workers = vec![Doubler {
+            unit_cost: 0.001,
+            result_bytes: 10,
+        }];
         let (_, r) = cluster.run(master, workers);
         // at least 2 transfers per unit at 0.5 s latency each
         assert!(r.makespan_s > 4.0 * 2.0 * 0.5);
@@ -552,6 +772,162 @@ mod tests {
             write_cost: 0.0,
             overlappable: true,
         };
-        let _ = cluster.run(master, vec![Doubler { unit_cost: 1.0, result_bytes: 1 }]);
+        let _ = cluster.run(
+            master,
+            vec![Doubler {
+                unit_cost: 1.0,
+                result_bytes: 1,
+            }],
+        );
+    }
+
+    // -----------------------------------------------------------------
+    // fault injection + recovery
+    // -----------------------------------------------------------------
+
+    fn machines3() -> Vec<MachineSpec> {
+        vec![
+            MachineSpec::new("a", 1.0, 64.0),
+            MachineSpec::new("b", 1.0, 64.0),
+            MachineSpec::new("c", 1.0, 64.0),
+        ]
+    }
+
+    #[test]
+    fn crash_mid_run_completes_on_survivors() {
+        let faults = FaultPlan::none().crash_at(1, 3);
+        let recovery = RecoveryConfig {
+            lease_timeout_s: 50.0,
+            backoff: 2.0,
+            max_worker_failures: 1,
+        };
+        let (m, r) = run_pool_faulty(machines3(), 30, 1.0, 0.0, true, faults, recovery);
+        assert_eq!(
+            m.integrated.len(),
+            30,
+            "all units complete despite the crash"
+        );
+        assert!(r.units_reassigned >= 1, "the in-flight unit was re-issued");
+        assert_eq!(r.workers_lost, 1);
+        assert_eq!(r.faults_injected, 1);
+        assert!(r.machines[1].lost);
+        assert!(!r.machines[0].lost && !r.machines[2].lost);
+        assert_eq!(r.machines[1].failures, 1);
+        // no unit from the dead worker got integrated twice (PoolMaster
+        // asserts), and survivors covered the slack
+        assert!(r.machines[0].units_done + r.machines[2].units_done >= 26);
+    }
+
+    #[test]
+    fn stalled_worker_does_not_hang_the_run() {
+        let faults = FaultPlan::none().stall_at(2, 0);
+        let recovery = RecoveryConfig {
+            lease_timeout_s: 20.0,
+            backoff: 2.0,
+            max_worker_failures: 1,
+        };
+        let (m, r) = run_pool_faulty(machines3(), 12, 1.0, 0.0, true, faults, recovery);
+        assert_eq!(m.integrated.len(), 12);
+        assert_eq!(r.workers_lost, 1);
+        assert!(r.machines[2].lost);
+        // the stalled unit was recovered after the lease, so the run is
+        // bounded by the lease plus the survivors' compute
+        assert!(
+            r.makespan_s < 20.0 + 12.0 + 5.0,
+            "makespan {}",
+            r.makespan_s
+        );
+    }
+
+    #[test]
+    fn slow_worker_duplicate_is_dropped_not_double_integrated() {
+        // worker 1 becomes 100x slower from its second unit: the lease
+        // expires, the unit is re-issued, and the eventual late result
+        // must be discarded (PoolMaster asserts at-most-once).
+        let faults = FaultPlan::none().slow_from(1, 1, 100.0);
+        let recovery = RecoveryConfig {
+            lease_timeout_s: 8.0,
+            backoff: 2.0,
+            max_worker_failures: 10,
+        };
+        let (m, r) = run_pool_faulty(machines3(), 20, 1.0, 0.0, true, faults, recovery);
+        assert_eq!(m.integrated.len(), 20);
+        assert!(r.units_reassigned >= 1);
+        assert!(
+            r.duplicates_dropped >= 1,
+            "late result must surface as duplicate"
+        );
+        assert_eq!(r.workers_lost, 0, "slow-but-alive worker stays in the pool");
+    }
+
+    #[test]
+    fn dropped_result_is_recovered() {
+        let faults = FaultPlan::none().drop_result_at(0, 2);
+        let recovery = RecoveryConfig {
+            lease_timeout_s: 30.0,
+            backoff: 2.0,
+            max_worker_failures: 3,
+        };
+        let (m, r) = run_pool_faulty(machines3(), 15, 1.0, 0.0, true, faults, recovery);
+        assert_eq!(m.integrated.len(), 15);
+        assert!(r.units_reassigned >= 1);
+        assert_eq!(r.workers_lost, 0);
+    }
+
+    #[test]
+    fn faulty_run_is_deterministic() {
+        let mk = || {
+            run_pool_faulty(
+                machines3(),
+                25,
+                1.0,
+                0.01,
+                true,
+                FaultPlan::none().crash_at(1, 2).slow_from(2, 3, 40.0),
+                RecoveryConfig {
+                    lease_timeout_s: 15.0,
+                    backoff: 2.0,
+                    max_worker_failures: 2,
+                },
+            )
+        };
+        let (_, a) = mk();
+        let (_, b) = mk();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fault_free_run_unchanged_by_enabled_recovery() {
+        // generous leases on a healthy cluster: same work accounting as a
+        // run without recovery machinery
+        let (m1, r1) = run_pool(machines3(), 20, 1.0, 0.0, true);
+        let (m2, r2) = run_pool_faulty(
+            machines3(),
+            20,
+            1.0,
+            0.0,
+            true,
+            FaultPlan::none(),
+            RecoveryConfig::with_lease(1e6),
+        );
+        assert_eq!(m1.integrated.len(), m2.integrated.len());
+        assert_eq!(r1.machines, r2.machines);
+        assert_eq!(r1.makespan_s, r2.makespan_s);
+        assert_eq!(r2.units_reassigned, 0);
+        assert_eq!(r2.duplicates_dropped, 0);
+    }
+
+    #[test]
+    fn single_survivor_finishes_everything() {
+        let faults = FaultPlan::none().crash_at(0, 1).crash_at(1, 1);
+        let recovery = RecoveryConfig {
+            lease_timeout_s: 25.0,
+            backoff: 2.0,
+            max_worker_failures: 1,
+        };
+        let (m, r) = run_pool_faulty(machines3(), 18, 1.0, 0.0, true, faults, recovery);
+        assert_eq!(m.integrated.len(), 18);
+        assert_eq!(r.workers_lost, 2);
+        assert!(r.machines[2].units_done >= 16);
     }
 }

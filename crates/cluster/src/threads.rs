@@ -1,46 +1,86 @@
 //! Real-parallel backend: each workstation is an OS thread.
 //!
 //! Runs the same [`MasterLogic`] / [`WorkerLogic`] pair as the simulator,
-//! but over crossbeam channels with real wall-clock timing. Use it to
-//! measure actual parallel speedups of the render farm on the host
+//! but over `std::sync::mpsc` channels with real wall-clock timing. Use it
+//! to measure actual parallel speedups of the render farm on the host
 //! machine (the simulator is for reproducing the paper's heterogeneous
 //! 3-SGI setup deterministically).
+//!
+//! Failure handling mirrors the simulator: a [`FaultPlan`] injects faults
+//! *for real* (early thread exit for a crash, injected sleeps for a
+//! slowdown, suppressed sends for a dropped result), and the master runs
+//! the same lease/retry/exclusion [`Ledger`] over wall-clock time. A
+//! worker whose channel disconnects is treated as an observed death: its
+//! leases requeue and the run finishes on the survivors instead of
+//! panicking.
 
+use crate::fault::{FaultPlan, Ledger, RecoveryConfig};
 use crate::logic::{MasterLogic, WorkerLogic};
 use crate::report::{MachineReport, RunReport};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 enum ToWorker<U> {
-    Unit(U),
+    /// An assignment: ledger id plus the unit.
+    Unit(u64, U),
     Shutdown,
 }
 
 struct FromWorker<U, R> {
     worker: usize,
-    done: Option<(U, R)>,
+    /// `None` is the initial readiness request; `Some` carries the
+    /// assignment id the result answers.
+    done: Option<(u64, U, R)>,
     busy_s: f64,
 }
 
 type ResultChannel<U, R> = (Sender<FromWorker<U, R>>, Receiver<FromWorker<U, R>>);
 type UnitChannel<U> = (Sender<ToWorker<U>>, Receiver<ToWorker<U>>);
 
+/// Master-side view of one worker thread.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum WState {
+    /// May still send a message the master must answer.
+    Active,
+    /// Asked for work when none was assignable, but leases were still
+    /// outstanding; will be re-engaged if their units requeue.
+    Parked,
+    /// Shut down, excluded, or observed dead.
+    Done,
+}
+
 /// A thread-per-worker cluster.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ThreadCluster {
     /// Number of worker threads.
     pub workers: usize,
+    /// Deterministic fault injection (empty by default); faults are
+    /// realised with real thread exits, sleeps and suppressed sends.
+    pub faults: FaultPlan,
+    /// Lease/timeout recovery policy over wall-clock seconds (disabled by
+    /// default).
+    pub recovery: RecoveryConfig,
 }
 
 impl ThreadCluster {
     /// Cluster with `workers` worker threads (at least 1).
     pub fn new(workers: usize) -> ThreadCluster {
         assert!(workers > 0);
-        ThreadCluster { workers }
+        ThreadCluster {
+            workers,
+            faults: FaultPlan::none(),
+            recovery: RecoveryConfig::default(),
+        }
     }
 
     /// Run the job to completion; returns the master logic and a wall-clock
     /// report.
+    ///
+    /// Completes without panicking even if worker threads die mid-run:
+    /// their leases requeue onto survivors, and if *every* worker is gone
+    /// the run ends gracefully with whatever was integrated.
     pub fn run<M, W>(&self, mut master: M, workers: Vec<W>) -> (M, RunReport)
     where
         M: MasterLogic,
@@ -51,31 +91,65 @@ impl ThreadCluster {
         assert_eq!(workers.len(), self.workers, "one WorkerLogic per worker");
         let n = self.workers;
         let start = Instant::now();
+        let stop = Arc::new(AtomicBool::new(false));
 
-        let (result_tx, result_rx): ResultChannel<M::Unit, M::Result> = unbounded();
+        let (result_tx, result_rx): ResultChannel<M::Unit, M::Result> = channel();
 
         let mut unit_txs: Vec<Sender<ToWorker<M::Unit>>> = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
         for (i, mut logic) in workers.into_iter().enumerate() {
-            let (tx, rx): UnitChannel<M::Unit> = unbounded();
+            let (tx, rx): UnitChannel<M::Unit> = channel();
             unit_txs.push(tx);
             let results = result_tx.clone();
+            let plan = self.faults.clone();
+            let stop = Arc::clone(&stop);
             handles.push(std::thread::spawn(move || {
                 // announce readiness
                 results
-                    .send(FromWorker { worker: i, done: None, busy_s: 0.0 })
+                    .send(FromWorker {
+                        worker: i,
+                        done: None,
+                        busy_s: 0.0,
+                    })
                     .ok();
                 let mut busy = 0.0f64;
+                let mut injected = 0u64;
+                let mut idx = 0u64; // units started, 0-based
                 while let Ok(msg) = rx.recv() {
                     match msg {
-                        ToWorker::Unit(unit) => {
+                        ToWorker::Unit(assign, unit) => {
+                            let unit_idx = idx;
+                            idx += 1;
+                            if plan.crash_unit(i) == Some(unit_idx) {
+                                // the "machine" dies: drop the channels and go
+                                return (busy, injected + 1);
+                            }
+                            if plan.stall_unit(i) == Some(unit_idx) {
+                                // wedged process: alive but mute
+                                injected += 1;
+                                while !stop.load(Ordering::Relaxed) {
+                                    std::thread::sleep(Duration::from_millis(2));
+                                }
+                                return (busy, injected);
+                            }
                             let t0 = Instant::now();
                             let (result, _cost) = logic.perform(&unit);
+                            let factor = plan.slowdown(i, unit_idx);
+                            if factor > 1.0 {
+                                injected += 1;
+                                std::thread::sleep(t0.elapsed().mul_f64(factor - 1.0));
+                            }
                             busy += t0.elapsed().as_secs_f64();
+                            if plan.drops_result(i, unit_idx) {
+                                // computed, but the message is "lost in
+                                // transit"; wait for the master to react
+                                injected += 1;
+                                continue;
+                            }
                             if results
                                 .send(FromWorker {
                                     worker: i,
-                                    done: Some((unit, result)),
+                                    done: Some((assign, unit, result)),
                                     busy_s: busy,
                                 })
                                 .is_err()
@@ -86,41 +160,186 @@ impl ThreadCluster {
                         ToWorker::Shutdown => break,
                     }
                 }
-                busy
+                (busy, injected)
             }));
         }
         drop(result_tx);
 
         let mut report = RunReport {
             machines: (0..n)
-                .map(|i| MachineReport { name: format!("thread-{i}"), ..Default::default() })
+                .map(|i| MachineReport {
+                    name: format!("thread-{i}"),
+                    ..Default::default()
+                })
                 .collect(),
             ..Default::default()
         };
-        let mut active = n;
-        while active > 0 {
-            let msg = result_rx.recv().expect("workers alive while active > 0");
-            if let Some((unit, result)) = msg.done {
-                report.machines[msg.worker].units_done += 1;
-                report.machines[msg.worker].busy_s = msg.busy_s;
-                let t0 = Instant::now();
-                let _mw = master.integrate(msg.worker, unit, result);
-                report.master_busy_s += t0.elapsed().as_secs_f64();
-            }
-            match master.assign(msg.worker) {
-                Some(unit) => {
-                    unit_txs[msg.worker].send(ToWorker::Unit(unit)).expect("worker alive");
+
+        let mut ledger: Ledger<M::Unit> = Ledger::new(self.recovery, n);
+        let mut state = vec![WState::Active; n];
+        // true while a message from the worker may be on its way
+        let mut in_flight = vec![true; n]; // the readiness request
+                                           // false until the readiness request arrives
+        let mut started = vec![false; n];
+        let now = |start: Instant| start.elapsed().as_secs_f64();
+
+        // answer worker `w`'s request: a requeued unit first, then a fresh
+        // assignment, else park or shut down
+        macro_rules! give_work {
+            ($w:expr) => {{
+                let w: usize = $w;
+                if ledger.is_excluded(w) {
+                    let _ = unit_txs[w].send(ToWorker::Shutdown);
+                    state[w] = WState::Done;
+                } else {
+                    let next = match ledger.take_retry() {
+                        Some((mut unit, attempt, from)) => {
+                            master.on_reassign(from, &mut unit);
+                            Some((unit, attempt))
+                        }
+                        None => master.assign(w).map(|u| (u, 0)),
+                    };
+                    match next {
+                        Some((unit, attempt)) => {
+                            let assign = ledger.issue(unit.clone(), w, now(start), attempt);
+                            if unit_txs[w].send(ToWorker::Unit(assign, unit)).is_err() {
+                                // observed death: requeue its leases at once
+                                let ex = ledger.worker_died(w);
+                                if ex.newly_lost {
+                                    master.on_worker_lost(w);
+                                }
+                                state[w] = WState::Done;
+                            } else {
+                                state[w] = WState::Active;
+                                in_flight[w] = true;
+                            }
+                        }
+                        None => {
+                            if ledger.has_pending() || ledger.has_retry() {
+                                state[w] = WState::Parked;
+                            } else {
+                                let _ = unit_txs[w].send(ToWorker::Shutdown);
+                                state[w] = WState::Done;
+                            }
+                        }
+                    }
                 }
-                None => {
-                    unit_txs[msg.worker].send(ToWorker::Shutdown).ok();
-                    active -= 1;
+            }};
+        }
+
+        loop {
+            if state.iter().all(|&s| s == WState::Done) {
+                break;
+            }
+            // a message is certain only from a worker that holds a live
+            // lease or hasn't announced readiness yet; workers whose leases
+            // all expired may be wedged and must not block termination
+            let certain = (0..n).any(|w| state[w] == WState::Active && in_flight[w] && !started[w])
+                || ledger.has_pending();
+            if !certain {
+                // no lease outstanding: re-engage parked workers (retries
+                // or work freed by a lost worker), shut down the idle ones
+                let parked: Vec<usize> = (0..n).filter(|&w| state[w] == WState::Parked).collect();
+                for w in parked {
+                    give_work!(w);
+                }
+                if !ledger.has_pending() && (0..n).all(|w| state[w] != WState::Parked) {
+                    // only possibly-wedged workers remain: the job is as
+                    // done as it can get
+                    for w in 0..n {
+                        if state[w] != WState::Done {
+                            let _ = unit_txs[w].send(ToWorker::Shutdown);
+                            state[w] = WState::Done;
+                        }
+                    }
+                    break;
+                }
+                continue;
+            }
+            let msg = match ledger.next_deadline() {
+                Some(deadline) => {
+                    let wait = (deadline - now(start)).max(0.0);
+                    result_rx.recv_timeout(Duration::from_secs_f64(wait.min(3600.0)))
+                }
+                None => result_rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+            };
+            match msg {
+                Ok(msg) => {
+                    let w = msg.worker;
+                    in_flight[w] = false;
+                    started[w] = true;
+                    report.machines[w].busy_s = msg.busy_s;
+                    if let Some((assign, unit, result)) = msg.done {
+                        report.machines[w].units_done += 1;
+                        if ledger.complete(assign).is_some() {
+                            let t0 = Instant::now();
+                            let _mw = master.integrate(w, unit, result);
+                            report.master_busy_s += t0.elapsed().as_secs_f64();
+                        }
+                        // a stale id is a late duplicate: counted by the
+                        // ledger, result discarded
+                    }
+                    if state[w] != WState::Done {
+                        give_work!(w);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    let t = now(start);
+                    for e in ledger.expire_due(t) {
+                        if e.newly_lost {
+                            master.on_worker_lost(e.worker);
+                            let _ = unit_txs[e.worker].send(ToWorker::Shutdown);
+                            state[e.worker] = WState::Done;
+                        }
+                    }
+                    // requeued units (and work freed by a lost worker) go
+                    // to whoever is parked
+                    let parked: Vec<usize> =
+                        (0..n).filter(|&w| state[w] == WState::Parked).collect();
+                    for w in parked {
+                        give_work!(w);
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // every worker thread is gone: requeue what they held,
+                    // report them lost, and end the run gracefully
+                    for (w, st) in state.iter_mut().enumerate() {
+                        if *st != WState::Done {
+                            let ex = ledger.worker_died(w);
+                            if ex.newly_lost {
+                                master.on_worker_lost(w);
+                            }
+                            *st = WState::Done;
+                        }
+                    }
+                    break;
                 }
             }
         }
-        for h in handles {
-            let _ = h.join();
+
+        // release anything still blocked: wedged workers poll this flag,
+        // parked-on-recv workers see their channel close when unit_txs drops
+        stop.store(true, Ordering::Relaxed);
+        for tx in &unit_txs {
+            let _ = tx.send(ToWorker::Shutdown);
         }
+        drop(unit_txs);
+        for (i, h) in handles.into_iter().enumerate() {
+            if let Ok((busy, injected)) = h.join() {
+                report.machines[i].busy_s = busy;
+                ledger.counters.faults_injected += injected;
+            }
+        }
+
         report.makespan_s = start.elapsed().as_secs_f64();
+        report.faults_injected = ledger.counters.faults_injected;
+        report.units_reassigned = ledger.counters.units_reassigned;
+        report.duplicates_dropped = ledger.counters.duplicates_dropped;
+        report.workers_lost = ledger.counters.workers_lost;
+        for w in 0..n {
+            report.machines[w].failures = ledger.total_failures(w);
+            report.machines[w].lost = ledger.is_excluded(w);
+        }
         (master, report)
     }
 }
@@ -164,21 +383,46 @@ mod tests {
         }
     }
 
+    /// Squarer with a real (small) compute time, so leases and slowdowns
+    /// operate on measurable wall-clock intervals.
+    struct SlowSquarer(Duration);
+    impl WorkerLogic for SlowSquarer {
+        type Unit = u64;
+        type Result = u64;
+        fn perform(&mut self, unit: &u64) -> (u64, WorkCost) {
+            std::thread::sleep(self.0);
+            (unit * unit, WorkCost::compute_only(0.0))
+        }
+    }
+
     #[test]
     fn all_units_processed_exactly_once() {
         let cluster = ThreadCluster::new(4);
-        let master = CountMaster { next: 0, limit: 200, seen: BTreeSet::new() };
+        let master = CountMaster {
+            next: 0,
+            limit: 200,
+            seen: BTreeSet::new(),
+        };
         let (m, r) = cluster.run(master, vec![Squarer, Squarer, Squarer, Squarer]);
         assert_eq!(m.seen.len(), 200);
-        assert_eq!(m.seen.iter().copied().collect::<Vec<_>>(), (0..200).collect::<Vec<_>>());
+        assert_eq!(
+            m.seen.iter().copied().collect::<Vec<_>>(),
+            (0..200).collect::<Vec<_>>()
+        );
         assert_eq!(r.machines.iter().map(|m| m.units_done).sum::<u64>(), 200);
         assert!(r.makespan_s >= 0.0);
+        assert_eq!(r.workers_lost, 0);
+        assert_eq!(r.units_reassigned, 0);
     }
 
     #[test]
     fn single_worker_works() {
         let cluster = ThreadCluster::new(1);
-        let master = CountMaster { next: 0, limit: 10, seen: BTreeSet::new() };
+        let master = CountMaster {
+            next: 0,
+            limit: 10,
+            seen: BTreeSet::new(),
+        };
         let (m, r) = cluster.run(master, vec![Squarer]);
         assert_eq!(m.seen.len(), 10);
         assert_eq!(r.machines[0].units_done, 10);
@@ -232,7 +476,143 @@ mod tests {
     #[should_panic]
     fn mismatched_worker_count_panics() {
         let cluster = ThreadCluster::new(2);
-        let master = CountMaster { next: 0, limit: 1, seen: BTreeSet::new() };
+        let master = CountMaster {
+            next: 0,
+            limit: 1,
+            seen: BTreeSet::new(),
+        };
         let _ = cluster.run(master, vec![Squarer]);
+    }
+
+    // -----------------------------------------------------------------
+    // fault injection + recovery (real threads, wall-clock leases)
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn crashed_worker_thread_does_not_panic_the_master() {
+        // no recovery configured at all: the seed's loop panicked here
+        // ("workers alive while active > 0"); now the run ends gracefully
+        let mut cluster = ThreadCluster::new(1);
+        cluster.faults = FaultPlan::none().crash_at(0, 0);
+        let master = CountMaster {
+            next: 0,
+            limit: 5,
+            seen: BTreeSet::new(),
+        };
+        let (m, r) = cluster.run(master, vec![Squarer]);
+        assert_eq!(m.seen.len(), 0, "the sole worker died before computing");
+        assert_eq!(r.workers_lost, 1);
+        assert!(r.machines[0].lost);
+    }
+
+    #[test]
+    fn crash_mid_run_recovers_on_survivors() {
+        let mut cluster = ThreadCluster::new(3);
+        cluster.faults = FaultPlan::none().crash_at(1, 2);
+        cluster.recovery = RecoveryConfig {
+            lease_timeout_s: 0.25,
+            backoff: 2.0,
+            max_worker_failures: 1,
+        };
+        let master = CountMaster {
+            next: 0,
+            limit: 40,
+            seen: BTreeSet::new(),
+        };
+        let workers = (0..3)
+            .map(|_| SlowSquarer(Duration::from_millis(2)))
+            .collect();
+        let (m, r) = cluster.run(master, workers);
+        assert_eq!(m.seen.len(), 40, "all units integrated despite the crash");
+        assert_eq!(r.workers_lost, 1);
+        assert!(r.machines[1].lost);
+        assert!(r.units_reassigned >= 1);
+        assert_eq!(r.faults_injected, 1);
+    }
+
+    #[test]
+    fn stalled_worker_completes_within_lease_budget() {
+        let mut cluster = ThreadCluster::new(3);
+        cluster.faults = FaultPlan::none().stall_at(2, 1);
+        cluster.recovery = RecoveryConfig {
+            lease_timeout_s: 0.15,
+            backoff: 2.0,
+            max_worker_failures: 1,
+        };
+        let master = CountMaster {
+            next: 0,
+            limit: 30,
+            seen: BTreeSet::new(),
+        };
+        let workers = (0..3)
+            .map(|_| SlowSquarer(Duration::from_millis(2)))
+            .collect();
+        let t0 = Instant::now();
+        let (m, r) = cluster.run(master, workers);
+        let wall = t0.elapsed().as_secs_f64();
+        assert_eq!(m.seen.len(), 30);
+        assert_eq!(r.workers_lost, 1);
+        assert!(r.machines[2].lost);
+        assert!(r.units_reassigned >= 1);
+        // one lease expiry plus survivor compute: nowhere near a hang
+        assert!(wall < 10.0, "run took {wall:.2}s");
+    }
+
+    #[test]
+    fn late_duplicate_from_slow_worker_is_dropped() {
+        // worker 0's second unit takes ~50x its normal ~4ms: the ~0.08s
+        // lease expires, the unit completes elsewhere, and worker 0's late
+        // answer must be discarded (CountMaster asserts at-most-once)
+        let mut cluster = ThreadCluster::new(3);
+        cluster.faults = FaultPlan::none().slow_from(0, 1, 50.0);
+        cluster.recovery = RecoveryConfig {
+            lease_timeout_s: 0.08,
+            backoff: 2.0,
+            max_worker_failures: 20,
+        };
+        // enough units that the healthy pair outlasts the ~200 ms late
+        // result: the run must still be in progress when it arrives
+        let master = CountMaster {
+            next: 0,
+            limit: 200,
+            seen: BTreeSet::new(),
+        };
+        let workers = (0..3)
+            .map(|_| SlowSquarer(Duration::from_millis(4)))
+            .collect();
+        let (m, r) = cluster.run(master, workers);
+        assert_eq!(m.seen.len(), 200);
+        assert!(r.units_reassigned >= 1);
+        assert!(
+            r.duplicates_dropped >= 1,
+            "late results must surface as dropped duplicates (got {:?})",
+            (r.units_reassigned, r.duplicates_dropped)
+        );
+        assert_eq!(r.workers_lost, 0, "slow-but-alive worker stays in the pool");
+    }
+
+    #[test]
+    fn all_workers_dead_ends_gracefully_with_partial_result() {
+        let mut cluster = ThreadCluster::new(2);
+        cluster.faults = FaultPlan::none().crash_at(0, 1).crash_at(1, 1);
+        cluster.recovery = RecoveryConfig {
+            lease_timeout_s: 5.0,
+            backoff: 2.0,
+            max_worker_failures: 3,
+        };
+        let master = CountMaster {
+            next: 0,
+            limit: 50,
+            seen: BTreeSet::new(),
+        };
+        let workers = (0..2)
+            .map(|_| SlowSquarer(Duration::from_millis(1)))
+            .collect();
+        let (m, r) = cluster.run(master, workers);
+        // both threads exit after their first unit; the master notices the
+        // disconnect long before the 5 s leases and returns what it has
+        assert!(m.seen.len() <= 4);
+        assert_eq!(r.workers_lost, 2);
+        assert!(r.makespan_s < 5.0, "disconnect must beat the lease timeout");
     }
 }

@@ -64,9 +64,8 @@ pub fn changed_voxels(spec: &GridSpec, prev: &Scene, next: &Scene) -> ChangeSet 
 
     let mut voxels: BTreeSet<Voxel> = BTreeSet::new();
     for (a, b) in prev.objects.iter().zip(next.objects.iter()) {
-        let same = a.geometry == b.geometry
-            && a.material == b.material
-            && a.transform() == b.transform();
+        let same =
+            a.geometry == b.geometry && a.material == b.material && a.transform() == b.transform();
         if same {
             continue;
         }
@@ -162,14 +161,20 @@ mod tests {
         let mut s = Scene::new(cam);
         s.add_object(
             Object::new(
-                Geometry::Sphere { center: Point3::ZERO, radius: 0.5 },
+                Geometry::Sphere {
+                    center: Point3::ZERO,
+                    radius: 0.5,
+                },
                 Material::matte(Color::WHITE),
             )
             .named("ball"),
         );
         s.add_object(
             Object::new(
-                Geometry::Cuboid { min: Point3::new(-3.0, -3.0, -3.0), max: Point3::new(3.0, -2.5, 3.0) },
+                Geometry::Cuboid {
+                    min: Point3::new(-3.0, -3.0, -3.0),
+                    max: Point3::new(3.0, -2.5, 3.0),
+                },
                 Material::matte(Color::gray(0.4)),
             )
             .named("floor"),
@@ -264,7 +269,10 @@ mod tests {
         let mut light_moved = base_scene();
         light_moved.lights[0] =
             now_raytrace::PointLight::new(Point3::new(0.0, 9.0, 0.0), Color::WHITE).into();
-        assert_eq!(changed_voxels(&spec, &a, &light_moved), ChangeSet::Everything);
+        assert_eq!(
+            changed_voxels(&spec, &a, &light_moved),
+            ChangeSet::Everything
+        );
 
         let mut bg = base_scene();
         bg.background = Color::new(0.2, 0.0, 0.0);
@@ -276,7 +284,10 @@ mod tests {
         let a = base_scene();
         let mut b = base_scene();
         b.add_object(Object::new(
-            Geometry::Sphere { center: Point3::new(2.0, 0.0, 0.0), radius: 0.2 },
+            Geometry::Sphere {
+                center: Point3::new(2.0, 0.0, 0.0),
+                radius: 0.2,
+            },
             Material::default(),
         ));
         let spec = spec_for(&a);
@@ -285,10 +296,20 @@ mod tests {
 
     #[test]
     fn unbounded_object_change_dirties_everything() {
-        let cam = Camera::look_at(Point3::new(0.0, 0.0, 5.0), Point3::ZERO, Vec3::UNIT_Y, 60.0, 8, 8);
+        let cam = Camera::look_at(
+            Point3::new(0.0, 0.0, 5.0),
+            Point3::ZERO,
+            Vec3::UNIT_Y,
+            60.0,
+            8,
+            8,
+        );
         let mut a = Scene::new(cam);
         a.add_object(Object::new(
-            Geometry::Plane { point: Point3::ZERO, normal: Vec3::UNIT_Y },
+            Geometry::Plane {
+                point: Point3::ZERO,
+                normal: Vec3::UNIT_Y,
+            },
             Material::default(),
         ));
         let mut b = a.clone();
@@ -307,7 +328,12 @@ mod tests {
         let spec = GridSpec::cubic(Aabb::cube(Point3::ZERO, 4.0), 28);
         // a thin diagonal string-like cylinder
         let obj = Object::new(
-            Geometry::Cylinder { radius: 0.018, y0: 0.0, y1: 1.0, capped: true },
+            Geometry::Cylinder {
+                radius: 0.018,
+                y0: 0.0,
+                y1: 1.0,
+                capped: true,
+            },
             now_raytrace::Material::default(),
         )
         .with_transform(

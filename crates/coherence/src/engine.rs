@@ -292,7 +292,12 @@ mod tests {
     #[test]
     fn rays_outside_grid_mark_nothing() {
         let mut e = engine();
-        e.on_ray(0, &Ray::new(Point3::new(0.0, 10.0, 0.0), Vec3::UNIT_X), RayKind::Primary, f64::INFINITY);
+        e.on_ray(
+            0,
+            &Ray::new(Point3::new(0.0, 10.0, 0.0), Vec3::UNIT_X),
+            RayKind::Primary,
+            f64::INFINITY,
+        );
         assert_eq!(e.entry_count(), 0);
     }
 }

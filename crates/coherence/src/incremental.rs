@@ -15,8 +15,8 @@ use crate::region::PixelRegion;
 use now_grid::GridSpec;
 use now_math::Ray;
 use now_raytrace::{
-    render_pixels, Framebuffer, GridAccel, PixelId, RayKind, RayListener, RayStats,
-    RenderSettings, Scene,
+    render_pixels, Framebuffer, GridAccel, PixelId, RayKind, RayListener, RayStats, RenderSettings,
+    Scene,
 };
 
 /// Maps pixels to coherence groups (1x1 groups = pixel granularity).
@@ -31,7 +31,12 @@ struct GroupMap {
 impl GroupMap {
     fn new(width: u32, height: u32, block: u32) -> GroupMap {
         assert!(block > 0);
-        GroupMap { width, height, block, groups_x: width.div_ceil(block) }
+        GroupMap {
+            width,
+            height,
+            block,
+            groups_x: width.div_ceil(block),
+        }
     }
 
     fn group_count(&self) -> usize {
@@ -80,7 +85,8 @@ impl RayListener for GroupListener<'_> {
         if !self.track_shadows && kind == RayKind::Shadow {
             return;
         }
-        self.engine.on_ray(self.map.group_of(pixel), ray, kind, t_max);
+        self.engine
+            .on_ray(self.map.group_of(pixel), ray, kind, t_max);
     }
 }
 
@@ -156,7 +162,14 @@ pub struct CoherentRenderer {
 impl CoherentRenderer {
     /// Pixel-granularity renderer over the full frame.
     pub fn new(spec: GridSpec, width: u32, height: u32, settings: RenderSettings) -> Self {
-        Self::with_region_and_block(spec, width, height, PixelRegion::full(width, height), 1, settings)
+        Self::with_region_and_block(
+            spec,
+            width,
+            height,
+            PixelRegion::full(width, height),
+            1,
+            settings,
+        )
     }
 
     /// Renderer restricted to a region (frame-division worker) and/or with
@@ -233,8 +246,7 @@ impl CoherentRenderer {
         let (fb, full_render, changed, rendered_ids) = match self.prev.take() {
             None => {
                 // first frame: render the whole region from scratch
-                let mut fb =
-                    Framebuffer::new(self.map.width, self.map.height);
+                let mut fb = Framebuffer::new(self.map.width, self.map.height);
                 let ids: Vec<PixelId> = self.region.pixel_ids(self.map.width).collect();
                 let mut listener = GroupListener {
                     engine: &mut self.engine,
@@ -330,7 +342,9 @@ impl CoherentRenderer {
 mod tests {
     use super::*;
     use now_math::{Affine, Color, Point3, Vec3};
-    use now_raytrace::{render_frame, Camera, Geometry, Material, NullListener, Object, PointLight};
+    use now_raytrace::{
+        render_frame, Camera, Geometry, Material, NullListener, Object, PointLight,
+    };
 
     /// A small scene with a moving ball over a floor box, mirror back wall.
     fn frame_scene(t: f64) -> Scene {
@@ -353,7 +367,10 @@ mod tests {
         ));
         s.add_object(
             Object::new(
-                Geometry::Sphere { center: Point3::new(-2.0, 0.6, 0.0), radius: 0.6 },
+                Geometry::Sphere {
+                    center: Point3::new(-2.0, 0.6, 0.0),
+                    radius: 0.6,
+                },
                 Material::chrome(Color::new(0.9, 0.9, 1.0)),
             )
             .named("ball")
@@ -398,9 +415,14 @@ mod tests {
                 assert!(report.full_render);
             } else {
                 assert!(!report.full_render);
-                assert!(report.pixels_rendered < report.region_pixels,
-                    "frame {i} recomputed everything");
-                assert!(report.pixels_rendered > 0, "ball moved, something must change");
+                assert!(
+                    report.pixels_rendered < report.region_pixels,
+                    "frame {i} recomputed everything"
+                );
+                assert!(
+                    report.pixels_rendered > 0,
+                    "ball moved, something must change"
+                );
             }
         }
     }
@@ -420,7 +442,12 @@ mod tests {
     #[test]
     fn region_renderer_owns_only_its_pixels() {
         let spec = sequence_spec();
-        let region = PixelRegion { x0: 0, y0: 0, w: 24, h: 36 }; // left half
+        let region = PixelRegion {
+            x0: 0,
+            y0: 0,
+            w: 24,
+            h: 36,
+        }; // left half
         let mut r = CoherentRenderer::with_region_and_block(
             spec,
             48,
@@ -466,7 +493,10 @@ mod tests {
                 let (fb, _) = r.render_next(&scene);
                 composed.copy_ids_from(&fb, reg.pixel_ids(48));
             }
-            assert!(composed.same_image(&reference), "frame {i} composition mismatch");
+            assert!(
+                composed.same_image(&reference),
+                "frame {i} composition mismatch"
+            );
         }
     }
 

@@ -30,7 +30,10 @@ impl JevansRenderer {
         block: u32,
         settings: RenderSettings,
     ) -> JevansRenderer {
-        assert!(block >= 2, "a 1x1 block is pixel granularity; use CoherentRenderer");
+        assert!(
+            block >= 2,
+            "a 1x1 block is pixel granularity; use CoherentRenderer"
+        );
         JevansRenderer {
             inner: CoherentRenderer::with_region_and_block(
                 spec,
@@ -67,19 +70,13 @@ mod tests {
     #[test]
     #[should_panic]
     fn block_one_rejected() {
-        let spec = GridSpec::cubic(
-            now_math::Aabb::cube(now_math::Point3::ZERO, 2.0),
-            4,
-        );
+        let spec = GridSpec::cubic(now_math::Aabb::cube(now_math::Point3::ZERO, 2.0), 4);
         let _ = JevansRenderer::new(spec, 8, 8, 1, RenderSettings::default());
     }
 
     #[test]
     fn constructor_stores_block() {
-        let spec = GridSpec::cubic(
-            now_math::Aabb::cube(now_math::Point3::ZERO, 2.0),
-            4,
-        );
+        let spec = GridSpec::cubic(now_math::Aabb::cube(now_math::Point3::ZERO, 2.0), 4);
         let r = JevansRenderer::new(spec, 16, 16, 4, RenderSettings::default());
         assert_eq!(r.block(), 4);
     }

@@ -22,7 +22,12 @@ pub struct PixelRegion {
 impl PixelRegion {
     /// The whole frame.
     pub fn full(width: u32, height: u32) -> PixelRegion {
-        PixelRegion { x0: 0, y0: 0, w: width, h: height }
+        PixelRegion {
+            x0: 0,
+            y0: 0,
+            w: width,
+            h: height,
+        }
     }
 
     /// Number of pixels in the region.
@@ -88,7 +93,12 @@ impl PixelRegion {
             if h == 0 {
                 continue;
             }
-            out.push(PixelRegion { x0: self.x0, y0: y, w: self.w, h });
+            out.push(PixelRegion {
+                x0: self.x0,
+                y0: y,
+                w: self.w,
+                h,
+            });
             y += h;
         }
         out
@@ -111,7 +121,12 @@ mod tests {
 
     #[test]
     fn pixel_ids_are_row_major_and_complete() {
-        let r = PixelRegion { x0: 1, y0: 2, w: 3, h: 2 };
+        let r = PixelRegion {
+            x0: 1,
+            y0: 2,
+            w: 3,
+            h: 2,
+        };
         let ids: Vec<_> = r.pixel_ids(10).collect();
         assert_eq!(ids, vec![21, 22, 23, 31, 32, 33]);
         for &id in &ids {
@@ -146,7 +161,12 @@ mod tests {
 
     #[test]
     fn split_rows_partitions() {
-        let r = PixelRegion { x0: 0, y0: 0, w: 10, h: 7 };
+        let r = PixelRegion {
+            x0: 0,
+            y0: 0,
+            w: 10,
+            h: 7,
+        };
         let parts = r.split_rows(3);
         assert_eq!(parts.len(), 3);
         assert_eq!(parts.iter().map(|p| p.h).sum::<u32>(), 7);

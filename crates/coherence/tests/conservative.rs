@@ -8,7 +8,7 @@ use now_raytrace::{
     render_frame, Camera, Framebuffer, Geometry, GridAccel, Material, NullListener, Object,
     PointLight, RayStats, RenderSettings, Scene,
 };
-use proptest::prelude::*;
+use now_testkit::{cases, Rng};
 
 const W: u32 = 24;
 const H: u32 = 18;
@@ -50,8 +50,14 @@ fn scene_at(spec: &SceneSpec, frame: usize) -> Scene {
     for (i, &(c, r, class)) in spec.spheres.iter().enumerate() {
         let offset = spec.motions[i] * frame as f64;
         s.add_object(
-            Object::new(Geometry::Sphere { center: c, radius: r }, material_of(class))
-                .with_transform(Affine::translate(offset)),
+            Object::new(
+                Geometry::Sphere {
+                    center: c,
+                    radius: r,
+                },
+                material_of(class),
+            )
+            .with_transform(Affine::translate(offset)),
         );
     }
     s.add_light(PointLight::new(spec.light, Color::WHITE));
@@ -64,35 +70,48 @@ fn sequence_spec(spec: &SceneSpec, frames: usize) -> GridSpec {
     GridSpec::for_scene(b, 12 * 12 * 12)
 }
 
-fn scene_spec_strategy() -> impl Strategy<Value = SceneSpec> {
-    let sphere = (
-        (-2.0..2.0f64, -0.8..1.2f64, -2.0..2.0f64),
-        0.25..0.7f64,
-        any::<u8>(),
-    )
-        .prop_map(|((x, y, z), r, class)| (Point3::new(x, y, z), r, class));
-    let motion = (-0.3..0.3f64, -0.2..0.2f64, -0.3..0.3f64)
-        .prop_map(|(x, y, z)| Vec3::new(x, y, z));
-    (
-        prop::collection::vec(sphere, 1..4),
-        prop::collection::vec(motion, 4),
-        (2.0..5.0f64, 3.0..7.0f64, 2.0..6.0f64),
-    )
-        .prop_map(|(spheres, motions, light)| SceneSpec {
-            spheres,
-            motions,
-            light: Point3::new(light.0, light.1, light.2),
+fn random_spec(rng: &mut Rng) -> SceneSpec {
+    let n = rng.usize_in(1, 4);
+    let spheres = (0..n)
+        .map(|_| {
+            (
+                Point3::new(
+                    rng.f64_in(-2.0, 2.0),
+                    rng.f64_in(-0.8, 1.2),
+                    rng.f64_in(-2.0, 2.0),
+                ),
+                rng.f64_in(0.25, 0.7),
+                rng.u8(),
+            )
         })
+        .collect();
+    let motions = (0..4)
+        .map(|_| {
+            Vec3::new(
+                rng.f64_in(-0.3, 0.3),
+                rng.f64_in(-0.2, 0.2),
+                rng.f64_in(-0.3, 0.3),
+            )
+        })
+        .collect();
+    SceneSpec {
+        spheres,
+        motions,
+        light: Point3::new(
+            rng.f64_in(2.0, 5.0),
+            rng.f64_in(3.0, 7.0),
+            rng.f64_in(2.0, 6.0),
+        ),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
-
-    /// For every transition of a random animated scene: (1) the incremental
-    /// frame equals a from-scratch render; (2) the dirty-pixel prediction is
-    /// a superset of the pixels that actually change.
-    #[test]
-    fn prediction_is_conservative_and_image_exact(spec in scene_spec_strategy()) {
+/// For every transition of a random animated scene: (1) the incremental
+/// frame equals a from-scratch render; (2) the dirty-pixel prediction is
+/// a superset of the pixels that actually change.
+#[test]
+fn prediction_is_conservative_and_image_exact() {
+    cases(12, |rng| {
+        let spec = random_spec(rng);
         let frames = 3usize;
         let gspec = sequence_spec(&spec, frames);
         let settings = RenderSettings::default();
@@ -106,9 +125,13 @@ proptest! {
             // exactness vs scratch
             let accel = GridAccel::build_with_spec(&scene, gspec);
             let reference = render_frame(
-                &scene, &accel, &settings, &mut NullListener, &mut RayStats::default(),
+                &scene,
+                &accel,
+                &settings,
+                &mut NullListener,
+                &mut RayStats::default(),
             );
-            prop_assert!(
+            assert!(
                 fb.same_image(&reference),
                 "frame {f}: {} pixels deviate",
                 fb.diff_ids(&reference).len()
@@ -124,7 +147,7 @@ proptest! {
             if let Some(prev) = &prev_fb {
                 let actually_changed = prev.diff_ids(&reference).len();
                 if !report.full_render {
-                    prop_assert!(
+                    assert!(
                         report.pixels_rendered >= actually_changed,
                         "predicted {} < actual {}",
                         report.pixels_rendered,
@@ -133,10 +156,10 @@ proptest! {
                 }
                 // DiffMaps agrees with the raw mask arithmetic
                 let maps = DiffMaps::new(prev, &reference, prev.diff_ids(&fb));
-                prop_assert_eq!(maps.actual_count(), actually_changed);
-                prop_assert!(maps.is_conservative());
+                assert_eq!(maps.actual_count(), actually_changed);
+                assert!(maps.is_conservative());
             }
             prev_fb = Some(fb);
         }
-    }
+    });
 }

@@ -58,12 +58,7 @@ impl CostModel {
     ///
     /// `copied_pixels` is the number of pixels *not* recomputed (carried
     /// over from the previous frame by the coherence algorithm).
-    pub fn render_work(
-        &self,
-        rays: &RayStats,
-        marks: u64,
-        copied_pixels: u64,
-    ) -> f64 {
+    pub fn render_work(&self, rays: &RayStats, marks: u64, copied_pixels: u64) -> f64 {
         rays.total_rays() as f64 * self.per_ray_s
             + marks as f64 * self.per_mark_s
             + rays.pixels as f64 * self.per_pixel_s
@@ -91,7 +86,11 @@ mod tests {
     #[test]
     fn render_work_scales_with_rays() {
         let m = CostModel::default();
-        let a = RayStats { primary: 1000, pixels: 1000, ..Default::default() };
+        let a = RayStats {
+            primary: 1000,
+            pixels: 1000,
+            ..Default::default()
+        };
         let b = RayStats { primary: 2000, ..a };
         assert!(m.render_work(&b, 0, 0) > m.render_work(&a, 0, 0));
     }
@@ -131,7 +130,10 @@ mod tests {
     fn working_set_grows_with_entries() {
         let m = CostModel::default();
         let empty = CoherenceStats::default();
-        let mut busy = CoherenceStats { entries: 1_000_000, ..Default::default() };
+        let mut busy = CoherenceStats {
+            entries: 1_000_000,
+            ..Default::default()
+        };
         assert!(m.working_set_mb(76_800, &busy) > m.working_set_mb(76_800, &empty));
         // a full 320x240 engine with ~10M entries is tens of MB — the
         // regime where the paper's 32 MB slaves start paging

@@ -9,10 +9,10 @@
 use crate::cost::CostModel;
 use crate::partition::{PartitionScheme, RenderUnit, Scheduler};
 use now_anim::Animation;
-use now_coherence::{CoherentRenderer, PixelRegion};
 use now_cluster::{
     MachineSpec, MasterLogic, MasterWork, SimCluster, ThreadCluster, WorkCost, WorkerLogic,
 };
+use now_coherence::{CoherentRenderer, PixelRegion};
 use now_grid::GridSpec;
 use now_raytrace::{
     render_pixels, Framebuffer, GridAccel, NullListener, PixelId, RayStats, RenderSettings,
@@ -115,7 +115,14 @@ impl FarmWorker {
     pub fn new(anim: Arc<Animation>, spec: GridSpec, cfg: FarmConfig) -> FarmWorker {
         let width = anim.base.camera.width();
         let height = anim.base.camera.height();
-        FarmWorker { anim, spec, cfg, width, height, state: None }
+        FarmWorker {
+            anim,
+            spec,
+            cfg,
+            width,
+            height,
+            state: None,
+        }
     }
 
     fn perform_coherent(&mut self, unit: &RenderUnit) -> (UnitOutput, WorkCost) {
@@ -166,7 +173,11 @@ impl FarmWorker {
                 .working_set_mb(unit.region.len(), &report.coherence),
         };
         (
-            UnitOutput { pixels, rays: report.rays, marks },
+            UnitOutput {
+                pixels,
+                rays: report.rays,
+                marks,
+            },
             cost,
         )
     }
@@ -199,7 +210,14 @@ impl FarmWorker {
             result_bytes: (pixels.len() * 7 + 32) as u64,
             working_set_mb: (unit.region.len() as f64 * 48.0) / (1024.0 * 1024.0),
         };
-        (UnitOutput { pixels, rays, marks: 0 }, cost)
+        (
+            UnitOutput {
+                pixels,
+                rays,
+                marks: 0,
+            },
+            cost,
+        )
     }
 }
 
@@ -323,6 +341,28 @@ impl MasterLogic for FarmMaster {
     fn unit_bytes(&self, _unit: &RenderUnit) -> u64 {
         48
     }
+
+    fn on_reassign(&mut self, from_worker: usize, unit: &mut RenderUnit) {
+        // the new owner has no coherence state for this region's preceding
+        // frames: force a full render so the frame bytes stay identical
+        unit.restart = true;
+        // the timed-out worker may never ask for work again (crash/stall):
+        // free its queues so survivors can claim the rest of its frames;
+        // if it is merely slow it re-claims work on its next request
+        self.scheduler.release_worker(from_worker);
+    }
+
+    fn on_worker_lost(&mut self, worker: usize) {
+        // exclusion without a retry in flight (e.g. observed death): the
+        // unfinished queues go back to the pool for survivors to claim
+        self.scheduler.release_worker(worker);
+    }
+
+    fn all_done(&self) -> bool {
+        // every region of every frame integrated — nothing left in any
+        // worker's queue, so idle workers may really shut down
+        self.next_finalize >= self.frames
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -354,11 +394,15 @@ fn shared_spec(anim: &Animation, cfg: &FarmConfig) -> GridSpec {
 }
 
 fn collect(master: FarmMaster, report: now_cluster::RunReport, frames: u32) -> FarmResult {
-    assert_eq!(
-        master.frames_finalized() as u32,
-        frames,
-        "every frame must be assembled and written"
-    );
+    // as long as one worker survived, recovery must have completed every
+    // frame; only a total loss may return a partial result
+    if (report.workers_lost as usize) < report.machines.len() {
+        assert_eq!(
+            master.frames_finalized() as u32,
+            frames,
+            "every frame must be assembled and written"
+        );
+    }
     FarmResult {
         report,
         frame_hashes: master.frame_hashes,
@@ -387,14 +431,20 @@ pub fn run_sim(anim: &Animation, cfg: &FarmConfig, cluster: &SimCluster) -> Farm
 
 /// Run the farm on real threads.
 pub fn run_threads(anim: &Animation, cfg: &FarmConfig, n_workers: usize) -> FarmResult {
+    run_threads_on(anim, cfg, &ThreadCluster::new(n_workers))
+}
+
+/// Run the farm on a configured [`ThreadCluster`] (fault injection and
+/// recovery policy included).
+pub fn run_threads_on(anim: &Animation, cfg: &FarmConfig, cluster: &ThreadCluster) -> FarmResult {
     let spec = shared_spec(anim, cfg);
     let anim = Arc::new(anim.clone());
-    let master = FarmMaster::new(&anim, cfg, n_workers);
-    let workers: Vec<FarmWorker> = (0..n_workers)
+    let master = FarmMaster::new(&anim, cfg, cluster.workers);
+    let workers: Vec<FarmWorker> = (0..cluster.workers)
         .map(|_| FarmWorker::new(Arc::clone(&anim), spec, cfg.clone()))
         .collect();
     let frames = anim.frames as u32;
-    let (master, report) = ThreadCluster::new(n_workers).run(master, workers);
+    let (master, report) = cluster.run(master, workers);
     collect(master, report, frames)
 }
 
@@ -444,7 +494,11 @@ mod tests {
     fn sim_frame_division_coherent_matches_reference() {
         let anim = anim();
         let cfg = cfg(
-            PartitionScheme::FrameDivision { tile_w: 16, tile_h: 16, adaptive: true },
+            PartitionScheme::FrameDivision {
+                tile_w: 16,
+                tile_h: 16,
+                adaptive: true,
+            },
             true,
         );
         let result = run_sim(&anim, &cfg, &paper_cluster());
@@ -465,7 +519,11 @@ mod tests {
     fn sim_plain_distribution_matches_reference() {
         let anim = anim();
         let cfg = cfg(
-            PartitionScheme::FrameDivision { tile_w: 16, tile_h: 16, adaptive: true },
+            PartitionScheme::FrameDivision {
+                tile_w: 16,
+                tile_h: 16,
+                adaptive: true,
+            },
             false,
         );
         let result = run_sim(&anim, &cfg, &paper_cluster());
@@ -477,7 +535,11 @@ mod tests {
     fn sim_hybrid_matches_reference() {
         let anim = anim();
         let cfg = cfg(
-            PartitionScheme::Hybrid { tile_w: 20, tile_h: 16, subseq: 2 },
+            PartitionScheme::Hybrid {
+                tile_w: 20,
+                tile_h: 16,
+                subseq: 2,
+            },
             true,
         );
         let result = run_sim(&anim, &cfg, &paper_cluster());
@@ -488,7 +550,11 @@ mod tests {
     fn threads_backend_matches_reference() {
         let anim = anim();
         let cfg = cfg(
-            PartitionScheme::FrameDivision { tile_w: 16, tile_h: 16, adaptive: true },
+            PartitionScheme::FrameDivision {
+                tile_w: 16,
+                tile_h: 16,
+                adaptive: true,
+            },
             true,
         );
         let result = run_threads(&anim, &cfg, 3);
@@ -498,7 +564,11 @@ mod tests {
     #[test]
     fn coherence_reduces_rays_and_traffic() {
         let anim = anim();
-        let scheme = PartitionScheme::FrameDivision { tile_w: 16, tile_h: 16, adaptive: true };
+        let scheme = PartitionScheme::FrameDivision {
+            tile_w: 16,
+            tile_h: 16,
+            adaptive: true,
+        };
         let with = run_sim(&anim, &cfg(scheme, true), &paper_cluster());
         let without = run_sim(&anim, &cfg(scheme, false), &paper_cluster());
         assert!(with.rays.total_rays() < without.rays.total_rays());

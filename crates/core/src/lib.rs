@@ -28,6 +28,8 @@ pub mod partition;
 pub mod single;
 
 pub use cost::CostModel;
-pub use farm::{run_sim, run_threads, FarmConfig, FarmMaster, FarmResult, FarmWorker};
+pub use farm::{
+    run_sim, run_threads, run_threads_on, FarmConfig, FarmMaster, FarmResult, FarmWorker,
+};
 pub use partition::PartitionScheme;
 pub use single::{render_sequence, SequenceMode, SequenceReport, SingleMachine};

@@ -70,7 +70,11 @@ pub enum PartitionScheme {
 impl PartitionScheme {
     /// The paper's frame-division configuration: 80x80 sub-areas.
     pub fn paper_frame_division() -> PartitionScheme {
-        PartitionScheme::FrameDivision { tile_w: 80, tile_h: 80, adaptive: true }
+        PartitionScheme::FrameDivision {
+            tile_w: 80,
+            tile_h: 80,
+            adaptive: true,
+        }
     }
 
     /// The paper's sequence-division configuration (adaptive).
@@ -143,9 +147,18 @@ impl Scheduler {
                     });
                     start += len;
                 }
-                Scheduler { queues, adaptive, min_steal: 4, regions_per_frame: 1 }
+                Scheduler {
+                    queues,
+                    adaptive,
+                    min_steal: 4,
+                    regions_per_frame: 1,
+                }
             }
-            PartitionScheme::FrameDivision { tile_w, tile_h, adaptive } => {
+            PartitionScheme::FrameDivision {
+                tile_w,
+                tile_h,
+                adaptive,
+            } => {
                 let tiles = PixelRegion::tiles(width, height, tile_w, tile_h);
                 let regions_per_frame = tiles.len();
                 let queues = tiles
@@ -158,9 +171,18 @@ impl Scheduler {
                         fresh: true,
                     })
                     .collect();
-                Scheduler { queues, adaptive, min_steal: 4, regions_per_frame }
+                Scheduler {
+                    queues,
+                    adaptive,
+                    min_steal: 4,
+                    regions_per_frame,
+                }
             }
-            PartitionScheme::Hybrid { tile_w, tile_h, subseq } => {
+            PartitionScheme::Hybrid {
+                tile_w,
+                tile_h,
+                subseq,
+            } => {
                 assert!(subseq > 0);
                 let tiles = PixelRegion::tiles(width, height, tile_w, tile_h);
                 let regions_per_frame = tiles.len();
@@ -169,11 +191,22 @@ impl Scheduler {
                     let mut start = 0;
                     while start < frames {
                         let end = (start + subseq).min(frames);
-                        queues.push(TaskQueue { region, next: start, end, owner: None, fresh: true });
+                        queues.push(TaskQueue {
+                            region,
+                            next: start,
+                            end,
+                            owner: None,
+                            fresh: true,
+                        });
                         start = end;
                     }
                 }
-                Scheduler { queues, adaptive: false, min_steal: u32::MAX, regions_per_frame }
+                Scheduler {
+                    queues,
+                    adaptive: false,
+                    min_steal: u32::MAX,
+                    regions_per_frame,
+                }
             }
         }
     }
@@ -181,6 +214,19 @@ impl Scheduler {
     /// Number of region updates each frame needs before it is complete.
     pub fn regions_per_frame(&self) -> usize {
         self.regions_per_frame
+    }
+
+    /// Release every queue owned by `worker` (it was excluded as lost):
+    /// the queues become claimable by survivors, who must rebuild
+    /// coherence state from scratch (`fresh`) since they never rendered
+    /// the preceding frames.
+    pub fn release_worker(&mut self, worker: usize) {
+        for q in self.queues.iter_mut() {
+            if q.owner == Some(worker) {
+                q.owner = None;
+                q.fresh = true;
+            }
+        }
     }
 
     /// Total units remaining.
@@ -196,7 +242,11 @@ impl Scheduler {
             .iter_mut()
             .find(|q| q.owner == Some(worker) && q.remaining() > 0)
         {
-            let unit = RenderUnit { region: q.region, frame: q.next, restart: q.fresh };
+            let unit = RenderUnit {
+                region: q.region,
+                frame: q.next,
+                restart: q.fresh,
+            };
             q.fresh = false;
             q.next += 1;
             return Some(unit);
@@ -215,7 +265,11 @@ impl Scheduler {
             .max_by_key(|q| q.remaining())
         {
             q.owner = Some(worker);
-            let unit = RenderUnit { region: q.region, frame: q.next, restart: true };
+            let unit = RenderUnit {
+                region: q.region,
+                frame: q.next,
+                restart: true,
+            };
             q.fresh = false;
             q.next += 1;
             return Some(unit);
@@ -241,7 +295,11 @@ impl Scheduler {
                     owner: Some(worker),
                     fresh: false,
                 });
-                return Some(RenderUnit { region, frame: steal_start, restart: true });
+                return Some(RenderUnit {
+                    region,
+                    frame: steal_start,
+                    restart: true,
+                });
             }
         }
         None
@@ -281,7 +339,11 @@ mod tests {
         let mut seen: HashSet<(u32, u32)> = HashSet::new();
         for u in units {
             for p in u.region.pixel_ids(width) {
-                assert!(seen.insert((u.frame, p)), "pixel {p} frame {} twice", u.frame);
+                assert!(
+                    seen.insert((u.frame, p)),
+                    "pixel {p} frame {} twice",
+                    u.frame
+                );
             }
         }
         let per_frame = seen.len() as u32 / frames;
@@ -310,7 +372,11 @@ mod tests {
         for units in &per_worker {
             for w in units.windows(2) {
                 if !w[1].restart {
-                    assert_eq!(w[1].frame, w[0].frame + 1, "non-consecutive without restart");
+                    assert_eq!(
+                        w[1].frame,
+                        w[0].frame + 1,
+                        "non-consecutive without restart"
+                    );
                 }
             }
         }
@@ -371,7 +437,11 @@ mod tests {
     #[test]
     fn frame_division_frames_in_order_per_tile() {
         let mut s = Scheduler::new(
-            PartitionScheme::FrameDivision { tile_w: 8, tile_h: 8, adaptive: false },
+            PartitionScheme::FrameDivision {
+                tile_w: 8,
+                tile_h: 8,
+                adaptive: false,
+            },
             16,
             8,
             10,
@@ -392,7 +462,11 @@ mod tests {
     #[test]
     fn hybrid_splits_time_and_space() {
         let mut s = Scheduler::new(
-            PartitionScheme::Hybrid { tile_w: 8, tile_h: 8, subseq: 5 },
+            PartitionScheme::Hybrid {
+                tile_w: 8,
+                tile_h: 8,
+                subseq: 5,
+            },
             16,
             16,
             10,

@@ -4,9 +4,7 @@ use crate::cost::CostModel;
 use now_anim::Animation;
 use now_coherence::CoherentRenderer;
 use now_grid::GridSpec;
-use now_raytrace::{
-    render_frame, Framebuffer, GridAccel, NullListener, RayStats, RenderSettings,
-};
+use now_raytrace::{render_frame, Framebuffer, GridAccel, NullListener, RayStats, RenderSettings};
 
 /// The (virtual) workstation a single-processor run executes on.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -23,17 +21,29 @@ pub struct SingleMachine {
 impl SingleMachine {
     /// The paper's fastest machine: SGI Indigo2, 200 MHz, 64 MB.
     pub fn fastest() -> SingleMachine {
-        SingleMachine { speed: 2.0, memory_mb: 64.0, paging_factor: 2.5 }
+        SingleMachine {
+            speed: 2.0,
+            memory_mb: 64.0,
+            paging_factor: 2.5,
+        }
     }
 
     /// A speed-1.0 machine with unlimited memory (cost-model units).
     pub fn unit() -> SingleMachine {
-        SingleMachine { speed: 1.0, memory_mb: f64::INFINITY, paging_factor: 1.0 }
+        SingleMachine {
+            speed: 1.0,
+            memory_mb: f64::INFINITY,
+            paging_factor: 1.0,
+        }
     }
 
     /// Speed-only machine with unlimited memory.
     pub fn with_speed(speed: f64) -> SingleMachine {
-        SingleMachine { speed, memory_mb: f64::INFINITY, paging_factor: 1.0 }
+        SingleMachine {
+            speed,
+            memory_mb: f64::INFINITY,
+            paging_factor: 1.0,
+        }
     }
 
     /// Seconds to execute `work` CPU-seconds with a working set of
@@ -147,8 +157,7 @@ pub fn render_sequence(
                 prev_marks = report.coherence.marks;
                 let copied = total_pixels - report.pixels_rendered as u64;
                 let work = cost.render_work(&report.rays, marks, copied) + file_write;
-                let ws_mb = (report.memory_bytes as f64
-                    + width as f64 * height as f64 * 48.0)
+                let ws_mb = (report.memory_bytes as f64 + width as f64 * height as f64 * 48.0)
                     / (1024.0 * 1024.0);
                 frame_s.push(machine.time_for(work, ws_mb));
                 pixels_per_frame.push(report.pixels_rendered as u64);
@@ -164,7 +173,11 @@ pub fn render_sequence(
     let report = SequenceReport {
         mode_coherent: !matches!(mode, SequenceMode::Plain),
         first_frame_s: frame_s.first().copied().unwrap_or(0.0),
-        avg_frame_s: if frame_s.is_empty() { 0.0 } else { total_s / frame_s.len() as f64 },
+        avg_frame_s: if frame_s.is_empty() {
+            0.0
+        } else {
+            total_s / frame_s.len() as f64
+        },
         total_s,
         rays: total_rays,
         marks: total_marks,
@@ -189,9 +202,22 @@ mod tests {
         let anim = small_anim();
         let settings = RenderSettings::default();
         let cost = CostModel::default();
-        let (plain, rp) = render_sequence(&anim, &settings, &cost, SequenceMode::Plain, SingleMachine::fastest(), 4096);
-        let (coh, rc) =
-            render_sequence(&anim, &settings, &cost, SequenceMode::Coherent, SingleMachine::fastest(), 4096);
+        let (plain, rp) = render_sequence(
+            &anim,
+            &settings,
+            &cost,
+            SequenceMode::Plain,
+            SingleMachine::fastest(),
+            4096,
+        );
+        let (coh, rc) = render_sequence(
+            &anim,
+            &settings,
+            &cost,
+            SequenceMode::Coherent,
+            SingleMachine::fastest(),
+            4096,
+        );
         assert_eq!(plain.len(), 6);
         for (i, (a, b)) in plain.iter().zip(coh.iter()).enumerate() {
             assert!(a.same_image(b), "frame {i} differs");
@@ -207,8 +233,22 @@ mod tests {
         let anim = small_anim();
         let settings = RenderSettings::default();
         let cost = CostModel::default();
-        let (_, rp) = render_sequence(&anim, &settings, &cost, SequenceMode::Plain, SingleMachine::fastest(), 4096);
-        let (_, rc) = render_sequence(&anim, &settings, &cost, SequenceMode::Coherent, SingleMachine::fastest(), 4096);
+        let (_, rp) = render_sequence(
+            &anim,
+            &settings,
+            &cost,
+            SequenceMode::Plain,
+            SingleMachine::fastest(),
+            4096,
+        );
+        let (_, rc) = render_sequence(
+            &anim,
+            &settings,
+            &cost,
+            SequenceMode::Coherent,
+            SingleMachine::fastest(),
+            4096,
+        );
         let overhead = rc.first_frame_s / rp.first_frame_s - 1.0;
         // the paper reports ~12%; accept a sane band
         assert!(
@@ -222,8 +262,14 @@ mod tests {
         let anim = small_anim();
         let settings = RenderSettings::default();
         let cost = CostModel::default();
-        let (coh, rc) =
-            render_sequence(&anim, &settings, &cost, SequenceMode::Coherent, SingleMachine::unit(), 4096);
+        let (coh, rc) = render_sequence(
+            &anim,
+            &settings,
+            &cost,
+            SequenceMode::Coherent,
+            SingleMachine::unit(),
+            4096,
+        );
         let (blk, rb) = render_sequence(
             &anim,
             &settings,
@@ -246,10 +292,20 @@ mod tests {
         let settings = RenderSettings::default();
         let cost = CostModel::default();
         let (_, slow) = render_sequence(
-            &anim, &settings, &cost, SequenceMode::Plain, SingleMachine::with_speed(1.0), 4096,
+            &anim,
+            &settings,
+            &cost,
+            SequenceMode::Plain,
+            SingleMachine::with_speed(1.0),
+            4096,
         );
         let (_, fast) = render_sequence(
-            &anim, &settings, &cost, SequenceMode::Plain, SingleMachine::with_speed(2.0), 4096,
+            &anim,
+            &settings,
+            &cost,
+            SequenceMode::Plain,
+            SingleMachine::with_speed(2.0),
+            4096,
         );
         assert!((slow.total_s / fast.total_s - 2.0).abs() < 1e-9);
     }

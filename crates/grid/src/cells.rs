@@ -82,7 +82,10 @@ mod tests {
     use now_math::{Aabb, Point3};
 
     fn cells() -> GridCells<Vec<u32>> {
-        GridCells::new(GridSpec::cubic(Aabb::new(Point3::ZERO, Point3::splat(2.0)), 2))
+        GridCells::new(GridSpec::cubic(
+            Aabb::new(Point3::ZERO, Point3::splat(2.0)),
+            2,
+        ))
     }
 
     #[test]

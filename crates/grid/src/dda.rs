@@ -163,7 +163,11 @@ impl Iterator for GridTraversal {
             (axis, t_next)
         };
         let t_exit = t_next.min(self.t_end);
-        let out = DdaStep { voxel, t_enter: self.t, t_exit };
+        let out = DdaStep {
+            voxel,
+            t_enter: self.t,
+            t_exit,
+        };
         if t_next >= self.t_end {
             self.done = true;
         } else {
@@ -199,7 +203,9 @@ impl Traverse for GridSpec {
     }
 
     fn traverse_vec(&self, ray: &Ray, t_range: Interval) -> Vec<Voxel> {
-        GridTraversal::new(self, ray, t_range).map(|s| s.voxel).collect()
+        GridTraversal::new(self, ray, t_range)
+            .map(|s| s.voxel)
+            .collect()
     }
 }
 
@@ -274,7 +280,10 @@ mod tests {
     #[test]
     fn diagonal_walk_is_connected_and_monotone() {
         let g = grid4();
-        let ray = Ray::new(Point3::new(-0.1, -0.2, -0.3), Vec3::new(1.0, 1.1, 1.2).normalized());
+        let ray = Ray::new(
+            Point3::new(-0.1, -0.2, -0.3),
+            Vec3::new(1.0, 1.1, 1.2).normalized(),
+        );
         let steps: Vec<DdaStep> = GridTraversal::new(&g, &ray, Interval::non_negative()).collect();
         assert!(!steps.is_empty());
         for w in steps.windows(2) {
@@ -296,7 +305,10 @@ mod tests {
     #[test]
     fn step_intervals_cover_clipped_range() {
         let g = grid4();
-        let ray = Ray::new(Point3::new(-2.0, 1.7, 3.2), Vec3::new(1.0, 0.3, -0.4).normalized());
+        let ray = Ray::new(
+            Point3::new(-2.0, 1.7, 3.2),
+            Vec3::new(1.0, 0.3, -0.4).normalized(),
+        );
         let clipped = g.bounds.ray_range(&ray, Interval::non_negative());
         let steps: Vec<DdaStep> = GridTraversal::new(&g, &ray, Interval::non_negative()).collect();
         assert!(!steps.is_empty());
@@ -307,7 +319,10 @@ mod tests {
     #[test]
     fn midpoints_of_steps_lie_in_reported_voxel() {
         let g = grid4();
-        let ray = Ray::new(Point3::new(0.1, 3.9, 0.1), Vec3::new(0.7, -0.6, 0.4).normalized());
+        let ray = Ray::new(
+            Point3::new(0.1, 3.9, 0.1),
+            Vec3::new(0.7, -0.6, 0.4).normalized(),
+        );
         for s in GridTraversal::new(&g, &ray, Interval::non_negative()) {
             let mid = ray.at((s.t_enter + s.t_exit) * 0.5);
             assert_eq!(g.voxel_of_clamped(mid), s.voxel);

@@ -44,7 +44,10 @@ impl GridSpec {
             e.x > 0.0 && e.y > 0.0 && e.z > 0.0,
             "grid bounds must have positive extent on every axis"
         );
-        assert!(res.iter().all(|&r| r > 0), "grid resolution must be positive");
+        assert!(
+            res.iter().all(|&r| r > 0),
+            "grid resolution must be positive"
+        );
         GridSpec { bounds, res }
     }
 
@@ -100,7 +103,11 @@ impl GridSpec {
         debug_assert!(i < self.voxel_count());
         let rx = self.res[0] as usize;
         let ry = self.res[1] as usize;
-        Voxel::new((i % rx) as u16, ((i / rx) % ry) as u16, (i / (rx * ry)) as u16)
+        Voxel::new(
+            (i % rx) as u16,
+            ((i / rx) % ry) as u16,
+            (i / (rx * ry)) as u16,
+        )
     }
 
     /// True if the voxel coordinates are within the resolution.
@@ -146,8 +153,7 @@ impl GridSpec {
     pub fn voxel_bounds(&self, v: Voxel) -> Aabb {
         debug_assert!(self.in_range(v));
         let s = self.voxel_size();
-        let min = self.bounds.min
-            + Vec3::new(v.x as f64 * s.x, v.y as f64 * s.y, v.z as f64 * s.z);
+        let min = self.bounds.min + Vec3::new(v.x as f64 * s.x, v.y as f64 * s.y, v.z as f64 * s.z);
         Aabb::new(min, min + s)
     }
 
@@ -184,7 +190,10 @@ mod tests {
     use super::*;
 
     fn spec() -> GridSpec {
-        GridSpec::new(Aabb::new(Point3::ZERO, Point3::new(10.0, 20.0, 40.0)), [5, 10, 20])
+        GridSpec::new(
+            Aabb::new(Point3::ZERO, Point3::new(10.0, 20.0, 40.0)),
+            [5, 10, 20],
+        )
     }
 
     #[test]
@@ -207,24 +216,42 @@ mod tests {
     #[test]
     fn voxel_of_interior_points() {
         let g = spec();
-        assert_eq!(g.voxel_of(Point3::new(0.5, 0.5, 0.5)), Some(Voxel::new(0, 0, 0)));
-        assert_eq!(g.voxel_of(Point3::new(9.9, 19.9, 39.9)), Some(Voxel::new(4, 9, 19)));
+        assert_eq!(
+            g.voxel_of(Point3::new(0.5, 0.5, 0.5)),
+            Some(Voxel::new(0, 0, 0))
+        );
+        assert_eq!(
+            g.voxel_of(Point3::new(9.9, 19.9, 39.9)),
+            Some(Voxel::new(4, 9, 19))
+        );
         // exactly on an interior boundary belongs to the upper voxel
-        assert_eq!(g.voxel_of(Point3::new(2.0, 0.0, 0.0)), Some(Voxel::new(1, 0, 0)));
+        assert_eq!(
+            g.voxel_of(Point3::new(2.0, 0.0, 0.0)),
+            Some(Voxel::new(1, 0, 0))
+        );
     }
 
     #[test]
     fn voxel_of_max_boundary_maps_to_last_voxel() {
         let g = spec();
-        assert_eq!(g.voxel_of(Point3::new(10.0, 20.0, 40.0)), Some(Voxel::new(4, 9, 19)));
+        assert_eq!(
+            g.voxel_of(Point3::new(10.0, 20.0, 40.0)),
+            Some(Voxel::new(4, 9, 19))
+        );
     }
 
     #[test]
     fn voxel_of_outside_is_none_but_clamped_works() {
         let g = spec();
         assert_eq!(g.voxel_of(Point3::new(-1.0, 5.0, 5.0)), None);
-        assert_eq!(g.voxel_of_clamped(Point3::new(-1.0, 5.0, 5.0)), Voxel::new(0, 2, 2));
-        assert_eq!(g.voxel_of_clamped(Point3::new(99.0, 99.0, 99.0)), Voxel::new(4, 9, 19));
+        assert_eq!(
+            g.voxel_of_clamped(Point3::new(-1.0, 5.0, 5.0)),
+            Voxel::new(0, 2, 2)
+        );
+        assert_eq!(
+            g.voxel_of_clamped(Point3::new(99.0, 99.0, 99.0)),
+            Voxel::new(4, 9, 19)
+        );
     }
 
     #[test]

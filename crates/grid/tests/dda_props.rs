@@ -3,28 +3,36 @@
 use now_grid::dda::Traverse;
 use now_grid::{GridSpec, GridTraversal, Voxel};
 use now_math::{Aabb, Interval, Point3, Ray, Vec3};
-use proptest::prelude::*;
+use now_testkit::{cases, Rng};
 use std::collections::BTreeSet;
 
-fn grid() -> impl Strategy<Value = GridSpec> {
-    (2u16..8, 2u16..8, 2u16..8).prop_map(|(x, y, z)| {
-        GridSpec::new(
-            Aabb::new(Point3::ZERO, Point3::new(8.0, 8.0, 8.0)),
-            [x, y, z],
-        )
-    })
+fn grid(rng: &mut Rng) -> GridSpec {
+    GridSpec::new(
+        Aabb::new(Point3::ZERO, Point3::new(8.0, 8.0, 8.0)),
+        [
+            rng.u32_in(2, 8) as u16,
+            rng.u32_in(2, 8) as u16,
+            rng.u32_in(2, 8) as u16,
+        ],
+    )
 }
 
-fn ray() -> impl Strategy<Value = Ray> {
-    (
-        (-4.0..12.0f64, -4.0..12.0f64, -4.0..12.0f64),
-        (-1.0..1.0f64, -1.0..1.0f64, -1.0..1.0f64),
-    )
-        .prop_filter_map("nonzero dir", |(o, d)| {
-            let dir = Vec3::new(d.0, d.1, d.2);
-            dir.try_normalized(1e-3)
-                .map(|dir| Ray::new(Point3::new(o.0, o.1, o.2), dir))
-        })
+fn ray(rng: &mut Rng) -> Ray {
+    loop {
+        let o = Point3::new(
+            rng.f64_in(-4.0, 12.0),
+            rng.f64_in(-4.0, 12.0),
+            rng.f64_in(-4.0, 12.0),
+        );
+        let dir = Vec3::new(
+            rng.f64_in(-1.0, 1.0),
+            rng.f64_in(-1.0, 1.0),
+            rng.f64_in(-1.0, 1.0),
+        );
+        if let Some(dir) = dir.try_normalized(1e-3) {
+            return Ray::new(o, dir);
+        }
+    }
 }
 
 /// Brute force: every voxel whose box the ray passes through for a segment of
@@ -41,62 +49,82 @@ fn brute_force(spec: &GridSpec, ray: &Ray, t_range: Interval, eps: f64) -> BTree
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    /// Every voxel the ray robustly crosses must be visited by the DDA, and
-    /// every DDA voxel must at least graze the ray.
-    #[test]
-    fn dda_matches_brute_force(spec in grid(), r in ray()) {
+/// Every voxel the ray robustly crosses must be visited by the DDA, and
+/// every DDA voxel must at least graze the ray.
+#[test]
+fn dda_matches_brute_force() {
+    cases(200, |rng| {
+        let spec = grid(rng);
+        let r = ray(rng);
         let range = Interval::non_negative();
-        let dda: BTreeSet<Voxel> =
-            GridTraversal::new(&spec, &r, range).map(|s| s.voxel).collect();
+        let dda: BTreeSet<Voxel> = GridTraversal::new(&spec, &r, range)
+            .map(|s| s.voxel)
+            .collect();
         let must_visit = brute_force(&spec, &r, range, 1e-7);
         let may_visit = brute_force(&spec, &r, range, -1e-12); // grazing allowed
 
         for v in &must_visit {
-            prop_assert!(dda.contains(v), "DDA missed robustly-crossed voxel {v:?}");
+            assert!(dda.contains(v), "DDA missed robustly-crossed voxel {v:?}");
         }
         for v in &dda {
-            prop_assert!(may_visit.contains(v), "DDA visited voxel the ray misses {v:?}");
+            assert!(
+                may_visit.contains(v),
+                "DDA visited voxel the ray misses {v:?}"
+            );
         }
-    }
+    });
+}
 
-    /// The walk is 6-connected and its t-intervals tile the clipped range.
-    #[test]
-    fn dda_walk_is_connected(spec in grid(), r in ray()) {
+/// The walk is 6-connected and its t-intervals tile the clipped range.
+#[test]
+fn dda_walk_is_connected() {
+    cases(200, |rng| {
+        let spec = grid(rng);
+        let r = ray(rng);
         let steps: Vec<_> = GridTraversal::new(&spec, &r, Interval::non_negative()).collect();
         for w in steps.windows(2) {
             let (a, b) = (w[0].voxel, w[1].voxel);
             let d = (a.x as i32 - b.x as i32).abs()
                 + (a.y as i32 - b.y as i32).abs()
                 + (a.z as i32 - b.z as i32).abs();
-            prop_assert_eq!(d, 1);
-            prop_assert!((w[0].t_exit - w[1].t_enter).abs() < 1e-9);
+            assert_eq!(d, 1);
+            assert!((w[0].t_exit - w[1].t_enter).abs() < 1e-9);
         }
         for s in &steps {
-            prop_assert!(s.t_exit >= s.t_enter - 1e-12);
+            assert!(s.t_exit >= s.t_enter - 1e-12);
         }
-    }
+    });
+}
 
-    /// Restricting the t-range only removes voxels from the walk.
-    #[test]
-    fn dda_range_restriction_is_monotone(spec in grid(), r in ray(), hi in 0.1..20.0f64) {
-        let full: BTreeSet<Voxel> =
-            GridTraversal::new(&spec, &r, Interval::non_negative()).map(|s| s.voxel).collect();
-        let limited: BTreeSet<Voxel> =
-            GridTraversal::new(&spec, &r, Interval::new(0.0, hi)).map(|s| s.voxel).collect();
-        prop_assert!(limited.is_subset(&full));
-    }
+/// Restricting the t-range only removes voxels from the walk.
+#[test]
+fn dda_range_restriction_is_monotone() {
+    cases(200, |rng| {
+        let spec = grid(rng);
+        let r = ray(rng);
+        let hi = rng.f64_in(0.1, 20.0);
+        let full: BTreeSet<Voxel> = GridTraversal::new(&spec, &r, Interval::non_negative())
+            .map(|s| s.voxel)
+            .collect();
+        let limited: BTreeSet<Voxel> = GridTraversal::new(&spec, &r, Interval::new(0.0, hi))
+            .map(|s| s.voxel)
+            .collect();
+        assert!(limited.is_subset(&full));
+    });
+}
 
-    /// Overlap rasterisation agrees with per-voxel box overlap.
-    #[test]
-    fn overlap_matches_brute_force(
-        spec in grid(),
-        c in (-2.0..10.0f64, -2.0..10.0f64, -2.0..10.0f64),
-        h in 0.01..4.0f64,
-    ) {
-        let b = Aabb::cube(Point3::new(c.0, c.1, c.2), h);
+/// Overlap rasterisation agrees with per-voxel box overlap.
+#[test]
+fn overlap_matches_brute_force() {
+    cases(200, |rng| {
+        let spec = grid(rng);
+        let c = Point3::new(
+            rng.f64_in(-2.0, 10.0),
+            rng.f64_in(-2.0, 10.0),
+            rng.f64_in(-2.0, 10.0),
+        );
+        let h = rng.f64_in(0.01, 4.0);
+        let b = Aabb::cube(c, h);
         let fast: BTreeSet<Voxel> = spec.voxels_overlapping_vec(&b).into_iter().collect();
         let mut slow = BTreeSet::new();
         for i in 0..spec.voxel_count() {
@@ -105,19 +133,24 @@ proptest! {
                 slow.insert(v);
             }
         }
-        prop_assert_eq!(fast, slow);
-    }
+        assert_eq!(fast, slow);
+    });
+}
 
-    /// Early-exit traversal visits a prefix of the full walk.
-    #[test]
-    fn visitor_prefix(spec in grid(), r in ray(), k in 1usize..5) {
+/// Early-exit traversal visits a prefix of the full walk.
+#[test]
+fn visitor_prefix() {
+    cases(200, |rng| {
+        let spec = grid(rng);
+        let r = ray(rng);
+        let k = rng.usize_in(1, 5);
         let full: Vec<Voxel> = spec.traverse_vec(&r, Interval::non_negative());
         let mut prefix = Vec::new();
         spec.traverse(&r, Interval::non_negative(), |s| {
             prefix.push(s.voxel);
             prefix.len() < k
         });
-        prop_assert!(prefix.len() <= k.min(full.len()).max(1).min(full.len().max(1)));
-        prop_assert_eq!(&full[..prefix.len()], &prefix[..]);
-    }
+        assert!(prefix.len() <= k.min(full.len()).max(1).min(full.len().max(1)));
+        assert_eq!(&full[..prefix.len()], &prefix[..]);
+    });
 }

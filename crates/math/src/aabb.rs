@@ -25,7 +25,10 @@ impl Aabb {
     /// Construct from two corners (not required to be ordered).
     #[inline]
     pub fn new(a: Point3, b: Point3) -> Aabb {
-        Aabb { min: a.min(b), max: a.max(b) }
+        Aabb {
+            min: a.min(b),
+            max: a.max(b),
+        }
     }
 
     /// Box centered at `c` with half-extent `h` in every axis.
@@ -80,25 +83,37 @@ impl Aabb {
     /// Smallest box containing `self` and point `p`.
     #[inline]
     pub fn include(&self, p: Point3) -> Aabb {
-        Aabb { min: self.min.min(p), max: self.max.max(p) }
+        Aabb {
+            min: self.min.min(p),
+            max: self.max.max(p),
+        }
     }
 
     /// Smallest box containing both boxes.
     #[inline]
     pub fn union(&self, o: &Aabb) -> Aabb {
-        Aabb { min: self.min.min(o.min), max: self.max.max(o.max) }
+        Aabb {
+            min: self.min.min(o.min),
+            max: self.max.max(o.max),
+        }
     }
 
     /// The overlap of both boxes (possibly empty).
     #[inline]
     pub fn intersection(&self, o: &Aabb) -> Aabb {
-        Aabb { min: self.min.max(o.min), max: self.max.min(o.max) }
+        Aabb {
+            min: self.min.max(o.min),
+            max: self.max.min(o.max),
+        }
     }
 
     /// Box grown by `delta` on every side.
     #[inline]
     pub fn expand(&self, delta: f64) -> Aabb {
-        Aabb { min: self.min - Vec3::splat(delta), max: self.max + Vec3::splat(delta) }
+        Aabb {
+            min: self.min - Vec3::splat(delta),
+            max: self.max + Vec3::splat(delta),
+        }
     }
 
     /// True if the point lies inside or on the boundary.

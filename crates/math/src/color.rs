@@ -21,9 +21,17 @@ pub struct Color {
 
 impl Color {
     /// Black (zero radiance).
-    pub const BLACK: Color = Color { r: 0.0, g: 0.0, b: 0.0 };
+    pub const BLACK: Color = Color {
+        r: 0.0,
+        g: 0.0,
+        b: 0.0,
+    };
     /// Reference white.
-    pub const WHITE: Color = Color { r: 1.0, g: 1.0, b: 1.0 };
+    pub const WHITE: Color = Color {
+        r: 1.0,
+        g: 1.0,
+        b: 1.0,
+    };
 
     /// Construct from components.
     #[inline]
@@ -83,7 +91,10 @@ impl Color {
     /// Maximum absolute per-channel difference.
     #[inline]
     pub fn max_diff(self, o: Color) -> f64 {
-        (self.r - o.r).abs().max((self.g - o.g).abs()).max((self.b - o.b).abs())
+        (self.r - o.r)
+            .abs()
+            .max((self.g - o.g).abs())
+            .max((self.b - o.b).abs())
     }
 
     /// Linear interpolation between colors.

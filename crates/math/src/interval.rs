@@ -15,10 +15,16 @@ pub struct Interval {
 
 impl Interval {
     /// The canonical empty interval.
-    pub const EMPTY: Interval = Interval { min: f64::INFINITY, max: f64::NEG_INFINITY };
+    pub const EMPTY: Interval = Interval {
+        min: f64::INFINITY,
+        max: f64::NEG_INFINITY,
+    };
 
     /// The whole real line.
-    pub const UNIVERSE: Interval = Interval { min: f64::NEG_INFINITY, max: f64::INFINITY };
+    pub const UNIVERSE: Interval = Interval {
+        min: f64::NEG_INFINITY,
+        max: f64::INFINITY,
+    };
 
     /// Construct `[min, max]`.
     #[inline]
@@ -29,7 +35,10 @@ impl Interval {
     /// Non-negative half line `[0, +inf)` — the natural range of a ray.
     #[inline]
     pub const fn non_negative() -> Interval {
-        Interval { min: 0.0, max: f64::INFINITY }
+        Interval {
+            min: 0.0,
+            max: f64::INFINITY,
+        }
     }
 
     /// True if the interval contains no points.

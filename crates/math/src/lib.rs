@@ -82,7 +82,11 @@ mod tests {
 
     #[test]
     fn deg_to_rad_quarter_turn() {
-        assert!(approx_eq(deg_to_rad(90.0), std::f64::consts::FRAC_PI_2, 1e-12));
+        assert!(approx_eq(
+            deg_to_rad(90.0),
+            std::f64::consts::FRAC_PI_2,
+            1e-12
+        ));
     }
 
     #[test]

@@ -37,7 +37,11 @@ impl Onb {
     /// Build a basis from `w` alone, choosing an arbitrary stable tangent.
     pub fn from_w(w_dir: Vec3) -> Onb {
         let w = w_dir.normalized();
-        let hint = if w.x.abs() > 0.9 { Vec3::UNIT_Y } else { Vec3::UNIT_X };
+        let hint = if w.x.abs() > 0.9 {
+            Vec3::UNIT_Y
+        } else {
+            Vec3::UNIT_X
+        };
         Onb::from_w_up(w, hint)
     }
 

@@ -123,7 +123,11 @@ pub fn solve_quartic(c4: f64, c3: f64, c2: f64, c1: f64, c0: f64) -> Vec<f64> {
         // resolvent cubic: z^3 + 2p z^2 + (p^2 - 4r) z - q^2 = 0, pick a
         // positive root z (exists when the quartic has real roots)
         let res = solve_cubic(1.0, 2.0 * p, p * p - 4.0 * r, -q * q);
-        let z = res.iter().copied().filter(|&z| z > 1e-14).fold(f64::NAN, f64::max);
+        let z = res
+            .iter()
+            .copied()
+            .filter(|&z| z > 1e-14)
+            .fold(f64::NAN, f64::max);
         if z.is_nan() {
             return Vec::new();
         }
@@ -251,7 +255,9 @@ mod tests {
         // light deterministic fuzz
         let mut state = 0x12345678u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) * 20.0 - 10.0
         };
         for _ in 0..500 {
@@ -259,7 +265,12 @@ mod tests {
             if c4.abs() < 0.1 {
                 continue;
             }
-            let scale = c4.abs().max(c3.abs()).max(c2.abs()).max(c1.abs()).max(c0.abs());
+            let scale = c4
+                .abs()
+                .max(c3.abs())
+                .max(c2.abs())
+                .max(c1.abs())
+                .max(c0.abs());
             for x in solve_quartic(c4, c3, c2, c1, c0) {
                 let f = (((c4 * x + c3) * x + c2) * x + c1) * x + c0;
                 let xm = 1.0 + x.abs();

@@ -38,7 +38,11 @@ impl Mat3 {
     /// Matrix-vector product.
     #[inline]
     pub fn mul_vec(&self, v: Vec3) -> Vec3 {
-        Vec3::new(self.rows[0].dot(v), self.rows[1].dot(v), self.rows[2].dot(v))
+        Vec3::new(
+            self.rows[0].dot(v),
+            self.rows[1].dot(v),
+            self.rows[2].dot(v),
+        )
     }
 
     /// Matrix-matrix product.
@@ -47,9 +51,21 @@ impl Mat3 {
         let c1 = Vec3::new(o.rows[0].y, o.rows[1].y, o.rows[2].y);
         let c2 = Vec3::new(o.rows[0].z, o.rows[1].z, o.rows[2].z);
         Mat3::from_rows(
-            Vec3::new(self.rows[0].dot(c0), self.rows[0].dot(c1), self.rows[0].dot(c2)),
-            Vec3::new(self.rows[1].dot(c0), self.rows[1].dot(c1), self.rows[1].dot(c2)),
-            Vec3::new(self.rows[2].dot(c0), self.rows[2].dot(c1), self.rows[2].dot(c2)),
+            Vec3::new(
+                self.rows[0].dot(c0),
+                self.rows[0].dot(c1),
+                self.rows[0].dot(c2),
+            ),
+            Vec3::new(
+                self.rows[1].dot(c0),
+                self.rows[1].dot(c1),
+                self.rows[1].dot(c2),
+            ),
+            Vec3::new(
+                self.rows[2].dot(c0),
+                self.rows[2].dot(c1),
+                self.rows[2].dot(c2),
+            ),
         )
     }
 
@@ -115,13 +131,19 @@ impl Affine {
     /// Pure translation.
     #[inline]
     pub fn translate(t: Vec3) -> Affine {
-        Affine { linear: Mat3::IDENTITY, translation: t }
+        Affine {
+            linear: Mat3::IDENTITY,
+            translation: t,
+        }
     }
 
     /// Non-uniform scale about the origin.
     #[inline]
     pub fn scale(s: Vec3) -> Affine {
-        Affine { linear: Mat3::diagonal(s), translation: Vec3::ZERO }
+        Affine {
+            linear: Mat3::diagonal(s),
+            translation: Vec3::ZERO,
+        }
     }
 
     /// Uniform scale about the origin.
@@ -177,9 +199,21 @@ impl Affine {
         let t = 1.0 - c;
         Affine {
             linear: Mat3::from_rows(
-                Vec3::new(t * a.x * a.x + c, t * a.x * a.y - s * a.z, t * a.x * a.z + s * a.y),
-                Vec3::new(t * a.x * a.y + s * a.z, t * a.y * a.y + c, t * a.y * a.z - s * a.x),
-                Vec3::new(t * a.x * a.z - s * a.y, t * a.y * a.z + s * a.x, t * a.z * a.z + c),
+                Vec3::new(
+                    t * a.x * a.x + c,
+                    t * a.x * a.y - s * a.z,
+                    t * a.x * a.z + s * a.y,
+                ),
+                Vec3::new(
+                    t * a.x * a.y + s * a.z,
+                    t * a.y * a.y + c,
+                    t * a.y * a.z - s * a.x,
+                ),
+                Vec3::new(
+                    t * a.x * a.z - s * a.y,
+                    t * a.y * a.z + s * a.x,
+                    t * a.z * a.z + c,
+                ),
             ),
             translation: Vec3::ZERO,
         }
@@ -291,15 +325,24 @@ mod tests {
     fn scale_scales() {
         let s = Affine::scale(Vec3::new(2.0, 3.0, 4.0));
         assert_eq!(s.point(Point3::ONE), Point3::new(2.0, 3.0, 4.0));
-        assert_eq!(Affine::scale_uniform(2.0).vector(Vec3::UNIT_Z), Vec3::new(0.0, 0.0, 2.0));
+        assert_eq!(
+            Affine::scale_uniform(2.0).vector(Vec3::UNIT_Z),
+            Vec3::new(0.0, 0.0, 2.0)
+        );
     }
 
     #[test]
     fn rotations_quarter_turns() {
         let p = Point3::UNIT_X;
-        assert!(Affine::rotate_z(deg_to_rad(90.0)).point(p).approx_eq(Point3::UNIT_Y, 1e-12));
-        assert!(Affine::rotate_y(deg_to_rad(90.0)).point(Point3::UNIT_Z).approx_eq(Point3::UNIT_X, 1e-12));
-        assert!(Affine::rotate_x(deg_to_rad(90.0)).point(Point3::UNIT_Y).approx_eq(Point3::UNIT_Z, 1e-12));
+        assert!(Affine::rotate_z(deg_to_rad(90.0))
+            .point(p)
+            .approx_eq(Point3::UNIT_Y, 1e-12));
+        assert!(Affine::rotate_y(deg_to_rad(90.0))
+            .point(Point3::UNIT_Z)
+            .approx_eq(Point3::UNIT_X, 1e-12));
+        assert!(Affine::rotate_x(deg_to_rad(90.0))
+            .point(Point3::UNIT_Y)
+            .approx_eq(Point3::UNIT_Z, 1e-12));
     }
 
     #[test]
@@ -405,7 +448,11 @@ mod tests {
     fn linear_norm_bound_bounds_vector_growth() {
         let m = Affine::scale(Vec3::new(3.0, 1.0, 0.5)).then(&Affine::rotate_x(0.4));
         let bound = m.linear_norm_bound();
-        for v in [Vec3::UNIT_X, Vec3::UNIT_Y, Vec3::new(1.0, 1.0, 1.0).normalized()] {
+        for v in [
+            Vec3::UNIT_X,
+            Vec3::UNIT_Y,
+            Vec3::new(1.0, 1.0, 1.0).normalized(),
+        ] {
             assert!(m.vector(v).length() <= bound + 1e-12);
         }
     }

@@ -1,200 +1,233 @@
 //! Property-based tests for the math crate.
 
-use now_math::{Aabb, Affine, Interval, Onb, Ray, Vec3};
-use proptest::prelude::*;
+use now_math::{Aabb, Affine, Color, Interval, Onb, Ray, Vec3};
+use now_testkit::{cases, Rng};
 
-fn finite_f64(range: std::ops::Range<f64>) -> impl Strategy<Value = f64> {
-    range.prop_filter("finite", |x| x.is_finite())
+fn vec3(rng: &mut Rng) -> Vec3 {
+    Vec3::new(
+        rng.f64_in(-100.0, 100.0),
+        rng.f64_in(-100.0, 100.0),
+        rng.f64_in(-100.0, 100.0),
+    )
 }
 
-fn vec3() -> impl Strategy<Value = Vec3> {
-    (finite_f64(-100.0..100.0), finite_f64(-100.0..100.0), finite_f64(-100.0..100.0))
-        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
-}
-
-fn nonzero_vec3() -> impl Strategy<Value = Vec3> {
-    vec3().prop_filter("nonzero", |v| v.length_squared() > 1e-6)
-}
-
-fn unit_vec3() -> impl Strategy<Value = Vec3> {
-    nonzero_vec3().prop_map(|v| v.normalized())
-}
-
-fn aabb() -> impl Strategy<Value = Aabb> {
-    (vec3(), vec3()).prop_map(|(a, b)| Aabb::new(a, b))
-}
-
-proptest! {
-    #[test]
-    fn dot_is_commutative(a in vec3(), b in vec3()) {
-        prop_assert!((a.dot(b) - b.dot(a)).abs() < 1e-9);
+fn nonzero_vec3(rng: &mut Rng) -> Vec3 {
+    loop {
+        let v = vec3(rng);
+        if v.length_squared() > 1e-6 {
+            return v;
+        }
     }
+}
 
-    #[test]
-    fn cross_is_anticommutative(a in vec3(), b in vec3()) {
-        prop_assert!(a.cross(b).approx_eq(-(b.cross(a)), 1e-9));
-    }
+fn unit_vec3(rng: &mut Rng) -> Vec3 {
+    nonzero_vec3(rng).normalized()
+}
 
-    #[test]
-    fn cross_is_orthogonal(a in nonzero_vec3(), b in nonzero_vec3()) {
+fn aabb(rng: &mut Rng) -> Aabb {
+    Aabb::new(vec3(rng), vec3(rng))
+}
+
+#[test]
+fn dot_is_commutative() {
+    cases(256, |rng| {
+        let (a, b) = (vec3(rng), vec3(rng));
+        assert!((a.dot(b) - b.dot(a)).abs() < 1e-9);
+    });
+}
+
+#[test]
+fn cross_is_anticommutative() {
+    cases(256, |rng| {
+        let (a, b) = (vec3(rng), vec3(rng));
+        assert!(a.cross(b).approx_eq(-(b.cross(a)), 1e-9));
+    });
+}
+
+#[test]
+fn cross_is_orthogonal() {
+    cases(256, |rng| {
+        let (a, b) = (nonzero_vec3(rng), nonzero_vec3(rng));
         let c = a.cross(b);
         let scale = a.length() * b.length();
-        prop_assert!(c.dot(a).abs() <= 1e-9 * scale * a.length());
-        prop_assert!(c.dot(b).abs() <= 1e-9 * scale * b.length());
-    }
+        assert!(c.dot(a).abs() <= 1e-9 * scale * a.length());
+        assert!(c.dot(b).abs() <= 1e-9 * scale * b.length());
+    });
+}
 
-    #[test]
-    fn normalized_has_unit_length(v in nonzero_vec3()) {
-        prop_assert!((v.normalized().length() - 1.0).abs() < 1e-12);
-    }
+#[test]
+fn normalized_has_unit_length() {
+    cases(256, |rng| {
+        let v = nonzero_vec3(rng);
+        assert!((v.normalized().length() - 1.0).abs() < 1e-12);
+    });
+}
 
-    #[test]
-    fn reflect_preserves_length_and_is_involutive(d in unit_vec3(), n in unit_vec3()) {
+#[test]
+fn reflect_preserves_length_and_is_involutive() {
+    cases(256, |rng| {
+        let (d, n) = (unit_vec3(rng), unit_vec3(rng));
         let r = d.reflect(n);
-        prop_assert!((r.length() - 1.0).abs() < 1e-9);
-        prop_assert!(r.reflect(n).approx_eq(d, 1e-9));
-    }
+        assert!((r.length() - 1.0).abs() < 1e-9);
+        assert!(r.reflect(n).approx_eq(d, 1e-9));
+    });
+}
 
-    #[test]
-    fn refract_obeys_snells_law(
-        dx in finite_f64(-1.0..1.0),
-        dz in finite_f64(-1.0..1.0),
-        eta in finite_f64(0.4..2.5),
-    ) {
+#[test]
+fn refract_obeys_snells_law() {
+    cases(256, |rng| {
+        let dx = rng.f64_in(-1.0, 1.0);
+        let dz = rng.f64_in(-1.0, 1.0);
+        let eta = rng.f64_in(0.4, 2.5);
         // incoming ray heading downward onto a +y floor
         let d = Vec3::new(dx, -1.0, dz).normalized();
         let n = Vec3::UNIT_Y;
         if let Some(t) = d.refract(n, eta) {
             let sin_i = d.cross(n).length();
             let sin_t = t.cross(n).length();
-            prop_assert!((sin_t - eta * sin_i).abs() < 1e-9);
-            prop_assert!((t.length() - 1.0).abs() < 1e-9);
-            prop_assert!(t.y <= 0.0); // continues into the surface
+            assert!((sin_t - eta * sin_i).abs() < 1e-9);
+            assert!((t.length() - 1.0).abs() < 1e-9);
+            assert!(t.y <= 0.0); // continues into the surface
         } else {
             // TIR only possible when going to a less dense medium
-            prop_assert!(eta > 1.0);
+            assert!(eta > 1.0);
         }
-    }
+    });
+}
 
-    #[test]
-    fn aabb_union_contains_both(a in aabb(), b in aabb()) {
+#[test]
+fn aabb_union_contains_both() {
+    cases(256, |rng| {
+        let (a, b) = (aabb(rng), aabb(rng));
         let u = a.union(&b);
         for c in a.corners() {
-            prop_assert!(u.contains(c));
+            assert!(u.contains(c));
         }
         for c in b.corners() {
-            prop_assert!(u.contains(c));
+            assert!(u.contains(c));
         }
-    }
+    });
+}
 
-    #[test]
-    fn aabb_ray_range_endpoints_lie_on_boundary(
-        o in vec3(),
-        d in unit_vec3(),
-        b in aabb(),
-    ) {
+#[test]
+fn aabb_ray_range_endpoints_lie_on_boundary() {
+    cases(256, |rng| {
+        let o = vec3(rng);
+        let d = unit_vec3(rng);
+        let b = aabb(rng);
         let ray = Ray::new(o, d);
         let range = b.ray_range(&ray, Interval::non_negative());
         if !range.is_empty() {
             let eps = 1e-6 * (1.0 + b.extent().max_component() + o.length());
             let grown = b.expand(eps);
-            prop_assert!(grown.contains(ray.at(range.min)));
-            prop_assert!(grown.contains(ray.at(range.max)));
+            assert!(grown.contains(ray.at(range.min)));
+            assert!(grown.contains(ray.at(range.max)));
             // midpoint must be inside too (convexity)
-            prop_assert!(grown.contains(ray.at((range.min + range.max) * 0.5)));
+            assert!(grown.contains(ray.at((range.min + range.max) * 0.5)));
         }
-    }
+    });
+}
 
-    #[test]
-    fn aabb_hit_consistent_with_contained_sample(
-        b in aabb(),
-        o in vec3(),
-        t in finite_f64(0.0..50.0),
-        d in unit_vec3(),
-    ) {
+#[test]
+fn aabb_hit_consistent_with_contained_sample() {
+    cases(256, |rng| {
+        let b = aabb(rng);
+        let o = vec3(rng);
+        let t = rng.f64_in(0.0, 50.0);
+        let d = unit_vec3(rng);
         // If the sampled point along the ray is strictly inside the box,
         // the slab test must report a hit.
         let ray = Ray::new(o, d);
         let p = ray.at(t);
         let shrunk = Aabb::new(b.min + b.extent() * 1e-9, b.max - b.extent() * 1e-9);
         if !shrunk.is_empty() && shrunk.contains(p) {
-            prop_assert!(b.hit(&ray, Interval::non_negative()));
+            assert!(b.hit(&ray, Interval::non_negative()));
         }
-    }
+    });
+}
 
-    #[test]
-    fn affine_inverse_roundtrips(
-        t in vec3(),
-        angle in finite_f64(-3.0..3.0),
-        axis in unit_vec3(),
-        s in finite_f64(0.1..4.0),
-        p in vec3(),
-    ) {
+#[test]
+fn affine_inverse_roundtrips() {
+    cases(256, |rng| {
+        let t = vec3(rng);
+        let angle = rng.f64_in(-3.0, 3.0);
+        let axis = unit_vec3(rng);
+        let s = rng.f64_in(0.1, 4.0);
+        let p = vec3(rng);
         let m = Affine::scale_uniform(s)
             .then(&Affine::rotate_axis(axis, angle))
             .then(&Affine::translate(t));
         let inv = m.inverse().unwrap();
-        prop_assert!(inv.point(m.point(p)).approx_eq(p, 1e-6));
-    }
+        assert!(inv.point(m.point(p)).approx_eq(p, 1e-6));
+    });
+}
 
-    #[test]
-    fn affine_aabb_is_conservative(
-        t in vec3(),
-        angle in finite_f64(-3.0..3.0),
-        axis in unit_vec3(),
-        b in aabb(),
-        u in finite_f64(0.0..1.0),
-        v in finite_f64(0.0..1.0),
-        w in finite_f64(0.0..1.0),
-    ) {
+#[test]
+fn affine_aabb_is_conservative() {
+    cases(256, |rng| {
+        let t = vec3(rng);
+        let angle = rng.f64_in(-3.0, 3.0);
+        let axis = unit_vec3(rng);
+        let b = aabb(rng);
+        let (u, v, w) = (rng.unit_f64(), rng.unit_f64(), rng.unit_f64());
         let m = Affine::rotate_axis(axis, angle).then(&Affine::translate(t));
         let tb = m.aabb(&b);
         if !b.is_empty() {
             // any interior point maps into the transformed bounds
             let p = b.min + b.extent().hadamard(Vec3::new(u, v, w));
-            prop_assert!(tb.expand(1e-7).contains(m.point(p)));
+            assert!(tb.expand(1e-7).contains(m.point(p)));
         }
-    }
+    });
+}
 
-    #[test]
-    fn onb_is_orthonormal(w in nonzero_vec3()) {
+#[test]
+fn onb_is_orthonormal() {
+    cases(256, |rng| {
+        let w = nonzero_vec3(rng);
         let b = Onb::from_w(w);
-        prop_assert!((b.u.length() - 1.0).abs() < 1e-9);
-        prop_assert!((b.v.length() - 1.0).abs() < 1e-9);
-        prop_assert!((b.w.length() - 1.0).abs() < 1e-9);
-        prop_assert!(b.u.dot(b.v).abs() < 1e-9);
-        prop_assert!(b.v.dot(b.w).abs() < 1e-9);
-        prop_assert!(b.w.dot(b.u).abs() < 1e-9);
-    }
+        assert!((b.u.length() - 1.0).abs() < 1e-9);
+        assert!((b.v.length() - 1.0).abs() < 1e-9);
+        assert!((b.w.length() - 1.0).abs() < 1e-9);
+        assert!(b.u.dot(b.v).abs() < 1e-9);
+        assert!(b.v.dot(b.w).abs() < 1e-9);
+        assert!(b.w.dot(b.u).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn onb_roundtrip(w in nonzero_vec3(), v in vec3()) {
+#[test]
+fn onb_roundtrip() {
+    cases(256, |rng| {
+        let w = nonzero_vec3(rng);
+        let v = vec3(rng);
         let b = Onb::from_w(w);
         let world = b.local(v.x, v.y, v.z);
-        prop_assert!(b.to_local(world).approx_eq(v, 1e-6));
-    }
+        assert!(b.to_local(world).approx_eq(v, 1e-6));
+    });
+}
 
-    #[test]
-    fn interval_intersect_subset(
-        a0 in finite_f64(-10.0..10.0), a1 in finite_f64(-10.0..10.0),
-        b0 in finite_f64(-10.0..10.0), b1 in finite_f64(-10.0..10.0),
-        x in finite_f64(-10.0..10.0),
-    ) {
+#[test]
+fn interval_intersect_subset() {
+    cases(256, |rng| {
+        let (a0, a1) = (rng.f64_in(-10.0, 10.0), rng.f64_in(-10.0, 10.0));
+        let (b0, b1) = (rng.f64_in(-10.0, 10.0), rng.f64_in(-10.0, 10.0));
+        let x = rng.f64_in(-10.0, 10.0);
         let a = Interval::new(a0.min(a1), a0.max(a1));
         let b = Interval::new(b0.min(b1), b0.max(b1));
         let i = a.intersect(b);
         if i.contains(x) {
-            prop_assert!(a.contains(x) && b.contains(x));
+            assert!(a.contains(x) && b.contains(x));
         }
         if a.contains(x) && b.contains(x) {
-            prop_assert!(i.contains(x));
+            assert!(i.contains(x));
         }
-    }
+    });
+}
 
-    #[test]
-    fn point_quantization_deterministic(p in vec3()) {
-        use now_math::Color;
+#[test]
+fn point_quantization_deterministic() {
+    cases(256, |rng| {
+        let p = vec3(rng);
         let c = Color::new(p.x.abs() / 100.0, p.y.abs() / 100.0, p.z.abs() / 100.0);
-        prop_assert_eq!(c.to_u8(), c.to_u8());
-    }
+        assert_eq!(c.to_u8(), c.to_u8());
+    });
 }

@@ -157,7 +157,10 @@ mod tests {
         let mut s = Scene::new(cam);
         // floor plane (unbounded)
         s.add_object(Object::new(
-            Geometry::Plane { point: Point3::new(0.0, -1.0, 0.0), normal: Vec3::UNIT_Y },
+            Geometry::Plane {
+                point: Point3::new(0.0, -1.0, 0.0),
+                normal: Vec3::UNIT_Y,
+            },
             Material::matte(Color::gray(0.5)),
         ));
         // a row of spheres
@@ -173,11 +176,7 @@ mod tests {
         s
     }
 
-    fn brute_force_intersect(
-        scene: &Scene,
-        ray: &Ray,
-        range: Interval,
-    ) -> Option<(ObjectId, Hit)> {
+    fn brute_force_intersect(scene: &Scene, ray: &Ray, range: Interval) -> Option<(ObjectId, Hit)> {
         let mut best: Option<(ObjectId, Hit)> = None;
         for (i, o) in scene.objects.iter().enumerate() {
             if let Some(h) = o.intersect(ray, range) {

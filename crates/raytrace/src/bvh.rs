@@ -47,7 +47,9 @@ fn tri_bounds(t: &[Point3; 3]) -> Aabb {
     // pad a hair so hits computed with epsilon tolerance at triangle edges
     // are never culled by an exact box test (also gives planar meshes'
     // zero-thickness boxes some depth)
-    let m = t.iter().fold(1.0_f64, |m, p| m.max(p.abs().max_component()));
+    let m = t
+        .iter()
+        .fold(1.0_f64, |m, p| m.max(p.abs().max_component()));
     Aabb::from_points(t).expand(1e-9 * m)
 }
 
@@ -59,7 +61,12 @@ impl TriMesh {
         let n = triangles.len();
         let root = build_node(&mut triangles, 0, n, &mut nodes);
         let bounds = *nodes[root as usize].bounds();
-        TriMesh { triangles, nodes, root, bounds }
+        TriMesh {
+            triangles,
+            nodes,
+            root,
+            bounds,
+        }
     }
 
     /// The triangles (BVH order).
@@ -84,7 +91,9 @@ impl TriMesh {
         while let Some(idx) = stack.pop() {
             let node = &self.nodes[idx as usize];
             let upper = best.as_ref().map_or(range.max, |h| h.t);
-            let clipped = node.bounds().ray_range(ray, Interval::new(range.min, upper));
+            let clipped = node
+                .bounds()
+                .ray_range(ray, Interval::new(range.min, upper));
             if clipped.is_empty() {
                 continue;
             }
@@ -96,9 +105,7 @@ impl TriMesh {
                 Node::Leaf { start, count, .. } => {
                     for t in &self.triangles[*start as usize..(*start + *count) as usize] {
                         let upper = best.as_ref().map_or(range.max, |h| h.t);
-                        if let Some(h) =
-                            triangle_hit(t, ray, Interval::new(range.min, upper))
-                        {
+                        if let Some(h) = triangle_hit(t, ray, Interval::new(range.min, upper)) {
                             best = Some(h);
                         }
                     }
@@ -134,7 +141,11 @@ fn triangle_hit(t: &[Point3; 3], ray: &Ray, range: Interval) -> Option<Hit> {
     if !range.surrounds(tt) {
         return None;
     }
-    Some(Hit { t: tt, point: ray.at(tt), normal: e1.cross(e2).normalized() })
+    Some(Hit {
+        t: tt,
+        point: ray.at(tt),
+        normal: e1.cross(e2).normalized(),
+    })
 }
 
 fn build_node(
@@ -144,15 +155,21 @@ fn build_node(
     nodes: &mut Vec<Node>,
 ) -> u32 {
     let slice = &triangles[start..end];
-    let bounds = slice.iter().fold(Aabb::EMPTY, |b, t| b.union(&tri_bounds(t)));
+    let bounds = slice
+        .iter()
+        .fold(Aabb::EMPTY, |b, t| b.union(&tri_bounds(t)));
     if end - start <= LEAF_SIZE {
-        nodes.push(Node::Leaf { bounds, start: start as u32, count: (end - start) as u32 });
+        nodes.push(Node::Leaf {
+            bounds,
+            start: start as u32,
+            count: (end - start) as u32,
+        });
         return (nodes.len() - 1) as u32;
     }
     // split on the longest axis of the centroid bounds
-    let centroid_bounds = slice.iter().fold(Aabb::EMPTY, |b, t| {
-        b.include((t[0] + t[1] + t[2]) / 3.0)
-    });
+    let centroid_bounds = slice
+        .iter()
+        .fold(Aabb::EMPTY, |b, t| b.include((t[0] + t[1] + t[2]) / 3.0));
     let axis = centroid_bounds.longest_axis();
     let mid = start + (end - start) / 2;
     triangles[start..end].select_nth_unstable_by(mid - start, |a, b| {
@@ -162,7 +179,11 @@ fn build_node(
     });
     let left = build_node(triangles, start, mid, nodes);
     let right = build_node(triangles, mid, end, nodes);
-    nodes.push(Node::Internal { bounds, left, right });
+    nodes.push(Node::Internal {
+        bounds,
+        left,
+        right,
+    });
     (nodes.len() - 1) as u32
 }
 
@@ -170,7 +191,10 @@ fn build_node(
 mod tests {
     use super::*;
 
-    const FULL: Interval = Interval { min: 1e-9, max: f64::INFINITY };
+    const FULL: Interval = Interval {
+        min: 1e-9,
+        max: f64::INFINITY,
+    };
 
     /// A grid of quads in the z=0 plane, n x n cells over [0, n]^2.
     fn quad_grid(n: usize) -> Vec<[Point3; 3]> {
@@ -192,7 +216,11 @@ mod tests {
         assert!(mesh.node_count() > 10);
         for k in 0..300 {
             let a = k as f64 * 0.213;
-            let origin = Point3::new(6.0 + 8.0 * a.cos(), 6.0 + 8.0 * (a * 0.8).sin(), 5.0 + 3.0 * a.sin());
+            let origin = Point3::new(
+                6.0 + 8.0 * a.cos(),
+                6.0 + 8.0 * (a * 0.8).sin(),
+                5.0 + 3.0 * a.sin(),
+            );
             let target = Point3::new((k % 13) as f64, (k % 11) as f64, 0.0);
             let ray = Ray::new(origin, (target - origin).normalized());
             let fast = mesh.intersect(&ray, FULL);

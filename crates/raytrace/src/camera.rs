@@ -30,13 +30,23 @@ impl Camera {
         width: u32,
         height: u32,
     ) -> Camera {
-        assert!(width > 0 && height > 0, "camera resolution must be positive");
+        assert!(
+            width > 0 && height > 0,
+            "camera resolution must be positive"
+        );
         assert!(vfov_deg > 0.0 && vfov_deg < 180.0, "vfov out of range");
         // w points *backwards* (camera looks along -w)
         let basis = Onb::from_w_up(eye - target, up);
         let half_h = (deg_to_rad(vfov_deg) * 0.5).tan();
         let half_w = half_h * width as f64 / height as f64;
-        Camera { eye, basis, half_w, half_h, width, height }
+        Camera {
+            eye,
+            basis,
+            half_w,
+            half_h,
+            width,
+            height,
+        }
     }
 
     /// Camera position.

@@ -118,7 +118,11 @@ impl Csg {
         for s in self.spans(ray) {
             for b in [s.enter, s.exit] {
                 if range.surrounds(b.t) && best.as_ref().is_none_or(|h| b.t < h.t) {
-                    best = Some(Hit { t: b.t, point: ray.at(b.t), normal: b.normal });
+                    best = Some(Hit {
+                        t: b.t,
+                        point: ray.at(b.t),
+                        normal: b.normal,
+                    });
                 }
             }
             if let Some(h) = &best {
@@ -147,8 +151,14 @@ fn solid_spans(g: &Geometry, ray: &Ray) -> Vec<Span> {
             if roots.len() == 2 {
                 let n = |t: f64| (ray.at(t) - *center) / *radius;
                 vec![Span {
-                    enter: Boundary { t: roots[0], normal: n(roots[0]) },
-                    exit: Boundary { t: roots[1], normal: n(roots[1]) },
+                    enter: Boundary {
+                        t: roots[0],
+                        normal: n(roots[0]),
+                    },
+                    exit: Boundary {
+                        t: roots[1],
+                        normal: n(roots[1]),
+                    },
                 }]
             } else {
                 Vec::new()
@@ -169,13 +179,19 @@ fn solid_spans(g: &Geometry, ray: &Ray) -> Vec<Span> {
             if denom > 0.0 {
                 // ray exits the half-space at t
                 vec![Span {
-                    enter: Boundary { t: f64::NEG_INFINITY, normal: -*normal },
+                    enter: Boundary {
+                        t: f64::NEG_INFINITY,
+                        normal: -*normal,
+                    },
                     exit: Boundary { t, normal: *normal },
                 }]
             } else {
                 vec![Span {
                     enter: Boundary { t, normal: *normal },
-                    exit: Boundary { t: f64::INFINITY, normal: -*normal },
+                    exit: Boundary {
+                        t: f64::INFINITY,
+                        normal: -*normal,
+                    },
                 }]
             }
         }
@@ -190,8 +206,14 @@ fn solid_spans(g: &Geometry, ray: &Ray) -> Vec<Span> {
             };
             match g.intersect(ray, Interval::new(first.t + 1e-9, f64::INFINITY)) {
                 Some(s) => vec![Span {
-                    enter: Boundary { t: first.t, normal: first.normal },
-                    exit: Boundary { t: s.t, normal: s.normal },
+                    enter: Boundary {
+                        t: first.t,
+                        normal: first.normal,
+                    },
+                    exit: Boundary {
+                        t: s.t,
+                        normal: s.normal,
+                    },
                 }],
                 None => Vec::new(), // grazing tangent
             }
@@ -203,8 +225,14 @@ fn solid_spans(g: &Geometry, ray: &Ray) -> Vec<Span> {
 
 fn whole_line_span(plane_normal: Vec3) -> Span {
     Span {
-        enter: Boundary { t: f64::NEG_INFINITY, normal: -plane_normal },
-        exit: Boundary { t: f64::INFINITY, normal: plane_normal },
+        enter: Boundary {
+            t: f64::NEG_INFINITY,
+            normal: -plane_normal,
+        },
+        exit: Boundary {
+            t: f64::INFINITY,
+            normal: plane_normal,
+        },
     }
 }
 
@@ -233,8 +261,14 @@ fn torus_spans(major: f64, minor: f64, ray: &Ray) -> Vec<Span> {
     let mut i = 0;
     while i + 1 < roots.len() {
         spans.push(Span {
-            enter: Boundary { t: roots[i], normal: normal(roots[i]) },
-            exit: Boundary { t: roots[i + 1], normal: normal(roots[i + 1]) },
+            enter: Boundary {
+                t: roots[i],
+                normal: normal(roots[i]),
+            },
+            exit: Boundary {
+                t: roots[i + 1],
+                normal: normal(roots[i + 1]),
+            },
         });
         i += 2;
     }
@@ -253,13 +287,25 @@ fn transitions(spans: &[Span]) -> Vec<(Boundary, bool)> {
 }
 
 /// Generic 1-D boolean combiner over two span lists.
-fn combine(a: Vec<Span>, b: Vec<Span>, keep: impl Fn(bool, bool) -> bool, flip_b: bool) -> Vec<Span> {
+fn combine(
+    a: Vec<Span>,
+    b: Vec<Span>,
+    keep: impl Fn(bool, bool) -> bool,
+    flip_b: bool,
+) -> Vec<Span> {
     let mut events: Vec<(Boundary, bool, bool)> = Vec::new(); // (boundary, is_a, is_enter)
     for (bd, en) in transitions(&a) {
         events.push((bd, true, en));
     }
     for (bd, en) in transitions(&b) {
-        let bd = if flip_b { Boundary { t: bd.t, normal: -bd.normal } } else { bd };
+        let bd = if flip_b {
+            Boundary {
+                t: bd.t,
+                normal: -bd.normal,
+            }
+        } else {
+            bd
+        };
         events.push((bd, false, en));
     }
     events.sort_by(|x, y| x.0.t.total_cmp(&y.0.t));
@@ -311,10 +357,16 @@ mod tests {
     use super::*;
     use now_math::Point3;
 
-    const FULL: Interval = Interval { min: 1e-9, max: f64::INFINITY };
+    const FULL: Interval = Interval {
+        min: 1e-9,
+        max: f64::INFINITY,
+    };
 
     fn sphere(x: f64, r: f64) -> Csg {
-        Csg::Solid(Geometry::Sphere { center: Point3::new(x, 0.0, 0.0), radius: r })
+        Csg::Solid(Geometry::Sphere {
+            center: Point3::new(x, 0.0, 0.0),
+            radius: r,
+        })
     }
 
     fn ray_x(from: f64) -> Ray {
@@ -400,7 +452,10 @@ mod tests {
         // keeps the side the normal points AWAY from)
         let half = Csg::intersection(
             sphere(0.0, 1.0),
-            Csg::Solid(Geometry::Plane { point: Point3::ZERO, normal: Vec3::UNIT_Y }),
+            Csg::Solid(Geometry::Plane {
+                point: Point3::ZERO,
+                normal: Vec3::UNIT_Y,
+            }),
         );
         // ray descending onto the dome from above hits the flat cut at y=0
         let down = Ray::new(Point3::new(0.0, 5.0, 0.0), -Vec3::UNIT_Y);
@@ -425,7 +480,12 @@ mod tests {
                 }),
                 sphere(1.2, 0.9),
             ),
-            Csg::Solid(Geometry::Cylinder { radius: 0.5, y0: -2.0, y1: 2.0, capped: true }),
+            Csg::Solid(Geometry::Cylinder {
+                radius: 0.5,
+                y0: -2.0,
+                y1: 2.0,
+                capped: true,
+            }),
         );
         for i in 0..150 {
             let a = i as f64 * 0.37;
@@ -456,7 +516,10 @@ mod tests {
     fn torus_in_csg() {
         // torus minus a box that removes its +x half
         let cut = Csg::difference(
-            Csg::Solid(Geometry::Torus { major: 2.0, minor: 0.5 }),
+            Csg::Solid(Geometry::Torus {
+                major: 2.0,
+                minor: 0.5,
+            }),
             Csg::Solid(Geometry::Cuboid {
                 min: Point3::new(0.0, -2.0, -3.0),
                 max: Point3::new(3.0, 2.0, 3.0),
@@ -478,7 +541,10 @@ mod tests {
 
     #[test]
     fn unbounded_csg_reports_no_aabb() {
-        let halfspace = Csg::Solid(Geometry::Plane { point: Point3::ZERO, normal: Vec3::UNIT_Y });
+        let halfspace = Csg::Solid(Geometry::Plane {
+            point: Point3::ZERO,
+            normal: Vec3::UNIT_Y,
+        });
         assert!(halfspace.local_aabb().is_none());
         // intersecting with a bounded solid restores bounds
         let clipped = Csg::intersection(halfspace, sphere(0.0, 1.0));
@@ -487,8 +553,14 @@ mod tests {
 
     #[test]
     fn supports_lists_solids_only() {
-        assert!(Csg::supports(&Geometry::Sphere { center: Point3::ZERO, radius: 1.0 }));
-        assert!(Csg::supports(&Geometry::Torus { major: 1.0, minor: 0.2 }));
+        assert!(Csg::supports(&Geometry::Sphere {
+            center: Point3::ZERO,
+            radius: 1.0
+        }));
+        assert!(Csg::supports(&Geometry::Torus {
+            major: 1.0,
+            minor: 0.2
+        }));
         assert!(!Csg::supports(&Geometry::Cylinder {
             radius: 1.0,
             y0: 0.0,

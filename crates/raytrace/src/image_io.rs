@@ -25,7 +25,7 @@ pub fn tga_bytes(fb: &Framebuffer) -> Vec<u8> {
     out.extend_from_slice(&(fb.height() as u16).to_le_bytes());
     out.push(24); // bits per pixel
     out.push(0); // descriptor: bottom-left origin
-    // pixel data, bottom row first, BGR order
+                 // pixel data, bottom row first, BGR order
     for y in (0..fb.height()).rev() {
         for x in 0..fb.width() {
             let (r, g, b) = fb.get(x, y).to_u8();
@@ -46,13 +46,19 @@ pub type DecodedImage = (u32, u32, Vec<(u8, u8, u8)>);
 /// harness to re-read frames).
 pub fn tga_decode(bytes: &[u8]) -> io::Result<DecodedImage> {
     if bytes.len() < 18 || bytes[2] != 2 || bytes[16] != 24 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "unsupported TGA"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unsupported TGA",
+        ));
     }
     let w = u16::from_le_bytes([bytes[12], bytes[13]]) as u32;
     let h = u16::from_le_bytes([bytes[14], bytes[15]]) as u32;
     let need = 18 + (w as usize) * (h as usize) * 3;
     if bytes.len() < need {
-        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated TGA"));
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "truncated TGA",
+        ));
     }
     let mut px = vec![(0u8, 0u8, 0u8); (w * h) as usize];
     let mut i = 18;

@@ -21,7 +21,11 @@ pub struct PointLight {
 impl PointLight {
     /// Unattenuated light.
     pub fn new(position: Point3, color: Color) -> PointLight {
-        PointLight { position, color, attenuation: (1.0, 0.0, 0.0) }
+        PointLight {
+            position,
+            color,
+            attenuation: (1.0, 0.0, 0.0),
+        }
     }
 
     /// Builder: set attenuation coefficients.
@@ -64,7 +68,10 @@ impl SpotLight {
         inner_deg: f64,
         outer_deg: f64,
     ) -> SpotLight {
-        assert!(inner_deg <= outer_deg, "inner cone must be within the outer");
+        assert!(
+            inner_deg <= outer_deg,
+            "inner cone must be within the outer"
+        );
         SpotLight {
             position,
             direction: (target - position).normalized(),
@@ -109,9 +116,21 @@ pub struct AreaLight {
 
 impl AreaLight {
     /// Construct an area light (panics on zero samples).
-    pub fn new(corner: Point3, edge_u: Vec3, edge_v: Vec3, color: Color, samples: u32) -> AreaLight {
+    pub fn new(
+        corner: Point3,
+        edge_u: Vec3,
+        edge_v: Vec3,
+        color: Color,
+        samples: u32,
+    ) -> AreaLight {
         assert!(samples > 0);
-        AreaLight { corner, edge_u, edge_v, color, samples }
+        AreaLight {
+            corner,
+            edge_u,
+            edge_v,
+            color,
+            samples,
+        }
     }
 }
 
@@ -162,7 +181,10 @@ impl Light {
         match self {
             Light::Point(l) => {
                 let d = l.position.distance(at);
-                out.push(LightSample { position: l.position, intensity: l.intensity_at(d) });
+                out.push(LightSample {
+                    position: l.position,
+                    intensity: l.intensity_at(d),
+                });
             }
             Light::Spot(l) => {
                 let cone = l.cone_factor(at);
@@ -296,7 +318,9 @@ mod tests {
             Color::WHITE,
             2,
         );
-        assert!(Light::from(area).position().approx_eq(Point3::new(1.0, 0.0, 1.0), 1e-12));
+        assert!(Light::from(area)
+            .position()
+            .approx_eq(Point3::new(1.0, 0.0, 1.0), 1e-12));
     }
 
     #[test]

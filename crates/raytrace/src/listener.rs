@@ -69,7 +69,12 @@ pub struct RecordingListener {
 
 impl RayListener for RecordingListener {
     fn on_ray(&mut self, pixel: PixelId, ray: &Ray, kind: RayKind, t_max: f64) {
-        self.rays.push(RecordedRay { pixel, ray: *ray, kind, t_max });
+        self.rays.push(RecordedRay {
+            pixel,
+            ray: *ray,
+            kind,
+            t_max,
+        });
     }
 }
 
@@ -99,7 +104,12 @@ mod tests {
     #[test]
     fn listener_by_mut_ref_works() {
         fn feed(mut l: impl RayListener) {
-            l.on_ray(0, &Ray::new(Point3::ZERO, Vec3::UNIT_Y), RayKind::Primary, 1.0);
+            l.on_ray(
+                0,
+                &Ray::new(Point3::ZERO, Vec3::UNIT_Y),
+                RayKind::Primary,
+                1.0,
+            );
         }
         let mut rec = RecordingListener::default();
         feed(&mut rec);

@@ -49,7 +49,10 @@ impl Material {
 
     /// Diffuse surface with an arbitrary texture.
     pub fn textured(t: Texture) -> Material {
-        Material { texture: t, ..Material::matte(Color::WHITE) }
+        Material {
+            texture: t,
+            ..Material::matte(Color::WHITE)
+        }
     }
 
     /// Shiny plastic: diffuse plus a highlight.

@@ -7,7 +7,9 @@ use std::sync::Arc;
 
 /// Build a mesh geometry (with its BVH) from raw triangles.
 pub fn mesh_from_triangles(triangles: Vec<[Point3; 3]>) -> Geometry {
-    Geometry::Mesh { mesh: Arc::new(TriMesh::build(triangles)) }
+    Geometry::Mesh {
+        mesh: Arc::new(TriMesh::build(triangles)),
+    }
 }
 
 /// A UV-tessellated sphere (counter-clockwise outward winding).
@@ -105,12 +107,18 @@ mod tests {
     use super::*;
     use now_math::{Interval, Ray};
 
-    const FULL: Interval = Interval { min: 1e-9, max: f64::INFINITY };
+    const FULL: Interval = Interval {
+        min: 1e-9,
+        max: f64::INFINITY,
+    };
 
     #[test]
     fn uv_sphere_approximates_analytic_sphere() {
         let mesh = uv_sphere(Point3::ZERO, 1.0, 24, 48);
-        let analytic = Geometry::Sphere { center: Point3::ZERO, radius: 1.0 };
+        let analytic = Geometry::Sphere {
+            center: Point3::ZERO,
+            radius: 1.0,
+        };
         let mut tested = 0;
         for i in 0..100 {
             let a = i as f64 * 0.25;
@@ -122,7 +130,11 @@ mod tests {
             assert!((mh.t - ah.t).abs() < 0.02, "t {} vs {}", mh.t, ah.t);
             // flat-shaded facet normal vs smooth normal: within a facet's
             // angular extent
-            assert!(mh.normal.dot(ah.normal) > 0.95, "normal dot {}", mh.normal.dot(ah.normal));
+            assert!(
+                mh.normal.dot(ah.normal) > 0.95,
+                "normal dot {}",
+                mh.normal.dot(ah.normal)
+            );
             tested += 1;
         }
         assert_eq!(tested, 100);
@@ -131,7 +143,10 @@ mod tests {
     #[test]
     fn box_mesh_matches_cuboid() {
         let mesh = box_mesh(Point3::splat(-1.0), Point3::splat(1.0));
-        let cuboid = Geometry::Cuboid { min: Point3::splat(-1.0), max: Point3::splat(1.0) };
+        let cuboid = Geometry::Cuboid {
+            min: Point3::splat(-1.0),
+            max: Point3::splat(1.0),
+        };
         for i in 0..60 {
             let a = i as f64 * 0.41;
             let origin = Point3::new(5.0 * a.cos(), 3.0 * (a * 1.3).sin(), 5.0 * a.sin());
@@ -170,7 +185,11 @@ mod tests {
         for i in 0..200 {
             let a = i as f64 * 0.31;
             let b = (i as f64 * 0.17).sin() * 1.2;
-            let origin = Point3::new(3.0 * a.cos() * b.cos(), 3.0 * b.sin(), 3.0 * a.sin() * b.cos());
+            let origin = Point3::new(
+                3.0 * a.cos() * b.cos(),
+                3.0 * b.sin(),
+                3.0 * a.sin() * b.cos(),
+            );
             let ray = Ray::new(origin, (-origin).normalized());
             assert!(g.intersect(&ray, FULL).is_some(), "ray {i} missed");
         }

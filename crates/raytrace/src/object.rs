@@ -105,11 +105,17 @@ mod tests {
     use super::*;
     use now_math::{deg_to_rad, Color, Point3, Vec3};
 
-    const FULL: Interval = Interval { min: 1e-9, max: f64::INFINITY };
+    const FULL: Interval = Interval {
+        min: 1e-9,
+        max: f64::INFINITY,
+    };
 
     fn unit_sphere() -> Object {
         Object::new(
-            Geometry::Sphere { center: Point3::ZERO, radius: 1.0 },
+            Geometry::Sphere {
+                center: Point3::ZERO,
+                radius: 1.0,
+            },
             Material::matte(Color::WHITE),
         )
     }
@@ -141,7 +147,12 @@ mod tests {
     fn rotated_cylinder_lies_down() {
         // cylinder along +y rotated 90 deg about z now lies along x
         let c = Object::new(
-            Geometry::Cylinder { radius: 0.5, y0: -1.0, y1: 1.0, capped: true },
+            Geometry::Cylinder {
+                radius: 0.5,
+                y0: -1.0,
+                y1: 1.0,
+                capped: true,
+            },
             Material::default(),
         )
         .with_transform(Affine::rotate_z(deg_to_rad(90.0)));
@@ -173,7 +184,10 @@ mod tests {
         assert!(b.contains(Point3::new(10.0, 0.0, 0.0)));
         assert!(!b.contains(Point3::ZERO));
         let plane = Object::new(
-            Geometry::Plane { point: Point3::ZERO, normal: Vec3::UNIT_Y },
+            Geometry::Plane {
+                point: Point3::ZERO,
+                normal: Vec3::UNIT_Y,
+            },
             Material::default(),
         );
         assert!(plane.world_aabb().is_none());

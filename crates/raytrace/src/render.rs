@@ -33,7 +33,10 @@ pub struct Adaptive {
 
 impl Default for Adaptive {
     fn default() -> Adaptive {
-        Adaptive { threshold: 0.1, max_level: 2 }
+        Adaptive {
+            threshold: 0.1,
+            max_level: 2,
+        }
     }
 }
 
@@ -51,7 +54,11 @@ pub struct RenderSettings {
 
 impl Default for RenderSettings {
     fn default() -> RenderSettings {
-        RenderSettings { max_depth: 5, sqrt_samples: 1, adaptive: None }
+        RenderSettings {
+            max_depth: 5,
+            sqrt_samples: 1,
+            adaptive: None,
+        }
     }
 }
 
@@ -63,10 +70,7 @@ impl RenderSettings {
         let mut out = Vec::with_capacity((n * n) as usize);
         for j in 0..n {
             for i in 0..n {
-                out.push((
-                    (i as f64 + 0.5) / n as f64,
-                    (j as f64 + 0.5) / n as f64,
-                ));
+                out.push(((i as f64 + 0.5) / n as f64, (j as f64 + 0.5) / n as f64));
             }
         }
         out
@@ -85,7 +89,13 @@ pub fn shade_pixel<L: RayListener>(
     listener: &mut L,
     stats: &mut RayStats,
 ) -> Color {
-    let mut ctx = TraceCtx { scene, accel, settings, listener, stats };
+    let mut ctx = TraceCtx {
+        scene,
+        accel,
+        settings,
+        listener,
+        stats,
+    };
     let color = if let Some(adaptive) = settings.adaptive {
         // corners of the pixel (positions shared with neighbouring pixels
         // are re-traced there: purity beats sample sharing here)
@@ -155,10 +165,38 @@ fn adaptive_quad<L: RayListener>(
     let cmm = sample(ctx, px, py, pixel, x0 + half, y0 + half);
     let c1m = sample(ctx, px, py, pixel, x0 + s, y0 + half);
     let cm1 = sample(ctx, px, py, pixel, x0 + half, y0 + s);
-    let q0 = adaptive_quad(ctx, at, (x0, y0, half), [c00, cm0, c0m, cmm], params, level - 1);
-    let q1 = adaptive_quad(ctx, at, (x0 + half, y0, half), [cm0, c10, cmm, c1m], params, level - 1);
-    let q2 = adaptive_quad(ctx, at, (x0, y0 + half, half), [c0m, cmm, c01, cm1], params, level - 1);
-    let q3 = adaptive_quad(ctx, at, (x0 + half, y0 + half, half), [cmm, c1m, cm1, c11], params, level - 1);
+    let q0 = adaptive_quad(
+        ctx,
+        at,
+        (x0, y0, half),
+        [c00, cm0, c0m, cmm],
+        params,
+        level - 1,
+    );
+    let q1 = adaptive_quad(
+        ctx,
+        at,
+        (x0 + half, y0, half),
+        [cm0, c10, cmm, c1m],
+        params,
+        level - 1,
+    );
+    let q2 = adaptive_quad(
+        ctx,
+        at,
+        (x0, y0 + half, half),
+        [c0m, cmm, c01, cm1],
+        params,
+        level - 1,
+    );
+    let q3 = adaptive_quad(
+        ctx,
+        at,
+        (x0 + half, y0 + half, half),
+        [cmm, c1m, cm1, c11],
+        params,
+        level - 1,
+    );
     (q0 + q1 + q2 + q3) * 0.25
 }
 
@@ -218,11 +256,17 @@ mod tests {
         let mut s = Scene::new(cam);
         s.background = Color::new(0.05, 0.05, 0.1);
         s.add_object(Object::new(
-            Geometry::Plane { point: Point3::new(0.0, -1.0, 0.0), normal: Vec3::UNIT_Y },
+            Geometry::Plane {
+                point: Point3::new(0.0, -1.0, 0.0),
+                normal: Vec3::UNIT_Y,
+            },
             Material::matte(Color::gray(0.6)),
         ));
         s.add_object(Object::new(
-            Geometry::Sphere { center: Point3::ZERO, radius: 1.0 },
+            Geometry::Sphere {
+                center: Point3::ZERO,
+                radius: 1.0,
+            },
             Material::chrome(Color::new(0.9, 0.9, 1.0)),
         ));
         s.add_light(PointLight::new(Point3::new(4.0, 6.0, 4.0), Color::WHITE));
@@ -251,14 +295,36 @@ mod tests {
         let s = scene();
         let accel = GridAccel::build(&s);
         let settings = RenderSettings::default();
-        let full = render_frame(&s, &accel, &settings, &mut NullListener, &mut RayStats::default());
+        let full = render_frame(
+            &s,
+            &accel,
+            &settings,
+            &mut NullListener,
+            &mut RayStats::default(),
+        );
 
         // render only even pixels, then only odd pixels, into a new buffer
         let mut fb = Framebuffer::new(40, 30);
         let evens: Vec<PixelId> = (0..fb.len() as PixelId).filter(|i| i % 2 == 0).collect();
         let odds: Vec<PixelId> = (0..fb.len() as PixelId).filter(|i| i % 2 == 1).collect();
-        render_pixels(&s, &accel, &settings, &mut fb, odds, &mut NullListener, &mut RayStats::default());
-        render_pixels(&s, &accel, &settings, &mut fb, evens, &mut NullListener, &mut RayStats::default());
+        render_pixels(
+            &s,
+            &accel,
+            &settings,
+            &mut fb,
+            odds,
+            &mut NullListener,
+            &mut RayStats::default(),
+        );
+        render_pixels(
+            &s,
+            &accel,
+            &settings,
+            &mut fb,
+            evens,
+            &mut NullListener,
+            &mut RayStats::default(),
+        );
         assert!(fb.same_image(&full));
         assert_eq!(fb.max_abs_diff(&full), 0.0, "pixel purity must be exact");
     }
@@ -267,15 +333,36 @@ mod tests {
     fn rendering_is_deterministic() {
         let s = scene();
         let accel = GridAccel::build(&s);
-        let settings = RenderSettings { max_depth: 5, sqrt_samples: 2, adaptive: None };
-        let a = render_frame(&s, &accel, &settings, &mut NullListener, &mut RayStats::default());
-        let b = render_frame(&s, &accel, &settings, &mut NullListener, &mut RayStats::default());
+        let settings = RenderSettings {
+            max_depth: 5,
+            sqrt_samples: 2,
+            adaptive: None,
+        };
+        let a = render_frame(
+            &s,
+            &accel,
+            &settings,
+            &mut NullListener,
+            &mut RayStats::default(),
+        );
+        let b = render_frame(
+            &s,
+            &accel,
+            &settings,
+            &mut NullListener,
+            &mut RayStats::default(),
+        );
         assert_eq!(a.max_abs_diff(&b), 0.0);
     }
 
     #[test]
     fn supersampling_offsets_tile_the_pixel() {
-        let offsets = RenderSettings { max_depth: 1, sqrt_samples: 3, adaptive: None }.sample_offsets();
+        let offsets = RenderSettings {
+            max_depth: 1,
+            sqrt_samples: 3,
+            adaptive: None,
+        }
+        .sample_offsets();
         assert_eq!(offsets.len(), 9);
         for (sx, sy) in offsets {
             assert!(sx > 0.0 && sx < 1.0 && sy > 0.0 && sy < 1.0);
@@ -288,11 +375,18 @@ mod tests {
     fn adaptive_sampling_spends_rays_on_edges() {
         let s = scene();
         let accel = GridAccel::build(&s);
-        let plain = RenderSettings { max_depth: 2, sqrt_samples: 1, adaptive: None };
+        let plain = RenderSettings {
+            max_depth: 2,
+            sqrt_samples: 1,
+            adaptive: None,
+        };
         let adaptive = RenderSettings {
             max_depth: 2,
             sqrt_samples: 1,
-            adaptive: Some(Adaptive { threshold: 0.08, max_level: 2 }),
+            adaptive: Some(Adaptive {
+                threshold: 0.08,
+                max_level: 2,
+            }),
         };
         let mut flat_stats = RayStats::default();
         let _ = render_frame(&s, &accel, &plain, &mut NullListener, &mut flat_stats);
@@ -302,7 +396,10 @@ mod tests {
         // a uniform grid at the same maximum density (9x9 = 81)
         let per_pixel = ad_stats.primary as f64 / ad_stats.pixels as f64;
         assert!(per_pixel >= 4.0, "per pixel {per_pixel}");
-        assert!(per_pixel < 30.0, "adaptivity must not degenerate: {per_pixel}");
+        assert!(
+            per_pixel < 30.0,
+            "adaptivity must not degenerate: {per_pixel}"
+        );
         assert!(ad_stats.primary > flat_stats.primary);
     }
 
@@ -315,11 +412,25 @@ mod tests {
             sqrt_samples: 1,
             adaptive: Some(Adaptive::default()),
         };
-        let full = render_frame(&s, &accel, &settings, &mut NullListener, &mut RayStats::default());
+        let full = render_frame(
+            &s,
+            &accel,
+            &settings,
+            &mut NullListener,
+            &mut RayStats::default(),
+        );
         // render half the pixels into a fresh buffer: identical values
         let mut fb = Framebuffer::new(40, 30);
         let half: Vec<PixelId> = (0..fb.len() as PixelId).filter(|i| i % 2 == 0).collect();
-        render_pixels(&s, &accel, &settings, &mut fb, half.iter().copied(), &mut NullListener, &mut RayStats::default());
+        render_pixels(
+            &s,
+            &accel,
+            &settings,
+            &mut fb,
+            half.iter().copied(),
+            &mut NullListener,
+            &mut RayStats::default(),
+        );
         for &id in &half {
             assert_eq!(fb.get_id(id), full.get_id(id));
         }
@@ -329,13 +440,26 @@ mod tests {
     fn adaptive_smooths_silhouettes_more_than_single_sample() {
         let s = scene();
         let accel = GridAccel::build(&s);
-        let one = RenderSettings { max_depth: 2, sqrt_samples: 1, adaptive: None };
+        let one = RenderSettings {
+            max_depth: 2,
+            sqrt_samples: 1,
+            adaptive: None,
+        };
         let ad = RenderSettings {
             max_depth: 2,
             sqrt_samples: 1,
-            adaptive: Some(Adaptive { threshold: 0.05, max_level: 3 }),
+            adaptive: Some(Adaptive {
+                threshold: 0.05,
+                max_level: 3,
+            }),
         };
-        let a = render_frame(&s, &accel, &one, &mut NullListener, &mut RayStats::default());
+        let a = render_frame(
+            &s,
+            &accel,
+            &one,
+            &mut NullListener,
+            &mut RayStats::default(),
+        );
         let b = render_frame(&s, &accel, &ad, &mut NullListener, &mut RayStats::default());
         // images differ (edges got intermediate values)
         assert!(!a.same_image(&b));
@@ -345,10 +469,30 @@ mod tests {
     fn supersampling_smooths_edges() {
         let s = scene();
         let accel = GridAccel::build(&s);
-        let one = RenderSettings { max_depth: 3, sqrt_samples: 1, adaptive: None };
-        let four = RenderSettings { max_depth: 3, sqrt_samples: 2, adaptive: None };
-        let a = render_frame(&s, &accel, &one, &mut NullListener, &mut RayStats::default());
-        let b = render_frame(&s, &accel, &four, &mut NullListener, &mut RayStats::default());
+        let one = RenderSettings {
+            max_depth: 3,
+            sqrt_samples: 1,
+            adaptive: None,
+        };
+        let four = RenderSettings {
+            max_depth: 3,
+            sqrt_samples: 2,
+            adaptive: None,
+        };
+        let a = render_frame(
+            &s,
+            &accel,
+            &one,
+            &mut NullListener,
+            &mut RayStats::default(),
+        );
+        let b = render_frame(
+            &s,
+            &accel,
+            &four,
+            &mut NullListener,
+            &mut RayStats::default(),
+        );
         // images differ along silhouettes
         assert!(!a.same_image(&b));
     }

@@ -93,7 +93,14 @@ mod tests {
     use now_math::{Color, Vec3};
 
     fn cam() -> Camera {
-        Camera::look_at(Point3::new(0.0, 0.0, 5.0), Point3::ZERO, Vec3::UNIT_Y, 60.0, 64, 48)
+        Camera::look_at(
+            Point3::new(0.0, 0.0, 5.0),
+            Point3::ZERO,
+            Vec3::UNIT_Y,
+            60.0,
+            64,
+            48,
+        )
     }
 
     #[test]
@@ -101,7 +108,10 @@ mod tests {
         let mut s = Scene::new(cam());
         let id = s.add_object(
             Object::new(
-                Geometry::Sphere { center: Point3::ZERO, radius: 1.0 },
+                Geometry::Sphere {
+                    center: Point3::ZERO,
+                    radius: 1.0,
+                },
                 Material::default(),
             )
             .named("ball"),
@@ -115,7 +125,10 @@ mod tests {
     fn bounds_cover_objects_not_lights() {
         let mut s = Scene::new(cam());
         s.add_object(Object::new(
-            Geometry::Sphere { center: Point3::new(5.0, 0.0, 0.0), radius: 1.0 },
+            Geometry::Sphere {
+                center: Point3::new(5.0, 0.0, 0.0),
+                radius: 1.0,
+            },
             Material::default(),
         ));
         s.add_light(PointLight::new(Point3::new(-10.0, 8.0, 0.0), Color::WHITE));
@@ -129,11 +142,17 @@ mod tests {
     fn bounds_ignore_infinite_planes() {
         let mut s = Scene::new(cam());
         s.add_object(Object::new(
-            Geometry::Plane { point: Point3::ZERO, normal: Vec3::UNIT_Y },
+            Geometry::Plane {
+                point: Point3::ZERO,
+                normal: Vec3::UNIT_Y,
+            },
             Material::default(),
         ));
         s.add_object(Object::new(
-            Geometry::Sphere { center: Point3::ZERO, radius: 2.0 },
+            Geometry::Sphere {
+                center: Point3::ZERO,
+                radius: 2.0,
+            },
             Material::default(),
         ));
         let b = s.bounds();
@@ -150,7 +169,11 @@ mod tests {
     fn flat_scene_bounds_get_thickness() {
         let mut s = Scene::new(cam());
         s.add_object(Object::new(
-            Geometry::Disk { center: Point3::ZERO, normal: Vec3::UNIT_Y, radius: 2.0 },
+            Geometry::Disk {
+                center: Point3::ZERO,
+                normal: Vec3::UNIT_Y,
+                radius: 2.0,
+            },
             Material::default(),
         ));
         let b = s.bounds();

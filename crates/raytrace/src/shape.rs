@@ -146,16 +146,25 @@ impl Geometry {
             Geometry::Sphere { center, radius } => sphere_hit(*center, *radius, ray, range),
             Geometry::Plane { point, normal } => plane_hit(*point, *normal, ray, range),
             Geometry::Cuboid { min, max } => cuboid_hit(*min, *max, ray, range),
-            Geometry::Cylinder { radius, y0, y1, capped } => {
-                cylinder_hit(*radius, *y0, *y1, *capped, ray, range)
-            }
+            Geometry::Cylinder {
+                radius,
+                y0,
+                y1,
+                capped,
+            } => cylinder_hit(*radius, *y0, *y1, *capped, ray, range),
             Geometry::Triangle { a, b, c } => triangle_hit(*a, *b, *c, ray, range),
-            Geometry::Disk { center, normal, radius } => {
-                disk_hit(*center, *normal, *radius, ray, range)
-            }
-            Geometry::Cone { r0, r1, y0, y1, capped } => {
-                cone_hit(*r0, *r1, *y0, *y1, *capped, ray, range)
-            }
+            Geometry::Disk {
+                center,
+                normal,
+                radius,
+            } => disk_hit(*center, *normal, *radius, ray, range),
+            Geometry::Cone {
+                r0,
+                r1,
+                y0,
+                y1,
+                capped,
+            } => cone_hit(*r0, *r1, *y0, *y1, *capped, ray, range),
             Geometry::Torus { major, minor } => torus_hit(*major, *minor, ray, range),
             Geometry::Mesh { mesh } => mesh.intersect(ray, range),
             Geometry::CsgNode { node } => node.intersect(ray, range),
@@ -187,7 +196,11 @@ fn sphere_hit(center: Point3, radius: f64, ray: &Ray, range: Interval) -> Option
         }
     }
     let point = ray.at(t);
-    Some(Hit { t, point, normal: (point - center) / radius })
+    Some(Hit {
+        t,
+        point,
+        normal: (point - center) / radius,
+    })
 }
 
 fn plane_hit(point: Point3, normal: Vec3, ray: &Ray, range: Interval) -> Option<Hit> {
@@ -199,7 +212,11 @@ fn plane_hit(point: Point3, normal: Vec3, ray: &Ray, range: Interval) -> Option<
     if !range.surrounds(t) {
         return None;
     }
-    Some(Hit { t, point: ray.at(t), normal })
+    Some(Hit {
+        t,
+        point: ray.at(t),
+        normal,
+    })
 }
 
 fn cuboid_hit(min: Point3, max: Point3, ray: &Ray, range: Interval) -> Option<Hit> {
@@ -234,7 +251,11 @@ fn cuboid_hit(min: Point3, max: Point3, ray: &Ray, range: Interval) -> Option<Hi
     } else {
         Vec3::new(0.0, 0.0, rel.z.signum())
     };
-    Some(Hit { t, point: p, normal })
+    Some(Hit {
+        t,
+        point: p,
+        normal,
+    })
 }
 
 fn cylinder_hit(
@@ -265,7 +286,11 @@ fn cylinder_hit(
                     let p = ray.at(t);
                     if p.y >= y0 && p.y <= y1 {
                         let n = Vec3::new(p.x, 0.0, p.z) / radius;
-                        consider(Hit { t, point: p, normal: n });
+                        consider(Hit {
+                            t,
+                            point: p,
+                            normal: n,
+                        });
                     }
                 }
             }
@@ -279,7 +304,11 @@ fn cylinder_hit(
                 if range.surrounds(t) {
                     let p = ray.at(t);
                     if p.x * p.x + p.z * p.z <= radius * radius {
-                        consider(Hit { t, point: p, normal: n });
+                        consider(Hit {
+                            t,
+                            point: p,
+                            normal: n,
+                        });
                     }
                 }
             }
@@ -353,7 +382,11 @@ fn cone_hit(
                 let n = Vec3::new(p.x, -b * (a + b * p.y), p.z)
                     .try_normalized(EPSILON)
                     .unwrap_or(Vec3::UNIT_Y);
-                consider(Hit { t, point: p, normal: n });
+                consider(Hit {
+                    t,
+                    point: p,
+                    normal: n,
+                });
             }
         }
     }
@@ -364,7 +397,11 @@ fn cone_hit(
                 if range.surrounds(t) {
                     let p = ray.at(t);
                     if p.x * p.x + p.z * p.z <= r * r {
-                        consider(Hit { t, point: p, normal: n });
+                        consider(Hit {
+                            t,
+                            point: p,
+                            normal: n,
+                        });
                     }
                 }
             }
@@ -394,7 +431,11 @@ fn torus_hit(major: f64, minor: f64, ray: &Ray, range: Interval) -> Option<Hit> 
             let g = p * (4.0 * (p.length_squared() + major * major - minor * minor))
                 - Vec3::new(p.x, 0.0, p.z) * (8.0 * major * major);
             let n = g.try_normalized(EPSILON)?;
-            return Some(Hit { t, point: p, normal: n });
+            return Some(Hit {
+                t,
+                point: p,
+                normal: n,
+            });
         }
     }
     None
@@ -413,11 +454,17 @@ fn disk_hit(center: Point3, normal: Vec3, radius: f64, ray: &Ray, range: Interva
 mod tests {
     use super::*;
 
-    const FULL: Interval = Interval { min: 1e-9, max: f64::INFINITY };
+    const FULL: Interval = Interval {
+        min: 1e-9,
+        max: f64::INFINITY,
+    };
 
     #[test]
     fn sphere_frontal_hit() {
-        let s = Geometry::Sphere { center: Point3::new(0.0, 0.0, -5.0), radius: 1.0 };
+        let s = Geometry::Sphere {
+            center: Point3::new(0.0, 0.0, -5.0),
+            radius: 1.0,
+        };
         let r = Ray::new(Point3::ZERO, -Vec3::UNIT_Z);
         let h = s.intersect(&r, FULL).unwrap();
         assert!((h.t - 4.0).abs() < 1e-12);
@@ -427,7 +474,10 @@ mod tests {
 
     #[test]
     fn sphere_from_inside_hits_far_wall() {
-        let s = Geometry::Sphere { center: Point3::ZERO, radius: 2.0 };
+        let s = Geometry::Sphere {
+            center: Point3::ZERO,
+            radius: 2.0,
+        };
         let r = Ray::new(Point3::ZERO, Vec3::UNIT_X);
         let h = s.intersect(&r, FULL).unwrap();
         assert!((h.t - 2.0).abs() < 1e-12);
@@ -437,14 +487,24 @@ mod tests {
 
     #[test]
     fn sphere_miss_and_behind() {
-        let s = Geometry::Sphere { center: Point3::new(0.0, 0.0, -5.0), radius: 1.0 };
-        assert!(s.intersect(&Ray::new(Point3::ZERO, Vec3::UNIT_Y), FULL).is_none());
-        assert!(s.intersect(&Ray::new(Point3::ZERO, Vec3::UNIT_Z), FULL).is_none());
+        let s = Geometry::Sphere {
+            center: Point3::new(0.0, 0.0, -5.0),
+            radius: 1.0,
+        };
+        assert!(s
+            .intersect(&Ray::new(Point3::ZERO, Vec3::UNIT_Y), FULL)
+            .is_none());
+        assert!(s
+            .intersect(&Ray::new(Point3::ZERO, Vec3::UNIT_Z), FULL)
+            .is_none());
     }
 
     #[test]
     fn sphere_respects_range() {
-        let s = Geometry::Sphere { center: Point3::new(0.0, 0.0, -5.0), radius: 1.0 };
+        let s = Geometry::Sphere {
+            center: Point3::new(0.0, 0.0, -5.0),
+            radius: 1.0,
+        };
         let r = Ray::new(Point3::ZERO, -Vec3::UNIT_Z);
         assert!(s.intersect(&r, Interval::new(1e-9, 3.0)).is_none());
         // range admits only the far intersection
@@ -454,7 +514,10 @@ mod tests {
 
     #[test]
     fn plane_hit_and_parallel_miss() {
-        let p = Geometry::Plane { point: Point3::ZERO, normal: Vec3::UNIT_Y };
+        let p = Geometry::Plane {
+            point: Point3::ZERO,
+            normal: Vec3::UNIT_Y,
+        };
         let r = Ray::new(Point3::new(0.0, 2.0, 0.0), Vec3::new(0.0, -1.0, 0.0));
         let h = p.intersect(&r, FULL).unwrap();
         assert!((h.t - 2.0).abs() < 1e-12);
@@ -464,7 +527,10 @@ mod tests {
 
     #[test]
     fn cuboid_face_normals() {
-        let b = Geometry::Cuboid { min: Point3::splat(-1.0), max: Point3::splat(1.0) };
+        let b = Geometry::Cuboid {
+            min: Point3::splat(-1.0),
+            max: Point3::splat(1.0),
+        };
         let cases = [
             (Point3::new(-3.0, 0.0, 0.0), Vec3::UNIT_X, -Vec3::UNIT_X),
             (Point3::new(3.0, 0.0, 0.0), -Vec3::UNIT_X, Vec3::UNIT_X),
@@ -480,15 +546,25 @@ mod tests {
 
     #[test]
     fn cuboid_from_inside_hits_exit_face() {
-        let b = Geometry::Cuboid { min: Point3::splat(-1.0), max: Point3::splat(1.0) };
-        let h = b.intersect(&Ray::new(Point3::ZERO, Vec3::UNIT_Z), FULL).unwrap();
+        let b = Geometry::Cuboid {
+            min: Point3::splat(-1.0),
+            max: Point3::splat(1.0),
+        };
+        let h = b
+            .intersect(&Ray::new(Point3::ZERO, Vec3::UNIT_Z), FULL)
+            .unwrap();
         assert!((h.t - 1.0).abs() < 1e-12);
         assert!(h.normal.approx_eq(Vec3::UNIT_Z, 1e-12));
     }
 
     #[test]
     fn cylinder_side_hit() {
-        let c = Geometry::Cylinder { radius: 1.0, y0: 0.0, y1: 2.0, capped: true };
+        let c = Geometry::Cylinder {
+            radius: 1.0,
+            y0: 0.0,
+            y1: 2.0,
+            capped: true,
+        };
         let r = Ray::new(Point3::new(-5.0, 1.0, 0.0), Vec3::UNIT_X);
         let h = c.intersect(&r, FULL).unwrap();
         assert!((h.t - 4.0).abs() < 1e-12);
@@ -497,26 +573,46 @@ mod tests {
 
     #[test]
     fn cylinder_above_segment_misses_side() {
-        let c = Geometry::Cylinder { radius: 1.0, y0: 0.0, y1: 2.0, capped: false };
+        let c = Geometry::Cylinder {
+            radius: 1.0,
+            y0: 0.0,
+            y1: 2.0,
+            capped: false,
+        };
         let r = Ray::new(Point3::new(-5.0, 3.0, 0.0), Vec3::UNIT_X);
         assert!(c.intersect(&r, FULL).is_none());
     }
 
     #[test]
     fn cylinder_cap_hit() {
-        let c = Geometry::Cylinder { radius: 1.0, y0: 0.0, y1: 2.0, capped: true };
+        let c = Geometry::Cylinder {
+            radius: 1.0,
+            y0: 0.0,
+            y1: 2.0,
+            capped: true,
+        };
         let r = Ray::new(Point3::new(0.2, 5.0, 0.2), -Vec3::UNIT_Y);
         let h = c.intersect(&r, FULL).unwrap();
         assert!((h.t - 3.0).abs() < 1e-12);
         assert!(h.normal.approx_eq(Vec3::UNIT_Y, 1e-12));
         // uncapped: the same ray passes through the hollow tube
-        let open = Geometry::Cylinder { radius: 1.0, y0: 0.0, y1: 2.0, capped: false };
+        let open = Geometry::Cylinder {
+            radius: 1.0,
+            y0: 0.0,
+            y1: 2.0,
+            capped: false,
+        };
         assert!(open.intersect(&r, FULL).is_none());
     }
 
     #[test]
     fn cylinder_axis_parallel_ray_outside_radius_misses() {
-        let c = Geometry::Cylinder { radius: 1.0, y0: 0.0, y1: 2.0, capped: true };
+        let c = Geometry::Cylinder {
+            radius: 1.0,
+            y0: 0.0,
+            y1: 2.0,
+            capped: true,
+        };
         let r = Ray::new(Point3::new(3.0, -5.0, 0.0), Vec3::UNIT_Y);
         assert!(c.intersect(&r, FULL).is_none());
     }
@@ -541,7 +637,11 @@ mod tests {
 
     #[test]
     fn disk_inside_outside() {
-        let d = Geometry::Disk { center: Point3::ZERO, normal: Vec3::UNIT_Z, radius: 1.0 };
+        let d = Geometry::Disk {
+            center: Point3::ZERO,
+            normal: Vec3::UNIT_Z,
+            radius: 1.0,
+        };
         assert!(d
             .intersect(&Ray::new(Point3::new(0.5, 0.0, 2.0), -Vec3::UNIT_Z), FULL)
             .is_some());
@@ -553,7 +653,13 @@ mod tests {
     #[test]
     fn cone_side_hit_with_tilted_normal() {
         // frustum from radius 1 at y=0 to radius 0 at y=2 (a true cone)
-        let c = Geometry::Cone { r0: 1.0, r1: 0.0, y0: 0.0, y1: 2.0, capped: true };
+        let c = Geometry::Cone {
+            r0: 1.0,
+            r1: 0.0,
+            y0: 0.0,
+            y1: 2.0,
+            capped: true,
+        };
         let r = Ray::new(Point3::new(-5.0, 0.5, 0.0), Vec3::UNIT_X);
         let h = c.intersect(&r, FULL).unwrap();
         // at y = 0.5 the radius is 0.75
@@ -566,7 +672,13 @@ mod tests {
 
     #[test]
     fn cone_apex_region_and_miss_above() {
-        let c = Geometry::Cone { r0: 1.0, r1: 0.0, y0: 0.0, y1: 2.0, capped: true };
+        let c = Geometry::Cone {
+            r0: 1.0,
+            r1: 0.0,
+            y0: 0.0,
+            y1: 2.0,
+            capped: true,
+        };
         // above the apex: miss
         let r = Ray::new(Point3::new(-5.0, 2.5, 0.0), Vec3::UNIT_X);
         assert!(c.intersect(&r, FULL).is_none());
@@ -578,7 +690,13 @@ mod tests {
 
     #[test]
     fn cone_frustum_respects_both_radii() {
-        let c = Geometry::Cone { r0: 2.0, r1: 1.0, y0: 0.0, y1: 1.0, capped: false };
+        let c = Geometry::Cone {
+            r0: 2.0,
+            r1: 1.0,
+            y0: 0.0,
+            y1: 1.0,
+            capped: false,
+        };
         // radius at y=0.5 is 1.5
         let h = c
             .intersect(&Ray::new(Point3::new(-5.0, 0.5, 0.0), Vec3::UNIT_X), FULL)
@@ -591,7 +709,10 @@ mod tests {
 
     #[test]
     fn torus_hits_outer_and_inner_wall() {
-        let t = Geometry::Torus { major: 2.0, minor: 0.5 };
+        let t = Geometry::Torus {
+            major: 2.0,
+            minor: 0.5,
+        };
         // ray along x through the tube at z=0: outer wall at x = -2.5
         let r = Ray::new(Point3::new(-5.0, 0.0, 0.0), Vec3::UNIT_X);
         let h = t.intersect(&r, FULL).unwrap();
@@ -606,7 +727,10 @@ mod tests {
 
     #[test]
     fn torus_hole_misses() {
-        let t = Geometry::Torus { major: 2.0, minor: 0.5 };
+        let t = Geometry::Torus {
+            major: 2.0,
+            minor: 0.5,
+        };
         // straight down the axis: through the hole
         let r = Ray::new(Point3::new(0.0, 5.0, 0.0), -Vec3::UNIT_Y);
         assert!(t.intersect(&r, FULL).is_none());
@@ -620,7 +744,10 @@ mod tests {
     #[test]
     fn torus_hit_points_satisfy_implicit_equation() {
         let (maj, min) = (1.5, 0.4);
-        let t = Geometry::Torus { major: maj, minor: min };
+        let t = Geometry::Torus {
+            major: maj,
+            minor: min,
+        };
         let mut hits = 0;
         for i in 0..300 {
             let a = i as f64 * 0.21;
@@ -642,17 +769,41 @@ mod tests {
     #[test]
     fn local_aabbs_bound_sample_hits() {
         let shapes = [
-            Geometry::Sphere { center: Point3::new(1.0, 2.0, 3.0), radius: 0.5 },
-            Geometry::Cuboid { min: Point3::splat(-1.0), max: Point3::new(2.0, 1.0, 1.0) },
-            Geometry::Cylinder { radius: 0.7, y0: -1.0, y1: 1.0, capped: true },
+            Geometry::Sphere {
+                center: Point3::new(1.0, 2.0, 3.0),
+                radius: 0.5,
+            },
+            Geometry::Cuboid {
+                min: Point3::splat(-1.0),
+                max: Point3::new(2.0, 1.0, 1.0),
+            },
+            Geometry::Cylinder {
+                radius: 0.7,
+                y0: -1.0,
+                y1: 1.0,
+                capped: true,
+            },
             Geometry::Triangle {
                 a: Point3::ZERO,
                 b: Point3::UNIT_X,
                 c: Point3::UNIT_Y,
             },
-            Geometry::Disk { center: Point3::ZERO, normal: Vec3::UNIT_Y, radius: 2.0 },
-            Geometry::Cone { r0: 1.2, r1: 0.2, y0: -0.5, y1: 1.5, capped: true },
-            Geometry::Torus { major: 1.4, minor: 0.3 },
+            Geometry::Disk {
+                center: Point3::ZERO,
+                normal: Vec3::UNIT_Y,
+                radius: 2.0,
+            },
+            Geometry::Cone {
+                r0: 1.2,
+                r1: 0.2,
+                y0: -0.5,
+                y1: 1.5,
+                capped: true,
+            },
+            Geometry::Torus {
+                major: 1.4,
+                minor: 0.3,
+            },
         ];
         for s in &shapes {
             let b = s.local_aabb().unwrap().expand(1e-9);
@@ -663,21 +814,39 @@ mod tests {
                 let o = Point3::new(6.0 * ang.cos(), 2.0 * (ang * 0.7).sin(), 6.0 * ang.sin());
                 let dir = (b.center() - o).normalized();
                 if let Some(h) = s.intersect(&Ray::new(o, dir), FULL) {
-                    assert!(b.contains(h.point), "{s:?} hit {:?} outside bounds", h.point);
+                    assert!(
+                        b.contains(h.point),
+                        "{s:?} hit {:?} outside bounds",
+                        h.point
+                    );
                 }
             }
         }
-        assert!(Geometry::Plane { point: Point3::ZERO, normal: Vec3::UNIT_Y }
-            .local_aabb()
-            .is_none());
+        assert!(Geometry::Plane {
+            point: Point3::ZERO,
+            normal: Vec3::UNIT_Y
+        }
+        .local_aabb()
+        .is_none());
     }
 
     #[test]
     fn normals_are_unit_length() {
         let shapes = [
-            Geometry::Sphere { center: Point3::ZERO, radius: 1.3 },
-            Geometry::Cuboid { min: Point3::splat(-1.0), max: Point3::splat(1.0) },
-            Geometry::Cylinder { radius: 1.0, y0: -1.0, y1: 1.0, capped: true },
+            Geometry::Sphere {
+                center: Point3::ZERO,
+                radius: 1.3,
+            },
+            Geometry::Cuboid {
+                min: Point3::splat(-1.0),
+                max: Point3::splat(1.0),
+            },
+            Geometry::Cylinder {
+                radius: 1.0,
+                y0: -1.0,
+                y1: 1.0,
+                capped: true,
+            },
         ];
         for s in &shapes {
             for i in 0..32 {

@@ -70,8 +70,17 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let mut a = RayStats { primary: 1, pixels: 10, ..Default::default() };
-        let b = RayStats { primary: 2, shadow: 3, intersection_tests: 7, ..Default::default() };
+        let mut a = RayStats {
+            primary: 1,
+            pixels: 10,
+            ..Default::default()
+        };
+        let b = RayStats {
+            primary: 2,
+            shadow: 3,
+            intersection_tests: 7,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.primary, 3);
         assert_eq!(a.shadow, 3);

@@ -91,10 +91,20 @@ impl Texture {
                     *b
                 }
             }
-            Texture::Brick { brick, mortar, width, height, joint } => {
+            Texture::Brick {
+                brick,
+                mortar,
+                width,
+                height,
+                joint,
+            } => {
                 let row = ((p.y / height) + 1024.0).floor();
                 // odd rows shifted half a brick (running bond)
-                let offset = if (row as i64) % 2 == 0 { 0.0 } else { width * 0.5 };
+                let offset = if (row as i64) % 2 == 0 {
+                    0.0
+                } else {
+                    width * 0.5
+                };
                 let fx = (p.x + offset).rem_euclid(*width);
                 let fy = p.y.rem_euclid(*height);
                 if fx < *joint || fy < *joint {
@@ -113,7 +123,12 @@ impl Texture {
                     + 0.5;
                 a.lerp(*b, t)
             }
-            Texture::Wood { light, dark, rings, wobble } => {
+            Texture::Wood {
+                light,
+                dark,
+                rings,
+                wobble,
+            } => {
                 let r = (p.x * p.x + p.z * p.z).sqrt();
                 let angle = p.z.atan2(p.x);
                 let wav = wobble * ((angle * 3.0).sin() + 0.5 * (p.y * 2.0).sin());
@@ -122,7 +137,12 @@ impl Texture {
                 let t = t * t * (3.0 - 2.0 * t);
                 light.lerp(*dark, t)
             }
-            Texture::GradientY { bottom, top, y0, y1 } => {
+            Texture::GradientY {
+                bottom,
+                top,
+                y0,
+                y1,
+            } => {
                 let t = now_math::clamp((p.y - y0) / (y1 - y0), 0.0, 1.0);
                 bottom.lerp(*top, t)
             }
@@ -143,7 +163,11 @@ mod tests {
 
     #[test]
     fn checker_alternates() {
-        let t = Texture::Checker { a: Color::BLACK, b: Color::WHITE, scale: 1.0 };
+        let t = Texture::Checker {
+            a: Color::BLACK,
+            b: Color::WHITE,
+            scale: 1.0,
+        };
         let c0 = t.eval(Point3::new(0.5, 0.5, 0.5));
         let c1 = t.eval(Point3::new(1.5, 0.5, 0.5));
         assert_ne!(c0, c1);
@@ -157,7 +181,11 @@ mod tests {
 
     #[test]
     fn checker_continuous_across_origin() {
-        let t = Texture::Checker { a: Color::BLACK, b: Color::WHITE, scale: 1.0 };
+        let t = Texture::Checker {
+            a: Color::BLACK,
+            b: Color::WHITE,
+            scale: 1.0,
+        };
         // cells at -0.5 and +0.5 are adjacent, so they must differ
         assert_ne!(
             t.eval(Point3::new(-0.5, 0.25, 0.25)),
@@ -201,7 +229,11 @@ mod tests {
 
     #[test]
     fn marble_stays_within_band_colors() {
-        let t = Texture::Marble { a: Color::BLACK, b: Color::WHITE, frequency: 2.0 };
+        let t = Texture::Marble {
+            a: Color::BLACK,
+            b: Color::WHITE,
+            frequency: 2.0,
+        };
         for i in 0..100 {
             let p = Point3::new(i as f64 * 0.1, (i % 7) as f64 * 0.3, (i % 3) as f64);
             let c = t.eval(p);

@@ -75,7 +75,8 @@ pub fn trace<L: RayListener>(
             let l_dir = to_light / dist;
             let shadow_ray = Ray::new(h.point + n * RAY_BIAS, l_dir);
             ctx.stats.count_ray(RayKind::Shadow);
-            ctx.listener.on_ray(pixel, &shadow_ray, RayKind::Shadow, dist);
+            ctx.listener
+                .on_ray(pixel, &shadow_ray, RayKind::Shadow, dist);
             if ctx.accel.occluded(ctx.scene, &shadow_ray, dist, ctx.stats) {
                 continue;
             }
@@ -112,15 +113,13 @@ pub fn trace<L: RayListener>(
         match ray.dir.refract(n, eta) {
             Some(t_dir) => {
                 let t_ray = Ray::new(h.point - n * RAY_BIAS, t_dir.normalized());
-                result +=
-                    trace(ctx, pixel, &t_ray, RayKind::Transmitted, depth - 1) * mat.transmit;
+                result += trace(ctx, pixel, &t_ray, RayKind::Transmitted, depth - 1) * mat.transmit;
             }
             None => {
                 // total internal reflection: the transmitted energy reflects
                 let r_dir = ray.dir.reflect(n).normalized();
                 let r_ray = Ray::new(h.point + n * RAY_BIAS, r_dir);
-                result +=
-                    trace(ctx, pixel, &r_ray, RayKind::Reflected, depth - 1) * mat.transmit;
+                result += trace(ctx, pixel, &r_ray, RayKind::Reflected, depth - 1) * mat.transmit;
             }
         }
     }
@@ -149,7 +148,10 @@ mod tests {
         let mut s = Scene::new(cam);
         s.background = Color::new(0.1, 0.1, 0.2);
         s.add_object(Object::new(
-            Geometry::Sphere { center: Point3::ZERO, radius: 1.0 },
+            Geometry::Sphere {
+                center: Point3::ZERO,
+                radius: 1.0,
+            },
             Material::matte(Color::new(1.0, 0.0, 0.0)),
         ));
         s.add_light(crate::light::PointLight::new(
@@ -188,15 +190,9 @@ mod tests {
     fn lit_side_is_brighter_than_shadowed_side() {
         let s = simple_scene();
         // light is up-right-front; hit the sphere from the front
-        let (front, _) = trace_one(
-            &s,
-            Ray::new(Point3::new(0.0, 0.0, 5.0), -Vec3::UNIT_Z),
-        );
+        let (front, _) = trace_one(&s, Ray::new(Point3::new(0.0, 0.0, 5.0), -Vec3::UNIT_Z));
         // hit the sphere from behind (the side facing away from the light)
-        let (back, _) = trace_one(
-            &s,
-            Ray::new(Point3::new(0.0, 0.0, -5.0), Vec3::UNIT_Z),
-        );
+        let (back, _) = trace_one(&s, Ray::new(Point3::new(0.0, 0.0, -5.0), Vec3::UNIT_Z));
         assert!(front.luminance() > back.luminance());
         // red surface: green/blue only from ambient
         assert!(front.r > front.g);
@@ -219,7 +215,10 @@ mod tests {
         let (lit, _) = trace_one(&s, Ray::new(Point3::new(0.0, 0.0, 5.0), -Vec3::UNIT_Z));
         // put a big blocker between sphere and light
         s.add_object(Object::new(
-            Geometry::Sphere { center: Point3::new(2.5, 2.5, 2.5), radius: 2.0 },
+            Geometry::Sphere {
+                center: Point3::new(2.5, 2.5, 2.5),
+                radius: 2.0,
+            },
             Material::matte(Color::WHITE),
         ));
         let (shadowed, _) = trace_one(&s, Ray::new(Point3::new(0.0, 0.0, 5.0), -Vec3::UNIT_Z));
@@ -228,7 +227,14 @@ mod tests {
 
     #[test]
     fn mirror_reflects_background() {
-        let cam = Camera::look_at(Point3::new(0.0, 0.0, 5.0), Point3::ZERO, Vec3::UNIT_Y, 60.0, 8, 8);
+        let cam = Camera::look_at(
+            Point3::new(0.0, 0.0, 5.0),
+            Point3::ZERO,
+            Vec3::UNIT_Y,
+            60.0,
+            8,
+            8,
+        );
         let mut s = Scene::new(cam);
         s.background = Color::new(0.0, 1.0, 0.0);
         let mut mirror = Material::matte(Color::BLACK);
@@ -236,12 +242,18 @@ mod tests {
         mirror.ambient = 0.0;
         mirror.diffuse = 0.0;
         s.add_object(Object::new(
-            Geometry::Plane { point: Point3::ZERO, normal: Vec3::UNIT_Y },
+            Geometry::Plane {
+                point: Point3::ZERO,
+                normal: Vec3::UNIT_Y,
+            },
             mirror,
         ));
         let (c, stats) = trace_one(
             &s,
-            Ray::new(Point3::new(0.0, 1.0, 0.0), Vec3::new(1.0, -1.0, 0.0).normalized()),
+            Ray::new(
+                Point3::new(0.0, 1.0, 0.0),
+                Vec3::new(1.0, -1.0, 0.0).normalized(),
+            ),
         );
         // reflected ray flies off into the background
         assert!((c.g - 1.0).abs() < 1e-9);
@@ -251,11 +263,20 @@ mod tests {
     #[test]
     fn depth_zero_stops_recursion() {
         let s = {
-            let cam =
-                Camera::look_at(Point3::new(0.0, 0.0, 5.0), Point3::ZERO, Vec3::UNIT_Y, 60.0, 8, 8);
+            let cam = Camera::look_at(
+                Point3::new(0.0, 0.0, 5.0),
+                Point3::ZERO,
+                Vec3::UNIT_Y,
+                60.0,
+                8,
+                8,
+            );
             let mut s = Scene::new(cam);
             s.add_object(Object::new(
-                Geometry::Sphere { center: Point3::ZERO, radius: 1.0 },
+                Geometry::Sphere {
+                    center: Point3::ZERO,
+                    radius: 1.0,
+                },
                 Material::chrome(Color::WHITE),
             ));
             s
@@ -283,16 +304,29 @@ mod tests {
 
     #[test]
     fn recursion_depth_bounded_between_parallel_mirrors() {
-        let cam = Camera::look_at(Point3::new(0.0, 0.5, 5.0), Point3::ZERO, Vec3::UNIT_Y, 60.0, 8, 8);
+        let cam = Camera::look_at(
+            Point3::new(0.0, 0.5, 5.0),
+            Point3::ZERO,
+            Vec3::UNIT_Y,
+            60.0,
+            8,
+            8,
+        );
         let mut s = Scene::new(cam);
         let mut mirror = Material::matte(Color::BLACK);
         mirror.reflect = 1.0;
         s.add_object(Object::new(
-            Geometry::Plane { point: Point3::ZERO, normal: Vec3::UNIT_Y },
+            Geometry::Plane {
+                point: Point3::ZERO,
+                normal: Vec3::UNIT_Y,
+            },
             mirror.clone(),
         ));
         s.add_object(Object::new(
-            Geometry::Plane { point: Point3::new(0.0, 1.0, 0.0), normal: -Vec3::UNIT_Y },
+            Geometry::Plane {
+                point: Point3::new(0.0, 1.0, 0.0),
+                normal: -Vec3::UNIT_Y,
+            },
             mirror,
         ));
         let accel = GridAccel::build(&s);
@@ -328,11 +362,21 @@ mod tests {
         use crate::light::AreaLight;
         // a floor lit by an area light, with a blocker casting a shadow:
         // points in the penumbra see some but not all light samples
-        let cam = Camera::look_at(Point3::new(0.0, 3.0, 8.0), Point3::ZERO, Vec3::UNIT_Y, 60.0, 8, 8);
+        let cam = Camera::look_at(
+            Point3::new(0.0, 3.0, 8.0),
+            Point3::ZERO,
+            Vec3::UNIT_Y,
+            60.0,
+            8,
+            8,
+        );
         let mut s = Scene::new(cam);
         s.ambient = Color::BLACK;
         s.add_object(Object::new(
-            Geometry::Plane { point: Point3::ZERO, normal: Vec3::UNIT_Y },
+            Geometry::Plane {
+                point: Point3::ZERO,
+                normal: Vec3::UNIT_Y,
+            },
             Material::matte(Color::WHITE),
         ));
         // blocker hovering above
@@ -370,11 +414,21 @@ mod tests {
     #[test]
     fn spotlight_only_lights_its_cone() {
         use crate::light::SpotLight;
-        let cam = Camera::look_at(Point3::new(0.0, 3.0, 8.0), Point3::ZERO, Vec3::UNIT_Y, 60.0, 8, 8);
+        let cam = Camera::look_at(
+            Point3::new(0.0, 3.0, 8.0),
+            Point3::ZERO,
+            Vec3::UNIT_Y,
+            60.0,
+            8,
+            8,
+        );
         let mut s = Scene::new(cam);
         s.ambient = Color::BLACK;
         s.add_object(Object::new(
-            Geometry::Plane { point: Point3::ZERO, normal: Vec3::UNIT_Y },
+            Geometry::Plane {
+                point: Point3::ZERO,
+                normal: Vec3::UNIT_Y,
+            },
             Material::matte(Color::WHITE),
         ));
         s.add_light(SpotLight::new(
@@ -396,11 +450,21 @@ mod tests {
 
     #[test]
     fn glass_sphere_fires_transmitted_rays() {
-        let cam = Camera::look_at(Point3::new(0.0, 0.0, 5.0), Point3::ZERO, Vec3::UNIT_Y, 60.0, 8, 8);
+        let cam = Camera::look_at(
+            Point3::new(0.0, 0.0, 5.0),
+            Point3::ZERO,
+            Vec3::UNIT_Y,
+            60.0,
+            8,
+            8,
+        );
         let mut s = Scene::new(cam);
         s.background = Color::WHITE;
         s.add_object(Object::new(
-            Geometry::Sphere { center: Point3::ZERO, radius: 1.0 },
+            Geometry::Sphere {
+                center: Point3::ZERO,
+                radius: 1.0,
+            },
             Material::glass(),
         ));
         let accel = GridAccel::build(&s);

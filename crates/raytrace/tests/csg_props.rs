@@ -3,9 +3,12 @@
 
 use now_math::{Aabb, Interval, Point3, Ray, Vec3};
 use now_raytrace::{Csg, Geometry};
-use proptest::prelude::*;
+use now_testkit::{cases, Rng};
 
-const FULL: Interval = Interval { min: 1e-9, max: f64::INFINITY };
+const FULL: Interval = Interval {
+    min: 1e-9,
+    max: f64::INFINITY,
+};
 
 /// Point-membership oracle (independent of the span algebra under test).
 fn inside(csg: &Csg, p: Point3) -> bool {
@@ -20,7 +23,7 @@ fn inside(csg: &Csg, p: Point3) -> bool {
                 let q = (p.x * p.x + p.z * p.z).sqrt() - major;
                 q * q + p.y * p.y <= minor * minor
             }
-            _ => unreachable!("strategy only generates the solids above"),
+            _ => unreachable!("generator only produces the solids above"),
         },
         Csg::Union(a, b) => inside(a, p) || inside(b, p),
         Csg::Intersection(a, b) => inside(a, p) && inside(b, p),
@@ -28,71 +31,92 @@ fn inside(csg: &Csg, p: Point3) -> bool {
     }
 }
 
-fn leaf() -> impl Strategy<Value = Csg> {
-    prop_oneof![
-        ((-1.5..1.5f64, -1.5..1.5f64, -1.5..1.5f64), 0.4..1.4f64).prop_map(|(c, r)| {
-            Csg::Solid(Geometry::Sphere { center: Point3::new(c.0, c.1, c.2), radius: r })
+fn leaf(rng: &mut Rng) -> Csg {
+    match rng.usize_in(0, 4) {
+        0 => Csg::Solid(Geometry::Sphere {
+            center: Point3::new(
+                rng.f64_in(-1.5, 1.5),
+                rng.f64_in(-1.5, 1.5),
+                rng.f64_in(-1.5, 1.5),
+            ),
+            radius: rng.f64_in(0.4, 1.4),
         }),
-        ((-1.5..0.0f64, -1.5..0.0f64, -1.5..0.0f64), (0.3..1.5f64, 0.3..1.5f64, 0.3..1.5f64))
-            .prop_map(|(mn, ext)| {
-                let min = Point3::new(mn.0, mn.1, mn.2);
-                Csg::Solid(Geometry::Cuboid {
-                    min,
-                    max: min + Vec3::new(ext.0, ext.1, ext.2),
-                })
-            }),
-        (0.3..1.2f64, -1.5..0.0f64, 0.3..1.5f64).prop_map(|(r, y0, h)| {
-            Csg::Solid(Geometry::Cylinder { radius: r, y0, y1: y0 + h, capped: true })
+        1 => {
+            let min = Point3::new(
+                rng.f64_in(-1.5, 0.0),
+                rng.f64_in(-1.5, 0.0),
+                rng.f64_in(-1.5, 0.0),
+            );
+            let ext = Vec3::new(
+                rng.f64_in(0.3, 1.5),
+                rng.f64_in(0.3, 1.5),
+                rng.f64_in(0.3, 1.5),
+            );
+            Csg::Solid(Geometry::Cuboid {
+                min,
+                max: min + ext,
+            })
+        }
+        2 => {
+            let y0 = rng.f64_in(-1.5, 0.0);
+            Csg::Solid(Geometry::Cylinder {
+                radius: rng.f64_in(0.3, 1.2),
+                y0,
+                y1: y0 + rng.f64_in(0.3, 1.5),
+                capped: true,
+            })
+        }
+        _ => Csg::Solid(Geometry::Torus {
+            major: rng.f64_in(0.8, 1.6),
+            minor: rng.f64_in(0.15, 0.5),
         }),
-        (0.8..1.6f64, 0.15..0.5f64).prop_map(|(major, minor)| {
-            Csg::Solid(Geometry::Torus { major, minor })
-        }),
-    ]
+    }
 }
 
-fn csg_tree() -> impl Strategy<Value = Csg> {
-    leaf().prop_recursive(3, 8, 2, |inner| {
-        (inner.clone(), inner, 0..3u8).prop_map(|(a, b, op)| match op {
-            0 => Csg::union(a, b),
-            1 => Csg::intersection(a, b),
-            _ => Csg::difference(a, b),
-        })
-    })
+fn csg_tree(rng: &mut Rng, depth: usize) -> Csg {
+    if depth == 0 || rng.usize_in(0, 3) == 0 {
+        return leaf(rng);
+    }
+    let a = csg_tree(rng, depth - 1);
+    let b = csg_tree(rng, depth - 1);
+    match rng.usize_in(0, 3) {
+        0 => Csg::union(a, b),
+        1 => Csg::intersection(a, b),
+        _ => Csg::difference(a, b),
+    }
 }
 
-fn probe_ray() -> impl Strategy<Value = Ray> {
-    (
-        (-5.0..5.0f64, -5.0..5.0f64, 3.0..6.0f64),
-        (-1.0..1.0f64, -1.0..1.0f64),
-    )
-        .prop_map(|(o, t)| {
-            let origin = Point3::new(o.0, o.1, o.2);
-            let target = Point3::new(t.0, t.1, 0.0);
-            Ray::new(origin, (target - origin).normalized())
-        })
+fn probe_ray(rng: &mut Rng) -> Ray {
+    let origin = Point3::new(
+        rng.f64_in(-5.0, 5.0),
+        rng.f64_in(-5.0, 5.0),
+        rng.f64_in(3.0, 6.0),
+    );
+    let target = Point3::new(rng.f64_in(-1.0, 1.0), rng.f64_in(-1.0, 1.0), 0.0);
+    Ray::new(origin, (target - origin).normalized())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(300))]
-
-    /// Every reported hit is a genuine inside/outside transition, and a
-    /// reported miss means the ray truly never enters the solid.
-    #[test]
-    fn csg_hits_are_boundaries_and_misses_are_empty(expr in csg_tree(), ray in probe_ray()) {
+/// Every reported hit is a genuine inside/outside transition, and a
+/// reported miss means the ray truly never enters the solid.
+#[test]
+fn csg_hits_are_boundaries_and_misses_are_empty() {
+    cases(300, |rng| {
+        let expr = csg_tree(rng, 3);
+        let ray = probe_ray(rng);
         match expr.intersect(&ray, FULL) {
             Some(h) => {
-                prop_assert!(h.t > 0.0);
+                assert!(h.t > 0.0);
                 let before = inside(&expr, ray.at(h.t - 1e-6));
                 let after = inside(&expr, ray.at(h.t + 1e-6));
                 // skip razor-thin tangencies where both probes land outside
                 if before != after {
-                    prop_assert!((h.normal.length() - 1.0).abs() < 1e-6);
+                    assert!((h.normal.length() - 1.0).abs() < 1e-6);
                 }
                 // no inside point strictly before the first hit
                 let mut k = 1;
                 while (k as f64) * 0.05 < h.t - 1e-3 {
                     let p = ray.at(k as f64 * 0.05);
-                    prop_assert!(
+                    assert!(
                         !inside(&expr, p),
                         "point {p} inside before first hit at t={}",
                         h.t
@@ -103,24 +127,26 @@ proptest! {
             None => {
                 for k in 1..200 {
                     let p = ray.at(k as f64 * 0.06);
-                    prop_assert!(!inside(&expr, p), "missed but {p} is inside");
+                    assert!(!inside(&expr, p), "missed but {p} is inside");
                 }
             }
         }
-    }
+    });
+}
 
-    /// CSG bounds contain every inside point (sampled).
-    #[test]
-    fn csg_bounds_are_conservative(
-        expr in csg_tree(),
-        sx in -3.0..3.0f64,
-        sy in -3.0..3.0f64,
-        sz in -3.0..3.0f64,
-    ) {
-        let p = Point3::new(sx, sy, sz);
+/// CSG bounds contain every inside point (sampled).
+#[test]
+fn csg_bounds_are_conservative() {
+    cases(300, |rng| {
+        let expr = csg_tree(rng, 3);
+        let p = Point3::new(
+            rng.f64_in(-3.0, 3.0),
+            rng.f64_in(-3.0, 3.0),
+            rng.f64_in(-3.0, 3.0),
+        );
         if inside(&expr, p) {
             let b = expr.local_aabb().expect("bounded solids only");
-            prop_assert!(b.expand(1e-9).contains(p), "{p} outside bounds {b:?}");
+            assert!(b.expand(1e-9).contains(p), "{p} outside bounds {b:?}");
         }
-    }
+    });
 }

@@ -3,63 +3,89 @@
 
 use now_math::{Color, Point3};
 use now_raytrace::Texture;
-use proptest::prelude::*;
+use now_testkit::{cases, Rng};
 
-fn point() -> impl Strategy<Value = Point3> {
-    (-50.0..50.0f64, -50.0..50.0f64, -50.0..50.0f64)
-        .prop_map(|(x, y, z)| Point3::new(x, y, z))
+fn point(rng: &mut Rng) -> Point3 {
+    Point3::new(
+        rng.f64_in(-50.0, 50.0),
+        rng.f64_in(-50.0, 50.0),
+        rng.f64_in(-50.0, 50.0),
+    )
 }
 
-fn unit_color() -> impl Strategy<Value = Color> {
-    (0.0..1.0f64, 0.0..1.0f64, 0.0..1.0f64).prop_map(|(r, g, b)| Color::new(r, g, b))
+fn unit_color(rng: &mut Rng) -> Color {
+    Color::new(rng.unit_f64(), rng.unit_f64(), rng.unit_f64())
 }
 
-fn any_texture() -> impl Strategy<Value = Texture> {
-    prop_oneof![
-        unit_color().prop_map(Texture::Solid),
-        (unit_color(), unit_color(), 0.1..5.0f64)
-            .prop_map(|(a, b, scale)| Texture::Checker { a, b, scale }),
-        (unit_color(), unit_color(), 0.3..3.0f64, 0.1..1.5f64, 0.01..0.2f64).prop_map(
-            |(brick, mortar, width, height, joint)| Texture::Brick {
-                brick,
-                mortar,
-                width,
-                height,
-                joint
+fn any_texture(rng: &mut Rng) -> Texture {
+    match rng.usize_in(0, 6) {
+        0 => Texture::Solid(unit_color(rng)),
+        1 => Texture::Checker {
+            a: unit_color(rng),
+            b: unit_color(rng),
+            scale: rng.f64_in(0.1, 5.0),
+        },
+        2 => Texture::Brick {
+            brick: unit_color(rng),
+            mortar: unit_color(rng),
+            width: rng.f64_in(0.3, 3.0),
+            height: rng.f64_in(0.1, 1.5),
+            joint: rng.f64_in(0.01, 0.2),
+        },
+        3 => Texture::Marble {
+            a: unit_color(rng),
+            b: unit_color(rng),
+            frequency: rng.f64_in(0.2, 4.0),
+        },
+        4 => Texture::Wood {
+            light: unit_color(rng),
+            dark: unit_color(rng),
+            rings: rng.f64_in(0.5, 8.0),
+            wobble: rng.f64_in(0.0, 0.6),
+        },
+        _ => {
+            let y0 = rng.f64_in(-5.0, 0.0);
+            Texture::GradientY {
+                bottom: unit_color(rng),
+                top: unit_color(rng),
+                y0,
+                y1: y0 + rng.f64_in(0.1, 5.0),
             }
-        ),
-        (unit_color(), unit_color(), 0.2..4.0f64)
-            .prop_map(|(a, b, frequency)| Texture::Marble { a, b, frequency }),
-        (unit_color(), unit_color(), 0.5..8.0f64, 0.0..0.6f64).prop_map(
-            |(light, dark, rings, wobble)| Texture::Wood { light, dark, rings, wobble }
-        ),
-        (unit_color(), unit_color(), -5.0..0.0f64, 0.1..5.0f64)
-            .prop_map(|(bottom, top, y0, dy)| Texture::GradientY { bottom, top, y0, y1: y0 + dy }),
-    ]
-}
-
-proptest! {
-    /// Textures are pure functions of position.
-    #[test]
-    fn textures_are_deterministic(t in any_texture(), p in point()) {
-        prop_assert_eq!(t.eval(p).to_u8(), t.eval(p).to_u8());
-    }
-
-    /// With unit-range input colors, every texture stays within [0, 1] per
-    /// channel (interpolating patterns cannot overshoot).
-    #[test]
-    fn textures_stay_in_gamut(t in any_texture(), p in point()) {
-        let c = t.eval(p);
-        prop_assert!(c.is_finite());
-        for v in [c.r, c.g, c.b] {
-            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&v), "channel {v}");
         }
     }
+}
 
-    /// Every texture's output is one of (or between) its two defining
-    /// colors — channel-wise within the min/max envelope.
-    #[test]
-    fn textures_interpolate_their_palette(t in any_texture(), p in point()) {
+/// Textures are pure functions of position.
+#[test]
+fn textures_are_deterministic() {
+    cases(256, |rng| {
+        let t = any_texture(rng);
+        let p = point(rng);
+        assert_eq!(t.eval(p).to_u8(), t.eval(p).to_u8());
+    });
+}
+
+/// With unit-range input colors, every texture stays within [0, 1] per
+/// channel (interpolating patterns cannot overshoot).
+#[test]
+fn textures_stay_in_gamut() {
+    cases(256, |rng| {
+        let t = any_texture(rng);
+        let c = t.eval(point(rng));
+        assert!(c.is_finite());
+        for v in [c.r, c.g, c.b] {
+            assert!((-1e-9..=1.0 + 1e-9).contains(&v), "channel {v}");
+        }
+    });
+}
+
+/// Every texture's output is one of (or between) its two defining
+/// colors — channel-wise within the min/max envelope.
+#[test]
+fn textures_interpolate_their_palette() {
+    cases(256, |rng| {
+        let t = any_texture(rng);
+        let p = point(rng);
         let (a, b) = match &t {
             Texture::Solid(c) => (*c, *c),
             Texture::Checker { a, b, .. } => (*a, *b),
@@ -74,20 +100,26 @@ proptest! {
             (c.g, (a.g.min(b.g), a.g.max(b.g))),
             (c.b, (a.b.min(b.b), a.b.max(b.b))),
         ] {
-            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{v} outside [{lo}, {hi}]");
+            assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{v} outside [{lo}, {hi}]");
         }
-    }
+    });
+}
 
-    /// Checker is periodic with period 2*scale along each axis.
-    #[test]
-    fn checker_is_periodic(
-        a in unit_color(),
-        b in unit_color(),
-        scale in 0.1..3.0f64,
-        p in point(),
-    ) {
-        let t = Texture::Checker { a, b, scale };
+/// Checker is periodic with period 2*scale along each axis.
+#[test]
+fn checker_is_periodic() {
+    cases(256, |rng| {
+        let t = Texture::Checker {
+            a: unit_color(rng),
+            b: unit_color(rng),
+            scale: rng.f64_in(0.1, 3.0),
+        };
+        let p = point(rng);
+        let scale = match t {
+            Texture::Checker { scale, .. } => scale,
+            _ => unreachable!(),
+        };
         let shifted = Point3::new(p.x + 2.0 * scale, p.y, p.z);
-        prop_assert_eq!(t.eval(p).to_u8(), t.eval(shifted).to_u8());
-    }
+        assert_eq!(t.eval(p).to_u8(), t.eval(shifted).to_u8());
+    });
 }

@@ -5,14 +5,13 @@
 //!
 //! Run with: `cargo run --release --example csg_showcase`
 
+use now_math::{Color, Point3, Vec3};
 use nowrender::anim::{Animation, Track};
 use nowrender::coherence::CoherentRenderer;
 use nowrender::grid::GridSpec;
 use nowrender::raytrace::{
-    image_io, AreaLight, Camera, Csg, Geometry, Material, Object, RenderSettings, Scene,
-    Texture,
+    image_io, AreaLight, Camera, Csg, Geometry, Material, Object, RenderSettings, Scene, Texture,
 };
-use now_math::{Color, Point3, Vec3};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -35,7 +34,10 @@ fn scene() -> Scene {
     // checkered floor
     s.add_object(
         Object::new(
-            Geometry::Plane { point: Point3::ZERO, normal: Vec3::UNIT_Y },
+            Geometry::Plane {
+                point: Point3::ZERO,
+                normal: Vec3::UNIT_Y,
+            },
             Material {
                 texture: Texture::Checker {
                     a: Color::gray(0.3),
@@ -56,13 +58,21 @@ fn scene() -> Scene {
                 min: Point3::new(-0.7, 0.0, -0.7),
                 max: Point3::new(0.7, 1.4, 0.7),
             }),
-            solid(Geometry::Sphere { center: Point3::new(0.0, 0.7, 0.0), radius: 0.95 }),
+            solid(Geometry::Sphere {
+                center: Point3::new(0.0, 0.7, 0.0),
+                radius: 0.95,
+            }),
         ),
-        solid(Geometry::Sphere { center: Point3::new(0.0, 0.7, 0.85), radius: 0.3 }),
+        solid(Geometry::Sphere {
+            center: Point3::new(0.0, 0.7, 0.85),
+            radius: 0.3,
+        }),
     );
     s.add_object(
         Object::new(
-            Geometry::CsgNode { node: Arc::new(die) },
+            Geometry::CsgNode {
+                node: Arc::new(die),
+            },
             Material::plastic(Color::new(0.85, 0.25, 0.2)),
         )
         .named("die")
@@ -71,12 +81,20 @@ fn scene() -> Scene {
 
     // a glass lens: intersection of two spheres
     let lens = Csg::intersection(
-        solid(Geometry::Sphere { center: Point3::new(-0.45, 0.0, 0.0), radius: 0.9 }),
-        solid(Geometry::Sphere { center: Point3::new(0.45, 0.0, 0.0), radius: 0.9 }),
+        solid(Geometry::Sphere {
+            center: Point3::new(-0.45, 0.0, 0.0),
+            radius: 0.9,
+        }),
+        solid(Geometry::Sphere {
+            center: Point3::new(0.45, 0.0, 0.0),
+            radius: 0.9,
+        }),
     );
     s.add_object(
         Object::new(
-            Geometry::CsgNode { node: Arc::new(lens) },
+            Geometry::CsgNode {
+                node: Arc::new(lens),
+            },
             Material::glass(),
         )
         .named("lens")
@@ -85,7 +103,12 @@ fn scene() -> Scene {
 
     // a half-pipe: cylinder minus a box, with a torus ring resting in it
     let pipe = Csg::difference(
-        solid(Geometry::Cylinder { radius: 1.0, y0: -2.0, y1: 2.0, capped: true }),
+        solid(Geometry::Cylinder {
+            radius: 1.0,
+            y0: -2.0,
+            y1: 2.0,
+            capped: true,
+        }),
         solid(Geometry::Cuboid {
             min: Point3::new(-1.1, -2.1, 0.0),
             max: Point3::new(1.1, 2.1, 1.1),
@@ -93,7 +116,9 @@ fn scene() -> Scene {
     );
     s.add_object(
         Object::new(
-            Geometry::CsgNode { node: Arc::new(pipe) },
+            Geometry::CsgNode {
+                node: Arc::new(pipe),
+            },
             Material::chrome(Color::new(0.85, 0.9, 1.0)),
         )
         .named("pipe")
@@ -104,7 +129,10 @@ fn scene() -> Scene {
     );
     s.add_object(
         Object::new(
-            Geometry::Torus { major: 0.45, minor: 0.12 },
+            Geometry::Torus {
+                major: 0.45,
+                minor: 0.12,
+            },
             Material::plastic(Color::new(0.2, 0.5, 0.85)),
         )
         .named("ring")

@@ -38,14 +38,27 @@ fn main() -> std::io::Result<()> {
     )?;
 
     let total = (w * h) as f64;
-    println!("Fig 2(a) actual changed pixels:   {:6} ({:.1}%)", maps.actual_count(),
-        100.0 * maps.actual_count() as f64 / total);
-    println!("Fig 2(b) predicted dirty pixels:  {:6} ({:.1}%)", maps.predicted_count(),
-        100.0 * maps.predicted_count() as f64 / total);
-    println!("over-prediction factor:           {:.2}x", maps.overprediction());
+    println!(
+        "Fig 2(a) actual changed pixels:   {:6} ({:.1}%)",
+        maps.actual_count(),
+        100.0 * maps.actual_count() as f64 / total
+    );
+    println!(
+        "Fig 2(b) predicted dirty pixels:  {:6} ({:.1}%)",
+        maps.predicted_count(),
+        100.0 * maps.predicted_count() as f64 / total
+    );
+    println!(
+        "over-prediction factor:           {:.2}x",
+        maps.overprediction()
+    );
     println!(
         "conservative (predicted ⊇ actual): {}",
-        if maps.is_conservative() { "YES" } else { "NO — BUG" }
+        if maps.is_conservative() {
+            "YES"
+        } else {
+            "NO — BUG"
+        }
     );
     assert!(maps.is_conservative());
     println!("wrote glassball_frame*.tga and glassball_fig2*.pgm to out/");

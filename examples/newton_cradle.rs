@@ -7,11 +7,11 @@
 //! where `size` is `WIDTHxHEIGHT` (default 160x120 to keep the example
 //! quick; the paper used 320x240).
 
+use now_math::Color;
 use nowrender::anim::scenes::newton;
 use nowrender::cluster::SimCluster;
 use nowrender::core::{run_sim, FarmConfig, PartitionScheme};
 use nowrender::raytrace::{image_io, Framebuffer};
-use now_math::Color;
 use std::path::Path;
 
 fn main() -> std::io::Result<()> {

@@ -16,7 +16,11 @@ fn main() {
     let schemes: Vec<(&str, PartitionScheme, bool)> = vec![
         (
             "frame division, no coherence",
-            PartitionScheme::FrameDivision { tile_w: 40, tile_h: 40, adaptive: true },
+            PartitionScheme::FrameDivision {
+                tile_w: 40,
+                tile_h: 40,
+                adaptive: true,
+            },
             false,
         ),
         (
@@ -26,12 +30,20 @@ fn main() {
         ),
         (
             "frame division + coherence",
-            PartitionScheme::FrameDivision { tile_w: 40, tile_h: 40, adaptive: true },
+            PartitionScheme::FrameDivision {
+                tile_w: 40,
+                tile_h: 40,
+                adaptive: true,
+            },
             true,
         ),
         (
             "hybrid (40x40 x 5 frames) + coherence",
-            PartitionScheme::Hybrid { tile_w: 40, tile_h: 40, subseq: 5 },
+            PartitionScheme::Hybrid {
+                tile_w: 40,
+                tile_h: 40,
+                subseq: 5,
+            },
             true,
         ),
     ];
@@ -53,8 +65,7 @@ fn main() {
             keep_frames: false,
         };
         let r = run_sim(&anim, &cfg, &cluster);
-        let util = 100.0
-            * r.report.machines.iter().map(|m| m.busy_s).sum::<f64>()
+        let util = 100.0 * r.report.machines.iter().map(|m| m.busy_s).sum::<f64>()
             / (r.report.makespan_s * r.report.machines.len() as f64);
         println!(
             "{:<40} {:>10.1} {:>12} {:>8} {:>7.0}%",
@@ -66,7 +77,11 @@ fn main() {
         );
         let b = *baseline.get_or_insert(r.report.makespan_s);
         if b != r.report.makespan_s {
-            println!("{:<40} {:>9.2}x speedup vs first row", "", b / r.report.makespan_s);
+            println!(
+                "{:<40} {:>9.2}x speedup vs first row",
+                "",
+                b / r.report.makespan_s
+            );
         }
         // all schemes must produce identical images
         match &hashes {

@@ -16,17 +16,15 @@
 //!                                           (newton | glassball | orbit)
 //! ```
 
+use now_math::Color;
 use nowrender::anim::parse::parse_animation;
 use nowrender::anim::scenes::{glassball, newton, orbit};
 use nowrender::anim::Animation;
 use nowrender::cluster::{MachineSpec, SimCluster};
 use nowrender::coherence::CoherentRenderer;
-use nowrender::core::{
-    run_sim, run_threads, CostModel, FarmConfig, PartitionScheme,
-};
+use nowrender::core::{run_sim, run_threads, CostModel, FarmConfig, PartitionScheme};
 use nowrender::grid::GridSpec;
 use nowrender::raytrace::{image_io, Framebuffer, RenderSettings};
-use now_math::Color;
 use std::path::{Path, PathBuf};
 use std::process::exit;
 
@@ -51,8 +49,7 @@ fn main() {
 type CliResult = Result<(), String>;
 
 fn load_animation(path: &str) -> Result<Animation, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     parse_animation(&text).map_err(|e| format!("{path}: {e}"))
 }
 
@@ -77,7 +74,11 @@ fn cmd_info(args: &[String]) -> CliResult {
     let path = args.first().ok_or("info needs a scene file")?;
     let anim = load_animation(path)?;
     println!("scene file: {path}");
-    println!("  resolution: {}x{}", anim.base.camera.width(), anim.base.camera.height());
+    println!(
+        "  resolution: {}x{}",
+        anim.base.camera.width(),
+        anim.base.camera.height()
+    );
     println!("  frames:     {}", anim.frames);
     println!("  objects:    {}", anim.base.objects.len());
     for o in &anim.base.objects {
@@ -100,7 +101,9 @@ fn cmd_render(args: &[String]) -> CliResult {
     let (w, h) = (anim.base.camera.width(), anim.base.camera.height());
     let spec = GridSpec::for_scene(anim.swept_bounds(), 24 * 24 * 24);
 
-    let block: u32 = flag_value(args, "--block").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let block: u32 = flag_value(args, "--block")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
     let coherent = !has_flag(args, "--plain");
 
     let t0 = std::time::Instant::now();
@@ -235,7 +238,9 @@ fn cmd_farm(args: &[String]) -> CliResult {
 }
 
 fn cmd_demo(args: &[String]) -> CliResult {
-    let name = args.first().ok_or("demo needs a name: newton | glassball | orbit")?;
+    let name = args
+        .first()
+        .ok_or("demo needs a name: newton | glassball | orbit")?;
     let frames: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(10);
     let (w, h) = args
         .get(2)

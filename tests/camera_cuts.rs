@@ -6,6 +6,7 @@
 //! segmentation API, the incremental renderer, and the farm, and verify
 //! everything stays byte-exact.
 
+use now_math::{Point3, Vec3};
 use nowrender::anim::scenes::glassball;
 use nowrender::anim::{Animation, Segment};
 use nowrender::cluster::SimCluster;
@@ -16,7 +17,6 @@ use nowrender::grid::GridSpec;
 use nowrender::raytrace::{
     render_frame, Camera, GridAccel, NullListener, RayStats, RenderSettings,
 };
-use now_math::{Point3, Vec3};
 
 const W: u32 = 40;
 const H: u32 = 30;
@@ -54,7 +54,13 @@ fn segmentation_splits_at_the_cut() {
     let anim = cut_animation();
     assert_eq!(
         anim.segments(),
-        vec![Segment { start: 0, end: 3 }, Segment { start: 3, end: FRAMES }]
+        vec![
+            Segment { start: 0, end: 3 },
+            Segment {
+                start: 3,
+                end: FRAMES
+            }
+        ]
     );
 }
 
@@ -81,7 +87,11 @@ fn farm_renders_across_the_cut_exactly() {
     let spec = GridSpec::for_scene(anim.swept_bounds(), 4096);
     for scheme in [
         PartitionScheme::SequenceDivision { adaptive: true },
-        PartitionScheme::FrameDivision { tile_w: 20, tile_h: 15, adaptive: true },
+        PartitionScheme::FrameDivision {
+            tile_w: 20,
+            tile_h: 15,
+            adaptive: true,
+        },
     ] {
         let cfg = FarmConfig {
             scheme,

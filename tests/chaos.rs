@@ -1,0 +1,147 @@
+//! Chaos regression: the render farm must survive injected worker
+//! failures on both backends and still produce byte-identical frames.
+//!
+//! The reference is a fault-free single-worker run — the strictest
+//! possible oracle, because coherence restarts forced by reassignment
+//! must not change a single pixel (the coherence algorithm is exact).
+
+use nowrender::anim::scenes::newton;
+use nowrender::cluster::{FaultPlan, MachineSpec, RecoveryConfig, SimCluster, ThreadCluster};
+use nowrender::core::{run_sim, run_threads_on, CostModel, FarmConfig, PartitionScheme};
+use nowrender::raytrace::RenderSettings;
+
+const W: u32 = 40;
+const H: u32 = 30;
+const FRAMES: usize = 8;
+
+fn cfg() -> FarmConfig {
+    FarmConfig {
+        scheme: PartitionScheme::FrameDivision {
+            tile_w: 20,
+            tile_h: 15,
+            adaptive: true,
+        },
+        coherence: true,
+        settings: RenderSettings::default(),
+        cost: CostModel::default(),
+        grid_voxels: 4096,
+        keep_frames: false,
+    }
+}
+
+/// Fault-free single-worker reference hashes for the Newton scene.
+fn reference_hashes() -> Vec<u64> {
+    let anim = newton::animation_sized(W, H, FRAMES);
+    let cluster = SimCluster::new(vec![MachineSpec::new("ref", 1.0, 64.0)]);
+    let result = run_sim(&anim, &cfg(), &cluster);
+    result.frame_hashes
+}
+
+#[test]
+fn sim_worker_crash_preserves_every_frame_byte() {
+    let anim = newton::animation_sized(W, H, FRAMES);
+    let mut cluster = SimCluster::paper();
+    cluster.faults = FaultPlan::none().crash_at(1, 5);
+    cluster.recovery = RecoveryConfig {
+        lease_timeout_s: 30.0,
+        backoff: 2.0,
+        max_worker_failures: 1,
+    };
+    let result = run_sim(&anim, &cfg(), &cluster);
+
+    assert_eq!(result.frame_hashes.len(), FRAMES, "all frames finalized");
+    assert_eq!(
+        result.frame_hashes,
+        reference_hashes(),
+        "reassigned units must not change a single pixel"
+    );
+    assert!(
+        result.report.units_reassigned >= 1,
+        "the in-flight unit was re-issued"
+    );
+    assert_eq!(result.report.workers_lost, 1);
+    assert!(result.report.machines[1].lost);
+}
+
+#[test]
+fn sim_stalled_and_slow_workers_preserve_every_frame_byte() {
+    let anim = newton::animation_sized(W, H, FRAMES);
+    let mut cluster = SimCluster::paper();
+    // machine 1 wedges on its 3rd unit; machine 2 turns 50x slower, which
+    // shifts nearly all remaining work onto the survivors
+    cluster.faults = FaultPlan::none().stall_at(1, 2).slow_from(2, 1, 50.0);
+    cluster.recovery = RecoveryConfig {
+        lease_timeout_s: 20.0,
+        backoff: 2.0,
+        max_worker_failures: 1,
+    };
+    let result = run_sim(&anim, &cfg(), &cluster);
+
+    assert_eq!(result.frame_hashes, reference_hashes());
+    assert!(
+        result.report.units_reassigned >= 1,
+        "the stalled unit was re-issued"
+    );
+    assert!(
+        result.report.workers_lost >= 1,
+        "the stalled machine is excluded"
+    );
+}
+
+#[test]
+fn sim_faulty_timeline_is_deterministic() {
+    let anim = newton::animation_sized(W, H, FRAMES);
+    let mut cluster = SimCluster::paper();
+    cluster.faults = FaultPlan::none().crash_at(2, 3);
+    cluster.recovery = RecoveryConfig::with_lease(25.0);
+    let a = run_sim(&anim, &cfg(), &cluster);
+    let b = run_sim(&anim, &cfg(), &cluster);
+    assert_eq!(a.frame_hashes, b.frame_hashes);
+    assert_eq!(
+        a.report, b.report,
+        "faulty virtual timeline must be deterministic"
+    );
+}
+
+#[test]
+fn threads_worker_crash_preserves_every_frame_byte() {
+    let anim = newton::animation_sized(W, H, FRAMES);
+    let mut cluster = ThreadCluster::new(3);
+    cluster.faults = FaultPlan::none().crash_at(1, 4);
+    cluster.recovery = RecoveryConfig {
+        lease_timeout_s: 2.0,
+        backoff: 2.0,
+        max_worker_failures: 1,
+    };
+    let result = run_threads_on(&anim, &cfg(), &cluster);
+
+    assert_eq!(result.frame_hashes.len(), FRAMES);
+    assert_eq!(
+        result.frame_hashes,
+        reference_hashes(),
+        "thread backend must recover to byte-identical frames"
+    );
+    assert_eq!(result.report.workers_lost, 1);
+    assert!(result.report.units_reassigned >= 1);
+}
+
+#[test]
+fn threads_stalled_worker_completes_within_lease_budget() {
+    let anim = newton::animation_sized(W, H, FRAMES);
+    let mut cluster = ThreadCluster::new(3);
+    cluster.faults = FaultPlan::none().stall_at(2, 1);
+    cluster.recovery = RecoveryConfig {
+        lease_timeout_s: 1.0,
+        backoff: 2.0,
+        max_worker_failures: 1,
+    };
+    let t0 = std::time::Instant::now();
+    let result = run_threads_on(&anim, &cfg(), &cluster);
+    let wall = t0.elapsed().as_secs_f64();
+
+    assert_eq!(result.frame_hashes, reference_hashes());
+    assert_eq!(result.report.workers_lost, 1);
+    assert!(result.report.machines[2].lost);
+    // one 1 s lease expiry plus the survivors' rendering: far from a hang
+    assert!(wall < 60.0, "stall recovery took {wall:.1}s");
+}

@@ -12,7 +12,11 @@ use nowrender::raytrace::{image_io, RenderSettings};
 fn sim_runs_are_bit_identical() {
     let anim = newton::animation_sized(40, 30, 4);
     let cfg = FarmConfig {
-        scheme: PartitionScheme::FrameDivision { tile_w: 20, tile_h: 15, adaptive: true },
+        scheme: PartitionScheme::FrameDivision {
+            tile_w: 20,
+            tile_h: 15,
+            adaptive: true,
+        },
         coherence: true,
         settings: RenderSettings::default(),
         cost: CostModel::default(),

@@ -7,7 +7,7 @@ use nowrender::anim::scenes::{glassball, newton};
 use nowrender::cluster::{MachineSpec, SimCluster};
 use nowrender::core::farm::frame_hash;
 use nowrender::core::{
-    run_sim, run_threads, render_sequence, CostModel, FarmConfig, PartitionScheme, SequenceMode,
+    render_sequence, run_sim, run_threads, CostModel, FarmConfig, PartitionScheme, SequenceMode,
     SingleMachine,
 };
 use nowrender::raytrace::RenderSettings;
@@ -50,19 +50,43 @@ fn all_schemes_and_backends_agree_on_newton() {
     let cluster = SimCluster::paper();
 
     let schemes = [
-        ("seq-div", PartitionScheme::SequenceDivision { adaptive: true }, true),
-        ("seq-div-static", PartitionScheme::SequenceDivision { adaptive: false }, true),
+        (
+            "seq-div",
+            PartitionScheme::SequenceDivision { adaptive: true },
+            true,
+        ),
+        (
+            "seq-div-static",
+            PartitionScheme::SequenceDivision { adaptive: false },
+            true,
+        ),
         (
             "frame-div",
-            PartitionScheme::FrameDivision { tile_w: 16, tile_h: 12, adaptive: true },
+            PartitionScheme::FrameDivision {
+                tile_w: 16,
+                tile_h: 12,
+                adaptive: true,
+            },
             true,
         ),
         (
             "frame-div-plain",
-            PartitionScheme::FrameDivision { tile_w: 16, tile_h: 12, adaptive: true },
+            PartitionScheme::FrameDivision {
+                tile_w: 16,
+                tile_h: 12,
+                adaptive: true,
+            },
             false,
         ),
-        ("hybrid", PartitionScheme::Hybrid { tile_w: 24, tile_h: 18, subseq: 2 }, true),
+        (
+            "hybrid",
+            PartitionScheme::Hybrid {
+                tile_w: 24,
+                tile_h: 18,
+                subseq: 2,
+            },
+            true,
+        ),
     ];
     for (name, scheme, coh) in schemes {
         let r = run_sim(&anim, &base_cfg(scheme, coh), &cluster);
@@ -73,7 +97,11 @@ fn all_schemes_and_backends_agree_on_newton() {
     let r = run_threads(
         &anim,
         &base_cfg(
-            PartitionScheme::FrameDivision { tile_w: 16, tile_h: 12, adaptive: true },
+            PartitionScheme::FrameDivision {
+                tile_w: 16,
+                tile_h: 12,
+                adaptive: true,
+            },
             true,
         ),
         3,
@@ -87,10 +115,20 @@ fn coherent_single_equals_plain_single_on_glassball() {
     let settings = RenderSettings::default();
     let cost = CostModel::default();
     let (plain, pr) = render_sequence(
-        &anim, &settings, &cost, SequenceMode::Plain, SingleMachine::unit(), 4096,
+        &anim,
+        &settings,
+        &cost,
+        SequenceMode::Plain,
+        SingleMachine::unit(),
+        4096,
     );
     let (coh, cr) = render_sequence(
-        &anim, &settings, &cost, SequenceMode::Coherent, SingleMachine::unit(), 4096,
+        &anim,
+        &settings,
+        &cost,
+        SequenceMode::Coherent,
+        SingleMachine::unit(),
+        4096,
     );
     for (i, (a, b)) in plain.iter().zip(coh.iter()).enumerate() {
         assert!(a.same_image(b), "frame {i} differs");
@@ -118,7 +156,14 @@ fn unusual_cluster_shapes_still_correct() {
     );
     let r = run_sim(
         &anim,
-        &base_cfg(PartitionScheme::FrameDivision { tile_w: 12, tile_h: 12, adaptive: true }, true),
+        &base_cfg(
+            PartitionScheme::FrameDivision {
+                tile_w: 12,
+                tile_h: 12,
+                adaptive: true,
+            },
+            true,
+        ),
         &many,
     );
     assert_eq!(r.frame_hashes, expected);
@@ -152,7 +197,10 @@ fn soft_shadows_keep_coherence_exact() {
     ));
     scene.add_object(
         Object::new(
-            Geometry::Sphere { center: Point3::new(-1.5, 1.3, 0.0), radius: 0.5 },
+            Geometry::Sphere {
+                center: Point3::new(-1.5, 1.3, 0.0),
+                radius: 0.5,
+            },
             Material::plastic(Color::new(0.8, 0.3, 0.3)),
         )
         .named("blocker"),
@@ -174,10 +222,20 @@ fn soft_shadows_keep_coherence_exact() {
     let settings = RenderSettings::default();
     let cost = CostModel::default();
     let (plain, _) = render_sequence(
-        &anim, &settings, &cost, SequenceMode::Plain, SingleMachine::unit(), 4096,
+        &anim,
+        &settings,
+        &cost,
+        SequenceMode::Plain,
+        SingleMachine::unit(),
+        4096,
     );
     let (coh, rc) = render_sequence(
-        &anim, &settings, &cost, SequenceMode::Coherent, SingleMachine::unit(), 4096,
+        &anim,
+        &settings,
+        &cost,
+        SequenceMode::Coherent,
+        SingleMachine::unit(),
+        4096,
     );
     for (i, (a, b)) in plain.iter().zip(coh.iter()).enumerate() {
         assert!(a.same_image(b), "soft-shadow frame {i} deviates");
@@ -193,14 +251,27 @@ fn adaptive_antialiasing_keeps_coherence_exact() {
     let settings = RenderSettings {
         max_depth: 3,
         sqrt_samples: 1,
-        adaptive: Some(Adaptive { threshold: 0.1, max_level: 2 }),
+        adaptive: Some(Adaptive {
+            threshold: 0.1,
+            max_level: 2,
+        }),
     };
     let cost = CostModel::default();
     let (plain, _) = render_sequence(
-        &anim, &settings, &cost, SequenceMode::Plain, SingleMachine::unit(), 4096,
+        &anim,
+        &settings,
+        &cost,
+        SequenceMode::Plain,
+        SingleMachine::unit(),
+        4096,
     );
     let (coh, rc) = render_sequence(
-        &anim, &settings, &cost, SequenceMode::Coherent, SingleMachine::unit(), 4096,
+        &anim,
+        &settings,
+        &cost,
+        SequenceMode::Coherent,
+        SingleMachine::unit(),
+        4096,
     );
     for (i, (a, b)) in plain.iter().zip(coh.iter()).enumerate() {
         assert!(a.same_image(b), "adaptive frame {i} deviates");
@@ -217,19 +288,43 @@ fn paper_shape_holds_at_test_scale() {
     let cost = CostModel::default();
 
     let (_, plain) = render_sequence(
-        &anim, &settings, &cost, SequenceMode::Plain, SingleMachine::fastest(), 16 * 16 * 16,
+        &anim,
+        &settings,
+        &cost,
+        SequenceMode::Plain,
+        SingleMachine::fastest(),
+        16 * 16 * 16,
     );
     let (_, coh) = render_sequence(
-        &anim, &settings, &cost, SequenceMode::Coherent, SingleMachine::fastest(), 16 * 16 * 16,
+        &anim,
+        &settings,
+        &cost,
+        SequenceMode::Coherent,
+        SingleMachine::fastest(),
+        16 * 16 * 16,
     );
     let dist = run_sim(
         &anim,
-        &base_cfg(PartitionScheme::FrameDivision { tile_w: 16, tile_h: 12, adaptive: true }, false),
+        &base_cfg(
+            PartitionScheme::FrameDivision {
+                tile_w: 16,
+                tile_h: 12,
+                adaptive: true,
+            },
+            false,
+        ),
         &cluster,
     );
     let fdiv = run_sim(
         &anim,
-        &base_cfg(PartitionScheme::FrameDivision { tile_w: 16, tile_h: 12, adaptive: true }, true),
+        &base_cfg(
+            PartitionScheme::FrameDivision {
+                tile_w: 16,
+                tile_h: 12,
+                adaptive: true,
+            },
+            true,
+        ),
         &cluster,
     );
 
@@ -238,7 +333,10 @@ fn paper_shape_holds_at_test_scale() {
     assert!(coh.total_s < plain.total_s);
     // distribution alone speeds up, bounded by aggregate/fastest = 2
     let dist_speedup = plain.total_s / dist.report.makespan_s;
-    assert!(dist_speedup > 1.2 && dist_speedup < 2.3, "dist speedup {dist_speedup}");
+    assert!(
+        dist_speedup > 1.2 && dist_speedup < 2.3,
+        "dist speedup {dist_speedup}"
+    );
     // combining multiplies: frame division beats both individual techniques
     assert!(fdiv.report.makespan_s < coh.total_s);
     assert!(fdiv.report.makespan_s < dist.report.makespan_s);

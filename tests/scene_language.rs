@@ -8,9 +8,7 @@ use nowrender::coherence::CoherentRenderer;
 use nowrender::core::farm::frame_hash;
 use nowrender::core::{run_sim, CostModel, FarmConfig, PartitionScheme};
 use nowrender::grid::GridSpec;
-use nowrender::raytrace::{
-    render_frame, GridAccel, NullListener, RayStats, RenderSettings,
-};
+use nowrender::raytrace::{render_frame, GridAccel, NullListener, RayStats, RenderSettings};
 
 const SCENE: &str = r#"
 camera eye 0 2 8 target 0 0.8 0 up 0 1 0 fov 50 size 40 30
