@@ -37,6 +37,7 @@ fn main() {
             max_depth: depth,
             sqrt_samples: 1,
             adaptive: None,
+            threads: 1,
         };
         bench(&format!("ray_depth/depth_{depth}"), 10, || {
             let mut stats = RayStats::default();
@@ -55,6 +56,7 @@ fn main() {
             max_depth: 3,
             sqrt_samples: n,
             adaptive: None,
+            threads: 1,
         };
         bench(&format!("supersampling/{n}x{n}"), 10, || {
             let mut stats = RayStats::default();

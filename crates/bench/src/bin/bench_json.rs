@@ -1,0 +1,215 @@
+//! Machine-readable smoke benchmarks: a fixed set of kernels timed with
+//! `std::time::Instant` and written as JSON to `BENCH_render.json` at the
+//! repository root, so CI can upload the file as an artifact and diff runs.
+//!
+//! Reported metrics:
+//!
+//! * `tracer_frame` — one Newton frame through the serial tracer:
+//!   ns/frame and rays per second.
+//! * `coherence_marks` — ray recording into a [`CoherenceEngine`]:
+//!   voxel marks per second.
+//! * `changed_voxels` — scene-diff change detection on the glass-ball
+//!   animation (the sort+dedup path that replaced the `BTreeSet`).
+//! * `pool_speedup` — the same full frame rendered by the intra-worker
+//!   tile pool at 1 thread and at N threads (default 4, override with
+//!   `BENCH_THREADS`): wall-clock speedup. On a single-core host this
+//!   hovers near 1.0; on CI-class hardware N=4 should exceed 1.5x.
+//!
+//! Usage: `bench_json [--smoke]` — `--smoke` (or `BENCH_SMOKE=1`) shrinks
+//! frame sizes and iteration counts for fast CI runs. The output path can
+//! be overridden with `BENCH_OUT=/path/to/file.json`.
+
+use now_anim::scenes::{glassball, newton};
+use now_coherence::{changed_voxels, ChangeSet, CoherenceEngine};
+use now_grid::GridSpec;
+use now_raytrace::{
+    render_frame, render_frame_par, GridAccel, NullListener, RayStats, RenderSettings,
+};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Run `f` `iters` times and return (mean seconds, min seconds) per call.
+fn time(iters: u32, mut f: impl FnMut()) -> (f64, f64) {
+    // one warm-up call so first-touch costs don't pollute the minimum
+    f();
+    let mut min = f64::INFINITY;
+    let mut total = 0.0;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        let dt = t0.elapsed().as_secs_f64();
+        total += dt;
+        min = min.min(dt);
+    }
+    (total / iters as f64, min)
+}
+
+struct Record {
+    name: &'static str,
+    mean_ns: f64,
+    min_ns: f64,
+    /// Extra `"key": value` metric pairs, already JSON-formatted.
+    extra: Vec<(String, String)>,
+}
+
+fn json_escape_free(s: &str) -> &str {
+    // all names/keys in this binary are plain identifiers
+    debug_assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+    s
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("BENCH_SMOKE")
+            .map(|v| v != "0")
+            .unwrap_or(false);
+    let pool_threads: u32 = std::env::var("BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let (fw, fh, iters) = if smoke { (64, 48, 5) } else { (96, 72, 20) };
+    let (pw, ph, pool_iters) = if smoke { (128, 96, 3) } else { (240, 180, 5) };
+
+    let mut records: Vec<Record> = Vec::new();
+
+    // --- serial tracer: one Newton frame ---
+    let scene = newton::scene(fw, fh);
+    let accel = GridAccel::build(&scene);
+    let settings = RenderSettings::default();
+    let mut frame_rays = 0u64;
+    let (mean, min) = time(iters, || {
+        let mut stats = RayStats::default();
+        let fb = render_frame(
+            black_box(&scene),
+            &accel,
+            &settings,
+            &mut NullListener,
+            &mut stats,
+        );
+        frame_rays = stats.total_rays();
+        black_box(fb);
+    });
+    records.push(Record {
+        name: "tracer_frame",
+        mean_ns: mean * 1e9,
+        min_ns: min * 1e9,
+        extra: vec![
+            ("width".into(), fw.to_string()),
+            ("height".into(), fh.to_string()),
+            ("rays".into(), frame_rays.to_string()),
+            (
+                "rays_per_s".into(),
+                format!("{:.0}", frame_rays as f64 / min),
+            ),
+        ],
+    });
+
+    // --- coherence marking throughput: same frame, engine listening ---
+    let spec = GridSpec::for_scene(scene.bounds(), 24 * 24 * 24);
+    let mut marks = 0u64;
+    let (mean, min) = time(iters, || {
+        let mut engine = CoherenceEngine::new(spec, (fw * fh) as usize);
+        let mut stats = RayStats::default();
+        black_box(render_frame(
+            black_box(&scene),
+            &accel,
+            &settings,
+            &mut engine,
+            &mut stats,
+        ));
+        marks = engine.stats().marks;
+        black_box(engine.entry_count());
+    });
+    records.push(Record {
+        name: "coherence_marks",
+        mean_ns: mean * 1e9,
+        min_ns: min * 1e9,
+        extra: vec![
+            ("marks".into(), marks.to_string()),
+            ("marks_per_s".into(), format!("{:.0}", marks as f64 / min)),
+        ],
+    });
+
+    // --- change detection (the Vec sort+dedup path) ---
+    let anim = glassball::animation_sized(64, 48, 5);
+    let dspec = GridSpec::for_scene(anim.swept_bounds(), 24 * 24 * 24);
+    let a = anim.scene_at(1);
+    let b = anim.scene_at(2);
+    let mut voxels = 0usize;
+    let (mean, min) = time(iters * 10, || {
+        let cs = changed_voxels(&dspec, black_box(&a), black_box(&b));
+        if let ChangeSet::Voxels(v) = &cs {
+            voxels = v.len();
+        }
+        black_box(cs);
+    });
+    records.push(Record {
+        name: "changed_voxels",
+        mean_ns: mean * 1e9,
+        min_ns: min * 1e9,
+        extra: vec![("voxels".into(), voxels.to_string())],
+    });
+
+    // --- tile pool: 1 thread vs N threads, wall clock ---
+    let scene = newton::scene(pw, ph);
+    let accel = GridAccel::build(&scene);
+    let mut serial = settings.clone();
+    serial.threads = 1;
+    let mut pooled = settings;
+    pooled.threads = pool_threads;
+    let (_, min_1) = time(pool_iters, || {
+        let mut stats = RayStats::default();
+        black_box(render_frame_par(
+            black_box(&scene),
+            &accel,
+            &serial,
+            &mut NullListener,
+            &mut stats,
+        ));
+    });
+    let (_, min_n) = time(pool_iters, || {
+        let mut stats = RayStats::default();
+        black_box(render_frame_par(
+            black_box(&scene),
+            &accel,
+            &pooled,
+            &mut NullListener,
+            &mut stats,
+        ));
+    });
+    let speedup = min_1 / min_n;
+    records.push(Record {
+        name: "pool_speedup",
+        mean_ns: min_n * 1e9,
+        min_ns: min_n * 1e9,
+        extra: vec![
+            ("width".into(), pw.to_string()),
+            ("height".into(), ph.to_string()),
+            ("threads".into(), pool_threads.to_string()),
+            ("serial_ns".into(), format!("{:.0}", min_1 * 1e9)),
+            ("speedup".into(), format!("{speedup:.3}")),
+        ],
+    });
+
+    // --- hand-rolled JSON (no serde in the workspace) ---
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str("  \"benches\": {\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!("    \"{}\": {{\n", json_escape_free(r.name)));
+        out.push_str(&format!("      \"mean_ns\": {:.0},\n", r.mean_ns));
+        out.push_str(&format!("      \"min_ns\": {:.0}", r.min_ns));
+        for (k, v) in &r.extra {
+            out.push_str(&format!(",\n      \"{}\": {}", json_escape_free(k), v));
+        }
+        out.push_str("\n    }");
+        out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  }\n}\n");
+
+    let path = std::env::var("BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_render.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&path, &out).expect("write BENCH_render.json");
+    print!("{out}");
+    eprintln!("wrote {path}");
+}

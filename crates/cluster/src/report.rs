@@ -73,6 +73,12 @@ pub struct RunReport {
     pub duplicates_dropped: u64,
     /// Workers excluded as lost during the run.
     pub workers_lost: u64,
+    /// Intra-worker tile-pool threads per worker (1 = serial workers, as in
+    /// the paper; filled in by the farm layer after the run).
+    pub worker_threads: u32,
+    /// Aggregate tile-pool parallel efficiency over all completed units
+    /// (speedup / threads; 1.0 for serial workers).
+    pub parallel_efficiency: f64,
 }
 
 impl RunReport {

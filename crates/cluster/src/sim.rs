@@ -18,6 +18,11 @@
 //! deterministically into the virtual timeline, and the master recovers
 //! through the lease/retry/exclusion protocol of [`crate::fault`] when
 //! [`SimCluster::recovery`] enables finite leases.
+//!
+//! A worker's `work_units` may itself come from multi-threaded execution
+//! (the intra-worker tile pool): the worker logic then charges the pool's
+//! deterministic critical path rather than summed thread time, so virtual
+//! timelines remain reproducible on any host.
 
 use crate::fault::{FaultPlan, Ledger, RecoveryConfig};
 use crate::logic::{MasterLogic, WorkerLogic};

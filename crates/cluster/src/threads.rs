@@ -13,6 +13,13 @@
 //! worker whose channel disconnects is treated as an observed death: its
 //! leases requeue and the run finishes on the survivors instead of
 //! panicking.
+//!
+//! Parallelism composes two levels: this backend supplies the paper's
+//! *across-workstation* level (one thread per worker), while the worker
+//! logic may additionally fan each unit out over an intra-worker tile
+//! pool (`RenderSettings::threads`), so a run can use up to
+//! `workers x threads` cores. Both levels preserve byte-identical
+//! output, so the composition does too.
 
 use crate::fault::{FaultPlan, Ledger, RecoveryConfig};
 use crate::logic::{MasterLogic, WorkerLogic};

@@ -9,7 +9,6 @@
 use now_grid::{GridSpec, Voxel};
 use now_math::{Aabb, Point3, Vec3};
 use now_raytrace::{Geometry, Object, Scene};
-use std::collections::BTreeSet;
 
 /// The voxels in which change occurs between two frames.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,7 +61,11 @@ pub fn changed_voxels(spec: &GridSpec, prev: &Scene, next: &Scene) -> ChangeSet 
         return ChangeSet::Everything;
     }
 
-    let mut voxels: BTreeSet<Voxel> = BTreeSet::new();
+    // Collect with duplicates, then sort + dedup once: far cheaper than a
+    // BTreeSet insert per marked voxel (overlapping bounds and cylinder
+    // sampling mark the same voxel many times), and `dirty_pixels`
+    // requires a sorted, deduplicated slice anyway.
+    let mut voxels: Vec<Voxel> = Vec::new();
     for (a, b) in prev.objects.iter().zip(next.objects.iter()) {
         let same =
             a.geometry == b.geometry && a.material == b.material && a.transform() == b.transform();
@@ -75,11 +78,13 @@ pub fn changed_voxels(spec: &GridSpec, prev: &Scene, next: &Scene) -> ChangeSet 
         }
         for obj in [a, b] {
             object_voxels(spec, obj, |v| {
-                voxels.insert(v);
+                voxels.push(v);
             });
         }
     }
-    ChangeSet::Voxels(voxels.into_iter().collect())
+    voxels.sort_unstable();
+    voxels.dedup();
+    ChangeSet::Voxels(voxels)
 }
 
 /// Mark the voxels a (bounded) object occupies, as tightly as the geometry

@@ -41,7 +41,12 @@ pub struct CoherenceStats {
 /// Implements [`RayListener`]: install it as the tracer's listener while
 /// rendering and every ray is walked through the grid with the 3-D DDA,
 /// marking the voxels it crosses with the pixel being shaded.
-#[derive(Debug, Clone)]
+///
+/// Equality compares the complete engine state — pixel lists (including
+/// stale entries), generation counters, dedup stamps and statistics — so
+/// tests can assert that two render paths (e.g. 1-thread and N-thread)
+/// left the engine in exactly the same state.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoherenceEngine {
     spec: GridSpec,
     lists: GridCells<Vec<Entry>>,
@@ -95,9 +100,17 @@ impl CoherenceEngine {
     /// through any of the given changed voxels — i.e. the pixels that must
     /// be recomputed for the next frame.
     ///
+    /// `changed` must be sorted and deduplicated (what
+    /// [`crate::changed_voxels`] produces): a voxel scanned twice would
+    /// have its purge statistics double-counted.
+    ///
     /// Stale entries are skipped and purged from the scanned voxels as a
     /// side effect.
     pub fn dirty_pixels(&mut self, changed: &[Voxel]) -> Vec<PixelId> {
+        debug_assert!(
+            changed.windows(2).all(|w| w[0] < w[1]),
+            "changed voxels must be sorted and deduplicated"
+        );
         let mut dirty: Vec<PixelId> = Vec::new();
         let mut seen = vec![false; self.gen.len()];
         for &v in changed {

@@ -15,8 +15,8 @@ use crate::region::PixelRegion;
 use now_grid::GridSpec;
 use now_math::Ray;
 use now_raytrace::{
-    render_pixels, Framebuffer, GridAccel, PixelId, RayKind, RayListener, RayStats, RenderSettings,
-    Scene,
+    render_pixels_par, Framebuffer, GridAccel, ParallelStats, PixelId, RayKind, RayListener,
+    RayStats, RenderSettings, Replay, Scene,
 };
 
 /// Maps pixels to coherence groups (1x1 groups = pixel granularity).
@@ -112,6 +112,8 @@ pub struct FrameReport {
     pub coherence: CoherenceStats,
     /// Engine memory in bytes after this frame.
     pub memory_bytes: usize,
+    /// How the frame's pixel work parallelised over the tile pool.
+    pub parallel: ParallelStats,
 }
 
 /// Incremental renderer for one camera-stationary sequence over one pixel
@@ -220,6 +222,12 @@ impl CoherentRenderer {
         self.engine.stats()
     }
 
+    /// The engine's full state (tests compare engines across render paths
+    /// via `PartialEq`).
+    pub fn engine(&self) -> &CoherenceEngine {
+        &self.engine
+    }
+
     /// Approximate memory held by coherence data structures.
     pub fn memory_bytes(&self) -> usize {
         self.engine.memory_bytes()
@@ -242,6 +250,7 @@ impl CoherentRenderer {
     pub fn render_next(&mut self, scene: &Scene) -> (Framebuffer, FrameReport) {
         let accel = GridAccel::build_with_spec(scene, self.spec);
         let mut rays = RayStats::default();
+        let parallel;
 
         let (fb, full_render, changed, rendered_ids) = match self.prev.take() {
             None => {
@@ -253,13 +262,13 @@ impl CoherentRenderer {
                     map: self.map,
                     track_shadows: self.track_shadows,
                 };
-                render_pixels(
+                parallel = render_pixels_par(
                     scene,
                     &accel,
                     &self.settings,
                     &mut fb,
-                    ids.iter().copied(),
-                    &mut listener,
+                    &ids,
+                    &mut Replay(&mut listener),
                     &mut rays,
                 );
                 (fb, true, 0usize, ids)
@@ -301,13 +310,13 @@ impl CoherentRenderer {
                     map: self.map,
                     track_shadows: self.track_shadows,
                 };
-                render_pixels(
+                parallel = render_pixels_par(
                     scene,
                     &accel,
                     &self.settings,
                     &mut fb,
-                    ids.iter().copied(),
-                    &mut listener,
+                    &ids,
+                    &mut Replay(&mut listener),
                     &mut rays,
                 );
                 (fb, full, changed_n, ids)
@@ -331,6 +340,7 @@ impl CoherentRenderer {
             rays,
             coherence: self.engine.stats(),
             memory_bytes: self.engine.memory_bytes(),
+            parallel,
         };
         self.frame_index += 1;
         self.prev = Some((scene.clone(), fb.clone()));
@@ -424,6 +434,44 @@ mod tests {
                     "ball moved, something must change"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn pool_threads_leave_identical_engine_state() {
+        let spec = sequence_spec();
+        let serial = RenderSettings::default();
+        let mut reference = CoherentRenderer::new(spec, 48, 36, serial.clone());
+        let mut ref_frames = Vec::new();
+        for i in 0..4 {
+            ref_frames.push(reference.render_next(&frame_scene(i as f64 * 0.4)));
+        }
+        for threads in [2u32, 7] {
+            let settings = RenderSettings {
+                threads,
+                ..serial.clone()
+            };
+            let mut r = CoherentRenderer::new(spec, 48, 36, settings);
+            for (i, (ref_fb, ref_report)) in ref_frames.iter().enumerate() {
+                let (fb, report) = r.render_next(&frame_scene(i as f64 * 0.4));
+                assert_eq!(&fb, ref_fb, "{threads} threads: frame {i} bytes differ");
+                assert_eq!(
+                    report.rays, ref_report.rays,
+                    "{threads} threads: frame {i} ray counts differ"
+                );
+                assert_eq!(
+                    report.coherence, ref_report.coherence,
+                    "{threads} threads: frame {i} coherence stats differ"
+                );
+                assert_eq!(report.rendered, ref_report.rendered);
+            }
+            // the whole engine — pixel lists, generations, stamps, stats —
+            // must be indistinguishable from the serial run's
+            assert_eq!(
+                r.engine(),
+                reference.engine(),
+                "{threads} threads: engine state differs"
+            );
         }
     }
 

@@ -42,4 +42,4 @@ pub use diff::DiffMaps;
 pub use engine::{CoherenceEngine, CoherenceStats};
 pub use incremental::{CoherentRenderer, FrameReport};
 pub use jevans::JevansRenderer;
-pub use region::PixelRegion;
+pub use region::{PixelRegion, TileError};

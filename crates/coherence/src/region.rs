@@ -5,6 +5,41 @@
 //! enumerates its global pixel ids.
 
 use now_raytrace::PixelId;
+use std::fmt;
+
+/// Why a tiling request is invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TileError {
+    /// `tile_w` or `tile_h` was zero — the loop would never advance.
+    ZeroTile {
+        /// Requested tile width.
+        tile_w: u32,
+        /// Requested tile height.
+        tile_h: u32,
+    },
+    /// The frame itself has no pixels, so there is nothing to tile.
+    EmptyFrame {
+        /// Frame width.
+        width: u32,
+        /// Frame height.
+        height: u32,
+    },
+}
+
+impl fmt::Display for TileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TileError::ZeroTile { tile_w, tile_h } => {
+                write!(f, "tile size {tile_w}x{tile_h} has a zero dimension")
+            }
+            TileError::EmptyFrame { width, height } => {
+                write!(f, "cannot tile an empty {width}x{height} frame")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TileError {}
 
 /// A rectangle of pixels within a `frame_width x frame_height` image.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -63,8 +98,22 @@ impl PixelRegion {
 
     /// Split the frame into a grid of tiles of at most `tile_w x tile_h`
     /// (edge tiles may be smaller). Row-major tile order.
-    pub fn tiles(width: u32, height: u32, tile_w: u32, tile_h: u32) -> Vec<PixelRegion> {
-        assert!(tile_w > 0 && tile_h > 0);
+    ///
+    /// Rejects degenerate requests instead of silently producing an empty
+    /// set: a zero tile dimension or an empty frame is a configuration
+    /// error the caller should surface.
+    pub fn try_tiles(
+        width: u32,
+        height: u32,
+        tile_w: u32,
+        tile_h: u32,
+    ) -> Result<Vec<PixelRegion>, TileError> {
+        if tile_w == 0 || tile_h == 0 {
+            return Err(TileError::ZeroTile { tile_w, tile_h });
+        }
+        if width == 0 || height == 0 {
+            return Err(TileError::EmptyFrame { width, height });
+        }
         let mut out = Vec::new();
         let mut y = 0;
         while y < height {
@@ -77,7 +126,16 @@ impl PixelRegion {
             }
             y += tile_h;
         }
-        out
+        Ok(out)
+    }
+
+    /// [`try_tiles`](PixelRegion::try_tiles), panicking on degenerate
+    /// input (the convenient form for static configurations).
+    pub fn tiles(width: u32, height: u32, tile_w: u32, tile_h: u32) -> Vec<PixelRegion> {
+        match PixelRegion::try_tiles(width, height, tile_w, tile_h) {
+            Ok(tiles) => tiles,
+            Err(e) => panic!("invalid tiling: {e}"),
+        }
     }
 
     /// Split this region into `n` horizontal bands of nearly equal height
@@ -157,6 +215,35 @@ mod tests {
         // last column tile is 10 wide, last row 10 tall
         assert!(tiles.iter().any(|t| t.w == 10));
         assert!(tiles.iter().any(|t| t.h == 10));
+    }
+
+    #[test]
+    fn degenerate_tilings_are_rejected() {
+        assert_eq!(
+            PixelRegion::try_tiles(320, 240, 0, 80),
+            Err(TileError::ZeroTile {
+                tile_w: 0,
+                tile_h: 80
+            })
+        );
+        assert_eq!(
+            PixelRegion::try_tiles(320, 0, 80, 80),
+            Err(TileError::EmptyFrame {
+                width: 320,
+                height: 0
+            })
+        );
+        // errors format into something readable
+        let msg = PixelRegion::try_tiles(0, 0, 1, 0).unwrap_err().to_string();
+        assert!(msg.contains("zero"), "{msg}");
+        // and the panicking form still works for valid input
+        assert_eq!(PixelRegion::tiles(10, 10, 5, 5).len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid tiling")]
+    fn tiles_panics_on_zero_tile() {
+        let _ = PixelRegion::tiles(320, 240, 80, 0);
     }
 
     #[test]

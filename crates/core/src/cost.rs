@@ -15,7 +15,7 @@
 //! (speed 1.0): a few tens of thousands of rays per second.
 
 use now_coherence::CoherenceStats;
-use now_raytrace::RayStats;
+use now_raytrace::{ParallelStats, RayStats};
 
 /// Work pricing constants (seconds of speed-1.0 CPU per operation).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,6 +62,29 @@ impl CostModel {
         rays.total_rays() as f64 * self.per_ray_s
             + marks as f64 * self.per_mark_s
             + rays.pixels as f64 * self.per_pixel_s
+            + copied_pixels as f64 * self.per_copied_pixel_s
+    }
+
+    /// CPU seconds (speed 1.0) for a frame rendered through the intra-worker
+    /// tile pool: ray and pixel work is charged for the *critical path*
+    /// (divided by the pool's achieved speedup), while coherence marks and
+    /// pixel copies stay serial — shard replay and frame assembly happen on
+    /// one thread.
+    ///
+    /// With a serial [`ParallelStats`] (speedup 1.0) this equals
+    /// [`render_work`](CostModel::render_work) exactly, so existing
+    /// single-thread timings are unchanged.
+    pub fn parallel_render_work(
+        &self,
+        rays: &RayStats,
+        marks: u64,
+        copied_pixels: u64,
+        par: &ParallelStats,
+    ) -> f64 {
+        let concurrent =
+            rays.total_rays() as f64 * self.per_ray_s + rays.pixels as f64 * self.per_pixel_s;
+        concurrent / par.speedup()
+            + marks as f64 * self.per_mark_s
             + copied_pixels as f64 * self.per_copied_pixel_s
     }
 
@@ -114,6 +137,36 @@ mod tests {
             (0.05..0.60).contains(&overhead),
             "overhead {overhead:.3} out of plausible band"
         );
+    }
+
+    #[test]
+    fn parallel_work_charges_the_critical_path() {
+        let m = CostModel::default();
+        let rays = RayStats {
+            primary: 10_000,
+            shadow: 10_000,
+            pixels: 10_000,
+            ..Default::default()
+        };
+        // serial stats: byte-for-byte the old serial charge
+        let serial = ParallelStats::serial(rays.total_rays());
+        assert_eq!(
+            m.parallel_render_work(&rays, 5000, 2000, &serial),
+            m.render_work(&rays, 5000, 2000)
+        );
+        // a perfectly balanced 4-thread run quarters the ray/pixel work
+        // but leaves marks and copies serial
+        let par = ParallelStats {
+            threads: 4,
+            tiles: 16,
+            total_rays: rays.total_rays(),
+            critical_rays: rays.total_rays() / 4,
+        };
+        let t = m.parallel_render_work(&rays, 5000, 2000, &par);
+        let serial_t = m.render_work(&rays, 5000, 2000);
+        let marks_copies = 5000.0 * m.per_mark_s + 2000.0 * m.per_copied_pixel_s;
+        assert!((t - ((serial_t - marks_copies) / 4.0 + marks_copies)).abs() < 1e-12);
+        assert!(t < serial_t);
     }
 
     #[test]

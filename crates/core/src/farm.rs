@@ -15,7 +15,8 @@ use now_cluster::{
 use now_coherence::{CoherentRenderer, PixelRegion};
 use now_grid::GridSpec;
 use now_raytrace::{
-    render_pixels, Framebuffer, GridAccel, NullListener, PixelId, RayStats, RenderSettings,
+    render_pixels_par, Framebuffer, GridAccel, NullListener, ParallelStats, PixelId, RayStats,
+    RenderSettings,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -62,6 +63,8 @@ pub struct UnitOutput {
     pub rays: RayStats,
     /// Coherence marks performed for this unit.
     pub marks: u64,
+    /// How the unit's pixel work spread over the worker's tile pool.
+    pub parallel: ParallelStats,
 }
 
 /// Pixel updates accumulated for one frame plus the count of region
@@ -163,7 +166,12 @@ impl FarmWorker {
             })
             .collect();
         let copied = (unit.region.len() - pixels.len()) as u64;
-        let work = self.cfg.cost.render_work(&report.rays, marks, copied);
+        // charge virtual time for the pool's critical path, not the sum of
+        // per-thread work
+        let work =
+            self.cfg
+                .cost
+                .parallel_render_work(&report.rays, marks, copied, &report.parallel);
         let cost = WorkCost {
             work_units: work,
             result_bytes: (pixels.len() * 7 + 32) as u64,
@@ -177,6 +185,7 @@ impl FarmWorker {
                 pixels,
                 rays: report.rays,
                 marks,
+                parallel: report.parallel,
             },
             cost,
         )
@@ -188,12 +197,12 @@ impl FarmWorker {
         let mut rays = RayStats::default();
         let mut fb = Framebuffer::new(self.width, self.height);
         let ids: Vec<PixelId> = unit.region.pixel_ids(self.width).collect();
-        render_pixels(
+        let parallel = render_pixels_par(
             &scene,
             &accel,
             &self.cfg.settings,
             &mut fb,
-            ids.iter().copied(),
+            &ids,
             &mut NullListener,
             &mut rays,
         );
@@ -204,7 +213,7 @@ impl FarmWorker {
                 (id, [r, g, b])
             })
             .collect();
-        let work = self.cfg.cost.render_work(&rays, 0, 0);
+        let work = self.cfg.cost.parallel_render_work(&rays, 0, 0, &parallel);
         let cost = WorkCost {
             work_units: work,
             result_bytes: (pixels.len() * 7 + 32) as u64,
@@ -215,6 +224,7 @@ impl FarmWorker {
                 pixels,
                 rays,
                 marks: 0,
+                parallel,
             },
             cost,
         )
@@ -257,6 +267,8 @@ pub struct FarmMaster {
     pub rays: RayStats,
     /// aggregate coherence marks
     pub marks: u64,
+    /// aggregate tile-pool execution stats across all units
+    pub parallel: ParallelStats,
     /// total pixels shipped by workers
     pub pixels_shipped: u64,
     /// units completed
@@ -281,6 +293,12 @@ impl FarmMaster {
             frames_rgb: Vec::new(),
             rays: RayStats::default(),
             marks: 0,
+            parallel: ParallelStats {
+                threads: 1,
+                tiles: 0,
+                total_rays: 0,
+                critical_rays: 0,
+            },
             pixels_shipped: 0,
             units_done: 0,
         }
@@ -326,6 +344,7 @@ impl MasterLogic for FarmMaster {
     fn integrate(&mut self, _worker: usize, unit: RenderUnit, result: UnitOutput) -> MasterWork {
         self.rays.merge(&result.rays);
         self.marks += result.marks;
+        self.parallel.merge(&result.parallel);
         self.pixels_shipped += result.pixels.len() as u64;
         self.units_done += 1;
         let entry = self.pending.entry(unit.frame).or_default();
@@ -393,7 +412,9 @@ fn shared_spec(anim: &Animation, cfg: &FarmConfig) -> GridSpec {
     GridSpec::for_scene(anim.swept_bounds(), cfg.grid_voxels)
 }
 
-fn collect(master: FarmMaster, report: now_cluster::RunReport, frames: u32) -> FarmResult {
+fn collect(master: FarmMaster, mut report: now_cluster::RunReport, frames: u32) -> FarmResult {
+    report.worker_threads = master.parallel.threads;
+    report.parallel_efficiency = master.parallel.efficiency();
     // as long as one worker survived, recovery must have completed every
     // frame; only a total loss may return a partial result
     if (report.workers_lost as usize) < report.machines.len() {

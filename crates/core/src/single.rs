@@ -4,7 +4,9 @@ use crate::cost::CostModel;
 use now_anim::Animation;
 use now_coherence::CoherentRenderer;
 use now_grid::GridSpec;
-use now_raytrace::{render_frame, Framebuffer, GridAccel, NullListener, RayStats, RenderSettings};
+use now_raytrace::{
+    render_frame_par, Framebuffer, GridAccel, NullListener, RayStats, RenderSettings,
+};
 
 /// The (virtual) workstation a single-processor run executes on.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -93,6 +95,10 @@ pub struct SequenceReport {
     pub frame_s: Vec<f64>,
     /// Peak coherence memory (bytes).
     pub peak_memory_bytes: usize,
+    /// Tile-pool threads used per worker (1 = serial, the paper's mode).
+    pub threads: u32,
+    /// Per-frame parallel efficiency of the tile pool (1.0 when serial).
+    pub frame_efficiency: Vec<f64>,
 }
 
 /// Render a whole animation on one (virtual) processor.
@@ -117,9 +123,11 @@ pub fn render_sequence(
     let mut frames = Vec::with_capacity(anim.frames);
     let mut frame_s = Vec::with_capacity(anim.frames);
     let mut pixels_per_frame = Vec::with_capacity(anim.frames);
+    let mut frame_efficiency = Vec::with_capacity(anim.frames);
     let mut total_rays = RayStats::default();
     let mut total_marks = 0u64;
     let mut peak_mem = 0usize;
+    let mut threads_used = 1u32;
 
     match mode {
         SequenceMode::Plain => {
@@ -127,11 +135,14 @@ pub fn render_sequence(
                 let scene = anim.scene_at(f);
                 let accel = GridAccel::build_with_spec(&scene, spec);
                 let mut rays = RayStats::default();
-                let fb = render_frame(&scene, &accel, settings, &mut NullListener, &mut rays);
-                let work = cost.render_work(&rays, 0, 0) + file_write;
+                let (fb, par) =
+                    render_frame_par(&scene, &accel, settings, &mut NullListener, &mut rays);
+                let work = cost.parallel_render_work(&rays, 0, 0, &par) + file_write;
                 let ws_mb = (width as f64 * height as f64 * 48.0) / (1024.0 * 1024.0);
                 frame_s.push(machine.time_for(work, ws_mb));
                 pixels_per_frame.push(rays.pixels);
+                frame_efficiency.push(par.efficiency());
+                threads_used = threads_used.max(par.threads);
                 total_rays.merge(&rays);
                 frames.push(fb);
             }
@@ -156,11 +167,14 @@ pub fn render_sequence(
                 let marks = report.coherence.marks - prev_marks;
                 prev_marks = report.coherence.marks;
                 let copied = total_pixels - report.pixels_rendered as u64;
-                let work = cost.render_work(&report.rays, marks, copied) + file_write;
+                let work = cost.parallel_render_work(&report.rays, marks, copied, &report.parallel)
+                    + file_write;
                 let ws_mb = (report.memory_bytes as f64 + width as f64 * height as f64 * 48.0)
                     / (1024.0 * 1024.0);
                 frame_s.push(machine.time_for(work, ws_mb));
                 pixels_per_frame.push(report.pixels_rendered as u64);
+                frame_efficiency.push(report.parallel.efficiency());
+                threads_used = threads_used.max(report.parallel.threads);
                 total_rays.merge(&report.rays);
                 total_marks += marks;
                 peak_mem = peak_mem.max(report.memory_bytes);
@@ -184,6 +198,8 @@ pub fn render_sequence(
         pixels_per_frame,
         frame_s,
         peak_memory_bytes: peak_mem,
+        threads: threads_used,
+        frame_efficiency,
     };
     (frames, report)
 }
@@ -284,6 +300,53 @@ mod tests {
         let coh_px: u64 = rc.pixels_per_frame[1..].iter().sum();
         let blk_px: u64 = rb.pixels_per_frame[1..].iter().sum();
         assert!(blk_px >= coh_px);
+    }
+
+    #[test]
+    fn pooled_sequence_keeps_frames_and_shrinks_virtual_time() {
+        let anim = small_anim();
+        let cost = CostModel::default();
+        let serial = RenderSettings::default();
+        let pooled = RenderSettings {
+            threads: 4,
+            ..serial.clone()
+        };
+        for mode in [
+            SequenceMode::Plain,
+            SequenceMode::Coherent,
+            SequenceMode::BlockCoherent(8),
+        ] {
+            let (a, ra) = render_sequence(&anim, &serial, &cost, mode, SingleMachine::unit(), 4096);
+            let (b, rb) = render_sequence(&anim, &pooled, &cost, mode, SingleMachine::unit(), 4096);
+            for (i, (fa, fb)) in a.iter().zip(b.iter()).enumerate() {
+                assert!(fa.same_image(fb), "{mode:?} frame {i} differs under pool");
+            }
+            assert_eq!(ra.rays, rb.rays, "{mode:?}: ray census must not change");
+            assert_eq!(ra.marks, rb.marks, "{mode:?}: marks must not change");
+            assert_eq!(ra.threads, 1);
+            assert_eq!(rb.threads, 4);
+            // critical-path pricing can only help, never hurt
+            assert!(rb.total_s <= ra.total_s + 1e-12, "{mode:?}");
+            assert!(rb.frame_efficiency.iter().all(|&e| e > 0.0 && e <= 1.0));
+        }
+        // a full plain frame always has enough pixels to fan out
+        let (_, rp) = render_sequence(
+            &anim,
+            &pooled,
+            &cost,
+            SequenceMode::Plain,
+            SingleMachine::unit(),
+            4096,
+        );
+        let (_, rs) = render_sequence(
+            &anim,
+            &serial,
+            &cost,
+            SequenceMode::Plain,
+            SingleMachine::unit(),
+            4096,
+        );
+        assert!(rp.total_s < rs.total_s, "pool must shorten plain frames");
     }
 
     #[test]

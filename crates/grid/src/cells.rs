@@ -6,7 +6,7 @@ use crate::spec::{GridSpec, Voxel};
 ///
 /// Both the ray tracer (object lists per voxel) and the coherence engine
 /// (pixel lists per voxel) are a `GridCells` of a `Vec`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GridCells<T> {
     spec: GridSpec,
     cells: Vec<T>,

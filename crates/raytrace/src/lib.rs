@@ -42,6 +42,7 @@ pub mod listener;
 pub mod material;
 pub mod mesh;
 pub mod object;
+pub mod pool;
 pub mod render;
 pub mod scene;
 pub mod shape;
@@ -54,10 +55,15 @@ pub use camera::Camera;
 pub use csg::Csg;
 pub use framebuffer::{Framebuffer, PixelId};
 pub use light::{AreaLight, Light, LightSample, PointLight, SpotLight};
-pub use listener::{NullListener, RayKind, RayListener, RecordingListener};
+pub use listener::{
+    NullListener, RayKind, RayListener, RecordingListener, Replay, ShardableListener,
+};
 pub use material::Material;
 pub use object::{Object, ObjectId};
-pub use render::{render_frame, render_pixels, Adaptive, RenderSettings};
+pub use pool::{resolve_thread_count, ParallelStats};
+pub use render::{
+    render_frame, render_frame_par, render_pixels, render_pixels_par, Adaptive, RenderSettings,
+};
 pub use scene::Scene;
 pub use shape::{Geometry, Hit};
 pub use stats::RayStats;

@@ -85,6 +85,89 @@ impl<L: RayListener + ?Sized> RayListener for &mut L {
     }
 }
 
+/// A listener that the tile pool can split across worker threads.
+///
+/// Each pool thread observes rays through its own [`Shard`]; after the
+/// join, shards are absorbed back into the parent **in ascending tile
+/// order**, which is exactly the order a 1-thread render would have fired
+/// the same rays in. A listener whose state is order-sensitive (the
+/// coherence engine's per-voxel dedup stamps are) therefore ends up in a
+/// state identical to the sequential run.
+///
+/// [`Shard`]: ShardableListener::Shard
+pub trait ShardableListener: RayListener {
+    /// Per-thread observer; moved into a pool worker.
+    type Shard: RayListener + Send;
+
+    /// Create an empty shard for one tile.
+    fn make_shard(&self) -> Self::Shard;
+
+    /// Merge a finished shard. Called on the pool's caller thread, once per
+    /// tile, in ascending tile order.
+    fn absorb_shard(&mut self, shard: Self::Shard);
+}
+
+/// Null shards: nothing to record, nothing to merge.
+impl ShardableListener for NullListener {
+    type Shard = NullListener;
+
+    #[inline]
+    fn make_shard(&self) -> NullListener {
+        NullListener
+    }
+
+    #[inline]
+    fn absorb_shard(&mut self, _: NullListener) {}
+}
+
+/// Recording shards append their logs in tile order, reproducing the
+/// sequential firing order.
+impl ShardableListener for RecordingListener {
+    type Shard = RecordingListener;
+
+    fn make_shard(&self) -> RecordingListener {
+        RecordingListener::default()
+    }
+
+    fn absorb_shard(&mut self, shard: RecordingListener) {
+        self.rays.extend(shard.rays);
+    }
+}
+
+/// Adapter making *any* `&mut`-threaded listener shardable by recording
+/// each tile's rays and replaying them into the wrapped listener at absorb
+/// time.
+///
+/// Replay happens in ascending tile order, so the wrapped listener sees
+/// the exact ray sequence of a 1-thread render — this is what lets the
+/// coherence engine (whose voxel stamps make it order-sensitive) keep
+/// byte-identical state under the pool. The price is one `RecordedRay` per
+/// ray; listeners with a cheaper native merge can implement
+/// [`ShardableListener`] directly instead.
+#[derive(Debug)]
+pub struct Replay<'a, L: RayListener>(pub &'a mut L);
+
+impl<L: RayListener> RayListener for Replay<'_, L> {
+    #[inline]
+    fn on_ray(&mut self, pixel: PixelId, ray: &Ray, kind: RayKind, t_max: f64) {
+        self.0.on_ray(pixel, ray, kind, t_max);
+    }
+}
+
+impl<L: RayListener> ShardableListener for Replay<'_, L> {
+    type Shard = RecordingListener;
+
+    fn make_shard(&self) -> RecordingListener {
+        RecordingListener::default()
+    }
+
+    fn absorb_shard(&mut self, shard: RecordingListener) {
+        for r in shard.rays {
+            self.0.on_ray(r.pixel, &r.ray, r.kind, r.t_max);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,5 +198,39 @@ mod tests {
         feed(&mut rec);
         feed(&mut rec);
         assert_eq!(rec.rays.len(), 2);
+    }
+
+    #[test]
+    fn recording_shards_concatenate_in_absorb_order() {
+        let mut parent = RecordingListener::default();
+        let r = Ray::new(Point3::ZERO, Vec3::UNIT_X);
+        let mut s0 = parent.make_shard();
+        let mut s1 = parent.make_shard();
+        s1.on_ray(9, &r, RayKind::Shadow, 2.0);
+        s0.on_ray(1, &r, RayKind::Primary, 1.0);
+        parent.absorb_shard(s0);
+        parent.absorb_shard(s1);
+        assert_eq!(parent.rays[0].pixel, 1);
+        assert_eq!(parent.rays[1].pixel, 9);
+    }
+
+    #[test]
+    fn replay_adapter_reproduces_sequential_order() {
+        let mut inner = RecordingListener::default();
+        let r = Ray::new(Point3::ZERO, Vec3::UNIT_Y);
+        {
+            let mut replay = Replay(&mut inner);
+            // direct rays pass straight through
+            replay.on_ray(0, &r, RayKind::Primary, 1.0);
+            let mut s0 = replay.make_shard();
+            let mut s1 = replay.make_shard();
+            // shards filled "out of order" (as racing threads would)
+            s1.on_ray(2, &r, RayKind::Primary, 3.0);
+            s0.on_ray(1, &r, RayKind::Primary, 2.0);
+            replay.absorb_shard(s0);
+            replay.absorb_shard(s1);
+        }
+        let pixels: Vec<_> = inner.rays.iter().map(|r| r.pixel).collect();
+        assert_eq!(pixels, vec![0, 1, 2]);
     }
 }

@@ -9,7 +9,8 @@
 
 use crate::accel::GridAccel;
 use crate::framebuffer::{Framebuffer, PixelId};
-use crate::listener::{RayKind, RayListener};
+use crate::listener::{RayKind, RayListener, Replay, ShardableListener};
+use crate::pool::{self, ParallelStats};
 use crate::scene::Scene;
 use crate::stats::RayStats;
 use crate::tracer::{trace, TraceCtx};
@@ -50,6 +51,12 @@ pub struct RenderSettings {
     pub sqrt_samples: u32,
     /// Adaptive anti-aliasing; `None` uses the fixed supersample grid.
     pub adaptive: Option<Adaptive>,
+    /// Intra-worker tile-pool threads. `1` (the default) renders serially,
+    /// exactly like the paper's per-workstation renderer; `0` means auto
+    /// (`NOW_THREADS` if set, else the host's available parallelism);
+    /// `n >= 2` uses exactly `n` threads. Any value produces byte-identical
+    /// frames and identical listener state.
+    pub threads: u32,
 }
 
 impl Default for RenderSettings {
@@ -58,11 +65,16 @@ impl Default for RenderSettings {
             max_depth: 5,
             sqrt_samples: 1,
             adaptive: None,
+            threads: 1,
         }
     }
 }
 
 impl RenderSettings {
+    /// Concrete thread count for this setting (resolves `threads == 0`).
+    pub fn resolve_threads(&self) -> u32 {
+        pool::resolve_thread_count(self.threads)
+    }
     /// Fixed sub-pixel offsets for this setting (deterministic; identical
     /// for every pixel and frame).
     pub fn sample_offsets(&self) -> Vec<(f64, f64)> {
@@ -200,7 +212,22 @@ fn adaptive_quad<L: RayListener>(
     (q0 + q1 + q2 + q3) * 0.25
 }
 
+/// Validate that a framebuffer matches the scene camera. Hoisted out of
+/// the per-tile shading path: public entry points check once, the pool's
+/// tile loops never re-check.
+#[inline]
+fn check_frame_dims(scene: &Scene, fb: &Framebuffer) {
+    assert_eq!(fb.width(), scene.camera.width());
+    assert_eq!(fb.height(), scene.camera.height());
+}
+
 /// Render an arbitrary set of pixels into an existing framebuffer.
+///
+/// With `settings.threads` resolving to 1 this is the plain sequential
+/// loop; otherwise the ids are handed to the tile pool with the listener
+/// wrapped in [`Replay`], which keeps its observed ray order identical to
+/// the sequential run. Callers that want the pool's [`ParallelStats`] (or
+/// a listener with a cheaper native merge) use [`render_pixels_par`].
 pub fn render_pixels<L: RayListener>(
     scene: &Scene,
     accel: &GridAccel,
@@ -210,13 +237,48 @@ pub fn render_pixels<L: RayListener>(
     listener: &mut L,
     stats: &mut RayStats,
 ) {
-    assert_eq!(fb.width(), scene.camera.width());
-    assert_eq!(fb.height(), scene.camera.height());
-    for id in ids {
-        let (x, y) = fb.coords_of(id);
-        let c = shade_pixel(scene, accel, settings, x, y, id, listener, stats);
-        fb.set_id(id, c);
+    check_frame_dims(scene, fb);
+    let threads = settings.resolve_threads();
+    if threads <= 1 {
+        for id in ids {
+            let (x, y) = fb.coords_of(id);
+            let c = shade_pixel(scene, accel, settings, x, y, id, listener, stats);
+            fb.set_id(id, c);
+        }
+        return;
     }
+    let ids: Vec<PixelId> = ids.into_iter().collect();
+    pool::render_tiles(
+        scene,
+        accel,
+        settings,
+        fb,
+        &ids,
+        &mut Replay(listener),
+        stats,
+        threads,
+    );
+}
+
+/// Render a pixel set through the tile pool, reporting how the work
+/// parallelised.
+///
+/// Shards of `listener` are merged back in ascending tile order (the
+/// sequential ray order), so listener state is identical for every thread
+/// count. Uses one thread (and reports a serial [`ParallelStats`]) when
+/// `settings.threads` resolves to 1.
+pub fn render_pixels_par<S: ShardableListener>(
+    scene: &Scene,
+    accel: &GridAccel,
+    settings: &RenderSettings,
+    fb: &mut Framebuffer,
+    ids: &[PixelId],
+    listener: &mut S,
+    stats: &mut RayStats,
+) -> ParallelStats {
+    check_frame_dims(scene, fb);
+    let threads = settings.resolve_threads();
+    pool::render_tiles(scene, accel, settings, fb, ids, listener, stats, threads)
 }
 
 /// Render a complete frame.
@@ -231,6 +293,21 @@ pub fn render_frame<L: RayListener>(
     let n = fb.len() as PixelId;
     render_pixels(scene, accel, settings, &mut fb, 0..n, listener, stats);
     fb
+}
+
+/// Render a complete frame through the tile pool, reporting how the work
+/// parallelised.
+pub fn render_frame_par<S: ShardableListener>(
+    scene: &Scene,
+    accel: &GridAccel,
+    settings: &RenderSettings,
+    listener: &mut S,
+    stats: &mut RayStats,
+) -> (Framebuffer, ParallelStats) {
+    let mut fb = Framebuffer::new(scene.camera.width(), scene.camera.height());
+    let ids: Vec<PixelId> = (0..fb.len() as PixelId).collect();
+    let par = render_pixels_par(scene, accel, settings, &mut fb, &ids, listener, stats);
+    (fb, par)
 }
 
 #[cfg(test)]
@@ -337,6 +414,7 @@ mod tests {
             max_depth: 5,
             sqrt_samples: 2,
             adaptive: None,
+            threads: 1,
         };
         let a = render_frame(
             &s,
@@ -356,11 +434,72 @@ mod tests {
     }
 
     #[test]
+    fn pool_render_is_byte_and_listener_identical_to_serial() {
+        use crate::listener::RecordingListener;
+        let s = scene();
+        let accel = GridAccel::build(&s);
+        let serial = RenderSettings::default();
+        let mut serial_rec = RecordingListener::default();
+        let mut serial_stats = RayStats::default();
+        let reference = render_frame(&s, &accel, &serial, &mut serial_rec, &mut serial_stats);
+
+        for threads in [2u32, 3, 7] {
+            let settings = RenderSettings {
+                threads,
+                ..serial.clone()
+            };
+            let mut rec = RecordingListener::default();
+            let mut stats = RayStats::default();
+            let (fb, par) = render_frame_par(&s, &accel, &settings, &mut rec, &mut stats);
+            assert_eq!(fb, reference, "{threads} threads: framebuffer differs");
+            assert_eq!(
+                rec.rays, serial_rec.rays,
+                "{threads} threads: ray log differs"
+            );
+            assert_eq!(stats, serial_stats, "{threads} threads: stats differ");
+            assert_eq!(par.threads, threads);
+            assert_eq!(par.total_rays, serial_stats.total_rays());
+            assert!(par.tiles > 1, "frame must be cut into multiple tiles");
+            assert!(par.speedup() >= 1.0 && par.speedup() <= threads as f64);
+        }
+    }
+
+    #[test]
+    fn render_pixels_dispatches_to_pool_transparently() {
+        let s = scene();
+        let accel = GridAccel::build(&s);
+        let reference = render_frame(
+            &s,
+            &accel,
+            &RenderSettings::default(),
+            &mut NullListener,
+            &mut RayStats::default(),
+        );
+        let pooled = RenderSettings {
+            threads: 5,
+            ..RenderSettings::default()
+        };
+        let mut fb = Framebuffer::new(40, 30);
+        let n = fb.len() as PixelId;
+        render_pixels(
+            &s,
+            &accel,
+            &pooled,
+            &mut fb,
+            0..n,
+            &mut NullListener,
+            &mut RayStats::default(),
+        );
+        assert_eq!(fb, reference);
+    }
+
+    #[test]
     fn supersampling_offsets_tile_the_pixel() {
         let offsets = RenderSettings {
             max_depth: 1,
             sqrt_samples: 3,
             adaptive: None,
+            threads: 1,
         }
         .sample_offsets();
         assert_eq!(offsets.len(), 9);
@@ -379,6 +518,7 @@ mod tests {
             max_depth: 2,
             sqrt_samples: 1,
             adaptive: None,
+            threads: 1,
         };
         let adaptive = RenderSettings {
             max_depth: 2,
@@ -387,6 +527,7 @@ mod tests {
                 threshold: 0.08,
                 max_level: 2,
             }),
+            threads: 1,
         };
         let mut flat_stats = RayStats::default();
         let _ = render_frame(&s, &accel, &plain, &mut NullListener, &mut flat_stats);
@@ -411,6 +552,7 @@ mod tests {
             max_depth: 2,
             sqrt_samples: 1,
             adaptive: Some(Adaptive::default()),
+            threads: 1,
         };
         let full = render_frame(
             &s,
@@ -444,6 +586,7 @@ mod tests {
             max_depth: 2,
             sqrt_samples: 1,
             adaptive: None,
+            threads: 1,
         };
         let ad = RenderSettings {
             max_depth: 2,
@@ -452,6 +595,7 @@ mod tests {
                 threshold: 0.05,
                 max_level: 3,
             }),
+            threads: 1,
         };
         let a = render_frame(
             &s,
@@ -473,11 +617,13 @@ mod tests {
             max_depth: 3,
             sqrt_samples: 1,
             adaptive: None,
+            threads: 1,
         };
         let four = RenderSettings {
             max_depth: 3,
             sqrt_samples: 2,
             adaptive: None,
+            threads: 1,
         };
         let a = render_frame(
             &s,

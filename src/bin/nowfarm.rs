@@ -6,15 +6,21 @@
 //!   --out DIR          output directory (default: out)
 //!   --plain            disable frame coherence
 //!   --block N          Jevans block coherence with NxN blocks
+//!   --pool N           intra-worker tile-pool threads (0 = auto; default 1)
 //! nowfarm farm   SCENE [opts]               render on a cluster
 //!   --out DIR          output directory (default: out)
 //!   --threads N        real thread backend with N workers
 //!   --machines SPEC    simulated cluster, SPEC like 2.0x64,1.0x32,1.0x32
 //!   --scheme S         seq | frame | hybrid   (default: frame)
 //!   --plain            disable frame coherence
+//!   --pool N           tile-pool threads inside every worker (0 = auto)
 //! nowfarm demo   NAME [frames [WxH]]        render a built-in animation
 //!                                           (newton | glassball | orbit)
+//!   --pool N           intra-worker tile-pool threads (0 = auto; default 1)
 //! ```
+//!
+//! Output bytes are identical for every `--pool` value; the flag only
+//! changes how many threads shade each worker's pixels.
 
 use now_math::Color;
 use nowrender::anim::parse::parse_animation;
@@ -62,6 +68,16 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 
 fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
+}
+
+/// Render settings with the `--pool` thread count applied (1 = serial,
+/// 0 = auto via `NOW_THREADS` / available parallelism).
+fn render_settings(args: &[String]) -> Result<RenderSettings, String> {
+    let mut settings = RenderSettings::default();
+    if let Some(v) = flag_value(args, "--pool") {
+        settings.threads = v.parse().map_err(|_| "bad --pool value".to_string())?;
+    }
+    Ok(settings)
 }
 
 fn outdir(args: &[String]) -> Result<PathBuf, String> {
@@ -114,7 +130,7 @@ fn cmd_render(args: &[String]) -> CliResult {
             h,
             nowrender::coherence::PixelRegion::full(w, h),
             block,
-            RenderSettings::default(),
+            render_settings(args)?,
         );
         for f in 0..anim.frames {
             let (fb, rep) = renderer.render_next(&anim.scene_at(f));
@@ -134,7 +150,7 @@ fn cmd_render(args: &[String]) -> CliResult {
             let fb = render_frame(
                 &scene,
                 &accel,
-                &RenderSettings::default(),
+                &render_settings(args)?,
                 &mut NullListener,
                 &mut rays,
             );
@@ -190,7 +206,7 @@ fn cmd_farm(args: &[String]) -> CliResult {
     let cfg = FarmConfig {
         scheme,
         coherence: !has_flag(args, "--plain"),
-        settings: RenderSettings::default(),
+        settings: render_settings(args)?,
         cost: CostModel::default(),
         grid_voxels: 24 * 24 * 24,
         keep_frames: true,
@@ -217,6 +233,13 @@ fn cmd_farm(args: &[String]) -> CliResult {
         result.report.messages,
         result.report.bytes
     );
+    if result.report.worker_threads > 1 {
+        println!(
+            "  tile pool: {} threads/worker, parallel efficiency {:.0}%",
+            result.report.worker_threads,
+            100.0 * result.report.parallel_efficiency
+        );
+    }
     for (i, m) in result.report.machines.iter().enumerate() {
         println!(
             "  {:<28} busy {:8.2}s  util {:3.0}%  units {:4}",
@@ -257,7 +280,7 @@ fn cmd_demo(args: &[String]) -> CliResult {
     };
     let dir = outdir(args)?;
     let spec = GridSpec::for_scene(anim.swept_bounds(), 24 * 24 * 24);
-    let mut renderer = CoherentRenderer::new(spec, w, h, RenderSettings::default());
+    let mut renderer = CoherentRenderer::new(spec, w, h, render_settings(args)?);
     for f in 0..anim.frames {
         let (fb, rep) = renderer.render_next(&anim.scene_at(f));
         write_frame(&fb, &dir, f)?;

@@ -255,6 +255,7 @@ fn adaptive_antialiasing_keeps_coherence_exact() {
             threshold: 0.1,
             max_level: 2,
         }),
+        threads: 1,
     };
     let cost = CostModel::default();
     let (plain, _) = render_sequence(
