@@ -38,6 +38,7 @@ fn main() {
             sqrt_samples: 1,
             adaptive: None,
             threads: 1,
+            trace: false,
         };
         bench(&format!("ray_depth/depth_{depth}"), 10, || {
             let mut stats = RayStats::default();
@@ -57,6 +58,7 @@ fn main() {
             sqrt_samples: n,
             adaptive: None,
             threads: 1,
+            trace: false,
         };
         bench(&format!("supersampling/{n}x{n}"), 10, || {
             let mut stats = RayStats::default();

@@ -15,6 +15,11 @@
 //!   `BENCH_THREADS`): wall-clock speedup. On a single-core host this
 //!   hovers near 1.0; on CI-class hardware N=4 should exceed 1.5x.
 //!
+//! The top-level `"trace"` key carries the `now-trace` counters and
+//! histograms (ray mix, voxel steps per ray, marks per ray) from one
+//! instrumented frame, so the CI artifact records *what* the kernels did,
+//! not just how long they took.
+//!
 //! Usage: `bench_json [--smoke]` — `--smoke` (or `BENCH_SMOKE=1`) shrinks
 //! frame sizes and iteration counts for fast CI runs. The output path can
 //! be overridden with `BENCH_OUT=/path/to/file.json`.
@@ -130,6 +135,29 @@ fn main() {
         ],
     });
 
+    // --- trace metrics: the same frame once more with the recorder on,
+    // exported as counters/histograms for the CI artifact ---
+    let trace_metrics = {
+        let rec = now_trace::global();
+        rec.clear();
+        rec.set_enabled(true);
+        let mut engine = CoherenceEngine::new(spec, (fw * fh) as usize);
+        let mut stats = RayStats::default();
+        let mut traced = settings.clone();
+        traced.trace = true;
+        black_box(render_frame(
+            black_box(&scene),
+            &accel,
+            &traced,
+            &mut engine,
+            &mut stats,
+        ));
+        rec.set_enabled(false);
+        let snap = rec.snapshot();
+        rec.clear();
+        now_trace::export::metrics_json(&snap)
+    };
+
     // --- change detection (the Vec sort+dedup path) ---
     let anim = glassball::animation_sized(64, 48, 5);
     let dspec = GridSpec::for_scene(anim.swept_bounds(), 24 * 24 * 24);
@@ -194,6 +222,7 @@ fn main() {
     // --- hand-rolled JSON (no serde in the workspace) ---
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!("  \"trace\": {trace_metrics},\n"));
     out.push_str("  \"benches\": {\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!("    \"{}\": {{\n", json_escape_free(r.name)));

@@ -109,11 +109,14 @@ impl<'a> Decoder<'a> {
     }
 
     fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], DecodeError> {
-        if self.pos + n > self.buf.len() {
-            return Err(DecodeError { at: self.pos, what });
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        // checked_add: a hostile length prefix near usize::MAX would
+        // otherwise wrap `pos + n` and pass the bounds check
+        let end = match self.pos.checked_add(n) {
+            Some(e) if e <= self.buf.len() => e,
+            _ => return Err(DecodeError { at: self.pos, what }),
+        };
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
         Ok(s)
     }
 

@@ -29,6 +29,42 @@ pub struct Message {
     pub payload: Vec<u8>,
 }
 
+impl Message {
+    /// Serialise the whole message (header + payload) into a byte frame
+    /// using the [`crate::codec`] wire format. The inverse of
+    /// [`Message::decode`].
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = crate::codec::Encoder::new();
+        e.u64(self.from as u64)
+            .u64(self.to as u64)
+            .u32(self.tag)
+            .bytes(&self.payload);
+        e.finish()
+    }
+
+    /// Decode a frame produced by [`Message::encode`]. Rejects trailing
+    /// garbage so a frame is exactly one message.
+    pub fn decode(buf: &[u8]) -> Result<Message, crate::codec::DecodeError> {
+        let mut d = crate::codec::Decoder::new(buf);
+        let from = d.u64()? as NodeId;
+        let to = d.u64()? as NodeId;
+        let tag = d.u32()?;
+        let payload = d.bytes()?.to_vec();
+        if !d.is_done() {
+            return Err(crate::codec::DecodeError {
+                at: buf.len() - d.remaining(),
+                what: "trailing bytes after message",
+            });
+        }
+        Ok(Message {
+            from,
+            to,
+            tag,
+            payload,
+        })
+    }
+}
+
 /// A channel-level failure: the peer endpoint is gone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChannelError {

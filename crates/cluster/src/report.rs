@@ -94,6 +94,52 @@ impl RunReport {
     pub fn total_busy_s(&self) -> f64 {
         self.machines.iter().map(|m| m.busy_s).sum()
     }
+
+    /// Replay this report into the global trace recorder.
+    ///
+    /// Timeline spans land on the virtual clock (`pid 1` in the Chrome
+    /// export), one track per machine. Span times come from the cost
+    /// model, which scales with the worker thread count, so spans are
+    /// recorded non-deterministic; the aggregate transfer/fault counters
+    /// are payload totals and stay in the deterministic stream.
+    pub fn record_trace(&self) {
+        if !now_trace::enabled() {
+            return;
+        }
+        let rec = now_trace::global();
+        for span in &self.timeline {
+            let name = match span.kind {
+                SpanKind::Compute => "farm.compute",
+                SpanKind::MasterWork => "farm.master",
+                SpanKind::Transfer => "farm.transfer",
+                SpanKind::Reassign => "farm.reassign",
+            };
+            let start_us = (span.start * 1e6) as u64;
+            let dur_us = ((span.end - span.start).max(0.0) * 1e6) as u64;
+            rec.span_at(
+                now_trace::Clock::Virtual,
+                span.machine as u32,
+                name,
+                start_us,
+                dur_us,
+                &[],
+                false,
+            );
+        }
+        // Unit/frame totals are pure functions of the job, but lease
+        // expiries, duplicates and exclusions hinge on virtual timing,
+        // which scales with the worker thread count — keep those out of
+        // the deterministic stream.
+        rec.counter_add("farm.messages", self.messages);
+        rec.counter_add("farm.bytes", self.bytes);
+        rec.counter_add("farm.faults_injected", self.faults_injected);
+        rec.counter_add_nd("farm.reassigns", self.units_reassigned);
+        rec.counter_add_nd("farm.duplicates_dropped", self.duplicates_dropped);
+        rec.counter_add_nd("farm.workers_lost", self.workers_lost);
+        for m in &self.machines {
+            rec.observe_nd("farm.units_per_machine", m.units_done);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -485,6 +485,11 @@ impl SimCluster {
                     );
                 }
                 Event::LeaseCheck => {
+                    if now_trace::enabled() {
+                        // lease-check cadence tracks virtual time, which
+                        // scales with the worker thread count
+                        now_trace::global().counter_add_nd("sim.lease_checks", 1);
+                    }
                     let expiries = ledger.expire_due(at);
                     if expiries.is_empty() {
                         continue;

@@ -1,0 +1,132 @@
+//! Round-trip fuzz tests for whole [`Message`] frames.
+//!
+//! The per-primitive codec is covered by `cluster_props.rs`; these tests
+//! exercise the frame layer the farm actually ships — including the two
+//! shapes that historically break length-prefixed codecs: maximum-size
+//! frames and empty pixel sets.
+
+use now_cluster::{Decoder, Encoder, Message};
+use now_testkit::{cases, Rng};
+
+fn random_message(rng: &mut Rng) -> Message {
+    Message {
+        from: rng.usize_in(0, 64),
+        to: rng.usize_in(0, 64),
+        tag: rng.u32(),
+        payload: rng.vec(0, 512, Rng::u8),
+    }
+}
+
+/// Any message round-trips through its byte frame unchanged.
+#[test]
+fn message_roundtrip() {
+    cases(512, |rng| {
+        let m = random_message(rng);
+        let frame = m.encode();
+        assert_eq!(Message::decode(&frame).unwrap(), m);
+    });
+}
+
+/// An empty pixel set (zero-length payload) is a legal frame: the length
+/// prefix is 0 and the body is absent.
+#[test]
+fn empty_payload_roundtrips() {
+    let m = Message {
+        from: 0,
+        to: 3,
+        tag: 7,
+        payload: Vec::new(),
+    };
+    let frame = m.encode();
+    // header = 2×u64 + u32 tag + u32 length prefix, no body
+    assert_eq!(frame.len(), 8 + 8 + 4 + 4);
+    assert_eq!(Message::decode(&frame).unwrap(), m);
+}
+
+/// A result frame for a full worker region at paper scale (every pixel of
+/// a 640x480 tile recomputed, 7 bytes each) survives the round trip.
+#[test]
+fn max_size_frame_roundtrips() {
+    let mut rng = Rng::with_seed(42);
+    let payload: Vec<u8> = (0..640 * 480 * 7).map(|_| rng.u8()).collect();
+    let m = Message {
+        from: 2,
+        to: 0,
+        tag: 0xFFFF_FFFF,
+        payload,
+    };
+    let frame = m.encode();
+    let back = Message::decode(&frame).unwrap();
+    assert_eq!(back, m);
+}
+
+/// Truncating a frame anywhere produces a clean error, never a panic and
+/// never a bogus success.
+#[test]
+fn truncated_frames_fail_cleanly() {
+    let m = Message {
+        from: 1,
+        to: 0,
+        tag: 99,
+        payload: vec![5; 100],
+    };
+    let frame = m.encode();
+    for cut in 0..frame.len() {
+        let err = Message::decode(&frame[..cut]).unwrap_err();
+        assert!(err.at <= cut, "error offset {} past cut {}", err.at, cut);
+    }
+}
+
+/// Trailing garbage after a valid frame is rejected — a frame is exactly
+/// one message.
+#[test]
+fn trailing_bytes_are_rejected() {
+    let m = Message {
+        from: 0,
+        to: 1,
+        tag: 1,
+        payload: vec![1, 2],
+    };
+    let mut frame = m.encode();
+    frame.push(0xAA);
+    let err = Message::decode(&frame).unwrap_err();
+    assert!(err.to_string().contains("trailing"));
+}
+
+/// A hostile length prefix near `u32::MAX` must error instead of wrapping
+/// the decoder's bounds arithmetic (the overflow the `checked_add` guard
+/// in `Decoder::take` exists for).
+#[test]
+fn huge_length_prefix_fails_cleanly() {
+    let mut e = Encoder::new();
+    e.u64(0).u64(1).u32(7).u32(u32::MAX); // length prefix with no body
+    let frame = e.finish();
+    assert!(Message::decode(&frame).is_err());
+
+    // and at the raw codec layer, straight into bytes()
+    let mut e = Encoder::new();
+    e.u32(u32::MAX - 2);
+    let buf = e.finish();
+    let mut d = Decoder::new(&buf);
+    assert!(d.bytes().is_err());
+}
+
+/// Fuzzed corruption of valid frames: decode must return (ok or error),
+/// never panic, and byte flips outside the payload body must not produce
+/// the original message.
+#[test]
+fn corrupted_frames_never_panic() {
+    cases(256, |rng| {
+        let m = random_message(rng);
+        let mut frame = m.encode();
+        if rng.bool() && !frame.is_empty() {
+            frame.truncate(rng.usize_in(0, frame.len()));
+        } else {
+            for _ in 0..rng.usize_in(1, 4) {
+                let i = rng.usize_in(0, frame.len());
+                frame[i] ^= rng.u8() | 1;
+            }
+        }
+        let _ = Message::decode(&frame);
+    });
+}

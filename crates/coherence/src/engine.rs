@@ -111,6 +111,10 @@ impl CoherenceEngine {
             changed.windows(2).all(|w| w[0] < w[1]),
             "changed voxels must be sorted and deduplicated"
         );
+        // fast path: nothing changed — skip the per-pixel `seen` allocation
+        if changed.is_empty() {
+            return Vec::new();
+        }
         let mut dirty: Vec<PixelId> = Vec::new();
         let mut seen = vec![false; self.gen.len()];
         for &v in changed {
@@ -180,6 +184,7 @@ impl RayListener for CoherenceEngine {
         self.stats.rays_recorded += 1;
         let gen = self.gen[pixel as usize];
         let range = Interval::new(0.0, t_max);
+        let marks_before = self.stats.marks;
         // Split borrows: traverse is on the spec (copy), lists/stamps are
         // disjoint fields.
         let spec = self.spec;
@@ -197,6 +202,11 @@ impl RayListener for CoherenceEngine {
             }
             true
         });
+        if now_trace::enabled() {
+            // rays reach the engine in canonical shard order, so the mark
+            // multiset is identical for any pool thread count
+            now_trace::global().observe("coh.marks_per_ray", self.stats.marks - marks_before);
+        }
     }
 }
 
@@ -300,6 +310,43 @@ mod tests {
         assert_eq!(s.marks, 4);
         assert_eq!(s.entries, 4);
         assert!(e.memory_bytes() > 400);
+    }
+
+    #[test]
+    fn empty_change_set_fast_path_touches_nothing() {
+        let mut e = engine();
+        e.on_ray(8, &x_ray(0.5, 0.5), RayKind::Primary, f64::INFINITY);
+        let stats_before = e.stats();
+        let entries_before = e.entry_count();
+        assert!(e.dirty_pixels(&[]).is_empty());
+        // no purging, no statistics movement — the fast path really is a no-op
+        assert_eq!(e.stats(), stats_before);
+        assert_eq!(e.entry_count(), entries_before);
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "contract checked via debug_assert")]
+    #[should_panic(expected = "sorted and deduplicated")]
+    fn adjacent_duplicate_voxels_violate_the_contract() {
+        let mut e = engine();
+        e.dirty_pixels(&[Voxel::new(1, 0, 0), Voxel::new(1, 0, 0)]);
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "contract checked via debug_assert")]
+    #[should_panic(expected = "sorted and deduplicated")]
+    fn unsorted_voxels_violate_the_contract() {
+        let mut e = engine();
+        e.dirty_pixels(&[Voxel::new(2, 0, 0), Voxel::new(1, 0, 0)]);
+    }
+
+    #[test]
+    fn sorted_contract_accepts_strictly_ascending_input() {
+        let mut e = engine();
+        e.on_ray(5, &x_ray(0.5, 0.5), RayKind::Primary, f64::INFINITY);
+        // strictly ascending in the Voxel ordering: fine
+        let dirty = e.dirty_pixels(&[Voxel::new(0, 0, 0), Voxel::new(1, 0, 0)]);
+        assert_eq!(dirty, vec![5]);
     }
 
     #[test]

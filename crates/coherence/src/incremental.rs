@@ -243,6 +243,41 @@ impl CoherentRenderer {
         self.last_compact_size = 0;
     }
 
+    /// Emit the frame's coherence events into the global trace recorder.
+    ///
+    /// Everything here is deterministic: frames arrive in sequence order on
+    /// the driving thread, and the dirty set is a pure function of the
+    /// scene pair — so these events are part of the golden stream.
+    fn emit_trace(&self, report: &FrameReport) {
+        if !self.settings.trace || !now_trace::enabled() {
+            return;
+        }
+        let rec = now_trace::global();
+        let dirty_pm = if report.region_pixels == 0 {
+            0
+        } else {
+            report.pixels_rendered as u64 * 1000 / report.region_pixels as u64
+        };
+        rec.instant(
+            0,
+            "coh.frame",
+            &[
+                ("frame", report.frame_index as u64),
+                ("changed", report.changed_voxels as u64),
+                ("rendered", report.pixels_rendered as u64),
+                ("dirty_pm", dirty_pm),
+            ],
+            true,
+        );
+        rec.counter_add("coh.recomputed_pixels", report.pixels_rendered as u64);
+        rec.counter_add(
+            "coh.copied_pixels",
+            (report.region_pixels - report.pixels_rendered) as u64,
+        );
+        rec.counter_add("coh.changed_voxels", report.changed_voxels as u64);
+        rec.counter_add("coh.frames", 1);
+    }
+
     /// Render the next frame of the sequence.
     ///
     /// Returns the full-size framebuffer (pixels outside the region are
@@ -342,6 +377,7 @@ impl CoherentRenderer {
             memory_bytes: self.engine.memory_bytes(),
             parallel,
         };
+        self.emit_trace(&report);
         self.frame_index += 1;
         self.prev = Some((scene.clone(), fb.clone()));
         (fb, report)

@@ -412,9 +412,36 @@ fn shared_spec(anim: &Animation, cfg: &FarmConfig) -> GridSpec {
     GridSpec::for_scene(anim.swept_bounds(), cfg.grid_voxels)
 }
 
+/// Replay a finished run into the global trace recorder: backend timeline
+/// and transfer totals via [`now_cluster::RunReport::record_trace`], plus
+/// the farm-level aggregates. Frame fingerprints go in as deterministic
+/// instants — the strongest oracle the golden-trace harness has, since
+/// they cover every output pixel.
+fn record_farm_trace(master: &FarmMaster, report: &now_cluster::RunReport) {
+    if !now_trace::enabled() {
+        return;
+    }
+    report.record_trace();
+    let rec = now_trace::global();
+    for (i, &h) in master.frame_hashes.iter().enumerate() {
+        rec.instant(
+            0,
+            "farm.frame_hash",
+            &[("frame", i as u64), ("hash", h)],
+            true,
+        );
+    }
+    rec.counter_add("farm.units_done", master.units_done);
+    rec.counter_add("farm.pixels_shipped", master.pixels_shipped);
+    rec.counter_add("farm.marks", master.marks);
+    rec.counter_add("farm.rays", master.rays.total_rays());
+    rec.counter_add("farm.frames", master.frame_hashes.len() as u64);
+}
+
 fn collect(master: FarmMaster, mut report: now_cluster::RunReport, frames: u32) -> FarmResult {
     report.worker_threads = master.parallel.threads;
     report.parallel_efficiency = master.parallel.efficiency();
+    record_farm_trace(&master, &report);
     // as long as one worker survived, recovery must have completed every
     // frame; only a total loss may return a partial result
     if (report.workers_lost as usize) < report.machines.len() {

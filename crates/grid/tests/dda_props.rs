@@ -113,6 +113,43 @@ fn dda_range_restriction_is_monotone() {
     });
 }
 
+/// The walk never steps outside the grid resolution, for rays starting
+/// inside, outside, on faces, and for near-axis directions — the classic
+/// DDA failure modes.
+#[test]
+fn dda_never_exits_grid_bounds() {
+    cases(400, |rng| {
+        let spec = grid(rng);
+        let r = if rng.bool() {
+            ray(rng)
+        } else {
+            // near-axis ray from a face: tiny cross components stress the
+            // t_max bookkeeping where exits historically go wrong
+            let axis = rng.usize_in(0, 3);
+            let mut d = [rng.f64_in(-1e-6, 1e-6); 3];
+            d[axis] = if rng.bool() { 1.0 } else { -1.0 };
+            let mut o = [rng.f64_in(0.0, 8.0); 3];
+            o[axis] = if d[axis] > 0.0 { 0.0 } else { 8.0 };
+            Ray::new(
+                Point3::new(o[0], o[1], o[2]),
+                Vec3::new(d[0], d[1], d[2]).normalized(),
+            )
+        };
+        let mut steps = 0usize;
+        for s in GridTraversal::new(&spec, &r, Interval::non_negative()) {
+            assert!(
+                spec.in_range(s.voxel),
+                "DDA stepped outside the grid: {:?}",
+                s.voxel
+            );
+            steps += 1;
+        }
+        // a monotone 6-connected walk can never revisit a voxel, so it is
+        // bounded by the voxel count (a loop would blow well past this)
+        assert!(steps <= spec.voxel_count(), "walk visited {steps} voxels");
+    });
+}
+
 /// Overlap rasterisation agrees with per-voxel box overlap.
 #[test]
 fn overlap_matches_brute_force() {

@@ -86,10 +86,12 @@ impl GridAccel {
 
         // Walk the grid front to back; once a voxel's entry t exceeds the
         // best hit found so far, no later voxel can contain a closer hit.
+        let mut steps: u64 = 0;
         for step in GridTraversal::new(self.cells.spec(), ray, range) {
             if step.t_enter > best_t {
                 break;
             }
+            steps += 1;
             for &id in self.cells.get(step.voxel) {
                 stats.intersection_tests += 1;
                 if let Some(h) =
@@ -99,6 +101,11 @@ impl GridAccel {
                     best = Some((id, h));
                 }
             }
+        }
+        if now_trace::enabled() {
+            // the step multiset is a pure function of (scene, rays), so the
+            // histogram is identical for any tile schedule or thread count
+            now_trace::global().observe("grid.steps_per_ray", steps);
         }
         best
     }
@@ -117,10 +124,12 @@ impl GridAccel {
             }
         }
         let mut hit = false;
+        let mut steps: u64 = 0;
         for step in GridTraversal::new(self.cells.spec(), ray, range) {
             if step.t_enter > range.max {
                 break;
             }
+            steps += 1;
             for &id in self.cells.get(step.voxel) {
                 stats.intersection_tests += 1;
                 if scene.objects[id as usize].intersects(ray, range) {
@@ -131,6 +140,9 @@ impl GridAccel {
             if hit {
                 break;
             }
+        }
+        if now_trace::enabled() {
+            now_trace::global().observe("grid.steps_per_ray", steps);
         }
         hit
     }

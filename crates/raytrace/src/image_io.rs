@@ -1,9 +1,14 @@
-//! Image writers: Targa (the paper's output format), PPM and PGM.
+//! Image writers: Targa (the paper's output format), PNG, PPM and PGM.
 //!
 //! "The POV-Ray renderer generated animation frames ... in targa format
 //! with 24-bit color" — [`write_tga`] produces exactly that: an
 //! uncompressed type-2 Targa with 24-bit BGR pixels, bottom-up row order
 //! as is conventional for TGA.
+//!
+//! [`png_bytes`] is a dependency-free PNG encoder (stored/uncompressed
+//! deflate blocks, hand-rolled CRC-32 and Adler-32) so golden images can
+//! be checked in as a universally viewable format without pulling a
+//! compression crate into the offline build.
 
 use crate::framebuffer::Framebuffer;
 use std::io::{self, Write};
@@ -75,6 +80,98 @@ pub fn tga_decode(bytes: &[u8]) -> io::Result<DecodedImage> {
 /// Write a framebuffer to a TGA file.
 pub fn write_tga(fb: &Framebuffer, path: &Path) -> io::Result<()> {
     std::fs::write(path, tga_bytes(fb))
+}
+
+/// CRC-32 (ISO 3309, polynomial 0xEDB88320) as required by PNG chunks.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Adler-32 over the uncompressed zlib payload.
+fn adler32(bytes: &[u8]) -> u32 {
+    const MOD: u32 = 65521;
+    let (mut a, mut b) = (1u32, 0u32);
+    for chunk in bytes.chunks(5552) {
+        for &x in chunk {
+            a += x as u32;
+            b += a;
+        }
+        a %= MOD;
+        b %= MOD;
+    }
+    (b << 16) | a
+}
+
+/// Append one PNG chunk: length, type, data, CRC over type+data.
+fn png_chunk(out: &mut Vec<u8>, kind: &[u8; 4], data: &[u8]) {
+    out.extend_from_slice(&(data.len() as u32).to_be_bytes());
+    let start = out.len();
+    out.extend_from_slice(kind);
+    out.extend_from_slice(data);
+    let crc = crc32(&out[start..]);
+    out.extend_from_slice(&crc.to_be_bytes());
+}
+
+/// Encode a framebuffer as an 8-bit truecolor PNG.
+///
+/// The zlib stream uses stored (uncompressed) deflate blocks — bigger than
+/// a real compressor's output but byte-for-byte reproducible everywhere,
+/// which is what the golden-image tests hash.
+pub fn png_bytes(fb: &Framebuffer) -> Vec<u8> {
+    // scanlines: filter byte 0 (None) + RGB triples, top-down
+    let w = fb.width();
+    let h = fb.height();
+    let mut raw = Vec::with_capacity((h as usize) * (1 + 3 * w as usize));
+    for y in 0..h {
+        raw.push(0u8);
+        for x in 0..w {
+            let (r, g, b) = fb.get(x, y).to_u8();
+            raw.extend_from_slice(&[r, g, b]);
+        }
+    }
+
+    // zlib wrapper: CMF/FLG then stored deflate blocks then Adler-32
+    let mut idat = vec![0x78, 0x01];
+    let mut chunks = raw.chunks(0xFFFF).peekable();
+    loop {
+        // an empty image still needs one (empty) stored block
+        let block: &[u8] = chunks.next().unwrap_or(&[]);
+        let last = chunks.peek().is_none();
+        idat.push(last as u8);
+        idat.extend_from_slice(&(block.len() as u16).to_le_bytes());
+        idat.extend_from_slice(&(!(block.len() as u16)).to_le_bytes());
+        idat.extend_from_slice(block);
+        if last {
+            break;
+        }
+    }
+    idat.extend_from_slice(&adler32(&raw).to_be_bytes());
+
+    let mut ihdr = Vec::with_capacity(13);
+    ihdr.extend_from_slice(&w.to_be_bytes());
+    ihdr.extend_from_slice(&h.to_be_bytes());
+    // bit depth 8, color type 2 (truecolor), deflate, filter 0, no interlace
+    ihdr.extend_from_slice(&[8, 2, 0, 0, 0]);
+
+    let mut out = Vec::with_capacity(57 + idat.len());
+    out.extend_from_slice(&[137, b'P', b'N', b'G', 13, 10, 26, 10]);
+    png_chunk(&mut out, b"IHDR", &ihdr);
+    png_chunk(&mut out, b"IDAT", &idat);
+    png_chunk(&mut out, b"IEND", &[]);
+    out
+}
+
+/// Write a framebuffer to a PNG file.
+pub fn write_png(fb: &Framebuffer, path: &Path) -> io::Result<()> {
+    std::fs::write(path, png_bytes(fb))
 }
 
 /// Encode as binary PPM (P6), top-down RGB.
@@ -174,5 +271,91 @@ mod tests {
     #[should_panic]
     fn pgm_mask_size_mismatch_panics() {
         let _ = pgm_mask_bytes(2, 2, &[true; 3]);
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // standard check value for "123456789"
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        // every PNG ends with the IEND chunk whose CRC is famously ae426082
+        assert_eq!(crc32(b"IEND"), 0xAE42_6082);
+    }
+
+    #[test]
+    fn adler32_known_vectors() {
+        assert_eq!(adler32(b""), 1);
+        assert_eq!(adler32(b"Wikipedia"), 0x11E6_0398);
+    }
+
+    /// Un-deflate the stored blocks of our own zlib stream (the only shape
+    /// [`png_bytes`] emits) to round-trip the scanlines.
+    fn inflate_stored(zlib: &[u8]) -> Vec<u8> {
+        assert_eq!(&zlib[..2], &[0x78, 0x01]);
+        let mut out = Vec::new();
+        let mut i = 2;
+        loop {
+            let last = zlib[i];
+            let len = u16::from_le_bytes([zlib[i + 1], zlib[i + 2]]) as usize;
+            let nlen = u16::from_le_bytes([zlib[i + 3], zlib[i + 4]]);
+            assert_eq!(nlen, !(len as u16), "NLEN must be ones-complement");
+            i += 5;
+            out.extend_from_slice(&zlib[i..i + len]);
+            i += len;
+            if last == 1 {
+                break;
+            }
+        }
+        assert_eq!(
+            u32::from_be_bytes(zlib[i..i + 4].try_into().unwrap()),
+            adler32(&out)
+        );
+        out
+    }
+
+    #[test]
+    fn png_structure_and_pixels_roundtrip() {
+        let fb = sample_fb();
+        let bytes = png_bytes(&fb);
+        assert_eq!(&bytes[..8], &[137, b'P', b'N', b'G', 13, 10, 26, 10]);
+        // IHDR: length 13 at offset 8, then type
+        assert_eq!(&bytes[8..16], &[0, 0, 0, 13, b'I', b'H', b'D', b'R']);
+        assert_eq!(u32::from_be_bytes(bytes[16..20].try_into().unwrap()), 3);
+        assert_eq!(u32::from_be_bytes(bytes[20..24].try_into().unwrap()), 2);
+        assert_eq!(&bytes[24..29], &[8, 2, 0, 0, 0]); // depth 8, RGB
+        assert!(bytes.ends_with(&[b'I', b'E', b'N', b'D', 0xAE, 0x42, 0x60, 0x82]));
+
+        // every chunk's CRC must verify
+        let mut i = 8;
+        let mut kinds = Vec::new();
+        while i < bytes.len() {
+            let len = u32::from_be_bytes(bytes[i..i + 4].try_into().unwrap()) as usize;
+            let body = &bytes[i + 4..i + 8 + len];
+            let crc = u32::from_be_bytes(bytes[i + 8 + len..i + 12 + len].try_into().unwrap());
+            assert_eq!(crc, crc32(body), "bad CRC in {:?}", &body[..4]);
+            kinds.push(body[..4].to_vec());
+            i += 12 + len;
+        }
+        assert_eq!(
+            kinds,
+            vec![b"IHDR".to_vec(), b"IDAT".to_vec(), b"IEND".to_vec()]
+        );
+
+        // scanlines: filter byte 0 then RGB, top-down
+        let idat_len = u32::from_be_bytes(bytes[33..37].try_into().unwrap()) as usize;
+        let raw = inflate_stored(&bytes[41..41 + idat_len]);
+        assert_eq!(raw.len(), 2 * (1 + 3 * 3));
+        assert_eq!(&raw[..10], &[0, 255, 0, 0, 0, 255, 0, 0, 0, 255]);
+    }
+
+    #[test]
+    fn png_multi_block_stored_stream() {
+        // a frame big enough that the scanline stream exceeds one stored
+        // block's 65,535-byte limit
+        let fb = Framebuffer::new(200, 120); // (1+600)*120 = 72,120 bytes
+        let bytes = png_bytes(&fb);
+        let idat_len = u32::from_be_bytes(bytes[33..37].try_into().unwrap()) as usize;
+        let raw = inflate_stored(&bytes[41..41 + idat_len]);
+        assert_eq!(raw.len(), 72_120);
+        assert!(raw.iter().all(|&b| b == 0), "blank frame is all zeros");
     }
 }

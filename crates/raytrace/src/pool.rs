@@ -45,6 +45,9 @@ const MIN_TILE: usize = 64;
 const MAX_TILE: usize = 4096;
 /// Tiles moved from the injector to a thread's local deque per claim.
 const INJECTOR_BATCH: usize = 2;
+/// Trace track of pool worker `i` is `POOL_TRACK_BASE + i` (track 0 is the
+/// caller's thread).
+const POOL_TRACK_BASE: u32 = 100;
 
 /// How a pixel set was executed by the pool, and what it cost.
 ///
@@ -192,6 +195,7 @@ pub fn render_tiles<S: ShardableListener>(
     threads: u32,
 ) -> ParallelStats {
     let threads = threads.max(1) as usize;
+    let tracing = settings.trace && now_trace::enabled();
     if threads == 1 || ids.len() < MIN_PAR_PIXELS {
         let before = stats.total_rays();
         for &id in ids {
@@ -260,16 +264,36 @@ pub fn render_tiles<S: ShardableListener>(
                         // 3. steal the oldest tile of a random victim
                         if tile.is_none() {
                             let start = (xorshift(&mut rng) as usize) % threads;
-                            tile = (0..threads)
-                                .map(|k| (start + k) % threads)
-                                .filter(|&v| v != me)
-                                .find_map(|v| locals[v].lock().expect("pool lock").pop_front());
+                            for v in (0..threads).map(|k| (start + k) % threads) {
+                                if v == me {
+                                    continue;
+                                }
+                                tile = locals[v].lock().expect("pool lock").pop_front();
+                                if let Some(t) = &tile {
+                                    if tracing {
+                                        // which thread stole which tile is OS
+                                        // schedule — never in the golden stream
+                                        let rec = now_trace::global();
+                                        rec.instant(
+                                            POOL_TRACK_BASE + me as u32,
+                                            "pool.steal",
+                                            &[("victim", v as u64), ("tile", t.idx as u64)],
+                                            false,
+                                        );
+                                        rec.counter_add_nd("pool.steals", 1);
+                                    }
+                                    break;
+                                }
+                            }
                         }
                         let Some(mut tile) = tile else {
                             // No queue had work. Tiles are never re-queued,
                             // so nothing to wait for: exit.
                             break;
                         };
+                        let mut tile_span = tracing.then(|| {
+                            now_trace::global().span(POOL_TRACK_BASE + me as u32, "pool.tile")
+                        });
                         let mut tstats = RayStats::default();
                         let mut colors = Vec::with_capacity(tile.ids.len());
                         for &id in tile.ids {
@@ -286,6 +310,12 @@ pub fn render_tiles<S: ShardableListener>(
                             );
                             colors.push(c);
                         }
+                        if let Some(s) = tile_span.as_mut() {
+                            s.arg("tile", tile.idx as u64);
+                            s.arg("pixels", tile.ids.len() as u64);
+                            s.arg("rays", tstats.total_rays());
+                        }
+                        drop(tile_span);
                         out.push(TileDone {
                             idx: tile.idx,
                             colors,
@@ -315,6 +345,11 @@ pub fn render_tiles<S: ShardableListener>(
         stats.merge(&t.stats);
     }
 
+    if tracing {
+        // tile count depends on the thread count (tile size is derived from
+        // it), so this stays out of the normalized stream
+        now_trace::global().counter_add_nd("pool.tiles", tile_rays.len() as u64);
+    }
     let total_rays: u64 = tile_rays.iter().sum();
     ParallelStats {
         threads: threads as u32,

@@ -57,6 +57,12 @@ pub struct RenderSettings {
     /// `n >= 2` uses exactly `n` threads. Any value produces byte-identical
     /// frames and identical listener state.
     pub threads: u32,
+    /// Emit renderer-layer events (render spans, per-kind ray counters,
+    /// tile run/steal events) into the global [`now_trace`] recorder.
+    /// Recording still requires the recorder to be enabled; with the
+    /// default `false` the renderer stays dark even while other layers
+    /// trace. See DESIGN.md §10.
+    pub trace: bool,
 }
 
 impl Default for RenderSettings {
@@ -66,6 +72,7 @@ impl Default for RenderSettings {
             sqrt_samples: 1,
             adaptive: None,
             threads: 1,
+            trace: false,
         }
     }
 }
@@ -221,6 +228,22 @@ fn check_frame_dims(scene: &Scene, fb: &Framebuffer) {
     assert_eq!(fb.height(), scene.camera.height());
 }
 
+/// Add the rays fired between two [`RayStats`] observations to the global
+/// trace counters. Per-kind totals are order-insensitive, so they are
+/// deterministic for any tile schedule and thread count.
+fn emit_ray_counters(before: &RayStats, after: &RayStats) {
+    let rec = now_trace::global();
+    rec.counter_add("rays.primary", after.primary - before.primary);
+    rec.counter_add("rays.reflected", after.reflected - before.reflected);
+    rec.counter_add("rays.transmitted", after.transmitted - before.transmitted);
+    rec.counter_add("rays.shadow", after.shadow - before.shadow);
+    rec.counter_add(
+        "rays.intersection_tests",
+        after.intersection_tests - before.intersection_tests,
+    );
+    rec.counter_add("render.pixels_shaded", after.pixels - before.pixels);
+}
+
 /// Render an arbitrary set of pixels into an existing framebuffer.
 ///
 /// With `settings.threads` resolving to 1 this is the plain sequential
@@ -238,26 +261,40 @@ pub fn render_pixels<L: RayListener>(
     stats: &mut RayStats,
 ) {
     check_frame_dims(scene, fb);
+    let tracing = settings.trace && now_trace::enabled();
+    let before = if tracing { *stats } else { RayStats::default() };
+    let mut span = tracing.then(|| now_trace::global().span(0, "render.pixels"));
     let threads = settings.resolve_threads();
     if threads <= 1 {
+        let mut shaded = 0u64;
         for id in ids {
             let (x, y) = fb.coords_of(id);
             let c = shade_pixel(scene, accel, settings, x, y, id, listener, stats);
             fb.set_id(id, c);
+            shaded += 1;
         }
-        return;
+        if let Some(s) = span.as_mut() {
+            s.arg("pixels", shaded);
+        }
+    } else {
+        let ids: Vec<PixelId> = ids.into_iter().collect();
+        if let Some(s) = span.as_mut() {
+            s.arg("pixels", ids.len() as u64);
+        }
+        pool::render_tiles(
+            scene,
+            accel,
+            settings,
+            fb,
+            &ids,
+            &mut Replay(listener),
+            stats,
+            threads,
+        );
     }
-    let ids: Vec<PixelId> = ids.into_iter().collect();
-    pool::render_tiles(
-        scene,
-        accel,
-        settings,
-        fb,
-        &ids,
-        &mut Replay(listener),
-        stats,
-        threads,
-    );
+    if tracing {
+        emit_ray_counters(&before, stats);
+    }
 }
 
 /// Render a pixel set through the tile pool, reporting how the work
@@ -277,8 +314,19 @@ pub fn render_pixels_par<S: ShardableListener>(
     stats: &mut RayStats,
 ) -> ParallelStats {
     check_frame_dims(scene, fb);
+    let tracing = settings.trace && now_trace::enabled();
+    let before = if tracing { *stats } else { RayStats::default() };
+    let mut span = tracing.then(|| now_trace::global().span(0, "render.pixels_par"));
     let threads = settings.resolve_threads();
-    pool::render_tiles(scene, accel, settings, fb, ids, listener, stats, threads)
+    let par = pool::render_tiles(scene, accel, settings, fb, ids, listener, stats, threads);
+    if tracing {
+        emit_ray_counters(&before, stats);
+        if let Some(s) = span.as_mut() {
+            s.arg("pixels", ids.len() as u64);
+            s.arg("tiles", par.tiles as u64);
+        }
+    }
+    par
 }
 
 /// Render a complete frame.
@@ -415,6 +463,7 @@ mod tests {
             sqrt_samples: 2,
             adaptive: None,
             threads: 1,
+            trace: false,
         };
         let a = render_frame(
             &s,
@@ -500,6 +549,7 @@ mod tests {
             sqrt_samples: 3,
             adaptive: None,
             threads: 1,
+            trace: false,
         }
         .sample_offsets();
         assert_eq!(offsets.len(), 9);
@@ -519,6 +569,7 @@ mod tests {
             sqrt_samples: 1,
             adaptive: None,
             threads: 1,
+            trace: false,
         };
         let adaptive = RenderSettings {
             max_depth: 2,
@@ -528,6 +579,7 @@ mod tests {
                 max_level: 2,
             }),
             threads: 1,
+            trace: false,
         };
         let mut flat_stats = RayStats::default();
         let _ = render_frame(&s, &accel, &plain, &mut NullListener, &mut flat_stats);
@@ -553,6 +605,7 @@ mod tests {
             sqrt_samples: 1,
             adaptive: Some(Adaptive::default()),
             threads: 1,
+            trace: false,
         };
         let full = render_frame(
             &s,
@@ -587,6 +640,7 @@ mod tests {
             sqrt_samples: 1,
             adaptive: None,
             threads: 1,
+            trace: false,
         };
         let ad = RenderSettings {
             max_depth: 2,
@@ -596,6 +650,7 @@ mod tests {
                 max_level: 3,
             }),
             threads: 1,
+            trace: false,
         };
         let a = render_frame(
             &s,
@@ -618,12 +673,14 @@ mod tests {
             sqrt_samples: 1,
             adaptive: None,
             threads: 1,
+            trace: false,
         };
         let four = RenderSettings {
             max_depth: 3,
             sqrt_samples: 2,
             adaptive: None,
             threads: 1,
+            trace: false,
         };
         let a = render_frame(
             &s,

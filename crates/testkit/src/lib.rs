@@ -12,6 +12,10 @@
 //!   panic message carries the case index and seed so the exact input can
 //!   be replayed with [`Rng::with_seed`].
 //! * [`bench`] — a minimal timing harness for `harness = false` benches.
+//! * [`golden`] — golden-file assertions with `NOW_BLESS=1` regeneration,
+//!   used by the trace-determinism harness and image regression tests.
+
+pub mod golden;
 
 use std::time::Instant;
 

@@ -14,6 +14,9 @@
 //!   --scheme S         seq | frame | hybrid   (default: frame)
 //!   --plain            disable frame coherence
 //!   --pool N           tile-pool threads inside every worker (0 = auto)
+//!   --trace FILE       record a Chrome trace_event JSON of the run
+//!                      (open in chrome://tracing or ui.perfetto.dev;
+//!                      see DESIGN.md §10 for the schema)
 //! nowfarm demo   NAME [frames [WxH]]        render a built-in animation
 //!                                           (newton | glassball | orbit)
 //!   --pool N           intra-worker tile-pool threads (0 = auto; default 1)
@@ -203,7 +206,8 @@ fn cmd_farm(args: &[String]) -> CliResult {
         },
         other => return Err(format!("unknown scheme `{other}` (seq|frame|hybrid)")),
     };
-    let cfg = FarmConfig {
+    let trace_path = flag_value(args, "--trace");
+    let mut cfg = FarmConfig {
         scheme,
         coherence: !has_flag(args, "--plain"),
         settings: render_settings(args)?,
@@ -211,6 +215,11 @@ fn cmd_farm(args: &[String]) -> CliResult {
         grid_voxels: 24 * 24 * 24,
         keep_frames: true,
     };
+    if trace_path.is_some() {
+        cfg.settings.trace = true;
+        nowrender::trace::global().clear();
+        nowrender::trace::global().set_enabled(true);
+    }
 
     let result = if let Some(n) = flag_value(args, "--threads") {
         let n: usize = n.parse().map_err(|_| "bad --threads value")?;
@@ -222,8 +231,23 @@ fn cmd_farm(args: &[String]) -> CliResult {
             None => MachineSpec::paper_cluster(),
         };
         println!("simulating {} machines ...", machines.len());
-        run_sim(&anim, &cfg, &SimCluster::new(machines))
+        let mut cluster = SimCluster::new(machines);
+        // gantt spans feed the Chrome export's virtual-time process
+        cluster.record_timeline = trace_path.is_some();
+        run_sim(&anim, &cfg, &cluster)
     };
+
+    if let Some(path) = trace_path {
+        let rec = nowrender::trace::global();
+        rec.set_enabled(false);
+        let snap = rec.snapshot();
+        std::fs::write(path, nowrender::trace::export::chrome_json(&snap))
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!(
+            "trace: {} events -> {path} (open in chrome://tracing or ui.perfetto.dev)",
+            snap.events.len()
+        );
+    }
 
     println!(
         "makespan {:.2}s, {} rays, {} units, {} messages, {} bytes over the wire",

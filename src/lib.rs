@@ -25,6 +25,9 @@
 //! * [`core`] — the render farm: partitioning schemes (sequence
 //!   division / frame division / hybrid), adaptive demand-driven load
 //!   balancing, master/worker protocol, and the calibrated cost model.
+//! * [`trace`] — the observability layer: ring-buffer event recorder,
+//!   counters and histograms, Chrome `trace_event` / metrics exporters,
+//!   and the normalized golden-trace stream (see DESIGN.md §10).
 //!
 //! ## Quickstart
 //!
@@ -51,3 +54,4 @@ pub use now_core as core;
 pub use now_grid as grid;
 pub use now_math as math;
 pub use now_raytrace as raytrace;
+pub use now_trace as trace;

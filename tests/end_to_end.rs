@@ -256,6 +256,7 @@ fn adaptive_antialiasing_keeps_coherence_exact() {
             max_level: 2,
         }),
         threads: 1,
+        trace: false,
     };
     let cost = CostModel::default();
     let (plain, _) = render_sequence(
