@@ -11,6 +11,14 @@ pub struct Encoder {
     buf: Vec<u8>,
 }
 
+/// Convert a host-side length to the wire's `u32` prefix. `v.len() as u32`
+/// would silently truncate a 4 GiB+ payload into a small prefix and corrupt
+/// the stream; over-long payloads are a caller bug, so fail loudly.
+fn len_u32(len: usize, what: &'static str) -> u32 {
+    u32::try_from(len)
+        .unwrap_or_else(|_| panic!("{what} payload of {len} items exceeds u32 frame limit"))
+}
+
 impl Encoder {
     /// Fresh empty encoder.
     pub fn new() -> Encoder {
@@ -42,8 +50,12 @@ impl Encoder {
     }
 
     /// Append a length-prefixed byte slice.
+    ///
+    /// # Panics
+    ///
+    /// If `v.len()` does not fit the `u32` length prefix.
     pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
-        self.u32(v.len() as u32);
+        self.u32(len_u32(v.len(), "bytes"));
         self.buf.extend_from_slice(v);
         self
     }
@@ -54,8 +66,12 @@ impl Encoder {
     }
 
     /// Append a length-prefixed `u32` sequence.
+    ///
+    /// # Panics
+    ///
+    /// If `v.len()` does not fit the `u32` length prefix.
     pub fn u32_slice(&mut self, v: &[u32]) -> &mut Self {
-        self.u32(v.len() as u32);
+        self.u32(len_u32(v.len(), "u32 sequence"));
         for &x in v {
             self.u32(x);
         }
@@ -147,9 +163,14 @@ impl<'a> Decoder<'a> {
     }
 
     /// Read a length-prefixed UTF-8 string.
+    ///
+    /// A validation failure reports the offset where the string field
+    /// *starts* (its length prefix), not the position after the bad bytes
+    /// were consumed, so diagnostics point at the offending field.
     pub fn str(&mut self) -> Result<&'a str, DecodeError> {
+        let start = self.pos;
         std::str::from_utf8(self.bytes()?).map_err(|_| DecodeError {
-            at: self.pos,
+            at: start,
             what: "utf-8 string",
         })
     }
@@ -231,6 +252,32 @@ mod tests {
         e.bytes(&[0xFF, 0xFE]);
         let buf = e.finish();
         assert!(Decoder::new(&buf).str().is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_reports_field_start_offset() {
+        // a valid u32 before the string: the bad string field starts at 4
+        let mut e = Encoder::new();
+        e.u32(7).bytes(&[0xFF, 0xFE, 0xFD]);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        d.u32().unwrap();
+        let err = d.str().unwrap_err();
+        assert_eq!(err.at, 4, "must point at the field, not past its bytes");
+        assert!(err.to_string().contains("utf-8"));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32 frame limit")]
+    fn oversized_length_prefix_panics() {
+        // the guard itself is testable without allocating 4 GiB
+        super::len_u32(u32::MAX as usize + 1, "bytes");
+    }
+
+    #[test]
+    fn length_prefix_guard_accepts_max() {
+        assert_eq!(super::len_u32(u32::MAX as usize, "bytes"), u32::MAX);
+        assert_eq!(super::len_u32(0, "bytes"), 0);
     }
 
     #[test]

@@ -11,6 +11,10 @@
 //!   thread, messages travel over `std::sync::mpsc` channels. Use it to
 //!   measure
 //!   actual wall-clock speedups on the machine running the benches.
+//! * [`net`] — a real TCP transport over `std::net`: the same protocol
+//!   across processes and machines, with length-prefixed framing, a
+//!   node-id handshake, heartbeats and the same lease recovery — the
+//!   deployment model the paper actually ran (PVM daemons over Ethernet).
 //! * [`sim`] — a deterministic discrete-event simulator of heterogeneous
 //!   workstations on a shared-bus Ethernet. Machines have relative speeds
 //!   (the paper's fast SGI is 2x the other two) and the bus has latency,
@@ -39,6 +43,7 @@ pub mod codec;
 pub mod fault;
 pub mod logic;
 pub mod message;
+pub mod net;
 pub mod report;
 pub mod sim;
 pub mod threads;
@@ -47,6 +52,9 @@ pub use codec::{Decoder, Encoder};
 pub use fault::{FaultCounters, FaultKind, FaultPlan, Ledger, RecoveryConfig};
 pub use logic::{MasterLogic, MasterWork, WorkCost, WorkerLogic};
 pub use message::{ChannelError, Endpoint, Message, NodeId};
+pub use net::{
+    connect_worker, ConnectConfig, TcpClusterConfig, TcpMaster, TcpWorkerConn, Wire, WorkerSummary,
+};
 pub use report::{MachineReport, RunReport, SpanKind, TimelineSpan};
 pub use sim::{EthernetSpec, MachineSpec, SimCluster};
 pub use threads::ThreadCluster;

@@ -65,13 +65,19 @@ impl Message {
     }
 }
 
-/// A channel-level failure: the peer endpoint is gone.
+/// A channel-level failure: the peer endpoint is gone or misbehaving.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChannelError {
     /// The destination endpoint was dropped; the message was not delivered.
     PeerGone,
     /// No message arrived before the timeout elapsed (peers may be alive).
     TimedOut,
+    /// The destination node id names no known peer. On a real network an
+    /// unknown address is data (a stale or corrupt frame), not a bug.
+    UnknownPeer,
+    /// The peer spoke the wrong protocol (bad magic, version mismatch,
+    /// hostile length prefix, or an undecodable frame).
+    Protocol(&'static str),
 }
 
 impl std::fmt::Display for ChannelError {
@@ -79,6 +85,8 @@ impl std::fmt::Display for ChannelError {
         match self {
             ChannelError::PeerGone => write!(f, "peer endpoint dropped"),
             ChannelError::TimedOut => write!(f, "receive timed out"),
+            ChannelError::UnknownPeer => write!(f, "destination node id is not a known peer"),
+            ChannelError::Protocol(what) => write!(f, "protocol violation: {what}"),
         }
     }
 }
@@ -122,9 +130,12 @@ impl Endpoint {
 
     /// Send a message (never blocks; channels are unbounded like PVM's
     /// buffered sends). Fails if the destination endpoint was dropped —
-    /// on a NOW that is a machine that went away, not a bug.
+    /// on a NOW that is a machine that went away, not a bug — or if `to`
+    /// names no node in this network at all.
     pub fn try_send(&self, to: NodeId, tag: u32, payload: Vec<u8>) -> Result<(), ChannelError> {
-        self.senders[to]
+        self.senders
+            .get(to)
+            .ok_or(ChannelError::UnknownPeer)?
             .send(Message {
                 from: self.id,
                 to,
@@ -226,6 +237,20 @@ mod tests {
         assert_eq!(r.payload, vec![9]);
         master.send(1, 0, vec![]);
         h.join().unwrap();
+    }
+
+    #[test]
+    fn send_to_out_of_range_node_errors_instead_of_panicking() {
+        let mut eps = Endpoint::network(2);
+        let a = eps.remove(0);
+        // node 2 does not exist in a 2-node network: data, not a panic
+        assert_eq!(a.try_send(2, 1, vec![]), Err(ChannelError::UnknownPeer));
+        assert_eq!(
+            a.try_send(usize::MAX, 1, vec![]),
+            Err(ChannelError::UnknownPeer)
+        );
+        // the healthy path still works
+        assert_eq!(a.try_send(1, 1, vec![]), Ok(()));
     }
 
     #[test]

@@ -1,0 +1,1095 @@
+//! Real TCP transport: the master/worker protocol over actual sockets.
+//!
+//! The paper's farm ran on PVM daemons exchanging tagged messages across
+//! real machines; [`crate::threads`] and [`crate::sim`] only ever moved
+//! those messages inside one process. This module carries the same
+//! [`MasterLogic`]/[`WorkerLogic`] protocol across a network:
+//!
+//! * **Framing** — every [`Message`] travels as
+//!   `magic (u32) | version (u32) | length (u32) | Message::encode()`.
+//!   [`read_frame`] rejects bad magic, foreign versions and hostile
+//!   length prefixes before allocating, and maps socket failures onto
+//!   [`ChannelError`] (`TimedOut` for an idle link, `PeerGone` for a
+//!   closed one) so the caller sees network failure as data.
+//! * **Handshake** — a worker connects (with retry/backoff), sends
+//!   `HELLO`, and receives `WELCOME` carrying its assigned node id plus
+//!   an application-defined job header (the farm uses it to verify both
+//!   processes agree on the scene and settings).
+//! * **Heartbeat** — the master pings every connected worker on a fixed
+//!   cadence; workers answer from their reader thread even while a unit
+//!   is computing. Pongs give per-worker round-trip times, and a worker
+//!   whose socket stays silent past its read timeout treats the master
+//!   as gone instead of hanging forever.
+//! * **Recovery** — the master runs the exact [`Ledger`]
+//!   lease/retry/exclusion machinery of the thread backend. A killed
+//!   worker *process* closes its socket; the per-worker reader thread
+//!   reports the death, its leases requeue onto survivors, and the run
+//!   completes with byte-identical output — the same guarantee the
+//!   in-process backends give for injected crashes.
+//!
+//! Unit and result types cross the wire through the [`Wire`] trait,
+//! encoded with the honest [`crate::codec`] byte codec.
+
+use crate::codec::{DecodeError, Decoder, Encoder};
+use crate::fault::{Ledger, RecoveryConfig};
+use crate::logic::{MasterLogic, WorkerLogic};
+use crate::message::{ChannelError, Message, NodeId};
+use crate::report::{MachineReport, RunReport};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Wire format
+// ---------------------------------------------------------------------
+
+/// Frame magic, `b"NOWF"` little-endian. A connection that opens with
+/// anything else is not speaking this protocol.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"NOWF");
+
+/// Wire protocol version; bumped on any incompatible frame change.
+pub const VERSION: u32 = 1;
+
+/// Upper bound on a frame body. A full 640x480 result frame is ~2.2 MB;
+/// anything past this limit is a hostile or corrupt length prefix and is
+/// rejected *before* allocating.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Bytes of frame header preceding the body (magic + version + length).
+pub const HEADER_LEN: usize = 12;
+
+/// Protocol message tags (the PVM-style `tag` field of each frame).
+pub mod tag {
+    /// Worker → master: first frame after connecting.
+    pub const HELLO: u32 = 0x4E4F_0001;
+    /// Master → worker: node id assignment + job header.
+    pub const WELCOME: u32 = 0x4E4F_0002;
+    /// Worker → master: ready for work (results double as requests).
+    pub const REQUEST: u32 = 0x4E4F_0003;
+    /// Master → worker: assignment id + encoded unit.
+    pub const UNIT: u32 = 0x4E4F_0004;
+    /// Worker → master: assignment id + busy seconds + encoded result.
+    pub const RESULT: u32 = 0x4E4F_0005;
+    /// Master → worker: no more work; close the connection.
+    pub const SHUTDOWN: u32 = 0x4E4F_0006;
+    /// Master → worker: heartbeat, payload echoed verbatim in the pong.
+    pub const PING: u32 = 0x4E4F_0007;
+    /// Worker → master: heartbeat echo.
+    pub const PONG: u32 = 0x4E4F_0008;
+}
+
+fn io_to_channel(e: &std::io::Error) -> ChannelError {
+    match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => ChannelError::TimedOut,
+        _ => ChannelError::PeerGone,
+    }
+}
+
+/// Write one framed [`Message`]; returns the bytes put on the wire.
+/// The frame is assembled first and written with a single `write_all`, so
+/// a frame is never interleaved with another writer's bytes.
+pub fn write_frame(w: &mut impl Write, msg: &Message) -> Result<u64, ChannelError> {
+    let body = msg.encode();
+    if body.len() > MAX_FRAME_LEN {
+        return Err(ChannelError::Protocol("frame exceeds MAX_FRAME_LEN"));
+    }
+    let mut buf = Vec::with_capacity(HEADER_LEN + body.len());
+    buf.extend_from_slice(&MAGIC.to_le_bytes());
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&body);
+    w.write_all(&buf).map_err(|e| io_to_channel(&e))?;
+    w.flush().map_err(|e| io_to_channel(&e))?;
+    Ok(buf.len() as u64)
+}
+
+fn read_exact_mapped(r: &mut impl Read, buf: &mut [u8]) -> Result<(), ChannelError> {
+    r.read_exact(buf).map_err(|e| match e.kind() {
+        ErrorKind::UnexpectedEof => ChannelError::PeerGone,
+        _ => io_to_channel(&e),
+    })
+}
+
+/// Read one framed [`Message`]; returns it with the bytes consumed.
+///
+/// Validates magic, version and length prefix before touching the body;
+/// a peer that disappears mid-frame surfaces as
+/// [`ChannelError::PeerGone`], an idle link past the socket's read
+/// timeout as [`ChannelError::TimedOut`], and malformed bytes as
+/// [`ChannelError::Protocol`].
+pub fn read_frame(r: &mut impl Read) -> Result<(Message, u64), ChannelError> {
+    let mut header = [0u8; HEADER_LEN];
+    read_exact_mapped(r, &mut header)?;
+    let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    let len = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes")) as usize;
+    if magic != MAGIC {
+        return Err(ChannelError::Protocol("bad frame magic"));
+    }
+    if version != VERSION {
+        return Err(ChannelError::Protocol("wire protocol version mismatch"));
+    }
+    if len > MAX_FRAME_LEN {
+        return Err(ChannelError::Protocol("hostile length prefix"));
+    }
+    let mut body = vec![0u8; len];
+    read_exact_mapped(r, &mut body)?;
+    let msg =
+        Message::decode(&body).map_err(|_| ChannelError::Protocol("undecodable message body"))?;
+    Ok((msg, (HEADER_LEN + len) as u64))
+}
+
+// ---------------------------------------------------------------------
+// Wire-encodable application types
+// ---------------------------------------------------------------------
+
+/// Types that can cross the TCP transport. Implemented by the farm for
+/// its unit/result types; the encoding uses [`crate::codec`] so the byte
+/// counts stay honest.
+pub trait Wire: Sized {
+    /// Append this value's wire representation.
+    fn wire_encode(&self, e: &mut Encoder);
+    /// Decode a value previously written by [`Wire::wire_encode`].
+    fn wire_decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError>;
+}
+
+impl Wire for u64 {
+    fn wire_encode(&self, e: &mut Encoder) {
+        e.u64(*self);
+    }
+    fn wire_decode(d: &mut Decoder<'_>) -> Result<u64, DecodeError> {
+        d.u64()
+    }
+}
+
+impl Wire for Vec<u8> {
+    fn wire_encode(&self, e: &mut Encoder) {
+        e.bytes(self);
+    }
+    fn wire_decode(d: &mut Decoder<'_>) -> Result<Vec<u8>, DecodeError> {
+        Ok(d.bytes()?.to_vec())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Master
+// ---------------------------------------------------------------------
+
+/// Configuration of a TCP master run.
+#[derive(Debug, Clone)]
+pub struct TcpClusterConfig {
+    /// Worker connections to wait for before starting the run.
+    pub workers: usize,
+    /// Lease/timeout recovery policy over wall-clock seconds. Defaults to
+    /// disabled; process deaths are still recovered via the closed socket.
+    pub recovery: RecoveryConfig,
+    /// Heartbeat (ping) cadence in seconds.
+    pub heartbeat_s: f64,
+    /// How long to wait for all workers to connect and say hello.
+    pub accept_timeout_s: f64,
+    /// Opaque application bytes shipped to every worker in `WELCOME`
+    /// (the farm's job header: scene fingerprint + render settings).
+    pub job_header: Vec<u8>,
+}
+
+impl TcpClusterConfig {
+    /// Defaults for `workers` workers: quarter-second heartbeat, 30 s
+    /// accept window, recovery disabled, empty job header.
+    pub fn new(workers: usize) -> TcpClusterConfig {
+        assert!(workers > 0);
+        TcpClusterConfig {
+            workers,
+            recovery: RecoveryConfig::default(),
+            heartbeat_s: 0.25,
+            accept_timeout_s: 30.0,
+            job_header: Vec::new(),
+        }
+    }
+}
+
+/// Master-side view of one worker connection (same states as the thread
+/// backend's loop).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum WState {
+    Active,
+    Parked,
+    Done,
+}
+
+/// One event from a per-worker reader thread: a frame, or the error that
+/// ended the connection.
+type ReadEvent = (usize, Result<(Message, u64), ChannelError>);
+
+struct WorkerLink {
+    writer: TcpStream,
+    /// Clone used only to force-close the socket at end of run so the
+    /// reader thread unblocks.
+    closer: TcpStream,
+    reader: std::thread::JoinHandle<()>,
+    bytes_out: u64,
+    msgs_out: u64,
+    bytes_in: u64,
+    msgs_in: u64,
+    /// Exponentially smoothed round-trip time (seconds); 0 until the
+    /// first pong.
+    rtt_s: f64,
+    last_ping: Instant,
+    busy_s: f64,
+}
+
+/// The listening (master) end of a TCP cluster.
+///
+/// Binding and running are separate so callers can bind port 0, learn the
+/// real address via [`TcpMaster::local_addr`], and hand it to workers.
+pub struct TcpMaster {
+    listener: TcpListener,
+}
+
+impl TcpMaster {
+    /// Bind the master listener (e.g. `"127.0.0.1:0"` for an OS-chosen
+    /// port).
+    pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<TcpMaster> {
+        Ok(TcpMaster {
+            listener: TcpListener::bind(addr)?,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real port).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept `cfg.workers` workers, run the demand-driven protocol to
+    /// completion, and return the master logic plus a wall-clock report
+    /// with real per-worker byte and round-trip metrics.
+    ///
+    /// Completes without panicking even if worker *processes* die
+    /// mid-run: the closed socket is an observed death, leases requeue on
+    /// survivors exactly as in [`crate::threads::ThreadCluster`].
+    pub fn run<M>(
+        self,
+        mut master: M,
+        cfg: &TcpClusterConfig,
+    ) -> Result<(M, RunReport), ChannelError>
+    where
+        M: MasterLogic,
+        M::Unit: Wire,
+        M::Result: Wire,
+    {
+        let n = cfg.workers;
+        let start = Instant::now();
+        let (event_tx, event_rx): (Sender<ReadEvent>, Receiver<ReadEvent>) = channel();
+        let mut links = self.accept_workers(cfg, &event_tx, start)?;
+        drop(event_tx);
+        drop(self.listener); // stop accepting: late connectors get refused
+
+        let mut report = RunReport {
+            machines: (0..n)
+                .map(|i| MachineReport {
+                    name: format!("tcp-worker-{i}"),
+                    ..Default::default()
+                })
+                .collect(),
+            ..Default::default()
+        };
+
+        let mut ledger: Ledger<M::Unit> = Ledger::new(cfg.recovery, n);
+        let mut state = vec![WState::Active; n];
+        let mut in_flight = vec![true; n]; // the post-handshake REQUEST
+        let mut started = vec![false; n];
+        let mut ping_seq = 0u64;
+        let now = |start: Instant| start.elapsed().as_secs_f64();
+
+        // observed death of worker `w` (closed socket, failed write, or a
+        // protocol violation): requeue its leases, tell the application
+        macro_rules! worker_gone {
+            ($w:expr) => {{
+                let w: usize = $w;
+                if state[w] != WState::Done {
+                    let ex = ledger.worker_died(w);
+                    if ex.newly_lost {
+                        master.on_worker_lost(w);
+                    }
+                    state[w] = WState::Done;
+                    in_flight[w] = false;
+                }
+            }};
+        }
+
+        // answer worker `w`'s request for work: a requeued unit first,
+        // then a fresh assignment, else park or shut down
+        macro_rules! give_work {
+            ($w:expr) => {{
+                let w: usize = $w;
+                if ledger.is_excluded(w) {
+                    let _ = send_framed(&mut links[w], w, tag::SHUTDOWN, Vec::new());
+                    state[w] = WState::Done;
+                } else {
+                    let next = match ledger.take_retry() {
+                        Some((mut unit, attempt, from)) => {
+                            master.on_reassign(from, &mut unit);
+                            Some((unit, attempt))
+                        }
+                        None => master.assign(w).map(|u| (u, 0)),
+                    };
+                    match next {
+                        Some((unit, attempt)) => {
+                            let assign = ledger.issue(unit.clone(), w, now(start), attempt);
+                            let mut e = Encoder::new();
+                            e.u64(assign);
+                            unit.wire_encode(&mut e);
+                            if send_framed(&mut links[w], w, tag::UNIT, e.finish()).is_err() {
+                                worker_gone!(w);
+                            } else {
+                                state[w] = WState::Active;
+                                in_flight[w] = true;
+                            }
+                        }
+                        None => {
+                            if ledger.has_pending() || ledger.has_retry() {
+                                state[w] = WState::Parked;
+                            } else {
+                                let _ = send_framed(&mut links[w], w, tag::SHUTDOWN, Vec::new());
+                                state[w] = WState::Done;
+                            }
+                        }
+                    }
+                }
+            }};
+        }
+
+        loop {
+            if state.iter().all(|&s| s == WState::Done) {
+                break;
+            }
+            // heartbeats: ping every live worker on the configured cadence
+            for w in 0..n {
+                if state[w] != WState::Done
+                    && links[w].last_ping.elapsed().as_secs_f64() >= cfg.heartbeat_s
+                {
+                    ping_seq += 1;
+                    let mut e = Encoder::new();
+                    e.u64(ping_seq).u64(start.elapsed().as_nanos() as u64);
+                    links[w].last_ping = Instant::now();
+                    if send_framed(&mut links[w], w, tag::PING, e.finish()).is_err() {
+                        worker_gone!(w);
+                    }
+                }
+            }
+            // a message is certain only from a worker that holds a live
+            // lease or hasn't sent its first REQUEST yet (same reasoning
+            // as the thread backend)
+            let certain = (0..n).any(|w| state[w] == WState::Active && in_flight[w] && !started[w])
+                || ledger.has_pending();
+            if !certain {
+                let parked: Vec<usize> = (0..n).filter(|&w| state[w] == WState::Parked).collect();
+                for w in parked {
+                    give_work!(w);
+                }
+                if !ledger.has_pending() && (0..n).all(|w| state[w] != WState::Parked) {
+                    for w in 0..n {
+                        if state[w] != WState::Done {
+                            let _ = send_framed(&mut links[w], w, tag::SHUTDOWN, Vec::new());
+                            state[w] = WState::Done;
+                        }
+                    }
+                    break;
+                }
+                continue;
+            }
+            // wait for the next event, but never past the next lease
+            // deadline or heartbeat slot
+            let mut wait = cfg.heartbeat_s;
+            if let Some(deadline) = ledger.next_deadline() {
+                wait = wait.min((deadline - now(start)).max(0.0));
+            }
+            match event_rx.recv_timeout(Duration::from_secs_f64(wait.clamp(0.001, 3600.0))) {
+                Ok((w, Ok((msg, nbytes)))) => {
+                    links[w].bytes_in += nbytes;
+                    links[w].msgs_in += 1;
+                    if state[w] == WState::Done {
+                        continue; // late frame from a finished worker
+                    }
+                    match msg.tag {
+                        tag::REQUEST => {
+                            in_flight[w] = false;
+                            started[w] = true;
+                            give_work!(w);
+                        }
+                        tag::RESULT => {
+                            in_flight[w] = false;
+                            started[w] = true;
+                            let mut d = Decoder::new(&msg.payload);
+                            let decoded = (|| -> Result<_, DecodeError> {
+                                let assign = d.u64()?;
+                                let busy_s = d.f64()?;
+                                let result = M::Result::wire_decode(&mut d)?;
+                                Ok((assign, busy_s, result))
+                            })();
+                            match decoded {
+                                Ok((assign, busy_s, result)) => {
+                                    links[w].busy_s = busy_s;
+                                    report.machines[w].units_done += 1;
+                                    if let Some(lease) = ledger.complete(assign) {
+                                        let t0 = Instant::now();
+                                        let _mw = master.integrate(w, lease.unit, result);
+                                        report.master_busy_s += t0.elapsed().as_secs_f64();
+                                    }
+                                    // stale id: late duplicate, counted by
+                                    // the ledger and discarded
+                                    give_work!(w);
+                                }
+                                Err(_) => {
+                                    // an undecodable result is a broken
+                                    // peer: cut it loose, requeue its work
+                                    let _ = links[w].closer.shutdown(Shutdown::Both);
+                                    worker_gone!(w);
+                                }
+                            }
+                        }
+                        tag::PONG => {
+                            let mut d = Decoder::new(&msg.payload);
+                            if let (Ok(_seq), Ok(sent_ns)) = (d.u64(), d.u64()) {
+                                let rtt = (start.elapsed().as_nanos() as u64)
+                                    .saturating_sub(sent_ns)
+                                    as f64
+                                    / 1e9;
+                                let l = &mut links[w];
+                                l.rtt_s = if l.rtt_s == 0.0 {
+                                    rtt
+                                } else {
+                                    0.8 * l.rtt_s + 0.2 * rtt
+                                };
+                            }
+                        }
+                        _ => {
+                            // unknown or out-of-phase tag: protocol
+                            // violation, treat the peer as broken
+                            let _ = links[w].closer.shutdown(Shutdown::Both);
+                            worker_gone!(w);
+                        }
+                    }
+                }
+                Ok((w, Err(_))) => {
+                    // reader thread saw the connection die (killed worker
+                    // process, reset, or malformed frame)
+                    worker_gone!(w);
+                }
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                    let t = now(start);
+                    for e in ledger.expire_due(t) {
+                        if e.newly_lost {
+                            master.on_worker_lost(e.worker);
+                            let _ =
+                                send_framed(&mut links[e.worker], e.worker, tag::SHUTDOWN, vec![]);
+                            let _ = links[e.worker].closer.shutdown(Shutdown::Both);
+                            state[e.worker] = WState::Done;
+                        }
+                    }
+                    let parked: Vec<usize> =
+                        (0..n).filter(|&w| state[w] == WState::Parked).collect();
+                    for w in parked {
+                        give_work!(w);
+                    }
+                }
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                    // every reader thread is gone: all workers dead
+                    for w in 0..n {
+                        worker_gone!(w);
+                    }
+                    break;
+                }
+            }
+        }
+
+        // close every socket so reader threads unblock, then join them and
+        // drain any late frames for honest byte totals
+        for link in &links {
+            let _ = link.closer.shutdown(Shutdown::Both);
+        }
+        while let Ok((w, Ok((_, nbytes)))) = event_rx.try_recv() {
+            links[w].bytes_in += nbytes;
+            links[w].msgs_in += 1;
+        }
+        for (w, link) in links.into_iter().enumerate() {
+            let _ = link.reader.join();
+            report.machines[w].busy_s = link.busy_s;
+            report.machines[w].bytes_sent = link.bytes_in;
+            report.machines[w].rtt_s = link.rtt_s;
+            report.messages += link.msgs_in + link.msgs_out;
+            report.bytes += link.bytes_in + link.bytes_out;
+        }
+
+        report.makespan_s = start.elapsed().as_secs_f64();
+        report.faults_injected = ledger.counters.faults_injected;
+        report.units_reassigned = ledger.counters.units_reassigned;
+        report.duplicates_dropped = ledger.counters.duplicates_dropped;
+        report.workers_lost = ledger.counters.workers_lost;
+        for w in 0..n {
+            report.machines[w].failures = ledger.total_failures(w);
+            report.machines[w].lost = ledger.is_excluded(w);
+        }
+        Ok((master, report))
+    }
+
+    fn accept_workers(
+        &self,
+        cfg: &TcpClusterConfig,
+        event_tx: &Sender<ReadEvent>,
+        start: Instant,
+    ) -> Result<Vec<WorkerLink>, ChannelError> {
+        let deadline = start + Duration::from_secs_f64(cfg.accept_timeout_s);
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| io_to_channel(&e))?;
+        let mut links = Vec::with_capacity(cfg.workers);
+        while links.len() < cfg.workers {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let w = links.len();
+                    match handshake_master(stream, w, cfg, deadline) {
+                        Ok(link) => {
+                            let link = spawn_reader(link, w, event_tx.clone());
+                            links.push(link);
+                        }
+                        // a rogue or dead connector during handshake:
+                        // keep listening for a real worker
+                        Err(ChannelError::PeerGone) | Err(ChannelError::Protocol(_)) => continue,
+                        Err(e) => return Err(e),
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(ChannelError::TimedOut);
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(io_to_channel(&e)),
+            }
+        }
+        Ok(links)
+    }
+}
+
+/// Accept-side handshake: expect `HELLO`, answer `WELCOME` with the node
+/// id (worker index + 1; node 0 is the master) and the job header.
+fn handshake_master(
+    stream: TcpStream,
+    w: usize,
+    cfg: &TcpClusterConfig,
+    deadline: Instant,
+) -> Result<(TcpStream, u64, u64), ChannelError> {
+    stream.set_nodelay(true).map_err(|e| io_to_channel(&e))?;
+    stream
+        .set_nonblocking(false)
+        .map_err(|e| io_to_channel(&e))?;
+    let remaining = deadline
+        .saturating_duration_since(Instant::now())
+        .max(Duration::from_millis(50));
+    stream
+        .set_read_timeout(Some(remaining))
+        .map_err(|e| io_to_channel(&e))?;
+    let mut s = stream;
+    let (hello, hello_bytes) = read_frame(&mut s)?;
+    if hello.tag != tag::HELLO {
+        return Err(ChannelError::Protocol("expected HELLO"));
+    }
+    let mut e = Encoder::new();
+    e.u64((w + 1) as u64).bytes(&cfg.job_header);
+    let welcome = Message {
+        from: 0,
+        to: w + 1,
+        tag: tag::WELCOME,
+        payload: e.finish(),
+    };
+    let sent = write_frame(&mut s, &welcome)?;
+    s.set_read_timeout(None).map_err(|e| io_to_channel(&e))?;
+    Ok((s, hello_bytes, sent))
+}
+
+fn spawn_reader(
+    (stream, bytes_in, bytes_out): (TcpStream, u64, u64),
+    w: usize,
+    event_tx: Sender<ReadEvent>,
+) -> WorkerLink {
+    let closer = stream.try_clone().expect("clone accepted socket");
+    let writer = stream.try_clone().expect("clone accepted socket");
+    let reader = std::thread::spawn(move || {
+        let mut stream = stream;
+        loop {
+            match read_frame(&mut stream) {
+                Ok(frame) => {
+                    if event_tx.send((w, Ok(frame))).is_err() {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    let _ = event_tx.send((w, Err(e)));
+                    break;
+                }
+            }
+        }
+    });
+    WorkerLink {
+        writer,
+        closer,
+        reader,
+        bytes_out,
+        msgs_out: 1, // the WELCOME
+        bytes_in,
+        msgs_in: 1, // the HELLO
+        rtt_s: 0.0,
+        last_ping: Instant::now(),
+        busy_s: 0.0,
+    }
+}
+
+fn send_framed(
+    link: &mut WorkerLink,
+    w: usize,
+    tag: u32,
+    payload: Vec<u8>,
+) -> Result<(), ChannelError> {
+    let msg = Message {
+        from: 0,
+        to: w + 1,
+        tag,
+        payload,
+    };
+    let n = write_frame(&mut link.writer, &msg)?;
+    link.bytes_out += n;
+    link.msgs_out += 1;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------
+
+/// Connection policy for [`connect_worker`].
+#[derive(Debug, Clone)]
+pub struct ConnectConfig {
+    /// Connect attempts before giving up.
+    pub attempts: u32,
+    /// Delay before the first retry, doubling each attempt (capped at
+    /// 2 s).
+    pub backoff_s: f64,
+    /// Treat the master as gone after this many seconds of socket
+    /// silence (the master pings every `heartbeat_s`, so a healthy link
+    /// is never silent for long). 0 disables the timeout.
+    pub read_timeout_s: f64,
+}
+
+impl Default for ConnectConfig {
+    fn default() -> ConnectConfig {
+        ConnectConfig {
+            attempts: 20,
+            backoff_s: 0.1,
+            read_timeout_s: 30.0,
+        }
+    }
+}
+
+/// What a worker did over one connection, returned by
+/// [`TcpWorkerConn::serve`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerSummary {
+    /// Node id the master assigned (1-based; 0 is the master).
+    pub node_id: NodeId,
+    /// Units computed.
+    pub units: u64,
+    /// Seconds spent computing.
+    pub busy_s: f64,
+    /// Bytes this worker put on the wire.
+    pub bytes_sent: u64,
+    /// Bytes received from the master.
+    pub bytes_received: u64,
+}
+
+/// A connected, handshaken worker endpoint.
+pub struct TcpWorkerConn {
+    writer: Arc<Mutex<TcpStream>>,
+    closer: TcpStream,
+    events: Receiver<Result<(Message, u64), ChannelError>>,
+    reader: std::thread::JoinHandle<(u64, u64)>,
+    node_id: NodeId,
+    job_header: Vec<u8>,
+    bytes_out: u64,
+    bytes_in: u64,
+}
+
+/// Connect to a master with retry/backoff and perform the handshake.
+///
+/// On success the returned connection knows its assigned node id and the
+/// master's job header; call [`TcpWorkerConn::serve`] to process units
+/// until shutdown.
+pub fn connect_worker(addr: &str, cfg: &ConnectConfig) -> Result<TcpWorkerConn, ChannelError> {
+    let mut delay = cfg.backoff_s.max(0.01);
+    let mut stream = None;
+    for attempt in 0..cfg.attempts.max(1) {
+        match TcpStream::connect(addr) {
+            Ok(s) => {
+                stream = Some(s);
+                break;
+            }
+            Err(_) if attempt + 1 < cfg.attempts.max(1) => {
+                std::thread::sleep(Duration::from_secs_f64(delay));
+                delay = (delay * 2.0).min(2.0);
+            }
+            Err(e) => return Err(io_to_channel(&e)),
+        }
+    }
+    let mut stream = stream.ok_or(ChannelError::PeerGone)?;
+    stream.set_nodelay(true).map_err(|e| io_to_channel(&e))?;
+    if cfg.read_timeout_s > 0.0 {
+        stream
+            .set_read_timeout(Some(Duration::from_secs_f64(cfg.read_timeout_s)))
+            .map_err(|e| io_to_channel(&e))?;
+    }
+    let hello = Message {
+        from: 0,
+        to: 0,
+        tag: tag::HELLO,
+        payload: Vec::new(),
+    };
+    let bytes_out = write_frame(&mut stream, &hello)?;
+    let (welcome, welcome_bytes) = read_frame(&mut stream)?;
+    if welcome.tag != tag::WELCOME {
+        return Err(ChannelError::Protocol("expected WELCOME"));
+    }
+    let mut d = Decoder::new(&welcome.payload);
+    let node_id = d
+        .u64()
+        .map_err(|_| ChannelError::Protocol("bad WELCOME payload"))? as NodeId;
+    let job_header = d
+        .bytes()
+        .map_err(|_| ChannelError::Protocol("bad WELCOME payload"))?
+        .to_vec();
+
+    let reader_stream = stream.try_clone().map_err(|e| io_to_channel(&e))?;
+    let closer = stream.try_clone().map_err(|e| io_to_channel(&e))?;
+    let writer = Arc::new(Mutex::new(stream));
+    let (tx, rx) = channel();
+    let ping_writer = Arc::clone(&writer);
+    let reader = std::thread::spawn(move || {
+        let mut stream = reader_stream;
+        let mut pong_bytes = 0u64;
+        let mut pongs = 0u64;
+        loop {
+            match read_frame(&mut stream) {
+                Ok((msg, n)) if msg.tag == tag::PING => {
+                    // answer immediately, even mid-compute, so the master
+                    // measures link RTT rather than unit latency
+                    let pong = Message {
+                        from: node_id,
+                        to: 0,
+                        tag: tag::PONG,
+                        payload: msg.payload,
+                    };
+                    let sent = {
+                        let mut w = ping_writer.lock().expect("writer lock");
+                        write_frame(&mut *w, &pong)
+                    };
+                    match sent {
+                        Ok(b) => {
+                            pong_bytes += b + n;
+                            pongs += 1;
+                        }
+                        Err(_) => {
+                            let _ = tx.send(Err(ChannelError::PeerGone));
+                            break;
+                        }
+                    }
+                }
+                Ok(frame) => {
+                    let done = frame.0.tag == tag::SHUTDOWN;
+                    if tx.send(Ok(frame)).is_err() || done {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    let _ = tx.send(Err(e));
+                    break;
+                }
+            }
+        }
+        (pong_bytes, pongs)
+    });
+    Ok(TcpWorkerConn {
+        writer,
+        closer,
+        events: rx,
+        reader,
+        node_id,
+        job_header,
+        bytes_out,
+        bytes_in: welcome_bytes,
+    })
+}
+
+impl TcpWorkerConn {
+    /// The node id the master assigned during the handshake.
+    pub fn node_id(&self) -> NodeId {
+        self.node_id
+    }
+
+    /// The master's job header bytes (application-defined; the farm puts
+    /// a scene fingerprint and the settings that must match here).
+    pub fn job_header(&self) -> &[u8] {
+        &self.job_header
+    }
+
+    fn send(&mut self, tag: u32, payload: Vec<u8>) -> Result<(), ChannelError> {
+        let msg = Message {
+            from: self.node_id,
+            to: 0,
+            tag,
+            payload,
+        };
+        let mut w = self.writer.lock().expect("writer lock");
+        let n = write_frame(&mut *w, &msg)?;
+        drop(w);
+        self.bytes_out += n;
+        Ok(())
+    }
+
+    /// Leave the cluster without serving: shut the socket down and reap
+    /// the reader thread, so the master observes a dead worker.
+    ///
+    /// Call this when the job header fails validation. Merely dropping
+    /// the connection is not enough — the reader thread keeps the socket
+    /// open and keeps answering heartbeats, so the master would wait on
+    /// an idle-but-alive worker indefinitely.
+    pub fn leave(self) {
+        let _ = self.closer.shutdown(Shutdown::Both);
+        let _ = self.reader.join();
+    }
+
+    /// Process units until the master shuts this worker down.
+    ///
+    /// Returns `Err` if the master disappears (socket closed or silent
+    /// past the read timeout) or violates the protocol; a worker should
+    /// treat that as "the run is over for me".
+    pub fn serve<W>(mut self, mut logic: W) -> Result<WorkerSummary, ChannelError>
+    where
+        W: WorkerLogic,
+        W::Unit: Wire,
+        W::Result: Wire,
+    {
+        let mut busy = 0.0f64;
+        let mut units = 0u64;
+        self.send(tag::REQUEST, Vec::new())?;
+        let outcome = loop {
+            match self.events.recv() {
+                Ok(Ok((msg, nbytes))) => {
+                    self.bytes_in += nbytes;
+                    match msg.tag {
+                        tag::UNIT => {
+                            let mut d = Decoder::new(&msg.payload);
+                            let decoded = (|| -> Result<_, DecodeError> {
+                                let assign = d.u64()?;
+                                let unit = W::Unit::wire_decode(&mut d)?;
+                                Ok((assign, unit))
+                            })();
+                            let (assign, unit) = match decoded {
+                                Ok(v) => v,
+                                Err(_) => break Err(ChannelError::Protocol("bad unit payload")),
+                            };
+                            let t0 = Instant::now();
+                            let (result, _cost) = logic.perform(&unit);
+                            busy += t0.elapsed().as_secs_f64();
+                            units += 1;
+                            let mut e = Encoder::new();
+                            e.u64(assign).f64(busy);
+                            result.wire_encode(&mut e);
+                            if let Err(e) = self.send(tag::RESULT, e.finish()) {
+                                break Err(e);
+                            }
+                        }
+                        tag::SHUTDOWN => break Ok(()),
+                        // WELCOME duplicates or future tags: ignore
+                        _ => {}
+                    }
+                }
+                Ok(Err(e)) => break Err(e),
+                Err(_) => break Err(ChannelError::PeerGone),
+            }
+        };
+        let _ = self.closer.shutdown(Shutdown::Both);
+        let (pong_bytes, _pongs) = self.reader.join().unwrap_or((0, 0));
+        let summary = WorkerSummary {
+            node_id: self.node_id,
+            units,
+            busy_s: busy,
+            bytes_sent: self.bytes_out + pong_bytes,
+            bytes_received: self.bytes_in,
+        };
+        outcome.map(|()| summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::{MasterWork, WorkCost};
+    use std::collections::BTreeSet;
+
+    struct CountMaster {
+        next: u64,
+        limit: u64,
+        seen: BTreeSet<u64>,
+    }
+
+    impl MasterLogic for CountMaster {
+        type Unit = u64;
+        type Result = u64;
+        fn assign(&mut self, _w: usize) -> Option<u64> {
+            if self.next < self.limit {
+                self.next += 1;
+                Some(self.next - 1)
+            } else {
+                None
+            }
+        }
+        fn integrate(&mut self, _w: usize, unit: u64, result: u64) -> MasterWork {
+            assert_eq!(result, unit * unit);
+            assert!(self.seen.insert(unit), "unit {unit} integrated twice");
+            MasterWork::default()
+        }
+    }
+
+    struct Squarer;
+    impl WorkerLogic for Squarer {
+        type Unit = u64;
+        type Result = u64;
+        fn perform(&mut self, unit: &u64) -> (u64, WorkCost) {
+            (unit * unit, WorkCost::compute_only(0.0))
+        }
+    }
+
+    fn spawn_workers(addr: String, n: usize) -> Vec<std::thread::JoinHandle<WorkerSummary>> {
+        (0..n)
+            .map(|_| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let conn = connect_worker(&addr, &ConnectConfig::default()).expect("connect");
+                    conn.serve(Squarer).expect("serve")
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tcp_cluster_processes_every_unit_exactly_once() {
+        let master = TcpMaster::bind("127.0.0.1:0").expect("bind");
+        let addr = master.local_addr().expect("addr").to_string();
+        let handles = spawn_workers(addr, 2);
+        let cfg = TcpClusterConfig::new(2);
+        let (m, report) = master
+            .run(
+                CountMaster {
+                    next: 0,
+                    limit: 50,
+                    seen: BTreeSet::new(),
+                },
+                &cfg,
+            )
+            .expect("run");
+        assert_eq!(m.seen.len(), 50);
+        assert_eq!(
+            report.machines.iter().map(|m| m.units_done).sum::<u64>(),
+            50
+        );
+        assert_eq!(report.workers_lost, 0);
+        assert!(report.messages > 0);
+        assert!(report.bytes > 0);
+        for h in handles {
+            let s = h.join().expect("worker thread");
+            assert!(s.units > 0, "demand-driven: every worker got units");
+            assert!(s.bytes_sent > 0 && s.bytes_received > 0);
+        }
+    }
+
+    #[test]
+    fn worker_learns_node_id_and_job_header() {
+        let master = TcpMaster::bind("127.0.0.1:0").expect("bind");
+        let addr = master.local_addr().expect("addr").to_string();
+        let h = std::thread::spawn(move || {
+            let conn = connect_worker(&addr, &ConnectConfig::default()).expect("connect");
+            let (id, header) = (conn.node_id(), conn.job_header().to_vec());
+            let summary = conn.serve(Squarer).expect("serve");
+            (id, header, summary.node_id)
+        });
+        let mut cfg = TcpClusterConfig::new(1);
+        cfg.job_header = vec![9, 8, 7];
+        let (m, _report) = master
+            .run(
+                CountMaster {
+                    next: 0,
+                    limit: 3,
+                    seen: BTreeSet::new(),
+                },
+                &cfg,
+            )
+            .expect("run");
+        assert_eq!(m.seen.len(), 3);
+        let (id, header, sid) = h.join().expect("worker");
+        assert_eq!(id, 1, "first accepted worker is node 1");
+        assert_eq!(sid, 1);
+        assert_eq!(header, vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn connect_retries_until_master_binds() {
+        // grab a port, release it, connect with retries while the master
+        // binds it slightly later
+        let probe = TcpListener::bind("127.0.0.1:0").expect("probe bind");
+        let addr = probe.local_addr().expect("addr").to_string();
+        drop(probe);
+        let worker_addr = addr.clone();
+        let h = std::thread::spawn(move || {
+            let cfg = ConnectConfig {
+                attempts: 50,
+                backoff_s: 0.02,
+                read_timeout_s: 10.0,
+            };
+            let conn = connect_worker(&worker_addr, &cfg).expect("connect with retry");
+            conn.serve(Squarer).expect("serve")
+        });
+        std::thread::sleep(Duration::from_millis(150));
+        let master = TcpMaster::bind(&addr).expect("bind released port");
+        let (m, _): (CountMaster, _) = master
+            .run(
+                CountMaster {
+                    next: 0,
+                    limit: 5,
+                    seen: BTreeSet::new(),
+                },
+                &TcpClusterConfig::new(1),
+            )
+            .expect("run");
+        assert_eq!(m.seen.len(), 5);
+        assert!(h.join().expect("worker").units == 5);
+    }
+
+    #[test]
+    fn accept_times_out_when_no_worker_connects() {
+        let master = TcpMaster::bind("127.0.0.1:0").expect("bind");
+        let mut cfg = TcpClusterConfig::new(1);
+        cfg.accept_timeout_s = 0.2;
+        let err = master
+            .run(
+                CountMaster {
+                    next: 0,
+                    limit: 1,
+                    seen: BTreeSet::new(),
+                },
+                &cfg,
+            )
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err, ChannelError::TimedOut);
+    }
+}

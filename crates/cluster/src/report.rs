@@ -42,6 +42,10 @@ pub struct MachineReport {
     pub bytes_sent: u64,
     /// Lease expiries charged to this machine over the whole run.
     pub failures: u64,
+    /// Smoothed master↔worker round-trip time in seconds, measured by
+    /// heartbeat pings; 0 on backends without a real network (sim,
+    /// threads).
+    pub rtt_s: f64,
     /// True if the machine was excluded as lost (crashed, stalled or
     /// repeatedly timed out).
     pub lost: bool,
@@ -52,7 +56,8 @@ pub struct MachineReport {
 pub struct RunReport {
     /// End-to-end duration in seconds (virtual or wall).
     pub makespan_s: f64,
-    /// Per-machine detail; index 0 is the master.
+    /// Per-machine detail. The simulator models the master as machine 0;
+    /// the thread and TCP backends report one entry per worker.
     pub machines: Vec<MachineReport>,
     /// Total messages exchanged.
     pub messages: u64,
@@ -138,6 +143,13 @@ impl RunReport {
         rec.counter_add_nd("farm.workers_lost", self.workers_lost);
         for m in &self.machines {
             rec.observe_nd("farm.units_per_machine", m.units_done);
+            // real-network runs only: measured RTT and per-worker bytes
+            if m.rtt_s > 0.0 {
+                rec.observe_nd("farm.rtt_us", (m.rtt_s * 1e6) as u64);
+            }
+            if m.bytes_sent > 0 {
+                rec.observe_nd("farm.worker_bytes_sent", m.bytes_sent);
+            }
         }
     }
 }

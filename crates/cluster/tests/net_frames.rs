@@ -1,0 +1,189 @@
+//! Socket-level tests of the TCP framing layer (`now_cluster::net`).
+//!
+//! The unit tests in `net.rs` cover the full master/worker protocol;
+//! these tests attack the framing itself over real localhost sockets:
+//! torn writes, hostile length prefixes, wrong magic/version, and peers
+//! that vanish mid-frame.
+
+use now_cluster::message::{ChannelError, Message};
+use now_cluster::net::{read_frame, write_frame, HEADER_LEN, MAGIC, MAX_FRAME_LEN, VERSION};
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+/// A connected localhost socket pair.
+fn socket_pair() -> (TcpStream, TcpStream) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let client = TcpStream::connect(addr).expect("connect");
+    let (server, _) = listener.accept().expect("accept");
+    client.set_nodelay(true).unwrap();
+    server.set_nodelay(true).unwrap();
+    (client, server)
+}
+
+fn msg(tag: u32, payload: Vec<u8>) -> Message {
+    Message {
+        from: 2,
+        to: 0,
+        tag,
+        payload,
+    }
+}
+
+/// The raw wire bytes of a frame, built independently of `write_frame`.
+fn raw_frame(magic: u32, version: u32, len: u32, body: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&magic.to_le_bytes());
+    buf.extend_from_slice(&version.to_le_bytes());
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.extend_from_slice(body);
+    buf
+}
+
+#[test]
+fn roundtrip_over_localhost_socket() {
+    let (mut client, mut server) = socket_pair();
+    let sent = msg(7, vec![1, 2, 3, 4, 5]);
+    let reply = msg(8, (0..200u16).map(|i| i as u8).collect());
+
+    let n = write_frame(&mut client, &sent).expect("write");
+    let (got, m) = read_frame(&mut server).expect("read");
+    assert_eq!(got, sent);
+    assert_eq!(n, m, "reader and writer must agree on the frame size");
+    assert_eq!(n as usize, HEADER_LEN + sent.encode().len());
+
+    // and the other direction on the same pair
+    write_frame(&mut server, &reply).expect("write back");
+    let (got, _) = read_frame(&mut client).expect("read back");
+    assert_eq!(got, reply);
+}
+
+/// A frame split across two `write` calls with a pause in between still
+/// decodes: `read_frame` must handle short reads mid-header and mid-body.
+#[test]
+fn torn_write_across_two_chunks_decodes() {
+    let (mut client, mut server) = socket_pair();
+    let m = msg(42, vec![9; 300]);
+    let frame = {
+        // build the full wire image via write_frame into a Vec
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &m).expect("encode");
+        buf
+    };
+    let reader = std::thread::spawn(move || read_frame(&mut server).expect("read torn frame"));
+    // tear inside the header, then inside the body
+    client.write_all(&frame[..6]).unwrap();
+    client.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    client.write_all(&frame[6..HEADER_LEN + 40]).unwrap();
+    client.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    client.write_all(&frame[HEADER_LEN + 40..]).unwrap();
+    client.flush().unwrap();
+    let (got, n) = reader.join().expect("reader thread");
+    assert_eq!(got, m);
+    assert_eq!(n as usize, frame.len());
+}
+
+/// A length prefix past `MAX_FRAME_LEN` is rejected before the body is
+/// allocated or read.
+#[test]
+fn hostile_length_prefix_is_rejected() {
+    let (mut client, mut server) = socket_pair();
+    let evil = raw_frame(MAGIC, VERSION, u32::MAX, &[]);
+    client.write_all(&evil).unwrap();
+    client.flush().unwrap();
+    let err = read_frame(&mut server).unwrap_err();
+    assert_eq!(err, ChannelError::Protocol("hostile length prefix"));
+
+    // just past the limit is rejected too
+    let (mut client, mut server) = socket_pair();
+    let evil = raw_frame(MAGIC, VERSION, (MAX_FRAME_LEN + 1) as u32, &[]);
+    client.write_all(&evil).unwrap();
+    client.flush().unwrap();
+    let err = read_frame(&mut server).unwrap_err();
+    assert_eq!(err, ChannelError::Protocol("hostile length prefix"));
+}
+
+#[test]
+fn bad_magic_and_version_are_rejected() {
+    let (mut client, mut server) = socket_pair();
+    client
+        .write_all(&raw_frame(0xDEAD_BEEF, VERSION, 0, &[]))
+        .unwrap();
+    assert_eq!(
+        read_frame(&mut server).unwrap_err(),
+        ChannelError::Protocol("bad frame magic")
+    );
+
+    let (mut client, mut server) = socket_pair();
+    client
+        .write_all(&raw_frame(MAGIC, VERSION + 1, 0, &[]))
+        .unwrap();
+    assert_eq!(
+        read_frame(&mut server).unwrap_err(),
+        ChannelError::Protocol("wire protocol version mismatch")
+    );
+}
+
+/// A peer that disconnects mid-frame maps to `PeerGone`, whether the cut
+/// lands in the header or in the body.
+#[test]
+fn mid_frame_disconnect_maps_to_peer_gone() {
+    let m = msg(1, vec![7; 64]);
+    let mut full = Vec::new();
+    write_frame(&mut full, &m).expect("encode");
+
+    for cut in [3, HEADER_LEN - 1, HEADER_LEN + 10, full.len() - 1] {
+        let (mut client, mut server) = socket_pair();
+        client.write_all(&full[..cut]).unwrap();
+        client.flush().unwrap();
+        drop(client); // peer process dies mid-frame
+        assert_eq!(
+            read_frame(&mut server).unwrap_err(),
+            ChannelError::PeerGone,
+            "cut at byte {cut}"
+        );
+    }
+}
+
+/// An undecodable body (valid header, garbage message bytes) is a
+/// protocol error, not a panic and not `PeerGone`.
+#[test]
+fn garbage_body_is_a_protocol_error() {
+    let (mut client, mut server) = socket_pair();
+    let body = [0xFF, 0xFE, 0xFD]; // far too short for a Message header
+    client
+        .write_all(&raw_frame(MAGIC, VERSION, body.len() as u32, &body))
+        .unwrap();
+    client.flush().unwrap();
+    assert_eq!(
+        read_frame(&mut server).unwrap_err(),
+        ChannelError::Protocol("undecodable message body")
+    );
+}
+
+/// An idle link past the socket read timeout surfaces as `TimedOut` —
+/// the error the worker uses to decide the master is unreachable.
+#[test]
+fn idle_link_times_out() {
+    let (_client, mut server) = socket_pair();
+    server
+        .set_read_timeout(Some(Duration::from_millis(80)))
+        .unwrap();
+    assert_eq!(read_frame(&mut server).unwrap_err(), ChannelError::TimedOut);
+}
+
+/// `write_frame` refuses to build a frame larger than `MAX_FRAME_LEN`
+/// instead of shipping something the peer is guaranteed to reject.
+#[test]
+fn oversized_outgoing_frame_is_refused() {
+    let m = msg(1, vec![0; MAX_FRAME_LEN + 1]);
+    let mut sink = Vec::new();
+    assert_eq!(
+        write_frame(&mut sink, &m).unwrap_err(),
+        ChannelError::Protocol("frame exceeds MAX_FRAME_LEN"),
+    );
+    assert!(sink.is_empty(), "nothing may hit the wire");
+}

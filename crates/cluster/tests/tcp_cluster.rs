@@ -1,0 +1,212 @@
+//! End-to-end recovery tests for the TCP backend.
+//!
+//! The happy path is covered by unit tests in `net.rs`; here we kill
+//! peers. A "killed worker process" is simulated exactly the way the OS
+//! produces it — the TCP connection drops mid-run — and the master must
+//! requeue its leases onto survivors, matching the thread backend's
+//! handling of injected crashes. A vanished master must surface as an
+//! error on the worker, not a hang.
+
+use now_cluster::message::{ChannelError, Message};
+use now_cluster::net::{
+    connect_worker, read_frame, tag, write_frame, ConnectConfig, TcpClusterConfig, TcpMaster,
+};
+use now_cluster::{Decoder, Encoder, MasterLogic, MasterWork, WorkCost, WorkerLogic};
+use std::collections::BTreeSet;
+use std::net::{Shutdown, TcpListener, TcpStream};
+
+struct CountMaster {
+    next: u64,
+    limit: u64,
+    seen: BTreeSet<u64>,
+}
+
+impl MasterLogic for CountMaster {
+    type Unit = u64;
+    type Result = u64;
+    fn assign(&mut self, _w: usize) -> Option<u64> {
+        if self.next < self.limit {
+            self.next += 1;
+            Some(self.next - 1)
+        } else {
+            None
+        }
+    }
+    fn integrate(&mut self, _w: usize, unit: u64, result: u64) -> MasterWork {
+        assert_eq!(result, unit * unit);
+        assert!(self.seen.insert(unit), "unit {unit} integrated twice");
+        MasterWork::default()
+    }
+}
+
+struct Squarer;
+impl WorkerLogic for Squarer {
+    type Unit = u64;
+    type Result = u64;
+    fn perform(&mut self, unit: &u64) -> (u64, WorkCost) {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        (unit * unit, WorkCost::compute_only(0.0))
+    }
+}
+
+/// Hand-rolled worker that speaks the wire protocol directly and drops
+/// its connection after `crash_after` units — byte-for-byte what a
+/// `kill -9` of a worker process looks like to the master.
+fn crashing_worker(addr: String, crash_after: u64) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    let hello = Message {
+        from: 0,
+        to: 0,
+        tag: tag::HELLO,
+        payload: Vec::new(),
+    };
+    write_frame(&mut stream, &hello).expect("hello");
+    let (welcome, _) = read_frame(&mut stream).expect("welcome");
+    assert_eq!(welcome.tag, tag::WELCOME);
+    let mut d = Decoder::new(&welcome.payload);
+    let node_id = d.u64().expect("node id") as usize;
+
+    let request = Message {
+        from: node_id,
+        to: 0,
+        tag: tag::REQUEST,
+        payload: Vec::new(),
+    };
+    write_frame(&mut stream, &request).expect("request");
+
+    let mut done = 0u64;
+    loop {
+        let (msg, _) = match read_frame(&mut stream) {
+            Ok(f) => f,
+            Err(_) => return,
+        };
+        match msg.tag {
+            tag::UNIT => {
+                if done >= crash_after {
+                    // the "process" dies holding a lease
+                    let _ = stream.shutdown(Shutdown::Both);
+                    return;
+                }
+                let mut d = Decoder::new(&msg.payload);
+                let assign = d.u64().expect("assign id");
+                let unit = d.u64().expect("unit");
+                done += 1;
+                let mut e = Encoder::new();
+                e.u64(assign).f64(0.0).u64(unit * unit);
+                let result = Message {
+                    from: node_id,
+                    to: 0,
+                    tag: tag::RESULT,
+                    payload: e.finish(),
+                };
+                if write_frame(&mut stream, &result).is_err() {
+                    return;
+                }
+            }
+            tag::PING => { /* stay silent: liveness is the socket itself */ }
+            tag::SHUTDOWN => return,
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn killed_worker_connection_recovers_on_survivor() {
+    let master = TcpMaster::bind("127.0.0.1:0").expect("bind");
+    let addr = master.local_addr().expect("addr").to_string();
+    let crash_addr = addr.clone();
+    let crasher = std::thread::spawn(move || crashing_worker(crash_addr, 2));
+    let survivor_addr = addr.clone();
+    let survivor = std::thread::spawn(move || {
+        let conn = connect_worker(&survivor_addr, &ConnectConfig::default()).expect("connect");
+        conn.serve(Squarer).expect("serve")
+    });
+
+    let cfg = TcpClusterConfig::new(2);
+    let (m, report) = master
+        .run(
+            CountMaster {
+                next: 0,
+                limit: 40,
+                seen: BTreeSet::new(),
+            },
+            &cfg,
+        )
+        .expect("run");
+
+    assert_eq!(m.seen.len(), 40, "every unit integrated despite the kill");
+    assert_eq!(report.workers_lost, 1);
+    assert!(report.units_reassigned >= 1, "the held lease must requeue");
+    assert_eq!(report.machines.iter().filter(|m| m.lost).count(), 1);
+    crasher.join().expect("crasher thread");
+    let s = survivor.join().expect("survivor thread");
+    assert!(s.units >= 38, "survivor picked up the dead worker's units");
+}
+
+#[test]
+fn all_workers_killed_ends_run_gracefully() {
+    let master = TcpMaster::bind("127.0.0.1:0").expect("bind");
+    let addr = master.local_addr().expect("addr").to_string();
+    let h0 = {
+        let a = addr.clone();
+        std::thread::spawn(move || crashing_worker(a, 1))
+    };
+    let h1 = {
+        let a = addr.clone();
+        std::thread::spawn(move || crashing_worker(a, 1))
+    };
+    let cfg = TcpClusterConfig::new(2);
+    let (m, report) = master
+        .run(
+            CountMaster {
+                next: 0,
+                limit: 50,
+                seen: BTreeSet::new(),
+            },
+            &cfg,
+        )
+        .expect("run must end, not hang");
+    assert!(m.seen.len() <= 4, "both died after one unit each");
+    assert_eq!(report.workers_lost, 2);
+    h0.join().unwrap();
+    h1.join().unwrap();
+}
+
+#[test]
+fn vanished_master_surfaces_as_error_on_worker() {
+    // a fake master that handshakes, assigns one unit, then dies
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let fake = std::thread::spawn(move || {
+        let (mut s, _) = listener.accept().expect("accept");
+        let (hello, _) = read_frame(&mut s).expect("hello");
+        assert_eq!(hello.tag, tag::HELLO);
+        let mut e = Encoder::new();
+        e.u64(1).bytes(&[]);
+        let welcome = Message {
+            from: 0,
+            to: 1,
+            tag: tag::WELCOME,
+            payload: e.finish(),
+        };
+        write_frame(&mut s, &welcome).expect("welcome");
+        let (req, _) = read_frame(&mut s).expect("request");
+        assert_eq!(req.tag, tag::REQUEST);
+        let mut e = Encoder::new();
+        e.u64(0).u64(21);
+        let unit = Message {
+            from: 0,
+            to: 1,
+            tag: tag::UNIT,
+            payload: e.finish(),
+        };
+        write_frame(&mut s, &unit).expect("unit");
+        // master "crashes" before the result arrives
+        let _ = s.shutdown(Shutdown::Both);
+    });
+    let conn = connect_worker(&addr, &ConnectConfig::default()).expect("connect");
+    let err = conn.serve(Squarer).unwrap_err();
+    assert_eq!(err, ChannelError::PeerGone, "no hang, a clean error");
+    fake.join().expect("fake master");
+}

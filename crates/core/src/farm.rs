@@ -9,8 +9,11 @@
 use crate::cost::CostModel;
 use crate::partition::{PartitionScheme, RenderUnit, Scheduler};
 use now_anim::Animation;
+use now_cluster::codec::{DecodeError, Decoder, Encoder};
 use now_cluster::{
-    MachineSpec, MasterLogic, MasterWork, SimCluster, ThreadCluster, WorkCost, WorkerLogic,
+    connect_worker, ConnectConfig, MachineSpec, MasterLogic, MasterWork, RecoveryConfig,
+    SimCluster, TcpClusterConfig, TcpMaster, ThreadCluster, Wire, WorkCost, WorkerLogic,
+    WorkerSummary,
 };
 use now_coherence::{CoherentRenderer, PixelRegion};
 use now_grid::GridSpec;
@@ -65,6 +68,57 @@ pub struct UnitOutput {
     pub marks: u64,
     /// How the unit's pixel work spread over the worker's tile pool.
     pub parallel: ParallelStats,
+}
+
+impl Wire for UnitOutput {
+    fn wire_encode(&self, e: &mut Encoder) {
+        e.u32(u32::try_from(self.pixels.len()).expect("region pixel count fits u32"));
+        for (id, rgb) in &self.pixels {
+            e.u32(*id).u8(rgb[0]).u8(rgb[1]).u8(rgb[2]);
+        }
+        e.u64(self.rays.primary)
+            .u64(self.rays.reflected)
+            .u64(self.rays.transmitted)
+            .u64(self.rays.shadow)
+            .u64(self.rays.intersection_tests)
+            .u64(self.rays.pixels)
+            .u64(self.marks)
+            .u32(self.parallel.threads)
+            .u32(self.parallel.tiles)
+            .u64(self.parallel.total_rays)
+            .u64(self.parallel.critical_rays);
+    }
+
+    fn wire_decode(d: &mut Decoder<'_>) -> Result<UnitOutput, DecodeError> {
+        let n = d.u32()? as usize;
+        let mut pixels = Vec::with_capacity(n.min(1 << 22));
+        for _ in 0..n {
+            let id = d.u32()?;
+            let rgb = [d.u8()?, d.u8()?, d.u8()?];
+            pixels.push((id, rgb));
+        }
+        let rays = RayStats {
+            primary: d.u64()?,
+            reflected: d.u64()?,
+            transmitted: d.u64()?,
+            shadow: d.u64()?,
+            intersection_tests: d.u64()?,
+            pixels: d.u64()?,
+        };
+        let marks = d.u64()?;
+        let parallel = ParallelStats {
+            threads: d.u32()?,
+            tiles: d.u32()?,
+            total_rays: d.u64()?,
+            critical_rays: d.u64()?,
+        };
+        Ok(UnitOutput {
+            pixels,
+            rays,
+            marks,
+            parallel,
+        })
+    }
 }
 
 /// Pixel updates accumulated for one frame plus the count of region
@@ -501,6 +555,199 @@ pub fn paper_cluster() -> SimCluster {
     SimCluster::new(MachineSpec::paper_cluster())
 }
 
+// ---------------------------------------------------------------------
+// TCP transport
+// ---------------------------------------------------------------------
+
+/// Version of the job header shipped in the TCP WELCOME frame.
+const JOB_HEADER_VERSION: u32 = 1;
+
+/// Encode the job header the master ships to each worker at handshake:
+/// the scene fingerprint both sides must agree on, plus the render knobs
+/// the worker adopts from the master (coherence, grid resolution).
+fn encode_job_header(anim: &Animation, cfg: &FarmConfig) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.u32(JOB_HEADER_VERSION)
+        .u32(anim.base.camera.width())
+        .u32(anim.base.camera.height())
+        .u32(anim.frames as u32)
+        .u32(anim.base.objects.len() as u32)
+        .u32(anim.base.lights.len() as u32)
+        .u32(anim.tracks.len() as u32)
+        .u8(cfg.coherence as u8)
+        .u32(cfg.grid_voxels);
+    e.finish()
+}
+
+/// Validate a received job header against the locally loaded animation and
+/// return the `(coherence, grid_voxels)` settings to adopt. Both processes
+/// load the scene independently, so anything that would make their pixels
+/// diverge must be rejected here, before any unit is rendered.
+fn check_job_header(header: &[u8], anim: &Animation) -> Result<(bool, u32), String> {
+    let mut d = Decoder::new(header);
+    let next = |d: &mut Decoder<'_>| d.u32().map_err(|e| format!("bad job header: {e}"));
+    let version = next(&mut d)?;
+    if version != JOB_HEADER_VERSION {
+        return Err(format!(
+            "job header version mismatch: master speaks v{version}, worker v{JOB_HEADER_VERSION}"
+        ));
+    }
+    let checks = [
+        ("width", anim.base.camera.width()),
+        ("height", anim.base.camera.height()),
+        ("frames", anim.frames as u32),
+        ("objects", anim.base.objects.len() as u32),
+        ("lights", anim.base.lights.len() as u32),
+        ("tracks", anim.tracks.len() as u32),
+    ];
+    for (what, local) in checks {
+        let remote = next(&mut d)?;
+        if remote != local {
+            return Err(format!(
+                "scene mismatch: master has {what}={remote}, worker has {what}={local} \
+                 (both processes must load the same scene)"
+            ));
+        }
+    }
+    let coherence = d.u8().map_err(|e| format!("bad job header: {e}"))? != 0;
+    let grid_voxels = next(&mut d)?;
+    Ok((coherence, grid_voxels))
+}
+
+/// Configuration for a TCP farm master.
+#[derive(Debug, Clone)]
+pub struct TcpFarmConfig {
+    /// Number of worker connections to wait for before starting.
+    pub workers: usize,
+    /// Lease/retry/exclusion policy (same machinery as the other backends).
+    pub recovery: RecoveryConfig,
+    /// Heartbeat ping cadence in seconds.
+    pub heartbeat_s: f64,
+    /// How long to wait for all workers to connect before giving up.
+    pub accept_timeout_s: f64,
+}
+
+impl TcpFarmConfig {
+    /// Defaults for `workers` worker processes.
+    pub fn new(workers: usize) -> TcpFarmConfig {
+        let base = TcpClusterConfig::new(workers);
+        TcpFarmConfig {
+            workers,
+            recovery: base.recovery,
+            heartbeat_s: base.heartbeat_s,
+            accept_timeout_s: base.accept_timeout_s,
+        }
+    }
+}
+
+/// Bind the master's listening socket without starting the run, so the
+/// caller can learn the real port (e.g. after binding port 0) and hand it
+/// to worker processes before blocking in [`run_tcp_master_on`].
+pub fn bind_tcp_master(listen: &str) -> Result<TcpMaster, String> {
+    TcpMaster::bind(listen).map_err(|e| format!("bind {listen}: {e}"))
+}
+
+/// Run the farm master over a bound TCP listener: wait for the configured
+/// number of worker processes, hand out units, assemble frames. Frame
+/// hashes are byte-identical to the sim and thread backends.
+pub fn run_tcp_master_on(
+    listener: TcpMaster,
+    anim: &Animation,
+    cfg: &FarmConfig,
+    tcp: &TcpFarmConfig,
+) -> Result<FarmResult, String> {
+    let mut ccfg = TcpClusterConfig::new(tcp.workers);
+    ccfg.recovery = tcp.recovery;
+    ccfg.heartbeat_s = tcp.heartbeat_s;
+    ccfg.accept_timeout_s = tcp.accept_timeout_s;
+    ccfg.job_header = encode_job_header(anim, cfg);
+    let master = FarmMaster::new(anim, cfg, tcp.workers);
+    let frames = anim.frames as u32;
+    let (master, report) = listener
+        .run(master, &ccfg)
+        .map_err(|e| format!("tcp master: {e}"))?;
+    Ok(collect(master, report, frames))
+}
+
+/// Bind and run a TCP farm master in one call.
+pub fn run_tcp_master(
+    anim: &Animation,
+    cfg: &FarmConfig,
+    listen: &str,
+    tcp: &TcpFarmConfig,
+) -> Result<FarmResult, String> {
+    run_tcp_master_on(bind_tcp_master(listen)?, anim, cfg, tcp)
+}
+
+/// Connect to a TCP farm master and serve units until it shuts us down.
+///
+/// The worker loads the scene itself; the handshake's job header is
+/// checked against it and the master's coherence/grid settings are
+/// adopted, so a mismatched scene fails fast instead of producing
+/// silently wrong pixels.
+pub fn serve_tcp_worker(
+    anim: &Animation,
+    base: &FarmConfig,
+    addr: &str,
+    connect: &ConnectConfig,
+) -> Result<WorkerSummary, String> {
+    let conn = connect_worker(addr, connect).map_err(|e| format!("connect {addr}: {e}"))?;
+    let (coherence, grid_voxels) = match check_job_header(conn.job_header(), anim) {
+        Ok(adopted) => adopted,
+        Err(e) => {
+            // disconnect cleanly so the master sees a dead worker instead
+            // of waiting on one that will never request units
+            conn.leave();
+            return Err(e);
+        }
+    };
+    let mut cfg = base.clone();
+    cfg.coherence = coherence;
+    cfg.grid_voxels = grid_voxels;
+    let spec = shared_spec(anim, &cfg);
+    let worker = FarmWorker::new(Arc::new(anim.clone()), spec, cfg);
+    conn.serve(worker).map_err(|e| format!("worker serve: {e}"))
+}
+
+// ---------------------------------------------------------------------
+// Transport seam
+// ---------------------------------------------------------------------
+
+/// Which substrate carries the master/worker protocol.
+///
+/// All three run the same [`FarmMaster`]/[`FarmWorker`] logic and produce
+/// byte-identical frame hashes; they differ only in what a "workstation"
+/// is (simulated machine, OS thread, or OS process on a socket).
+#[derive(Debug, Clone)]
+pub enum Transport {
+    /// Deterministic discrete-event simulator (virtual time).
+    Sim(SimCluster),
+    /// OS threads over in-process channels (wall time).
+    Threads(ThreadCluster),
+    /// TCP master listening on an address (wall time, real network);
+    /// worker processes must be started separately with
+    /// [`serve_tcp_worker`] or `nowfarm worker`.
+    Tcp {
+        /// Address to listen on, e.g. `127.0.0.1:7201`.
+        listen: String,
+        /// Master-side farm configuration.
+        cfg: TcpFarmConfig,
+    },
+}
+
+/// Run the farm over the chosen [`Transport`].
+pub fn run_farm(
+    anim: &Animation,
+    cfg: &FarmConfig,
+    transport: &Transport,
+) -> Result<FarmResult, String> {
+    match transport {
+        Transport::Sim(cluster) => Ok(run_sim(anim, cfg, cluster)),
+        Transport::Threads(cluster) => Ok(run_threads_on(anim, cfg, cluster)),
+        Transport::Tcp { listen, cfg: tcp } => run_tcp_master(anim, cfg, listen, tcp),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -607,6 +854,138 @@ mod tests {
         );
         let result = run_threads(&anim, &cfg, 3);
         assert_eq!(result.frame_hashes, reference_hashes(&anim, &cfg));
+    }
+
+    #[test]
+    fn tcp_backend_matches_reference() {
+        let anim = anim();
+        let cfg = cfg(
+            PartitionScheme::FrameDivision {
+                tile_w: 16,
+                tile_h: 16,
+                adaptive: true,
+            },
+            true,
+        );
+        let listener = bind_tcp_master("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let (anim, cfg, addr) = (anim.clone(), cfg.clone(), addr.clone());
+                std::thread::spawn(move || {
+                    serve_tcp_worker(&anim, &cfg, &addr, &ConnectConfig::default()).expect("worker")
+                })
+            })
+            .collect();
+        let result =
+            run_tcp_master_on(listener, &anim, &cfg, &TcpFarmConfig::new(2)).expect("master");
+        assert_eq!(result.frame_hashes, reference_hashes(&anim, &cfg));
+        let mut units = 0;
+        for w in workers {
+            let summary = w.join().expect("worker thread");
+            assert!(summary.node_id >= 1);
+            units += summary.units;
+        }
+        assert_eq!(units, result.units_done);
+        // real-network extras made it into the report
+        assert!(result.report.bytes > 0);
+        assert_eq!(result.report.machines.len(), 2, "one entry per worker");
+    }
+
+    #[test]
+    fn tcp_worker_adopts_master_settings() {
+        // worker configured plain/coarse must adopt the master's
+        // coherent/fine settings from the job header
+        let anim = anim();
+        let master_cfg = cfg(PartitionScheme::SequenceDivision { adaptive: true }, true);
+        let mut worker_cfg = master_cfg.clone();
+        worker_cfg.coherence = false;
+        worker_cfg.grid_voxels = 8;
+        let listener = bind_tcp_master("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let w = {
+            let (anim, addr) = (anim.clone(), addr.clone());
+            std::thread::spawn(move || {
+                serve_tcp_worker(&anim, &worker_cfg, &addr, &ConnectConfig::default())
+                    .expect("worker")
+            })
+        };
+        let result = run_tcp_master_on(listener, &anim, &master_cfg, &TcpFarmConfig::new(1))
+            .expect("master");
+        assert_eq!(result.frame_hashes, reference_hashes(&anim, &master_cfg));
+        assert!(result.marks > 0, "coherence was adopted from the header");
+        w.join().expect("worker thread");
+    }
+
+    #[test]
+    fn tcp_worker_rejects_mismatched_scene() {
+        let anim = anim();
+        let cfg = cfg(PartitionScheme::SequenceDivision { adaptive: true }, true);
+        let listener = bind_tcp_master("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let w = {
+            // this worker loaded a *different* scene (one frame short)
+            let mut other = anim.clone();
+            other.frames -= 1;
+            let (cfg, addr) = (cfg.clone(), addr.clone());
+            std::thread::spawn(move || {
+                serve_tcp_worker(&other, &cfg, &addr, &ConnectConfig::default()).unwrap_err()
+            })
+        };
+        // master loses its only worker and ends without the frames
+        let _ = run_tcp_master_on(listener, &anim, &cfg, &TcpFarmConfig::new(1));
+        let err = w.join().expect("worker thread");
+        assert!(err.contains("scene mismatch"), "got: {err}");
+    }
+
+    #[test]
+    fn unit_output_round_trips_over_the_wire() {
+        let out = UnitOutput {
+            pixels: vec![(7, [1, 2, 3]), (9, [254, 0, 128])],
+            rays: RayStats {
+                primary: 1,
+                reflected: 2,
+                transmitted: 3,
+                shadow: 4,
+                intersection_tests: 5,
+                pixels: 6,
+            },
+            marks: 42,
+            parallel: ParallelStats {
+                threads: 2,
+                tiles: 4,
+                total_rays: 10,
+                critical_rays: 6,
+            },
+        };
+        let mut e = Encoder::new();
+        out.wire_encode(&mut e);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        let back = UnitOutput::wire_decode(&mut d).expect("decode");
+        assert_eq!(back.pixels, out.pixels);
+        assert_eq!(back.rays, out.rays);
+        assert_eq!(back.marks, out.marks);
+        assert_eq!(back.parallel, out.parallel);
+    }
+
+    #[test]
+    fn render_unit_round_trips_over_the_wire() {
+        let unit = RenderUnit {
+            region: PixelRegion {
+                x0: 16,
+                y0: 32,
+                w: 8,
+                h: 4,
+            },
+            frame: 3,
+            restart: true,
+        };
+        let mut e = Encoder::new();
+        unit.wire_encode(&mut e);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(RenderUnit::wire_decode(&mut d).expect("decode"), unit);
     }
 
     #[test]

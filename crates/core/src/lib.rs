@@ -29,7 +29,9 @@ pub mod single;
 
 pub use cost::CostModel;
 pub use farm::{
-    run_sim, run_threads, run_threads_on, FarmConfig, FarmMaster, FarmResult, FarmWorker,
+    bind_tcp_master, run_farm, run_sim, run_tcp_master, run_tcp_master_on, run_threads,
+    run_threads_on, serve_tcp_worker, FarmConfig, FarmMaster, FarmResult, FarmWorker,
+    TcpFarmConfig, Transport,
 };
 pub use partition::PartitionScheme;
 pub use single::{render_sequence, SequenceMode, SequenceReport, SingleMachine};

@@ -23,6 +23,8 @@
 //! claimed or stolen queue starts with `restart = true`, telling the
 //! worker to reset its coherence state.
 
+use now_cluster::codec::{DecodeError, Decoder, Encoder};
+use now_cluster::Wire;
 use now_coherence::PixelRegion;
 
 /// A work unit: render one frame of one region.
@@ -35,6 +37,33 @@ pub struct RenderUnit {
     /// If true, the worker must discard coherence state before this unit
     /// (start of a subsequence: full render).
     pub restart: bool,
+}
+
+impl Wire for RenderUnit {
+    fn wire_encode(&self, e: &mut Encoder) {
+        e.u32(self.region.x0)
+            .u32(self.region.y0)
+            .u32(self.region.w)
+            .u32(self.region.h)
+            .u32(self.frame)
+            .u8(self.restart as u8);
+    }
+
+    fn wire_decode(d: &mut Decoder<'_>) -> Result<RenderUnit, DecodeError> {
+        let region = PixelRegion {
+            x0: d.u32()?,
+            y0: d.u32()?,
+            w: d.u32()?,
+            h: d.u32()?,
+        };
+        let frame = d.u32()?;
+        let restart = d.u8()? != 0;
+        Ok(RenderUnit {
+            region,
+            frame,
+            restart,
+        })
+    }
 }
 
 /// A data-partitioning scheme.

@@ -17,21 +17,39 @@
 //!   --trace FILE       record a Chrome trace_event JSON of the run
 //!                      (open in chrome://tracing or ui.perfetto.dev;
 //!                      see DESIGN.md §10 for the schema)
+//!   --hashes FILE      write per-frame FNV fingerprints, one hex per line
+//! nowfarm master SCENE [opts]               TCP master for a multi-process farm
+//!   --listen ADDR      address to listen on (default 127.0.0.1:0; the
+//!                      chosen port is printed as `listening on ...`)
+//!   --workers N        worker connections to wait for (default 2)
+//!   --lease S          enable lease recovery with an S-second base lease
+//!   --scheme/--plain/--pool/--out/--hashes as for `farm`
+//! nowfarm worker SCENE [opts]               TCP worker process
+//!   --connect ADDR     master address (required)
+//!   --pool N           tile-pool threads for this worker (0 = auto)
 //! nowfarm demo   NAME [frames [WxH]]        render a built-in animation
 //!                                           (newton | glassball | orbit)
 //!   --pool N           intra-worker tile-pool threads (0 = auto; default 1)
 //! ```
 //!
-//! Output bytes are identical for every `--pool` value; the flag only
-//! changes how many threads shade each worker's pixels.
+//! `SCENE` is a scene file, or a spec `demo:NAME[:FRAMES[:WxH]]` naming a
+//! built-in animation — handy for `master`/`worker`, where every process
+//! must construct the identical scene.
+//!
+//! Output bytes are identical for every `--pool` value and for every
+//! backend (sim, threads, tcp); the flags only change where and how the
+//! pixels are computed.
 
 use now_math::Color;
 use nowrender::anim::parse::parse_animation;
 use nowrender::anim::scenes::{glassball, newton, orbit};
 use nowrender::anim::Animation;
-use nowrender::cluster::{MachineSpec, SimCluster};
+use nowrender::cluster::{ConnectConfig, MachineSpec, RecoveryConfig, SimCluster};
 use nowrender::coherence::CoherentRenderer;
-use nowrender::core::{run_sim, run_threads, CostModel, FarmConfig, PartitionScheme};
+use nowrender::core::{
+    bind_tcp_master, run_sim, run_tcp_master_on, run_threads, serve_tcp_worker, CostModel,
+    FarmConfig, FarmResult, PartitionScheme, TcpFarmConfig,
+};
 use nowrender::grid::GridSpec;
 use nowrender::raytrace::{image_io, Framebuffer, RenderSettings};
 use std::path::{Path, PathBuf};
@@ -43,9 +61,13 @@ fn main() {
         Some("info") => cmd_info(&args[1..]),
         Some("render") => cmd_render(&args[1..]),
         Some("farm") => cmd_farm(&args[1..]),
+        Some("master") => cmd_master(&args[1..]),
+        Some("worker") => cmd_worker(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
         _ => {
-            eprintln!("usage: nowfarm <info|render|farm|demo> ... (see --help in the README)");
+            eprintln!(
+                "usage: nowfarm <info|render|farm|master|worker|demo> ... (see --help in the README)"
+            );
             exit(2);
         }
     };
@@ -57,7 +79,33 @@ fn main() {
 
 type CliResult = Result<(), String>;
 
+/// Load a scene file, or construct a built-in animation from a
+/// `demo:NAME[:FRAMES[:WxH]]` spec. The spec form lets separate master
+/// and worker processes build bit-identical scenes without sharing files.
 fn load_animation(path: &str) -> Result<Animation, String> {
+    if let Some(rest) = path.strip_prefix("demo:") {
+        let mut parts = rest.split(':');
+        let name = parts.next().unwrap_or("");
+        let frames: usize = match parts.next() {
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad frame count in `{path}`"))?,
+            None => 10,
+        };
+        let (w, h) = match parts.next() {
+            Some(sz) => sz
+                .split_once('x')
+                .and_then(|(w, h)| Some((w.parse().ok()?, h.parse().ok()?)))
+                .ok_or_else(|| format!("bad size in `{path}` (want WxH)"))?,
+            None => (160, 120),
+        };
+        return match name {
+            "newton" => Ok(newton::animation_sized(w, h, frames)),
+            "glassball" => Ok(glassball::animation_sized(w, h, frames)),
+            "orbit" => Ok(orbit::animation_sized(w, h, frames, 8, 0.5)),
+            other => Err(format!("unknown demo `{other}` (newton|glassball|orbit)")),
+        };
+    }
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     parse_animation(&text).map_err(|e| format!("{path}: {e}"))
 }
@@ -186,26 +234,95 @@ fn parse_machines(spec: &str) -> Result<Vec<MachineSpec>, String> {
         .collect()
 }
 
+/// The partition scheme selected by `--scheme`, sized for the animation.
+fn parse_scheme(args: &[String], anim: &Animation) -> Result<PartitionScheme, String> {
+    let (w, h) = (anim.base.camera.width(), anim.base.camera.height());
+    match flag_value(args, "--scheme").unwrap_or("frame") {
+        "seq" => Ok(PartitionScheme::SequenceDivision { adaptive: true }),
+        "frame" => Ok(PartitionScheme::FrameDivision {
+            tile_w: w.div_ceil(4),
+            tile_h: h.div_ceil(3),
+            adaptive: true,
+        }),
+        "hybrid" => Ok(PartitionScheme::Hybrid {
+            tile_w: w.div_ceil(2),
+            tile_h: h.div_ceil(2),
+            subseq: (anim.frames as u32 / 4).max(1),
+        }),
+        other => Err(format!("unknown scheme `{other}` (seq|frame|hybrid)")),
+    }
+}
+
+/// Write per-frame fingerprints, one 16-digit hex per line, if `--hashes`
+/// was given. The files are diffable across backends and process counts:
+/// identical scenes must yield identical lines.
+fn write_hashes(args: &[String], hashes: &[u64]) -> CliResult {
+    if let Some(path) = flag_value(args, "--hashes") {
+        let mut text = String::with_capacity(hashes.len() * 17);
+        for h in hashes {
+            text.push_str(&format!("{h:016x}\n"));
+        }
+        std::fs::write(path, text).map_err(|e| format!("write {path}: {e}"))?;
+        println!("{} frame hashes -> {path}", hashes.len());
+    }
+    Ok(())
+}
+
+/// The farm/master run summary shared by `farm` and `master`.
+fn print_farm_summary(result: &FarmResult) {
+    println!(
+        "makespan {:.2}s, {} rays, {} units, {} messages, {} bytes over the wire",
+        result.report.makespan_s,
+        result.rays.total_rays(),
+        result.units_done,
+        result.report.messages,
+        result.report.bytes
+    );
+    if result.report.worker_threads > 1 {
+        println!(
+            "  tile pool: {} threads/worker, parallel efficiency {:.0}%",
+            result.report.worker_threads,
+            100.0 * result.report.parallel_efficiency
+        );
+    }
+    for (i, m) in result.report.machines.iter().enumerate() {
+        let rtt = if m.rtt_s > 0.0 {
+            format!("  rtt {:6.0}us", m.rtt_s * 1e6)
+        } else {
+            String::new()
+        };
+        println!(
+            "  {:<28} busy {:8.2}s  util {:3.0}%  units {:4}{}{}",
+            m.name,
+            m.busy_s,
+            100.0 * result.report.utilisation(i),
+            m.units_done,
+            rtt,
+            if m.lost { "  LOST" } else { "" },
+        );
+    }
+}
+
+/// Materialise kept frames as TGA files in the output directory.
+fn write_kept_frames(result: &FarmResult, dir: &Path, w: u32, h: u32) -> CliResult {
+    for (f, rgb) in result.frames_rgb.iter().enumerate() {
+        let mut fb = Framebuffer::new(w, h);
+        for (i, px) in rgb.iter().enumerate() {
+            fb.set_id(i as u32, Color::from_u8(px[0], px[1], px[2]));
+        }
+        write_frame(&fb, dir, f)?;
+    }
+    println!("{} frames -> {}", result.frames_rgb.len(), dir.display());
+    Ok(())
+}
+
 fn cmd_farm(args: &[String]) -> CliResult {
     let path = args.first().ok_or("farm needs a scene file")?;
     let anim = load_animation(path)?;
     let dir = outdir(args)?;
     let (w, h) = (anim.base.camera.width(), anim.base.camera.height());
 
-    let scheme = match flag_value(args, "--scheme").unwrap_or("frame") {
-        "seq" => PartitionScheme::SequenceDivision { adaptive: true },
-        "frame" => PartitionScheme::FrameDivision {
-            tile_w: w.div_ceil(4),
-            tile_h: h.div_ceil(3),
-            adaptive: true,
-        },
-        "hybrid" => PartitionScheme::Hybrid {
-            tile_w: w.div_ceil(2),
-            tile_h: h.div_ceil(2),
-            subseq: (anim.frames as u32 / 4).max(1),
-        },
-        other => return Err(format!("unknown scheme `{other}` (seq|frame|hybrid)")),
-    };
+    let scheme = parse_scheme(args, &anim)?;
     let trace_path = flag_value(args, "--trace");
     let mut cfg = FarmConfig {
         scheme,
@@ -249,38 +366,75 @@ fn cmd_farm(args: &[String]) -> CliResult {
         );
     }
 
+    print_farm_summary(&result);
+    write_hashes(args, &result.frame_hashes)?;
+    write_kept_frames(&result, &dir, w, h)
+}
+
+fn cmd_master(args: &[String]) -> CliResult {
+    let path = args
+        .first()
+        .ok_or("master needs a scene (file or demo:NAME:FRAMES:WxH)")?;
+    let anim = load_animation(path)?;
+    let dir = outdir(args)?;
+    let (w, h) = (anim.base.camera.width(), anim.base.camera.height());
+    let workers: usize = flag_value(args, "--workers")
+        .unwrap_or("2")
+        .parse()
+        .map_err(|_| "bad --workers value")?;
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+
+    let cfg = FarmConfig {
+        scheme: parse_scheme(args, &anim)?,
+        coherence: !has_flag(args, "--plain"),
+        settings: render_settings(args)?,
+        cost: CostModel::default(),
+        grid_voxels: 24 * 24 * 24,
+        keep_frames: true,
+    };
+    let mut tcp = TcpFarmConfig::new(workers);
+    if let Some(v) = flag_value(args, "--lease") {
+        let lease: f64 = v.parse().map_err(|_| "bad --lease value")?;
+        tcp.recovery = RecoveryConfig::with_lease(lease);
+    }
+
+    let listener = bind_tcp_master(flag_value(args, "--listen").unwrap_or("127.0.0.1:0"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("local addr: {e}"))?;
+    // scripts and tests parse this line to learn the real port after
+    // binding port 0, so print it alone and flush before blocking
+    println!("listening on {addr}");
+    std::io::Write::flush(&mut std::io::stdout()).map_err(|e| format!("stdout: {e}"))?;
+    println!("waiting for {workers} worker(s) ...");
+
+    let result = run_tcp_master_on(listener, &anim, &cfg, &tcp)?;
+    print_farm_summary(&result);
+    write_hashes(args, &result.frame_hashes)?;
+    write_kept_frames(&result, &dir, w, h)
+}
+
+fn cmd_worker(args: &[String]) -> CliResult {
+    let path = args
+        .first()
+        .ok_or("worker needs a scene (file or demo:NAME:FRAMES:WxH)")?;
+    let anim = load_animation(path)?;
+    let addr = flag_value(args, "--connect").ok_or("worker needs --connect ADDR")?;
+    // scheme, coherence and grid resolution are the master's decisions:
+    // the worker adopts them from the handshake's job header
+    let cfg = FarmConfig {
+        settings: render_settings(args)?,
+        keep_frames: false,
+        ..FarmConfig::paper_default()
+    };
+    println!("connecting to {addr} ...");
+    let s = serve_tcp_worker(&anim, &cfg, addr, &ConnectConfig::default())?;
     println!(
-        "makespan {:.2}s, {} rays, {} units, {} messages, {} bytes over the wire",
-        result.report.makespan_s,
-        result.rays.total_rays(),
-        result.units_done,
-        result.report.messages,
-        result.report.bytes
+        "worker {} done: {} units, {:.2}s busy, {} bytes sent, {} bytes received",
+        s.node_id, s.units, s.busy_s, s.bytes_sent, s.bytes_received
     );
-    if result.report.worker_threads > 1 {
-        println!(
-            "  tile pool: {} threads/worker, parallel efficiency {:.0}%",
-            result.report.worker_threads,
-            100.0 * result.report.parallel_efficiency
-        );
-    }
-    for (i, m) in result.report.machines.iter().enumerate() {
-        println!(
-            "  {:<28} busy {:8.2}s  util {:3.0}%  units {:4}",
-            m.name,
-            m.busy_s,
-            100.0 * result.report.utilisation(i),
-            m.units_done
-        );
-    }
-    for (f, rgb) in result.frames_rgb.iter().enumerate() {
-        let mut fb = Framebuffer::new(w, h);
-        for (i, px) in rgb.iter().enumerate() {
-            fb.set_id(i as u32, Color::from_u8(px[0], px[1], px[2]));
-        }
-        write_frame(&fb, &dir, f)?;
-    }
-    println!("{} frames -> {}", result.frames_rgb.len(), dir.display());
     Ok(())
 }
 

@@ -1,0 +1,142 @@
+//! Multi-process TCP farm acceptance tests.
+//!
+//! The oracle for the whole `net` transport: a master process plus two
+//! worker processes on localhost must produce frame hashes byte-identical
+//! to the single-process thread backend — including when one worker
+//! process is killed mid-run and its leases recover on the survivor.
+
+use nowrender::anim::scenes::newton;
+use nowrender::core::{run_threads, CostModel, FarmConfig, PartitionScheme};
+use nowrender::raytrace::RenderSettings;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+/// The scene spec both processes pass to `nowfarm`, and its dimensions.
+const SCENE: &str = "demo:newton:6:64x48";
+const W: u32 = 64;
+const H: u32 = 48;
+const FRAMES: usize = 6;
+
+/// The configuration `nowfarm master` builds for `SCENE` with default
+/// flags (frame-division scheme, coherence on, 24^3 grid).
+fn master_cfg() -> FarmConfig {
+    FarmConfig {
+        scheme: PartitionScheme::FrameDivision {
+            tile_w: W.div_ceil(4),
+            tile_h: H.div_ceil(3),
+            adaptive: true,
+        },
+        coherence: true,
+        settings: RenderSettings::default(),
+        cost: CostModel::default(),
+        grid_voxels: 24 * 24 * 24,
+        keep_frames: false,
+    }
+}
+
+/// Single-process reference: the thread backend on the same scene.
+fn reference_hashes() -> Vec<u64> {
+    let anim = newton::animation_sized(W, H, FRAMES);
+    run_threads(&anim, &master_cfg(), 2).frame_hashes
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nowfarm_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir scratch");
+    dir
+}
+
+/// Spawn `nowfarm master` and return the child plus the address it
+/// printed after binding (port 0, so every test run gets a fresh port).
+fn spawn_master(dir: &Path, hashes: &Path) -> (Child, String) {
+    let mut master = Command::new(env!("CARGO_BIN_EXE_nowfarm"))
+        .args(["master", SCENE, "--listen", "127.0.0.1:0", "--workers", "2"])
+        .arg("--hashes")
+        .arg(hashes)
+        .arg("--out")
+        .arg(dir.join("frames"))
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn master");
+    let stdout = master.stdout.take().expect("master stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("master exited before printing its address")
+            .expect("read master stdout");
+        if let Some(addr) = line.strip_prefix("listening on ") {
+            break addr.to_string();
+        }
+    };
+    // keep draining so the master never blocks on a full stdout pipe
+    std::thread::spawn(move || for _ in lines.by_ref() {});
+    (master, addr)
+}
+
+fn spawn_worker(addr: &str) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_nowfarm"))
+        .args(["worker", SCENE, "--connect", addr])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn worker")
+}
+
+fn read_hashes(path: &Path) -> Vec<u64> {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    text.lines()
+        .map(|l| u64::from_str_radix(l.trim(), 16).expect("hex hash line"))
+        .collect()
+}
+
+#[test]
+fn multi_process_farm_matches_single_process() {
+    let dir = scratch_dir("mp");
+    let hashes = dir.join("hashes.txt");
+    let (mut master, addr) = spawn_master(&dir, &hashes);
+    let mut w1 = spawn_worker(&addr);
+    let mut w2 = spawn_worker(&addr);
+
+    let status = master.wait().expect("wait master");
+    assert!(status.success(), "master exited with {status}");
+    assert!(w1.wait().expect("wait w1").success());
+    assert!(w2.wait().expect("wait w2").success());
+
+    assert_eq!(read_hashes(&hashes), reference_hashes());
+    // the master also materialised every frame
+    for f in 0..FRAMES {
+        let frame = dir.join("frames").join(format!("frame_{f:04}.tga"));
+        assert!(frame.exists(), "missing {}", frame.display());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn multi_process_farm_survives_killed_worker() {
+    let dir = scratch_dir("kill");
+    let hashes = dir.join("hashes.txt");
+    let (mut master, addr) = spawn_master(&dir, &hashes);
+    let mut victim = spawn_worker(&addr);
+    let mut survivor = spawn_worker(&addr);
+
+    // SIGKILL one worker process mid-run: the master must observe the
+    // dropped socket, requeue its leases on the survivor, and still
+    // finish with byte-identical frames. (If this machine is fast enough
+    // that the run already ended, the kill is a no-op and the test
+    // degrades to the plain two-worker comparison.)
+    std::thread::sleep(Duration::from_millis(250));
+    let _ = victim.kill();
+    let _ = victim.wait();
+
+    let status = master.wait().expect("wait master");
+    assert!(status.success(), "master exited with {status}");
+    assert!(survivor.wait().expect("wait survivor").success());
+
+    assert_eq!(read_hashes(&hashes), reference_hashes());
+    let _ = std::fs::remove_dir_all(&dir);
+}
