@@ -238,7 +238,8 @@ fn main() {
 
     let path = std::env::var("BENCH_OUT")
         .unwrap_or_else(|_| format!("{}/../../BENCH_render.json", env!("CARGO_MANIFEST_DIR")));
-    std::fs::write(&path, &out).expect("write BENCH_render.json");
+    now_raytrace::image_io::write_atomic(std::path::Path::new(&path), out.as_bytes())
+        .expect("write BENCH_render.json");
     print!("{out}");
     eprintln!("wrote {path}");
 }

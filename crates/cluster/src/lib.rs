@@ -38,9 +38,16 @@
 //! injects worker crashes, stalls, slowdowns and dropped results into
 //! either backend, and the lease/retry/exclusion [`fault::Ledger`] lets
 //! the master survive them with every unit integrated exactly once.
+//!
+//! [`journal`] extends that honesty to the master itself: an append-only,
+//! CRC-checked record log ([`JournalWriter`]) with torn-tail recovery and
+//! a [`JournalFaultPlan`] that kills the log mid-write at any chosen byte,
+//! so master-crash-and-resume can be tested as deterministically as worker
+//! crashes.
 
 pub mod codec;
 pub mod fault;
+pub mod journal;
 pub mod logic;
 pub mod message;
 pub mod net;
@@ -50,6 +57,7 @@ pub mod threads;
 
 pub use codec::{Decoder, Encoder};
 pub use fault::{FaultCounters, FaultKind, FaultPlan, Ledger, RecoveryConfig};
+pub use journal::{read_log, JournalFaultPlan, JournalWriter, RecoveredLog};
 pub use logic::{MasterLogic, MasterWork, WorkCost, WorkerLogic};
 pub use message::{ChannelError, Endpoint, Message, NodeId};
 pub use net::{

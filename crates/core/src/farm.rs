@@ -7,6 +7,7 @@
 //! discrete-event simulator and real threads.
 
 use crate::cost::CostModel;
+use crate::journal::{FarmJournal, JournalSpec};
 use crate::partition::{PartitionScheme, RenderUnit, Scheduler};
 use now_anim::Animation;
 use now_cluster::codec::{DecodeError, Decoder, Encoder};
@@ -126,7 +127,7 @@ impl Wire for UnitOutput {
 type PendingFrame = (Vec<(PixelId, [u8; 3])>, usize);
 
 /// FNV-1a hash of a byte stream (frame fingerprints).
-fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+pub(crate) fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
     let mut h = 0xcbf29ce484222325u64;
     for b in bytes {
         h ^= b as u64;
@@ -327,6 +328,14 @@ pub struct FarmMaster {
     pub pixels_shipped: u64,
     /// units completed
     pub units_done: u64,
+    /// units skipped at assignment because a resumed journal had already
+    /// finalized their frames
+    pub resumed_units: u64,
+    /// write-ahead journal, when the run is durable
+    journal: Option<FarmJournal>,
+    /// frames below this index were restored from the journal: their
+    /// units are skipped, never re-rendered
+    skip_below: u32,
 }
 
 impl FarmMaster {
@@ -355,12 +364,59 @@ impl FarmMaster {
             },
             pixels_shipped: 0,
             units_done: 0,
+            resumed_units: 0,
+            journal: None,
+            skip_below: 0,
         }
+    }
+
+    /// Create the master, optionally journaled: with a [`JournalSpec`] the
+    /// run writes ahead to a durable log, and a `resume` spec restores the
+    /// finalized prefix of an interrupted run (see [`crate::journal`]).
+    pub fn from_spec(
+        anim: &Animation,
+        cfg: &FarmConfig,
+        workers: usize,
+        journal: Option<&JournalSpec>,
+    ) -> Result<FarmMaster, String> {
+        let mut master = FarmMaster::new(anim, cfg, workers);
+        if let Some(spec) = journal {
+            let (journal, resumed) = FarmJournal::open(anim, cfg, spec)?;
+            master.journal = Some(journal);
+            if let Some(state) = resumed {
+                master.next_finalize = state.next_finalize;
+                master.skip_below = state.next_finalize;
+                master.frame_hashes = state.frame_hashes;
+                if let Some(canvas) = state.canvas {
+                    master.canvas = canvas;
+                }
+                if master.keep_frames {
+                    master.frames_rgb = state.frames_rgb;
+                }
+            }
+        }
+        Ok(master)
+    }
+
+    /// Resume an interrupted run from the journal directory `dir` — the
+    /// constructor form the CLI's `--journal DIR --resume` maps to.
+    pub fn resume_from(
+        anim: &Animation,
+        cfg: &FarmConfig,
+        workers: usize,
+        dir: &std::path::Path,
+    ) -> Result<FarmMaster, String> {
+        FarmMaster::from_spec(anim, cfg, workers, Some(&JournalSpec::resume(dir)))
     }
 
     /// Number of frames fully assembled and "written".
     pub fn frames_finalized(&self) -> usize {
         self.frame_hashes.len()
+    }
+
+    /// The journal's total record count, when journaling.
+    pub fn journal_records(&self) -> Option<u64> {
+        self.journal.as_ref().map(FarmJournal::records)
     }
 
     fn try_finalize(&mut self) -> usize {
@@ -375,8 +431,13 @@ impl FarmMaster {
             for (id, rgb) in updates {
                 self.canvas[id as usize] = rgb;
             }
-            self.frame_hashes
-                .push(fnv1a(self.canvas.iter().flatten().copied()));
+            let hash = fnv1a(self.canvas.iter().flatten().copied());
+            self.frame_hashes.push(hash);
+            if let Some(j) = self.journal.as_mut() {
+                // durable frame pixels first, then the record that vouches
+                // for them — a crash between the two re-renders the frame
+                j.record_frame(self.next_finalize, hash, &self.canvas);
+            }
             if self.keep_frames {
                 self.frames_rgb.push(self.canvas.clone());
             }
@@ -392,7 +453,23 @@ impl MasterLogic for FarmMaster {
     type Result = UnitOutput;
 
     fn assign(&mut self, worker: usize) -> Option<RenderUnit> {
-        self.scheduler.next_unit(worker)
+        let mut skipped = false;
+        loop {
+            let mut unit = self.scheduler.next_unit(worker)?;
+            if unit.frame < self.skip_below {
+                // this frame was finalized before the crash: its pixels
+                // are already durable, the unit never leaves the master
+                self.resumed_units += 1;
+                skipped = true;
+                continue;
+            }
+            if skipped {
+                // the queue's restart flag was consumed by a skipped unit;
+                // the worker must rebuild coherence from this frame
+                unit.restart = true;
+            }
+            return Some(unit);
+        }
     }
 
     fn integrate(&mut self, _worker: usize, unit: RenderUnit, result: UnitOutput) -> MasterWork {
@@ -401,6 +478,15 @@ impl MasterLogic for FarmMaster {
         self.parallel.merge(&result.parallel);
         self.pixels_shipped += result.pixels.len() as u64;
         self.units_done += 1;
+        if let Some(j) = self.journal.as_mut() {
+            let pixels_hash = fnv1a(
+                result
+                    .pixels
+                    .iter()
+                    .flat_map(|(id, rgb)| id.to_le_bytes().into_iter().chain(rgb.iter().copied())),
+            );
+            j.record_unit(&unit, pixels_hash);
+        }
         let entry = self.pending.entry(unit.frame).or_default();
         entry.0.extend(result.pixels);
         entry.1 += 1;
@@ -460,6 +546,9 @@ pub struct FarmResult {
     pub pixels_shipped: u64,
     /// Units completed.
     pub units_done: u64,
+    /// Units skipped because a resumed journal had already finalized
+    /// their frames.
+    pub resumed_units: u64,
 }
 
 fn shared_spec(anim: &Animation, cfg: &FarmConfig) -> GridSpec {
@@ -490,6 +579,12 @@ fn record_farm_trace(master: &FarmMaster, report: &now_cluster::RunReport) {
     rec.counter_add("farm.marks", master.marks);
     rec.counter_add("farm.rays", master.rays.total_rays());
     rec.counter_add("farm.frames", master.frame_hashes.len() as u64);
+    // journal counters only exist for journaled runs, so the golden traces
+    // of plain runs stay byte-identical
+    if let Some(records) = master.journal_records() {
+        rec.counter_add("journal.records", records);
+        rec.counter_add("farm.resumed_units", master.resumed_units);
+    }
 }
 
 fn collect(master: FarmMaster, mut report: now_cluster::RunReport, frames: u32) -> FarmResult {
@@ -513,14 +608,25 @@ fn collect(master: FarmMaster, mut report: now_cluster::RunReport, frames: u32) 
         marks: master.marks,
         pixels_shipped: master.pixels_shipped,
         units_done: master.units_done,
+        resumed_units: master.resumed_units,
     }
 }
 
 /// Run the farm on the discrete-event simulator (one worker per machine).
 pub fn run_sim(anim: &Animation, cfg: &FarmConfig, cluster: &SimCluster) -> FarmResult {
+    run_sim_with(anim, cfg, cluster, None).expect("unjournaled run cannot fail to start")
+}
+
+/// Run the farm on the simulator, optionally journaled/resumed.
+pub fn run_sim_with(
+    anim: &Animation,
+    cfg: &FarmConfig,
+    cluster: &SimCluster,
+    journal: Option<&JournalSpec>,
+) -> Result<FarmResult, String> {
     let spec = shared_spec(anim, cfg);
     let anim = Arc::new(anim.clone());
-    let master = FarmMaster::new(&anim, cfg, cluster.machines.len());
+    let master = FarmMaster::from_spec(&anim, cfg, cluster.machines.len(), journal)?;
     let workers: Vec<FarmWorker> = cluster
         .machines
         .iter()
@@ -528,7 +634,7 @@ pub fn run_sim(anim: &Animation, cfg: &FarmConfig, cluster: &SimCluster) -> Farm
         .collect();
     let frames = anim.frames as u32;
     let (master, report) = cluster.run(master, workers);
-    collect(master, report, frames)
+    Ok(collect(master, report, frames))
 }
 
 /// Run the farm on real threads.
@@ -539,15 +645,26 @@ pub fn run_threads(anim: &Animation, cfg: &FarmConfig, n_workers: usize) -> Farm
 /// Run the farm on a configured [`ThreadCluster`] (fault injection and
 /// recovery policy included).
 pub fn run_threads_on(anim: &Animation, cfg: &FarmConfig, cluster: &ThreadCluster) -> FarmResult {
+    run_threads_with(anim, cfg, cluster, None).expect("unjournaled run cannot fail to start")
+}
+
+/// Run the farm on a configured [`ThreadCluster`], optionally
+/// journaled/resumed.
+pub fn run_threads_with(
+    anim: &Animation,
+    cfg: &FarmConfig,
+    cluster: &ThreadCluster,
+    journal: Option<&JournalSpec>,
+) -> Result<FarmResult, String> {
     let spec = shared_spec(anim, cfg);
     let anim = Arc::new(anim.clone());
-    let master = FarmMaster::new(&anim, cfg, cluster.workers);
+    let master = FarmMaster::from_spec(&anim, cfg, cluster.workers, journal)?;
     let workers: Vec<FarmWorker> = (0..cluster.workers)
         .map(|_| FarmWorker::new(Arc::clone(&anim), spec, cfg.clone()))
         .collect();
     let frames = anim.frames as u32;
     let (master, report) = cluster.run(master, workers);
-    collect(master, report, frames)
+    Ok(collect(master, report, frames))
 }
 
 /// Convenience: the paper's 3-machine simulated cluster.
@@ -564,8 +681,10 @@ const JOB_HEADER_VERSION: u32 = 1;
 
 /// Encode the job header the master ships to each worker at handshake:
 /// the scene fingerprint both sides must agree on, plus the render knobs
-/// the worker adopts from the master (coherence, grid resolution).
-fn encode_job_header(anim: &Animation, cfg: &FarmConfig) -> Vec<u8> {
+/// the worker adopts from the master (coherence, grid resolution). The
+/// run journal embeds the same bytes in its RunHeader record, so resume
+/// validation and worker handshake validation reject the same mismatches.
+pub(crate) fn encode_job_header(anim: &Animation, cfg: &FarmConfig) -> Vec<u8> {
     let mut e = Encoder::new();
     e.u32(JOB_HEADER_VERSION)
         .u32(anim.base.camera.width())
@@ -656,13 +775,29 @@ pub fn run_tcp_master_on(
     cfg: &FarmConfig,
     tcp: &TcpFarmConfig,
 ) -> Result<FarmResult, String> {
+    run_tcp_master_with(listener, anim, cfg, tcp, None)
+}
+
+/// Run the farm master over TCP, optionally journaled/resumed.
+pub fn run_tcp_master_with(
+    listener: TcpMaster,
+    anim: &Animation,
+    cfg: &FarmConfig,
+    tcp: &TcpFarmConfig,
+    journal: Option<&JournalSpec>,
+) -> Result<FarmResult, String> {
     let mut ccfg = TcpClusterConfig::new(tcp.workers);
     ccfg.recovery = tcp.recovery;
     ccfg.heartbeat_s = tcp.heartbeat_s;
     ccfg.accept_timeout_s = tcp.accept_timeout_s;
     ccfg.job_header = encode_job_header(anim, cfg);
-    let master = FarmMaster::new(anim, cfg, tcp.workers);
+    let master = FarmMaster::from_spec(anim, cfg, tcp.workers, journal)?;
     let frames = anim.frames as u32;
+    if master.all_done() {
+        // the resumed journal already holds every frame: don't block
+        // waiting for worker connections that will never be needed
+        return Ok(collect(master, now_cluster::RunReport::default(), frames));
+    }
     let (master, report) = listener
         .run(master, &ccfg)
         .map_err(|e| format!("tcp master: {e}"))?;

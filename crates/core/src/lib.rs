@@ -21,17 +21,22 @@
 //!   [`farm::FarmWorker`] implement the `now-cluster` master/worker
 //!   interface, so one implementation runs on both the discrete-event
 //!   simulator (paper reproduction) and real threads (wall-clock runs).
+//! * [`journal`] — the durable run journal: a write-ahead record log plus
+//!   atomically-written frame files, letting a crashed master resume with
+//!   byte-identical output (`run_*_with` + [`journal::JournalSpec`]).
 
 pub mod cost;
 pub mod farm;
+pub mod journal;
 pub mod partition;
 pub mod single;
 
 pub use cost::CostModel;
 pub use farm::{
-    bind_tcp_master, run_farm, run_sim, run_tcp_master, run_tcp_master_on, run_threads,
-    run_threads_on, serve_tcp_worker, FarmConfig, FarmMaster, FarmResult, FarmWorker,
-    TcpFarmConfig, Transport,
+    bind_tcp_master, run_farm, run_sim, run_sim_with, run_tcp_master, run_tcp_master_on,
+    run_tcp_master_with, run_threads, run_threads_on, run_threads_with, serve_tcp_worker,
+    FarmConfig, FarmMaster, FarmResult, FarmWorker, TcpFarmConfig, Transport,
 };
+pub use journal::JournalSpec;
 pub use partition::PartitionScheme;
 pub use single::{render_sequence, SequenceMode, SequenceReport, SingleMachine};

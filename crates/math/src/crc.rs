@@ -1,0 +1,86 @@
+//! CRC-32 (ISO 3309 / ITU-T V.42, reflected polynomial `0xEDB88320`).
+//!
+//! One table-driven implementation shared by every subsystem that
+//! checksums bytes: the dependency-free PNG encoder (chunk CRCs) and the
+//! render farm's write-ahead run journal (record CRCs). Keeping a single
+//! copy means a single set of known-answer tests vouches for both.
+
+/// Lookup table for [`crc32`], one entry per byte value.
+///
+/// Built at compile time from the reflected polynomial, so the table is
+/// baked into the binary and the per-byte cost is one XOR and one load.
+pub const CRC32_TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut n = 0;
+    while n < 256 {
+        let mut c = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[n] = c;
+        n += 1;
+    }
+    table
+}
+
+/// CRC-32 of `bytes` (initial value `0xFFFFFFFF`, final complement), as
+/// required by PNG chunks and used to frame journal records.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // the standard check value every CRC-32 implementation must hit
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        // every PNG ends with an IEND chunk whose CRC is famously ae426082
+        assert_eq!(crc32(b"IEND"), 0xAE42_6082);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn table_matches_bitwise_reference() {
+        // the pre-table bitwise loop this module replaced
+        fn bitwise(bytes: &[u8]) -> u32 {
+            let mut crc = 0xFFFF_FFFFu32;
+            for &b in bytes {
+                crc ^= b as u32;
+                for _ in 0..8 {
+                    let mask = (crc & 1).wrapping_neg();
+                    crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+                }
+            }
+            !crc
+        }
+        let samples: [&[u8]; 4] = [b"", b"a", b"nowrender", &[0xFF; 300]];
+        for s in samples {
+            assert_eq!(crc32(s), bitwise(s));
+        }
+    }
+
+    #[test]
+    fn sensitive_to_every_byte() {
+        let base = crc32(b"abcdef");
+        for i in 0..6 {
+            let mut corrupted = *b"abcdef";
+            corrupted[i] ^= 0x01;
+            assert_ne!(crc32(&corrupted), base, "flip at byte {i} undetected");
+        }
+    }
+}

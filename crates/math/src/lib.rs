@@ -15,7 +15,9 @@
 //!   inverses for the rigid/scale transforms animation needs,
 //! * [`Color`] — linear RGB radiance with conversion to 8-bit display values,
 //! * [`Onb`] — orthonormal basis (camera frames),
-//! * [`Interval`] — closed scalar interval used for ray `t` ranges.
+//! * [`Interval`] — closed scalar interval used for ray `t` ranges,
+//! * [`crc32`] — the shared CRC-32 used by the PNG encoder and the render
+//!   farm's run journal.
 //!
 //! All math is `f64`: the coherence engine compares voxel walks between
 //! frames, and `f32` drift across a 45-frame animation can produce spurious
@@ -23,6 +25,7 @@
 
 pub mod aabb;
 pub mod color;
+pub mod crc;
 pub mod interval;
 pub mod onb;
 pub mod poly;
@@ -32,6 +35,7 @@ pub mod vec3;
 
 pub use aabb::Aabb;
 pub use color::Color;
+pub use crc::crc32;
 pub use interval::Interval;
 pub use onb::Onb;
 pub use ray::Ray;

@@ -6,19 +6,56 @@
 //! as is conventional for TGA.
 //!
 //! [`png_bytes`] is a dependency-free PNG encoder (stored/uncompressed
-//! deflate blocks, hand-rolled CRC-32 and Adler-32) so golden images can
-//! be checked in as a universally viewable format without pulling a
-//! compression crate into the offline build.
+//! deflate blocks, the shared [`now_math::crc32`] and a hand-rolled
+//! Adler-32) so golden images can be checked in as a universally viewable
+//! format without pulling a compression crate into the offline build.
+//!
+//! Every `write_*` function goes through [`write_atomic`] — temp file,
+//! fsync, rename — so an interrupted render never leaves a half-written
+//! image on disk.
 
 use crate::framebuffer::Framebuffer;
+use now_math::crc32;
 use std::io::{self, Write};
 use std::path::Path;
 
-/// Encode a framebuffer as an uncompressed 24-bit Targa (type 2) file.
-pub fn tga_bytes(fb: &Framebuffer) -> Vec<u8> {
-    let w = fb.width() as usize;
-    let h = fb.height() as usize;
-    let mut out = Vec::with_capacity(18 + w * h * 3);
+/// Write `bytes` to `path` atomically: the data goes to a `NAME.tmp`
+/// sibling first, is fsynced, and is then renamed over the target, so a
+/// crash at any instant leaves either the old file or the new one — never
+/// a half-written artifact. The containing directory is synced
+/// best-effort so the rename itself is durable.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let name = path.file_name().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("no file name in {}", path.display()),
+        )
+    })?;
+    let mut tmp_name = name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => Path::new("."),
+    };
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Encode top-down row-major RGB triples as an uncompressed 24-bit Targa
+/// (type 2) file. The farm's run journal uses this to persist finalized
+/// frames without round-tripping through floating-point color.
+pub fn tga_bytes_rgb8(width: u32, height: u32, px: &[[u8; 3]]) -> Vec<u8> {
+    assert_eq!(px.len(), (width * height) as usize);
+    let mut out = Vec::with_capacity(18 + px.len() * 3);
     // 18-byte TGA header
     out.push(0); // id length
     out.push(0); // no color map
@@ -26,20 +63,33 @@ pub fn tga_bytes(fb: &Framebuffer) -> Vec<u8> {
     out.extend_from_slice(&[0; 5]); // color map spec
     out.extend_from_slice(&0u16.to_le_bytes()); // x origin
     out.extend_from_slice(&0u16.to_le_bytes()); // y origin
-    out.extend_from_slice(&(fb.width() as u16).to_le_bytes());
-    out.extend_from_slice(&(fb.height() as u16).to_le_bytes());
+    out.extend_from_slice(&(width as u16).to_le_bytes());
+    out.extend_from_slice(&(height as u16).to_le_bytes());
     out.push(24); // bits per pixel
     out.push(0); // descriptor: bottom-left origin
                  // pixel data, bottom row first, BGR order
-    for y in (0..fb.height()).rev() {
-        for x in 0..fb.width() {
-            let (r, g, b) = fb.get(x, y).to_u8();
+    for y in (0..height).rev() {
+        for x in 0..width {
+            let [r, g, b] = px[(y * width + x) as usize];
             out.push(b);
             out.push(g);
             out.push(r);
         }
     }
     out
+}
+
+/// Encode a framebuffer as an uncompressed 24-bit Targa (type 2) file.
+pub fn tga_bytes(fb: &Framebuffer) -> Vec<u8> {
+    let px: Vec<[u8; 3]> = fb
+        .pixels()
+        .iter()
+        .map(|c| {
+            let (r, g, b) = c.to_u8();
+            [r, g, b]
+        })
+        .collect();
+    tga_bytes_rgb8(fb.width(), fb.height(), &px)
 }
 
 /// Decoded image: width, height, and top-down RGB triples.
@@ -77,22 +127,9 @@ pub fn tga_decode(bytes: &[u8]) -> io::Result<DecodedImage> {
     Ok((w, h, px))
 }
 
-/// Write a framebuffer to a TGA file.
+/// Write a framebuffer to a TGA file (atomically, via [`write_atomic`]).
 pub fn write_tga(fb: &Framebuffer, path: &Path) -> io::Result<()> {
-    std::fs::write(path, tga_bytes(fb))
-}
-
-/// CRC-32 (ISO 3309, polynomial 0xEDB88320) as required by PNG chunks.
-fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc ^= b as u32;
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
-    }
-    !crc
+    write_atomic(path, &tga_bytes(fb))
 }
 
 /// Adler-32 over the uncompressed zlib payload.
@@ -169,9 +206,9 @@ pub fn png_bytes(fb: &Framebuffer) -> Vec<u8> {
     out
 }
 
-/// Write a framebuffer to a PNG file.
+/// Write a framebuffer to a PNG file (atomically, via [`write_atomic`]).
 pub fn write_png(fb: &Framebuffer, path: &Path) -> io::Result<()> {
-    std::fs::write(path, png_bytes(fb))
+    write_atomic(path, &png_bytes(fb))
 }
 
 /// Encode as binary PPM (P6), top-down RGB.
@@ -187,9 +224,9 @@ pub fn ppm_bytes(fb: &Framebuffer) -> Vec<u8> {
     out
 }
 
-/// Write a framebuffer to a PPM file.
+/// Write a framebuffer to a PPM file (atomically, via [`write_atomic`]).
 pub fn write_ppm(fb: &Framebuffer, path: &Path) -> io::Result<()> {
-    std::fs::write(path, ppm_bytes(fb))
+    write_atomic(path, &ppm_bytes(fb))
 }
 
 /// Encode a binary mask as PGM (P5): 255 where `mask` is true, 0 elsewhere.
@@ -202,9 +239,9 @@ pub fn pgm_mask_bytes(width: u32, height: u32, mask: &[bool]) -> Vec<u8> {
     out
 }
 
-/// Write a binary mask to a PGM file.
+/// Write a binary mask to a PGM file (atomically, via [`write_atomic`]).
 pub fn write_pgm_mask(width: u32, height: u32, mask: &[bool], path: &Path) -> io::Result<()> {
-    std::fs::write(path, pgm_mask_bytes(width, height, mask))
+    write_atomic(path, &pgm_mask_bytes(width, height, mask))
 }
 
 #[cfg(test)]
@@ -271,6 +308,37 @@ mod tests {
     #[should_panic]
     fn pgm_mask_size_mismatch_panics() {
         let _ = pgm_mask_bytes(2, 2, &[true; 3]);
+    }
+
+    #[test]
+    fn tga_rgb8_matches_framebuffer_encoder() {
+        let fb = sample_fb();
+        let px: Vec<[u8; 3]> = fb
+            .pixels()
+            .iter()
+            .map(|c| {
+                let (r, g, b) = c.to_u8();
+                [r, g, b]
+            })
+            .collect();
+        assert_eq!(tga_bytes_rgb8(fb.width(), fb.height(), &px), tga_bytes(&fb));
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join(format!("now_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.bin");
+        write_atomic(&path, b"first").unwrap();
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        assert!(!dir.join("out.bin.tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_atomic_rejects_bare_root() {
+        assert!(write_atomic(Path::new("/"), b"x").is_err());
     }
 
     #[test]

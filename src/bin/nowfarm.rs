@@ -18,15 +18,23 @@
 //!                      (open in chrome://tracing or ui.perfetto.dev;
 //!                      see DESIGN.md §10 for the schema)
 //!   --hashes FILE      write per-frame FNV fingerprints, one hex per line
+//!   --expect-hashes F  compare the run's fingerprints to the file F
+//!                      (one hex per line); exit nonzero on any mismatch
+//!   --journal DIR      write-ahead journal + durable frames into DIR
+//!   --resume           resume an interrupted run from --journal DIR
 //! nowfarm master SCENE [opts]               TCP master for a multi-process farm
 //!   --listen ADDR      address to listen on (default 127.0.0.1:0; the
 //!                      chosen port is printed as `listening on ...`)
 //!   --workers N        worker connections to wait for (default 2)
 //!   --lease S          enable lease recovery with an S-second base lease
-//!   --scheme/--plain/--pool/--out/--hashes as for `farm`
+//!   --scheme/--plain/--pool/--out/--hashes/--expect-hashes as for `farm`
+//!   --journal DIR      write-ahead journal + durable frames into DIR
+//!   --resume           resume an interrupted run from --journal DIR
 //! nowfarm worker SCENE [opts]               TCP worker process
 //!   --connect ADDR     master address (required)
 //!   --pool N           tile-pool threads for this worker (0 = auto)
+//!   --retries N        after a dropped session, reconnect up to N times
+//!                      (rides out a master restart with --resume)
 //! nowfarm demo   NAME [frames [WxH]]        render a built-in animation
 //!                                           (newton | glassball | orbit)
 //!   --pool N           intra-worker tile-pool threads (0 = auto; default 1)
@@ -47,8 +55,8 @@ use nowrender::anim::Animation;
 use nowrender::cluster::{ConnectConfig, MachineSpec, RecoveryConfig, SimCluster};
 use nowrender::coherence::CoherentRenderer;
 use nowrender::core::{
-    bind_tcp_master, run_sim, run_tcp_master_on, run_threads, serve_tcp_worker, CostModel,
-    FarmConfig, FarmResult, PartitionScheme, TcpFarmConfig,
+    bind_tcp_master, run_sim_with, run_tcp_master_with, run_threads_with, serve_tcp_worker,
+    CostModel, FarmConfig, FarmResult, JournalSpec, PartitionScheme, TcpFarmConfig,
 };
 use nowrender::grid::GridSpec;
 use nowrender::raytrace::{image_io, Framebuffer, RenderSettings};
@@ -253,6 +261,18 @@ fn parse_scheme(args: &[String], anim: &Animation) -> Result<PartitionScheme, St
     }
 }
 
+/// The journal configuration selected by `--journal DIR` / `--resume`.
+fn journal_spec(args: &[String]) -> Result<Option<JournalSpec>, String> {
+    match flag_value(args, "--journal") {
+        Some(dir) if has_flag(args, "--resume") => Ok(Some(JournalSpec::resume(dir))),
+        Some(dir) => Ok(Some(JournalSpec::new(dir))),
+        None if has_flag(args, "--resume") => {
+            Err("--resume needs --journal DIR (the journal to resume from)".into())
+        }
+        None => Ok(None),
+    }
+}
+
 /// Write per-frame fingerprints, one 16-digit hex per line, if `--hashes`
 /// was given. The files are diffable across backends and process counts:
 /// identical scenes must yield identical lines.
@@ -262,9 +282,42 @@ fn write_hashes(args: &[String], hashes: &[u64]) -> CliResult {
         for h in hashes {
             text.push_str(&format!("{h:016x}\n"));
         }
-        std::fs::write(path, text).map_err(|e| format!("write {path}: {e}"))?;
+        image_io::write_atomic(Path::new(path), text.as_bytes())
+            .map_err(|e| format!("write {path}: {e}"))?;
         println!("{} frame hashes -> {path}", hashes.len());
     }
+    Ok(())
+}
+
+/// Compare the run's fingerprints against a `--expect-hashes` reference
+/// file (the format `--hashes` writes). Any mismatch is an error, so
+/// cross-process comparisons fail the exit status, not just a log line.
+fn check_expected_hashes(args: &[String], hashes: &[u64]) -> CliResult {
+    let Some(path) = flag_value(args, "--expect-hashes") else {
+        return Ok(());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let expected: Vec<u64> = text
+        .lines()
+        .map(|l| {
+            u64::from_str_radix(l.trim(), 16).map_err(|_| format!("{path}: bad hash line `{l}`"))
+        })
+        .collect::<Result<_, _>>()?;
+    if expected.len() != hashes.len() {
+        return Err(format!(
+            "hash mismatch: {path} has {} frames, this run produced {}",
+            expected.len(),
+            hashes.len()
+        ));
+    }
+    for (f, (got, want)) in hashes.iter().zip(&expected).enumerate() {
+        if got != want {
+            return Err(format!(
+                "hash mismatch at frame {f}: got {got:016x}, {path} says {want:016x}"
+            ));
+        }
+    }
+    println!("{} frame hashes match {path}", hashes.len());
     Ok(())
 }
 
@@ -338,10 +391,16 @@ fn cmd_farm(args: &[String]) -> CliResult {
         nowrender::trace::global().set_enabled(true);
     }
 
+    let journal = journal_spec(args)?;
     let result = if let Some(n) = flag_value(args, "--threads") {
         let n: usize = n.parse().map_err(|_| "bad --threads value")?;
         println!("running on {n} real worker threads ...");
-        run_threads(&anim, &cfg, n)
+        run_threads_with(
+            &anim,
+            &cfg,
+            &nowrender::cluster::ThreadCluster::new(n),
+            journal.as_ref(),
+        )?
     } else {
         let machines = match flag_value(args, "--machines") {
             Some(spec) => parse_machines(spec)?,
@@ -351,15 +410,18 @@ fn cmd_farm(args: &[String]) -> CliResult {
         let mut cluster = SimCluster::new(machines);
         // gantt spans feed the Chrome export's virtual-time process
         cluster.record_timeline = trace_path.is_some();
-        run_sim(&anim, &cfg, &cluster)
+        run_sim_with(&anim, &cfg, &cluster, journal.as_ref())?
     };
 
     if let Some(path) = trace_path {
         let rec = nowrender::trace::global();
         rec.set_enabled(false);
         let snap = rec.snapshot();
-        std::fs::write(path, nowrender::trace::export::chrome_json(&snap))
-            .map_err(|e| format!("write {path}: {e}"))?;
+        image_io::write_atomic(
+            Path::new(path),
+            nowrender::trace::export::chrome_json(&snap).as_bytes(),
+        )
+        .map_err(|e| format!("write {path}: {e}"))?;
         println!(
             "trace: {} events -> {path} (open in chrome://tracing or ui.perfetto.dev)",
             snap.events.len()
@@ -367,7 +429,14 @@ fn cmd_farm(args: &[String]) -> CliResult {
     }
 
     print_farm_summary(&result);
+    if result.resumed_units > 0 {
+        println!(
+            "  resumed: {} units skipped via the journal",
+            result.resumed_units
+        );
+    }
     write_hashes(args, &result.frame_hashes)?;
+    check_expected_hashes(args, &result.frame_hashes)?;
     write_kept_frames(&result, &dir, w, h)
 }
 
@@ -400,7 +469,25 @@ fn cmd_master(args: &[String]) -> CliResult {
         tcp.recovery = RecoveryConfig::with_lease(lease);
     }
 
-    let listener = bind_tcp_master(flag_value(args, "--listen").unwrap_or("127.0.0.1:0"))?;
+    let journal = journal_spec(args)?;
+    let listen = flag_value(args, "--listen").unwrap_or("127.0.0.1:0");
+    // a master restarted with --resume rebinds the same fixed port its
+    // predecessor held; the kernel may keep it busy briefly after a kill,
+    // so retry the bind instead of failing the resume
+    let listener = {
+        let mut attempt = 0;
+        loop {
+            match bind_tcp_master(listen) {
+                Ok(l) => break l,
+                Err(e) if attempt < 12 => {
+                    attempt += 1;
+                    eprintln!("{e}; retrying bind ({attempt}/12)");
+                    std::thread::sleep(std::time::Duration::from_millis(250));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    };
     let addr = listener
         .local_addr()
         .map_err(|e| format!("local addr: {e}"))?;
@@ -410,9 +497,16 @@ fn cmd_master(args: &[String]) -> CliResult {
     std::io::Write::flush(&mut std::io::stdout()).map_err(|e| format!("stdout: {e}"))?;
     println!("waiting for {workers} worker(s) ...");
 
-    let result = run_tcp_master_on(listener, &anim, &cfg, &tcp)?;
+    let result = run_tcp_master_with(listener, &anim, &cfg, &tcp, journal.as_ref())?;
     print_farm_summary(&result);
+    if result.resumed_units > 0 {
+        println!(
+            "  resumed: {} units skipped via the journal",
+            result.resumed_units
+        );
+    }
     write_hashes(args, &result.frame_hashes)?;
+    check_expected_hashes(args, &result.frame_hashes)?;
     write_kept_frames(&result, &dir, w, h)
 }
 
@@ -429,13 +523,34 @@ fn cmd_worker(args: &[String]) -> CliResult {
         keep_frames: false,
         ..FarmConfig::paper_default()
     };
-    println!("connecting to {addr} ...");
-    let s = serve_tcp_worker(&anim, &cfg, addr, &ConnectConfig::default())?;
-    println!(
-        "worker {} done: {} units, {:.2}s busy, {} bytes sent, {} bytes received",
-        s.node_id, s.units, s.busy_s, s.bytes_sent, s.bytes_received
-    );
-    Ok(())
+    let retries: u32 = flag_value(args, "--retries")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| "bad --retries value")?;
+    let mut attempt = 0;
+    loop {
+        println!("connecting to {addr} ...");
+        match serve_tcp_worker(&anim, &cfg, addr, &ConnectConfig::default()) {
+            Ok(s) => {
+                println!(
+                    "worker {} done: {} units, {:.2}s busy, {} bytes sent, {} bytes received",
+                    s.node_id, s.units, s.busy_s, s.bytes_sent, s.bytes_received
+                );
+                return Ok(());
+            }
+            Err(e) if e.contains("scene mismatch") || e.contains("job header") => {
+                // misconfiguration, not a flaky network: retrying the same
+                // handshake can only fail the same way
+                return Err(format!("job rejected by master: {e}"));
+            }
+            Err(e) if attempt < retries => {
+                attempt += 1;
+                eprintln!("session ended ({e}); reconnecting ({attempt}/{retries})");
+                std::thread::sleep(std::time::Duration::from_millis(500));
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 fn cmd_demo(args: &[String]) -> CliResult {

@@ -6,8 +6,11 @@
 //! must not change a single pixel (the coherence algorithm is exact).
 
 use nowrender::anim::scenes::newton;
+use nowrender::cluster::journal::JournalFaultPlan;
 use nowrender::cluster::{FaultPlan, MachineSpec, RecoveryConfig, SimCluster, ThreadCluster};
-use nowrender::core::{run_sim, run_threads_on, CostModel, FarmConfig, PartitionScheme};
+use nowrender::core::{
+    run_sim, run_threads_on, run_threads_with, CostModel, FarmConfig, JournalSpec, PartitionScheme,
+};
 use nowrender::raytrace::RenderSettings;
 
 const W: u32 = 40;
@@ -123,6 +126,95 @@ fn threads_worker_crash_preserves_every_frame_byte() {
     );
     assert_eq!(result.report.workers_lost, 1);
     assert!(result.report.units_reassigned >= 1);
+}
+
+/// A scratch journal directory unique to this test process.
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_nanos();
+    let dir = std::env::temp_dir().join(format!("now-chaos-{tag}-{}-{nanos}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Satellite chaos: a worker crash (FaultPlan) *and* a master crash
+/// (journal fault) in the same run, then a resume that itself loses a
+/// worker — the output must still match the fault-free reference byte
+/// for byte.
+#[test]
+fn threads_worker_crash_plus_journal_kill_then_resume_is_byte_identical() {
+    let anim = newton::animation_sized(W, H, FRAMES);
+    let dir = scratch_dir("combined");
+    let faulty_cluster = || {
+        let mut cluster = ThreadCluster::new(3);
+        cluster.faults = FaultPlan::none().crash_at(1, 3);
+        cluster.recovery = RecoveryConfig {
+            lease_timeout_s: 2.0,
+            backoff: 2.0,
+            max_worker_failures: 1,
+        };
+        cluster
+    };
+
+    // Probe: one clean journaled run with the worker fault, to learn how
+    // many journal bytes a full run writes.
+    let probe = run_threads_with(
+        &anim,
+        &cfg(),
+        &faulty_cluster(),
+        Some(&JournalSpec::new(&dir)),
+    )
+    .expect("probe run starts");
+    assert_eq!(probe.frame_hashes, reference_hashes());
+    let log = nowrender::cluster::read_log(&dir.join("run.journal")).unwrap();
+    assert!(!log.torn, "clean run leaves no torn tail");
+
+    // Crash the master roughly mid-run (on top of the worker crash) by
+    // killing the journal writer after ~60% of the probe's bytes.
+    let cut = log.valid_len * 6 / 10;
+    let crashed = run_threads_with(
+        &anim,
+        &cfg(),
+        &faulty_cluster(),
+        Some(&JournalSpec::new(&dir).with_fault(JournalFaultPlan::none().kill_after_bytes(cut))),
+    )
+    .expect("crashed run starts");
+    assert_eq!(
+        crashed.frame_hashes,
+        reference_hashes(),
+        "the in-memory run is unaffected by the dying journal"
+    );
+
+    // What actually survived on disk, before resume touches it.
+    let survived = nowrender::cluster::read_log(&dir.join("run.journal")).unwrap();
+    let frames_survived = survived
+        .records
+        .iter()
+        .filter(|r| r.first() == Some(&3))
+        .count();
+
+    // Resume on a cluster that loses yet another worker mid-run.
+    let resumed = run_threads_with(
+        &anim,
+        &cfg(),
+        &faulty_cluster(),
+        Some(&JournalSpec::resume(&dir)),
+    )
+    .expect("resume starts");
+    assert_eq!(
+        resumed.frame_hashes,
+        reference_hashes(),
+        "worker crash + master crash + resume must not change a pixel"
+    );
+    if frames_survived > 0 {
+        assert!(
+            resumed.resumed_units > 0,
+            "a durably finalized frame must be skipped, not re-rendered"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -116,6 +116,81 @@ fn multi_process_farm_matches_single_process() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Spawn `nowfarm master` on a *fixed* address with a journal, so a
+/// killed master can be restarted on the same port with `--resume`.
+fn spawn_journaled_master(addr: &str, dir: &Path, hashes: &Path, resume: bool) -> Child {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_nowfarm"));
+    cmd.args(["master", SCENE, "--listen", addr, "--workers", "2"])
+        .arg("--journal")
+        .arg(dir.join("journal"))
+        .arg("--hashes")
+        .arg(hashes)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    if resume {
+        cmd.arg("--resume");
+    }
+    cmd.spawn().expect("spawn journaled master")
+}
+
+#[test]
+fn multi_process_farm_survives_killed_master_via_resume() {
+    let dir = scratch_dir("resume");
+    let hashes = dir.join("hashes.txt");
+
+    // Reserve a port by binding to 0 and dropping the listener: the
+    // restarted master must come back on the *same* address so the
+    // surviving workers' reconnect loops can find it.
+    let addr = {
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("probe port");
+        probe.local_addr().expect("probe addr").to_string()
+    };
+
+    let mut master = spawn_journaled_master(&addr, &dir, &hashes, false);
+    let mut w1 = spawn_worker_retrying(&addr);
+    let mut w2 = spawn_worker_retrying(&addr);
+
+    // SIGKILL the master mid-run. Whatever the journal holds at that
+    // instant — nothing, a torn tail, or several finalized frames — the
+    // resume must complete the run with byte-identical hashes.
+    std::thread::sleep(Duration::from_millis(400));
+    let _ = master.kill();
+    let _ = master.wait();
+
+    let mut resumed = spawn_journaled_master(&addr, &dir, &hashes, true);
+    let status = resumed.wait().expect("wait resumed master");
+    assert!(status.success(), "resumed master exited with {status}");
+
+    assert_eq!(
+        read_hashes(&hashes),
+        reference_hashes(),
+        "kill -9 + --resume must reproduce the uninterrupted hashes"
+    );
+    // every finalized frame is durably on disk next to the journal
+    for f in 0..FRAMES {
+        let frame = dir.join("journal").join(format!("frame_{f:04}.tga"));
+        assert!(frame.exists(), "missing {}", frame.display());
+    }
+
+    // The workers' exit codes are timing-dependent (a fast machine can
+    // finish the whole run before the kill; a resumed-complete master
+    // never listens at all), so just reap them.
+    let _ = w1.kill();
+    let _ = w1.wait();
+    let _ = w2.kill();
+    let _ = w2.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn spawn_worker_retrying(addr: &str) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_nowfarm"))
+        .args(["worker", SCENE, "--connect", addr, "--retries", "5"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn retrying worker")
+}
+
 #[test]
 fn multi_process_farm_survives_killed_worker() {
     let dir = scratch_dir("kill");
