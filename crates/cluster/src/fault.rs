@@ -54,6 +54,8 @@ pub enum FaultKind {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
     faults: BTreeMap<usize, Vec<FaultKind>>,
+    /// Per-worker late-join times in seconds; absent = present from t=0.
+    joins: BTreeMap<usize, f64>,
 }
 
 impl FaultPlan {
@@ -62,9 +64,21 @@ impl FaultPlan {
         FaultPlan::default()
     }
 
-    /// True if no faults are scheduled.
+    /// True if no faults are scheduled and no worker joins late.
     pub fn is_empty(&self) -> bool {
-        self.faults.is_empty()
+        self.faults.is_empty() && self.joins.is_empty()
+    }
+
+    /// Worker `worker` joins the run `t_s` seconds after start instead of
+    /// being present from t = 0 (churn: a late joiner).
+    pub fn join_at(mut self, worker: usize, t_s: f64) -> FaultPlan {
+        self.joins.insert(worker, t_s.max(0.0));
+        self
+    }
+
+    /// Seconds after run start at which `worker` joins (0.0 = from start).
+    pub fn join_time(&self, worker: usize) -> f64 {
+        self.joins.get(&worker).copied().unwrap_or(0.0)
     }
 
     /// Add an arbitrary fault for `worker`.
@@ -254,6 +268,21 @@ impl<U: Clone> Ledger<U> {
         &self.cfg
     }
 
+    /// Enroll one more worker (dynamic membership: a mid-run joiner) and
+    /// return its index.
+    pub fn add_worker(&mut self) -> usize {
+        let w = self.excluded.len();
+        self.consecutive_fails.push(0);
+        self.total_fails.push(0);
+        self.excluded.push(false);
+        w
+    }
+
+    /// Number of workers this ledger tracks.
+    pub fn worker_count(&self) -> usize {
+        self.excluded.len()
+    }
+
     /// Record the assignment of `unit` to `worker` at time `now`; returns
     /// the assignment id. The deadline honours the attempt's backoff.
     pub fn issue(&mut self, unit: U, worker: usize, now: f64, attempt: u32) -> u64 {
@@ -406,6 +435,31 @@ mod tests {
         assert!(p.drops_result(2, 9));
         assert!(!p.drops_result(2, 8));
         assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn join_times_default_to_run_start() {
+        let p = FaultPlan::none().join_at(2, 1.5);
+        assert!(!p.is_empty(), "a join-only plan is not the empty plan");
+        assert_eq!(p.join_time(2), 1.5);
+        assert_eq!(p.join_time(0), 0.0);
+        assert_eq!(FaultPlan::none().join_at(1, -3.0).join_time(1), 0.0);
+    }
+
+    #[test]
+    fn ledger_grows_for_midrun_joiners() {
+        let mut led: Ledger<u32> = Ledger::new(cfg(10.0, 2), 0);
+        assert_eq!(led.worker_count(), 0);
+        let w0 = led.add_worker();
+        let w1 = led.add_worker();
+        assert_eq!((w0, w1), (0, 1));
+        assert_eq!(led.worker_count(), 2);
+        led.issue(7, w1, 0.0, 0);
+        let ex = led.worker_died(w1);
+        assert!(ex.newly_lost);
+        assert!(led.is_excluded(w1));
+        assert!(!led.is_excluded(w0));
+        assert_eq!(led.take_retry(), Some((7, 1, w1)));
     }
 
     #[test]

@@ -44,6 +44,11 @@
 //! a [`JournalFaultPlan`] that kills the log mid-write at any chosen byte,
 //! so master-crash-and-resume can be tested as deterministically as worker
 //! crashes.
+//!
+//! [`netfault`] does the same for the wire: a seeded [`NetFaultPlan`]
+//! drops, stalls, delays or partitions individual connections at exact
+//! byte counts, so membership churn on the TCP transport replays
+//! deterministically.
 
 pub mod codec;
 pub mod fault;
@@ -51,6 +56,7 @@ pub mod journal;
 pub mod logic;
 pub mod message;
 pub mod net;
+pub mod netfault;
 pub mod report;
 pub mod sim;
 pub mod threads;
@@ -61,7 +67,11 @@ pub use journal::{read_log, JournalFaultPlan, JournalWriter, RecoveredLog};
 pub use logic::{MasterLogic, MasterWork, WorkCost, WorkerLogic};
 pub use message::{ChannelError, Endpoint, Message, NodeId};
 pub use net::{
-    connect_worker, ConnectConfig, TcpClusterConfig, TcpMaster, TcpWorkerConn, Wire, WorkerSummary,
+    connect_worker, ConnectConfig, FrameBuf, NetConfig, TcpClusterConfig, TcpMaster, TcpWorkerConn,
+    Wire, WorkerSummary,
+};
+pub use netfault::{
+    full_jitter_delay, ConnFaultState, FaultedStream, Gate, JitterRng, NetFault, NetFaultPlan,
 };
 pub use report::{MachineReport, RunReport, SpanKind, TimelineSpan};
 pub use sim::{EthernetSpec, MachineSpec, SimCluster};

@@ -7,25 +7,27 @@
 //!
 //! * **Framing** — every [`Message`] travels as
 //!   `magic (u32) | version (u32) | length (u32) | Message::encode()`.
-//!   [`read_frame`] rejects bad magic, foreign versions and hostile
-//!   length prefixes before allocating, and maps socket failures onto
-//!   [`ChannelError`] (`TimedOut` for an idle link, `PeerGone` for a
-//!   closed one) so the caller sees network failure as data.
-//! * **Handshake** — a worker connects (with retry/backoff), sends
-//!   `HELLO`, and receives `WELCOME` carrying its assigned node id plus
-//!   an application-defined job header (the farm uses it to verify both
-//!   processes agree on the scene and settings).
-//! * **Heartbeat** — the master pings every connected worker on a fixed
-//!   cadence; workers answer from their reader thread even while a unit
-//!   is computing. Pongs give per-worker round-trip times, and a worker
-//!   whose socket stays silent past its read timeout treats the master
-//!   as gone instead of hanging forever.
-//! * **Recovery** — the master runs the exact [`Ledger`]
-//!   lease/retry/exclusion machinery of the thread backend. A killed
-//!   worker *process* closes its socket; the per-worker reader thread
-//!   reports the death, its leases requeue onto survivors, and the run
-//!   completes with byte-identical output — the same guarantee the
-//!   in-process backends give for injected crashes.
+//!   [`read_frame`] and the incremental [`FrameBuf`] reject bad magic,
+//!   foreign versions and hostile length prefixes before allocating, and
+//!   map socket failures onto [`ChannelError`] (`TimedOut` for an idle
+//!   link, `PeerGone` for a closed one) so the caller sees network
+//!   failure as data.
+//! * **One network thread** — the master runs a single-threaded
+//!   readiness loop over nonblocking sockets: accept, handshake,
+//!   heartbeats, per-connection read deadlines and write backpressure
+//!   all live on one thread, regardless of worker count. No per-worker
+//!   reader threads.
+//! * **Elastic membership** — workers may connect at any point while the
+//!   run is live. A `HELLO` carries an optional node identity and scene
+//!   fingerprint; the master validates the fingerprint, rejects
+//!   duplicates and half-open connections with a `REJECT` frame, and
+//!   hands accepted joiners the job header so they start pulling units
+//!   immediately. A worker that disconnects, times out or sends garbage
+//!   has its outstanding leases requeued through the [`Ledger`] —
+//!   surviving workers re-render the units byte-identically.
+//! * **Deterministic chaos** — a [`NetFaultPlan`] gates every
+//!   connection's reads and writes (drop-after-N-bytes, stall, delay,
+//!   partition windows), so churn scenarios replay identically.
 //!
 //! Unit and result types cross the wire through the [`Wire`] trait,
 //! encoded with the honest [`crate::codec`] byte codec.
@@ -34,10 +36,12 @@ use crate::codec::{DecodeError, Decoder, Encoder};
 use crate::fault::{Ledger, RecoveryConfig};
 use crate::logic::{MasterLogic, WorkerLogic};
 use crate::message::{ChannelError, Message, NodeId};
+use crate::netfault::{full_jitter_delay, ConnFaultState, Gate, JitterRng, NetFaultPlan};
 use crate::report::{MachineReport, RunReport};
+use std::collections::BTreeMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -50,7 +54,8 @@ use std::time::{Duration, Instant};
 pub const MAGIC: u32 = u32::from_le_bytes(*b"NOWF");
 
 /// Wire protocol version; bumped on any incompatible frame change.
-pub const VERSION: u32 = 1;
+/// v2 added the `HELLO` identity/fingerprint payload and `REJECT`.
+pub const VERSION: u32 = 2;
 
 /// Upper bound on a frame body. A full 640x480 result frame is ~2.2 MB;
 /// anything past this limit is a hostile or corrupt length prefix and is
@@ -62,7 +67,10 @@ pub const HEADER_LEN: usize = 12;
 
 /// Protocol message tags (the PVM-style `tag` field of each frame).
 pub mod tag {
-    /// Worker → master: first frame after connecting.
+    /// Worker → master: first frame after connecting. Payload is either
+    /// empty (anonymous, unvalidated) or `identity (u64) | fingerprint
+    /// (bytes)` — identity 0 means anonymous, an empty fingerprint skips
+    /// scene validation.
     pub const HELLO: u32 = 0x4E4F_0001;
     /// Master → worker: node id assignment + job header.
     pub const WELCOME: u32 = 0x4E4F_0002;
@@ -78,6 +86,8 @@ pub mod tag {
     pub const PING: u32 = 0x4E4F_0007;
     /// Worker → master: heartbeat echo.
     pub const PONG: u32 = 0x4E4F_0008;
+    /// Master → worker: enrollment refused; payload is `reason (str)`.
+    pub const REJECT: u32 = 0x4E4F_0009;
 }
 
 fn io_to_channel(e: &std::io::Error) -> ChannelError {
@@ -87,10 +97,8 @@ fn io_to_channel(e: &std::io::Error) -> ChannelError {
     }
 }
 
-/// Write one framed [`Message`]; returns the bytes put on the wire.
-/// The frame is assembled first and written with a single `write_all`, so
-/// a frame is never interleaved with another writer's bytes.
-pub fn write_frame(w: &mut impl Write, msg: &Message) -> Result<u64, ChannelError> {
+/// Assemble the full wire frame (header + body) for one message.
+pub fn encode_frame(msg: &Message) -> Result<Vec<u8>, ChannelError> {
     let body = msg.encode();
     if body.len() > MAX_FRAME_LEN {
         return Err(ChannelError::Protocol("frame exceeds MAX_FRAME_LEN"));
@@ -100,6 +108,14 @@ pub fn write_frame(w: &mut impl Write, msg: &Message) -> Result<u64, ChannelErro
     buf.extend_from_slice(&VERSION.to_le_bytes());
     buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
     buf.extend_from_slice(&body);
+    Ok(buf)
+}
+
+/// Write one framed [`Message`]; returns the bytes put on the wire.
+/// The frame is assembled first and written with a single `write_all`, so
+/// a frame is never interleaved with another writer's bytes.
+pub fn write_frame(w: &mut impl Write, msg: &Message) -> Result<u64, ChannelError> {
+    let buf = encode_frame(msg)?;
     w.write_all(&buf).map_err(|e| io_to_channel(&e))?;
     w.flush().map_err(|e| io_to_channel(&e))?;
     Ok(buf.len() as u64)
@@ -112,16 +128,8 @@ fn read_exact_mapped(r: &mut impl Read, buf: &mut [u8]) -> Result<(), ChannelErr
     })
 }
 
-/// Read one framed [`Message`]; returns it with the bytes consumed.
-///
-/// Validates magic, version and length prefix before touching the body;
-/// a peer that disappears mid-frame surfaces as
-/// [`ChannelError::PeerGone`], an idle link past the socket's read
-/// timeout as [`ChannelError::TimedOut`], and malformed bytes as
-/// [`ChannelError::Protocol`].
-pub fn read_frame(r: &mut impl Read) -> Result<(Message, u64), ChannelError> {
-    let mut header = [0u8; HEADER_LEN];
-    read_exact_mapped(r, &mut header)?;
+/// Validate a frame header; returns the body length.
+fn check_header(header: &[u8; HEADER_LEN]) -> Result<usize, ChannelError> {
     let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
     let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
     let len = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes")) as usize;
@@ -134,11 +142,78 @@ pub fn read_frame(r: &mut impl Read) -> Result<(Message, u64), ChannelError> {
     if len > MAX_FRAME_LEN {
         return Err(ChannelError::Protocol("hostile length prefix"));
     }
+    Ok(len)
+}
+
+/// Read one framed [`Message`] from a blocking stream; returns it with
+/// the bytes consumed.
+///
+/// Validates magic, version and length prefix before touching the body;
+/// a peer that disappears mid-frame surfaces as
+/// [`ChannelError::PeerGone`], an idle link past the socket's read
+/// timeout as [`ChannelError::TimedOut`], and malformed bytes as
+/// [`ChannelError::Protocol`].
+pub fn read_frame(r: &mut impl Read) -> Result<(Message, u64), ChannelError> {
+    let mut header = [0u8; HEADER_LEN];
+    read_exact_mapped(r, &mut header)?;
+    let len = check_header(&header)?;
     let mut body = vec![0u8; len];
     read_exact_mapped(r, &mut body)?;
     let msg =
         Message::decode(&body).map_err(|_| ChannelError::Protocol("undecodable message body"))?;
     Ok((msg, (HEADER_LEN + len) as u64))
+}
+
+/// Incremental frame decoder for nonblocking sockets: bytes go in as
+/// they arrive, whole frames come out. Performs the same validation as
+/// [`read_frame`] (magic, version, length prefix) as soon as a header is
+/// complete, so a hostile prefix is rejected before its body is buffered.
+#[derive(Debug, Default)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameBuf {
+    /// An empty buffer.
+    pub fn new() -> FrameBuf {
+        FrameBuf::default()
+    }
+
+    /// Append bytes read off the socket.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // reclaim consumed prefix before growing
+        if self.pos > 0 && (self.pos == self.buf.len() || self.pos >= 64 * 1024) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn unconsumed(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Pop the next complete frame, if one is buffered. `Ok(None)` means
+    /// more bytes are needed; errors are sticky protocol violations
+    /// (the connection should be dropped).
+    pub fn next_frame(&mut self) -> Result<Option<(Message, u64)>, ChannelError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let header: [u8; HEADER_LEN] = avail[..HEADER_LEN].try_into().expect("header slice");
+        let len = check_header(&header)?;
+        if avail.len() < HEADER_LEN + len {
+            return Ok(None);
+        }
+        let body = &avail[HEADER_LEN..HEADER_LEN + len];
+        let msg = Message::decode(body)
+            .map_err(|_| ChannelError::Protocol("undecodable message body"))?;
+        self.pos += HEADER_LEN + len;
+        Ok(Some((msg, (HEADER_LEN + len) as u64)))
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -174,43 +249,93 @@ impl Wire for Vec<u8> {
 }
 
 // ---------------------------------------------------------------------
+// Timing / liveness knobs
+// ---------------------------------------------------------------------
+
+/// Every timing constant of the transport in one place, so ops can trade
+/// liveness (fast failure detection) against sensitivity (tolerating
+/// slow links) without touching code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetConfig {
+    /// Heartbeat (ping) cadence in seconds.
+    pub heartbeat_s: f64,
+    /// How long the master keeps waiting when it has no workers at all:
+    /// a run that never sees a single successful handshake within this
+    /// window fails with `TimedOut`. Once any worker has joined, the
+    /// window also bounds how long a fully-departed farm waits for
+    /// replacement joiners.
+    pub accept_window_s: f64,
+    /// A connected worker whose socket stays silent this long is
+    /// presumed dead and its leases are requeued. Heartbeat pongs keep a
+    /// healthy link well under this. 0 disables the deadline.
+    pub read_timeout_s: f64,
+    /// A connection that doesn't complete its `HELLO` within this many
+    /// seconds is dropped (slow-loris protection).
+    pub handshake_timeout_s: f64,
+    /// Sleep between poll sweeps when the loop is idle, in milliseconds.
+    pub poll_interval_ms: u64,
+    /// Upper bound on simultaneously enrolled live workers; connections
+    /// beyond it are rejected with a `REJECT` frame.
+    pub max_workers: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            heartbeat_s: 0.25,
+            accept_window_s: 30.0,
+            read_timeout_s: 30.0,
+            handshake_timeout_s: 5.0,
+            poll_interval_ms: 1,
+            max_workers: 4096,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Master
 // ---------------------------------------------------------------------
 
 /// Configuration of a TCP master run.
 #[derive(Debug, Clone)]
 pub struct TcpClusterConfig {
-    /// Worker connections to wait for before starting the run.
+    /// Target worker count: the membership quorum. The run does not fail
+    /// with `TimedOut` while fewer than this many workers have ever
+    /// joined and the accept window is open; more may join at any time.
     pub workers: usize,
     /// Lease/timeout recovery policy over wall-clock seconds. Defaults to
     /// disabled; process deaths are still recovered via the closed socket.
     pub recovery: RecoveryConfig,
-    /// Heartbeat (ping) cadence in seconds.
-    pub heartbeat_s: f64,
-    /// How long to wait for all workers to connect and say hello.
-    pub accept_timeout_s: f64,
+    /// Timing and liveness knobs.
+    pub net: NetConfig,
     /// Opaque application bytes shipped to every worker in `WELCOME`
     /// (the farm's job header: scene fingerprint + render settings).
     pub job_header: Vec<u8>,
+    /// Expected scene fingerprint. When non-empty, a `HELLO` carrying a
+    /// different non-empty fingerprint is rejected before enrollment.
+    pub fingerprint: Vec<u8>,
+    /// Deterministic network-fault schedule, keyed by accept order.
+    pub net_faults: NetFaultPlan,
 }
 
 impl TcpClusterConfig {
     /// Defaults for `workers` workers: quarter-second heartbeat, 30 s
-    /// accept window, recovery disabled, empty job header.
+    /// accept window, recovery disabled, empty job header, no faults.
     pub fn new(workers: usize) -> TcpClusterConfig {
         assert!(workers > 0);
         TcpClusterConfig {
             workers,
             recovery: RecoveryConfig::default(),
-            heartbeat_s: 0.25,
-            accept_timeout_s: 30.0,
+            net: NetConfig::default(),
             job_header: Vec::new(),
+            fingerprint: Vec::new(),
+            net_faults: NetFaultPlan::none(),
         }
     }
 }
 
-/// Master-side view of one worker connection (same states as the thread
-/// backend's loop).
+/// Master-side view of one worker (same states as the thread backend's
+/// loop).
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum WState {
     Active,
@@ -218,25 +343,167 @@ enum WState {
     Done,
 }
 
-/// One event from a per-worker reader thread: a frame, or the error that
-/// ended the connection.
-type ReadEvent = (usize, Result<(Message, u64), ChannelError>);
+/// Where a connection is in its lifecycle.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Accepted; waiting for a valid `HELLO`.
+    Hello,
+    /// Handshake complete; bound to a worker slot.
+    Enrolled,
+    /// Sending final frames (`REJECT`/`SHUTDOWN`); inbound is ignored.
+    Draining,
+}
 
-struct WorkerLink {
-    writer: TcpStream,
-    /// Clone used only to force-close the socket at end of run so the
-    /// reader thread unblocks.
-    closer: TcpStream,
-    reader: std::thread::JoinHandle<()>,
-    bytes_out: u64,
-    msgs_out: u64,
+/// One nonblocking connection owned by the master's poll loop.
+struct Conn {
+    stream: TcpStream,
+    frames: FrameBuf,
+    /// Outbound bytes not yet accepted by the kernel (backpressure).
+    wbuf: Vec<u8>,
+    wpos: usize,
+    phase: Phase,
+    /// Worker slot once enrolled.
+    worker: Option<usize>,
+    opened_s: f64,
+    last_read_s: f64,
+    /// Close the socket once `wbuf` has fully drained.
+    close_after_flush: bool,
+    /// Hard retire time for draining connections (0 = none).
+    retire_at_s: f64,
+    fault: ConnFaultState,
     bytes_in: u64,
+    bytes_out: u64,
     msgs_in: u64,
-    /// Exponentially smoothed round-trip time (seconds); 0 until the
-    /// first pong.
+    msgs_out: u64,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, now_s: f64, fault: ConnFaultState) -> Conn {
+        Conn {
+            stream,
+            frames: FrameBuf::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            phase: Phase::Hello,
+            worker: None,
+            opened_s: now_s,
+            last_read_s: now_s,
+            close_after_flush: false,
+            retire_at_s: 0.0,
+            fault,
+            bytes_in: 0,
+            bytes_out: 0,
+            msgs_in: 0,
+            msgs_out: 0,
+        }
+    }
+
+    /// Queue one frame for the flush sweep.
+    fn queue(&mut self, msg: &Message) -> Result<(), ChannelError> {
+        let frame = encode_frame(msg)?;
+        self.wbuf.extend_from_slice(&frame);
+        self.msgs_out += 1;
+        Ok(())
+    }
+
+    /// True once every queued byte reached the kernel.
+    fn flushed(&self) -> bool {
+        self.wpos == self.wbuf.len()
+    }
+
+    /// Push queued bytes into the socket until it would block.
+    /// `Err` means the connection is dead (or fault-dropped).
+    fn flush(&mut self, now_s: f64) -> Result<(), ChannelError> {
+        match self.fault.gate(now_s - self.opened_s) {
+            Gate::Closed => return Err(ChannelError::PeerGone),
+            Gate::Blocked => return Ok(()),
+            Gate::Open => {}
+        }
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => return Err(ChannelError::PeerGone),
+                Ok(n) => {
+                    self.wpos += n;
+                    self.bytes_out += n as u64;
+                    self.fault.on_bytes(n as u64);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return Err(ChannelError::PeerGone),
+            }
+        }
+        if self.flushed() && !self.wbuf.is_empty() {
+            self.wbuf.clear();
+            self.wpos = 0;
+        }
+        Ok(())
+    }
+
+    /// Drain readable bytes and decode complete frames into `out`.
+    /// `Err` means the connection died or violated the protocol.
+    fn read(&mut self, now_s: f64, out: &mut Vec<(Message, u64)>) -> Result<(), ChannelError> {
+        match self.fault.gate(now_s - self.opened_s) {
+            Gate::Closed => return Err(ChannelError::PeerGone),
+            Gate::Blocked => return Ok(()),
+            Gate::Open => {}
+        }
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(ChannelError::PeerGone),
+                Ok(n) => {
+                    self.bytes_in += n as u64;
+                    self.fault.on_bytes(n as u64);
+                    self.last_read_s = now_s;
+                    self.frames.push(&chunk[..n]);
+                    while let Some(frame) = self.frames.next_frame()? {
+                        self.msgs_in += 1;
+                        out.push(frame);
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return Err(ChannelError::PeerGone),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One enrolled worker: protocol state plus per-worker accounting.
+struct Slot {
+    conn: Option<usize>,
+    state: WState,
+    /// A message from this worker is guaranteed to arrive (a unit is out,
+    /// or the post-handshake REQUEST hasn't landed yet).
+    in_flight: bool,
+    /// The worker has sent its first REQUEST.
+    started: bool,
     rtt_s: f64,
-    last_ping: Instant,
+    last_ping_s: f64,
     busy_s: f64,
+    units_done: u64,
+    joined_s: f64,
+    left_s: f64,
+    /// Bytes the master received from this worker, folded in at retire.
+    wire_in: u64,
+}
+
+/// The `HELLO` payload: `(identity, fingerprint)`. An empty payload is
+/// the lenient anonymous form (pre-v2 workers and hand-rolled tests).
+fn parse_hello(payload: &[u8]) -> Result<(u64, Vec<u8>), ChannelError> {
+    if payload.is_empty() {
+        return Ok((0, Vec::new()));
+    }
+    let mut d = Decoder::new(payload);
+    let identity = d
+        .u64()
+        .map_err(|_| ChannelError::Protocol("bad HELLO payload"))?;
+    let fp = d
+        .bytes()
+        .map_err(|_| ChannelError::Protocol("bad HELLO payload"))?
+        .to_vec();
+    Ok((identity, fp))
 }
 
 /// The listening (master) end of a TCP cluster.
@@ -261,13 +528,16 @@ impl TcpMaster {
         self.listener.local_addr()
     }
 
-    /// Accept `cfg.workers` workers, run the demand-driven protocol to
-    /// completion, and return the master logic plus a wall-clock report
-    /// with real per-worker byte and round-trip metrics.
+    /// Run the demand-driven protocol to completion on a single network
+    /// thread and return the master logic plus a wall-clock report with
+    /// real per-worker byte, round-trip and membership metrics.
     ///
-    /// Completes without panicking even if worker *processes* die
-    /// mid-run: the closed socket is an observed death, leases requeue on
-    /// survivors exactly as in [`crate::threads::ThreadCluster`].
+    /// Membership is elastic: workers may join at any time while the run
+    /// is live (validated against `cfg.fingerprint`), and workers that
+    /// die, stall past the read deadline, or violate the protocol have
+    /// their leases requeued on the survivors — the run completes with
+    /// byte-identical output, exactly as the in-process backends
+    /// guarantee for injected crashes.
     pub fn run<M>(
         self,
         mut master: M,
@@ -278,54 +548,113 @@ impl TcpMaster {
         M::Unit: Wire,
         M::Result: Wire,
     {
-        let n = cfg.workers;
         let start = Instant::now();
-        let (event_tx, event_rx): (Sender<ReadEvent>, Receiver<ReadEvent>) = channel();
-        let mut links = self.accept_workers(cfg, &event_tx, start)?;
-        drop(event_tx);
-        drop(self.listener); // stop accepting: late connectors get refused
+        let net = cfg.net.clone();
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| io_to_channel(&e))?;
 
-        let mut report = RunReport {
-            machines: (0..n)
-                .map(|i| MachineReport {
-                    name: format!("tcp-worker-{i}"),
-                    ..Default::default()
-                })
-                .collect(),
-            ..Default::default()
-        };
-
-        let mut ledger: Ledger<M::Unit> = Ledger::new(cfg.recovery, n);
-        let mut state = vec![WState::Active; n];
-        let mut in_flight = vec![true; n]; // the post-handshake REQUEST
-        let mut started = vec![false; n];
+        let mut conns: Vec<Option<Conn>> = Vec::new();
+        let mut slots: Vec<Slot> = Vec::new();
+        let mut identities: BTreeMap<u64, usize> = BTreeMap::new();
+        let mut ledger: Ledger<M::Unit> = Ledger::new(cfg.recovery, 0);
+        let mut accepted = 0u64; // accept-order index, keys the fault plan
+        let mut joined_total = 0u64;
+        let mut left_early = 0u64;
+        let mut rejected = 0u64;
+        let mut job_complete = false;
         let mut ping_seq = 0u64;
-        let now = |start: Instant| start.elapsed().as_secs_f64();
+        let mut total_msgs = 0u64;
+        let mut total_bytes = 0u64;
+        let mut total_master_busy = 0.0f64;
+        let now = |start: &Instant| start.elapsed().as_secs_f64();
 
-        // observed death of worker `w` (closed socket, failed write, or a
-        // protocol violation): requeue its leases, tell the application
-        macro_rules! worker_gone {
-            ($w:expr) => {{
-                let w: usize = $w;
-                if state[w] != WState::Done {
-                    let ex = ledger.worker_died(w);
-                    if ex.newly_lost {
-                        master.on_worker_lost(w);
+        // Retire a connection: close, fold its byte totals into the run
+        // accounting, unlink it from its worker slot.
+        macro_rules! retire_conn {
+            ($ci:expr) => {{
+                let ci: usize = $ci;
+                if let Some(c) = conns[ci].take() {
+                    let _ = c.stream.shutdown(Shutdown::Both);
+                    total_msgs += c.msgs_in + c.msgs_out;
+                    total_bytes += c.bytes_in + c.bytes_out;
+                    if let Some(w) = c.worker {
+                        slots[w].wire_in += c.bytes_in;
+                        slots[w].conn = None;
                     }
-                    state[w] = WState::Done;
-                    in_flight[w] = false;
                 }
             }};
         }
 
-        // answer worker `w`'s request for work: a requeued unit first,
-        // then a fresh assignment, else park or shut down
+        // Observed death of worker `w` (closed socket, read deadline, or
+        // a protocol violation): requeue its leases, tell the application.
+        macro_rules! worker_gone {
+            ($w:expr) => {{
+                let w: usize = $w;
+                if slots[w].state != WState::Done {
+                    let ex = ledger.worker_died(w);
+                    if ex.newly_lost {
+                        master.on_worker_lost(w);
+                    }
+                    slots[w].state = WState::Done;
+                    slots[w].in_flight = false;
+                    slots[w].left_s = now(&start);
+                    left_early += 1;
+                    now_trace::global().instant(
+                        0,
+                        "farm.membership",
+                        &[("event", 1), ("worker", w as u64)],
+                        false,
+                    );
+                    if let Some(ci) = slots[w].conn {
+                        retire_conn!(ci);
+                    }
+                }
+            }};
+        }
+
+        // Normal end of service for worker `w` (SHUTDOWN queued): the
+        // connection closes once the frame has flushed.
+        macro_rules! finish_worker {
+            ($w:expr) => {{
+                let w: usize = $w;
+                slots[w].state = WState::Done;
+                slots[w].in_flight = false;
+                slots[w].left_s = now(&start);
+                if let Some(ci) = slots[w].conn {
+                    if let Some(c) = conns[ci].as_mut() {
+                        c.close_after_flush = true;
+                    }
+                }
+            }};
+        }
+
+        // Queue a frame to worker `w`; Err(()) if its connection is gone.
+        macro_rules! send_to {
+            ($w:expr, $t:expr, $p:expr) => {{
+                let w: usize = $w;
+                match slots[w].conn.and_then(|ci| conns[ci].as_mut()) {
+                    Some(c) => c
+                        .queue(&Message {
+                            from: 0,
+                            to: w + 1,
+                            tag: $t,
+                            payload: $p,
+                        })
+                        .map_err(|_| ()),
+                    None => Err(()),
+                }
+            }};
+        }
+
+        // Answer worker `w`'s request for work: a requeued unit first,
+        // then a fresh assignment, else park or shut down.
         macro_rules! give_work {
             ($w:expr) => {{
                 let w: usize = $w;
                 if ledger.is_excluded(w) {
-                    let _ = send_framed(&mut links[w], w, tag::SHUTDOWN, Vec::new());
-                    state[w] = WState::Done;
+                    let _ = send_to!(w, tag::SHUTDOWN, Vec::new());
+                    finish_worker!(w);
                 } else {
                     let next = match ledger.take_retry() {
                         Some((mut unit, attempt, from)) => {
@@ -336,23 +665,24 @@ impl TcpMaster {
                     };
                     match next {
                         Some((unit, attempt)) => {
-                            let assign = ledger.issue(unit.clone(), w, now(start), attempt);
+                            let assign = ledger.issue(unit.clone(), w, now(&start), attempt);
                             let mut e = Encoder::new();
                             e.u64(assign);
                             unit.wire_encode(&mut e);
-                            if send_framed(&mut links[w], w, tag::UNIT, e.finish()).is_err() {
+                            if send_to!(w, tag::UNIT, e.finish()).is_err() {
                                 worker_gone!(w);
                             } else {
-                                state[w] = WState::Active;
-                                in_flight[w] = true;
+                                slots[w].state = WState::Active;
+                                slots[w].in_flight = true;
                             }
                         }
                         None => {
                             if ledger.has_pending() || ledger.has_retry() {
-                                state[w] = WState::Parked;
+                                slots[w].state = WState::Parked;
                             } else {
-                                let _ = send_framed(&mut links[w], w, tag::SHUTDOWN, Vec::new());
-                                state[w] = WState::Done;
+                                let _ = send_to!(w, tag::SHUTDOWN, Vec::new());
+                                finish_worker!(w);
+                                job_complete = true;
                             }
                         }
                     }
@@ -360,308 +690,416 @@ impl TcpMaster {
             }};
         }
 
-        loop {
-            if state.iter().all(|&s| s == WState::Done) {
-                break;
-            }
-            // heartbeats: ping every live worker on the configured cadence
-            for w in 0..n {
-                if state[w] != WState::Done
-                    && links[w].last_ping.elapsed().as_secs_f64() >= cfg.heartbeat_s
-                {
-                    ping_seq += 1;
+        // Turn a handshaking connection away with a `REJECT` frame.
+        macro_rules! reject_conn {
+            ($ci:expr, $reason:expr) => {{
+                let ci: usize = $ci;
+                let t = now(&start);
+                if let Some(c) = conns[ci].as_mut() {
                     let mut e = Encoder::new();
-                    e.u64(ping_seq).u64(start.elapsed().as_nanos() as u64);
-                    links[w].last_ping = Instant::now();
-                    if send_framed(&mut links[w], w, tag::PING, e.finish()).is_err() {
-                        worker_gone!(w);
+                    e.str($reason);
+                    let _ = c.queue(&Message {
+                        from: 0,
+                        to: 0,
+                        tag: tag::REJECT,
+                        payload: e.finish(),
+                    });
+                    c.phase = Phase::Draining;
+                    c.close_after_flush = true;
+                    c.retire_at_s = t + 1.0;
+                }
+                rejected += 1;
+                now_trace::global().instant(0, "farm.membership", &[("event", 2)], false);
+            }};
+        }
+
+        // A connection died at the socket level: route to the right
+        // bookkeeping for its phase.
+        macro_rules! conn_died {
+            ($ci:expr) => {{
+                let ci: usize = $ci;
+                let info = conns[ci].as_ref().map(|c| (c.phase, c.worker));
+                match info {
+                    Some((Phase::Enrolled, Some(w))) if slots[w].state != WState::Done => {
+                        worker_gone!(w); // retires the conn itself
+                    }
+                    Some((Phase::Hello, _)) => {
+                        rejected += 1;
+                        now_trace::global().instant(0, "farm.membership", &[("event", 2)], false);
+                        retire_conn!(ci);
+                    }
+                    Some(_) => retire_conn!(ci),
+                    None => {}
+                }
+            }};
+        }
+
+        loop {
+            let t = now(&start);
+            let mut activity = false;
+
+            // -- accept: new connections enter the Hello phase ---------
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        activity = true;
+                        let _ = stream.set_nodelay(true);
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        let fault = cfg.net_faults.state_for(accepted);
+                        accepted += 1;
+                        let ci = conns.len();
+                        conns.push(Some(Conn::new(stream, t, fault)));
+                        let live = slots.iter().filter(|s| s.state != WState::Done).count();
+                        if live >= net.max_workers {
+                            reject_conn!(ci, "farm full");
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(io_to_channel(&e)),
+                }
+            }
+
+            // -- IO sweep: flush writes, read frames, note deaths ------
+            let mut events: Vec<(usize, Message)> = Vec::new();
+            let mut dead: Vec<usize> = Vec::new();
+            let mut drained: Vec<usize> = Vec::new();
+            for (ci, slot) in conns.iter_mut().enumerate() {
+                let Some(c) = slot.as_mut() else { continue };
+                if c.flush(t).is_err() {
+                    dead.push(ci);
+                    continue;
+                }
+                if c.close_after_flush && c.flushed() {
+                    drained.push(ci);
+                    continue;
+                }
+                let mut frames = Vec::new();
+                let alive = c.read(t, &mut frames).is_ok();
+                // frames parsed before a death are still valid traffic
+                for (msg, _n) in frames {
+                    events.push((ci, msg));
+                }
+                if !alive {
+                    dead.push(ci);
+                }
+            }
+            activity |= !events.is_empty() || !dead.is_empty() || !drained.is_empty();
+            for ci in drained {
+                retire_conn!(ci);
+            }
+
+            // -- dispatch decoded frames -------------------------------
+            for (ci, msg) in events {
+                let info = conns[ci].as_ref().map(|c| (c.phase, c.worker));
+                let Some((phase, wopt)) = info else { continue };
+                match phase {
+                    Phase::Hello => {
+                        if msg.tag != tag::HELLO {
+                            rejected += 1;
+                            retire_conn!(ci);
+                            continue;
+                        }
+                        let (identity, fp) = match parse_hello(&msg.payload) {
+                            Ok(v) => v,
+                            Err(_) => {
+                                rejected += 1;
+                                retire_conn!(ci);
+                                continue;
+                            }
+                        };
+                        if !cfg.fingerprint.is_empty() && !fp.is_empty() && fp != cfg.fingerprint {
+                            reject_conn!(ci, "scene fingerprint mismatch");
+                            continue;
+                        }
+                        if identity != 0
+                            && identities
+                                .get(&identity)
+                                .is_some_and(|&w| slots[w].state != WState::Done)
+                        {
+                            reject_conn!(ci, "duplicate node id");
+                            continue;
+                        }
+                        // enroll: new worker slot, WELCOME with node id
+                        // (index + 1; node 0 is the master) + job header
+                        let w = slots.len();
+                        let lw = ledger.add_worker();
+                        debug_assert_eq!(lw, w);
+                        slots.push(Slot {
+                            conn: Some(ci),
+                            state: WState::Active,
+                            in_flight: true, // the coming first REQUEST
+                            started: false,
+                            rtt_s: 0.0,
+                            last_ping_s: t,
+                            busy_s: 0.0,
+                            units_done: 0,
+                            joined_s: t,
+                            left_s: 0.0,
+                            wire_in: 0,
+                        });
+                        if identity != 0 {
+                            identities.insert(identity, w);
+                        }
+                        joined_total += 1;
+                        now_trace::global().instant(
+                            0,
+                            "farm.membership",
+                            &[("event", 0), ("worker", w as u64)],
+                            false,
+                        );
+                        let c = conns[ci].as_mut().expect("enrolling conn is live");
+                        c.phase = Phase::Enrolled;
+                        c.worker = Some(w);
+                        let mut e = Encoder::new();
+                        e.u64((w + 1) as u64).bytes(&cfg.job_header);
+                        let _ = send_to!(w, tag::WELCOME, e.finish());
+                    }
+                    Phase::Enrolled => {
+                        let w = wopt.expect("enrolled conn has a worker");
+                        if slots[w].state == WState::Done {
+                            continue; // late frame from a finished worker
+                        }
+                        match msg.tag {
+                            tag::REQUEST => {
+                                slots[w].in_flight = false;
+                                slots[w].started = true;
+                                give_work!(w);
+                            }
+                            tag::RESULT => {
+                                slots[w].in_flight = false;
+                                slots[w].started = true;
+                                let mut d = Decoder::new(&msg.payload);
+                                let decoded = (|| -> Result<_, DecodeError> {
+                                    let assign = d.u64()?;
+                                    let busy_s = d.f64()?;
+                                    let result = M::Result::wire_decode(&mut d)?;
+                                    Ok((assign, busy_s, result))
+                                })();
+                                match decoded {
+                                    Ok((assign, busy_s, result)) => {
+                                        slots[w].busy_s = busy_s;
+                                        slots[w].units_done += 1;
+                                        if let Some(lease) = ledger.complete(assign) {
+                                            let t0 = Instant::now();
+                                            let _mw = master.integrate(w, lease.unit, result);
+                                            total_master_busy += t0.elapsed().as_secs_f64();
+                                        }
+                                        // stale id: late duplicate, counted
+                                        // by the ledger and discarded
+                                        give_work!(w);
+                                    }
+                                    Err(_) => {
+                                        // undecodable result: broken peer
+                                        worker_gone!(w);
+                                    }
+                                }
+                            }
+                            tag::PONG => {
+                                let mut d = Decoder::new(&msg.payload);
+                                if let (Ok(_seq), Ok(sent_ns)) = (d.u64(), d.u64()) {
+                                    let rtt = (start.elapsed().as_nanos() as u64)
+                                        .saturating_sub(sent_ns)
+                                        as f64
+                                        / 1e9;
+                                    let s = &mut slots[w];
+                                    s.rtt_s = if s.rtt_s == 0.0 {
+                                        rtt
+                                    } else {
+                                        0.8 * s.rtt_s + 0.2 * rtt
+                                    };
+                                }
+                            }
+                            // a HELLO replay or unknown tag mid-run is a
+                            // protocol violation: cut the peer loose and
+                            // requeue its work
+                            _ => worker_gone!(w),
+                        }
+                    }
+                    Phase::Draining => {} // rejected peer; ignore inbound
+                }
+            }
+
+            // -- socket-level deaths (after their final frames) --------
+            for ci in dead {
+                conn_died!(ci);
+            }
+
+            // -- deadlines: handshakes, read timeouts, drains, leases --
+            let t = now(&start);
+            for ci in 0..conns.len() {
+                let Some(c) = conns[ci].as_ref() else {
+                    continue;
+                };
+                match c.phase {
+                    Phase::Hello if t - c.opened_s > net.handshake_timeout_s => {
+                        // slow-loris half-connection: never said HELLO
+                        rejected += 1;
+                        now_trace::global().instant(0, "farm.membership", &[("event", 2)], false);
+                        retire_conn!(ci);
+                        activity = true;
+                    }
+                    Phase::Draining if c.retire_at_s > 0.0 && t >= c.retire_at_s => {
+                        retire_conn!(ci);
+                        activity = true;
+                    }
+                    Phase::Enrolled
+                        if net.read_timeout_s > 0.0 && t - c.last_read_s > net.read_timeout_s =>
+                    {
+                        let w = c.worker.expect("enrolled conn has a worker");
+                        if slots[w].state != WState::Done {
+                            worker_gone!(w);
+                            activity = true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            for e in ledger.expire_due(t) {
+                activity = true;
+                if e.newly_lost {
+                    master.on_worker_lost(e.worker);
+                    let _ = send_to!(e.worker, tag::SHUTDOWN, Vec::new());
+                    if slots[e.worker].state != WState::Done {
+                        slots[e.worker].state = WState::Done;
+                        slots[e.worker].in_flight = false;
+                        slots[e.worker].left_s = t;
+                        left_early += 1;
+                        now_trace::global().instant(
+                            0,
+                            "farm.membership",
+                            &[("event", 1), ("worker", e.worker as u64)],
+                            false,
+                        );
+                    }
+                    if let Some(ci) = slots[e.worker].conn {
+                        if let Some(c) = conns[ci].as_mut() {
+                            c.close_after_flush = true;
+                        }
                     }
                 }
             }
-            // a message is certain only from a worker that holds a live
-            // lease or hasn't sent its first REQUEST yet (same reasoning
-            // as the thread backend)
-            let certain = (0..n).any(|w| state[w] == WState::Active && in_flight[w] && !started[w])
+
+            // -- scheduler: the thread backend's certainty logic -------
+            let certain = slots
+                .iter()
+                .any(|s| s.state == WState::Active && s.in_flight && !s.started)
                 || ledger.has_pending();
-            if !certain {
-                let parked: Vec<usize> = (0..n).filter(|&w| state[w] == WState::Parked).collect();
+            if ledger.has_retry() || !certain {
+                let parked: Vec<usize> = (0..slots.len())
+                    .filter(|&w| slots[w].state == WState::Parked)
+                    .collect();
                 for w in parked {
                     give_work!(w);
                 }
-                if !ledger.has_pending() && (0..n).all(|w| state[w] != WState::Parked) {
-                    for w in 0..n {
-                        if state[w] != WState::Done {
-                            let _ = send_framed(&mut links[w], w, tag::SHUTDOWN, Vec::new());
-                            state[w] = WState::Done;
-                        }
-                    }
-                    break;
-                }
-                continue;
             }
-            // wait for the next event, but never past the next lease
-            // deadline or heartbeat slot
-            let mut wait = cfg.heartbeat_s;
-            if let Some(deadline) = ledger.next_deadline() {
-                wait = wait.min((deadline - now(start)).max(0.0));
+            if !certain
+                && !ledger.has_pending()
+                && !ledger.has_retry()
+                && slots.iter().all(|s| s.state != WState::Parked)
+                && slots.iter().any(|s| s.state != WState::Done)
+            {
+                // nothing certain, nothing parked, no recoverable work:
+                // release everyone still connected
+                for w in 0..slots.len() {
+                    if slots[w].state != WState::Done {
+                        let _ = send_to!(w, tag::SHUTDOWN, Vec::new());
+                        finish_worker!(w);
+                    }
+                }
+                job_complete = true;
             }
-            match event_rx.recv_timeout(Duration::from_secs_f64(wait.clamp(0.001, 3600.0))) {
-                Ok((w, Ok((msg, nbytes)))) => {
-                    links[w].bytes_in += nbytes;
-                    links[w].msgs_in += 1;
-                    if state[w] == WState::Done {
-                        continue; // late frame from a finished worker
-                    }
-                    match msg.tag {
-                        tag::REQUEST => {
-                            in_flight[w] = false;
-                            started[w] = true;
-                            give_work!(w);
-                        }
-                        tag::RESULT => {
-                            in_flight[w] = false;
-                            started[w] = true;
-                            let mut d = Decoder::new(&msg.payload);
-                            let decoded = (|| -> Result<_, DecodeError> {
-                                let assign = d.u64()?;
-                                let busy_s = d.f64()?;
-                                let result = M::Result::wire_decode(&mut d)?;
-                                Ok((assign, busy_s, result))
-                            })();
-                            match decoded {
-                                Ok((assign, busy_s, result)) => {
-                                    links[w].busy_s = busy_s;
-                                    report.machines[w].units_done += 1;
-                                    if let Some(lease) = ledger.complete(assign) {
-                                        let t0 = Instant::now();
-                                        let _mw = master.integrate(w, lease.unit, result);
-                                        report.master_busy_s += t0.elapsed().as_secs_f64();
-                                    }
-                                    // stale id: late duplicate, counted by
-                                    // the ledger and discarded
-                                    give_work!(w);
-                                }
-                                Err(_) => {
-                                    // an undecodable result is a broken
-                                    // peer: cut it loose, requeue its work
-                                    let _ = links[w].closer.shutdown(Shutdown::Both);
-                                    worker_gone!(w);
-                                }
-                            }
-                        }
-                        tag::PONG => {
-                            let mut d = Decoder::new(&msg.payload);
-                            if let (Ok(_seq), Ok(sent_ns)) = (d.u64(), d.u64()) {
-                                let rtt = (start.elapsed().as_nanos() as u64)
-                                    .saturating_sub(sent_ns)
-                                    as f64
-                                    / 1e9;
-                                let l = &mut links[w];
-                                l.rtt_s = if l.rtt_s == 0.0 {
-                                    rtt
-                                } else {
-                                    0.8 * l.rtt_s + 0.2 * rtt
-                                };
-                            }
-                        }
-                        _ => {
-                            // unknown or out-of-phase tag: protocol
-                            // violation, treat the peer as broken
-                            let _ = links[w].closer.shutdown(Shutdown::Both);
-                            worker_gone!(w);
-                        }
-                    }
-                }
-                Ok((w, Err(_))) => {
-                    // reader thread saw the connection die (killed worker
-                    // process, reset, or malformed frame)
-                    worker_gone!(w);
-                }
-                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
-                    let t = now(start);
-                    for e in ledger.expire_due(t) {
-                        if e.newly_lost {
-                            master.on_worker_lost(e.worker);
-                            let _ =
-                                send_framed(&mut links[e.worker], e.worker, tag::SHUTDOWN, vec![]);
-                            let _ = links[e.worker].closer.shutdown(Shutdown::Both);
-                            state[e.worker] = WState::Done;
-                        }
-                    }
-                    let parked: Vec<usize> =
-                        (0..n).filter(|&w| state[w] == WState::Parked).collect();
-                    for w in parked {
-                        give_work!(w);
-                    }
-                }
-                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
-                    // every reader thread is gone: all workers dead
-                    for w in 0..n {
+
+            // -- heartbeats --------------------------------------------
+            for w in 0..slots.len() {
+                if slots[w].state != WState::Done && t - slots[w].last_ping_s >= net.heartbeat_s {
+                    ping_seq += 1;
+                    let mut e = Encoder::new();
+                    e.u64(ping_seq).u64(start.elapsed().as_nanos() as u64);
+                    slots[w].last_ping_s = t;
+                    if send_to!(w, tag::PING, e.finish()).is_err() {
                         worker_gone!(w);
                     }
+                }
+            }
+
+            // -- termination -------------------------------------------
+            let hello_open = conns.iter().flatten().any(|c| c.phase == Phase::Hello);
+            if slots.is_empty() {
+                if !hello_open && t >= net.accept_window_s {
+                    return Err(ChannelError::TimedOut);
+                }
+            } else if slots.iter().all(|s| s.state == WState::Done) {
+                let clean = job_complete && !ledger.has_pending() && !ledger.has_retry();
+                // keep the door open for replacement joiners only while
+                // the quorum was never met and the window is still open
+                if clean || joined_total as usize >= cfg.workers || t >= net.accept_window_s {
                     break;
                 }
             }
+
+            if !activity {
+                std::thread::sleep(Duration::from_millis(net.poll_interval_ms.max(1)));
+            }
         }
 
-        // close every socket so reader threads unblock, then join them and
-        // drain any late frames for honest byte totals
-        for link in &links {
-            let _ = link.closer.shutdown(Shutdown::Both);
+        // -- drain: flush final SHUTDOWN/REJECT frames, then close -----
+        let drain_deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            let t = now(&start);
+            let mut unflushed = false;
+            for ci in 0..conns.len() {
+                let Some(c) = conns[ci].as_mut() else {
+                    continue;
+                };
+                if c.flush(t).is_err() || c.flushed() {
+                    retire_conn!(ci);
+                } else {
+                    unflushed = true;
+                }
+            }
+            if !unflushed || Instant::now() >= drain_deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
         }
-        while let Ok((w, Ok((_, nbytes)))) = event_rx.try_recv() {
-            links[w].bytes_in += nbytes;
-            links[w].msgs_in += 1;
-        }
-        for (w, link) in links.into_iter().enumerate() {
-            let _ = link.reader.join();
-            report.machines[w].busy_s = link.busy_s;
-            report.machines[w].bytes_sent = link.bytes_in;
-            report.machines[w].rtt_s = link.rtt_s;
-            report.messages += link.msgs_in + link.msgs_out;
-            report.bytes += link.bytes_in + link.bytes_out;
+        for ci in 0..conns.len() {
+            retire_conn!(ci);
         }
 
-        report.makespan_s = start.elapsed().as_secs_f64();
-        report.faults_injected = ledger.counters.faults_injected;
-        report.units_reassigned = ledger.counters.units_reassigned;
-        report.duplicates_dropped = ledger.counters.duplicates_dropped;
-        report.workers_lost = ledger.counters.workers_lost;
-        for w in 0..n {
-            report.machines[w].failures = ledger.total_failures(w);
-            report.machines[w].lost = ledger.is_excluded(w);
+        // -- report ----------------------------------------------------
+        let makespan = start.elapsed().as_secs_f64();
+        let mut report = RunReport {
+            makespan_s: makespan,
+            messages: total_msgs,
+            bytes: total_bytes,
+            master_busy_s: total_master_busy,
+            faults_injected: ledger.counters.faults_injected,
+            units_reassigned: ledger.counters.units_reassigned,
+            duplicates_dropped: ledger.counters.duplicates_dropped,
+            workers_lost: ledger.counters.workers_lost,
+            workers_joined: joined_total,
+            workers_left: left_early,
+            workers_rejected: rejected,
+            ..Default::default()
+        };
+        for (w, s) in slots.iter().enumerate() {
+            report.machines.push(MachineReport {
+                name: format!("tcp-worker-{w}"),
+                busy_s: s.busy_s,
+                units_done: s.units_done,
+                bytes_sent: s.wire_in,
+                failures: ledger.total_failures(w),
+                rtt_s: s.rtt_s,
+                lost: ledger.is_excluded(w),
+                joined_s: s.joined_s,
+                left_s: s.left_s,
+            });
         }
         Ok((master, report))
     }
-
-    fn accept_workers(
-        &self,
-        cfg: &TcpClusterConfig,
-        event_tx: &Sender<ReadEvent>,
-        start: Instant,
-    ) -> Result<Vec<WorkerLink>, ChannelError> {
-        let deadline = start + Duration::from_secs_f64(cfg.accept_timeout_s);
-        self.listener
-            .set_nonblocking(true)
-            .map_err(|e| io_to_channel(&e))?;
-        let mut links = Vec::with_capacity(cfg.workers);
-        while links.len() < cfg.workers {
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    let w = links.len();
-                    match handshake_master(stream, w, cfg, deadline) {
-                        Ok(link) => {
-                            let link = spawn_reader(link, w, event_tx.clone());
-                            links.push(link);
-                        }
-                        // a rogue or dead connector during handshake:
-                        // keep listening for a real worker
-                        Err(ChannelError::PeerGone) | Err(ChannelError::Protocol(_)) => continue,
-                        Err(e) => return Err(e),
-                    }
-                }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                    if Instant::now() >= deadline {
-                        return Err(ChannelError::TimedOut);
-                    }
-                    std::thread::sleep(Duration::from_millis(5));
-                }
-                Err(e) => return Err(io_to_channel(&e)),
-            }
-        }
-        Ok(links)
-    }
-}
-
-/// Accept-side handshake: expect `HELLO`, answer `WELCOME` with the node
-/// id (worker index + 1; node 0 is the master) and the job header.
-fn handshake_master(
-    stream: TcpStream,
-    w: usize,
-    cfg: &TcpClusterConfig,
-    deadline: Instant,
-) -> Result<(TcpStream, u64, u64), ChannelError> {
-    stream.set_nodelay(true).map_err(|e| io_to_channel(&e))?;
-    stream
-        .set_nonblocking(false)
-        .map_err(|e| io_to_channel(&e))?;
-    let remaining = deadline
-        .saturating_duration_since(Instant::now())
-        .max(Duration::from_millis(50));
-    stream
-        .set_read_timeout(Some(remaining))
-        .map_err(|e| io_to_channel(&e))?;
-    let mut s = stream;
-    let (hello, hello_bytes) = read_frame(&mut s)?;
-    if hello.tag != tag::HELLO {
-        return Err(ChannelError::Protocol("expected HELLO"));
-    }
-    let mut e = Encoder::new();
-    e.u64((w + 1) as u64).bytes(&cfg.job_header);
-    let welcome = Message {
-        from: 0,
-        to: w + 1,
-        tag: tag::WELCOME,
-        payload: e.finish(),
-    };
-    let sent = write_frame(&mut s, &welcome)?;
-    s.set_read_timeout(None).map_err(|e| io_to_channel(&e))?;
-    Ok((s, hello_bytes, sent))
-}
-
-fn spawn_reader(
-    (stream, bytes_in, bytes_out): (TcpStream, u64, u64),
-    w: usize,
-    event_tx: Sender<ReadEvent>,
-) -> WorkerLink {
-    let closer = stream.try_clone().expect("clone accepted socket");
-    let writer = stream.try_clone().expect("clone accepted socket");
-    let reader = std::thread::spawn(move || {
-        let mut stream = stream;
-        loop {
-            match read_frame(&mut stream) {
-                Ok(frame) => {
-                    if event_tx.send((w, Ok(frame))).is_err() {
-                        break;
-                    }
-                }
-                Err(e) => {
-                    let _ = event_tx.send((w, Err(e)));
-                    break;
-                }
-            }
-        }
-    });
-    WorkerLink {
-        writer,
-        closer,
-        reader,
-        bytes_out,
-        msgs_out: 1, // the WELCOME
-        bytes_in,
-        msgs_in: 1, // the HELLO
-        rtt_s: 0.0,
-        last_ping: Instant::now(),
-        busy_s: 0.0,
-    }
-}
-
-fn send_framed(
-    link: &mut WorkerLink,
-    w: usize,
-    tag: u32,
-    payload: Vec<u8>,
-) -> Result<(), ChannelError> {
-    let msg = Message {
-        from: 0,
-        to: w + 1,
-        tag,
-        payload,
-    };
-    let n = write_frame(&mut link.writer, &msg)?;
-    link.bytes_out += n;
-    link.msgs_out += 1;
-    Ok(())
 }
 
 // ---------------------------------------------------------------------
@@ -673,13 +1111,26 @@ fn send_framed(
 pub struct ConnectConfig {
     /// Connect attempts before giving up.
     pub attempts: u32,
-    /// Delay before the first retry, doubling each attempt (capped at
-    /// 2 s).
+    /// Base retry delay: attempt `k` sleeps uniform in
+    /// `[0, min(backoff_cap_s, backoff_s * 2^k))` — *full jitter*, so a
+    /// fleet reconnecting after a master restart doesn't stampede.
     pub backoff_s: f64,
+    /// Ceiling on the jitter window.
+    pub backoff_cap_s: f64,
+    /// Seed for the jitter schedule; 0 derives one from wall time and
+    /// pid (production), nonzero replays deterministically (tests).
+    pub jitter_seed: u64,
     /// Treat the master as gone after this many seconds of socket
     /// silence (the master pings every `heartbeat_s`, so a healthy link
     /// is never silent for long). 0 disables the timeout.
     pub read_timeout_s: f64,
+    /// Stable node identity announced in `HELLO`; 0 = anonymous. The
+    /// master rejects a second live connection claiming the same
+    /// nonzero identity.
+    pub identity: u64,
+    /// Scene fingerprint announced in `HELLO`; empty skips master-side
+    /// validation (the job header check still applies).
+    pub fingerprint: Vec<u8>,
 }
 
 impl Default for ConnectConfig {
@@ -687,7 +1138,11 @@ impl Default for ConnectConfig {
         ConnectConfig {
             attempts: 20,
             backoff_s: 0.1,
+            backoff_cap_s: 2.0,
+            jitter_seed: 0,
             read_timeout_s: 30.0,
+            identity: 0,
+            fingerprint: Vec::new(),
         }
     }
 }
@@ -720,23 +1175,38 @@ pub struct TcpWorkerConn {
     bytes_in: u64,
 }
 
-/// Connect to a master with retry/backoff and perform the handshake.
+/// Connect to a master with jittered retry/backoff and perform the
+/// handshake.
 ///
-/// On success the returned connection knows its assigned node id and the
-/// master's job header; call [`TcpWorkerConn::serve`] to process units
-/// until shutdown.
+/// Joining works at any point of a live run, not only before it starts:
+/// the master enrolls late joiners on the fly. On success the returned
+/// connection knows its assigned node id and the master's job header;
+/// call [`TcpWorkerConn::serve`] to process units until shutdown. A
+/// master that turns the worker away (wrong scene fingerprint, duplicate
+/// identity, full farm) surfaces as [`ChannelError::Protocol`] with the
+/// rejection reason.
 pub fn connect_worker(addr: &str, cfg: &ConnectConfig) -> Result<TcpWorkerConn, ChannelError> {
-    let mut delay = cfg.backoff_s.max(0.01);
+    let mut rng = if cfg.jitter_seed == 0 {
+        JitterRng::from_entropy()
+    } else {
+        JitterRng::new(cfg.jitter_seed)
+    };
+    let attempts = cfg.attempts.max(1);
     let mut stream = None;
-    for attempt in 0..cfg.attempts.max(1) {
+    for attempt in 0..attempts {
         match TcpStream::connect(addr) {
             Ok(s) => {
                 stream = Some(s);
                 break;
             }
-            Err(_) if attempt + 1 < cfg.attempts.max(1) => {
+            Err(_) if attempt + 1 < attempts => {
+                let delay = full_jitter_delay(
+                    cfg.backoff_s.max(0.01),
+                    cfg.backoff_cap_s.max(0.01),
+                    attempt,
+                    &mut rng,
+                );
                 std::thread::sleep(Duration::from_secs_f64(delay));
-                delay = (delay * 2.0).min(2.0);
             }
             Err(e) => return Err(io_to_channel(&e)),
         }
@@ -748,14 +1218,27 @@ pub fn connect_worker(addr: &str, cfg: &ConnectConfig) -> Result<TcpWorkerConn, 
             .set_read_timeout(Some(Duration::from_secs_f64(cfg.read_timeout_s)))
             .map_err(|e| io_to_channel(&e))?;
     }
+    let mut e = Encoder::new();
+    e.u64(cfg.identity).bytes(&cfg.fingerprint);
     let hello = Message {
         from: 0,
         to: 0,
         tag: tag::HELLO,
-        payload: Vec::new(),
+        payload: e.finish(),
     };
     let bytes_out = write_frame(&mut stream, &hello)?;
     let (welcome, welcome_bytes) = read_frame(&mut stream)?;
+    if welcome.tag == tag::REJECT {
+        let mut d = Decoder::new(&welcome.payload);
+        // map the wire reason onto static strings (ChannelError carries
+        // &'static str) so callers can match on it
+        return Err(ChannelError::Protocol(match d.str() {
+            Ok("scene fingerprint mismatch") => "rejected by master: scene fingerprint mismatch",
+            Ok("duplicate node id") => "rejected by master: duplicate node id",
+            Ok("farm full") => "rejected by master: farm full",
+            _ => "rejected by master",
+        }));
+    }
     if welcome.tag != tag::WELCOME {
         return Err(ChannelError::Protocol("expected WELCOME"));
     }
@@ -942,6 +1425,16 @@ mod tests {
         seen: BTreeSet<u64>,
     }
 
+    impl CountMaster {
+        fn new(limit: u64) -> CountMaster {
+            CountMaster {
+                next: 0,
+                limit,
+                seen: BTreeSet::new(),
+            }
+        }
+    }
+
     impl MasterLogic for CountMaster {
         type Unit = u64;
         type Result = u64;
@@ -969,6 +1462,18 @@ mod tests {
         }
     }
 
+    /// A squarer that sleeps per unit, so runs last long enough for
+    /// mid-run membership changes to land deterministically.
+    struct SlowSquarer(u64);
+    impl WorkerLogic for SlowSquarer {
+        type Unit = u64;
+        type Result = u64;
+        fn perform(&mut self, unit: &u64) -> (u64, WorkCost) {
+            std::thread::sleep(Duration::from_millis(self.0));
+            (unit * unit, WorkCost::compute_only(0.0))
+        }
+    }
+
     fn spawn_workers(addr: String, n: usize) -> Vec<std::thread::JoinHandle<WorkerSummary>> {
         (0..n)
             .map(|_| {
@@ -987,22 +1492,15 @@ mod tests {
         let addr = master.local_addr().expect("addr").to_string();
         let handles = spawn_workers(addr, 2);
         let cfg = TcpClusterConfig::new(2);
-        let (m, report) = master
-            .run(
-                CountMaster {
-                    next: 0,
-                    limit: 50,
-                    seen: BTreeSet::new(),
-                },
-                &cfg,
-            )
-            .expect("run");
+        let (m, report) = master.run(CountMaster::new(50), &cfg).expect("run");
         assert_eq!(m.seen.len(), 50);
         assert_eq!(
             report.machines.iter().map(|m| m.units_done).sum::<u64>(),
             50
         );
         assert_eq!(report.workers_lost, 0);
+        assert_eq!(report.workers_joined, 2);
+        assert_eq!(report.workers_left, 0, "clean shutdowns are not churn");
         assert!(report.messages > 0);
         assert!(report.bytes > 0);
         for h in handles {
@@ -1024,16 +1522,7 @@ mod tests {
         });
         let mut cfg = TcpClusterConfig::new(1);
         cfg.job_header = vec![9, 8, 7];
-        let (m, _report) = master
-            .run(
-                CountMaster {
-                    next: 0,
-                    limit: 3,
-                    seen: BTreeSet::new(),
-                },
-                &cfg,
-            )
-            .expect("run");
+        let (m, _report) = master.run(CountMaster::new(3), &cfg).expect("run");
         assert_eq!(m.seen.len(), 3);
         let (id, header, sid) = h.join().expect("worker");
         assert_eq!(id, 1, "first accepted worker is node 1");
@@ -1051,9 +1540,12 @@ mod tests {
         let worker_addr = addr.clone();
         let h = std::thread::spawn(move || {
             let cfg = ConnectConfig {
-                attempts: 50,
+                attempts: 200,
                 backoff_s: 0.02,
+                backoff_cap_s: 0.1,
+                jitter_seed: 11,
                 read_timeout_s: 10.0,
+                ..ConnectConfig::default()
             };
             let conn = connect_worker(&worker_addr, &cfg).expect("connect with retry");
             conn.serve(Squarer).expect("serve")
@@ -1061,14 +1553,7 @@ mod tests {
         std::thread::sleep(Duration::from_millis(150));
         let master = TcpMaster::bind(&addr).expect("bind released port");
         let (m, _): (CountMaster, _) = master
-            .run(
-                CountMaster {
-                    next: 0,
-                    limit: 5,
-                    seen: BTreeSet::new(),
-                },
-                &TcpClusterConfig::new(1),
-            )
+            .run(CountMaster::new(5), &TcpClusterConfig::new(1))
             .expect("run");
         assert_eq!(m.seen.len(), 5);
         assert!(h.join().expect("worker").units == 5);
@@ -1078,18 +1563,174 @@ mod tests {
     fn accept_times_out_when_no_worker_connects() {
         let master = TcpMaster::bind("127.0.0.1:0").expect("bind");
         let mut cfg = TcpClusterConfig::new(1);
-        cfg.accept_timeout_s = 0.2;
+        cfg.net.accept_window_s = 0.2;
         let err = master
-            .run(
-                CountMaster {
-                    next: 0,
-                    limit: 1,
-                    seen: BTreeSet::new(),
-                },
-                &cfg,
-            )
+            .run(CountMaster::new(1), &cfg)
             .map(|_| ())
             .unwrap_err();
         assert_eq!(err, ChannelError::TimedOut);
+    }
+
+    #[test]
+    fn frame_buf_reassembles_dribbled_bytes() {
+        let msgs = [
+            Message {
+                from: 3,
+                to: 0,
+                tag: tag::REQUEST,
+                payload: vec![],
+            },
+            Message {
+                from: 3,
+                to: 0,
+                tag: tag::RESULT,
+                payload: vec![1, 2, 3, 4, 5],
+            },
+        ];
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend_from_slice(&encode_frame(m).expect("encode"));
+        }
+        // one byte at a time: frames must pop exactly at their boundary
+        let mut fb = FrameBuf::new();
+        let mut got = Vec::new();
+        for &b in &wire {
+            fb.push(&[b]);
+            while let Some((msg, n)) = fb.next_frame().expect("clean stream") {
+                got.push((msg, n));
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, msgs[0]);
+        assert_eq!(got[1].0, msgs[1]);
+        assert_eq!(got[1].1 as usize, HEADER_LEN + msgs[1].encode().len());
+        assert_eq!(fb.unconsumed(), 0);
+    }
+
+    #[test]
+    fn frame_buf_rejects_bad_magic_before_body() {
+        let mut fb = FrameBuf::new();
+        fb.push(b"GET / HTTP/1.1\r\n");
+        assert_eq!(
+            fb.next_frame().unwrap_err(),
+            ChannelError::Protocol("bad frame magic")
+        );
+    }
+
+    #[test]
+    fn late_joiner_pulls_units_midrun() {
+        let master = TcpMaster::bind("127.0.0.1:0").expect("bind");
+        let addr = master.local_addr().expect("addr").to_string();
+        // worker 0 from the start; worker 1 joins ~200 ms into the run
+        let a = {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let conn = connect_worker(&addr, &ConnectConfig::default()).expect("connect");
+                conn.serve(SlowSquarer(5)).expect("serve")
+            })
+        };
+        let b = {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(200));
+                let conn = connect_worker(&addr, &ConnectConfig::default()).expect("connect");
+                conn.serve(SlowSquarer(5)).expect("serve")
+            })
+        };
+        // quorum 1: the run starts as soon as worker 0 joins
+        let cfg = TcpClusterConfig::new(1);
+        let (m, report) = master.run(CountMaster::new(120), &cfg).expect("run");
+        assert_eq!(m.seen.len(), 120, "every unit integrated exactly once");
+        assert_eq!(report.workers_joined, 2, "the late joiner enrolled");
+        assert_eq!(report.machines.len(), 2);
+        assert!(
+            report.machines[1].joined_s > 0.1,
+            "joiner #2 arrived mid-run (joined at {:.3}s)",
+            report.machines[1].joined_s
+        );
+        let (sa, sb) = (a.join().expect("a"), b.join().expect("b"));
+        assert!(sa.units > 0 && sb.units > 0, "both workers pulled units");
+        assert_eq!(sa.units + sb.units, 120);
+    }
+
+    #[test]
+    fn wrong_fingerprint_is_rejected_without_disturbing_the_run() {
+        let master = TcpMaster::bind("127.0.0.1:0").expect("bind");
+        let addr = master.local_addr().expect("addr").to_string();
+        let mut cfg = TcpClusterConfig::new(1);
+        cfg.fingerprint = vec![0xAA, 0xBB, 0xCC];
+        // a good worker (matching fingerprint) carries the run…
+        let good = {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let wcfg = ConnectConfig {
+                    fingerprint: vec![0xAA, 0xBB, 0xCC],
+                    ..ConnectConfig::default()
+                };
+                let conn = connect_worker(&addr, &wcfg).expect("connect");
+                conn.serve(SlowSquarer(3)).expect("serve")
+            })
+        };
+        // …while a worker rendering a different scene is turned away
+        let bad = {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(60));
+                let wcfg = ConnectConfig {
+                    fingerprint: vec![0xDE, 0xAD],
+                    ..ConnectConfig::default()
+                };
+                connect_worker(&addr, &wcfg).map(|_| ()).unwrap_err()
+            })
+        };
+        let (m, report) = master.run(CountMaster::new(60), &cfg).expect("run");
+        assert_eq!(m.seen.len(), 60);
+        assert_eq!(report.workers_joined, 1);
+        assert_eq!(report.workers_rejected, 1);
+        assert_eq!(report.workers_lost, 0, "the run itself was undisturbed");
+        assert!(good.join().expect("good").units == 60);
+        assert_eq!(
+            bad.join().expect("bad"),
+            ChannelError::Protocol("rejected by master: scene fingerprint mismatch")
+        );
+    }
+
+    #[test]
+    fn duplicate_identity_is_rejected_while_original_lives() {
+        let master = TcpMaster::bind("127.0.0.1:0").expect("bind");
+        let addr = master.local_addr().expect("addr").to_string();
+        let original = {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let wcfg = ConnectConfig {
+                    identity: 42,
+                    ..ConnectConfig::default()
+                };
+                let conn = connect_worker(&addr, &wcfg).expect("connect");
+                conn.serve(SlowSquarer(3)).expect("serve")
+            })
+        };
+        let imposter = {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(60));
+                let wcfg = ConnectConfig {
+                    identity: 42,
+                    ..ConnectConfig::default()
+                };
+                connect_worker(&addr, &wcfg).map(|_| ()).unwrap_err()
+            })
+        };
+        let (m, report) = master
+            .run(CountMaster::new(60), &TcpClusterConfig::new(1))
+            .expect("run");
+        assert_eq!(m.seen.len(), 60);
+        assert_eq!(report.workers_joined, 1);
+        assert_eq!(report.workers_rejected, 1);
+        assert!(original.join().expect("original").units == 60);
+        assert_eq!(
+            imposter.join().expect("imposter"),
+            ChannelError::Protocol("rejected by master: duplicate node id")
+        );
     }
 }

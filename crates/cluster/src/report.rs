@@ -49,6 +49,13 @@ pub struct MachineReport {
     /// True if the machine was excluded as lost (crashed, stalled or
     /// repeatedly timed out).
     pub lost: bool,
+    /// Seconds after run start at which this worker joined (0 for
+    /// workers present from the start, and on backends without dynamic
+    /// membership).
+    pub joined_s: f64,
+    /// Seconds after run start at which this worker left — shut down,
+    /// died or was excluded. 0 until the worker actually leaves.
+    pub left_s: f64,
 }
 
 /// Whole-run accounting.
@@ -78,6 +85,16 @@ pub struct RunReport {
     pub duplicates_dropped: u64,
     /// Workers excluded as lost during the run.
     pub workers_lost: u64,
+    /// Workers that enrolled over the run's lifetime, including mid-run
+    /// joiners (TCP backend; static backends report their worker count).
+    pub workers_joined: u64,
+    /// Workers that left before the run completed (died, timed out or
+    /// were excluded) — normal end-of-run shutdowns don't count.
+    pub workers_left: u64,
+    /// Connections turned away: wrong scene fingerprint, duplicate node
+    /// id, garbage handshake, or a half-open connection that never
+    /// finished its HELLO.
+    pub workers_rejected: u64,
     /// Intra-worker tile-pool threads per worker (1 = serial workers, as in
     /// the paper; filled in by the farm layer after the run).
     pub worker_threads: u32,
@@ -141,6 +158,17 @@ impl RunReport {
         rec.counter_add_nd("farm.reassigns", self.units_reassigned);
         rec.counter_add_nd("farm.duplicates_dropped", self.duplicates_dropped);
         rec.counter_add_nd("farm.workers_lost", self.workers_lost);
+        // membership churn is wall-clock-driven; guard the zero case so
+        // fault-free runs leave the trace stream untouched
+        if self.workers_joined > 0 {
+            rec.counter_add_nd("farm.workers_joined", self.workers_joined);
+        }
+        if self.workers_left > 0 {
+            rec.counter_add_nd("farm.workers_left", self.workers_left);
+        }
+        if self.workers_rejected > 0 {
+            rec.counter_add_nd("farm.workers_rejected", self.workers_rejected);
+        }
         for m in &self.machines {
             rec.observe_nd("farm.units_per_machine", m.units_done);
             // real-network runs only: measured RTT and per-worker bytes

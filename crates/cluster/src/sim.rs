@@ -297,9 +297,10 @@ impl SimCluster {
             }};
         }
 
-        // every worker fires an initial request at t = 0
+        // every worker fires an initial request when it joins the run
+        // (t = 0 unless the fault plan schedules a late join)
         for w in 0..n {
-            let arrive = transfer!(0.0, self.request_bytes, Some(w));
+            let arrive = transfer!(self.faults.join_time(w), self.request_bytes, Some(w));
             push(
                 &mut queue,
                 &mut seq,

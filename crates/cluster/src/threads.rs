@@ -111,6 +111,12 @@ impl ThreadCluster {
             let plan = self.faults.clone();
             let stop = Arc::clone(&stop);
             handles.push(std::thread::spawn(move || {
+                // a late joiner sits out the start of the run, then
+                // announces readiness like any other worker
+                let join_delay = plan.join_time(i);
+                if join_delay > 0.0 {
+                    std::thread::sleep(Duration::from_secs_f64(join_delay));
+                }
                 // announce readiness
                 results
                     .send(FromWorker {

@@ -187,3 +187,206 @@ fn oversized_outgoing_frame_is_refused() {
     );
     assert!(sink.is_empty(), "nothing may hit the wire");
 }
+
+// ---------------------------------------------------------------------
+// Hostile membership: attacks on the handshake of a *live* master
+// ---------------------------------------------------------------------
+//
+// Everything below runs a real master loop and points misbehaving
+// clients at it alongside one honest worker. The invariant under attack
+// is always the same: the run still finishes, every unit is integrated
+// exactly once, and the hostile connection shows up in the membership
+// counters instead of wedging the farm.
+
+use now_cluster::net::NetConfig;
+use now_cluster::{
+    connect_worker, ConnectConfig, MasterLogic, MasterWork, RunReport, TcpClusterConfig, TcpMaster,
+    WorkCost, WorkerLogic, WorkerSummary,
+};
+use std::net::SocketAddr;
+
+struct CountMaster {
+    next: u64,
+    limit: u64,
+    done: u64,
+}
+
+impl MasterLogic for CountMaster {
+    type Unit = u64;
+    type Result = u64;
+    fn assign(&mut self, _w: usize) -> Option<u64> {
+        if self.next < self.limit {
+            self.next += 1;
+            Some(self.next - 1)
+        } else {
+            None
+        }
+    }
+    fn integrate(&mut self, _w: usize, unit: u64, result: u64) -> MasterWork {
+        assert_eq!(result, unit * unit);
+        self.done += 1;
+        MasterWork::default()
+    }
+}
+
+/// A worker that takes `0.0` ms per unit keeps the run short; a nonzero
+/// delay keeps the run alive long enough for handshake deadlines to fire.
+struct SlowSquarer(u64);
+impl WorkerLogic for SlowSquarer {
+    type Unit = u64;
+    type Result = u64;
+    fn perform(&mut self, unit: &u64) -> (u64, WorkCost) {
+        if self.0 > 0 {
+            std::thread::sleep(Duration::from_millis(self.0));
+        }
+        (unit * unit, WorkCost::compute_only(0.0))
+    }
+}
+
+fn run_master(
+    quorum: usize,
+    units: u64,
+    net: NetConfig,
+) -> (
+    SocketAddr,
+    std::thread::JoinHandle<(CountMaster, RunReport)>,
+) {
+    let listener = TcpMaster::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || {
+        let mut cfg = TcpClusterConfig::new(quorum);
+        cfg.net = net;
+        let logic = CountMaster {
+            next: 0,
+            limit: units,
+            done: 0,
+        };
+        listener.run(logic, &cfg).expect("master")
+    });
+    (addr, handle)
+}
+
+fn serve_worker(addr: SocketAddr, delay_ms: u64) -> std::thread::JoinHandle<WorkerSummary> {
+    std::thread::spawn(move || {
+        let conn = connect_worker(&addr.to_string(), &ConnectConfig::default()).expect("connect");
+        conn.serve(SlowSquarer(delay_ms)).expect("serve")
+    })
+}
+
+fn hello() -> Message {
+    Message {
+        from: 0,
+        to: 0,
+        tag: now_cluster::net::tag::HELLO,
+        payload: Vec::new(),
+    }
+}
+
+/// A slow-loris client sends half a HELLO frame and then goes quiet. The
+/// handshake deadline must reap it as a rejection while the honest
+/// worker keeps draining units.
+#[test]
+fn torn_hello_slow_loris_is_reaped_by_handshake_deadline() {
+    let net = NetConfig {
+        handshake_timeout_s: 0.3,
+        accept_window_s: 10.0,
+        ..NetConfig::default()
+    };
+    let (addr, master) = run_master(1, 60, net);
+
+    let mut frame = Vec::new();
+    write_frame(&mut frame, &hello()).expect("encode");
+    let mut loris = TcpStream::connect(addr).expect("connect");
+    loris.write_all(&frame[..frame.len() / 2]).unwrap();
+    loris.flush().unwrap();
+
+    let worker = serve_worker(addr, 10); // 60 * 10ms outlives the 0.3s deadline
+    let (logic, report) = master.join().expect("master thread");
+    assert_eq!(logic.done, 60, "every unit integrated exactly once");
+    assert_eq!(report.workers_rejected, 1, "the loris was reaped");
+    assert_eq!(report.workers_lost, 0, "no enrolled worker was lost");
+    assert_eq!(worker.join().expect("worker").units, 60);
+    drop(loris);
+}
+
+/// A client that speaks something other than the protocol (here: HTTP)
+/// is cut off at the framing layer without ever being enrolled.
+#[test]
+fn http_client_is_rejected_without_joining() {
+    let net = NetConfig {
+        accept_window_s: 10.0,
+        ..NetConfig::default()
+    };
+    let (addr, master) = run_master(1, 40, net);
+
+    let mut intruder = TcpStream::connect(addr).expect("connect");
+    intruder
+        .write_all(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+        .unwrap();
+    intruder.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(150)); // let the master chew on it
+
+    let worker = serve_worker(addr, 0);
+    let (logic, report) = master.join().expect("master thread");
+    assert_eq!(logic.done, 40);
+    assert_eq!(report.workers_rejected, 1);
+    assert_eq!(report.workers_joined, 1, "only the honest worker joined");
+    worker.join().expect("worker");
+}
+
+/// A joiner that completes the handshake and then immediately dies is
+/// recorded as joined *and* left; its (empty) lease set requeues and the
+/// run finishes on the surviving worker.
+#[test]
+fn joiner_that_dies_after_welcome_is_counted_and_survived() {
+    let net = NetConfig {
+        accept_window_s: 10.0,
+        ..NetConfig::default()
+    };
+    // quorum 2: the ghost's death must not satisfy the run, the door
+    // stays open for the honest replacement
+    let (addr, master) = run_master(2, 40, net);
+
+    {
+        let mut ghost = TcpStream::connect(addr).expect("connect");
+        write_frame(&mut ghost, &hello()).expect("hello");
+        let (welcome, _) = read_frame(&mut ghost).expect("welcome");
+        assert_eq!(welcome.tag, now_cluster::net::tag::WELCOME);
+    } // dropped: the ghost dies right after enrolling
+
+    std::thread::sleep(Duration::from_millis(100));
+    let worker = serve_worker(addr, 0);
+    let (logic, report) = master.join().expect("master thread");
+    assert_eq!(logic.done, 40);
+    assert_eq!(report.workers_joined, 2, "the ghost did join");
+    assert_eq!(report.workers_left, 1, "and was seen leaving");
+    assert_eq!(report.workers_rejected, 0);
+    worker.join().expect("worker");
+}
+
+/// Replaying HELLO on an already-enrolled connection is a protocol
+/// violation: the connection is killed and its leases requeue, but the
+/// run is not disturbed.
+#[test]
+fn hello_replay_mid_session_kills_only_that_connection() {
+    let net = NetConfig {
+        accept_window_s: 10.0,
+        ..NetConfig::default()
+    };
+    let (addr, master) = run_master(2, 40, net);
+
+    let mut replayer = TcpStream::connect(addr).expect("connect");
+    write_frame(&mut replayer, &hello()).expect("hello");
+    let (welcome, _) = read_frame(&mut replayer).expect("welcome");
+    assert_eq!(welcome.tag, now_cluster::net::tag::WELCOME);
+    write_frame(&mut replayer, &hello()).expect("replayed hello");
+    std::thread::sleep(Duration::from_millis(100));
+
+    let worker = serve_worker(addr, 0);
+    let (logic, report) = master.join().expect("master thread");
+    assert_eq!(logic.done, 40);
+    assert_eq!(report.workers_joined, 2);
+    assert_eq!(report.workers_left, 1, "the replayer was expelled");
+    worker.join().expect("worker");
+    drop(replayer);
+}

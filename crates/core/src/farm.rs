@@ -12,9 +12,9 @@ use crate::partition::{PartitionScheme, RenderUnit, Scheduler};
 use now_anim::Animation;
 use now_cluster::codec::{DecodeError, Decoder, Encoder};
 use now_cluster::{
-    connect_worker, ConnectConfig, MachineSpec, MasterLogic, MasterWork, RecoveryConfig,
-    SimCluster, TcpClusterConfig, TcpMaster, ThreadCluster, Wire, WorkCost, WorkerLogic,
-    WorkerSummary,
+    connect_worker, ConnectConfig, MachineSpec, MasterLogic, MasterWork, NetConfig, NetFaultPlan,
+    RecoveryConfig, SimCluster, TcpClusterConfig, TcpMaster, ThreadCluster, Wire, WorkCost,
+    WorkerLogic, WorkerSummary,
 };
 use now_coherence::{CoherentRenderer, PixelRegion};
 use now_grid::GridSpec;
@@ -733,17 +733,38 @@ fn check_job_header(header: &[u8], anim: &Animation) -> Result<(bool, u32), Stri
     Ok((coherence, grid_voxels))
 }
 
+/// Fingerprint of the scene a process has loaded, sent in the HELLO
+/// payload so the master can reject a mismatched joiner *before* handing
+/// it the job header. Covers the same scene-shape fields the job header
+/// validates, so both checks reject the same divergences.
+pub fn scene_fingerprint(anim: &Animation) -> Vec<u8> {
+    let fields: [u32; 6] = [
+        anim.base.camera.width(),
+        anim.base.camera.height(),
+        anim.frames as u32,
+        anim.base.objects.len() as u32,
+        anim.base.lights.len() as u32,
+        anim.tracks.len() as u32,
+    ];
+    fnv1a(fields.iter().flat_map(|f| f.to_le_bytes()))
+        .to_le_bytes()
+        .to_vec()
+}
+
 /// Configuration for a TCP farm master.
 #[derive(Debug, Clone)]
 pub struct TcpFarmConfig {
-    /// Number of worker connections to wait for before starting.
+    /// Worker quorum: the run may end once this many workers have joined
+    /// and finished, even if the accept window is still open. Late joiners
+    /// beyond the quorum are welcome while the run is live.
     pub workers: usize,
     /// Lease/retry/exclusion policy (same machinery as the other backends).
     pub recovery: RecoveryConfig,
-    /// Heartbeat ping cadence in seconds.
-    pub heartbeat_s: f64,
-    /// How long to wait for all workers to connect before giving up.
-    pub accept_timeout_s: f64,
+    /// Network timing: heartbeat cadence, accept window, read deadlines.
+    pub net: NetConfig,
+    /// Deterministic network-fault injection (tests and drills; not a
+    /// product knob).
+    pub net_faults: NetFaultPlan,
 }
 
 impl TcpFarmConfig {
@@ -753,8 +774,8 @@ impl TcpFarmConfig {
         TcpFarmConfig {
             workers,
             recovery: base.recovery,
-            heartbeat_s: base.heartbeat_s,
-            accept_timeout_s: base.accept_timeout_s,
+            net: base.net,
+            net_faults: NetFaultPlan::default(),
         }
     }
 }
@@ -788,9 +809,10 @@ pub fn run_tcp_master_with(
 ) -> Result<FarmResult, String> {
     let mut ccfg = TcpClusterConfig::new(tcp.workers);
     ccfg.recovery = tcp.recovery;
-    ccfg.heartbeat_s = tcp.heartbeat_s;
-    ccfg.accept_timeout_s = tcp.accept_timeout_s;
+    ccfg.net = tcp.net.clone();
+    ccfg.net_faults = tcp.net_faults.clone();
     ccfg.job_header = encode_job_header(anim, cfg);
+    ccfg.fingerprint = scene_fingerprint(anim);
     let master = FarmMaster::from_spec(anim, cfg, tcp.workers, journal)?;
     let frames = anim.frames as u32;
     if master.all_done() {
@@ -826,7 +848,11 @@ pub fn serve_tcp_worker(
     addr: &str,
     connect: &ConnectConfig,
 ) -> Result<WorkerSummary, String> {
-    let conn = connect_worker(addr, connect).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut connect = connect.clone();
+    if connect.fingerprint.is_empty() {
+        connect.fingerprint = scene_fingerprint(anim);
+    }
+    let conn = connect_worker(addr, &connect).map_err(|e| format!("connect {addr}: {e}"))?;
     let (coherence, grid_voxels) = match check_job_header(conn.job_header(), anim) {
         Ok(adopted) => adopted,
         Err(e) => {
@@ -1067,10 +1093,23 @@ mod tests {
                 serve_tcp_worker(&other, &cfg, &addr, &ConnectConfig::default()).unwrap_err()
             })
         };
-        // master loses its only worker and ends without the frames
-        let _ = run_tcp_master_on(listener, &anim, &cfg, &TcpFarmConfig::new(1));
+        // the mismatched fingerprint is rejected at HELLO; the master never
+        // enrolls a worker and gives up when the accept window closes
+        let mut tcp = TcpFarmConfig::new(1);
+        tcp.net.accept_window_s = 1.0;
+        let master = run_tcp_master_on(listener, &anim, &cfg, &tcp);
+        assert!(master.is_err(), "master must not finish without workers");
         let err = w.join().expect("worker thread");
-        assert!(err.contains("scene mismatch"), "got: {err}");
+        assert!(err.contains("scene fingerprint mismatch"), "got: {err}");
+    }
+
+    #[test]
+    fn scene_fingerprint_tracks_scene_shape() {
+        let a = anim();
+        let mut b = anim();
+        assert_eq!(scene_fingerprint(&a), scene_fingerprint(&b));
+        b.frames += 1;
+        assert_ne!(scene_fingerprint(&a), scene_fingerprint(&b));
     }
 
     #[test]

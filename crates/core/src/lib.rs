@@ -34,8 +34,8 @@ pub mod single;
 pub use cost::CostModel;
 pub use farm::{
     bind_tcp_master, run_farm, run_sim, run_sim_with, run_tcp_master, run_tcp_master_on,
-    run_tcp_master_with, run_threads, run_threads_on, run_threads_with, serve_tcp_worker,
-    FarmConfig, FarmMaster, FarmResult, FarmWorker, TcpFarmConfig, Transport,
+    run_tcp_master_with, run_threads, run_threads_on, run_threads_with, scene_fingerprint,
+    serve_tcp_worker, FarmConfig, FarmMaster, FarmResult, FarmWorker, TcpFarmConfig, Transport,
 };
 pub use journal::JournalSpec;
 pub use partition::PartitionScheme;

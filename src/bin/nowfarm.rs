@@ -25,8 +25,13 @@
 //! nowfarm master SCENE [opts]               TCP master for a multi-process farm
 //!   --listen ADDR      address to listen on (default 127.0.0.1:0; the
 //!                      chosen port is printed as `listening on ...`)
-//!   --workers N        worker connections to wait for (default 2)
+//!   --workers N        worker quorum: the run may finish once N workers
+//!                      have joined and completed; more may join mid-run
+//!                      (default 2)
 //!   --lease S          enable lease recovery with an S-second base lease
+//!   --heartbeat-s S    ping cadence towards live workers (default 0.25)
+//!   --accept-window-s S  how long the door stays open for (re)joining
+//!                      workers before an idle master gives up (default 30)
 //!   --scheme/--plain/--pool/--out/--hashes/--expect-hashes as for `farm`
 //!   --journal DIR      write-ahead journal + durable frames into DIR
 //!   --resume           resume an interrupted run from --journal DIR
@@ -35,6 +40,10 @@
 //!   --pool N           tile-pool threads for this worker (0 = auto)
 //!   --retries N        after a dropped session, reconnect up to N times
 //!                      (rides out a master restart with --resume)
+//!   --heartbeat-s S    expected master ping cadence; silence for ~10
+//!                      heartbeats makes the worker declare the master lost
+//!   --accept-window-s S  keep retrying the initial connect (with jittered
+//!                      backoff) for about S seconds before giving up
 //! nowfarm demo   NAME [frames [WxH]]        render a built-in animation
 //!                                           (newton | glassball | orbit)
 //!   --pool N           intra-worker tile-pool threads (0 = auto; default 1)
@@ -44,6 +53,13 @@
 //! built-in animation — handy for `master`/`worker`, where every process
 //! must construct the identical scene.
 //!
+//! The master also honours `NOW_NET_FAULTS` (a [`NetFaultPlan`] spec such
+//! as `seed=7;0:drop@4096;~0.5:stall@1024`) for deterministic network
+//! fault injection in tests and drills. It is an environment variable,
+//! not a flag, on purpose: it is a test hook, not a product knob.
+//!
+//! [`NetFaultPlan`]: nowrender::cluster::NetFaultPlan
+//!
 //! Output bytes are identical for every `--pool` value and for every
 //! backend (sim, threads, tcp); the flags only change where and how the
 //! pixels are computed.
@@ -52,7 +68,7 @@ use now_math::Color;
 use nowrender::anim::parse::parse_animation;
 use nowrender::anim::scenes::{glassball, newton, orbit};
 use nowrender::anim::Animation;
-use nowrender::cluster::{ConnectConfig, MachineSpec, RecoveryConfig, SimCluster};
+use nowrender::cluster::{ConnectConfig, MachineSpec, NetFaultPlan, RecoveryConfig, SimCluster};
 use nowrender::coherence::CoherentRenderer;
 use nowrender::core::{
     bind_tcp_master, run_sim_with, run_tcp_master_with, run_threads_with, serve_tcp_worker,
@@ -338,19 +354,35 @@ fn print_farm_summary(result: &FarmResult) {
             100.0 * result.report.parallel_efficiency
         );
     }
+    if result.report.workers_joined > 0 {
+        println!(
+            "  membership: {} joined, {} left early, {} rejected",
+            result.report.workers_joined,
+            result.report.workers_left,
+            result.report.workers_rejected
+        );
+    }
     for (i, m) in result.report.machines.iter().enumerate() {
         let rtt = if m.rtt_s > 0.0 {
             format!("  rtt {:6.0}us", m.rtt_s * 1e6)
         } else {
             String::new()
         };
+        // a worker that joined noticeably after t=0 was a mid-run joiner;
+        // the left-at stamp matters when it departed before the run ended
+        let membership = if m.joined_s > 0.05 || m.lost {
+            format!("  joined {:.2}s, left {:.2}s", m.joined_s, m.left_s)
+        } else {
+            String::new()
+        };
         println!(
-            "  {:<28} busy {:8.2}s  util {:3.0}%  units {:4}{}{}",
+            "  {:<28} busy {:8.2}s  util {:3.0}%  units {:4}{}{}{}",
             m.name,
             m.busy_s,
             100.0 * result.report.utilisation(i),
             m.units_done,
             rtt,
+            membership,
             if m.lost { "  LOST" } else { "" },
         );
     }
@@ -468,6 +500,29 @@ fn cmd_master(args: &[String]) -> CliResult {
         let lease: f64 = v.parse().map_err(|_| "bad --lease value")?;
         tcp.recovery = RecoveryConfig::with_lease(lease);
     }
+    if let Some(v) = flag_value(args, "--heartbeat-s") {
+        let hb: f64 = v.parse().map_err(|_| "bad --heartbeat-s value")?;
+        if hb <= 0.0 || !hb.is_finite() {
+            return Err("--heartbeat-s must be positive".into());
+        }
+        tcp.net.heartbeat_s = hb;
+    }
+    if let Some(v) = flag_value(args, "--accept-window-s") {
+        let win: f64 = v.parse().map_err(|_| "bad --accept-window-s value")?;
+        if win <= 0.0 || !win.is_finite() {
+            return Err("--accept-window-s must be positive".into());
+        }
+        tcp.net.accept_window_s = win;
+    }
+    // deterministic fault injection for tests/drills; an env var (not a
+    // flag) so it never looks like a supported product option
+    if let Ok(spec) = std::env::var("NOW_NET_FAULTS") {
+        if !spec.trim().is_empty() {
+            tcp.net_faults =
+                NetFaultPlan::parse(&spec).map_err(|e| format!("NOW_NET_FAULTS: {e}"))?;
+            eprintln!("net-fault plan armed: {}", tcp.net_faults.to_spec());
+        }
+    }
 
     let journal = journal_spec(args)?;
     let listen = flag_value(args, "--listen").unwrap_or("127.0.0.1:0");
@@ -527,10 +582,28 @@ fn cmd_worker(args: &[String]) -> CliResult {
         .unwrap_or("0")
         .parse()
         .map_err(|_| "bad --retries value")?;
+    let mut connect = ConnectConfig::default();
+    if let Some(v) = flag_value(args, "--heartbeat-s") {
+        let hb: f64 = v.parse().map_err(|_| "bad --heartbeat-s value")?;
+        if hb <= 0.0 || !hb.is_finite() {
+            return Err("--heartbeat-s must be positive".into());
+        }
+        // hearing nothing for ~10 ping intervals means the master is gone
+        connect.read_timeout_s = (hb * 10.0).max(2.0);
+    }
+    if let Some(v) = flag_value(args, "--accept-window-s") {
+        let win: f64 = v.parse().map_err(|_| "bad --accept-window-s value")?;
+        if win <= 0.0 || !win.is_finite() {
+            return Err("--accept-window-s must be positive".into());
+        }
+        // keep knocking for roughly the master's accept window: worst-case
+        // backoff per attempt is the cap, so size the attempt budget to it
+        connect.attempts = ((win / connect.backoff_cap_s.max(0.01)).ceil() as u32).max(3);
+    }
     let mut attempt = 0;
     loop {
         println!("connecting to {addr} ...");
-        match serve_tcp_worker(&anim, &cfg, addr, &ConnectConfig::default()) {
+        match serve_tcp_worker(&anim, &cfg, addr, &connect) {
             Ok(s) => {
                 println!(
                     "worker {} done: {} units, {:.2}s busy, {} bytes sent, {} bytes received",
@@ -538,7 +611,12 @@ fn cmd_worker(args: &[String]) -> CliResult {
                 );
                 return Ok(());
             }
-            Err(e) if e.contains("scene mismatch") || e.contains("job header") => {
+            Err(e)
+                if e.contains("scene mismatch")
+                    || e.contains("job header")
+                    || e.contains("fingerprint mismatch")
+                    || e.contains("duplicate node id") =>
+            {
                 // misconfiguration, not a flaky network: retrying the same
                 // handshake can only fail the same way
                 return Err(format!("job rejected by master: {e}"));

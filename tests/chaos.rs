@@ -237,3 +237,126 @@ fn threads_stalled_worker_completes_within_lease_budget() {
     // one 1 s lease expiry plus the survivors' rendering: far from a hang
     assert!(wall < 60.0, "stall recovery took {wall:.1}s");
 }
+
+// ---------------------------------------------------------------------
+// Membership churn: workers joining mid-run, on every backend
+// ---------------------------------------------------------------------
+
+/// Poisson-ish churn on the simulator: six machines join at seeded
+/// exponential inter-arrival times while two of the early joiners crash
+/// mid-run. The frames must still match the fault-free single-worker
+/// reference byte for byte, and the whole timeline must replay
+/// deterministically.
+#[test]
+fn sim_poisson_churn_preserves_every_frame_byte() {
+    use nowrender::cluster::JitterRng;
+
+    let anim = newton::animation_sized(W, H, FRAMES);
+    let machines: Vec<MachineSpec> = (0..6)
+        .map(|i| MachineSpec::new(&format!("churn{i}"), if i == 0 { 2.0 } else { 1.0 }, 64.0))
+        .collect();
+
+    // the single-machine reference makespan calibrates the virtual churn
+    // timeline, so the joins land while there is still work to pull
+    let single = SimCluster::new(vec![MachineSpec::new("ref", 1.0, 64.0)]);
+    let span = run_sim(&anim, &cfg(), &single).report.makespan_s;
+
+    // seeded exponential inter-arrivals: the same seed always yields the
+    // same join timeline, packed into the first stretch of the run
+    let mut rng = JitterRng::new(0x9E37_2026);
+    let mut plan = FaultPlan::none();
+    let mut t = 0.0;
+    for w in 1..6 {
+        t += -(span / 24.0) * (1.0 - rng.next_f64()).ln();
+        plan = plan.join_at(w, t);
+    }
+    // two early joiners leave again on their first leased unit
+    plan = plan.crash_at(1, 0).crash_at(2, 0);
+
+    let mut cluster = SimCluster::new(machines);
+    cluster.faults = plan;
+    cluster.recovery = RecoveryConfig {
+        lease_timeout_s: 5.0,
+        backoff: 2.0,
+        max_worker_failures: 1,
+    };
+
+    let a = run_sim(&anim, &cfg(), &cluster);
+    assert_eq!(
+        a.frame_hashes,
+        reference_hashes(),
+        "churned membership must not change a single pixel"
+    );
+    assert_eq!(a.report.workers_lost, 2, "both churned leavers were seen");
+
+    let b = run_sim(&anim, &cfg(), &cluster);
+    assert_eq!(a.frame_hashes, b.frame_hashes);
+    assert_eq!(a.report, b.report, "churn timeline must be deterministic");
+}
+
+/// Mid-run joiners on the thread backend: two workers start immediately,
+/// two more join while the run is underway; output stays byte-identical.
+#[test]
+fn threads_midrun_join_preserves_every_frame_byte() {
+    let anim = newton::animation_sized(W, H, FRAMES);
+    let mut cluster = ThreadCluster::new(4);
+    cluster.faults = FaultPlan::none().join_at(2, 0.15).join_at(3, 0.3);
+    let result = run_threads_on(&anim, &cfg(), &cluster);
+    assert_eq!(
+        result.frame_hashes,
+        reference_hashes(),
+        "late joiners must not change a single pixel"
+    );
+}
+
+/// A TCP worker yanked off the wire *while a unit is leased to it*: a
+/// deterministic fault plan hard-drops its connection after 5000 bytes.
+/// The lease requeues to the survivor and the frames stay byte-identical
+/// to the fault-free reference.
+#[test]
+fn tcp_leave_while_leased_requeues_byte_identically() {
+    use nowrender::cluster::NetFaultPlan;
+    use nowrender::core::{bind_tcp_master, run_tcp_master_on, serve_tcp_worker, TcpFarmConfig};
+
+    let anim = newton::animation_sized(W, H, FRAMES);
+    let listener = bind_tcp_master("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+
+    let workers: Vec<_> = (0..2)
+        .map(|i| {
+            let (anim, cfg, addr) = (anim.clone(), cfg(), addr.clone());
+            std::thread::spawn(move || {
+                // stagger the connects so accept order (and therefore
+                // which connection the fault plan hits) is deterministic
+                std::thread::sleep(std::time::Duration::from_millis(60 * i));
+                serve_tcp_worker(&anim, &cfg, &addr, &Default::default())
+            })
+        })
+        .collect();
+
+    let mut tcp = TcpFarmConfig::new(2);
+    // the second accepted connection dies mid-run, mid-lease
+    tcp.net_faults = NetFaultPlan::none().seeded(7).drop_after(1, 5_000);
+    let result = run_tcp_master_on(listener, &anim, &cfg(), &tcp).expect("master");
+
+    assert_eq!(
+        result.frame_hashes,
+        reference_hashes(),
+        "a worker leaving while leased must not change a single pixel"
+    );
+    assert_eq!(result.report.workers_joined, 2);
+    assert_eq!(
+        result.report.workers_left, 1,
+        "the dropped worker left early"
+    );
+    assert!(result.report.machines.iter().any(|m| m.lost));
+
+    let mut served = 0;
+    for w in workers {
+        // the dropped worker sees a dead socket; that error is the point
+        if let Ok(s) = w.join().expect("worker thread") {
+            served += s.units;
+        }
+    }
+    assert!(served <= result.units_done);
+}

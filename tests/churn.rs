@@ -1,0 +1,193 @@
+//! Multi-process membership churn on the TCP farm.
+//!
+//! The elastic-membership acceptance test from the roadmap: a master
+//! started with a quorum of two, six more workers piling in mid-run,
+//! three workers SIGKILLed while they may hold leases — and the frame
+//! hashes must still be byte-identical to the single-process thread
+//! backend. Worker exit codes are timing-dependent (a late joiner can
+//! find the run already over), so only the master's exit status and the
+//! hashes are asserted.
+
+use nowrender::anim::scenes::newton;
+use nowrender::core::{run_threads, CostModel, FarmConfig, PartitionScheme};
+use nowrender::raytrace::RenderSettings;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+/// A scene heavy enough that the churn below lands mid-run on a fast
+/// machine, but still seconds-scale in CI.
+const SCENE: &str = "demo:newton:8:80x60";
+const W: u32 = 80;
+const H: u32 = 60;
+const FRAMES: usize = 8;
+
+/// The configuration `nowfarm master` builds for `SCENE` with default
+/// flags (frame-division scheme, coherence on, 24^3 grid).
+fn master_cfg() -> FarmConfig {
+    FarmConfig {
+        scheme: PartitionScheme::FrameDivision {
+            tile_w: W.div_ceil(4),
+            tile_h: H.div_ceil(3),
+            adaptive: true,
+        },
+        coherence: true,
+        settings: RenderSettings::default(),
+        cost: CostModel::default(),
+        grid_voxels: 24 * 24 * 24,
+        keep_frames: false,
+    }
+}
+
+fn reference_hashes() -> Vec<u64> {
+    let anim = newton::animation_sized(W, H, FRAMES);
+    run_threads(&anim, &master_cfg(), 2).frame_hashes
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nowchurn_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir scratch");
+    dir
+}
+
+fn spawn_master(
+    dir: &Path,
+    hashes: &Path,
+    extra: &[&str],
+    env: &[(&str, &str)],
+) -> (Child, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_nowfarm"));
+    cmd.args(["master", SCENE, "--listen", "127.0.0.1:0", "--workers", "2"])
+        .args(extra)
+        .arg("--hashes")
+        .arg(hashes)
+        .arg("--out")
+        .arg(dir.join("frames"))
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    let mut master = cmd.spawn().expect("spawn master");
+    let stdout = master.stdout.take().expect("master stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("master exited before printing its address")
+            .expect("read master stdout");
+        if let Some(addr) = line.strip_prefix("listening on ") {
+            break addr.to_string();
+        }
+    };
+    // keep draining so the master never blocks on a full stdout pipe
+    std::thread::spawn(move || for _ in lines.by_ref() {});
+    (master, addr)
+}
+
+fn spawn_worker(addr: &str) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_nowfarm"))
+        .args(["worker", SCENE, "--connect", addr])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn worker")
+}
+
+fn read_hashes(path: &Path) -> Vec<u64> {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    text.lines()
+        .map(|l| u64::from_str_radix(l.trim(), 16).expect("hex hash line"))
+        .collect()
+}
+
+fn reap(mut w: Child) {
+    let _ = w.kill();
+    let _ = w.wait();
+}
+
+/// Two workers at the door, six more barging in mid-run, three SIGKILLed
+/// while possibly holding leases. The master must ride out all of it and
+/// produce the single-process hashes.
+#[test]
+fn churned_farm_matches_single_process() {
+    let dir = scratch_dir("mp");
+    let hashes = dir.join("hashes.txt");
+    let (mut master, addr) = spawn_master(&dir, &hashes, &[], &[]);
+
+    let mut fleet: Vec<Child> = (0..2).map(|_| spawn_worker(&addr)).collect();
+    // joiners arrive in two waves while units are already being rendered
+    std::thread::sleep(Duration::from_millis(150));
+    fleet.extend((0..3).map(|_| spawn_worker(&addr)));
+    std::thread::sleep(Duration::from_millis(150));
+    fleet.extend((0..3).map(|_| spawn_worker(&addr)));
+
+    // kill three of the eight — a founder and two mid-run joiners — with
+    // whatever leases they hold at that instant
+    std::thread::sleep(Duration::from_millis(150));
+    for i in [0usize, 3, 6] {
+        let _ = fleet[i].kill();
+    }
+
+    let status = master.wait().expect("wait master");
+    assert!(status.success(), "master exited with {status}");
+    assert_eq!(
+        read_hashes(&hashes),
+        reference_hashes(),
+        "churned membership must reproduce the single-process hashes"
+    );
+    for w in fleet {
+        reap(w);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The net-timing flags reach the poll loop: a master with a fast
+/// heartbeat and a short accept window still completes a clean run.
+#[test]
+fn net_timing_flags_are_honoured() {
+    let dir = scratch_dir("flags");
+    let hashes = dir.join("hashes.txt");
+    let (mut master, addr) = spawn_master(
+        &dir,
+        &hashes,
+        &["--heartbeat-s", "0.05", "--accept-window-s", "15"],
+        &[],
+    );
+    let fleet: Vec<Child> = (0..2).map(|_| spawn_worker(&addr)).collect();
+    let status = master.wait().expect("wait master");
+    assert!(status.success(), "master exited with {status}");
+    assert_eq!(read_hashes(&hashes), reference_hashes());
+    for w in fleet {
+        reap(w);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `NOW_NET_FAULTS` hard-drops the third accepted connection mid-run;
+/// the lease requeues and the output is still byte-identical.
+#[test]
+fn env_fault_plan_drops_a_connection_without_changing_output() {
+    let dir = scratch_dir("faults");
+    let hashes = dir.join("hashes.txt");
+    let (mut master, addr) = spawn_master(
+        &dir,
+        &hashes,
+        &[],
+        &[("NOW_NET_FAULTS", "seed=3;2:drop@8000")],
+    );
+    let fleet: Vec<Child> = (0..3).map(|_| spawn_worker(&addr)).collect();
+    let status = master.wait().expect("wait master");
+    assert!(status.success(), "master exited with {status}");
+    assert_eq!(
+        read_hashes(&hashes),
+        reference_hashes(),
+        "a fault-dropped connection must not change a single pixel"
+    );
+    for w in fleet {
+        reap(w);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -133,6 +133,7 @@ fn run_tcp(anim: &Animation, cfg: &FarmConfig, spec: Option<&JournalSpec>) -> Fa
         attempts: 4,
         backoff_s: 0.05,
         read_timeout_s: 10.0,
+        ..ConnectConfig::default()
     };
     let workers: Vec<_> = (0..2)
         .map(|_| {
