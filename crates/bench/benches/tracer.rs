@@ -39,6 +39,8 @@ fn main() {
             adaptive: None,
             threads: 1,
             trace: false,
+            tile_hint: 0,
+            packets: true,
         };
         bench(&format!("ray_depth/depth_{depth}"), 10, || {
             let mut stats = RayStats::default();
@@ -59,6 +61,8 @@ fn main() {
             adaptive: None,
             threads: 1,
             trace: false,
+            tile_hint: 0,
+            packets: true,
         };
         bench(&format!("supersampling/{n}x{n}"), 10, || {
             let mut stats = RayStats::default();

@@ -12,8 +12,17 @@
 //!   animation (the sort+dedup path that replaced the `BTreeSet`).
 //! * `pool_speedup` — the same full frame rendered by the intra-worker
 //!   tile pool at 1 thread and at N threads (default 4, override with
-//!   `BENCH_THREADS`): wall-clock speedup. On a single-core host this
-//!   hovers near 1.0; on CI-class hardware N=4 should exceed 1.5x.
+//!   `BENCH_THREADS`). `speedup` is the *deterministic* schedule speedup
+//!   (total rays / critical-path rays from [`ParallelStats`]): a pure
+//!   function of the scene and tile plan, comparable across hosts and the
+//!   number CI ratchets with `floor`. `wall_speedup` is the measured
+//!   wall-clock ratio alongside `host_cores` — on a single-core host it
+//!   hovers near 1.0 however good the schedule is.
+//! * `render_matrix_*` — per-frame timing and deterministic speedup for
+//!   64x48 and 320x240 at 1/2/4 pool threads.
+//! * `coherence_entry` — pixel-list footprint after one fully recorded
+//!   320x240 frame: entry count, encoded payload bytes, amortized
+//!   `entry_bytes`, and the ratio vs the old fixed 8-byte entries.
 //!
 //! The top-level `"trace"` key carries the `now-trace` counters and
 //! histograms (ray mix, voxel steps per ray, marks per ray) from one
@@ -28,7 +37,8 @@ use now_anim::scenes::{glassball, newton};
 use now_coherence::{changed_voxels, ChangeSet, CoherenceEngine};
 use now_grid::GridSpec;
 use now_raytrace::{
-    render_frame, render_frame_par, GridAccel, NullListener, RayStats, RenderSettings,
+    render_frame, render_frame_par, GridAccel, NullListener, ParallelStats, RayStats,
+    RenderSettings,
 };
 use std::hint::black_box;
 use std::time::Instant;
@@ -178,12 +188,15 @@ fn main() {
         extra: vec![("voxels".into(), voxels.to_string())],
     });
 
-    // --- tile pool: 1 thread vs N threads, wall clock ---
+    // --- tile pool: 1 thread vs N threads ---
+    // `speedup` is the deterministic schedule speedup (rays on the
+    // critical lane vs total rays); `wall_speedup` is the measured clock
+    // ratio, which a 1-core host caps near 1.0 regardless of the plan.
     let scene = newton::scene(pw, ph);
     let accel = GridAccel::build(&scene);
     let mut serial = settings.clone();
     serial.threads = 1;
-    let mut pooled = settings;
+    let mut pooled = settings.clone();
     pooled.threads = pool_threads;
     let (_, min_1) = time(pool_iters, || {
         let mut stats = RayStats::default();
@@ -195,17 +208,22 @@ fn main() {
             &mut stats,
         ));
     });
+    let mut par = ParallelStats::default();
     let (_, min_n) = time(pool_iters, || {
         let mut stats = RayStats::default();
-        black_box(render_frame_par(
+        let (fb, p) = render_frame_par(
             black_box(&scene),
             &accel,
             &pooled,
             &mut NullListener,
             &mut stats,
-        ));
+        );
+        par = p;
+        black_box(fb);
     });
-    let speedup = min_1 / min_n;
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     records.push(Record {
         name: "pool_speedup",
         mean_ns: min_n * 1e9,
@@ -214,10 +232,91 @@ fn main() {
             ("width".into(), pw.to_string()),
             ("height".into(), ph.to_string()),
             ("threads".into(), pool_threads.to_string()),
+            ("tiles".into(), par.tiles.to_string()),
             ("serial_ns".into(), format!("{:.0}", min_1 * 1e9)),
-            ("speedup".into(), format!("{speedup:.3}")),
+            ("speedup".into(), format!("{:.3}", par.speedup())),
+            ("wall_speedup".into(), format!("{:.3}", min_1 / min_n)),
+            ("host_cores".into(), host_cores.to_string()),
+            // CI regression floor for `speedup`, ratcheted by the PR that
+            // introduced packet tracing + right-sized tiles
+            ("floor".into(), "3.0".into()),
         ],
     });
+
+    // --- render matrix: two frame sizes at 1/2/4 pool threads ---
+    let matrix_iters = if smoke { 2 } else { 4 };
+    for &(mw, mh) in &[(64u32, 48u32), (320, 240)] {
+        let scene = newton::scene(mw, mh);
+        let accel = GridAccel::build(&scene);
+        for &threads in &[1u32, 2, 4] {
+            let mut s = settings.clone();
+            s.threads = threads;
+            let mut par = ParallelStats::default();
+            let mut rays = 0u64;
+            let (mean, min) = time(matrix_iters, || {
+                let mut stats = RayStats::default();
+                let (fb, p) =
+                    render_frame_par(black_box(&scene), &accel, &s, &mut NullListener, &mut stats);
+                par = p;
+                rays = stats.total_rays();
+                black_box(fb);
+            });
+            records.push(Record {
+                name: Box::leak(format!("render_{mw}x{mh}_t{threads}").into_boxed_str()),
+                mean_ns: mean * 1e9,
+                min_ns: min * 1e9,
+                extra: vec![
+                    ("width".into(), mw.to_string()),
+                    ("height".into(), mh.to_string()),
+                    ("threads".into(), threads.to_string()),
+                    ("tiles".into(), par.tiles.to_string()),
+                    ("rays".into(), rays.to_string()),
+                    ("speedup".into(), format!("{:.3}", par.speedup())),
+                ],
+            });
+        }
+    }
+
+    // --- coherence entry footprint after one full 320x240 frame ---
+    {
+        let (cw, ch) = (320u32, 240u32);
+        let scene = newton::scene(cw, ch);
+        let accel = GridAccel::build(&scene);
+        let cspec = GridSpec::for_scene(scene.bounds(), 24 * 24 * 24);
+        let mut engine = CoherenceEngine::new(cspec, (cw * ch) as usize);
+        let mut stats = RayStats::default();
+        let t0 = Instant::now();
+        black_box(render_frame(
+            black_box(&scene),
+            &accel,
+            &settings,
+            &mut engine,
+            &mut stats,
+        ));
+        let dt = t0.elapsed().as_secs_f64();
+        let entries = engine.entry_count();
+        let payload = engine.payload_bytes();
+        let entry_bytes = engine.entry_bytes();
+        records.push(Record {
+            name: "coherence_entry",
+            mean_ns: dt * 1e9,
+            min_ns: dt * 1e9,
+            extra: vec![
+                ("width".into(), cw.to_string()),
+                ("height".into(), ch.to_string()),
+                ("entry_count".into(), entries.to_string()),
+                ("payload_bytes".into(), payload.to_string()),
+                ("memory_bytes".into(), engine.memory_bytes().to_string()),
+                ("entry_bytes".into(), format!("{entry_bytes:.3}")),
+                // how much smaller than the old fixed-width (pixel, gen)
+                // pairs the encoded lists are
+                (
+                    "bytes_ratio_vs_fixed8".into(),
+                    format!("{:.2}", entries as f64 * 8.0 / payload.max(1) as f64),
+                ),
+            ],
+        });
+    }
 
     // --- hand-rolled JSON (no serde in the workspace) ---
     let mut out = String::from("{\n");

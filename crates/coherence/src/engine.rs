@@ -1,18 +1,10 @@
 //! The per-voxel pixel-list data structure.
 
+use crate::plist::PixelList;
 use now_grid::dda::Traverse;
 use now_grid::{GridCells, GridSpec, Voxel};
 use now_math::{Interval, Ray};
 use now_raytrace::{PixelId, RayKind, RayListener};
-
-/// One pixel-list entry: which pixel, and under which generation of that
-/// pixel it was recorded. Entries with a stale generation are ignored (the
-/// pixel has been re-rendered since) and purged lazily.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Entry {
-    pixel: PixelId,
-    gen: u32,
-}
 
 /// Stamp value that never equals a real `(pixel, gen)` pair (pixel ids are
 /// bounded well below `u32::MAX`).
@@ -33,6 +25,10 @@ pub struct CoherenceStats {
     pub rays_recorded: u64,
     /// High-water mark of `entries`.
     pub peak_entries: u64,
+    /// Encoded pixel-list payload bytes currently stored (the working-set
+    /// cost the cost model charges; ~1–2 bytes amortized per entry with
+    /// the delta/varint encoding, vs 8 for the old `(pixel, gen)` pairs).
+    pub list_bytes: u64,
 }
 
 /// The frame-coherence data structure: a uniform grid whose voxels each
@@ -46,10 +42,10 @@ pub struct CoherenceStats {
 /// stale entries), generation counters, dedup stamps and statistics — so
 /// tests can assert that two render paths (e.g. 1-thread and N-thread)
 /// left the engine in exactly the same state.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct CoherenceEngine {
     spec: GridSpec,
-    lists: GridCells<Vec<Entry>>,
+    lists: GridCells<PixelList>,
     /// Current generation per pixel; entries recorded under older
     /// generations are stale.
     gen: Vec<u32>,
@@ -58,6 +54,21 @@ pub struct CoherenceEngine {
     /// once. Initialised to a sentinel that no real (pixel, gen) can match.
     stamps: GridCells<(PixelId, u32)>,
     stats: CoherenceStats,
+    /// Reusable re-encode buffer for purge passes (not part of the
+    /// engine's observable state; excluded from `PartialEq`).
+    scratch: Vec<u8>,
+}
+
+impl PartialEq for CoherenceEngine {
+    fn eq(&self, other: &CoherenceEngine) -> bool {
+        // `scratch` is scratch — two engines with identical observable
+        // state must compare equal regardless of purge history.
+        self.spec == other.spec
+            && self.lists == other.lists
+            && self.gen == other.gen
+            && self.stamps == other.stamps
+            && self.stats == other.stats
+    }
 }
 
 impl CoherenceEngine {
@@ -69,6 +80,7 @@ impl CoherenceEngine {
             gen: vec![0; pixel_count],
             stamps: GridCells::filled(spec, STAMP_SENTINEL),
             stats: CoherenceStats::default(),
+            scratch: Vec::new(),
         }
     }
 
@@ -86,14 +98,36 @@ impl CoherenceEngine {
 
     /// Approximate bytes held by the pixel lists (the paper's observation
     /// that "memory requirements are directly proportional to the size of
-    /// the image area" is measured through this).
+    /// the image area" is measured through this). Counts list capacity,
+    /// not just encoded payload; see [`CoherenceEngine::payload_bytes`]
+    /// for the latter.
     pub fn memory_bytes(&self) -> usize {
         self.lists
             .as_slice()
             .iter()
-            .map(|l| l.capacity() * std::mem::size_of::<Entry>())
+            .map(PixelList::capacity_bytes)
             .sum::<usize>()
             + self.gen.len() * 4
+    }
+
+    /// Encoded pixel-list payload bytes currently stored.
+    pub fn payload_bytes(&self) -> usize {
+        self.lists
+            .as_slice()
+            .iter()
+            .map(PixelList::payload_bytes)
+            .sum()
+    }
+
+    /// Amortized encoded bytes per stored entry (8.0 was the old
+    /// fixed-width cost; the delta/varint encoding lands around 1–2).
+    pub fn entry_bytes(&self) -> f64 {
+        let n = self.entry_count();
+        if n == 0 {
+            0.0
+        } else {
+            self.payload_bytes() as f64 / n as f64
+        }
     }
 
     /// The set of pixels (deduplicated, ascending) whose recorded rays pass
@@ -119,21 +153,24 @@ impl CoherenceEngine {
         let mut seen = vec![false; self.gen.len()];
         for &v in changed {
             let gen = &self.gen;
-            let before;
-            {
-                let list = self.lists.get_mut(v);
-                before = list.len();
-                list.retain(|e| e.gen == gen[e.pixel as usize]);
-                for e in list.iter() {
-                    if !seen[e.pixel as usize] {
-                        seen[e.pixel as usize] = true;
-                        dirty.push(e.pixel);
-                    }
+            let scratch = &mut self.scratch;
+            let list = self.lists.get_mut(v);
+            let bytes_before = list.payload_bytes();
+            // single decode pass: purge stale entries and collect the live
+            // ones into the dirty set as they stream by
+            let removed = list.retain(scratch, |pixel, g| {
+                if g != gen[pixel as usize] {
+                    return false;
                 }
-            }
-            let after = self.lists.get(v).len();
-            self.stats.purged += (before - after) as u64;
-            self.stats.entries -= (before - after) as u64;
+                if !seen[pixel as usize] {
+                    seen[pixel as usize] = true;
+                    dirty.push(pixel);
+                }
+                true
+            });
+            self.stats.purged += removed as u64;
+            self.stats.entries -= removed as u64;
+            self.stats.list_bytes -= (bytes_before - list.payload_bytes()) as u64;
         }
         dirty.sort_unstable();
         dirty
@@ -152,19 +189,22 @@ impl CoherenceEngine {
     /// incremental renderer calls this when the stale fraction grows).
     pub fn compact(&mut self) {
         let gen = &self.gen;
+        let scratch = &mut self.scratch;
         let mut purged = 0u64;
+        let mut bytes_freed = 0u64;
         for (_, list) in self.lists.iter_mut() {
-            let before = list.len();
-            list.retain(|e| e.gen == gen[e.pixel as usize]);
-            purged += (before - list.len()) as u64;
+            let bytes_before = list.payload_bytes();
+            purged += list.retain(scratch, |pixel, g| g == gen[pixel as usize]) as u64;
+            bytes_freed += (bytes_before - list.payload_bytes()) as u64;
         }
         self.stats.purged += purged;
         self.stats.entries -= purged;
+        self.stats.list_bytes -= bytes_freed;
     }
 
     /// Total live + stale entries currently stored.
     pub fn entry_count(&self) -> usize {
-        self.lists.as_slice().iter().map(Vec::len).sum()
+        self.lists.as_slice().iter().map(PixelList::len).sum()
     }
 
     /// Pixels recorded in a voxel's list under their current generation
@@ -173,8 +213,8 @@ impl CoherenceEngine {
         self.lists
             .get(v)
             .iter()
-            .filter(|e| e.gen == self.gen[e.pixel as usize])
-            .map(|e| e.pixel)
+            .filter(|&(pixel, g)| g == self.gen[pixel as usize])
+            .map(|(pixel, _)| pixel)
             .collect()
     }
 }
@@ -196,7 +236,7 @@ impl RayListener for CoherenceEngine {
             let stamp = stamps.get_mut(step.voxel);
             if *stamp != (pixel, gen) {
                 *stamp = (pixel, gen);
-                lists.get_mut(step.voxel).push(Entry { pixel, gen });
+                stats.list_bytes += lists.get_mut(step.voxel).push(pixel, gen) as u64;
                 stats.entries += 1;
                 stats.peak_entries = stats.peak_entries.max(stats.entries);
             }
@@ -359,5 +399,62 @@ mod tests {
             f64::INFINITY,
         );
         assert_eq!(e.entry_count(), 0);
+    }
+
+    /// Compaction is a pure space optimization: the dirty sets reported for
+    /// every voxel must be identical before and after, and the encoded
+    /// payload must not grow. This is the contract that lets the renderer
+    /// call `compact()` at any frame boundary.
+    #[test]
+    fn compaction_never_changes_dirty_pixels() {
+        let mut s = 0x00c0_ffee_1234_5678u64;
+        let mut rng = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s >> 11
+        };
+        let mut e = engine();
+        for _ in 0..200 {
+            let pixel = (rng() % 100) as PixelId;
+            let y = (rng() % 400) as f64 / 100.0;
+            let z = (rng() % 400) as f64 / 100.0;
+            e.on_ray(pixel, &x_ray(y, z), RayKind::Primary, f64::INFINITY);
+            if rng() % 5 == 0 {
+                e.invalidate_pixels(&[(rng() % 100) as PixelId]);
+            }
+        }
+        let every_voxel: Vec<Voxel> = (0..4)
+            .flat_map(|x| (0..4).flat_map(move |y| (0..4).map(move |z| Voxel::new(x, y, z))))
+            .collect();
+        // dirty_pixels purges as it reads, so query clones
+        let before: Vec<Vec<PixelId>> = every_voxel
+            .iter()
+            .map(|&v| e.clone().dirty_pixels(&[v]))
+            .collect();
+        let payload_before = e.payload_bytes();
+        e.compact();
+        assert!(
+            e.payload_bytes() <= payload_before,
+            "compaction grew payload"
+        );
+        assert_eq!(
+            e.entry_count() as u64 * 8,
+            // stats.entries tracks live count; every survivor costs <= 8
+            e.stats().entries * 8
+        );
+        let after: Vec<Vec<PixelId>> = every_voxel
+            .iter()
+            .map(|&v| e.clone().dirty_pixels(&[v]))
+            .collect();
+        assert_eq!(before, after);
+        // and the amortized entry cost is small: the whole point
+        if e.entry_count() > 0 {
+            assert!(
+                e.entry_bytes() < 8.0,
+                "entry_bytes {} should beat the old fixed-width 8",
+                e.entry_bytes()
+            );
+        }
     }
 }

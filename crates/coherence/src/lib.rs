@@ -35,6 +35,7 @@ pub mod diff;
 pub mod engine;
 pub mod incremental;
 pub mod jevans;
+pub mod plist;
 pub mod region;
 
 pub use change::{changed_voxels, ChangeSet};
@@ -42,4 +43,5 @@ pub use diff::DiffMaps;
 pub use engine::{CoherenceEngine, CoherenceStats};
 pub use incremental::{CoherentRenderer, FrameReport};
 pub use jevans::JevansRenderer;
+pub use plist::PixelList;
 pub use region::{PixelRegion, TileError};

@@ -1,0 +1,313 @@
+//! Compact per-voxel pixel list: delta + varint encoded `(pixel, gen)`
+//! entries.
+//!
+//! The naive representation — `Vec<(u32, u32)>`, 8 bytes per entry — is
+//! what pushed the 320x240 working set into paging (EXPERIMENTS.md note
+//! (a)). Rays of neighboring pixels cross the same voxels, so a voxel's
+//! pixel list is *nearly sorted with small gaps*: consecutive entries
+//! differ by a few scanline positions, and almost all entries in a frame
+//! share one generation. Delta-encoding the pixel id (zigzag + LEB128)
+//! and storing the generation only when it changes brings the amortized
+//! cost to ~1–2 bytes per live entry.
+//!
+//! Wire format, per entry, relative to the previous entry (stream state
+//! starts at `(pixel, gen) = (0, 0)`):
+//!
+//! ```text
+//! head  = varint( zigzag(pixel - prev_pixel) << 1 | (gen != prev_gen) )
+//! [gen  = varint(gen)]          -- only when the flag bit is set
+//! ```
+//!
+//! The list is append-only except for [`PixelList::retain`], which
+//! re-encodes the survivors through a caller-provided scratch buffer. A
+//! re-encode never grows the payload: dropping entries only removes
+//! bytes from the stream, and the spliced-together deltas cannot encode
+//! longer than the pair of deltas they replace (varint length is
+//! subadditive in the delta magnitude), so `retain` needs no reallocation
+//! headroom.
+
+/// Encoded list of `(pixel, gen)` entries in insertion order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PixelList {
+    bytes: Vec<u8>,
+    len: u32,
+    tail_pixel: u32,
+    tail_gen: u32,
+}
+
+#[inline]
+fn zigzag(d: i64) -> u64 {
+    ((d << 1) ^ (d >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+#[inline]
+fn write_varint(out: &mut Vec<u8>, mut v: u64) -> usize {
+    let mut n = 0;
+    loop {
+        n += 1;
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return n;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+#[inline]
+fn read_varint(bytes: &[u8], pos: &mut usize) -> u64 {
+    let mut v = 0u64;
+    let mut shift = 0;
+    loop {
+        let b = bytes[*pos];
+        *pos += 1;
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+/// Append one entry to `out` given the previous stream state; returns the
+/// bytes written and the new state.
+#[inline]
+fn encode_entry(out: &mut Vec<u8>, prev: (u32, u32), pixel: u32, gen: u32) -> usize {
+    let delta = pixel as i64 - prev.0 as i64;
+    let flag = (gen != prev.1) as u64;
+    let mut n = write_varint(out, (zigzag(delta) << 1) | flag);
+    if flag != 0 {
+        n += write_varint(out, gen as u64);
+    }
+    n
+}
+
+impl PixelList {
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when no entries are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Encoded payload size in bytes.
+    #[inline]
+    pub fn payload_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Heap bytes held (capacity, not just payload).
+    #[inline]
+    pub fn capacity_bytes(&self) -> usize {
+        self.bytes.capacity()
+    }
+
+    /// Append `(pixel, gen)`; returns the encoded bytes added.
+    #[inline]
+    pub fn push(&mut self, pixel: u32, gen: u32) -> usize {
+        let n = encode_entry(
+            &mut self.bytes,
+            (self.tail_pixel, self.tail_gen),
+            pixel,
+            gen,
+        );
+        self.tail_pixel = pixel;
+        self.tail_gen = gen;
+        self.len += 1;
+        n
+    }
+
+    /// Iterate the entries in insertion order.
+    #[inline]
+    pub fn iter(&self) -> PixelListIter<'_> {
+        PixelListIter {
+            bytes: &self.bytes,
+            pos: 0,
+            pixel: 0,
+            gen: 0,
+            remaining: self.len,
+        }
+    }
+
+    /// Keep only entries for which `keep(pixel, gen)` is true, preserving
+    /// order; returns how many entries were removed. Survivors are
+    /// re-encoded through `scratch` (cleared and reused; lives on the
+    /// engine so the purge path never allocates in steady state).
+    pub fn retain(
+        &mut self,
+        scratch: &mut Vec<u8>,
+        mut keep: impl FnMut(u32, u32) -> bool,
+    ) -> usize {
+        scratch.clear();
+        let mut kept = 0u32;
+        let mut prev = (0u32, 0u32);
+        for (pixel, gen) in self.iter() {
+            if keep(pixel, gen) {
+                encode_entry(scratch, prev, pixel, gen);
+                prev = (pixel, gen);
+                kept += 1;
+            }
+        }
+        let removed = self.len - kept;
+        debug_assert!(
+            scratch.len() <= self.bytes.len(),
+            "re-encode must never grow the payload"
+        );
+        self.bytes.clear();
+        self.bytes.extend_from_slice(scratch);
+        self.len = kept;
+        self.tail_pixel = prev.0;
+        self.tail_gen = prev.1;
+        removed as usize
+    }
+}
+
+/// Decoding iterator over a [`PixelList`]; yields `(pixel, gen)`.
+#[derive(Debug, Clone)]
+pub struct PixelListIter<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    pixel: u32,
+    gen: u32,
+    remaining: u32,
+}
+
+impl Iterator for PixelListIter<'_> {
+    type Item = (u32, u32);
+
+    #[inline]
+    fn next(&mut self) -> Option<(u32, u32)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let head = read_varint(self.bytes, &mut self.pos);
+        self.pixel = (self.pixel as i64 + unzigzag(head >> 1)) as u32;
+        if head & 1 != 0 {
+            self.gen = read_varint(self.bytes, &mut self.pos) as u32;
+        }
+        Some((self.pixel, self.gen))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+impl ExactSizeIterator for PixelListIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state >> 11
+    }
+
+    #[test]
+    fn push_iter_round_trip() {
+        let mut l = PixelList::default();
+        let entries = [
+            (5u32, 0u32),
+            (6, 0),
+            (4, 0),
+            (4, 1),
+            (1_000_000, 7),
+            (0, 7),
+            (u32::MAX - 1, u32::MAX),
+        ];
+        for &(p, g) in &entries {
+            l.push(p, g);
+        }
+        assert_eq!(l.len(), entries.len());
+        let got: Vec<_> = l.iter().collect();
+        assert_eq!(got, entries);
+    }
+
+    #[test]
+    fn scanline_neighbors_cost_about_a_byte() {
+        // the common case: consecutive pixels, one generation
+        let mut l = PixelList::default();
+        let mut total = 0;
+        for p in 100..1100u32 {
+            total += l.push(p, 0);
+        }
+        assert_eq!(l.payload_bytes(), total);
+        // first entry pays the absolute delta; the rest are 1 byte each
+        assert!(
+            l.payload_bytes() <= 1005,
+            "payload {} for 1000 entries",
+            l.payload_bytes()
+        );
+        assert_eq!(l.iter().count(), 1000);
+    }
+
+    #[test]
+    fn retain_matches_vec_model_and_never_grows() {
+        let mut s = 0xabcdef12_34567890u64;
+        for case in 0..300 {
+            let mut l = PixelList::default();
+            let mut model: Vec<(u32, u32)> = Vec::new();
+            let n = (rng(&mut s) % 60) as usize;
+            let mut pixel = 0u32;
+            for _ in 0..n {
+                // random walk with occasional big jumps, like real lists
+                pixel = if rng(&mut s).is_multiple_of(10) {
+                    (rng(&mut s) % 1_000_000) as u32
+                } else {
+                    pixel.wrapping_add((rng(&mut s) % 7) as u32).min(1 << 24)
+                };
+                let gen = (rng(&mut s) % 3) as u32;
+                l.push(pixel, gen);
+                model.push((pixel, gen));
+            }
+            let before = l.payload_bytes();
+            let keep_mod = 1 + (rng(&mut s) % 4) as u32;
+            let mut scratch = Vec::new();
+            let removed = l.retain(&mut scratch, |p, _| p % keep_mod == 0);
+            model.retain(|&(p, _)| p % keep_mod == 0);
+            assert_eq!(removed, n - model.len(), "case {case}");
+            assert_eq!(l.len(), model.len(), "case {case}");
+            assert_eq!(l.iter().collect::<Vec<_>>(), model, "case {case}");
+            assert!(l.payload_bytes() <= before, "case {case}: payload grew");
+            // a second retain over the survivors is a no-op
+            let removed2 = l.retain(&mut scratch, |_, _| true);
+            assert_eq!(removed2, 0);
+            assert_eq!(
+                l.iter().collect::<Vec<_>>(),
+                model,
+                "case {case} idempotence"
+            );
+        }
+    }
+
+    #[test]
+    fn varint_round_trip_extremes() {
+        let mut out = Vec::new();
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            out.clear();
+            let n = write_varint(&mut out, v);
+            assert_eq!(n, out.len());
+            let mut pos = 0;
+            assert_eq!(read_varint(&out, &mut pos), v);
+            assert_eq!(pos, out.len());
+        }
+        for d in [0i64, 1, -1, 63, -64, i32::MAX as i64, -(i32::MAX as i64)] {
+            assert_eq!(unzigzag(zigzag(d)), d);
+        }
+    }
+}

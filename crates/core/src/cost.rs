@@ -15,7 +15,7 @@
 //! (speed 1.0): a few tens of thousands of rays per second.
 
 use now_coherence::CoherenceStats;
-use now_raytrace::{ParallelStats, RayStats};
+use now_raytrace::{critical_path, plan_tile_size, ParallelStats, RayStats};
 
 /// Work pricing constants (seconds of speed-1.0 CPU per operation).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -88,16 +88,56 @@ impl CostModel {
             + copied_pixels as f64 * self.per_copied_pixel_s
     }
 
+    /// Predicted pool statistics for a frame of `pixels` pixels firing
+    /// `total_rays` rays on `threads` threads, planned with the *same*
+    /// [`plan_tile_size`] the real tile pool uses — so a `--tile WxH` hint
+    /// ([`RenderSettings::tile_hint`]) means exactly the same thing to the
+    /// cost model as to the renderer. Rays are assumed uniform per pixel;
+    /// the prediction is the deterministic greedy schedule over the
+    /// resulting tiles.
+    ///
+    /// [`RenderSettings::tile_hint`]: now_raytrace::RenderSettings::tile_hint
+    pub fn predicted_pool_stats(
+        &self,
+        total_rays: u64,
+        pixels: usize,
+        threads: u32,
+        tile_hint: u32,
+    ) -> ParallelStats {
+        let threads = threads.max(1);
+        if threads == 1 || pixels == 0 {
+            return ParallelStats::serial(total_rays);
+        }
+        let tile = plan_tile_size(pixels, threads, tile_hint);
+        let tiles = pixels.div_ceil(tile);
+        // spread rays over tiles proportionally to tile pixel counts
+        let mut tile_rays = Vec::with_capacity(tiles);
+        for i in 0..tiles {
+            let start = i * tile;
+            let end = (start + tile).min(pixels);
+            tile_rays.push(total_rays * (end - start) as u64 / pixels as u64);
+        }
+        ParallelStats {
+            threads,
+            tiles: tiles as u32,
+            total_rays,
+            critical_rays: critical_path(&tile_rays, threads),
+        }
+    }
+
     /// CPU seconds to write one finished frame to disk (24-bit Targa).
     pub fn file_write_work(&self, width: u32, height: u32) -> f64 {
         (18 + width as u64 * height as u64 * 3) as f64 * self.per_file_byte_s
     }
 
     /// Working-set estimate in MB for a coherent worker: framebuffer pair
-    /// plus the engine's pixel lists.
+    /// plus the engine's pixel lists. The engine term charges the *encoded*
+    /// list bytes the engine reports (`CoherenceStats::list_bytes`, ~1–2
+    /// bytes amortized per entry since the delta/varint compaction), not a
+    /// fixed 8 bytes per entry.
     pub fn working_set_mb(&self, region_pixels: usize, coherence: &CoherenceStats) -> f64 {
         let fb = region_pixels as f64 * 2.0 * 24.0; // two Color buffers
-        let engine = coherence.entries as f64 * 8.0 * self.engine_bytes_factor;
+        let engine = coherence.list_bytes as f64 * self.engine_bytes_factor;
         (fb + engine) / (1024.0 * 1024.0)
     }
 }
@@ -180,18 +220,58 @@ mod tests {
     }
 
     #[test]
-    fn working_set_grows_with_entries() {
+    fn working_set_grows_with_list_bytes() {
         let m = CostModel::default();
         let empty = CoherenceStats::default();
+        // ~1M entries at the compact encoding's ~1.5 B/entry
         let mut busy = CoherenceStats {
             entries: 1_000_000,
+            list_bytes: 1_500_000,
             ..Default::default()
         };
         assert!(m.working_set_mb(76_800, &busy) > m.working_set_mb(76_800, &empty));
-        // a full 320x240 engine with ~10M entries is tens of MB — the
-        // regime where the paper's 32 MB slaves start paging
+        // paging now needs ~4-8x the entries it used to: only when the
+        // *encoded* lists outgrow the paper's 32 MB slaves does the model
+        // start charging page faults
         busy.entries = 10_000_000;
+        busy.list_bytes = 15_000_000;
+        let mb = m.working_set_mb(76_800, &busy);
+        assert!(mb < 32.0, "{mb} MB should fit since compaction");
+        busy.list_bytes = 48_000_000;
         let mb = m.working_set_mb(76_800, &busy);
         assert!(mb > 32.0, "{mb} MB");
+    }
+
+    #[test]
+    fn predicted_pool_stats_follow_the_tile_hint() {
+        let m = CostModel::default();
+        // small enough that a 2-tile hint stays inside the pool's
+        // MIN_TILE..=MAX_TILE clamp
+        let pixels = 64 * 48;
+        let rays = 500_000u64;
+        // serial prediction is exactly serial
+        assert_eq!(
+            m.predicted_pool_stats(rays, pixels, 1, 0),
+            ParallelStats::serial(rays)
+        );
+        // auto planning at 4 threads: near-perfect predicted speedup for
+        // uniform rays (many equal tiles round-robin onto the lanes)
+        let auto = m.predicted_pool_stats(rays, pixels, 4, 0);
+        assert_eq!(auto.threads, 4);
+        assert!(auto.speedup() > 3.5, "{}", auto.speedup());
+        // a coarse explicit hint (2 giant tiles) caps the speedup at ~2
+        let coarse = m.predicted_pool_stats(rays, pixels, 4, (pixels / 2) as u32);
+        assert!(coarse.tiles < auto.tiles);
+        assert!(coarse.speedup() < 2.5, "{}", coarse.speedup());
+        // and the hinted plan feeds straight into parallel_render_work
+        let stats = RayStats {
+            primary: rays,
+            pixels: pixels as u64,
+            ..Default::default()
+        };
+        assert!(
+            m.parallel_render_work(&stats, 0, 0, &auto)
+                < m.parallel_render_work(&stats, 0, 0, &coarse)
+        );
     }
 }

@@ -38,21 +38,21 @@ pub struct DdaStep {
 /// ```
 #[derive(Debug, Clone)]
 pub struct GridTraversal {
-    spec: GridSpec,
+    pub(crate) spec: GridSpec,
     // current voxel coordinates as signed values so stepping off the grid is
     // representable
-    ix: i32,
-    iy: i32,
-    iz: i32,
-    step: [i32; 3],
+    pub(crate) ix: i32,
+    pub(crate) iy: i32,
+    pub(crate) iz: i32,
+    pub(crate) step: [i32; 3],
     // t at which the ray crosses the *next* boundary on each axis
-    t_max: [f64; 3],
+    pub(crate) t_max: [f64; 3],
     // t advance per voxel on each axis
-    t_delta: [f64; 3],
+    pub(crate) t_delta: [f64; 3],
     // current entry t and overall exit t
-    t: f64,
-    t_end: f64,
-    done: bool,
+    pub(crate) t: f64,
+    pub(crate) t_end: f64,
+    pub(crate) done: bool,
 }
 
 impl GridTraversal {
@@ -61,18 +61,7 @@ impl GridTraversal {
     pub fn new(spec: &GridSpec, ray: &Ray, t_range: Interval) -> GridTraversal {
         let clipped = spec.bounds.ray_range(ray, t_range);
         if clipped.is_empty() || clipped.length() <= 0.0 {
-            return GridTraversal {
-                spec: *spec,
-                ix: 0,
-                iy: 0,
-                iz: 0,
-                step: [0; 3],
-                t_max: [0.0; 3],
-                t_delta: [0.0; 3],
-                t: 0.0,
-                t_end: -1.0,
-                done: true,
-            };
+            return GridTraversal::exhausted(spec);
         }
         let t0 = clipped.min;
         let t1 = clipped.max;
@@ -115,6 +104,23 @@ impl GridTraversal {
             t: t0,
             t_end: t1,
             done: false,
+        }
+    }
+
+    /// A traversal that yields nothing (used for rays that miss the grid and
+    /// for unused packet lanes).
+    pub(crate) fn exhausted(spec: &GridSpec) -> GridTraversal {
+        GridTraversal {
+            spec: *spec,
+            ix: 0,
+            iy: 0,
+            iz: 0,
+            step: [0; 3],
+            t_max: [0.0; 3],
+            t_delta: [0.0; 3],
+            t: 0.0,
+            t_end: -1.0,
+            done: true,
         }
     }
 

@@ -18,8 +18,10 @@
 
 pub mod cells;
 pub mod dda;
+pub mod packet;
 pub mod spec;
 
 pub use cells::GridCells;
 pub use dda::{DdaStep, GridTraversal};
+pub use packet::{PacketTraversal, PACKET_WIDTH};
 pub use spec::{GridSpec, Voxel};

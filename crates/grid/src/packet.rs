@@ -1,0 +1,251 @@
+//! Coherent ray-packet traversal.
+//!
+//! Neighboring primary rays enter the grid through almost the same voxels,
+//! so setting their DDA walks up together amortizes the slab clip and the
+//! per-axis boundary math across SIMD lanes (see `now_math::simd`). The
+//! determinism contract still rules: **each lane of a
+//! [`PacketTraversal`] is an ordinary [`GridTraversal`] value**, produced
+//! either by the scalar constructor or by a SIMD setup path whose per-lane
+//! arithmetic is bit-identical to it. Stepping a lane delegates to the
+//! scalar iterator, so the voxel sequence a packet lane visits is equal to
+//! the sequence the scalar walk visits *by construction* — the packet path
+//! can batch work but cannot change output.
+//!
+//! Packets are used for coherent primary rays only; incoherent secondaries
+//! (shadow/reflection/transmission) stay on the scalar path, where a
+//! shared setup would win nothing.
+
+use crate::dda::{DdaStep, GridTraversal};
+use crate::spec::GridSpec;
+use now_math::{simd, Interval, Ray};
+
+/// Number of rays traced together in one packet.
+pub const PACKET_WIDTH: usize = 4;
+
+/// Up to [`PACKET_WIDTH`] independent DDA walks set up together.
+///
+/// Lanes beyond the constructed ray count are exhausted traversals that
+/// yield nothing.
+#[derive(Debug, Clone)]
+pub struct PacketTraversal {
+    lanes: [GridTraversal; PACKET_WIDTH],
+    n: usize,
+}
+
+impl PacketTraversal {
+    /// Set up traversals for `rays` (at most [`PACKET_WIDTH`]) clipped to
+    /// `t_range`. Uses the SIMD pair kernels when `now_math::simd` is
+    /// enabled, the scalar constructor otherwise; both produce bit-identical
+    /// lane state.
+    pub fn new(spec: &GridSpec, rays: &[Ray], t_range: Interval) -> PacketTraversal {
+        assert!(
+            rays.len() <= PACKET_WIDTH,
+            "packet holds at most {PACKET_WIDTH} rays"
+        );
+        let lanes = if simd::enabled() {
+            Self::setup_simd(spec, rays, t_range)
+        } else {
+            std::array::from_fn(|l| match rays.get(l) {
+                Some(r) => GridTraversal::new(spec, r, t_range),
+                None => GridTraversal::exhausted(spec),
+            })
+        };
+        PacketTraversal {
+            lanes,
+            n: rays.len(),
+        }
+    }
+
+    fn setup_simd(
+        spec: &GridSpec,
+        rays: &[Ray],
+        t_range: Interval,
+    ) -> [GridTraversal; PACKET_WIDTH] {
+        let size = spec.voxel_size();
+        let bmin = spec.bounds.min;
+        let sz = [size.x, size.y, size.z];
+        let bm = [bmin.x, bmin.y, bmin.z];
+
+        let mut lanes: [GridTraversal; PACKET_WIDTH] =
+            std::array::from_fn(|_| GridTraversal::exhausted(spec));
+
+        // Clip ray pairs through the 2-lane slab kernel (bit-identical per
+        // lane to Aabb::ray_range), then finish each pair's axis setup with
+        // the 2-lane DDA init kernel. Odd tails are padded by duplicating
+        // the last ray; the duplicate lane's results are discarded.
+        let mut pair = 0;
+        while pair < rays.len() {
+            let a = pair;
+            let b = (pair + 1).min(rays.len() - 1);
+            let clips = spec.bounds.ray_range2(&rays[a], &rays[b], t_range);
+
+            // Per-lane scalar prologue: entry nudge + start voxel. This is
+            // identical to GridTraversal::new and cheap relative to the
+            // divides batched below.
+            let mut live = [false; 2];
+            let mut idx = [[0.0f64; 2]; 3]; // [axis][lane]
+            let mut ivox = [[0i32; 3]; 2]; // [lane][axis]
+            let mut orig = [[0.0f64; 2]; 3];
+            let mut dir = [[0.0f64; 2]; 3];
+            for (l, ray_i) in [a, b].into_iter().enumerate() {
+                let clipped = clips[l];
+                if clipped.is_empty() || clipped.length() <= 0.0 {
+                    continue;
+                }
+                live[l] = true;
+                let ray = &rays[ray_i];
+                let t0 = clipped.min;
+                let entry = ray.at(t0 + 1e-12 * (1.0 + t0.abs()));
+                let start = spec.voxel_of_clamped(entry);
+                ivox[l] = [start.x as i32, start.y as i32, start.z as i32];
+                idx[0][l] = start.x as f64;
+                idx[1][l] = start.y as f64;
+                idx[2][l] = start.z as f64;
+                orig[0][l] = ray.origin.x;
+                orig[1][l] = ray.origin.y;
+                orig[2][l] = ray.origin.z;
+                dir[0][l] = ray.dir.x;
+                dir[1][l] = ray.dir.y;
+                dir[2][l] = ray.dir.z;
+            }
+
+            let mut step = [[0i32; 3]; 2]; // [lane][axis]
+            let mut t_max = [[0.0f64; 3]; 2];
+            let mut t_delta = [[0.0f64; 3]; 2];
+            for axis in 0..3 {
+                let (s2, m2, d2) =
+                    simd::dda_axis_init2(bm[axis], sz[axis], idx[axis], orig[axis], dir[axis]);
+                for l in 0..2 {
+                    step[l][axis] = s2[l];
+                    t_max[l][axis] = m2[l];
+                    t_delta[l][axis] = d2[l];
+                }
+            }
+
+            for l in 0..2 {
+                let lane = pair + l;
+                if lane >= rays.len() {
+                    break;
+                }
+                if live[l] {
+                    lanes[lane] = GridTraversal {
+                        spec: *spec,
+                        ix: ivox[l][0],
+                        iy: ivox[l][1],
+                        iz: ivox[l][2],
+                        step: step[l],
+                        t_max: t_max[l],
+                        t_delta: t_delta[l],
+                        t: clips[l].min,
+                        t_end: clips[l].max,
+                        done: false,
+                    };
+                }
+            }
+            pair += 2;
+        }
+        lanes
+    }
+
+    /// Number of real rays in this packet.
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.n
+    }
+
+    /// Advance lane `lane` by one DDA step; `None` when that lane's walk is
+    /// exhausted. Semantically identical to calling `next()` on the scalar
+    /// [`GridTraversal`] for that lane's ray.
+    #[inline]
+    pub fn next_lane(&mut self, lane: usize) -> Option<DdaStep> {
+        self.lanes[lane].next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use now_math::{Aabb, Point3, Vec3};
+
+    fn grid4() -> GridSpec {
+        GridSpec::cubic(Aabb::new(Point3::ZERO, Point3::splat(4.0)), 4)
+    }
+
+    fn rng_f64(state: &mut u64, scale: f64) -> f64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let u = (*state >> 11) as f64 / (1u64 << 53) as f64;
+        (u * 2.0 - 1.0) * scale
+    }
+
+    /// Every lane of a packet must replay the scalar walk step for step,
+    /// including the exact t values. This is the bit-exactness contract the
+    /// renderer's byte-identical-frames guarantee rests on.
+    #[test]
+    fn packet_lanes_replay_scalar_walks_exactly() {
+        let g = grid4();
+        let mut s = 0x5eed_0fda_da01_beefu64;
+        for case in 0..800 {
+            let n = 1 + (case % PACKET_WIDTH);
+            let rays: Vec<Ray> = (0..n)
+                .map(|_| {
+                    let mut r = Ray::new(
+                        Point3::new(
+                            rng_f64(&mut s, 6.0),
+                            rng_f64(&mut s, 6.0),
+                            rng_f64(&mut s, 6.0),
+                        ),
+                        Vec3::new(
+                            rng_f64(&mut s, 2.0),
+                            rng_f64(&mut s, 2.0),
+                            rng_f64(&mut s, 2.0),
+                        ),
+                    );
+                    if case % 9 == 0 {
+                        r.dir.z = 0.0;
+                    }
+                    r
+                })
+                .collect();
+            let mut packet = PacketTraversal::new(&g, &rays, Interval::non_negative());
+            assert_eq!(packet.lanes(), n);
+            for (l, ray) in rays.iter().enumerate() {
+                let mut scalar = GridTraversal::new(&g, ray, Interval::non_negative());
+                loop {
+                    let want = scalar.next();
+                    let got = packet.next_lane(l);
+                    match (want, got) {
+                        (None, None) => break,
+                        (Some(w), Some(p)) => {
+                            assert_eq!(w.voxel, p.voxel, "case {case} lane {l}");
+                            assert_eq!(
+                                w.t_enter.to_bits(),
+                                p.t_enter.to_bits(),
+                                "case {case} lane {l} t_enter"
+                            );
+                            assert_eq!(
+                                w.t_exit.to_bits(),
+                                p.t_exit.to_bits(),
+                                "case {case} lane {l} t_exit"
+                            );
+                        }
+                        (w, p) => panic!("case {case} lane {l}: scalar {w:?} vs packet {p:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unused_lanes_yield_nothing() {
+        let g = grid4();
+        let ray = Ray::new(Point3::new(-1.0, 0.5, 0.5), Vec3::UNIT_X);
+        let mut p = PacketTraversal::new(&g, std::slice::from_ref(&ray), Interval::non_negative());
+        assert_eq!(p.lanes(), 1);
+        for lane in 1..PACKET_WIDTH {
+            assert!(p.next_lane(lane).is_none());
+        }
+        assert!(p.next_lane(0).is_some());
+    }
+}

@@ -1,0 +1,361 @@
+//! Runtime-gated explicit SIMD kernels (x86_64 SSE2).
+//!
+//! The renderer's determinism contract pins every output bit: golden
+//! images, golden traces and cross-process frame hashes all compare
+//! byte-for-byte. An explicit SIMD path is therefore only admissible if it
+//! computes, **per lane, the exact IEEE-754 operation sequence of its
+//! scalar counterpart** — add/sub/mul/div and compare+select only, no
+//! fused multiply-add, no reassociation, no approximate reciprocals. The
+//! kernels below batch *independent rays* into lanes (never folding across
+//! lanes), so lane `i` of the vector result is bit-identical to running
+//! the scalar code on ray `i`.
+//!
+//! The gate is resolved once per process: SSE2 is baseline on x86_64, so
+//! the default there is on; `NOW_SIMD=0` forces the scalar path (CI runs
+//! the determinism suites both ways), and non-x86_64 targets are always
+//! scalar. See DESIGN.md §14.
+
+use std::sync::OnceLock;
+
+/// Whether the explicit SIMD kernels are active for this process.
+///
+/// `NOW_SIMD=0` (or `off`/`false`) forces scalar; any other value forces
+/// SIMD on where the target supports it. Unset means on for x86_64
+/// (SSE2 is part of the baseline ABI), off elsewhere.
+pub fn enabled() -> bool {
+    static GATE: OnceLock<bool> = OnceLock::new();
+    *GATE.get_or_init(|| {
+        if !cfg!(target_arch = "x86_64") {
+            return false;
+        }
+        match std::env::var("NOW_SIMD") {
+            Ok(v) => !matches!(v.trim(), "0" | "off" | "false"),
+            Err(_) => true,
+        }
+    })
+}
+
+/// Two-ray slab-test clip, lane `i` bit-identical to
+/// [`crate::Aabb::ray_range`] on ray `i`.
+///
+/// Inputs are axis-major: `orig[axis][lane]`, `dir[axis][lane]`. Returns
+/// `(t0, t1)` per lane; a miss is reported as the canonical empty pair
+/// `(+inf, -inf)`, exactly like the scalar code's `Interval::EMPTY`.
+///
+/// Falls back to two scalar-equivalent passes on non-x86_64 targets (the
+/// caller is expected to consult [`enabled`] first; this fallback only
+/// keeps the symbol defined everywhere).
+#[inline]
+pub fn ray_range2(
+    bmin: [f64; 3],
+    bmax: [f64; 3],
+    orig: [[f64; 2]; 3],
+    dir: [[f64; 2]; 3],
+    t_range: (f64, f64),
+) -> [(f64, f64); 2] {
+    #[cfg(target_arch = "x86_64")]
+    {
+        sse2::ray_range2(bmin, bmax, orig, dir, t_range)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        [0, 1].map(|l| {
+            scalar_ray_range(
+                bmin,
+                bmax,
+                [orig[0][l], orig[1][l], orig[2][l]],
+                [dir[0][l], dir[1][l], dir[2][l]],
+                t_range,
+            )
+        })
+    }
+}
+
+/// Scalar reference for one lane of [`ray_range2`] (mirrors
+/// `Aabb::ray_range` exactly; kept here so the SIMD tests can diff against
+/// it without a dependency cycle).
+pub fn scalar_ray_range(
+    bmin: [f64; 3],
+    bmax: [f64; 3],
+    orig: [f64; 3],
+    dir: [f64; 3],
+    t_range: (f64, f64),
+) -> (f64, f64) {
+    const EMPTY: (f64, f64) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut t0, mut t1) = t_range;
+    for a in 0..3 {
+        let o = orig[a];
+        let d = dir[a];
+        if d.abs() < f64::MIN_POSITIVE {
+            if o < bmin[a] || o > bmax[a] {
+                return EMPTY;
+            }
+            continue;
+        }
+        let inv = 1.0 / d;
+        let mut ta = (bmin[a] - o) * inv;
+        let mut tb = (bmax[a] - o) * inv;
+        if ta > tb {
+            std::mem::swap(&mut ta, &mut tb);
+        }
+        t0 = t0.max(ta);
+        t1 = t1.min(tb);
+        if t0 > t1 {
+            return EMPTY;
+        }
+    }
+    (t0, t1)
+}
+
+/// Two-lane DDA axis initialisation, lane `i` bit-identical to the scalar
+/// per-axis setup in `GridTraversal::new`:
+///
+/// ```text
+/// dir > 0:  step = 1,  t_max = (bm + (idx+1)*sz - o) / dir,  t_delta = sz/dir
+/// dir < 0:  step = -1, t_max = (bm + idx*sz - o) / dir,      t_delta = -sz/dir
+/// else:     step = 0,  t_max = +inf,                         t_delta = +inf
+/// ```
+///
+/// `idx` is the starting voxel coordinate as `f64` (always a small
+/// non-negative integer, so `idx + 0.0 == idx` holds bitwise).
+#[inline]
+pub fn dda_axis_init2(
+    bm: f64,
+    sz: f64,
+    idx: [f64; 2],
+    orig: [f64; 2],
+    dir: [f64; 2],
+) -> ([i32; 2], [f64; 2], [f64; 2]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        sse2::dda_axis_init2(bm, sz, idx, orig, dir)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let mut step = [0i32; 2];
+        let mut t_max = [f64::INFINITY; 2];
+        let mut t_delta = [f64::INFINITY; 2];
+        for l in 0..2 {
+            if dir[l] > 0.0 {
+                step[l] = 1;
+                t_max[l] = (bm + (idx[l] + 1.0) * sz - orig[l]) / dir[l];
+                t_delta[l] = sz / dir[l];
+            } else if dir[l] < 0.0 {
+                step[l] = -1;
+                t_max[l] = (bm + idx[l] * sz - orig[l]) / dir[l];
+                t_delta[l] = -sz / dir[l];
+            }
+        }
+        (step, t_max, t_delta)
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod sse2 {
+    use core::arch::x86_64::*;
+
+    /// `mask ? a : b` per lane (mask lanes are all-ones / all-zeros).
+    #[inline(always)]
+    unsafe fn sel(mask: __m128d, a: __m128d, b: __m128d) -> __m128d {
+        _mm_or_pd(_mm_and_pd(mask, a), _mm_andnot_pd(mask, b))
+    }
+
+    #[inline(always)]
+    unsafe fn abs_pd(v: __m128d) -> __m128d {
+        _mm_andnot_pd(_mm_set1_pd(-0.0), v)
+    }
+
+    pub fn ray_range2(
+        bmin: [f64; 3],
+        bmax: [f64; 3],
+        orig: [[f64; 2]; 3],
+        dir: [[f64; 2]; 3],
+        t_range: (f64, f64),
+    ) -> [(f64, f64); 2] {
+        // SAFETY: SSE2 is part of the x86_64 baseline ABI.
+        unsafe {
+            let one = _mm_set1_pd(1.0);
+            let tiny = _mm_set1_pd(f64::MIN_POSITIVE);
+            let mut t0 = _mm_set1_pd(t_range.0);
+            let mut t1 = _mm_set1_pd(t_range.1);
+            let mut miss = _mm_setzero_pd(); // all-zero = no lane missed yet
+            for a in 0..3 {
+                let o = _mm_set_pd(orig[a][1], orig[a][0]);
+                let d = _mm_set_pd(dir[a][1], dir[a][0]);
+                let lo = _mm_set1_pd(bmin[a]);
+                let hi = _mm_set1_pd(bmax[a]);
+                // Lanes where the ray is parallel to this slab pair skip the
+                // t update but miss when the origin is outside the slab.
+                let par = _mm_cmplt_pd(abs_pd(d), tiny);
+                let outside = _mm_or_pd(_mm_cmplt_pd(o, lo), _mm_cmpgt_pd(o, hi));
+                miss = _mm_or_pd(miss, _mm_and_pd(par, outside));
+                // Same op sequence as the scalar slab body: inv = 1/d, then
+                // multiply (NOT a direct divide — different rounding).
+                let inv = _mm_div_pd(one, d);
+                let ta = _mm_mul_pd(_mm_sub_pd(lo, o), inv);
+                let tb = _mm_mul_pd(_mm_sub_pd(hi, o), inv);
+                let near = _mm_min_pd(ta, tb);
+                let far = _mm_max_pd(ta, tb);
+                // Parallel lanes keep their previous t0/t1 (ta/tb may be
+                // inf/NaN garbage there; it is selected away).
+                t0 = sel(par, t0, _mm_max_pd(t0, near));
+                t1 = sel(par, t1, _mm_min_pd(t1, far));
+            }
+            miss = _mm_or_pd(miss, _mm_cmpgt_pd(t0, t1));
+            let mut lo2 = [0.0f64; 2];
+            let mut hi2 = [0.0f64; 2];
+            let mut m2 = [0.0f64; 2];
+            _mm_storeu_pd(lo2.as_mut_ptr(), t0);
+            _mm_storeu_pd(hi2.as_mut_ptr(), t1);
+            _mm_storeu_pd(m2.as_mut_ptr(), miss);
+            [0, 1].map(|l| {
+                if m2[l].to_bits() != 0 {
+                    (f64::INFINITY, f64::NEG_INFINITY)
+                } else {
+                    (lo2[l], hi2[l])
+                }
+            })
+        }
+    }
+
+    pub fn dda_axis_init2(
+        bm: f64,
+        sz: f64,
+        idx: [f64; 2],
+        orig: [f64; 2],
+        dir: [f64; 2],
+    ) -> ([i32; 2], [f64; 2], [f64; 2]) {
+        // SAFETY: SSE2 is part of the x86_64 baseline ABI.
+        unsafe {
+            let d = _mm_set_pd(dir[1], dir[0]);
+            let o = _mm_set_pd(orig[1], orig[0]);
+            let i = _mm_set_pd(idx[1], idx[0]);
+            let vsz = _mm_set1_pd(sz);
+            let vbm = _mm_set1_pd(bm);
+            let zero = _mm_setzero_pd();
+            let pos = _mm_cmpgt_pd(d, zero);
+            let neg = _mm_cmplt_pd(d, zero);
+            let moving = _mm_or_pd(pos, neg);
+            // boundary = bm + (idx + (dir>0 ? 1 : 0)) * sz; idx is a small
+            // non-negative integer, so the +0.0 on the negative branch is
+            // bitwise exact.
+            let idx_adj = _mm_add_pd(i, _mm_and_pd(pos, _mm_set1_pd(1.0)));
+            let boundary = _mm_add_pd(vbm, _mm_mul_pd(idx_adj, vsz));
+            let inf = _mm_set1_pd(f64::INFINITY);
+            let t_max_raw = _mm_div_pd(_mm_sub_pd(boundary, o), d);
+            let t_max = sel(moving, t_max_raw, inf);
+            // sz/dir for dir>0; -sz/dir == -(sz/dir) bitwise for dir<0.
+            let q = _mm_div_pd(vsz, d);
+            let negq = _mm_xor_pd(q, _mm_set1_pd(-0.0));
+            let t_delta = sel(moving, sel(pos, q, negq), inf);
+
+            let mut tm = [0.0f64; 2];
+            let mut td = [0.0f64; 2];
+            _mm_storeu_pd(tm.as_mut_ptr(), t_max);
+            _mm_storeu_pd(td.as_mut_ptr(), t_delta);
+            let step = [0, 1].map(|l| {
+                if dir[l] > 0.0 {
+                    1
+                } else if dir[l] < 0.0 {
+                    -1
+                } else {
+                    0
+                }
+            });
+            (step, tm, td)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random f64 in [-scale, scale].
+    fn rng_f64(state: &mut u64, scale: f64) -> f64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let u = (*state >> 11) as f64 / (1u64 << 53) as f64;
+        (u * 2.0 - 1.0) * scale
+    }
+
+    #[test]
+    fn gate_is_stable() {
+        assert_eq!(enabled(), enabled());
+    }
+
+    #[test]
+    fn ray_range2_matches_scalar_on_random_rays() {
+        let bmin = [-1.5, 0.0, 2.0];
+        let bmax = [3.0, 4.5, 7.0];
+        let mut s = 0x1234_5678_9abc_def0u64;
+        for case in 0..4000 {
+            let mut o = [[0.0; 2]; 3];
+            let mut d = [[0.0; 2]; 3];
+            for a in 0..3 {
+                for l in 0..2 {
+                    o[a][l] = rng_f64(&mut s, 10.0);
+                    d[a][l] = rng_f64(&mut s, 2.0);
+                    // sprinkle exact zeros and boundary origins
+                    if case % 7 == l {
+                        d[a][l] = 0.0;
+                    }
+                    if case % 11 == 3 {
+                        o[a][l] = bmin[a];
+                    }
+                }
+            }
+            let got = ray_range2(bmin, bmax, o, d, (0.0, f64::INFINITY));
+            for l in 0..2 {
+                let want = scalar_ray_range(
+                    bmin,
+                    bmax,
+                    [o[0][l], o[1][l], o[2][l]],
+                    [d[0][l], d[1][l], d[2][l]],
+                    (0.0, f64::INFINITY),
+                );
+                assert_eq!(got[l], want, "case {case} lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn dda_axis_init2_matches_scalar() {
+        let mut s = 0xfeed_beef_cafe_f00du64;
+        for case in 0..4000 {
+            let bm = rng_f64(&mut s, 5.0);
+            let sz = rng_f64(&mut s, 2.0).abs() + 1e-3;
+            let idx = [
+                (rng_f64(&mut s, 50.0).abs()).floor(),
+                (rng_f64(&mut s, 50.0).abs()).floor(),
+            ];
+            let orig = [rng_f64(&mut s, 10.0), rng_f64(&mut s, 10.0)];
+            let mut dir = [rng_f64(&mut s, 3.0), rng_f64(&mut s, 3.0)];
+            if case % 5 == 0 {
+                dir[case % 2] = 0.0;
+            }
+            let (step, tm, td) = dda_axis_init2(bm, sz, idx, orig, dir);
+            for l in 0..2 {
+                let (ws, wm, wd) = if dir[l] > 0.0 {
+                    (
+                        1,
+                        (bm + (idx[l] + 1.0) * sz - orig[l]) / dir[l],
+                        sz / dir[l],
+                    )
+                } else if dir[l] < 0.0 {
+                    (-1, (bm + idx[l] * sz - orig[l]) / dir[l], -sz / dir[l])
+                } else {
+                    (0, f64::INFINITY, f64::INFINITY)
+                };
+                assert_eq!(step[l], ws, "case {case} lane {l} step");
+                assert_eq!(tm[l].to_bits(), wm.to_bits(), "case {case} lane {l} t_max");
+                assert_eq!(
+                    td[l].to_bits(),
+                    wd.to_bits(),
+                    "case {case} lane {l} t_delta"
+                );
+            }
+        }
+    }
+}

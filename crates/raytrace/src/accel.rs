@@ -11,7 +11,7 @@ use crate::object::ObjectId;
 use crate::scene::Scene;
 use crate::shape::Hit;
 use crate::stats::RayStats;
-use now_grid::{GridCells, GridSpec, GridTraversal};
+use now_grid::{GridCells, GridSpec, GridTraversal, PacketTraversal, PACKET_WIDTH};
 use now_math::{Interval, Ray, RAY_BIAS};
 
 /// Spatial index over a scene's objects.
@@ -106,6 +106,85 @@ impl GridAccel {
             // the step multiset is a pure function of (scene, rays), so the
             // histogram is identical for any tile schedule or thread count
             now_trace::global().observe("grid.steps_per_ray", steps);
+        }
+        best
+    }
+
+    /// Closest intersections for up to [`PACKET_WIDTH`] coherent rays.
+    ///
+    /// Lane `i` of the result equals `self.intersect(scene, &rays[i],
+    /// range, ..)` exactly: each lane runs the identical per-voxel tests
+    /// with its own front-to-back early-out, and packet lanes replay the
+    /// scalar DDA walk bit-for-bit (see [`PacketTraversal`]). The packet
+    /// form batches traversal *setup* across lanes and steps the walks in
+    /// lockstep, which keeps the voxel object lists of neighboring rays
+    /// hot in cache.
+    pub fn intersect_packet(
+        &self,
+        scene: &Scene,
+        rays: &[Ray],
+        range: Interval,
+        stats: &mut RayStats,
+    ) -> [Option<(ObjectId, Hit)>; PACKET_WIDTH] {
+        debug_assert!(!rays.is_empty() && rays.len() <= PACKET_WIDTH);
+        let n = rays.len();
+        let mut best: [Option<(ObjectId, Hit)>; PACKET_WIDTH] = [None; PACKET_WIDTH];
+        let mut best_t = [range.max; PACKET_WIDTH];
+
+        for (l, ray) in rays.iter().enumerate() {
+            for &id in &self.unbounded {
+                stats.intersection_tests += 1;
+                if let Some(h) =
+                    scene.objects[id as usize].intersect(ray, Interval::new(range.min, best_t[l]))
+                {
+                    best_t[l] = h.t;
+                    best[l] = Some((id, h));
+                }
+            }
+        }
+
+        let mut traversal = PacketTraversal::new(self.cells.spec(), rays, range);
+        let mut steps = [0u64; PACKET_WIDTH];
+        let mut active = [false; PACKET_WIDTH];
+        active[..n].fill(true);
+        let mut remaining = n;
+        // Lockstep round-robin: one DDA step per live lane per sweep, with
+        // the same break-before-count early-out as the scalar walk.
+        while remaining > 0 {
+            for (l, ray) in rays.iter().enumerate() {
+                if !active[l] {
+                    continue;
+                }
+                let step = match traversal.next_lane(l) {
+                    Some(s) => s,
+                    None => {
+                        active[l] = false;
+                        remaining -= 1;
+                        continue;
+                    }
+                };
+                if step.t_enter > best_t[l] {
+                    active[l] = false;
+                    remaining -= 1;
+                    continue;
+                }
+                steps[l] += 1;
+                for &id in self.cells.get(step.voxel) {
+                    stats.intersection_tests += 1;
+                    if let Some(h) = scene.objects[id as usize]
+                        .intersect(ray, Interval::new(range.min, best_t[l]))
+                    {
+                        best_t[l] = h.t;
+                        best[l] = Some((id, h));
+                    }
+                }
+            }
+        }
+        if now_trace::enabled() {
+            let rec = now_trace::global();
+            for &s in &steps[..n] {
+                rec.observe("grid.steps_per_ray", s);
+            }
         }
         best
     }
@@ -224,6 +303,40 @@ mod tests {
             }
         }
         assert!(stats.intersection_tests > 0);
+    }
+
+    #[test]
+    fn packet_intersect_matches_scalar_per_lane() {
+        let scene = test_scene();
+        let accel = GridAccel::build(&scene);
+        let range = Interval::new(1e-9, f64::INFINITY);
+        for i in 0..120 {
+            let n = 1 + (i % PACKET_WIDTH);
+            let rays: Vec<Ray> = (0..n)
+                .map(|k| {
+                    let a = (i * PACKET_WIDTH + k) as f64 * 0.13;
+                    let origin =
+                        Point3::new(8.0 * a.cos(), 3.0 * (a * 0.4).sin() + 1.0, 8.0 * a.sin());
+                    let target =
+                        Point3::new((i % 9) as f64 - 4.0, ((k % 5) as f64 - 2.0) * 0.4, 0.0);
+                    Ray::new(origin, (target - origin).normalized())
+                })
+                .collect();
+            let mut packet_stats = RayStats::default();
+            let hits = accel.intersect_packet(&scene, &rays, range, &mut packet_stats);
+            let mut scalar_stats = RayStats::default();
+            for (l, ray) in rays.iter().enumerate() {
+                let want = accel.intersect(&scene, ray, range, &mut scalar_stats);
+                assert_eq!(hits[l], want, "packet {i} lane {l}");
+            }
+            for (l, hit) in hits.iter().enumerate().skip(n) {
+                assert!(hit.is_none(), "packet {i}: unused lane {l} not empty");
+            }
+            assert_eq!(
+                packet_stats.intersection_tests, scalar_stats.intersection_tests,
+                "packet {i}: early-out behavior diverged"
+            );
+        }
     }
 
     #[test]

@@ -29,7 +29,7 @@
 use crate::accel::GridAccel;
 use crate::framebuffer::{Framebuffer, PixelId};
 use crate::listener::ShardableListener;
-use crate::render::{shade_pixel, RenderSettings};
+use crate::render::{shade_ids, RenderSettings, ShadeScratch};
 use crate::scene::Scene;
 use crate::stats::RayStats;
 use now_math::Color;
@@ -38,8 +38,11 @@ use std::sync::Mutex;
 
 /// Minimum pixels before spawning threads is worth the fixed cost.
 const MIN_PAR_PIXELS: usize = 256;
-/// Tiles created per thread (more = better balance, more overhead).
-const TILES_PER_THREAD: usize = 4;
+/// Tiles created per thread (more = better balance, more overhead). 8 per
+/// thread keeps the greedy critical path within a few percent of ideal
+/// even when ray cost varies 10x across the frame; tiles are cheap now
+/// that each one reuses a per-thread [`ShadeScratch`].
+const TILES_PER_THREAD: usize = 8;
 /// Tile size clamp.
 const MIN_TILE: usize = 64;
 const MAX_TILE: usize = 4096;
@@ -138,7 +141,7 @@ pub fn resolve_thread_count(setting: u32) -> u32 {
 /// final maximum load. Greedy list scheduling is a 2-approximation of the
 /// optimum and — unlike measuring the real threads — does not depend on
 /// the OS schedule, so virtual timelines stay reproducible.
-fn critical_path(tile_rays: &[u64], threads: u32) -> u64 {
+pub fn critical_path(tile_rays: &[u64], threads: u32) -> u64 {
     let lanes = threads.max(1) as usize;
     let mut load = vec![0u64; lanes];
     for &r in tile_rays {
@@ -151,6 +154,24 @@ fn critical_path(tile_rays: &[u64], threads: u32) -> u64 {
         load[min] += r;
     }
     load.into_iter().max().unwrap_or(0)
+}
+
+/// Pixels per tile for a pool run over `pixels` ids on `threads` threads.
+///
+/// `tile_hint` (from [`RenderSettings::tile_hint`] / `nowfarm --tile WxH`)
+/// overrides the derived size; either way the result is clamped and
+/// rounded up to a multiple of 8 so packet lanes inside a tile stay full.
+/// The cost model calls this too ([`now_core`]'s `CostModel`), so sim
+/// predictions and real runs cut identical tiles.
+pub fn plan_tile_size(pixels: usize, threads: u32, tile_hint: u32) -> usize {
+    let threads = threads.max(1) as usize;
+    let base = if tile_hint > 0 {
+        tile_hint as usize
+    } else {
+        pixels.div_ceil(threads * TILES_PER_THREAD)
+    };
+    let clamped = base.clamp(MIN_TILE, MAX_TILE);
+    clamped.div_ceil(8) * 8
 }
 
 /// A claimed unit of work: one tile's ids plus its private shard.
@@ -198,18 +219,23 @@ pub fn render_tiles<S: ShardableListener>(
     let tracing = settings.trace && now_trace::enabled();
     if threads == 1 || ids.len() < MIN_PAR_PIXELS {
         let before = stats.total_rays();
-        for &id in ids {
-            let (x, y) = fb.coords_of(id);
-            let c = shade_pixel(scene, accel, settings, x, y, id, listener, stats);
-            fb.set_id(id, c);
-        }
+        let mut scratch = ShadeScratch::new(settings);
+        let width = fb.width();
+        shade_ids(
+            scene,
+            accel,
+            settings,
+            width,
+            ids,
+            listener,
+            stats,
+            &mut scratch,
+            |id, c| fb.set_id(id, c),
+        );
         return ParallelStats::serial(stats.total_rays() - before);
     }
 
-    let tile_size = ids
-        .len()
-        .div_ceil(threads * TILES_PER_THREAD)
-        .clamp(MIN_TILE, MAX_TILE);
+    let tile_size = plan_tile_size(ids.len(), threads as u32, settings.tile_hint);
     let width = fb.width();
 
     // All tiles start in the injector; shards are created up front so they
@@ -235,6 +261,7 @@ pub fn render_tiles<S: ShardableListener>(
                 scope.spawn(move || {
                     let mut out: Vec<TileDone<S::Shard>> = Vec::new();
                     let mut rng = 0x9E37_79B9_7F4A_7C15u64 ^ ((me as u64 + 1) << 17);
+                    let mut scratch = ShadeScratch::new(settings);
                     loop {
                         // Each acquisition step is its own statement so the
                         // MutexGuard temporaries drop between steps — chaining
@@ -296,20 +323,17 @@ pub fn render_tiles<S: ShardableListener>(
                         });
                         let mut tstats = RayStats::default();
                         let mut colors = Vec::with_capacity(tile.ids.len());
-                        for &id in tile.ids {
-                            let (x, y) = (id % width, id / width);
-                            let c = shade_pixel(
-                                scene,
-                                accel,
-                                settings,
-                                x,
-                                y,
-                                id,
-                                &mut tile.shard,
-                                &mut tstats,
-                            );
-                            colors.push(c);
-                        }
+                        shade_ids(
+                            scene,
+                            accel,
+                            settings,
+                            width,
+                            tile.ids,
+                            &mut tile.shard,
+                            &mut tstats,
+                            &mut scratch,
+                            |_, c| colors.push(c),
+                        );
                         if let Some(s) = tile_span.as_mut() {
                             s.arg("tile", tile.idx as u64);
                             s.arg("pixels", tile.ids.len() as u64);

@@ -9,12 +9,14 @@
 
 use crate::accel::GridAccel;
 use crate::framebuffer::{Framebuffer, PixelId};
+use crate::light::LightSample;
 use crate::listener::{RayKind, RayListener, Replay, ShardableListener};
 use crate::pool::{self, ParallelStats};
 use crate::scene::Scene;
 use crate::stats::RayStats;
-use crate::tracer::{trace, TraceCtx};
-use now_math::Color;
+use crate::tracer::{shade_traced, trace, TraceCtx};
+use now_grid::PACKET_WIDTH;
+use now_math::{Color, Interval, Ray, RAY_BIAS};
 
 /// Adaptive anti-aliasing parameters (POV-Ray-style recursive pixel
 /// subdivision).
@@ -63,6 +65,18 @@ pub struct RenderSettings {
     /// default `false` the renderer stays dark even while other layers
     /// trace. See DESIGN.md §10.
     pub trace: bool,
+    /// Tile-size hint for the pool, in pixels per tile (`nowfarm --tile
+    /// WxH` sets `W*H`). `0` (the default) derives the size from the pixel
+    /// count and thread count; see [`pool::plan_tile_size`]. Purely a
+    /// scheduling knob: any value produces byte-identical frames.
+    pub tile_hint: u32,
+    /// Trace coherent primary rays in [`now_grid::PACKET_WIDTH`]-wide
+    /// packets through the grid DDA (secondaries always stay scalar).
+    /// Packet lanes replay the scalar walk bit-for-bit, so this is purely
+    /// a throughput knob — frames and listener state are identical either
+    /// way. Automatically disabled when supersampling or adaptive
+    /// anti-aliasing make primaries non-coherent per pixel.
+    pub packets: bool,
 }
 
 impl Default for RenderSettings {
@@ -73,6 +87,8 @@ impl Default for RenderSettings {
             adaptive: None,
             threads: 1,
             trace: false,
+            tile_hint: 0,
+            packets: true,
         }
     }
 }
@@ -81,6 +97,14 @@ impl RenderSettings {
     /// Concrete thread count for this setting (resolves `threads == 0`).
     pub fn resolve_threads(&self) -> u32 {
         pool::resolve_thread_count(self.threads)
+    }
+    /// True when primary rays are traced in packets: requested, and each
+    /// pixel fires exactly one center sample (supersampling / adaptive
+    /// sampling interleave secondary work between primaries, so packets
+    /// would win nothing there).
+    #[inline]
+    pub fn use_packets(&self) -> bool {
+        self.packets && self.adaptive.is_none() && self.sqrt_samples <= 1
     }
     /// Fixed sub-pixel offsets for this setting (deterministic; identical
     /// for every pixel and frame).
@@ -96,7 +120,33 @@ impl RenderSettings {
     }
 }
 
+/// Per-worker reusable buffers for the shading loop.
+///
+/// One `ShadeScratch` lives per render thread (created outside the pixel
+/// loop), so the hot path — sample offsets, light samples — never touches
+/// the allocator. The buffers carry no cross-pixel state: results are
+/// identical whether a scratch is shared across a million pixels or
+/// created fresh per pixel.
+#[derive(Debug, Default)]
+pub struct ShadeScratch {
+    offsets: Vec<(f64, f64)>,
+    lights: Vec<LightSample>,
+}
+
+impl ShadeScratch {
+    /// Scratch sized for `settings` (precomputes the supersample offsets).
+    pub fn new(settings: &RenderSettings) -> ShadeScratch {
+        ShadeScratch {
+            offsets: settings.sample_offsets(),
+            lights: Vec::new(),
+        }
+    }
+}
+
 /// Shade a single pixel (averaging supersamples, adaptively if enabled).
+///
+/// Convenience wrapper that builds a fresh [`ShadeScratch`]; hot loops use
+/// [`shade_pixel_with`] (or the packet path) with a per-thread scratch.
 #[allow(clippy::too_many_arguments)] // deliberate flat kernel signature: the hot path avoids a context struct per pixel
 pub fn shade_pixel<L: RayListener>(
     scene: &Scene,
@@ -108,12 +158,41 @@ pub fn shade_pixel<L: RayListener>(
     listener: &mut L,
     stats: &mut RayStats,
 ) -> Color {
+    let mut scratch = ShadeScratch::new(settings);
+    shade_pixel_with(
+        scene,
+        accel,
+        settings,
+        x,
+        y,
+        pixel,
+        listener,
+        stats,
+        &mut scratch,
+    )
+}
+
+/// Shade a single pixel using caller-owned scratch buffers.
+#[allow(clippy::too_many_arguments)] // deliberate flat kernel signature: the hot path avoids a context struct per pixel
+pub fn shade_pixel_with<L: RayListener>(
+    scene: &Scene,
+    accel: &GridAccel,
+    settings: &RenderSettings,
+    x: u32,
+    y: u32,
+    pixel: PixelId,
+    listener: &mut L,
+    stats: &mut RayStats,
+    scratch: &mut ShadeScratch,
+) -> Color {
+    let lights = std::mem::take(&mut scratch.lights);
     let mut ctx = TraceCtx {
         scene,
         accel,
         settings,
         listener,
         stats,
+        lights,
     };
     let color = if let Some(adaptive) = settings.adaptive {
         // corners of the pixel (positions shared with neighbouring pixels
@@ -131,15 +210,118 @@ pub fn shade_pixel<L: RayListener>(
             adaptive.max_level,
         )
     } else {
-        let offsets = settings.sample_offsets();
+        let offsets = &scratch.offsets;
         let mut sum = Color::BLACK;
-        for &(sx, sy) in &offsets {
+        for &(sx, sy) in offsets {
             sum += sample(&mut ctx, x, y, pixel, sx, sy);
         }
         sum * (1.0 / offsets.len() as f64)
     };
+    scratch.lights = ctx.lights;
     stats.pixels += 1;
     color
+}
+
+/// Shade up to [`PACKET_WIDTH`] pixels whose primary rays are traced as
+/// one coherent packet through the grid.
+///
+/// Per-lane arithmetic — clip, DDA walk, intersection tests, shading — is
+/// bit-identical to [`shade_pixel_with`] on the same pixel (the packet
+/// machinery batches *setup*, never folds across lanes), and lanes are
+/// shaded in order, so the listener observes the exact sequential ray
+/// stream. Requires `settings.use_packets()` (one center sample per
+/// pixel).
+#[allow(clippy::too_many_arguments)] // flat kernel signature, like shade_pixel
+fn shade_packet<L: RayListener>(
+    scene: &Scene,
+    accel: &GridAccel,
+    settings: &RenderSettings,
+    group: &[(u32, u32, PixelId)],
+    listener: &mut L,
+    stats: &mut RayStats,
+    scratch: &mut ShadeScratch,
+    out: &mut [Color],
+) {
+    debug_assert!(!group.is_empty() && group.len() <= PACKET_WIDTH);
+    debug_assert!(settings.use_packets());
+    let n = group.len();
+    let rays: [Ray; PACKET_WIDTH] = std::array::from_fn(|i| {
+        let (x, y, _) = group[i.min(n - 1)];
+        scene.camera.primary_ray(x, y, 0.5, 0.5)
+    });
+    for _ in 0..n {
+        stats.count_ray(RayKind::Primary);
+    }
+    let range = Interval::new(RAY_BIAS, f64::INFINITY);
+    let hits = accel.intersect_packet(scene, &rays[..n], range, stats);
+
+    let depth = settings.max_depth;
+    let lights = std::mem::take(&mut scratch.lights);
+    let mut ctx = TraceCtx {
+        scene,
+        accel,
+        settings,
+        listener,
+        stats,
+        lights,
+    };
+    for (l, &(_, _, pixel)) in group.iter().enumerate() {
+        let c = shade_traced(&mut ctx, pixel, &rays[l], RayKind::Primary, depth, hits[l]);
+        // mirror the scalar single-sample accumulation `(BLACK + c) * 1/1`
+        // so -0.0 components normalize identically
+        let mut sum = Color::BLACK;
+        sum += c;
+        out[l] = sum;
+        ctx.stats.pixels += 1;
+    }
+    scratch.lights = ctx.lights;
+}
+
+/// Shade a run of pixel ids, dispatching to the packet path when the
+/// settings allow it, and hand each `(id, color)` to `sink` in id order.
+///
+/// This is the one shading loop shared by the serial path and every pool
+/// tile, so scalar and packeted rendering are chosen in exactly one place.
+#[allow(clippy::too_many_arguments)] // flat kernel signature, like shade_pixel
+pub(crate) fn shade_ids<L: RayListener>(
+    scene: &Scene,
+    accel: &GridAccel,
+    settings: &RenderSettings,
+    width: u32,
+    ids: &[PixelId],
+    listener: &mut L,
+    stats: &mut RayStats,
+    scratch: &mut ShadeScratch,
+    mut sink: impl FnMut(PixelId, Color),
+) {
+    if settings.use_packets() {
+        let mut colors = [Color::BLACK; PACKET_WIDTH];
+        for chunk in ids.chunks(PACKET_WIDTH) {
+            let mut group = [(0u32, 0u32, 0 as PixelId); PACKET_WIDTH];
+            for (g, &id) in group.iter_mut().zip(chunk) {
+                *g = (id % width, id / width, id);
+            }
+            shade_packet(
+                scene,
+                accel,
+                settings,
+                &group[..chunk.len()],
+                listener,
+                stats,
+                scratch,
+                &mut colors,
+            );
+            for (&id, &c) in chunk.iter().zip(&colors) {
+                sink(id, c);
+            }
+        }
+    } else {
+        for &id in ids {
+            let (x, y) = (id % width, id / width);
+            let c = shade_pixel_with(scene, accel, settings, x, y, id, listener, stats, scratch);
+            sink(id, c);
+        }
+    }
 }
 
 /// Trace one camera ray through sub-pixel position `(sx, sy)` of `(x, y)`.
@@ -266,15 +448,22 @@ pub fn render_pixels<L: RayListener>(
     let mut span = tracing.then(|| now_trace::global().span(0, "render.pixels"));
     let threads = settings.resolve_threads();
     if threads <= 1 {
-        let mut shaded = 0u64;
-        for id in ids {
-            let (x, y) = fb.coords_of(id);
-            let c = shade_pixel(scene, accel, settings, x, y, id, listener, stats);
-            fb.set_id(id, c);
-            shaded += 1;
-        }
+        let ids: Vec<PixelId> = ids.into_iter().collect();
+        let mut scratch = ShadeScratch::new(settings);
+        let width = fb.width();
+        shade_ids(
+            scene,
+            accel,
+            settings,
+            width,
+            &ids,
+            listener,
+            stats,
+            &mut scratch,
+            |id, c| fb.set_id(id, c),
+        );
         if let Some(s) = span.as_mut() {
-            s.arg("pixels", shaded);
+            s.arg("pixels", ids.len() as u64);
         }
     } else {
         let ids: Vec<PixelId> = ids.into_iter().collect();
@@ -464,6 +653,8 @@ mod tests {
             adaptive: None,
             threads: 1,
             trace: false,
+            tile_hint: 0,
+            packets: true,
         };
         let a = render_frame(
             &s,
@@ -514,6 +705,69 @@ mod tests {
     }
 
     #[test]
+    fn packets_on_and_off_are_byte_and_listener_identical() {
+        use crate::listener::RecordingListener;
+        let s = scene();
+        let accel = GridAccel::build(&s);
+        let on = RenderSettings::default();
+        assert!(on.use_packets());
+        let off = RenderSettings {
+            packets: false,
+            ..on.clone()
+        };
+        let mut rec_on = RecordingListener::default();
+        let mut rec_off = RecordingListener::default();
+        let mut stats_on = RayStats::default();
+        let mut stats_off = RayStats::default();
+        let a = render_frame(&s, &accel, &on, &mut rec_on, &mut stats_on);
+        let b = render_frame(&s, &accel, &off, &mut rec_off, &mut stats_off);
+        assert_eq!(a, b, "packeted frame differs from scalar frame");
+        assert_eq!(rec_on.rays, rec_off.rays, "listener ray stream differs");
+        assert_eq!(stats_on, stats_off, "ray stats differ");
+        // pooled render with packets also matches
+        let pooled = RenderSettings {
+            threads: 3,
+            ..on.clone()
+        };
+        let mut rec_p = RecordingListener::default();
+        let mut stats_p = RayStats::default();
+        let (c, _) = render_frame_par(&s, &accel, &pooled, &mut rec_p, &mut stats_p);
+        assert_eq!(c, a);
+        assert_eq!(rec_p.rays, rec_on.rays);
+    }
+
+    #[test]
+    fn supersampling_disables_packets_but_not_correctness() {
+        let s = scene();
+        let accel = GridAccel::build(&s);
+        let ss = RenderSettings {
+            sqrt_samples: 2,
+            ..RenderSettings::default()
+        };
+        assert!(!ss.use_packets());
+        let ad = RenderSettings {
+            adaptive: Some(Adaptive::default()),
+            ..RenderSettings::default()
+        };
+        assert!(!ad.use_packets());
+        // supersampled render is identical with the packets flag on or off
+        // (the flag is ignored on that path)
+        let off = RenderSettings {
+            packets: false,
+            ..ss.clone()
+        };
+        let a = render_frame(&s, &accel, &ss, &mut NullListener, &mut RayStats::default());
+        let b = render_frame(
+            &s,
+            &accel,
+            &off,
+            &mut NullListener,
+            &mut RayStats::default(),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn render_pixels_dispatches_to_pool_transparently() {
         let s = scene();
         let accel = GridAccel::build(&s);
@@ -550,6 +804,8 @@ mod tests {
             adaptive: None,
             threads: 1,
             trace: false,
+            tile_hint: 0,
+            packets: true,
         }
         .sample_offsets();
         assert_eq!(offsets.len(), 9);
@@ -570,6 +826,8 @@ mod tests {
             adaptive: None,
             threads: 1,
             trace: false,
+            tile_hint: 0,
+            packets: true,
         };
         let adaptive = RenderSettings {
             max_depth: 2,
@@ -580,6 +838,8 @@ mod tests {
             }),
             threads: 1,
             trace: false,
+            tile_hint: 0,
+            packets: true,
         };
         let mut flat_stats = RayStats::default();
         let _ = render_frame(&s, &accel, &plain, &mut NullListener, &mut flat_stats);
@@ -606,6 +866,8 @@ mod tests {
             adaptive: Some(Adaptive::default()),
             threads: 1,
             trace: false,
+            tile_hint: 0,
+            packets: true,
         };
         let full = render_frame(
             &s,
@@ -641,6 +903,8 @@ mod tests {
             adaptive: None,
             threads: 1,
             trace: false,
+            tile_hint: 0,
+            packets: true,
         };
         let ad = RenderSettings {
             max_depth: 2,
@@ -651,6 +915,8 @@ mod tests {
             }),
             threads: 1,
             trace: false,
+            tile_hint: 0,
+            packets: true,
         };
         let a = render_frame(
             &s,
@@ -674,6 +940,8 @@ mod tests {
             adaptive: None,
             threads: 1,
             trace: false,
+            tile_hint: 0,
+            packets: true,
         };
         let four = RenderSettings {
             max_depth: 3,
@@ -681,6 +949,8 @@ mod tests {
             adaptive: None,
             threads: 1,
             trace: false,
+            tile_hint: 0,
+            packets: true,
         };
         let a = render_frame(
             &s,

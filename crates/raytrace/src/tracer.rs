@@ -6,9 +6,12 @@
 
 use crate::accel::GridAccel;
 use crate::framebuffer::PixelId;
+use crate::light::LightSample;
 use crate::listener::{RayKind, RayListener};
+use crate::object::ObjectId;
 use crate::render::RenderSettings;
 use crate::scene::Scene;
+use crate::shape::Hit;
 use crate::stats::RayStats;
 use now_math::{Color, Interval, Ray, RAY_BIAS};
 
@@ -24,6 +27,11 @@ pub struct TraceCtx<'a, L: RayListener> {
     pub listener: &'a mut L,
     /// Counters.
     pub stats: &'a mut RayStats,
+    /// Reusable light-sample buffer for the direct-lighting loop. Owned by
+    /// the context so the shading hot path never allocates per ray; it is
+    /// taken, filled, and returned inside [`shade_traced`], so one buffer
+    /// serves every recursion depth.
+    pub lights: Vec<LightSample>,
 }
 
 /// Trace one ray and return the radiance it carries.
@@ -41,7 +49,23 @@ pub fn trace<L: RayListener>(
     ctx.stats.count_ray(kind);
     let range = Interval::new(RAY_BIAS, f64::INFINITY);
     let hit = ctx.accel.intersect(ctx.scene, ray, range, ctx.stats);
+    shade_traced(ctx, pixel, ray, kind, depth, hit)
+}
 
+/// Shade a ray whose nearest intersection (if any) has already been found.
+///
+/// This is the back half of [`trace`], split out so the packet path can
+/// batch the intersection queries ([`GridAccel::intersect_packet`]) and
+/// then shade each lane through the identical code. The caller is
+/// responsible for having counted the ray via [`RayStats::count_ray`].
+pub fn shade_traced<L: RayListener>(
+    ctx: &mut TraceCtx<'_, L>,
+    pixel: PixelId,
+    ray: &Ray,
+    kind: RayKind,
+    depth: u32,
+    hit: Option<(ObjectId, Hit)>,
+) -> Color {
     let (obj_id, h) = match hit {
         Some(found) => found,
         None => {
@@ -63,7 +87,7 @@ pub fn trace<L: RayListener>(
     // Every light contributes one shadow ray per sample (one for point and
     // spot lights, an n x n grid for area lights: soft shadows).
     let mut local = ctx.scene.ambient.modulate(surface_color) * mat.ambient;
-    let mut samples = Vec::new();
+    let mut samples = std::mem::take(&mut ctx.lights);
     for light in &ctx.scene.lights {
         light.samples(h.point, &mut samples);
         for s in &samples {
@@ -94,6 +118,9 @@ pub fn trace<L: RayListener>(
             }
         }
     }
+    // hand the buffer back before any recursion so deeper bounces reuse it
+    samples.clear();
+    ctx.lights = samples;
 
     if depth == 0 {
         return local;
@@ -172,6 +199,7 @@ mod tests {
             settings: &settings,
             listener: &mut listener,
             stats: &mut stats,
+            lights: Vec::new(),
         };
         let c = trace(&mut ctx, 0, &ray, RayKind::Primary, 5);
         (c, stats)
@@ -291,6 +319,7 @@ mod tests {
             settings: &settings,
             listener: &mut listener,
             stats: &mut stats,
+            lights: Vec::new(),
         };
         let _ = trace(
             &mut ctx,
@@ -339,6 +368,7 @@ mod tests {
             settings: &settings,
             listener: &mut listener,
             stats: &mut stats,
+            lights: Vec::new(),
         };
         let _ = trace(
             &mut ctx,
@@ -477,6 +507,7 @@ mod tests {
             settings: &settings,
             listener: &mut listener,
             stats: &mut stats,
+            lights: Vec::new(),
         };
         let c = trace(
             &mut ctx,

@@ -7,6 +7,9 @@
 //!   --plain            disable frame coherence
 //!   --block N          Jevans block coherence with NxN blocks
 //!   --pool N           intra-worker tile-pool threads (0 = auto; default 1)
+//!   --tile WxH         pool tile-size hint in pixels (e.g. 64x16); the
+//!                      pool clamps it to its sane range and the cost
+//!                      model plans with the identical value
 //! nowfarm farm   SCENE [opts]               render on a cluster
 //!   --out DIR          output directory (default: out)
 //!   --threads N        real thread backend with N workers
@@ -14,6 +17,7 @@
 //!   --scheme S         seq | frame | hybrid   (default: frame)
 //!   --plain            disable frame coherence
 //!   --pool N           tile-pool threads inside every worker (0 = auto)
+//!   --tile WxH         pool tile-size hint, as for `render`
 //!   --trace FILE       record a Chrome trace_event JSON of the run
 //!                      (open in chrome://tracing or ui.perfetto.dev;
 //!                      see DESIGN.md §10 for the schema)
@@ -146,13 +150,26 @@ fn has_flag(args: &[String], flag: &str) -> bool {
 }
 
 /// Render settings with the `--pool` thread count applied (1 = serial,
-/// 0 = auto via `NOW_THREADS` / available parallelism).
+/// 0 = auto via `NOW_THREADS` / available parallelism) and the `--tile`
+/// WxH hint folded into `tile_hint` (pixels per pool tile).
 fn render_settings(args: &[String]) -> Result<RenderSettings, String> {
     let mut settings = RenderSettings::default();
     if let Some(v) = flag_value(args, "--pool") {
         settings.threads = v.parse().map_err(|_| "bad --pool value".to_string())?;
     }
+    if let Some(v) = flag_value(args, "--tile") {
+        settings.tile_hint = parse_tile_hint(v)?;
+    }
     Ok(settings)
+}
+
+/// Parse a `--tile WxH` spec into a pixels-per-tile hint.
+fn parse_tile_hint(spec: &str) -> Result<u32, String> {
+    let err = || format!("bad --tile value {spec:?} (expected WxH, e.g. 64x16)");
+    let (w, h) = spec.split_once(['x', 'X']).ok_or_else(err)?;
+    let w: u32 = w.parse().map_err(|_| err())?;
+    let h: u32 = h.parse().map_err(|_| err())?;
+    w.checked_mul(h).filter(|&p| p > 0).ok_or_else(err)
 }
 
 fn outdir(args: &[String]) -> Result<PathBuf, String> {
@@ -668,4 +685,27 @@ fn cmd_demo(args: &[String]) -> CliResult {
 fn write_frame(fb: &Framebuffer, dir: &Path, frame: usize) -> CliResult {
     let path = dir.join(format!("frame_{frame:04}.tga"));
     image_io::write_tga(fb, &path).map_err(|e| format!("write {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_flag_parses_into_pixel_hint() {
+        assert_eq!(parse_tile_hint("64x16"), Ok(1024));
+        assert_eq!(parse_tile_hint("8X8"), Ok(64));
+        assert!(parse_tile_hint("64").is_err());
+        assert!(parse_tile_hint("0x16").is_err());
+        assert!(parse_tile_hint("ax16").is_err());
+
+        let args: Vec<String> = ["--pool", "4", "--tile", "32x8"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let settings = render_settings(&args).unwrap();
+        assert_eq!(settings.threads, 4);
+        assert_eq!(settings.tile_hint, 256);
+        assert!(render_settings(&["--tile".to_string(), "what".to_string()]).is_err());
+    }
 }
