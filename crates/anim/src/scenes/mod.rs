@@ -4,8 +4,48 @@ pub mod glassball;
 pub mod newton;
 pub mod orbit;
 
+use crate::Animation;
 use now_math::{Affine, Point3, Vec3, EPSILON};
 use now_raytrace::{Geometry, Material, Object};
+
+/// Build an [`Animation`] from a self-contained scene spec string: either
+/// a `demo:NAME[:FRAMES[:WxH]]` reference to a built-in scene (`newton`,
+/// `glassball`, `orbit`; defaults 10 frames at 160x120) or the scene
+/// description language accepted by [`crate::parse::parse_animation`].
+///
+/// Unlike a file path, a spec is *transportable*: a render service can
+/// ship it inside a job submission and rebuild the identical animation on
+/// the other side. `nowfarm` resolves file arguments to their text before
+/// submitting for exactly this reason.
+pub fn from_spec(spec: &str) -> Result<Animation, String> {
+    if let Some(rest) = spec.strip_prefix("demo:") {
+        let mut parts = rest.split(':');
+        let name = parts.next().unwrap_or("");
+        let frames: usize = match parts.next() {
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad frame count in `{spec}`"))?,
+            None => 10,
+        };
+        let (w, h) = match parts.next() {
+            Some(sz) => sz
+                .split_once('x')
+                .and_then(|(w, h)| Some((w.parse().ok()?, h.parse().ok()?)))
+                .ok_or_else(|| format!("bad size in `{spec}` (want WxH)"))?,
+            None => (160, 120),
+        };
+        if w == 0 || h == 0 || frames == 0 {
+            return Err(format!("degenerate demo size in `{spec}`"));
+        }
+        return match name {
+            "newton" => Ok(newton::animation_sized(w, h, frames)),
+            "glassball" => Ok(glassball::animation_sized(w, h, frames)),
+            "orbit" => Ok(orbit::animation_sized(w, h, frames, 8, 0.5)),
+            other => Err(format!("unknown demo `{other}` (newton|glassball|orbit)")),
+        };
+    }
+    crate::parse::parse_animation(spec).map_err(|e| e.to_string())
+}
 
 /// Build a cylinder object spanning from point `a` to point `b` with the
 /// given radius.

@@ -5,7 +5,10 @@
 //! reboot. PR 1 made *worker* death survivable; this module makes the
 //! master's own state durable, so a master crash (power loss, OOM kill,
 //! operator reboot) loses at most the in-flight work since the last
-//! record.
+//! record. Two higher layers write this format: the per-run farm journal
+//! (`now_core::journal`, one per render) and the multi-tenant service's
+//! job table (`now_core::service`, `service.journal` plus one per-job
+//! `run.journal` under `jobs/job_NNNNNN/`).
 //!
 //! ## On-disk format
 //!

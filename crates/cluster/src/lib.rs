@@ -15,6 +15,10 @@
 //!   across processes and machines, with length-prefixed framing, a
 //!   node-id handshake, heartbeats and the same lease recovery — the
 //!   deployment model the paper actually ran (PVM daemons over Ethernet).
+//!   Connections come in three roles: handshaking joiners, enrolled
+//!   workers, and control-plane *clients* whose request frames are routed
+//!   through [`MasterLogic::client_frame`] (job submit/status/cancel for
+//!   a long-lived service master).
 //! * [`sim`] — a deterministic discrete-event simulator of heterogeneous
 //!   workstations on a shared-bus Ethernet. Machines have relative speeds
 //!   (the paper's fast SGI is 2x the other two) and the bus has latency,

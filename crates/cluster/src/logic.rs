@@ -104,6 +104,34 @@ pub trait MasterLogic {
     fn all_done(&self) -> bool {
         true
     }
+
+    /// Answer one control-plane frame from a *client* connection (the
+    /// third connection role of the TCP transport, next to handshaking
+    /// and enrolled workers — see `now_cluster::net`). A client opens a
+    /// connection and, instead of `HELLO`, sends a request frame whose
+    /// tag satisfies [`crate::net::tag::is_client`]; the master routes
+    /// the raw tag + payload here and queues the returned `(tag,
+    /// payload)` reply on the same connection.
+    ///
+    /// `None` means this master does not serve clients (or the tag is
+    /// unacceptable): the connection is retired as a protocol violation,
+    /// exactly like any other garbage opener. The default serves nobody,
+    /// so plain single-job masters are unaffected.
+    fn client_frame(&mut self, _tag: u32, _payload: &[u8]) -> Option<(u32, Vec<u8>)> {
+        None
+    }
+
+    /// Long-lived service mode. While `true`, the TCP master keeps the
+    /// run alive even when no assignable work exists: idle workers park
+    /// instead of shutting down, the accept window never expires the
+    /// run, and parked workers are re-polled every sweep because client
+    /// submissions may create work at any moment. A service master
+    /// returns `false` once it has been drained (no more submissions
+    /// accepted, every job terminal), which releases the workers and
+    /// ends the run. The default (`false`) preserves one-shot semantics.
+    fn service_active(&self) -> bool {
+        false
+    }
 }
 
 /// Worker-side application logic.

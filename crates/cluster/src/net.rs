@@ -88,6 +88,38 @@ pub mod tag {
     pub const PONG: u32 = 0x4E4F_0008;
     /// Master → worker: enrollment refused; payload is `reason (str)`.
     pub const REJECT: u32 = 0x4E4F_0009;
+
+    // -- control plane (client role) ----------------------------------
+    //
+    // A *client* connection never says HELLO: its first frame is one of
+    // the request tags below, which moves the connection into the
+    // `Client` phase. Payloads are application-defined — the master
+    // routes them through `MasterLogic::client_frame` untouched.
+
+    /// Client → master: submit a job; payload is an application job spec.
+    pub const SUBMIT: u32 = 0x4E4F_0010;
+    /// Client → master: query one job; payload is the job id (u64).
+    pub const STATUS: u32 = 0x4E4F_0011;
+    /// Client → master: cancel one job; payload is the job id (u64).
+    pub const CANCEL: u32 = 0x4E4F_0012;
+    /// Client → master: list jobs; empty payload.
+    pub const JOBS: u32 = 0x4E4F_0013;
+    /// Client → master: stop admitting jobs and exit once drained.
+    pub const DRAIN: u32 = 0x4E4F_0014;
+    /// Master → client: request accepted; payload depends on the request
+    /// (e.g. the assigned job id for `SUBMIT`).
+    pub const JOB_OK: u32 = 0x4E4F_0015;
+    /// Master → client: one job's status record.
+    pub const JOB_INFO: u32 = 0x4E4F_0016;
+    /// Master → client: the job table listing.
+    pub const JOB_LIST: u32 = 0x4E4F_0017;
+    /// Master → client: request refused; payload is `reason (str)`.
+    pub const SVC_ERR: u32 = 0x4E4F_0018;
+
+    /// True for the request tags a control-plane client may send.
+    pub fn is_client(tag: u32) -> bool {
+        matches!(tag, SUBMIT | STATUS | CANCEL | JOBS | DRAIN)
+    }
 }
 
 fn io_to_channel(e: &std::io::Error) -> ChannelError {
@@ -350,6 +382,9 @@ enum Phase {
     Hello,
     /// Handshake complete; bound to a worker slot.
     Enrolled,
+    /// Control-plane client: opened with a request tag instead of
+    /// `HELLO`; requests are routed through `MasterLogic::client_frame`.
+    Client,
     /// Sending final frames (`REJECT`/`SHUTDOWN`); inbound is ignored.
     Draining,
 }
@@ -563,6 +598,9 @@ impl TcpMaster {
         let mut left_early = 0u64;
         let mut rejected = 0u64;
         let mut job_complete = false;
+        // latched once `master.service_active()` is ever observed true:
+        // a drained service terminates cleanly instead of TimedOut
+        let mut service_seen = false;
         let mut ping_seq = 0u64;
         let mut total_msgs = 0u64;
         let mut total_bytes = 0u64;
@@ -677,7 +715,11 @@ impl TcpMaster {
                             }
                         }
                         None => {
-                            if ledger.has_pending() || ledger.has_retry() {
+                            // a live service may grow new work at any
+                            // moment (client submissions), so its idle
+                            // workers park instead of shutting down
+                            if master.service_active() || ledger.has_pending() || ledger.has_retry()
+                            {
                                 slots[w].state = WState::Parked;
                             } else {
                                 let _ = send_to!(w, tag::SHUTDOWN, Vec::new());
@@ -797,6 +839,29 @@ impl TcpMaster {
                 let Some((phase, wopt)) = info else { continue };
                 match phase {
                     Phase::Hello => {
+                        if tag::is_client(msg.tag) {
+                            // control-plane client: no handshake, the
+                            // first request frame IS the introduction
+                            match master.client_frame(msg.tag, &msg.payload) {
+                                Some((rtag, payload)) => {
+                                    if let Some(c) = conns[ci].as_mut() {
+                                        c.phase = Phase::Client;
+                                        let _ = c.queue(&Message {
+                                            from: 0,
+                                            to: 0,
+                                            tag: rtag,
+                                            payload,
+                                        });
+                                    }
+                                }
+                                None => {
+                                    // this master serves no clients
+                                    rejected += 1;
+                                    retire_conn!(ci);
+                                }
+                            }
+                            continue;
+                        }
                         if msg.tag != tag::HELLO {
                             rejected += 1;
                             retire_conn!(ci);
@@ -918,6 +983,27 @@ impl TcpMaster {
                             _ => worker_gone!(w),
                         }
                     }
+                    Phase::Client => {
+                        // a client may pipeline further requests on the
+                        // same connection; anything else is a violation
+                        if !tag::is_client(msg.tag) {
+                            retire_conn!(ci);
+                            continue;
+                        }
+                        match master.client_frame(msg.tag, &msg.payload) {
+                            Some((rtag, payload)) => {
+                                if let Some(c) = conns[ci].as_mut() {
+                                    let _ = c.queue(&Message {
+                                        from: 0,
+                                        to: 0,
+                                        tag: rtag,
+                                        payload,
+                                    });
+                                }
+                            }
+                            None => retire_conn!(ci),
+                        }
+                    }
                     Phase::Draining => {} // rejected peer; ignore inbound
                 }
             }
@@ -954,6 +1040,13 @@ impl TcpMaster {
                             activity = true;
                         }
                     }
+                    Phase::Client
+                        if net.read_timeout_s > 0.0 && t - c.last_read_s > net.read_timeout_s =>
+                    {
+                        // an idle client holds no leases; just hang up
+                        retire_conn!(ci);
+                        activity = true;
+                    }
                     _ => {}
                 }
             }
@@ -983,11 +1076,15 @@ impl TcpMaster {
             }
 
             // -- scheduler: the thread backend's certainty logic -------
+            let service = master.service_active();
+            service_seen |= service;
             let certain = slots
                 .iter()
                 .any(|s| s.state == WState::Active && s.in_flight && !s.started)
                 || ledger.has_pending();
-            if ledger.has_retry() || !certain {
+            // a live service re-polls parked workers every sweep: a
+            // client submission can create work while `certain` holds
+            if ledger.has_retry() || !certain || service {
                 let parked: Vec<usize> = (0..slots.len())
                     .filter(|&w| slots[w].state == WState::Parked)
                     .collect();
@@ -995,7 +1092,8 @@ impl TcpMaster {
                     give_work!(w);
                 }
             }
-            if !certain
+            if !service
+                && !certain
                 && !ledger.has_pending()
                 && !ledger.has_retry()
                 && slots.iter().all(|s| s.state != WState::Parked)
@@ -1027,7 +1125,16 @@ impl TcpMaster {
 
             // -- termination -------------------------------------------
             let hello_open = conns.iter().flatten().any(|c| c.phase == Phase::Hello);
-            if slots.is_empty() {
+            if service {
+                // long-lived service: stay up regardless of the accept
+                // window — clients and workers may arrive at any time,
+                // and the application decides when the service drains
+            } else if slots.is_empty() {
+                if service_seen {
+                    // drained service with no workers left (or none ever
+                    // joined): every job is terminal, exit cleanly
+                    break;
+                }
                 if !hello_open && t >= net.accept_window_s {
                     return Err(ChannelError::TimedOut);
                 }
@@ -1035,7 +1142,11 @@ impl TcpMaster {
                 let clean = job_complete && !ledger.has_pending() && !ledger.has_retry();
                 // keep the door open for replacement joiners only while
                 // the quorum was never met and the window is still open
-                if clean || joined_total as usize >= cfg.workers || t >= net.accept_window_s {
+                if service_seen
+                    || clean
+                    || joined_total as usize >= cfg.workers
+                    || t >= net.accept_window_s
+                {
                     break;
                 }
             }

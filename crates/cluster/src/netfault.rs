@@ -12,6 +12,11 @@
 //! before every read/write sweep, and blocking worker-side sockets can be
 //! wrapped in a [`FaultedStream`]. Both interpret the same rules, so a
 //! scenario expressed once runs on sim, threads, and real sockets.
+//!
+//! Both `nowfarm master` and the long-lived `nowfarm serve` read a plan
+//! from the `NOW_NET_FAULTS` environment variable (the [`parse`] grammar),
+//! so the same chaos specs apply to one-shot runs and to the job-queue
+//! service's control plane.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;

@@ -390,3 +390,34 @@ fn hello_replay_mid_session_kills_only_that_connection() {
     worker.join().expect("worker");
     drop(replayer);
 }
+
+/// A control-plane request (SUBMIT) aimed at a master that does not
+/// serve clients — `MasterLogic::client_frame` is the default `None` —
+/// is a protocol violation: the connection is retired as rejected and
+/// the single-job run finishes undisturbed.
+#[test]
+fn client_frame_on_non_service_master_is_rejected() {
+    let net = NetConfig {
+        accept_window_s: 10.0,
+        ..NetConfig::default()
+    };
+    let (addr, master) = run_master(1, 40, net);
+
+    let mut client = TcpStream::connect(addr).expect("connect");
+    let submit = Message {
+        from: 0,
+        to: 0,
+        tag: now_cluster::net::tag::SUBMIT,
+        payload: vec![1, 2, 3],
+    };
+    write_frame(&mut client, &submit).expect("send submit");
+    std::thread::sleep(Duration::from_millis(150));
+
+    let worker = serve_worker(addr, 0);
+    let (logic, report) = master.join().expect("master thread");
+    assert_eq!(logic.done, 40, "every unit integrated exactly once");
+    assert_eq!(report.workers_joined, 1, "only the honest worker joined");
+    assert_eq!(report.workers_rejected, 1, "the client was turned away");
+    worker.join().expect("worker");
+    drop(client);
+}

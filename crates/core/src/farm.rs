@@ -5,6 +5,12 @@
 //! [`CoherentRenderer`] for its current region and ships back only the
 //! pixels it recomputed. One implementation runs on both the
 //! discrete-event simulator and real threads.
+//!
+//! [`FarmMaster`] is also the per-job engine inside the multi-tenant
+//! service ([`crate::service`]): the service builds one lazily per
+//! admitted job and treats the scheduler's worker indices as opaque
+//! owner labels, so a single elastic worker pool can interleave units
+//! from many concurrent jobs.
 
 use crate::cost::CostModel;
 use crate::journal::{FarmJournal, JournalSpec};

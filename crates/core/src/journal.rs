@@ -2,7 +2,13 @@
 //! a restarted master resumes from it.
 //!
 //! Built on the generic record log in [`now_cluster::journal`], this
-//! module defines the three farm record types and the resume protocol:
+//! module defines the three farm record types and the resume protocol.
+//! The multi-tenant service ([`crate::service`]) stacks on top: each
+//! admitted job gets its own journal in this format under
+//! `jobs/job_NNNNNN/run.journal`, while the service's own
+//! `service.journal` tracks the job table itself.
+//!
+//! The record types:
 //!
 //! * **RunHeader** — the scene fingerprint (the same bytes as the TCP job
 //!   header) plus the partition scheme. A resume validates this byte-for-

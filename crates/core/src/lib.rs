@@ -24,11 +24,17 @@
 //! * [`journal`] — the durable run journal: a write-ahead record log plus
 //!   atomically-written frame files, letting a crashed master resume with
 //!   byte-identical output (`run_*_with` + [`journal::JournalSpec`]).
+//! * [`service`] — the multi-tenant job-queue service: a long-lived
+//!   [`service::ServiceMaster`] holding a table of independent render
+//!   jobs, admitting submissions over the TCP control plane, and
+//!   interleaving their units onto one worker pool with stride
+//!   fair-share + priority scheduling (DESIGN.md §15).
 
 pub mod cost;
 pub mod farm;
 pub mod journal;
 pub mod partition;
+pub mod service;
 pub mod single;
 
 pub use cost::CostModel;
@@ -39,4 +45,8 @@ pub use farm::{
 };
 pub use journal::JournalSpec;
 pub use partition::PartitionScheme;
+pub use service::{
+    run_service_master, run_service_sim, serve_service_worker, JobSpec, JobState, JobStatus,
+    ServiceClient, ServiceConfig, ServiceCounters, ServiceMaster, ServiceUnit, ServiceWorker,
+};
 pub use single::{render_sequence, SequenceMode, SequenceReport, SingleMachine};

@@ -51,7 +51,31 @@
 //! nowfarm demo   NAME [frames [WxH]]        render a built-in animation
 //!                                           (newton | glassball | orbit)
 //!   --pool N           intra-worker tile-pool threads (0 = auto; default 1)
+//!
+//! nowfarm serve  [opts]                     long-lived multi-tenant service
+//!   --listen ADDR      address to listen on (default 127.0.0.1:0; the
+//!                      chosen port is printed as `listening on ...`)
+//!   --workers N        worker quorum hint (default 1; more may join)
+//!   --root DIR         durability root: service journal + per-job
+//!                      journal/frames/metrics under DIR/jobs/job_NNNNNN
+//!   --resume           reopen the job table from DIR's service journal
+//!   --max-queued N     admission bound on live jobs (default 4096)
+//!   --weight T=W       fair-share weight for tenant T (repeatable)
+//!   --lease S          lease recovery with an S-second base lease
+//!   --heartbeat-s S    ping cadence towards live workers (default 0.25)
+//! nowfarm submit SCENE --connect ADDR       submit a job to a service
+//!   --tenant T         tenant to bill against (default "default")
+//!   --priority P       priority within the tenant (default 0)
+//!   --plain            disable frame coherence for this job
+//! nowfarm status ID  --connect ADDR         one job's state
+//! nowfarm cancel ID  --connect ADDR         cancel a live job
+//! nowfarm jobs       --connect ADDR         list every job
+//! nowfarm drain      --connect ADDR         stop admitting; exit when idle
 //! ```
+//!
+//! `worker --service --connect ADDR` joins a service instead of a
+//! single-job master: no scene argument — the worker learns each job's
+//! scene from its first unit and caches per-job render state.
 //!
 //! `SCENE` is a scene file, or a spec `demo:NAME[:FRAMES[:WxH]]` naming a
 //! built-in animation — handy for `master`/`worker`, where every process
@@ -69,14 +93,15 @@
 //! pixels are computed.
 
 use now_math::Color;
-use nowrender::anim::parse::parse_animation;
-use nowrender::anim::scenes::{glassball, newton, orbit};
+use nowrender::anim::scenes::{from_spec, glassball, newton, orbit};
 use nowrender::anim::Animation;
 use nowrender::cluster::{ConnectConfig, MachineSpec, NetFaultPlan, RecoveryConfig, SimCluster};
 use nowrender::coherence::CoherentRenderer;
+use nowrender::core::service::ServiceConfig;
 use nowrender::core::{
-    bind_tcp_master, run_sim_with, run_tcp_master_with, run_threads_with, serve_tcp_worker,
-    CostModel, FarmConfig, FarmResult, JournalSpec, PartitionScheme, TcpFarmConfig,
+    bind_tcp_master, run_service_master, run_sim_with, run_tcp_master_with, run_threads_with,
+    serve_service_worker, serve_tcp_worker, CostModel, FarmConfig, FarmResult, JobSpec,
+    JournalSpec, PartitionScheme, ServiceClient, ServiceMaster, TcpFarmConfig,
 };
 use nowrender::grid::GridSpec;
 use nowrender::raytrace::{image_io, Framebuffer, RenderSettings};
@@ -92,9 +117,15 @@ fn main() {
         Some("master") => cmd_master(&args[1..]),
         Some("worker") => cmd_worker(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
+        Some("status") => cmd_status(&args[1..]),
+        Some("cancel") => cmd_cancel(&args[1..]),
+        Some("jobs") => cmd_jobs(&args[1..]),
+        Some("drain") => cmd_drain(&args[1..]),
         _ => {
             eprintln!(
-                "usage: nowfarm <info|render|farm|master|worker|demo> ... (see --help in the README)"
+                "usage: nowfarm <info|render|farm|master|worker|demo|serve|submit|status|cancel|jobs|drain> ... (see the README)"
             );
             exit(2);
         }
@@ -107,35 +138,21 @@ fn main() {
 
 type CliResult = Result<(), String>;
 
+/// Resolve a CLI scene argument to a *transportable spec*: `demo:...`
+/// strings pass through, a file path is replaced by its text. The result
+/// can be parsed locally or shipped inside a service job submission.
+fn scene_spec(path: &str) -> Result<String, String> {
+    if path.starts_with("demo:") {
+        return Ok(path.to_string());
+    }
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
 /// Load a scene file, or construct a built-in animation from a
 /// `demo:NAME[:FRAMES[:WxH]]` spec. The spec form lets separate master
 /// and worker processes build bit-identical scenes without sharing files.
 fn load_animation(path: &str) -> Result<Animation, String> {
-    if let Some(rest) = path.strip_prefix("demo:") {
-        let mut parts = rest.split(':');
-        let name = parts.next().unwrap_or("");
-        let frames: usize = match parts.next() {
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("bad frame count in `{path}`"))?,
-            None => 10,
-        };
-        let (w, h) = match parts.next() {
-            Some(sz) => sz
-                .split_once('x')
-                .and_then(|(w, h)| Some((w.parse().ok()?, h.parse().ok()?)))
-                .ok_or_else(|| format!("bad size in `{path}` (want WxH)"))?,
-            None => (160, 120),
-        };
-        return match name {
-            "newton" => Ok(newton::animation_sized(w, h, frames)),
-            "glassball" => Ok(glassball::animation_sized(w, h, frames)),
-            "orbit" => Ok(orbit::animation_sized(w, h, frames, 8, 0.5)),
-            other => Err(format!("unknown demo `{other}` (newton|glassball|orbit)")),
-        };
-    }
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    parse_animation(&text).map_err(|e| format!("{path}: {e}"))
+    from_spec(&scene_spec(path)?).map_err(|e| format!("{path}: {e}"))
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -583,10 +600,17 @@ fn cmd_master(args: &[String]) -> CliResult {
 }
 
 fn cmd_worker(args: &[String]) -> CliResult {
-    let path = args
-        .first()
-        .ok_or("worker needs a scene (file or demo:NAME:FRAMES:WxH)")?;
-    let anim = load_animation(path)?;
+    let service = has_flag(args, "--service");
+    let anim = if service {
+        // a service worker is scene-agnostic: it learns each job's scene
+        // from its first unit
+        None
+    } else {
+        let path = args
+            .first()
+            .ok_or("worker needs a scene (file or demo:NAME:FRAMES:WxH), or --service")?;
+        Some(load_animation(path)?)
+    };
     let addr = flag_value(args, "--connect").ok_or("worker needs --connect ADDR")?;
     // scheme, coherence and grid resolution are the master's decisions:
     // the worker adopts them from the handshake's job header
@@ -620,7 +644,11 @@ fn cmd_worker(args: &[String]) -> CliResult {
     let mut attempt = 0;
     loop {
         println!("connecting to {addr} ...");
-        match serve_tcp_worker(&anim, &cfg, addr, &connect) {
+        let session = match &anim {
+            Some(anim) => serve_tcp_worker(anim, &cfg, addr, &connect),
+            None => serve_service_worker(addr, &connect, &cfg.settings),
+        };
+        match session {
             Ok(s) => {
                 println!(
                     "worker {} done: {} units, {:.2}s busy, {} bytes sent, {} bytes received",
@@ -679,6 +707,207 @@ fn cmd_demo(args: &[String]) -> CliResult {
         );
     }
     println!("{frames} frames -> {}", dir.display());
+    Ok(())
+}
+
+/// Every value of a repeatable flag, in order.
+fn flag_values<'a>(args: &'a [String], flag: &str) -> Vec<&'a str> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == flag)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .map(String::as_str)
+        .collect()
+}
+
+fn cmd_serve(args: &[String]) -> CliResult {
+    let mut cfg = ServiceConfig {
+        settings: render_settings(args)?,
+        ..ServiceConfig::default()
+    };
+    if let Some(v) = flag_value(args, "--max-queued") {
+        cfg.max_queued = v.parse().map_err(|_| "bad --max-queued value")?;
+    }
+    for spec in flag_values(args, "--weight") {
+        let (tenant, w) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("bad --weight `{spec}` (want TENANT=W)"))?;
+        let w: u32 = w.parse().map_err(|_| format!("bad weight in `{spec}`"))?;
+        cfg.weights.push((tenant.to_string(), w.max(1)));
+    }
+    let resume = has_flag(args, "--resume");
+    if let Some(root) = flag_value(args, "--root") {
+        cfg.root = Some(PathBuf::from(root));
+    } else if resume {
+        return Err("--resume needs --root DIR (the service journal to reopen)".into());
+    }
+    let master = if resume {
+        ServiceMaster::resume(cfg)?
+    } else {
+        ServiceMaster::new(cfg)?
+    };
+
+    let workers: usize = flag_value(args, "--workers")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| "bad --workers value")?;
+    let mut tcp = TcpFarmConfig::new(workers.max(1));
+    if let Some(v) = flag_value(args, "--lease") {
+        let lease: f64 = v.parse().map_err(|_| "bad --lease value")?;
+        tcp.recovery = RecoveryConfig::with_lease(lease);
+    }
+    if let Some(v) = flag_value(args, "--heartbeat-s") {
+        let hb: f64 = v.parse().map_err(|_| "bad --heartbeat-s value")?;
+        if hb <= 0.0 || !hb.is_finite() {
+            return Err("--heartbeat-s must be positive".into());
+        }
+        tcp.net.heartbeat_s = hb;
+    }
+    if let Ok(spec) = std::env::var("NOW_NET_FAULTS") {
+        if !spec.trim().is_empty() {
+            tcp.net_faults =
+                NetFaultPlan::parse(&spec).map_err(|e| format!("NOW_NET_FAULTS: {e}"))?;
+            eprintln!("net-fault plan armed: {}", tcp.net_faults.to_spec());
+        }
+    }
+
+    let listen = flag_value(args, "--listen").unwrap_or("127.0.0.1:0");
+    // like `master --resume`: a restarted service rebinds its fixed port,
+    // which the kernel may hold busy briefly after a kill
+    let listener = {
+        let mut attempt = 0;
+        loop {
+            match bind_tcp_master(listen) {
+                Ok(l) => break l,
+                Err(e) if attempt < 12 => {
+                    attempt += 1;
+                    eprintln!("{e}; retrying bind ({attempt}/12)");
+                    std::thread::sleep(std::time::Duration::from_millis(250));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    };
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("local addr: {e}"))?;
+    // scripts and tests parse this line to learn the real port
+    println!("listening on {addr}");
+    std::io::Write::flush(&mut std::io::stdout()).map_err(|e| format!("stdout: {e}"))?;
+    println!("service up; drain with `nowfarm drain --connect {addr}`");
+
+    let (master, report) = run_service_master(listener, master, &tcp)?;
+    let c = master.counters;
+    println!(
+        "service drained: {} submitted, {} completed, {} cancelled, {} rejected, {} stale results",
+        c.submitted, c.completed, c.cancelled, c.rejected, c.stale_results
+    );
+    println!(
+        "makespan {:.2}s, {} unit grants, {} messages, {} bytes over the wire",
+        report.makespan_s,
+        master.total_grants(),
+        report.messages,
+        report.bytes
+    );
+    for (tenant, grants) in master.tenant_grants() {
+        println!("  tenant {tenant:<16} {grants:6} unit grants");
+    }
+    Ok(())
+}
+
+/// A control-plane client for the `--connect ADDR` of a service command.
+fn service_client(args: &[String]) -> Result<ServiceClient, String> {
+    let addr = flag_value(args, "--connect").ok_or("need --connect ADDR")?;
+    ServiceClient::connect(addr, 30.0)
+}
+
+fn cmd_submit(args: &[String]) -> CliResult {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("submit needs a scene (file or demo:NAME:FRAMES:WxH)")?;
+    let mut spec = JobSpec::new(scene_spec(path)?);
+    if let Some(t) = flag_value(args, "--tenant") {
+        spec.tenant = t.to_string();
+    }
+    if let Some(p) = flag_value(args, "--priority") {
+        spec.priority = p.parse().map_err(|_| "bad --priority value")?;
+    }
+    spec.coherence = !has_flag(args, "--plain");
+    let mut client = service_client(args)?;
+    match client.submit(&spec)? {
+        Ok(id) => {
+            println!("job {id}");
+            Ok(())
+        }
+        Err(reason) => Err(format!("rejected: {reason}")),
+    }
+}
+
+fn job_id_arg(args: &[String]) -> Result<u64, String> {
+    args.first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("need a job id".to_string())?
+        .parse()
+        .map_err(|_| "bad job id".to_string())
+}
+
+fn print_status(st: &nowrender::core::JobStatus) {
+    println!(
+        "job {:<6} {:<10} tenant {:<16} prio {:4}  frames {}/{}  units {:6}  hash {}",
+        st.id,
+        st.state.name(),
+        st.tenant,
+        st.priority,
+        st.frames_done,
+        st.frames,
+        st.units_done,
+        if st.job_hash != 0 {
+            format!("{:016x}", st.job_hash)
+        } else {
+            "-".to_string()
+        }
+    );
+}
+
+fn cmd_status(args: &[String]) -> CliResult {
+    let id = job_id_arg(args)?;
+    let mut client = service_client(args)?;
+    match client.status(id)? {
+        Ok(st) => {
+            print_status(&st);
+            Ok(())
+        }
+        Err(reason) => Err(reason),
+    }
+}
+
+fn cmd_cancel(args: &[String]) -> CliResult {
+    let id = job_id_arg(args)?;
+    let mut client = service_client(args)?;
+    match client.cancel(id)? {
+        Ok(()) => {
+            println!("job {id} cancelled");
+            Ok(())
+        }
+        Err(reason) => Err(reason),
+    }
+}
+
+fn cmd_jobs(args: &[String]) -> CliResult {
+    let mut client = service_client(args)?;
+    let jobs = client.jobs()?;
+    for st in &jobs {
+        print_status(st);
+    }
+    println!("{} jobs", jobs.len());
+    Ok(())
+}
+
+fn cmd_drain(args: &[String]) -> CliResult {
+    let mut client = service_client(args)?;
+    client.drain()?;
+    println!("drain requested");
     Ok(())
 }
 

@@ -1,0 +1,212 @@
+//! `nowload` — load generator for the multi-tenant render service.
+//!
+//! ```text
+//! nowload --connect ADDR [opts]
+//!   --jobs N           jobs to submit (default 20)
+//!   --tenants SPEC     tenants + weights for labeling, e.g. acme=3,blue=1
+//!                      (weights only shape the report; the *service* owns
+//!                      the real fair-share weights via `serve --weight`)
+//!   --scene SPEC       scene submitted for every job
+//!                      (default demo:glassball:2:32x24)
+//!   --seed S           RNG seed for tenant/priority/cancel choices
+//!   --priority-spread P  priorities drawn uniformly from -P..=P (default 0)
+//!   --cancel-frac F    fraction of admitted jobs to cancel mid-run
+//!   --poll-s S         status poll cadence while waiting (default 0.5)
+//!   --timeout-s S      give up after S seconds of polling (default 600)
+//!   --drain            send DRAIN after the run so the service exits
+//! ```
+//!
+//! Submits a seeded stream of jobs across tenants, optionally cancels a
+//! seeded sample mid-run, polls until every submitted job is terminal,
+//! then prints throughput and the per-tenant grant/completion split.
+//! Exits nonzero if any admitted job fails to reach a terminal state
+//! (or the service stops answering).
+
+use nowrender::core::{JobSpec, JobState, ServiceClient};
+use std::collections::BTreeMap;
+use std::process::exit;
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Splitmix64: tiny, seedable, plenty for load-shaping choices.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = run(&args) {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let addr = flag_value(args, "--connect").ok_or("need --connect ADDR")?;
+    let jobs: usize = flag_value(args, "--jobs")
+        .unwrap_or("20")
+        .parse()
+        .map_err(|_| "bad --jobs value")?;
+    let scene = flag_value(args, "--scene").unwrap_or("demo:glassball:2:32x24");
+    let seed: u64 = flag_value(args, "--seed")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| "bad --seed value")?;
+    let spread: i32 = flag_value(args, "--priority-spread")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| "bad --priority-spread value")?;
+    let cancel_frac: f64 = flag_value(args, "--cancel-frac")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| "bad --cancel-frac value")?;
+    let poll_s: f64 = flag_value(args, "--poll-s")
+        .unwrap_or("0.5")
+        .parse()
+        .map_err(|_| "bad --poll-s value")?;
+    let timeout_s: f64 = flag_value(args, "--timeout-s")
+        .unwrap_or("600")
+        .parse()
+        .map_err(|_| "bad --timeout-s value")?;
+
+    // tenant pool, weighted for *selection* (the submit mix)
+    let tenants: Vec<(String, u64)> = flag_value(args, "--tenants")
+        .unwrap_or("default=1")
+        .split(',')
+        .map(|t| match t.split_once('=') {
+            Some((name, w)) => {
+                let w = w.parse().map_err(|_| format!("bad tenant weight `{t}`"))?;
+                Ok((name.to_string(), w))
+            }
+            None => Ok((t.to_string(), 1)),
+        })
+        .collect::<Result<_, String>>()?;
+    let total_weight: u64 = tenants.iter().map(|(_, w)| *w.max(&1)).sum();
+
+    let mut client = ServiceClient::connect(addr, 30.0)?;
+    let mut rng = Rng(seed);
+    let t0 = std::time::Instant::now();
+    let mut admitted: Vec<u64> = Vec::new();
+    let mut rejected = 0usize;
+    for _ in 0..jobs {
+        // weighted tenant pick
+        let mut roll = rng.below(total_weight);
+        let mut tenant = tenants[0].0.as_str();
+        for (name, w) in &tenants {
+            let w = (*w).max(1);
+            if roll < w {
+                tenant = name;
+                break;
+            }
+            roll -= w;
+        }
+        let priority = if spread > 0 {
+            rng.below(2 * spread as u64 + 1) as i32 - spread
+        } else {
+            0
+        };
+        let spec = JobSpec::new(scene).tenant(tenant).priority(priority);
+        match client.submit(&spec)? {
+            Ok(id) => admitted.push(id),
+            Err(reason) => {
+                rejected += 1;
+                eprintln!("rejected: {reason}");
+            }
+        }
+    }
+    println!(
+        "submitted {} jobs ({} admitted, {rejected} rejected) in {:.2}s",
+        jobs,
+        admitted.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    // seeded cancel sample, issued while the pool is still rendering
+    let mut cancelled = 0usize;
+    for &id in &admitted {
+        if cancel_frac > 0.0 && rng.f64() < cancel_frac && client.cancel(id)?.is_ok() {
+            cancelled += 1;
+        }
+    }
+    if cancelled > 0 {
+        println!("cancelled {cancelled} jobs mid-run");
+    }
+
+    // poll to quiescence
+    let mut last_done = 0usize;
+    loop {
+        let statuses = client.jobs()?;
+        let mine: Vec<_> = statuses
+            .iter()
+            .filter(|s| admitted.contains(&s.id))
+            .collect();
+        let done = mine.iter().filter(|s| s.state.terminal()).count();
+        if done != last_done {
+            println!(
+                "{done}/{} terminal after {:.1}s",
+                admitted.len(),
+                t0.elapsed().as_secs_f64()
+            );
+            last_done = done;
+        }
+        if done == admitted.len() {
+            // per-tenant completion split
+            let mut by_tenant: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+            for s in &mine {
+                let e = by_tenant.entry(s.tenant.clone()).or_default();
+                e.0 += 1;
+                if s.state == JobState::Done {
+                    e.1 += 1;
+                }
+            }
+            let elapsed = t0.elapsed().as_secs_f64();
+            println!(
+                "all {} jobs terminal in {elapsed:.2}s ({:.1} jobs/s)",
+                admitted.len(),
+                admitted.len() as f64 / elapsed.max(1e-9)
+            );
+            for (tenant, (total, completed)) in &by_tenant {
+                println!("  tenant {tenant:<16} {completed}/{total} completed");
+            }
+            break;
+        }
+        if t0.elapsed().as_secs_f64() > timeout_s {
+            return Err(format!(
+                "timeout: only {done}/{} jobs terminal after {timeout_s}s",
+                admitted.len()
+            ));
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(poll_s.max(0.05)));
+    }
+
+    if has_flag(args, "--drain") {
+        client.drain()?;
+        println!("drain requested");
+    }
+    Ok(())
+}

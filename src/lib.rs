@@ -24,7 +24,10 @@
 //!   Ethernet.
 //! * [`core`] — the render farm: partitioning schemes (sequence
 //!   division / frame division / hybrid), adaptive demand-driven load
-//!   balancing, master/worker protocol, and the calibrated cost model.
+//!   balancing, master/worker protocol, the calibrated cost model, and
+//!   the multi-tenant job-queue service (`core::service`: stride
+//!   fair-share across tenants, admission control, crash-safe job
+//!   table — see DESIGN.md §15).
 //! * [`trace`] — the observability layer: ring-buffer event recorder,
 //!   counters and histograms, Chrome `trace_event` / metrics exporters,
 //!   and the normalized golden-trace stream (see DESIGN.md §10).

@@ -1,0 +1,163 @@
+//! Property tests for the service job table and scheduler.
+//!
+//! Seeded random streams of submissions (some invalid), priorities,
+//! tenant mixes, admission bounds and mid-run cancellations, run to
+//! quiescence on the simulator. The invariants:
+//!
+//! * lifecycle conservation — `completed + cancelled + rejected ==
+//!   submitted`, with every admitted job terminal at quiescence;
+//! * grant exclusivity — no `(job, frame, region)` unit is ever granted
+//!   twice in a fault-free run, i.e. a unit lives in exactly one live
+//!   job's ledger at a time;
+//! * cancellation is final — a job cancelled at grant `k` receives no
+//!   grant with sequence above `k`;
+//! * hashes are honest — every `Done` job carries a nonzero hash and a
+//!   full frame count, every `Cancelled` job carries none.
+
+use now_testkit::cases;
+use nowrender::cluster::{MachineSpec, SimCluster};
+use nowrender::core::service::{run_service_sim, JobSpec, JobState, ServiceConfig, ServiceMaster};
+use std::collections::{BTreeMap, BTreeSet};
+
+const SCENES: [&str; 3] = [
+    "demo:glassball:1:8x6",
+    "demo:newton:1:8x6",
+    "demo:orbit:2:8x6",
+];
+const BAD_SCENES: [&str; 3] = ["demo:nope", "garbage!!", "demo:glassball:0:8x6"];
+const TENANTS: [&str; 3] = ["acme", "blue", "crow"];
+
+#[test]
+fn random_submission_streams_preserve_lifecycle_invariants() {
+    cases(12, |rng| {
+        let max_queued = rng.usize_in(3, 16);
+        let mut m = ServiceMaster::new(ServiceConfig {
+            max_queued,
+            record_grants: true,
+            weights: vec![("acme".to_string(), rng.u32_in(1, 3))],
+            ..ServiceConfig::default()
+        })
+        .expect("in-memory service");
+
+        let total = rng.usize_in(4, 14);
+        let mut admitted = Vec::new();
+        for _ in 0..total {
+            let scene = if rng.u32_in(0, 9) == 0 {
+                *rng.pick(&BAD_SCENES)
+            } else {
+                *rng.pick(&SCENES)
+            };
+            let spec = JobSpec::new(scene)
+                .tenant(*rng.pick(&TENANTS))
+                .priority(rng.u32_in(0, 6) as i32 - 3)
+                .coherence(rng.bool());
+            if let Ok(id) = m.submit(spec) {
+                admitted.push(id);
+            }
+        }
+        // seeded mid-run cancellations: victim + trigger grant
+        let mut planned: BTreeMap<u64, u64> = BTreeMap::new();
+        for &id in &admitted {
+            if rng.u32_in(0, 3) == 0 {
+                let at = rng.usize_in(1, admitted.len().max(2)) as u64;
+                m.cancel_at_grant(at, id);
+                planned.insert(id, at);
+            }
+        }
+
+        let machines = (0..rng.usize_in(2, 5))
+            .map(|i| MachineSpec::new(&format!("m{i}"), 1.0 + i as f64 * 0.5, 256.0))
+            .collect();
+        let (m, _) = run_service_sim(m, &SimCluster::new(machines));
+
+        // conservation: every submission attempt is accounted for once
+        assert!(m.all_jobs_terminal(), "quiescence means all terminal");
+        let c = m.counters;
+        assert_eq!(c.submitted as usize, total);
+        assert_eq!(
+            c.completed + c.cancelled + c.rejected,
+            c.submitted,
+            "completed {} + cancelled {} + rejected {} != submitted {}",
+            c.completed,
+            c.cancelled,
+            c.rejected,
+            c.submitted
+        );
+        assert_eq!(
+            (c.completed + c.cancelled) as usize,
+            admitted.len(),
+            "every admitted job is terminal, nothing else is"
+        );
+
+        // grant exclusivity: a unit is granted to exactly one job, once
+        let mut seen: BTreeSet<(u64, u32, (u32, u32))> = BTreeSet::new();
+        for g in m.grant_log() {
+            assert!(
+                seen.insert((g.job, g.frame, g.region)),
+                "unit (job {}, frame {}, region {:?}) granted twice",
+                g.job,
+                g.frame,
+                g.region
+            );
+        }
+
+        // cancellation is final: no grants past the trigger
+        for g in m.grant_log() {
+            if let Some(&at) = planned.get(&g.job) {
+                let state = m.status(g.job).expect("known job").state;
+                if state == JobState::Cancelled {
+                    assert!(
+                        g.seq <= at,
+                        "job {} cancelled at grant {at} but granted at seq {}",
+                        g.job,
+                        g.seq
+                    );
+                }
+            }
+        }
+
+        // hashes are honest
+        for s in m.statuses() {
+            match s.state {
+                JobState::Done => {
+                    assert_ne!(s.job_hash, 0, "done job {} without a hash", s.id);
+                    assert_eq!(s.frames_done, s.frames, "done job {} incomplete", s.id);
+                }
+                JobState::Cancelled => {
+                    assert_eq!(s.job_hash, 0, "cancelled job {} has a hash", s.id)
+                }
+                other => panic!("job {} not terminal: {other:?}", s.id),
+            }
+        }
+    });
+}
+
+/// The admission bound really is a bound: with `max_queued = k`, at most
+/// `k` jobs are ever live, and everything over the bound is rejected
+/// with the explicit backpressure reason.
+#[test]
+fn admission_bound_rejects_overflow_with_reason() {
+    cases(8, |rng| {
+        let k = rng.usize_in(1, 5);
+        let mut m = ServiceMaster::new(ServiceConfig {
+            max_queued: k,
+            ..ServiceConfig::default()
+        })
+        .expect("in-memory service");
+        let total = k + rng.usize_in(1, 6);
+        let mut reasons = Vec::new();
+        for _ in 0..total {
+            if let Err(reason) = m.submit(JobSpec::new("demo:glassball:1:8x6")) {
+                reasons.push(reason);
+            }
+        }
+        assert_eq!(reasons.len(), total - k, "exactly the overflow is refused");
+        assert!(reasons.iter().all(|r| r == "queue full"), "{reasons:?}");
+        let (m, _) = run_service_sim(
+            m,
+            &SimCluster::new(vec![MachineSpec::new("m0", 1.0, 256.0)]),
+        );
+        assert_eq!(m.counters.completed as usize, k);
+        assert_eq!(m.counters.rejected as usize, total - k);
+    });
+}

@@ -1,0 +1,222 @@
+//! Hostile-client tests for the service control plane, mirroring the
+//! framing attacks in `crates/cluster/tests/net_frames.rs` one layer up:
+//! garbage SUBMIT payloads, oversized scene specs, cancels of unknown or
+//! finished jobs, junk opener tags, and clients that vanish mid-request.
+//! In every case the master keeps serving other clients, answers with an
+//! explicit reason where the protocol allows one, and never panics.
+
+use nowrender::cluster::net::{tag, write_frame};
+use nowrender::cluster::{ConnectConfig, Message};
+use nowrender::core::service::{
+    run_service_master, serve_service_worker, JobState, ServiceConfig, ServiceMaster,
+};
+use nowrender::core::{bind_tcp_master, JobSpec, ServiceClient, TcpFarmConfig};
+use nowrender::raytrace::RenderSettings;
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Run `f` against a live TCP service with one real worker attached,
+/// then drain and hand back the final master for assertions.
+fn with_service(cfg: ServiceConfig, f: impl FnOnce(&str)) -> ServiceMaster {
+    let listener = bind_tcp_master("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let tcp = TcpFarmConfig::new(1);
+    let master = ServiceMaster::new(cfg).expect("in-memory service");
+    let master_thread =
+        std::thread::spawn(move || run_service_master(listener, master, &tcp).expect("service"));
+    let worker_addr = addr.clone();
+    let worker_thread = std::thread::spawn(move || {
+        serve_service_worker(
+            &worker_addr,
+            &ConnectConfig::default(),
+            &RenderSettings::default(),
+        )
+        .expect("service worker")
+    });
+    f(&addr);
+    let _ = worker_thread.join().expect("worker thread");
+    let (master, _report) = master_thread.join().expect("master thread");
+    master
+}
+
+fn client(addr: &str) -> ServiceClient {
+    ServiceClient::connect(addr, 20.0).expect("connect client")
+}
+
+/// Block until `id` is terminal (tiny jobs finish in well under a second).
+fn wait_terminal(c: &mut ServiceClient, id: u64) -> JobState {
+    for _ in 0..600 {
+        let st = c.status(id).expect("transport").expect("known job");
+        if st.state.terminal() {
+            return st.state;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    panic!("job {id} never reached a terminal state");
+}
+
+#[test]
+fn garbage_submit_is_rejected_with_reason_and_connection_survives() {
+    let m = with_service(ServiceConfig::default(), |addr| {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(20)))
+            .unwrap();
+        // a SUBMIT whose payload is not a JobSpec at all
+        let junk = Message {
+            from: 0,
+            to: 0,
+            tag: tag::SUBMIT,
+            payload: vec![0xff; 13],
+        };
+        write_frame(&mut stream, &junk).expect("send junk");
+        let (reply, _) = nowrender::cluster::net::read_frame(&mut stream).expect("reply");
+        assert_eq!(reply.tag, tag::SVC_ERR);
+
+        // the same connection still works: a valid submit is admitted
+        let mut c = ServiceClient::connect(addr, 20.0).expect("second client");
+        let id = c
+            .submit(&JobSpec::new("demo:glassball:1:10x8"))
+            .expect("transport")
+            .expect("admitted");
+        assert_eq!(wait_terminal(&mut c, id), JobState::Done);
+        c.drain().expect("drain");
+    });
+    assert_eq!(m.counters.completed, 1);
+    assert_eq!(m.counters.rejected, 1, "the junk submit counts as rejected");
+    assert_eq!(
+        m.counters.completed + m.counters.cancelled + m.counters.rejected,
+        m.counters.submitted
+    );
+}
+
+#[test]
+fn oversized_scene_spec_is_rejected_not_parsed() {
+    let m = with_service(
+        ServiceConfig {
+            max_spec_bytes: 256,
+            ..ServiceConfig::default()
+        },
+        |addr| {
+            let mut c = client(addr);
+            let huge = JobSpec::new("s".repeat(4096));
+            let reason = c.submit(&huge).expect("transport").expect_err("rejected");
+            assert_eq!(reason, "scene spec too large");
+            let bad = JobSpec::new("sphere of confusion");
+            let reason = c.submit(&bad).expect("transport").expect_err("rejected");
+            assert!(reason.starts_with("bad scene:"), "{reason}");
+            c.drain().expect("drain");
+        },
+    );
+    assert_eq!(m.counters.rejected, 2);
+    assert_eq!(m.counters.completed, 0);
+}
+
+#[test]
+fn cancel_of_unknown_and_finished_jobs_fails_cleanly() {
+    let m = with_service(ServiceConfig::default(), |addr| {
+        let mut c = client(addr);
+        let reason = c.cancel(999).expect("transport").expect_err("rejected");
+        assert_eq!(reason, "unknown job id");
+        let reason = c.status(0).expect("transport").expect_err("rejected");
+        assert_eq!(reason, "unknown job id");
+
+        let id = c
+            .submit(&JobSpec::new("demo:newton:1:10x8"))
+            .expect("transport")
+            .expect("admitted");
+        assert_eq!(wait_terminal(&mut c, id), JobState::Done);
+        let reason = c.cancel(id).expect("transport").expect_err("rejected");
+        assert_eq!(reason, "job already finished");
+        c.drain().expect("drain");
+    });
+    assert_eq!(m.counters.completed, 1);
+    assert_eq!(m.counters.cancelled, 0);
+}
+
+#[test]
+fn client_disconnects_mid_request_master_keeps_serving() {
+    let m = with_service(ServiceConfig::default(), |addr| {
+        // fire a STATUS and slam the connection shut without reading
+        {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream.set_nodelay(true).unwrap();
+            let probe = Message {
+                from: 0,
+                to: 0,
+                tag: tag::STATUS,
+                payload: vec![0, 0, 0, 0, 0, 0, 0, 1],
+            };
+            write_frame(&mut stream, &probe).expect("send");
+            // drop without reading the reply
+        }
+        // a half-written frame, then gone
+        {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream.write_all(&[0x4e, 0x4f]).unwrap();
+        }
+        // an opener with a non-client, non-HELLO tag
+        {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            let junk = Message {
+                from: 9,
+                to: 0,
+                tag: 0xdead_beef,
+                payload: vec![1, 2, 3],
+            };
+            write_frame(&mut stream, &junk).expect("send");
+        }
+        // the master shrugged all three off: real clients still work
+        let mut c = client(addr);
+        let id = c
+            .submit(&JobSpec::new("demo:glassball:1:10x8"))
+            .expect("transport")
+            .expect("admitted");
+        assert_eq!(wait_terminal(&mut c, id), JobState::Done);
+        c.drain().expect("drain");
+    });
+    assert_eq!(m.counters.completed, 1);
+}
+
+#[test]
+fn pipelined_requests_answered_in_order() {
+    let m = with_service(ServiceConfig::default(), |addr| {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(20)))
+            .unwrap();
+        // three requests back to back before reading anything
+        let spec = JobSpec::new("demo:orbit:1:10x8");
+        let mut enc = nowrender::cluster::Encoder::new();
+        use nowrender::cluster::Wire;
+        spec.wire_encode(&mut enc);
+        let reqs = [
+            (tag::SUBMIT, enc.finish()),
+            (tag::JOBS, Vec::new()),
+            (tag::STATUS, 1u64.to_le_bytes().to_vec()),
+        ];
+        for (t, payload) in reqs {
+            let msg = Message {
+                from: 0,
+                to: 0,
+                tag: t,
+                payload,
+            };
+            write_frame(&mut stream, &msg).expect("send");
+        }
+        let mut tags = Vec::new();
+        for _ in 0..3 {
+            let (reply, _) = nowrender::cluster::net::read_frame(&mut stream).expect("reply");
+            tags.push(reply.tag);
+        }
+        assert_eq!(tags, vec![tag::JOB_OK, tag::JOB_LIST, tag::JOB_INFO]);
+
+        let mut c = client(addr);
+        assert_eq!(wait_terminal(&mut c, 1), JobState::Done);
+        c.drain().expect("drain");
+    });
+    assert_eq!(m.counters.completed, 1);
+}
