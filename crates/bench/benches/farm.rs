@@ -16,6 +16,7 @@ fn cfg(scheme: PartitionScheme, coherence: bool) -> FarmConfig {
         cost: CostModel::default(),
         grid_voxels: 4096,
         keep_frames: false,
+        wire_delta: true,
     }
 }
 

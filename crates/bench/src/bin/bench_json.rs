@@ -318,6 +318,73 @@ fn main() {
         });
     }
 
+    // --- frame wire traffic: compressed tile deltas vs raw pixels ---
+    // One coherent demo animation through the farm simulator twice —
+    // wire_delta on and off. Frames are byte-identical; only the
+    // worker→master encoding changes, so `ratio` is the honest wire
+    // saving the delta format buys on temporally coherent footage.
+    {
+        use now_anim::scenes::glassball;
+        use now_cluster::{MachineSpec, SimCluster};
+        use now_core::{run_sim, FarmConfig, PartitionScheme};
+        // same size in smoke mode: the ratio floor below is checked by
+        // CI, and the measurement must not shrink with the iteration cuts
+        let (ww, wh, wf) = (96, 72, 8);
+        let anim = glassball::animation_sized(ww, wh, wf);
+        let cluster = SimCluster::new(
+            (0..3)
+                .map(|i| MachineSpec::new(&format!("w{i}"), 1.0, 256.0))
+                .collect(),
+        );
+        let base = FarmConfig {
+            scheme: PartitionScheme::FrameDivision {
+                tile_w: 24,
+                tile_h: 24,
+                adaptive: true,
+            },
+            keep_frames: false,
+            ..FarmConfig::paper_default()
+        };
+        let t0 = Instant::now();
+        let delta = run_sim(&anim, &base, &cluster);
+        let dt = t0.elapsed().as_secs_f64();
+        let raw = run_sim(
+            &anim,
+            &FarmConfig {
+                wire_delta: false,
+                ..base.clone()
+            },
+            &cluster,
+        );
+        assert_eq!(
+            delta.frame_hashes, raw.frame_hashes,
+            "wire format must not change pixels"
+        );
+        records.push(Record {
+            name: "wire_frame_bytes",
+            mean_ns: dt * 1e9,
+            min_ns: dt * 1e9,
+            extra: vec![
+                ("width".into(), ww.to_string()),
+                ("height".into(), wh.to_string()),
+                ("frames".into(), wf.to_string()),
+                ("pixels_shipped".into(), delta.pixels_shipped.to_string()),
+                ("full_bytes".into(), raw.frame_bytes_wire.to_string()),
+                ("delta_bytes".into(), delta.frame_bytes_wire.to_string()),
+                (
+                    "ratio".into(),
+                    format!(
+                        "{:.3}",
+                        raw.frame_bytes_wire as f64 / delta.frame_bytes_wire.max(1) as f64
+                    ),
+                ),
+                // CI regression floor for `ratio`: the issue's ≥4x
+                // acceptance bar for coherent footage
+                ("floor".into(), "4.0".into()),
+            ],
+        });
+    }
+
     // --- hand-rolled JSON (no serde in the workspace) ---
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"smoke\": {smoke},\n"));

@@ -117,9 +117,35 @@ pub trait MasterLogic {
     /// unacceptable): the connection is retired as a protocol violation,
     /// exactly like any other garbage opener. The default serves nobody,
     /// so plain single-job masters are unaffected.
-    fn client_frame(&mut self, _tag: u32, _payload: &[u8]) -> Option<(u32, Vec<u8>)> {
+    ///
+    /// `client` is a stable token for the connection the frame arrived
+    /// on (the TCP transport never reuses tokens within a run). Masters
+    /// that stream unsolicited frames back — see [`client_pushes`] —
+    /// remember it as the push address; request/reply masters may
+    /// ignore it.
+    ///
+    /// [`client_pushes`]: MasterLogic::client_pushes
+    fn client_frame(&mut self, _client: u64, _tag: u32, _payload: &[u8]) -> Option<(u32, Vec<u8>)> {
         None
     }
+
+    /// Drain unsolicited `(client, tag, payload)` frames to push to
+    /// client connections, addressed by the token their request arrived
+    /// with in [`client_frame`]. The transport polls this every sweep
+    /// and queues each frame on the matching live client connection;
+    /// frames for clients that already disconnected are dropped. This is
+    /// how a master streams progress (e.g. partial frames) without the
+    /// client polling. Default: nothing to push.
+    ///
+    /// [`client_frame`]: MasterLogic::client_frame
+    fn client_pushes(&mut self) -> Vec<(u64, u32, Vec<u8>)> {
+        Vec::new()
+    }
+
+    /// A client connection was retired (clean close, timeout or protocol
+    /// violation). Masters holding per-client push state should drop it.
+    /// Default: no-op.
+    fn client_gone(&mut self, _client: u64) {}
 
     /// Long-lived service mode. While `true`, the TCP master keeps the
     /// run alive even when no assignable work exists: idle workers park
@@ -143,4 +169,17 @@ pub trait WorkerLogic: Send {
 
     /// Execute one unit, returning the result and its cost.
     fn perform(&mut self, unit: &Self::Unit) -> (Self::Result, WorkCost);
+}
+
+/// A `&mut` borrow of a worker is itself a worker, so callers can lend a
+/// long-lived worker to a transport session (e.g. one TCP connection)
+/// and keep its warmed state — scene, grid, coherence buffers — for the
+/// next session instead of rebuilding it on every reconnect.
+impl<W: WorkerLogic> WorkerLogic for &mut W {
+    type Unit = W::Unit;
+    type Result = W::Result;
+
+    fn perform(&mut self, unit: &Self::Unit) -> (Self::Result, WorkCost) {
+        (**self).perform(unit)
+    }
 }

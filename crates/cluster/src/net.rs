@@ -115,10 +115,21 @@ pub mod tag {
     pub const JOB_LIST: u32 = 0x4E4F_0017;
     /// Master → client: request refused; payload is `reason (str)`.
     pub const SVC_ERR: u32 = 0x4E4F_0018;
+    /// Client → master: subscribe to progressive frame updates for one
+    /// job; payload is the job id (u64). The master answers `JOB_OK`
+    /// and then pushes `FRAME_PROGRESS`/`FRAME_DELTA` frames as the
+    /// job's pixels land, without further requests.
+    pub const WATCH: u32 = 0x4E4F_0019;
+    /// Master → client (push): progress summary for a watched job.
+    pub const FRAME_PROGRESS: u32 = 0x4E4F_001A;
+    /// Master → client (push): one region of a partially-complete frame,
+    /// as a self-contained compressed tile (no prior client state
+    /// needed).
+    pub const FRAME_DELTA: u32 = 0x4E4F_001B;
 
     /// True for the request tags a control-plane client may send.
     pub fn is_client(tag: u32) -> bool {
-        matches!(tag, SUBMIT | STATUS | CANCEL | JOBS | DRAIN)
+        matches!(tag, SUBMIT | STATUS | CANCEL | JOBS | DRAIN | WATCH)
     }
 }
 
@@ -522,6 +533,8 @@ struct Slot {
     left_s: f64,
     /// Bytes the master received from this worker, folded in at retire.
     wire_in: u64,
+    /// Bytes the master sent to this worker, folded in at retire.
+    wire_out: u64,
 }
 
 /// The `HELLO` payload: `(identity, fingerprint)`. An empty payload is
@@ -618,7 +631,11 @@ impl TcpMaster {
                     total_bytes += c.bytes_in + c.bytes_out;
                     if let Some(w) = c.worker {
                         slots[w].wire_in += c.bytes_in;
+                        slots[w].wire_out += c.bytes_out;
                         slots[w].conn = None;
+                    }
+                    if c.phase == Phase::Client {
+                        master.client_gone(ci as u64);
                     }
                 }
             }};
@@ -841,8 +858,10 @@ impl TcpMaster {
                     Phase::Hello => {
                         if tag::is_client(msg.tag) {
                             // control-plane client: no handshake, the
-                            // first request frame IS the introduction
-                            match master.client_frame(msg.tag, &msg.payload) {
+                            // first request frame IS the introduction;
+                            // the conn index (never reused in a run) is
+                            // the client's push token
+                            match master.client_frame(ci as u64, msg.tag, &msg.payload) {
                                 Some((rtag, payload)) => {
                                     if let Some(c) = conns[ci].as_mut() {
                                         c.phase = Phase::Client;
@@ -904,6 +923,7 @@ impl TcpMaster {
                             joined_s: t,
                             left_s: 0.0,
                             wire_in: 0,
+                            wire_out: 0,
                         });
                         if identity != 0 {
                             identities.insert(identity, w);
@@ -990,7 +1010,7 @@ impl TcpMaster {
                             retire_conn!(ci);
                             continue;
                         }
-                        match master.client_frame(msg.tag, &msg.payload) {
+                        match master.client_frame(ci as u64, msg.tag, &msg.payload) {
                             Some((rtag, payload)) => {
                                 if let Some(c) = conns[ci].as_mut() {
                                     let _ = c.queue(&Message {
@@ -1006,6 +1026,30 @@ impl TcpMaster {
                     }
                     Phase::Draining => {} // rejected peer; ignore inbound
                 }
+            }
+
+            // -- unsolicited pushes to client connections --------------
+            for (client, ptag, payload) in master.client_pushes() {
+                activity = true;
+                let Some(c) = usize::try_from(client)
+                    .ok()
+                    .and_then(|ci| conns.get_mut(ci))
+                    .and_then(|s| s.as_mut())
+                else {
+                    continue; // client already hung up; drop the push
+                };
+                if c.phase != Phase::Client {
+                    continue;
+                }
+                let _ = c.queue(&Message {
+                    from: 0,
+                    to: 0,
+                    tag: ptag,
+                    payload,
+                });
+                // a push proves the stream is wanted: a quietly-watching
+                // client must not trip the idle read timeout
+                c.last_read_s = t;
             }
 
             // -- socket-level deaths (after their final frames) --------
@@ -1202,6 +1246,7 @@ impl TcpMaster {
                 busy_s: s.busy_s,
                 units_done: s.units_done,
                 bytes_sent: s.wire_in,
+                bytes_received: s.wire_out,
                 failures: ledger.total_failures(w),
                 rtt_s: s.rtt_s,
                 lost: ledger.is_excluded(w),

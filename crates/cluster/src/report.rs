@@ -40,6 +40,11 @@ pub struct MachineReport {
     pub units_done: u64,
     /// Bytes sent by this machine.
     pub bytes_sent: u64,
+    /// Bytes received by this machine (master→worker traffic: unit
+    /// assignments, heartbeats, the job header). The seed protocol only
+    /// accounted the worker→master direction; both are needed to judge
+    /// wire-format changes honestly.
+    pub bytes_received: u64,
     /// Lease expiries charged to this machine over the whole run.
     pub failures: u64,
     /// Smoothed master↔worker round-trip time in seconds, measured by
@@ -177,6 +182,9 @@ impl RunReport {
             }
             if m.bytes_sent > 0 {
                 rec.observe_nd("farm.worker_bytes_sent", m.bytes_sent);
+            }
+            if m.bytes_received > 0 {
+                rec.observe_nd("farm.worker_bytes_received", m.bytes_received);
             }
         }
     }

@@ -386,6 +386,7 @@ impl SimCluster {
                             }
                             let bytes = master.unit_bytes(&unit);
                             let arrive = transfer!(at, bytes, None::<usize>);
+                            report.machines[worker].bytes_received += bytes;
                             push(
                                 &mut queue,
                                 &mut seq,

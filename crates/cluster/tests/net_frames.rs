@@ -421,3 +421,30 @@ fn client_frame_on_non_service_master_is_rejected() {
     worker.join().expect("worker");
     drop(client);
 }
+
+/// Byte accounting covers both wire directions: the master's per-worker
+/// report charges unit assignments and pings as `bytes_received` (the
+/// master→worker direction) alongside the results it took in as
+/// `bytes_sent`, and the worker's own summary agrees that traffic
+/// flowed both ways.
+#[test]
+fn report_accounts_bytes_in_both_directions() {
+    let net = NetConfig {
+        accept_window_s: 10.0,
+        ..NetConfig::default()
+    };
+    let (addr, master) = run_master(1, 25, net);
+    let worker = serve_worker(addr, 0);
+    let (logic, report) = master.join().expect("master thread");
+    let summary = worker.join().expect("worker thread");
+    assert_eq!(logic.done, 25);
+    let m = &report.machines[0];
+    assert!(m.bytes_sent > 0, "worker→master results not accounted");
+    assert!(
+        m.bytes_received > 0,
+        "master→worker assignments not accounted"
+    );
+    assert!(summary.bytes_sent > 0 && summary.bytes_received > 0);
+    // every unit costs at least one frame header in each direction
+    assert!(m.bytes_received as usize >= 25 * HEADER_LEN);
+}

@@ -37,6 +37,8 @@ pub mod incremental;
 pub mod jevans;
 pub mod plist;
 pub mod region;
+pub mod tiledelta;
+pub mod varint;
 
 pub use change::{changed_voxels, ChangeSet};
 pub use diff::DiffMaps;
@@ -45,3 +47,4 @@ pub use incremental::{CoherentRenderer, FrameReport};
 pub use jevans::JevansRenderer;
 pub use plist::PixelList;
 pub use region::{PixelRegion, TileError};
+pub use tiledelta::{RegionBuffer, TileUpdate};

@@ -26,6 +26,8 @@
 //! subadditive in the delta magnitude), so `retain` needs no reallocation
 //! headroom.
 
+use crate::varint::{read_varint, unzigzag, write_varint, zigzag};
+
 /// Encoded list of `(pixel, gen)` entries in insertion order.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PixelList {
@@ -33,46 +35,6 @@ pub struct PixelList {
     len: u32,
     tail_pixel: u32,
     tail_gen: u32,
-}
-
-#[inline]
-fn zigzag(d: i64) -> u64 {
-    ((d << 1) ^ (d >> 63)) as u64
-}
-
-#[inline]
-fn unzigzag(z: u64) -> i64 {
-    ((z >> 1) as i64) ^ -((z & 1) as i64)
-}
-
-#[inline]
-fn write_varint(out: &mut Vec<u8>, mut v: u64) -> usize {
-    let mut n = 0;
-    loop {
-        n += 1;
-        let byte = (v & 0x7f) as u8;
-        v >>= 7;
-        if v == 0 {
-            out.push(byte);
-            return n;
-        }
-        out.push(byte | 0x80);
-    }
-}
-
-#[inline]
-fn read_varint(bytes: &[u8], pos: &mut usize) -> u64 {
-    let mut v = 0u64;
-    let mut shift = 0;
-    loop {
-        let b = bytes[*pos];
-        *pos += 1;
-        v |= ((b & 0x7f) as u64) << shift;
-        if b & 0x80 == 0 {
-            return v;
-        }
-        shift += 7;
-    }
 }
 
 /// Append one entry to `out` given the previous stream state; returns the

@@ -1,0 +1,542 @@
+//! Compacted tile updates: the worker→master frame-pixel wire codec.
+//!
+//! The farm's workers own fixed tile regions across a frame sequence
+//! (the scheduler hands each owner consecutive frames of one region), so
+//! each worker can assemble its region locally and ship the master only
+//! what changed — the "distributed framebuffer" idea of Usher et al.
+//! Each unit's rendered pixel list becomes a [`TileUpdate`] in one of
+//! five modes, smallest wins:
+//!
+//! * `ACK` — nothing changed this frame; zero payload, just a receipt.
+//! * `RAW` — the legacy encoding, 7 bytes per pixel (`u32` id + RGB).
+//!   This is what delta-off workers ship and what the byte-reduction
+//!   numbers are measured against.
+//! * `FULL` / `FULL_DEFLATE` — absolute pixels, id-gap varints plus
+//!   planar RGB, optionally deflated. A `FULL` also *resets* the
+//!   receiver's region state, so it doubles as the restart marker.
+//! * `DELTA` / `DELTA_DEFLATE` — id-gap varints plus per-channel zigzag
+//!   deltas against the previous frame's value at the same pixel,
+//!   optionally deflated. Only valid on a seeded stream.
+//!
+//! Both ends hold a [`RegionBuffer`] per stream (worker: its own region;
+//! master: one per sending worker) that advances in lockstep. The codec
+//! reproduces the original pixel list *exactly* — same order, ids and
+//! values — so frame hashes, journal pixel hashes and `pixels_shipped`
+//! are identical whether deltas are on or off. Decode never trusts its
+//! input: truncated or inconsistent payloads return errors instead of
+//! panicking.
+
+use crate::region::PixelRegion;
+use crate::varint::{try_read_varint, unzigzag, write_varint, zigzag};
+use now_raytrace::deflate::{deflate, inflate};
+
+/// Nothing changed; no payload.
+pub const MODE_ACK: u8 = 0;
+/// Legacy absolute encoding: `u32` little-endian id + RGB, 7 B/pixel.
+pub const MODE_RAW: u8 = 1;
+/// Absolute pixels: id-gap varints + planar RGB bytes. Resets the stream.
+pub const MODE_FULL: u8 = 2;
+/// [`MODE_FULL`] payload, deflate-compressed.
+pub const MODE_FULL_DEFLATE: u8 = 3;
+/// Temporal delta vs the previous frame: id-gap varints + planar
+/// per-channel zigzag-varint deltas.
+pub const MODE_DELTA: u8 = 4;
+/// [`MODE_DELTA`] payload, deflate-compressed.
+pub const MODE_DELTA_DEFLATE: u8 = 5;
+
+/// One encoded tile update as it crosses the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileUpdate {
+    /// One of the `MODE_*` constants.
+    pub mode: u8,
+    /// Number of pixels carried (0 for `ACK`).
+    pub count: u32,
+    /// Mode-specific payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// The assembled RGB state of one tile region, local to a stream end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionBuffer {
+    region: PixelRegion,
+    rgb: Vec<[u8; 3]>,
+}
+
+impl RegionBuffer {
+    /// Fresh (all-zero) buffer for `region` — matches the master's canvas
+    /// default, so deltas against an unseeded pixel still reproduce the
+    /// absolute value both ends agree on.
+    pub fn new(region: PixelRegion) -> RegionBuffer {
+        RegionBuffer {
+            region,
+            rgb: vec![[0u8; 3]; (region.w as usize) * (region.h as usize)],
+        }
+    }
+
+    /// The region this buffer covers.
+    pub fn region(&self) -> PixelRegion {
+        self.region
+    }
+
+    /// Map a global pixel id (`y * width + x`) to the local index, or
+    /// `None` when the pixel lies outside the region.
+    #[inline]
+    fn local(&self, id: u32, width: u32) -> Option<usize> {
+        if width == 0 {
+            return None;
+        }
+        let (x, y) = (id % width, id / width);
+        let r = &self.region;
+        if x < r.x0 || y < r.y0 || x >= r.x0 + r.w || y >= r.y0 + r.h {
+            return None;
+        }
+        Some(((y - r.y0) as usize) * (r.w as usize) + (x - r.x0) as usize)
+    }
+}
+
+/// Sequentially read the previous value of every pixel in `pixels` while
+/// writing the new one — the shared advance step both encode and decode
+/// go through, so duplicate ids behave identically on both ends.
+fn advance(
+    buf: &mut RegionBuffer,
+    width: u32,
+    pixels: &[(u32, [u8; 3])],
+) -> Result<Vec<[u8; 3]>, &'static str> {
+    let mut prevs = Vec::with_capacity(pixels.len());
+    for &(id, rgb) in pixels {
+        let i = buf.local(id, width).ok_or("pixel outside tile region")?;
+        prevs.push(buf.rgb[i]);
+        buf.rgb[i] = rgb;
+    }
+    Ok(prevs)
+}
+
+/// Append the id-gap varint stream (zigzag of successive differences,
+/// first id absolute) — order-preserving for arbitrary sequences.
+fn write_gaps(out: &mut Vec<u8>, pixels: &[(u32, [u8; 3])]) {
+    let mut prev = 0i64;
+    for &(id, _) in pixels {
+        write_varint(out, zigzag(id as i64 - prev));
+        prev = id as i64;
+    }
+}
+
+/// Parse `count` ids from the gap stream at `pos`.
+fn read_gaps(bytes: &[u8], pos: &mut usize, count: usize) -> Result<Vec<u32>, &'static str> {
+    let mut ids = Vec::with_capacity(count);
+    let mut prev = 0i64;
+    for _ in 0..count {
+        let z = try_read_varint(bytes, pos).ok_or("truncated id gaps")?;
+        let id = prev + unzigzag(z);
+        if !(0..=u32::MAX as i64).contains(&id) {
+            return Err("pixel id out of range");
+        }
+        ids.push(id as u32);
+        prev = id;
+    }
+    Ok(ids)
+}
+
+impl TileUpdate {
+    /// Bytes this update occupies on the wire (mode byte + count + payload).
+    pub fn wire_len(&self) -> u64 {
+        1 + 4 + self.payload.len() as u64
+    }
+
+    /// Encode `pixels` (the unit's rendered pixel list, arbitrary order)
+    /// for a stream whose sender-side state is `state`.
+    ///
+    /// `state` is advanced to include this frame; a `None` or
+    /// region-mismatched state is re-seeded (producing a stream-resetting
+    /// `FULL`/`RAW`). With `compact` false the legacy `RAW` encoding is
+    /// used unconditionally — the delta-off baseline.
+    pub fn encode(
+        pixels: &[(u32, [u8; 3])],
+        region: PixelRegion,
+        width: u32,
+        state: &mut Option<RegionBuffer>,
+        compact: bool,
+    ) -> TileUpdate {
+        let seeded = matches!(state, Some(b) if b.region == region);
+        if !seeded {
+            *state = Some(RegionBuffer::new(region));
+        }
+        let buf = state.as_mut().expect("state seeded above");
+        let prevs = advance(buf, width, pixels).expect("rendered pixels lie in their region");
+        let count = pixels.len() as u32;
+
+        if !compact {
+            let mut payload = Vec::with_capacity(pixels.len() * 7);
+            for &(id, [r, g, b]) in pixels {
+                payload.extend_from_slice(&id.to_le_bytes());
+                payload.extend_from_slice(&[r, g, b]);
+            }
+            return TileUpdate {
+                mode: MODE_RAW,
+                count,
+                payload,
+            };
+        }
+
+        if seeded && pixels.is_empty() {
+            return TileUpdate {
+                mode: MODE_ACK,
+                count: 0,
+                payload: Vec::new(),
+            };
+        }
+
+        // absolute stream: gaps + planar RGB
+        let mut full = Vec::with_capacity(pixels.len() * 4);
+        write_gaps(&mut full, pixels);
+        for c in 0..3 {
+            full.extend(pixels.iter().map(|&(_, rgb)| rgb[c]));
+        }
+
+        let (mut mode, mut payload) = (MODE_FULL, full);
+        let deflated = deflate(&payload);
+        if deflated.len() < payload.len() {
+            mode = MODE_FULL_DEFLATE;
+            payload = deflated;
+        }
+
+        if seeded {
+            // temporal delta stream: gaps + planar per-channel deltas
+            let mut delta = Vec::with_capacity(pixels.len() * 4);
+            write_gaps(&mut delta, pixels);
+            for c in 0..3 {
+                for (k, &(_, rgb)) in pixels.iter().enumerate() {
+                    write_varint(&mut delta, zigzag(rgb[c] as i64 - prevs[k][c] as i64));
+                }
+            }
+            let delta_deflated = deflate(&delta);
+            if delta.len() < payload.len() {
+                mode = MODE_DELTA;
+                payload = delta;
+            }
+            if delta_deflated.len() < payload.len() {
+                mode = MODE_DELTA_DEFLATE;
+                payload = delta_deflated;
+            }
+        }
+
+        if seeded && (mode == MODE_FULL || mode == MODE_FULL_DEFLATE) {
+            // FULL always means "reset the stream" to the receiver, so
+            // when it wins mid-stream the sender's state must reset too:
+            // pixels not carried by this update drop back to zero on
+            // both ends, keeping later deltas in lockstep.
+            let mut fresh = RegionBuffer::new(region);
+            advance(&mut fresh, width, pixels).expect("pixels validated above");
+            *state = Some(fresh);
+        }
+
+        TileUpdate {
+            mode,
+            count,
+            payload,
+        }
+    }
+
+    /// Decode an update for `region`, advancing the receiver-side
+    /// `state`, and return the exact pixel list the sender encoded.
+    ///
+    /// `RAW`/`FULL` reset the state; `ACK`/`DELTA` require a seeded state
+    /// covering the same region (anything else is a protocol error).
+    pub fn decode(
+        &self,
+        region: PixelRegion,
+        width: u32,
+        state: &mut Option<RegionBuffer>,
+    ) -> Result<Vec<(u32, [u8; 3])>, &'static str> {
+        let area = (region.w as u64) * (region.h as u64);
+        if self.count as u64 > area {
+            return Err("update carries more pixels than the region holds");
+        }
+        let n = self.count as usize;
+        match self.mode {
+            MODE_ACK => match state {
+                Some(b) if b.region == region => Ok(Vec::new()),
+                _ => Err("ACK on an unseeded tile stream"),
+            },
+            MODE_RAW => {
+                if self.payload.len() != n * 7 {
+                    return Err("RAW payload size mismatch");
+                }
+                let mut pixels = Vec::with_capacity(n);
+                for rec in self.payload.chunks_exact(7) {
+                    let id = u32::from_le_bytes(rec[..4].try_into().unwrap());
+                    pixels.push((id, [rec[4], rec[5], rec[6]]));
+                }
+                let mut buf = RegionBuffer::new(region);
+                advance(&mut buf, width, &pixels)?;
+                *state = Some(buf);
+                Ok(pixels)
+            }
+            MODE_FULL | MODE_FULL_DEFLATE => {
+                let raw;
+                let bytes: &[u8] = if self.mode == MODE_FULL_DEFLATE {
+                    raw = inflate(&self.payload)?;
+                    &raw
+                } else {
+                    &self.payload
+                };
+                let mut pos = 0usize;
+                let ids = read_gaps(bytes, &mut pos, n)?;
+                if bytes.len() - pos != n * 3 {
+                    return Err("FULL planar channels size mismatch");
+                }
+                let mut pixels = Vec::with_capacity(n);
+                for (k, &id) in ids.iter().enumerate() {
+                    pixels.push((
+                        id,
+                        [bytes[pos + k], bytes[pos + n + k], bytes[pos + 2 * n + k]],
+                    ));
+                }
+                let mut buf = RegionBuffer::new(region);
+                advance(&mut buf, width, &pixels)?;
+                *state = Some(buf);
+                Ok(pixels)
+            }
+            MODE_DELTA | MODE_DELTA_DEFLATE => {
+                let buf = match state {
+                    Some(b) if b.region == region => b,
+                    _ => return Err("DELTA on an unseeded tile stream"),
+                };
+                let raw;
+                let bytes: &[u8] = if self.mode == MODE_DELTA_DEFLATE {
+                    raw = inflate(&self.payload)?;
+                    &raw
+                } else {
+                    &self.payload
+                };
+                let mut pos = 0usize;
+                let ids = read_gaps(bytes, &mut pos, n)?;
+                let mut deltas = vec![[0i64; 3]; n];
+                for c in 0..3 {
+                    for d in deltas.iter_mut() {
+                        d[c] =
+                            unzigzag(try_read_varint(bytes, &mut pos).ok_or("truncated deltas")?);
+                    }
+                }
+                if pos != bytes.len() {
+                    return Err("trailing bytes after DELTA stream");
+                }
+                // sequential per-channel reconstruction, mirroring encode
+                let mut pixels: Vec<(u32, [u8; 3])> =
+                    ids.iter().map(|&id| (id, [0u8; 3])).collect();
+                let mut locals = Vec::with_capacity(n);
+                for &id in &ids {
+                    locals.push(buf.local(id, width).ok_or("pixel outside tile region")?);
+                }
+                for (k, (d, &local)) in deltas.iter().zip(&locals).enumerate() {
+                    for (c, &dc) in d.iter().enumerate() {
+                        let v = buf.rgb[local][c] as i64 + dc;
+                        if !(0..=255).contains(&v) {
+                            return Err("delta drives channel out of range");
+                        }
+                        buf.rgb[local][c] = v as u8;
+                        pixels[k].1[c] = v as u8;
+                    }
+                }
+                Ok(pixels)
+            }
+            _ => Err("unknown tile-update mode"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W: u32 = 64;
+    const REGION: PixelRegion = PixelRegion {
+        x0: 8,
+        y0: 4,
+        w: 16,
+        h: 12,
+    };
+
+    fn rng(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state >> 11
+    }
+
+    /// Random in-region pixel list, mildly coherent (clustered ids, small
+    /// value drift vs `base`).
+    fn frame_pixels(s: &mut u64, base: &[(u32, [u8; 3])]) -> Vec<(u32, [u8; 3])> {
+        let mut out = Vec::new();
+        for y in REGION.y0..REGION.y0 + REGION.h {
+            for x in REGION.x0..REGION.x0 + REGION.w {
+                if !rng(s).is_multiple_of(3) {
+                    continue; // only some pixels change per frame
+                }
+                let id = y * W + x;
+                let prior = base
+                    .iter()
+                    .find(|&&(pid, _)| pid == id)
+                    .map(|&(_, rgb)| rgb)
+                    .unwrap_or([100, 120, 140]);
+                let mut jitter = |v: u8| v.wrapping_add((rng(s) % 9) as u8).wrapping_sub(4);
+                let rgb = [jitter(prior[0]), jitter(prior[1]), jitter(prior[2])];
+                out.push((id, rgb));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn stream_round_trips_exactly_across_frames() {
+        let mut s = 7u64;
+        let mut enc: Option<RegionBuffer> = None;
+        let mut dec: Option<RegionBuffer> = None;
+        let mut last: Vec<(u32, [u8; 3])> = Vec::new();
+        for frame in 0..8 {
+            let pixels = frame_pixels(&mut s, &last);
+            let up = TileUpdate::encode(&pixels, REGION, W, &mut enc, true);
+            if frame == 0 {
+                assert!(
+                    up.mode == MODE_FULL || up.mode == MODE_FULL_DEFLATE,
+                    "first frame must reset the stream, got mode {}",
+                    up.mode
+                );
+            }
+            let got = up.decode(REGION, W, &mut dec).expect("decode");
+            assert_eq!(got, pixels, "frame {frame} must round-trip exactly");
+            assert_eq!(enc, dec, "stream state must advance in lockstep");
+            last = pixels;
+        }
+    }
+
+    #[test]
+    fn empty_update_is_an_ack_only_once_seeded() {
+        let mut st = None;
+        let first = TileUpdate::encode(&[], REGION, W, &mut st, true);
+        assert_ne!(first.mode, MODE_ACK, "unseeded empty must reset, not ack");
+        let second = TileUpdate::encode(&[], REGION, W, &mut st, true);
+        assert_eq!(second.mode, MODE_ACK);
+        assert_eq!(second.wire_len(), 5);
+
+        let mut dec = None;
+        assert!(
+            second.decode(REGION, W, &mut dec).is_err(),
+            "ack needs state"
+        );
+        first.decode(REGION, W, &mut dec).unwrap();
+        assert_eq!(second.decode(REGION, W, &mut dec).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn raw_mode_round_trips_and_matches_legacy_size() {
+        let pixels = vec![(4 * W + 9, [1, 2, 3]), (4 * W + 10, [255, 0, 128])];
+        let mut st = None;
+        let up = TileUpdate::encode(&pixels, REGION, W, &mut st, false);
+        assert_eq!(up.mode, MODE_RAW);
+        assert_eq!(up.payload.len(), pixels.len() * 7);
+        let mut dec = None;
+        assert_eq!(up.decode(REGION, W, &mut dec).unwrap(), pixels);
+    }
+
+    #[test]
+    fn coherent_frames_shrink_well_past_4x() {
+        // a near-static tile: every pixel present every frame, values
+        // drifting by ≤1 — the shape a coherent animation produces
+        let mut enc = None;
+        let mut frame0 = Vec::new();
+        for y in REGION.y0..REGION.y0 + REGION.h {
+            for x in REGION.x0..REGION.x0 + REGION.w {
+                frame0.push((y * W + x, [x as u8, y as u8, 60]));
+            }
+        }
+        let up0 = TileUpdate::encode(&frame0, REGION, W, &mut enc, true);
+        let frame1: Vec<_> = frame0
+            .iter()
+            .map(|&(id, [r, g, b])| (id, [r.saturating_add(1), g, b]))
+            .collect();
+        let up1 = TileUpdate::encode(&frame1, REGION, W, &mut enc, true);
+        let raw_len = frame1.len() as u64 * 7;
+        assert!(
+            up1.wire_len() * 4 <= raw_len,
+            "delta {} vs raw {} — expected ≥4x",
+            up1.wire_len(),
+            raw_len
+        );
+        // and the whole stream still decodes exactly
+        let mut dec = None;
+        assert_eq!(up0.decode(REGION, W, &mut dec).unwrap(), frame0);
+        assert_eq!(up1.decode(REGION, W, &mut dec).unwrap(), frame1);
+    }
+
+    #[test]
+    fn hostile_payloads_error_instead_of_panicking() {
+        let mut dec = None;
+        // DELTA without a seeded stream
+        let up = TileUpdate {
+            mode: MODE_DELTA,
+            count: 1,
+            payload: vec![0, 0, 0, 0],
+        };
+        assert!(up.decode(REGION, W, &mut dec).is_err());
+        // count larger than the region
+        let up = TileUpdate {
+            mode: MODE_RAW,
+            count: u32::MAX,
+            payload: vec![],
+        };
+        assert!(up.decode(REGION, W, &mut dec).is_err());
+        // truncated RAW payload
+        let up = TileUpdate {
+            mode: MODE_RAW,
+            count: 2,
+            payload: vec![0; 7],
+        };
+        assert!(up.decode(REGION, W, &mut dec).is_err());
+        // out-of-region pixel id
+        let up = TileUpdate {
+            mode: MODE_RAW,
+            count: 1,
+            payload: {
+                let mut p = 0u32.to_le_bytes().to_vec();
+                p.extend_from_slice(&[1, 2, 3]);
+                p
+            },
+        };
+        assert!(up.decode(REGION, W, &mut dec).is_err());
+        // garbage deflate body
+        let up = TileUpdate {
+            mode: MODE_FULL_DEFLATE,
+            count: 1,
+            payload: vec![0xFF, 0xEE],
+        };
+        assert!(up.decode(REGION, W, &mut dec).is_err());
+        // unknown mode
+        let up = TileUpdate {
+            mode: 99,
+            count: 0,
+            payload: vec![],
+        };
+        assert!(up.decode(REGION, W, &mut dec).is_err());
+    }
+
+    #[test]
+    fn region_switch_reseeds_the_encoder() {
+        let mut enc = None;
+        let p1 = vec![(4 * W + 8, [9, 9, 9])];
+        TileUpdate::encode(&p1, REGION, W, &mut enc, true);
+        let other = PixelRegion {
+            x0: 0,
+            y0: 0,
+            w: 8,
+            h: 8,
+        };
+        let p2 = vec![(0, [1, 1, 1])];
+        let up = TileUpdate::encode(&p2, other, W, &mut enc, true);
+        assert!(
+            up.mode == MODE_FULL || up.mode == MODE_FULL_DEFLATE,
+            "new region must reset the stream"
+        );
+        assert_eq!(enc.as_ref().unwrap().region(), other);
+    }
+}

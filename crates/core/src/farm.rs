@@ -22,7 +22,7 @@ use now_cluster::{
     RecoveryConfig, SimCluster, TcpClusterConfig, TcpMaster, ThreadCluster, Wire, WorkCost,
     WorkerLogic, WorkerSummary,
 };
-use now_coherence::{CoherentRenderer, PixelRegion};
+use now_coherence::{CoherentRenderer, PixelRegion, RegionBuffer, TileUpdate};
 use now_grid::GridSpec;
 use now_raytrace::{
     render_pixels_par, Framebuffer, GridAccel, NullListener, ParallelStats, PixelId, RayStats,
@@ -48,6 +48,11 @@ pub struct FarmConfig {
     /// Keep finished frame pixels in the result (tests); hashes are always
     /// kept.
     pub keep_frames: bool,
+    /// Ship compacted tile deltas worker → master (the distributed
+    /// framebuffer). Off = the legacy 7-bytes-per-pixel encoding, kept as
+    /// the measurement baseline. Worker-side only: the master decodes
+    /// every mode regardless, and frames are byte-identical either way.
+    pub wire_delta: bool,
 }
 
 impl FarmConfig {
@@ -60,15 +65,22 @@ impl FarmConfig {
             cost: CostModel::default(),
             grid_voxels: 24 * 24 * 24,
             keep_frames: false,
+            wire_delta: true,
         }
     }
 }
 
 /// Result of one completed unit, shipped worker → master.
+///
+/// The pixel payload is a [`TileUpdate`] — an encoded stream frame, not a
+/// plain list. The sending worker and the master advance matching
+/// [`RegionBuffer`] states per stream, so the master's decode reproduces
+/// the exact pixel list the worker rendered (see
+/// [`now_coherence::tiledelta`]).
 #[derive(Debug, Clone)]
 pub struct UnitOutput {
-    /// Recomputed pixels (id, quantised color).
-    pub pixels: Vec<(PixelId, [u8; 3])>,
+    /// Encoded recomputed pixels for this unit.
+    pub update: TileUpdate,
     /// Rays fired for this unit.
     pub rays: RayStats,
     /// Coherence marks performed for this unit.
@@ -79,10 +91,9 @@ pub struct UnitOutput {
 
 impl Wire for UnitOutput {
     fn wire_encode(&self, e: &mut Encoder) {
-        e.u32(u32::try_from(self.pixels.len()).expect("region pixel count fits u32"));
-        for (id, rgb) in &self.pixels {
-            e.u32(*id).u8(rgb[0]).u8(rgb[1]).u8(rgb[2]);
-        }
+        e.u8(self.update.mode);
+        e.u32(self.update.count);
+        e.bytes(&self.update.payload);
         e.u64(self.rays.primary)
             .u64(self.rays.reflected)
             .u64(self.rays.transmitted)
@@ -97,13 +108,14 @@ impl Wire for UnitOutput {
     }
 
     fn wire_decode(d: &mut Decoder<'_>) -> Result<UnitOutput, DecodeError> {
-        let n = d.u32()? as usize;
-        let mut pixels = Vec::with_capacity(n.min(1 << 22));
-        for _ in 0..n {
-            let id = d.u32()?;
-            let rgb = [d.u8()?, d.u8()?, d.u8()?];
-            pixels.push((id, rgb));
-        }
+        let mode = d.u8()?;
+        let count = d.u32()?;
+        let payload = d.bytes()?.to_vec();
+        let update = TileUpdate {
+            mode,
+            count,
+            payload,
+        };
         let rays = RayStats {
             primary: d.u64()?,
             reflected: d.u64()?,
@@ -120,7 +132,7 @@ impl Wire for UnitOutput {
             critical_rays: d.u64()?,
         };
         Ok(UnitOutput {
-            pixels,
+            update,
             rays,
             marks,
             parallel,
@@ -163,7 +175,7 @@ struct WorkerState {
 }
 
 /// Worker-side logic: renders assigned units, maintaining coherence state
-/// for its current region.
+/// and the outgoing tile-delta stream for its current region.
 pub struct FarmWorker {
     anim: Arc<Animation>,
     spec: GridSpec,
@@ -171,6 +183,12 @@ pub struct FarmWorker {
     width: u32,
     height: u32,
     state: Option<WorkerState>,
+    /// Sender side of the tile-update stream: the region as the master
+    /// last saw it. Cleared on any discontinuity so the next update is a
+    /// stream-resetting FULL.
+    wire: Option<RegionBuffer>,
+    /// Frame the wire stream expects next (valid while `wire` is Some).
+    wire_next: u32,
 }
 
 impl FarmWorker {
@@ -186,7 +204,31 @@ impl FarmWorker {
             width,
             height,
             state: None,
+            wire: None,
+            wire_next: 0,
         }
+    }
+
+    /// Encode this unit's rendered pixels for the wire, advancing the
+    /// outgoing stream. Any discontinuity — restart, region switch, frame
+    /// gap — drops the stream state, forcing a FULL that re-seeds the
+    /// master's decoder too.
+    fn encode_update(&mut self, unit: &RenderUnit, pixels: &[(PixelId, [u8; 3])]) -> TileUpdate {
+        let continuous = !unit.restart
+            && self.wire_next == unit.frame
+            && matches!(&self.wire, Some(b) if b.region() == unit.region);
+        if !continuous {
+            self.wire = None;
+        }
+        let update = TileUpdate::encode(
+            pixels,
+            unit.region,
+            self.width,
+            &mut self.wire,
+            self.cfg.wire_delta,
+        );
+        self.wire_next = unit.frame + 1;
+        update
     }
 
     fn perform_coherent(&mut self, unit: &RenderUnit) -> (UnitOutput, WorkCost) {
@@ -233,9 +275,10 @@ impl FarmWorker {
             self.cfg
                 .cost
                 .parallel_render_work(&report.rays, marks, copied, &report.parallel);
+        let update = self.encode_update(unit, &pixels);
         let cost = WorkCost {
             work_units: work,
-            result_bytes: (pixels.len() * 7 + 32) as u64,
+            result_bytes: update.wire_len() + 32,
             working_set_mb: self
                 .cfg
                 .cost
@@ -243,7 +286,7 @@ impl FarmWorker {
         };
         (
             UnitOutput {
-                pixels,
+                update,
                 rays: report.rays,
                 marks,
                 parallel: report.parallel,
@@ -275,14 +318,15 @@ impl FarmWorker {
             })
             .collect();
         let work = self.cfg.cost.parallel_render_work(&rays, 0, 0, &parallel);
+        let update = self.encode_update(unit, &pixels);
         let cost = WorkCost {
             work_units: work,
-            result_bytes: (pixels.len() * 7 + 32) as u64,
+            result_bytes: update.wire_len() + 32,
             working_set_mb: (unit.region.len() as f64 * 48.0) / (1024.0 * 1024.0),
         };
         (
             UnitOutput {
-                pixels,
+                update,
                 rays,
                 marks: 0,
                 parallel,
@@ -313,10 +357,15 @@ impl WorkerLogic for FarmWorker {
 pub struct FarmMaster {
     scheduler: Scheduler,
     frames: u32,
+    width: u32,
     file_write_s: f64,
     keep_frames: bool,
     /// rolling canvas of quantised pixels
     canvas: Vec<[u8; 3]>,
+    /// receiver side of each worker's tile-update stream (a worker works
+    /// one region queue at a time, and any switch arrives as a
+    /// stream-resetting FULL, so one buffer per worker suffices)
+    decode: BTreeMap<usize, Option<RegionBuffer>>,
     /// per-frame pending updates and how many region-updates have arrived
     pending: BTreeMap<u32, PendingFrame>,
     next_finalize: u32,
@@ -332,8 +381,16 @@ pub struct FarmMaster {
     pub parallel: ParallelStats,
     /// total pixels shipped by workers
     pub pixels_shipped: u64,
+    /// bytes the shipped tile updates actually occupy on the wire (mode +
+    /// count + payload per unit); compare against `pixels_shipped * 7`,
+    /// the legacy encoding's cost for the same pixels
+    pub frame_bytes_wire: u64,
     /// units completed
     pub units_done: u64,
+    /// pixels decoded from the most recent [`MasterLogic::integrate`]
+    /// call (the progressive-streaming layer re-encodes these for
+    /// watching clients without re-entering the decode stream)
+    last_decoded: Vec<(PixelId, [u8; 3])>,
     /// units skipped at assignment because a resumed journal had already
     /// finalized their frames
     pub resumed_units: u64,
@@ -353,9 +410,11 @@ impl FarmMaster {
         FarmMaster {
             scheduler: Scheduler::new(cfg.scheme, width, height, frames, workers),
             frames,
+            width,
             file_write_s: cfg.cost.file_write_work(width, height),
             keep_frames: cfg.keep_frames,
             canvas: vec![[0u8; 3]; (width * height) as usize],
+            decode: BTreeMap::new(),
             pending: BTreeMap::new(),
             next_finalize: 0,
             frame_hashes: Vec::new(),
@@ -369,7 +428,9 @@ impl FarmMaster {
                 critical_rays: 0,
             },
             pixels_shipped: 0,
+            frame_bytes_wire: 0,
             units_done: 0,
+            last_decoded: Vec::new(),
             resumed_units: 0,
             journal: None,
             skip_below: 0,
@@ -418,6 +479,16 @@ impl FarmMaster {
     /// Number of frames fully assembled and "written".
     pub fn frames_finalized(&self) -> usize {
         self.frame_hashes.len()
+    }
+
+    /// Width of the canvas in pixels (the animation's image width).
+    pub fn canvas_width(&self) -> u32 {
+        self.width
+    }
+
+    /// The pixels decoded by the most recent `integrate` call.
+    pub fn last_decoded(&self) -> &[(PixelId, [u8; 3])] {
+        &self.last_decoded
     }
 
     /// The journal's total record count, when journaling.
@@ -478,24 +549,33 @@ impl MasterLogic for FarmMaster {
         }
     }
 
-    fn integrate(&mut self, _worker: usize, unit: RenderUnit, result: UnitOutput) -> MasterWork {
+    fn integrate(&mut self, worker: usize, unit: RenderUnit, result: UnitOutput) -> MasterWork {
         self.rays.merge(&result.rays);
         self.marks += result.marks;
         self.parallel.merge(&result.parallel);
-        self.pixels_shipped += result.pixels.len() as u64;
+        self.frame_bytes_wire += result.update.wire_len();
+        // advance this worker's stream; every stream starts with a FULL
+        // (fresh claims and reassignments set `restart`), so an
+        // integrated result can only fail to decode on a protocol bug
+        let stream = self.decode.entry(worker).or_insert(None);
+        let pixels = result
+            .update
+            .decode(unit.region, self.width, stream)
+            .expect("tile update from an enrolled worker must decode");
+        self.pixels_shipped += pixels.len() as u64;
         self.units_done += 1;
         if let Some(j) = self.journal.as_mut() {
             let pixels_hash = fnv1a(
-                result
-                    .pixels
+                pixels
                     .iter()
                     .flat_map(|(id, rgb)| id.to_le_bytes().into_iter().chain(rgb.iter().copied())),
             );
             j.record_unit(&unit, pixels_hash);
         }
         let entry = self.pending.entry(unit.frame).or_default();
-        entry.0.extend(result.pixels);
+        entry.0.extend_from_slice(&pixels);
         entry.1 += 1;
+        self.last_decoded = pixels;
         let finalized = self.try_finalize();
         MasterWork {
             work_units: finalized as f64 * self.file_write_s,
@@ -550,6 +630,9 @@ pub struct FarmResult {
     pub marks: u64,
     /// Total pixels shipped worker → master.
     pub pixels_shipped: u64,
+    /// Wire bytes the shipped tile updates occupied (vs
+    /// `pixels_shipped * 7` under the legacy encoding).
+    pub frame_bytes_wire: u64,
     /// Units completed.
     pub units_done: u64,
     /// Units skipped because a resumed journal had already finalized
@@ -582,6 +665,7 @@ fn record_farm_trace(master: &FarmMaster, report: &now_cluster::RunReport) {
     }
     rec.counter_add("farm.units_done", master.units_done);
     rec.counter_add("farm.pixels_shipped", master.pixels_shipped);
+    rec.counter_add("farm.frame_bytes_wire", master.frame_bytes_wire);
     rec.counter_add("farm.marks", master.marks);
     rec.counter_add("farm.rays", master.rays.total_rays());
     rec.counter_add("farm.frames", master.frame_hashes.len() as u64);
@@ -613,6 +697,7 @@ fn collect(master: FarmMaster, mut report: now_cluster::RunReport, frames: u32) 
         rays: master.rays,
         marks: master.marks,
         pixels_shipped: master.pixels_shipped,
+        frame_bytes_wire: master.frame_bytes_wire,
         units_done: master.units_done,
         resumed_units: master.resumed_units,
     }
@@ -739,11 +824,17 @@ fn check_job_header(header: &[u8], anim: &Animation) -> Result<(bool, u32), Stri
     Ok((coherence, grid_voxels))
 }
 
-/// Fingerprint of the scene a process has loaded, sent in the HELLO
-/// payload so the master can reject a mismatched joiner *before* handing
-/// it the job header. Covers the same scene-shape fields the job header
-/// validates, so both checks reject the same divergences.
-pub fn scene_fingerprint(anim: &Animation) -> Vec<u8> {
+/// Content fingerprint of the scene a process has loaded, as a `u64`.
+///
+/// Hashes the *content* of the animation — camera parameters, object
+/// geometry and materials, lights, track keyframes, camera cuts — via
+/// the full `Debug` rendering (deterministic: Rust's float formatting is
+/// the shortest round-trip form on every platform), plus the shape
+/// fields the job header validates. Two differently-spelled specs that
+/// parse to the same animation fingerprint identically, which is what
+/// the service worker's scene cache dedups on; any content difference
+/// that could make pixels diverge changes the fingerprint.
+pub fn scene_fingerprint64(anim: &Animation) -> u64 {
     let fields: [u32; 6] = [
         anim.base.camera.width(),
         anim.base.camera.height(),
@@ -752,9 +843,20 @@ pub fn scene_fingerprint(anim: &Animation) -> Vec<u8> {
         anim.base.lights.len() as u32,
         anim.tracks.len() as u32,
     ];
-    fnv1a(fields.iter().flat_map(|f| f.to_le_bytes()))
-        .to_le_bytes()
-        .to_vec()
+    let content = format!("{anim:?}");
+    fnv1a(
+        fields
+            .iter()
+            .flat_map(|f| f.to_le_bytes())
+            .chain(content.into_bytes()),
+    )
+}
+
+/// Fingerprint of the scene a process has loaded, sent in the HELLO
+/// payload so the master can reject a mismatched joiner *before* handing
+/// it the job header. Byte form of [`scene_fingerprint64`].
+pub fn scene_fingerprint(anim: &Animation) -> Vec<u8> {
+    scene_fingerprint64(anim).to_le_bytes().to_vec()
 }
 
 /// Configuration for a TCP farm master.
@@ -876,6 +978,82 @@ pub fn serve_tcp_worker(
     conn.serve(worker).map_err(|e| format!("worker serve: {e}"))
 }
 
+/// Worker-side state kept across TCP reconnects.
+///
+/// A worker process that loses its master and reconnects used to rebuild
+/// the whole [`FarmWorker`] — re-parse the scene, re-build the grid,
+/// reset coherence state — even though the job it rejoins is the same
+/// one it just left. The cache keys the built worker on the scene
+/// content fingerprint plus the settings the master's job header dictates
+/// (coherence on/off, grid resolution), so a rejoin with an unchanged
+/// job reuses the warmed worker and only a genuinely different job pays
+/// the rebuild.
+#[derive(Default)]
+pub struct WorkerCache {
+    key: Option<(u64, bool, u32)>,
+    worker: Option<FarmWorker>,
+    builds: u64,
+}
+
+impl WorkerCache {
+    /// Empty cache; the first serve call always builds.
+    pub fn new() -> WorkerCache {
+        WorkerCache::default()
+    }
+
+    /// How many times a [`FarmWorker`] was built from scratch (a rejoin
+    /// that hits the cache does not increment this).
+    pub fn builds(&self) -> u64 {
+        self.builds
+    }
+
+    /// Borrow a worker for `(anim, cfg)`, building one only when the
+    /// cached worker was made for a different scene or settings.
+    fn lease(&mut self, anim: &Animation, cfg: &FarmConfig) -> &mut FarmWorker {
+        let key = (scene_fingerprint64(anim), cfg.coherence, cfg.grid_voxels);
+        if self.key != Some(key) || self.worker.is_none() {
+            let spec = shared_spec(anim, cfg);
+            self.worker = Some(FarmWorker::new(Arc::new(anim.clone()), spec, cfg.clone()));
+            self.key = Some(key);
+            self.builds += 1;
+        }
+        self.worker.as_mut().expect("worker was just ensured")
+    }
+}
+
+/// [`serve_tcp_worker`] with a reconnect cache: the built worker (scene,
+/// grid, coherence state) survives in `cache` between calls, so a worker
+/// process retry loop rejoins the same job without rebuilding it.
+pub fn serve_tcp_worker_cached(
+    anim: &Animation,
+    base: &FarmConfig,
+    addr: &str,
+    connect: &ConnectConfig,
+    cache: &mut WorkerCache,
+) -> Result<WorkerSummary, String> {
+    let mut connect = connect.clone();
+    if connect.fingerprint.is_empty() {
+        connect.fingerprint = scene_fingerprint(anim);
+    }
+    let conn = connect_worker(addr, &connect).map_err(|e| format!("connect {addr}: {e}"))?;
+    let (coherence, grid_voxels) = match check_job_header(conn.job_header(), anim) {
+        Ok(adopted) => adopted,
+        Err(e) => {
+            conn.leave();
+            return Err(e);
+        }
+    };
+    let mut cfg = base.clone();
+    cfg.coherence = coherence;
+    cfg.grid_voxels = grid_voxels;
+    let worker = cache.lease(anim, &cfg);
+    // A new enrollment always starts from a fresh unit queue on the
+    // master, and every first unit of a queue arrives with `restart`
+    // set, so the reused worker's coherence and wire state re-seed
+    // correctly; only the expensive scene/grid build is skipped.
+    conn.serve(worker).map_err(|e| format!("worker serve: {e}"))
+}
+
 // ---------------------------------------------------------------------
 // Transport seam
 // ---------------------------------------------------------------------
@@ -949,6 +1127,7 @@ mod tests {
             cost: CostModel::default(),
             grid_voxels: 4096,
             keep_frames: false,
+            wire_delta: true,
         }
     }
 
@@ -1119,9 +1298,38 @@ mod tests {
     }
 
     #[test]
+    fn scene_fingerprint_tracks_scene_content_not_just_shape() {
+        // same shape (object/light/track counts, size, frames) but a
+        // nudged sphere must fingerprint differently — the service
+        // worker dedups scenes on this value
+        let a = anim();
+        let mut b = anim();
+        b.base.objects[0].set_transform(now_math::Affine::translate(now_math::Vec3 {
+            x: 1e-3,
+            y: 0.0,
+            z: 0.0,
+        }));
+        assert_ne!(scene_fingerprint64(&a), scene_fingerprint64(&b));
+    }
+
+    #[test]
     fn unit_output_round_trips_over_the_wire() {
+        let region = PixelRegion {
+            x0: 0,
+            y0: 0,
+            w: 4,
+            h: 2,
+        };
+        let mut state = None;
+        let update = TileUpdate::encode(
+            &[(2, [1, 2, 3]), (17, [254, 0, 128])],
+            region,
+            16,
+            &mut state,
+            true,
+        );
         let out = UnitOutput {
-            pixels: vec![(7, [1, 2, 3]), (9, [254, 0, 128])],
+            update,
             rays: RayStats {
                 primary: 1,
                 reflected: 2,
@@ -1143,10 +1351,15 @@ mod tests {
         let bytes = e.finish();
         let mut d = Decoder::new(&bytes);
         let back = UnitOutput::wire_decode(&mut d).expect("decode");
-        assert_eq!(back.pixels, out.pixels);
+        assert_eq!(back.update.mode, out.update.mode);
+        assert_eq!(back.update.count, out.update.count);
+        assert_eq!(back.update.payload, out.update.payload);
         assert_eq!(back.rays, out.rays);
         assert_eq!(back.marks, out.marks);
         assert_eq!(back.parallel, out.parallel);
+        let mut decode = None;
+        let pixels = back.update.decode(region, 16, &mut decode).expect("decode");
+        assert_eq!(pixels, vec![(2, [1, 2, 3]), (17, [254, 0, 128])]);
     }
 
     #[test]
@@ -1201,5 +1414,102 @@ mod tests {
             acc
         };
         assert_eq!(h, result.frame_hashes[2]);
+    }
+
+    #[test]
+    fn wire_delta_off_is_byte_identical_and_costs_more() {
+        let anim = anim();
+        let on = cfg(
+            PartitionScheme::FrameDivision {
+                tile_w: 16,
+                tile_h: 16,
+                adaptive: true,
+            },
+            true,
+        );
+        let mut off = on.clone();
+        off.wire_delta = false;
+        let with = run_sim(&anim, &on, &paper_cluster());
+        let without = run_sim(&anim, &off, &paper_cluster());
+        // the codec is lossless: delta on/off must not move a single pixel
+        assert_eq!(with.frame_hashes, without.frame_hashes);
+        assert_eq!(with.frame_hashes, reference_hashes(&anim, &on));
+        // and the threads backend agrees with both settings
+        assert_eq!(run_threads(&anim, &off, 3).frame_hashes, with.frame_hashes);
+        // delta-off ships legacy raw tiles: strictly more frame bytes
+        assert!(
+            with.frame_bytes_wire < without.frame_bytes_wire,
+            "delta {} vs raw {}",
+            with.frame_bytes_wire,
+            without.frame_bytes_wire
+        );
+        // raw mode costs exactly what the seed protocol did: 7 B/pixel
+        assert_eq!(
+            without.frame_bytes_wire,
+            without.units_done * 5 + 7 * without.pixels_shipped
+        );
+    }
+
+    #[test]
+    fn tile_deltas_cut_frame_bytes_4x() {
+        // a longer, larger run of the coherent demo animation: the ≥4x
+        // acceptance ratio from the issue, measured against what the
+        // same pixels would have cost in the legacy 7 B/pixel raw tiles
+        let anim = glassball::animation_sized(96, 72, 8);
+        let c = cfg(
+            PartitionScheme::FrameDivision {
+                tile_w: 24,
+                tile_h: 24,
+                adaptive: true,
+            },
+            true,
+        );
+        let r = run_sim(&anim, &c, &paper_cluster());
+        assert_eq!(r.frame_hashes, reference_hashes(&anim, &c));
+        let raw = 7 * r.pixels_shipped;
+        assert!(
+            raw >= 4 * r.frame_bytes_wire,
+            "want >=4x reduction: raw {} vs delta {} ({:.2}x)",
+            raw,
+            r.frame_bytes_wire,
+            raw as f64 / r.frame_bytes_wire as f64
+        );
+    }
+
+    #[test]
+    fn tcp_worker_cache_survives_reconnect() {
+        // one worker process serves two back-to-back jobs for the same
+        // scene through a WorkerCache: the second join must reuse the
+        // built worker (scene, grid) instead of rebuilding it
+        let anim = anim();
+        let c = cfg(PartitionScheme::SequenceDivision { adaptive: true }, true);
+        let l1 = bind_tcp_master("127.0.0.1:0").expect("bind");
+        let l2 = bind_tcp_master("127.0.0.1:0").expect("bind");
+        let a1 = l1.local_addr().expect("addr").to_string();
+        let a2 = l2.local_addr().expect("addr").to_string();
+        let w = {
+            let (anim, c) = (anim.clone(), c.clone());
+            std::thread::spawn(move || {
+                let mut cache = WorkerCache::new();
+                serve_tcp_worker_cached(&anim, &c, &a1, &ConnectConfig::default(), &mut cache)
+                    .expect("first serve");
+                serve_tcp_worker_cached(&anim, &c, &a2, &ConnectConfig::default(), &mut cache)
+                    .expect("second serve");
+                cache.builds()
+            })
+        };
+        let r1 = run_tcp_master_on(l1, &anim, &c, &TcpFarmConfig::new(1)).expect("master 1");
+        let r2 = run_tcp_master_on(l2, &anim, &c, &TcpFarmConfig::new(1)).expect("master 2");
+        let want = reference_hashes(&anim, &c);
+        assert_eq!(r1.frame_hashes, want);
+        assert_eq!(
+            r2.frame_hashes, want,
+            "reused worker must render identically"
+        );
+        assert_eq!(
+            w.join().expect("worker thread"),
+            1,
+            "one build for two joins"
+        );
     }
 }

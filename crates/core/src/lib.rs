@@ -41,12 +41,14 @@ pub use cost::CostModel;
 pub use farm::{
     bind_tcp_master, run_farm, run_sim, run_sim_with, run_tcp_master, run_tcp_master_on,
     run_tcp_master_with, run_threads, run_threads_on, run_threads_with, scene_fingerprint,
-    serve_tcp_worker, FarmConfig, FarmMaster, FarmResult, FarmWorker, TcpFarmConfig, Transport,
+    scene_fingerprint64, serve_tcp_worker, serve_tcp_worker_cached, FarmConfig, FarmMaster,
+    FarmResult, FarmWorker, TcpFarmConfig, Transport, WorkerCache,
 };
 pub use journal::JournalSpec;
 pub use partition::PartitionScheme;
 pub use service::{
-    run_service_master, run_service_sim, serve_service_worker, JobSpec, JobState, JobStatus,
-    ServiceClient, ServiceConfig, ServiceCounters, ServiceMaster, ServiceUnit, ServiceWorker,
+    run_service_master, run_service_sim, serve_service_worker, serve_service_worker_with, JobSpec,
+    JobState, JobStatus, ServiceClient, ServiceConfig, ServiceCounters, ServiceMaster, ServiceUnit,
+    ServiceWorker, WatchReport,
 };
 pub use single::{render_sequence, SequenceMode, SequenceReport, SingleMachine};

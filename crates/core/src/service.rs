@@ -33,7 +33,9 @@
 //! `nowload` generator).
 
 use crate::cost::CostModel;
-use crate::farm::{fnv1a, FarmConfig, FarmMaster, FarmWorker, TcpFarmConfig, UnitOutput};
+use crate::farm::{
+    fnv1a, scene_fingerprint64, FarmConfig, FarmMaster, FarmWorker, TcpFarmConfig, UnitOutput,
+};
 use crate::journal::{JournalSpec, JOURNAL_FILE};
 use crate::partition::{PartitionScheme, RenderUnit};
 use now_anim::scenes::from_spec;
@@ -45,6 +47,7 @@ use now_cluster::{
     connect_worker, ConnectConfig, MasterLogic, MasterWork, Message, RunReport, SimCluster,
     TcpClusterConfig, TcpMaster, Wire, WorkCost, WorkerLogic, WorkerSummary,
 };
+use now_coherence::{PixelRegion, TileUpdate};
 use now_grid::GridSpec;
 use now_raytrace::RenderSettings;
 use std::collections::BTreeMap;
@@ -446,6 +449,10 @@ pub struct ServiceMaster {
     /// count reaches the key.
     cancel_plan: BTreeMap<u64, Vec<u64>>,
     journal: Option<JournalWriter>,
+    /// job id → client tokens watching its progressive frame stream
+    watchers: BTreeMap<u64, Vec<u64>>,
+    /// queued unsolicited client frames, drained by the transport
+    pushes: Vec<(u64, u32, Vec<u8>)>,
     /// Lifecycle counters (see [`ServiceCounters`]).
     pub counters: ServiceCounters,
 }
@@ -478,6 +485,8 @@ impl ServiceMaster {
             grant_log: Vec::new(),
             cancel_plan: BTreeMap::new(),
             journal: None,
+            watchers: BTreeMap::new(),
+            pushes: Vec::new(),
             counters: ServiceCounters::default(),
         };
         let Some(root) = m.cfg.root.clone() else {
@@ -678,6 +687,8 @@ impl ServiceMaster {
                 let mut e = Encoder::new();
                 e.u8(REC_CANCELLED).u64(id);
                 self.journal_append(e.finish());
+                // a cancel is the watcher stream's terminal event
+                self.push_status(id);
                 if now_trace::enabled() {
                     now_trace::global().instant(0, "svc.job_cancelled", &[("job", id)], true);
                 }
@@ -744,6 +755,7 @@ impl ServiceMaster {
             cost: self.cfg.cost,
             grid_voxels: spec.grid_voxels,
             keep_frames: false,
+            wire_delta: true,
         }
     }
 
@@ -811,6 +823,29 @@ impl ServiceMaster {
             for v in victims {
                 let _ = self.cancel(v);
             }
+        }
+    }
+
+    /// Queue a `FRAME_PROGRESS` push (the job's status record) to every
+    /// watcher of `id`; a terminal status is the stream's last frame, so
+    /// the watcher list is dropped with it.
+    fn push_status(&mut self, id: u64) {
+        let Some(job) = self.jobs.get(&id) else {
+            return;
+        };
+        let clients = match self.watchers.get(&id) {
+            Some(c) if !c.is_empty() => c.clone(),
+            _ => return,
+        };
+        let st = job.status(id);
+        let mut e = Encoder::new();
+        st.wire_encode(&mut e);
+        let payload = e.finish();
+        for c in clients {
+            self.pushes.push((c, tag::FRAME_PROGRESS, payload.clone()));
+        }
+        if st.state.terminal() {
+            self.watchers.remove(&id);
         }
     }
 
@@ -909,12 +944,43 @@ impl MasterLogic for ServiceMaster {
             self.counters.stale_results += 1;
             return MasterWork::default();
         }
+        let watched: Vec<u64> = self.watchers.get(&unit.job).cloned().unwrap_or_default();
         let job = self.jobs.get_mut(&unit.job).expect("live job");
         let m = job.master.as_mut().expect("live job has a master");
+        let (region, frame) = (unit.unit.region, unit.unit.frame);
+        let frames_before = m.frames_finalized();
         let mw = m.integrate(worker, unit.unit, result);
         job.units_done += 1;
-        if m.all_done() {
+        if !watched.is_empty() {
+            // re-encode the freshly decoded pixels as a self-contained
+            // tile (no temporal delta): a watcher holds no per-worker
+            // stream state — it assembles frames from the job's start,
+            // each frame seeded from the one before it
+            let mut fresh = None;
+            let tile =
+                TileUpdate::encode(m.last_decoded(), region, m.canvas_width(), &mut fresh, true);
+            let mut e = Encoder::new();
+            e.u64(unit.job)
+                .u32(frame)
+                .u32(region.x0)
+                .u32(region.y0)
+                .u32(region.w)
+                .u32(region.h)
+                .u8(tile.mode)
+                .u32(tile.count)
+                .bytes(&tile.payload);
+            let payload = e.finish();
+            for &c in &watched {
+                self.pushes.push((c, tag::FRAME_DELTA, payload.clone()));
+            }
+        }
+        let frames_after = m.frames_finalized();
+        let done = m.all_done();
+        if done {
             self.finalize_job(unit.job);
+        }
+        if !watched.is_empty() && (frames_after > frames_before || done) {
+            self.push_status(unit.job);
         }
         mw
     }
@@ -944,7 +1010,7 @@ impl MasterLogic for ServiceMaster {
         self.all_jobs_terminal()
     }
 
-    fn client_frame(&mut self, t: u32, payload: &[u8]) -> Option<(u32, Vec<u8>)> {
+    fn client_frame(&mut self, client: u64, t: u32, payload: &[u8]) -> Option<(u32, Vec<u8>)> {
         let err = |reason: &str| {
             let mut e = Encoder::new();
             e.str(reason);
@@ -1015,8 +1081,45 @@ impl MasterLogic for ServiceMaster {
                 self.drain();
                 Some((tag::JOB_OK, Vec::new()))
             }
+            tag::WATCH => {
+                let mut d = Decoder::new(payload);
+                let id = match d.u64() {
+                    Ok(id) => id,
+                    Err(_) => return err("bad watch payload"),
+                };
+                let Some(job) = self.jobs.get(&id) else {
+                    return err("unknown job id");
+                };
+                let st = job.status(id);
+                let (w, h) = job
+                    .anim
+                    .as_ref()
+                    .map(|a| (a.base.camera.width(), a.base.camera.height()))
+                    .unwrap_or((0, 0));
+                if !st.state.terminal() {
+                    self.watchers.entry(id).or_default().push(client);
+                }
+                // the acknowledgement carries the dimensions a watcher
+                // needs to assemble frames; a terminal job streams
+                // nothing further (its status here is already final)
+                let mut e = Encoder::new();
+                st.wire_encode(&mut e);
+                e.u32(w).u32(h);
+                Some((tag::JOB_OK, e.finish()))
+            }
             _ => None,
         }
+    }
+
+    fn client_pushes(&mut self) -> Vec<(u64, u32, Vec<u8>)> {
+        std::mem::take(&mut self.pushes)
+    }
+
+    fn client_gone(&mut self, client: u64) {
+        for clients in self.watchers.values_mut() {
+            clients.retain(|&c| c != client);
+        }
+        self.watchers.retain(|_, clients| !clients.is_empty());
     }
 
     fn service_active(&self) -> bool {
@@ -1041,8 +1144,17 @@ pub struct ServiceWorker {
     max_scenes: usize,
     /// job id → (last-used tick, per-job farm state)
     jobs: BTreeMap<u64, (u64, FarmWorker)>,
-    /// scene spec → (last-used tick, parsed animation)
-    scenes: BTreeMap<String, (u64, Arc<Animation>)>,
+    /// scene *content* fingerprint → (last-used tick, parsed animation).
+    /// Keying on the fingerprint instead of the spec text dedups
+    /// differently-spelled submissions of the same scene — tenants
+    /// commonly submit equivalent specs (`demo:x` vs `demo:x:10:160x120`),
+    /// and a text-keyed cache held one copy per spelling.
+    scenes: BTreeMap<u64, (u64, Arc<Animation>)>,
+    /// spec text → content fingerprint memo, so repeat units of a known
+    /// spelling skip the parse entirely
+    spec_fps: BTreeMap<String, u64>,
+    /// distinct scene contents built and cached (cache-efficiency metric)
+    scene_builds: u64,
     tick: u64,
 }
 
@@ -1056,6 +1168,8 @@ impl ServiceWorker {
             max_scenes: 32,
             jobs: BTreeMap::new(),
             scenes: BTreeMap::new(),
+            spec_fps: BTreeMap::new(),
+            scene_builds: 0,
             tick: 0,
         }
     }
@@ -1066,26 +1180,45 @@ impl ServiceWorker {
         self
     }
 
+    /// How many distinct scene contents this worker has built (a second
+    /// spelling of a cached scene is a hit, not a build).
+    pub fn scene_builds(&self) -> u64 {
+        self.scene_builds
+    }
+
     fn scene_for(&mut self, spec: &str) -> Arc<Animation> {
         self.tick += 1;
-        if let Some((used, anim)) = self.scenes.get_mut(spec) {
-            *used = self.tick;
-            return Arc::clone(anim);
+        if let Some(&fp) = self.spec_fps.get(spec) {
+            if let Some((used, anim)) = self.scenes.get_mut(&fp) {
+                *used = self.tick;
+                return Arc::clone(anim);
+            }
         }
         // the master validated the spec at submission; a worker handed
         // an unparsable spec is talking to a broken master
         let anim = Arc::new(from_spec(spec).expect("master-validated scene spec must parse"));
+        let fp = scene_fingerprint64(&anim);
+        if self.spec_fps.len() >= 4 * self.max_scenes {
+            // the memo only saves parses; dumping it on overflow is safe
+            self.spec_fps.clear();
+        }
+        self.spec_fps.insert(spec.to_string(), fp);
+        if let Some((used, cached)) = self.scenes.get_mut(&fp) {
+            // new spelling of a scene we already hold: share it
+            *used = self.tick;
+            return Arc::clone(cached);
+        }
         while self.scenes.len() >= self.max_scenes {
             let oldest = self
                 .scenes
                 .iter()
-                .min_by_key(|(k, (used, _))| (*used, (*k).clone()))
-                .map(|(k, _)| k.clone())
+                .min_by_key(|(&k, (used, _))| (*used, k))
+                .map(|(&k, _)| k)
                 .expect("cache not empty");
             self.scenes.remove(&oldest);
         }
-        self.scenes
-            .insert(spec.to_string(), (self.tick, Arc::clone(&anim)));
+        self.scene_builds += 1;
+        self.scenes.insert(fp, (self.tick, Arc::clone(&anim)));
         anim
     }
 }
@@ -1109,6 +1242,7 @@ impl WorkerLogic for ServiceWorker {
             cost: self.cost,
             grid_voxels: su.grid_voxels,
             keep_frames: false,
+            wire_delta: true,
         };
         let spec = GridSpec::for_scene(anim.swept_bounds(), cfg.grid_voxels);
         let mut w = FarmWorker::new(anim, spec, cfg);
@@ -1183,13 +1317,24 @@ pub fn serve_service_worker(
     connect: &ConnectConfig,
     settings: &RenderSettings,
 ) -> Result<WorkerSummary, String> {
+    let mut worker = ServiceWorker::new(settings.clone(), CostModel::default());
+    serve_service_worker_with(&mut worker, addr, connect)
+}
+
+/// [`serve_service_worker`] with caller-owned worker state: the scene and
+/// per-job caches live in `worker`, so a reconnect loop that calls this
+/// repeatedly rejoins the service with its scenes already built.
+pub fn serve_service_worker_with(
+    worker: &mut ServiceWorker,
+    addr: &str,
+    connect: &ConnectConfig,
+) -> Result<WorkerSummary, String> {
     let conn = connect_worker(addr, connect).map_err(|e| format!("connect {addr}: {e}"))?;
     let mut d = Decoder::new(conn.job_header());
     if d.u32() != Ok(SERVICE_HEADER_VERSION) {
         conn.leave();
         return Err("master is not a render service (job header mismatch)".to_string());
     }
-    let worker = ServiceWorker::new(settings.clone(), CostModel::default());
     conn.serve(worker).map_err(|e| format!("worker serve: {e}"))
 }
 
@@ -1307,6 +1452,198 @@ impl ServiceClient {
             (t, _) => Err(format!("unexpected reply tag {t:#x}")),
         }
     }
+
+    /// Subscribe to a job's progressive frame stream. Returns the job's
+    /// status at registration plus the image dimensions a watcher needs
+    /// to assemble frames; follow with [`ServiceClient::watch_stream`].
+    #[allow(clippy::result_large_err)]
+    pub fn watch_start(
+        &mut self,
+        id: u64,
+    ) -> Result<Result<(JobStatus, u32, u32), String>, String> {
+        let mut e = Encoder::new();
+        e.u64(id);
+        match self.call(tag::WATCH, e.finish())? {
+            (tag::JOB_OK, p) => {
+                let mut d = Decoder::new(&p);
+                let st =
+                    JobStatus::wire_decode(&mut d).map_err(|e| format!("bad watch ack: {e}"))?;
+                let w = d.u32().map_err(|e| format!("bad watch ack: {e}"))?;
+                let h = d.u32().map_err(|e| format!("bad watch ack: {e}"))?;
+                Ok(Ok((st, w, h)))
+            }
+            (tag::SVC_ERR, p) => Ok(Err(Self::rejection(&p))),
+            (t, _) => Err(format!("unexpected reply tag {t:#x}")),
+        }
+    }
+
+    /// Consume a registered watch stream until the job is terminal,
+    /// assembling frames client-side from the pushed region tiles.
+    /// `progress` fires on every `FRAME_PROGRESS` push (frame boundaries
+    /// and the terminal status).
+    ///
+    /// When the watch was registered before the job's first unit, the
+    /// stream covers every pixel of every frame: the reassembled frames
+    /// hash to the job hash, and the report says so in `verified`. A
+    /// watch attached mid-run still converges visually but cannot
+    /// reconstruct the frames that streamed before it joined.
+    pub fn watch_stream(
+        &mut self,
+        st: &JobStatus,
+        width: u32,
+        height: u32,
+        mut progress: impl FnMut(&JobStatus),
+    ) -> Result<WatchReport, String> {
+        let mut report = WatchReport {
+            status: st.clone(),
+            deltas: 0,
+            delta_bytes: 0,
+            pixels: 0,
+            verified: false,
+            frames_rgb: Vec::new(),
+        };
+        if st.state.terminal() {
+            return Ok(report);
+        }
+        let from_start = st.units_done == 0 && st.frames_done == 0;
+        let frames = st.frames as usize;
+        let area = width as usize * height as usize;
+        // lazily allocated canvases; frame f's region seeds from frame
+        // f-1's at the first tile for (f, region) — a region streams its
+        // frames in order, so the seed rows are final when read
+        let mut canvases: Vec<Vec<[u8; 3]>> = vec![Vec::new(); frames];
+        let final_st = loop {
+            let (msg, _) = read_frame(&mut self.stream).map_err(|e| format!("watch recv: {e}"))?;
+            match msg.tag {
+                tag::FRAME_DELTA => {
+                    let mut d = Decoder::new(&msg.payload);
+                    let parsed = (|| -> Result<_, DecodeError> {
+                        let job = d.u64()?;
+                        let frame = d.u32()?;
+                        let region = PixelRegion {
+                            x0: d.u32()?,
+                            y0: d.u32()?,
+                            w: d.u32()?,
+                            h: d.u32()?,
+                        };
+                        let mode = d.u8()?;
+                        let count = d.u32()?;
+                        let payload = d.bytes()?.to_vec();
+                        Ok((
+                            job,
+                            frame,
+                            region,
+                            TileUpdate {
+                                mode,
+                                count,
+                                payload,
+                            },
+                        ))
+                    })();
+                    let (job, frame, region, tile) =
+                        parsed.map_err(|e| format!("bad frame delta: {e}"))?;
+                    if job != st.id {
+                        continue;
+                    }
+                    report.deltas += 1;
+                    report.delta_bytes += tile.wire_len();
+                    let f = frame as usize;
+                    if f >= frames {
+                        return Err(format!("frame {frame} outside job of {frames}"));
+                    }
+                    if canvases[f].is_empty() {
+                        canvases[f] = vec![[0u8; 3]; area];
+                    }
+                    if f > 0 && !canvases[f - 1].is_empty() {
+                        let (before, after) = canvases.split_at_mut(f);
+                        let (prev, cur) = (&before[f - 1], &mut after[0]);
+                        for row in 0..region.h {
+                            let a = ((region.y0 + row) * width + region.x0) as usize;
+                            let b = a + region.w as usize;
+                            if b <= area {
+                                cur[a..b].copy_from_slice(&prev[a..b]);
+                            }
+                        }
+                    }
+                    let mut state = None;
+                    let pixels = tile
+                        .decode(region, width, &mut state)
+                        .map_err(|e| format!("bad frame delta tile: {e}"))?;
+                    for (id, rgb) in pixels {
+                        let at = id as usize;
+                        if at >= area {
+                            return Err(format!("pixel {id} outside {width}x{height}"));
+                        }
+                        canvases[f][at] = rgb;
+                        report.pixels += 1;
+                    }
+                }
+                tag::FRAME_PROGRESS => {
+                    let mut d = Decoder::new(&msg.payload);
+                    let ps = JobStatus::wire_decode(&mut d)
+                        .map_err(|e| format!("bad progress push: {e}"))?;
+                    if ps.id != st.id {
+                        continue;
+                    }
+                    progress(&ps);
+                    if ps.state.terminal() {
+                        break ps;
+                    }
+                }
+                _ => {} // unrelated traffic on a shared connection
+            }
+        };
+        report.status = final_st;
+        if report.status.state == JobState::Done && from_start && area > 0 {
+            let mut hashes = Vec::with_capacity(frames);
+            for canvas in &mut canvases {
+                if canvas.is_empty() {
+                    canvas.resize(area, [0u8; 3]);
+                }
+                hashes.push(fnv1a(canvas.iter().flatten().copied()));
+            }
+            let job_hash = fnv1a(hashes.iter().flat_map(|h| h.to_le_bytes()));
+            report.verified = job_hash == report.status.job_hash;
+            report.frames_rgb = canvases;
+        }
+        Ok(report)
+    }
+
+    /// [`watch_start`] + [`watch_stream`] in one call.
+    ///
+    /// [`watch_start`]: ServiceClient::watch_start
+    /// [`watch_stream`]: ServiceClient::watch_stream
+    #[allow(clippy::result_large_err)]
+    pub fn watch(
+        &mut self,
+        id: u64,
+        progress: impl FnMut(&JobStatus),
+    ) -> Result<Result<WatchReport, String>, String> {
+        match self.watch_start(id)? {
+            Ok((st, w, h)) => Ok(Ok(self.watch_stream(&st, w, h, progress)?)),
+            Err(reason) => Ok(Err(reason)),
+        }
+    }
+}
+
+/// Outcome of watching a job's progressive frame stream to completion.
+#[derive(Debug, Clone)]
+pub struct WatchReport {
+    /// The job's terminal status (or its status at registration, if the
+    /// job was already terminal when the watch attached).
+    pub status: JobStatus,
+    /// `FRAME_DELTA` pushes received.
+    pub deltas: u64,
+    /// Wire bytes of the received tiles (mode + count + payload).
+    pub delta_bytes: u64,
+    /// Pixels applied from the stream.
+    pub pixels: u64,
+    /// True when the watch covered the whole job and the client-side
+    /// frame reassembly reproduced the job hash bit-for-bit.
+    pub verified: bool,
+    /// The reassembled frames (row-major quantised RGB), populated only
+    /// when the job completed and the watch started from its first unit.
+    pub frames_rgb: Vec<Vec<[u8; 3]>>,
 }
 
 // Service journal record kinds (first payload byte).

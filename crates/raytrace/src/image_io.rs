@@ -5,15 +5,17 @@
 //! uncompressed type-2 Targa with 24-bit BGR pixels, bottom-up row order
 //! as is conventional for TGA.
 //!
-//! [`png_bytes`] is a dependency-free PNG encoder (stored/uncompressed
-//! deflate blocks, the shared [`now_math::crc32`] and a hand-rolled
-//! Adler-32) so golden images can be checked in as a universally viewable
-//! format without pulling a compression crate into the offline build.
+//! [`png_bytes`] is a dependency-free PNG encoder (the fixed-Huffman
+//! deflate from [`crate::deflate`], the shared [`now_math::crc32`] and a
+//! hand-rolled Adler-32) so golden images can be checked in as a
+//! universally viewable format without pulling a compression crate into
+//! the offline build.
 //!
 //! Every `write_*` function goes through [`write_atomic`] — temp file,
 //! fsync, rename — so an interrupted render never leaves a half-written
 //! image on disk.
 
+use crate::deflate::zlib_compress;
 use crate::framebuffer::Framebuffer;
 use now_math::crc32;
 use std::io::{self, Write};
@@ -132,21 +134,6 @@ pub fn write_tga(fb: &Framebuffer, path: &Path) -> io::Result<()> {
     write_atomic(path, &tga_bytes(fb))
 }
 
-/// Adler-32 over the uncompressed zlib payload.
-fn adler32(bytes: &[u8]) -> u32 {
-    const MOD: u32 = 65521;
-    let (mut a, mut b) = (1u32, 0u32);
-    for chunk in bytes.chunks(5552) {
-        for &x in chunk {
-            a += x as u32;
-            b += a;
-        }
-        a %= MOD;
-        b %= MOD;
-    }
-    (b << 16) | a
-}
-
 /// Append one PNG chunk: length, type, data, CRC over type+data.
 fn png_chunk(out: &mut Vec<u8>, kind: &[u8; 4], data: &[u8]) {
     out.extend_from_slice(&(data.len() as u32).to_be_bytes());
@@ -159,9 +146,9 @@ fn png_chunk(out: &mut Vec<u8>, kind: &[u8; 4], data: &[u8]) {
 
 /// Encode a framebuffer as an 8-bit truecolor PNG.
 ///
-/// The zlib stream uses stored (uncompressed) deflate blocks — bigger than
-/// a real compressor's output but byte-for-byte reproducible everywhere,
-/// which is what the golden-image tests hash.
+/// The zlib stream uses the deterministic fixed-Huffman compressor from
+/// [`crate::deflate`] — byte-for-byte reproducible everywhere, which is
+/// what the golden-image tests hash.
 pub fn png_bytes(fb: &Framebuffer) -> Vec<u8> {
     // scanlines: filter byte 0 (None) + RGB triples, top-down
     let w = fb.width();
@@ -175,22 +162,7 @@ pub fn png_bytes(fb: &Framebuffer) -> Vec<u8> {
         }
     }
 
-    // zlib wrapper: CMF/FLG then stored deflate blocks then Adler-32
-    let mut idat = vec![0x78, 0x01];
-    let mut chunks = raw.chunks(0xFFFF).peekable();
-    loop {
-        // an empty image still needs one (empty) stored block
-        let block: &[u8] = chunks.next().unwrap_or(&[]);
-        let last = chunks.peek().is_none();
-        idat.push(last as u8);
-        idat.extend_from_slice(&(block.len() as u16).to_le_bytes());
-        idat.extend_from_slice(&(!(block.len() as u16)).to_le_bytes());
-        idat.extend_from_slice(block);
-        if last {
-            break;
-        }
-    }
-    idat.extend_from_slice(&adler32(&raw).to_be_bytes());
+    let idat = zlib_compress(&raw);
 
     let mut ihdr = Vec::with_capacity(13);
     ihdr.extend_from_slice(&w.to_be_bytes());
@@ -349,35 +321,10 @@ mod tests {
         assert_eq!(crc32(b"IEND"), 0xAE42_6082);
     }
 
-    #[test]
-    fn adler32_known_vectors() {
-        assert_eq!(adler32(b""), 1);
-        assert_eq!(adler32(b"Wikipedia"), 0x11E6_0398);
-    }
-
-    /// Un-deflate the stored blocks of our own zlib stream (the only shape
-    /// [`png_bytes`] emits) to round-trip the scanlines.
-    fn inflate_stored(zlib: &[u8]) -> Vec<u8> {
+    /// Round-trip our own zlib stream (checks the Adler-32 trailer too).
+    fn inflate_zlib(zlib: &[u8]) -> Vec<u8> {
         assert_eq!(&zlib[..2], &[0x78, 0x01]);
-        let mut out = Vec::new();
-        let mut i = 2;
-        loop {
-            let last = zlib[i];
-            let len = u16::from_le_bytes([zlib[i + 1], zlib[i + 2]]) as usize;
-            let nlen = u16::from_le_bytes([zlib[i + 3], zlib[i + 4]]);
-            assert_eq!(nlen, !(len as u16), "NLEN must be ones-complement");
-            i += 5;
-            out.extend_from_slice(&zlib[i..i + len]);
-            i += len;
-            if last == 1 {
-                break;
-            }
-        }
-        assert_eq!(
-            u32::from_be_bytes(zlib[i..i + 4].try_into().unwrap()),
-            adler32(&out)
-        );
-        out
+        crate::deflate::zlib_decompress(zlib).expect("IDAT must decode")
     }
 
     #[test]
@@ -410,20 +357,25 @@ mod tests {
 
         // scanlines: filter byte 0 then RGB, top-down
         let idat_len = u32::from_be_bytes(bytes[33..37].try_into().unwrap()) as usize;
-        let raw = inflate_stored(&bytes[41..41 + idat_len]);
+        let raw = inflate_zlib(&bytes[41..41 + idat_len]);
         assert_eq!(raw.len(), 2 * (1 + 3 * 3));
         assert_eq!(&raw[..10], &[0, 255, 0, 0, 0, 255, 0, 0, 0, 255]);
     }
 
     #[test]
-    fn png_multi_block_stored_stream() {
-        // a frame big enough that the scanline stream exceeds one stored
-        // block's 65,535-byte limit
+    fn png_large_frame_compresses_and_roundtrips() {
+        // a frame whose scanline stream exceeds one stored block's
+        // 65,535-byte limit; the blank image should now compress to a
+        // sliver of its raw size instead of shipping stored blocks
         let fb = Framebuffer::new(200, 120); // (1+600)*120 = 72,120 bytes
         let bytes = png_bytes(&fb);
         let idat_len = u32::from_be_bytes(bytes[33..37].try_into().unwrap()) as usize;
-        let raw = inflate_stored(&bytes[41..41 + idat_len]);
+        let raw = inflate_zlib(&bytes[41..41 + idat_len]);
         assert_eq!(raw.len(), 72_120);
         assert!(raw.iter().all(|&b| b == 0), "blank frame is all zeros");
+        assert!(
+            idat_len < 72_120 / 20,
+            "blank frame should deflate hard, got {idat_len}"
+        );
     }
 }

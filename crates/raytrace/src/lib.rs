@@ -35,6 +35,7 @@ pub mod accel;
 pub mod bvh;
 pub mod camera;
 pub mod csg;
+pub mod deflate;
 pub mod framebuffer;
 pub mod image_io;
 pub mod light;

@@ -23,6 +23,7 @@ fn main() {
         cost: CostModel::default(),
         grid_voxels: 4096,
         keep_frames: false,
+        wire_delta: true,
     };
 
     // reference: the paper's 3-machine cluster, no faults

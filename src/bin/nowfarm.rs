@@ -26,6 +26,8 @@
 //!                      (one hex per line); exit nonzero on any mismatch
 //!   --journal DIR      write-ahead journal + durable frames into DIR
 //!   --resume           resume an interrupted run from --journal DIR
+//!   --raw-wire         ship 7-byte raw pixels instead of compressed tile
+//!                      deltas (the frames are byte-identical either way)
 //! nowfarm master SCENE [opts]               TCP master for a multi-process farm
 //!   --listen ADDR      address to listen on (default 127.0.0.1:0; the
 //!                      chosen port is printed as `listening on ...`)
@@ -67,6 +69,9 @@
 //!   --tenant T         tenant to bill against (default "default")
 //!   --priority P       priority within the tenant (default 0)
 //!   --plain            disable frame coherence for this job
+//!   --watch            stream the job's tiles as they land on the master,
+//!                      reassemble the frames client-side and verify them
+//!                      against the job hash (prints `watch verified`)
 //! nowfarm status ID  --connect ADDR         one job's state
 //! nowfarm cancel ID  --connect ADDR         cancel a live job
 //! nowfarm jobs       --connect ADDR         list every job
@@ -100,8 +105,9 @@ use nowrender::coherence::CoherentRenderer;
 use nowrender::core::service::ServiceConfig;
 use nowrender::core::{
     bind_tcp_master, run_service_master, run_sim_with, run_tcp_master_with, run_threads_with,
-    serve_service_worker, serve_tcp_worker, CostModel, FarmConfig, FarmResult, JobSpec,
-    JournalSpec, PartitionScheme, ServiceClient, ServiceMaster, TcpFarmConfig,
+    serve_service_worker_with, serve_tcp_worker_cached, CostModel, FarmConfig, FarmResult, JobSpec,
+    JobState, JournalSpec, PartitionScheme, ServiceClient, ServiceMaster, ServiceWorker,
+    TcpFarmConfig, WorkerCache,
 };
 use nowrender::grid::GridSpec;
 use nowrender::raytrace::{image_io, Framebuffer, RenderSettings};
@@ -381,6 +387,15 @@ fn print_farm_summary(result: &FarmResult) {
         result.report.messages,
         result.report.bytes
     );
+    if result.pixels_shipped > 0 {
+        // 7 bytes/px (u32 id + RGB) is what the raw wire format costs
+        println!(
+            "  frame traffic: {} bytes for {} pixels ({:.1}x vs raw)",
+            result.frame_bytes_wire,
+            result.pixels_shipped,
+            7.0 * result.pixels_shipped as f64 / result.frame_bytes_wire.max(1) as f64
+        );
+    }
     if result.report.worker_threads > 1 {
         println!(
             "  tile pool: {} threads/worker, parallel efficiency {:.0}%",
@@ -402,6 +417,11 @@ fn print_farm_summary(result: &FarmResult) {
         } else {
             String::new()
         };
+        let wire = if m.bytes_sent > 0 || m.bytes_received > 0 {
+            format!("  tx {:8}  rx {:8}", m.bytes_sent, m.bytes_received)
+        } else {
+            String::new()
+        };
         // a worker that joined noticeably after t=0 was a mid-run joiner;
         // the left-at stamp matters when it departed before the run ended
         let membership = if m.joined_s > 0.05 || m.lost {
@@ -410,12 +430,13 @@ fn print_farm_summary(result: &FarmResult) {
             String::new()
         };
         println!(
-            "  {:<28} busy {:8.2}s  util {:3.0}%  units {:4}{}{}{}",
+            "  {:<28} busy {:8.2}s  util {:3.0}%  units {:4}{}{}{}{}",
             m.name,
             m.busy_s,
             100.0 * result.report.utilisation(i),
             m.units_done,
             rtt,
+            wire,
             membership,
             if m.lost { "  LOST" } else { "" },
         );
@@ -450,6 +471,7 @@ fn cmd_farm(args: &[String]) -> CliResult {
         cost: CostModel::default(),
         grid_voxels: 24 * 24 * 24,
         keep_frames: true,
+        wire_delta: !has_flag(args, "--raw-wire"),
     };
     if trace_path.is_some() {
         cfg.settings.trace = true;
@@ -528,6 +550,7 @@ fn cmd_master(args: &[String]) -> CliResult {
         cost: CostModel::default(),
         grid_voxels: 24 * 24 * 24,
         keep_frames: true,
+        wire_delta: !has_flag(args, "--raw-wire"),
     };
     let mut tcp = TcpFarmConfig::new(workers);
     if let Some(v) = flag_value(args, "--lease") {
@@ -641,12 +664,17 @@ fn cmd_worker(args: &[String]) -> CliResult {
         // backoff per attempt is the cap, so size the attempt budget to it
         connect.attempts = ((win / connect.backoff_cap_s.max(0.01)).ceil() as u32).max(3);
     }
+    // worker state lives outside the reconnect loop: a rejoin after a
+    // dropped session (or a master restart) reuses the already-built
+    // scene and grid instead of rebuilding them from the spec
+    let mut farm_cache = WorkerCache::new();
+    let mut service_worker = ServiceWorker::new(cfg.settings.clone(), CostModel::default());
     let mut attempt = 0;
     loop {
         println!("connecting to {addr} ...");
         let session = match &anim {
-            Some(anim) => serve_tcp_worker(anim, &cfg, addr, &connect),
-            None => serve_service_worker(addr, &connect, &cfg.settings),
+            Some(anim) => serve_tcp_worker_cached(anim, &cfg, addr, &connect, &mut farm_cache),
+            None => serve_service_worker_with(&mut service_worker, addr, &connect),
         };
         match session {
             Ok(s) => {
@@ -835,12 +863,36 @@ fn cmd_submit(args: &[String]) -> CliResult {
     }
     spec.coherence = !has_flag(args, "--plain");
     let mut client = service_client(args)?;
-    match client.submit(&spec)? {
-        Ok(id) => {
-            println!("job {id}");
-            Ok(())
-        }
-        Err(reason) => Err(format!("rejected: {reason}")),
+    let id = match client.submit(&spec)? {
+        Ok(id) => id,
+        Err(reason) => return Err(format!("rejected: {reason}")),
+    };
+    println!("job {id}");
+    if !has_flag(args, "--watch") {
+        return Ok(());
+    }
+    let (st, w, h) = client
+        .watch_start(id)?
+        .map_err(|reason| format!("watch rejected: {reason}"))?;
+    println!("watching job {id} ({w}x{h}, {} frames) ...", st.frames);
+    let report = client.watch_stream(&st, w, h, |ps| {
+        println!(
+            "  frame {:3}/{} ({} units)",
+            ps.frames_done, ps.frames, ps.units_done
+        );
+    })?;
+    println!(
+        "job {id} {:?}: {} tile deltas, {} bytes, {} pixels",
+        report.status.state, report.deltas, report.delta_bytes, report.pixels
+    );
+    if report.verified {
+        // scripts grep for this exact phrase
+        println!("watch verified: frames reassembled bit-identically from the stream");
+        Ok(())
+    } else if report.status.state == JobState::Done {
+        Err("watch could not verify the stream against the job hash".into())
+    } else {
+        Err(format!("job ended {:?}", report.status.state))
     }
 }
 

@@ -29,6 +29,7 @@ fn cfg() -> FarmConfig {
         cost: CostModel::default(),
         grid_voxels: 4096,
         keep_frames: false,
+        wire_delta: true,
     }
 }
 
@@ -313,6 +314,12 @@ fn threads_midrun_join_preserves_every_frame_byte() {
 /// deterministic fault plan hard-drops its connection after 5000 bytes.
 /// The lease requeues to the survivor and the frames stay byte-identical
 /// to the fault-free reference.
+///
+/// The *first* accepted connection carries the fault: once it dies with
+/// units outstanding, the master cannot finish without the second
+/// (staggered) worker, so the run provably waits for it to join no
+/// matter how fast the machine renders — dropping the second connection
+/// instead would race its 60 ms connect against total job time.
 #[test]
 fn tcp_leave_while_leased_requeues_byte_identically() {
     use nowrender::cluster::NetFaultPlan;
@@ -335,8 +342,8 @@ fn tcp_leave_while_leased_requeues_byte_identically() {
         .collect();
 
     let mut tcp = TcpFarmConfig::new(2);
-    // the second accepted connection dies mid-run, mid-lease
-    tcp.net_faults = NetFaultPlan::none().seeded(7).drop_after(1, 5_000);
+    // the first accepted connection dies mid-run, mid-lease
+    tcp.net_faults = NetFaultPlan::none().seeded(7).drop_after(0, 5_000);
     let result = run_tcp_master_on(listener, &anim, &cfg(), &tcp).expect("master");
 
     assert_eq!(

@@ -42,6 +42,7 @@ fn cfg() -> FarmConfig {
         cost: CostModel::default(),
         grid_voxels: 4096,
         keep_frames: false,
+        wire_delta: true,
     }
 }
 

@@ -134,6 +134,7 @@ fn farm_cfg(threads: u32) -> FarmConfig {
         cost: CostModel::default(),
         grid_voxels: 4096,
         keep_frames: false,
+        wire_delta: true,
     }
 }
 

@@ -1,0 +1,133 @@
+//! Progressive frame streaming over the service wire: a client that
+//! registers a watch before the job's first unit receives every region
+//! tile as it lands on the master, reassembles the frames locally, and
+//! can prove bit-for-bit agreement with the master's job hash — the
+//! "distributed framebuffer" contract. Also covers the worker-side
+//! scene-content cache: two spellings of the same scene share one parsed
+//! animation.
+
+use nowrender::cluster::{ConnectConfig, WorkerLogic};
+use nowrender::coherence::PixelRegion;
+use nowrender::core::partition::RenderUnit;
+use nowrender::core::service::{run_service_master, ServiceConfig, ServiceMaster};
+use nowrender::core::{
+    bind_tcp_master, serve_service_worker_with, CostModel, JobSpec, JobState, ServiceClient,
+    ServiceUnit, ServiceWorker, TcpFarmConfig,
+};
+use nowrender::raytrace::RenderSettings;
+
+#[test]
+fn watch_stream_rebuilds_byte_identical_frames_over_tcp() {
+    let listener = bind_tcp_master("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let tcp = TcpFarmConfig::new(1);
+    let master = ServiceMaster::new(ServiceConfig::default()).expect("in-memory service");
+    let master_thread =
+        std::thread::spawn(move || run_service_master(listener, master, &tcp).expect("service"));
+
+    // register the watch before any worker exists, so the stream is
+    // guaranteed to cover the job from its first unit
+    let mut c = ServiceClient::connect(&addr, 30.0).expect("client");
+    let id = c
+        .submit(&JobSpec::new("demo:glassball:3:24x18"))
+        .expect("transport")
+        .expect("admitted");
+    let (st, w, h) = c
+        .watch_start(id)
+        .expect("transport")
+        .expect("job is watchable");
+    assert_eq!(st.state, JobState::Queued);
+    assert_eq!((w, h), (24, 18));
+
+    let worker_addr = addr.clone();
+    let worker_thread = std::thread::spawn(move || {
+        let mut worker = ServiceWorker::new(RenderSettings::default(), CostModel::default());
+        serve_service_worker_with(&mut worker, &worker_addr, &ConnectConfig::default())
+            .expect("service worker")
+    });
+
+    let mut boundaries = 0u32;
+    let report = c
+        .watch_stream(&st, w, h, |ps| {
+            assert_eq!(ps.id, id);
+            boundaries += 1;
+        })
+        .expect("watch stream");
+    assert_eq!(report.status.state, JobState::Done);
+    assert_eq!(report.status.frames_done, 3);
+    assert!(report.deltas > 0, "no frame deltas streamed");
+    assert!(report.pixels > 0, "no pixels streamed");
+    assert!(
+        boundaries >= 3,
+        "expected a progress push per frame boundary, saw {boundaries}"
+    );
+    assert!(
+        report.verified,
+        "reassembled frames must hash to the job hash"
+    );
+    assert_eq!(report.frames_rgb.len(), 3);
+    assert!(report.frames_rgb.iter().all(|f| f.len() == 24 * 18));
+    // the stream carries compacted tiles, not 7-byte raw pixels
+    assert!(
+        report.delta_bytes < report.pixels * 7,
+        "stream not compacted: {} bytes for {} pixels",
+        report.delta_bytes,
+        report.pixels
+    );
+
+    // watching a finished job is answered, but there is nothing to stream
+    let mut late = ServiceClient::connect(&addr, 30.0).expect("late client");
+    let (st2, _, _) = late.watch_start(id).expect("transport").expect("known job");
+    assert!(st2.state.terminal());
+    let empty = late.watch_stream(&st2, w, h, |_| {}).expect("no-op stream");
+    assert_eq!(empty.deltas, 0);
+    assert!(!empty.verified);
+
+    // unknown ids are rejected with a reason, same as STATUS
+    let reason = late
+        .watch_start(999)
+        .expect("transport")
+        .expect_err("rejected");
+    assert_eq!(reason, "unknown job id");
+
+    c.drain().expect("drain");
+    worker_thread.join().expect("worker thread");
+    let (m, _report) = master_thread.join().expect("master thread");
+    assert_eq!(m.counters.completed, 1);
+}
+
+#[test]
+fn worker_scene_cache_dedups_spellings_across_tenants() {
+    let mut w = ServiceWorker::new(RenderSettings::default(), CostModel::default());
+    let unit = |job: u64, scene: &str| ServiceUnit {
+        job,
+        scene: scene.to_string(),
+        coherence: true,
+        grid_voxels: 8,
+        unit: RenderUnit {
+            region: PixelRegion {
+                x0: 0,
+                y0: 0,
+                w: 8,
+                h: 6,
+            },
+            frame: 0,
+            restart: true,
+        },
+    };
+    // "demo:glassball" defaults to 10 frames at 160x120 — the same scene
+    // content as the fully-spelled spec, submitted by a different tenant
+    let (a, _) = w.perform(&unit(1, "demo:glassball"));
+    let (b, _) = w.perform(&unit(2, "demo:glassball:10:160x120"));
+    assert_eq!(
+        w.scene_builds(),
+        1,
+        "two spellings of one scene must share a single parsed animation"
+    );
+    // both jobs rendered the same unit of the same scene
+    assert_eq!(a.update, b.update);
+
+    // genuinely different content is a separate build
+    let _ = w.perform(&unit(3, "demo:glassball:10:161x120"));
+    assert_eq!(w.scene_builds(), 2);
+}

@@ -33,6 +33,7 @@ fn master_cfg() -> FarmConfig {
         cost: CostModel::default(),
         grid_voxels: 24 * 24 * 24,
         keep_frames: false,
+        wire_delta: true,
     }
 }
 
