@@ -1,0 +1,430 @@
+//! Disk-fault injection and the unified chaos orchestrator.
+//!
+//! PRs 1–6 gave each failure domain its own deterministic plan: compute
+//! faults ([`FaultPlan`]: crashes, stalls, slowdowns, dropped and
+//! corrupted results), wire faults ([`NetFaultPlan`]: drops, stalls,
+//! delays, partitions) and master-crash injection
+//! ([`crate::JournalFaultPlan`]). This module adds the missing domain —
+//! the disk — and composes all of them under one seeded [`ChaosPlan`],
+//! so a whole storm can be expressed as a single spec string
+//! (`nowfarm --chaos` / `NOW_CHAOS`), replayed byte-identically, and
+//! asserted against a fault-free reference run.
+//!
+//! ## Disk faults
+//!
+//! A [`DiskFaultPlan`] mirrors [`NetFaultPlan`]'s grammar: per-path
+//! rules, each firing once on the `N`th matching write:
+//!
+//! ```text
+//! journal:enospc@2;frame_0003:eio@0;*:torn@5
+//! ```
+//!
+//! `WHO` is a path substring (or `*` for every path), `KIND@N` is
+//! `enospc@N` (write fails with `ENOSPC`), `eio@N` (fails with `EIO`) or
+//! `torn@N` (the write is cut partway and the file left torn, as if
+//! power was lost mid-write). The plan is *armed* into a [`DiskFaults`]
+//! handle — clonable, shared — that the journal writers and the image
+//! writer consult before touching the file system. Rendering must
+//! degrade gracefully: a failed journal write warns and continues
+//! unjournaled, a torn frame write is caught by the next resume's
+//! re-render.
+
+use crate::fault::FaultPlan;
+use crate::netfault::NetFaultPlan;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// What an injected disk fault does to the write that trips it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFaultKind {
+    /// The write fails with `ENOSPC` ("no space left on device").
+    Enospc,
+    /// The write fails with `EIO` (a dying disk).
+    Eio,
+    /// The write is cut partway through and the file left torn, as if
+    /// the machine lost power mid-write; the caller sees success-shaped
+    /// silence, recovery has to catch it later (CRC, atomic rename).
+    Torn,
+}
+
+impl DiskFaultKind {
+    /// The `io::Error` this fault surfaces as. `Torn` is the exception —
+    /// it doesn't error at the fault site (that's the point) — and maps
+    /// to a generic `WriteZero` for callers that can't tear.
+    pub fn to_io_error(self) -> std::io::Error {
+        match self {
+            // ENOSPC and EIO carry the real OS error codes so the
+            // degradation paths see exactly what a full/dying disk gives
+            DiskFaultKind::Enospc => std::io::Error::from_raw_os_error(28),
+            DiskFaultKind::Eio => std::io::Error::from_raw_os_error(5),
+            DiskFaultKind::Torn => {
+                std::io::Error::new(std::io::ErrorKind::WriteZero, "injected torn write")
+            }
+        }
+    }
+}
+
+/// One per-path disk-fault rule: the `op`-th write whose path contains
+/// `path` (`*` = every path) suffers `kind`, once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct DiskRule {
+    path: String,
+    kind: DiskFaultKind,
+    op: u64,
+}
+
+/// A deterministic per-path schedule of one-shot disk faults.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiskFaultPlan {
+    rules: Vec<DiskRule>,
+}
+
+impl DiskFaultPlan {
+    /// The empty plan: every write succeeds.
+    pub fn none() -> DiskFaultPlan {
+        DiskFaultPlan::default()
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    fn with(mut self, path: &str, kind: DiskFaultKind, op: u64) -> DiskFaultPlan {
+        self.rules.push(DiskRule {
+            path: path.to_string(),
+            kind,
+            op,
+        });
+        self
+    }
+
+    /// The `op`-th write to a path containing `path` fails with `ENOSPC`.
+    pub fn enospc_at(self, path: &str, op: u64) -> DiskFaultPlan {
+        self.with(path, DiskFaultKind::Enospc, op)
+    }
+
+    /// The `op`-th write to a path containing `path` fails with `EIO`.
+    pub fn eio_at(self, path: &str, op: u64) -> DiskFaultPlan {
+        self.with(path, DiskFaultKind::Eio, op)
+    }
+
+    /// The `op`-th write to a path containing `path` is torn partway.
+    pub fn torn_at(self, path: &str, op: u64) -> DiskFaultPlan {
+        self.with(path, DiskFaultKind::Torn, op)
+    }
+
+    /// Parse a plan from the spec grammar (see the module docs):
+    /// semicolon-separated `WHO:KIND@N` clauses, `WHO` a path substring
+    /// or `*`, `KIND` one of `enospc`, `eio`, `torn`, `N` the 0-based
+    /// index of the matching write that trips the fault.
+    pub fn parse(spec: &str) -> Result<DiskFaultPlan, String> {
+        let mut plan = DiskFaultPlan::none();
+        for clause in spec.split(';').map(str::trim).filter(|c| !c.is_empty()) {
+            let (who, what) = clause
+                .split_once(':')
+                .ok_or_else(|| format!("disk fault clause missing ':': {clause:?}"))?;
+            let (kind, op) = what
+                .split_once('@')
+                .ok_or_else(|| format!("disk fault missing '@': {what:?}"))?;
+            let kind = match kind {
+                "enospc" => DiskFaultKind::Enospc,
+                "eio" => DiskFaultKind::Eio,
+                "torn" => DiskFaultKind::Torn,
+                other => return Err(format!("unknown disk fault kind: {other:?}")),
+            };
+            let op: u64 = op
+                .parse()
+                .map_err(|_| format!("bad disk fault write index: {op:?}"))?;
+            plan = plan.with(who, kind, op);
+        }
+        Ok(plan)
+    }
+
+    /// Render the plan back into the [`DiskFaultPlan::parse`] grammar.
+    pub fn to_spec(&self) -> String {
+        let mut out = String::new();
+        for r in &self.rules {
+            if !out.is_empty() {
+                out.push(';');
+            }
+            let kind = match r.kind {
+                DiskFaultKind::Enospc => "enospc",
+                DiskFaultKind::Eio => "eio",
+                DiskFaultKind::Torn => "torn",
+            };
+            let _ = write!(out, "{}:{kind}@{}", r.path, r.op);
+        }
+        out
+    }
+
+    /// Arm the plan into a runtime handle. Every clone of the handle
+    /// shares the same per-rule write counters, so a rule fires exactly
+    /// once no matter how many writers consult it.
+    pub fn arm(&self) -> DiskFaults {
+        DiskFaults(Arc::new(Mutex::new(DiskState {
+            rules: self.rules.clone(),
+            counts: vec![0; self.rules.len()],
+            fired: vec![false; self.rules.len()],
+            injected: 0,
+        })))
+    }
+}
+
+#[derive(Debug)]
+struct DiskState {
+    rules: Vec<DiskRule>,
+    /// Matching writes seen so far, per rule.
+    counts: Vec<u64>,
+    /// One-shot latch per rule.
+    fired: Vec<bool>,
+    injected: u64,
+}
+
+/// A shared, armed [`DiskFaultPlan`]: file writers call
+/// [`DiskFaults::check`] with the path they are about to write and obey
+/// the verdict. The default handle is free (injects nothing).
+#[derive(Debug, Clone)]
+pub struct DiskFaults(Arc<Mutex<DiskState>>);
+
+impl Default for DiskFaults {
+    fn default() -> DiskFaults {
+        DiskFaultPlan::none().arm()
+    }
+}
+
+impl DiskFaults {
+    /// A handle that never injects.
+    pub fn none() -> DiskFaults {
+        DiskFaults::default()
+    }
+
+    /// True when no rules are armed (writers may skip the lock).
+    pub fn is_free(&self) -> bool {
+        self.0.lock().expect("disk fault lock").rules.is_empty()
+    }
+
+    /// Account one write of `path` and return the fault to inject on it,
+    /// if any rule trips. Each rule counts the writes whose path
+    /// contains its pattern and fires exactly once, at its configured
+    /// index; when several rules trip on the same write the first wins.
+    pub fn check(&self, path: &str) -> Option<DiskFaultKind> {
+        let mut st = self.0.lock().expect("disk fault lock");
+        let mut hit = None;
+        for i in 0..st.rules.len() {
+            let rule = &st.rules[i];
+            if rule.path != "*" && !path.contains(rule.path.as_str()) {
+                continue;
+            }
+            let n = st.counts[i];
+            st.counts[i] += 1;
+            if !st.fired[i] && n == st.rules[i].op {
+                st.fired[i] = true;
+                if hit.is_none() {
+                    hit = Some(st.rules[i].kind);
+                }
+            }
+        }
+        if hit.is_some() {
+            st.injected += 1;
+        }
+        hit
+    }
+
+    /// Faults injected so far (fired rules that hit a write).
+    pub fn injected(&self) -> u64 {
+        self.0.lock().expect("disk fault lock").injected
+    }
+}
+
+/// The unified chaos orchestrator: one seeded spec composing compute,
+/// network and disk fault plans. Parsed from `nowfarm --chaos SPEC` /
+/// `NOW_CHAOS`:
+///
+/// ```text
+/// seed=7|compute=1:corrupt@0,2:slow@1x40|net=2:drop@8000|disk=journal:enospc@2
+/// ```
+///
+/// Pipe-separated sections; each section's value uses that plan's own
+/// grammar ([`FaultPlan::parse`], [`NetFaultPlan::parse`],
+/// [`DiskFaultPlan::parse`]). The chaos seed feeds the net plan's
+/// probabilistic rules unless the net section sets its own `seed=`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChaosPlan {
+    /// Seed shared across the composed plans (diagnostics + the net
+    /// plan's probabilistic rules).
+    pub seed: u64,
+    /// Compute faults, keyed by worker index.
+    pub compute: FaultPlan,
+    /// Wire faults, keyed by connection accept order.
+    pub net: NetFaultPlan,
+    /// Disk faults, keyed by path substring.
+    pub disk: DiskFaultPlan,
+}
+
+impl ChaosPlan {
+    /// The empty plan: no chaos anywhere.
+    pub fn none() -> ChaosPlan {
+        ChaosPlan::default()
+    }
+
+    /// True when every composed plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.compute.is_empty() && self.net.is_empty() && self.disk.is_empty()
+    }
+
+    /// Parse a chaos spec (see the type docs for the grammar).
+    pub fn parse(spec: &str) -> Result<ChaosPlan, String> {
+        let mut seed = 0u64;
+        let mut compute = None;
+        let mut net = None;
+        let mut disk = None;
+        for section in spec.split('|').map(str::trim).filter(|s| !s.is_empty()) {
+            let (key, value) = section
+                .split_once('=')
+                .ok_or_else(|| format!("chaos section missing '=': {section:?}"))?;
+            match key.trim() {
+                "seed" => {
+                    seed = value
+                        .parse()
+                        .map_err(|_| format!("bad chaos seed: {value:?}"))?;
+                }
+                "compute" => compute = Some(value.to_string()),
+                "net" => net = Some(value.to_string()),
+                "disk" => disk = Some(value.to_string()),
+                other => return Err(format!("unknown chaos section: {other:?}")),
+            }
+        }
+        let mut plan = ChaosPlan {
+            seed,
+            ..ChaosPlan::default()
+        };
+        if let Some(c) = compute {
+            plan.compute = FaultPlan::parse(&c)?;
+        }
+        if let Some(n) = net {
+            // the chaos seed is the net plan's default; an explicit
+            // seed= inside the section overrides it
+            plan.net = NetFaultPlan::parse(&format!("seed={seed};{n}"))?;
+        }
+        if let Some(d) = disk {
+            plan.disk = DiskFaultPlan::parse(&d)?;
+        }
+        Ok(plan)
+    }
+
+    /// Render the plan back into the [`ChaosPlan::parse`] grammar.
+    pub fn to_spec(&self) -> String {
+        let mut out = String::new();
+        let mut push = |section: String| {
+            if !out.is_empty() {
+                out.push('|');
+            }
+            out.push_str(&section);
+        };
+        if self.seed != 0 {
+            push(format!("seed={}", self.seed));
+        }
+        if !self.compute.is_empty() {
+            push(format!("compute={}", self.compute.to_spec()));
+        }
+        if !self.net.is_empty() {
+            push(format!("net={}", self.net.to_spec()));
+        }
+        if !self.disk.is_empty() {
+            push(format!("disk={}", self.disk.to_spec()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plans_are_free() {
+        assert!(DiskFaultPlan::none().is_empty());
+        assert!(DiskFaults::none().is_free());
+        assert_eq!(DiskFaults::none().check("/any/path"), None);
+        assert!(ChaosPlan::none().is_empty());
+    }
+
+    #[test]
+    fn disk_rules_count_matching_writes_and_fire_once() {
+        let faults = DiskFaultPlan::none()
+            .enospc_at("journal", 1)
+            .eio_at("frame_0002", 0)
+            .arm();
+        // journal writes: #0 clean, #1 trips ENOSPC, #2+ clean again
+        assert_eq!(faults.check("/job/run.journal"), None);
+        assert_eq!(
+            faults.check("/job/run.journal"),
+            Some(DiskFaultKind::Enospc)
+        );
+        assert_eq!(faults.check("/job/run.journal"), None);
+        // an unrelated path never matches
+        assert_eq!(faults.check("/job/frame_0001.tga"), None);
+        // the targeted frame trips on its first write — via a clone,
+        // proving the counters are shared
+        let shared = faults.clone();
+        assert_eq!(
+            shared.check("/job/frame_0002.tga"),
+            Some(DiskFaultKind::Eio)
+        );
+        assert_eq!(shared.check("/job/frame_0002.tga"), None);
+        assert_eq!(faults.injected(), 2);
+    }
+
+    #[test]
+    fn wildcard_rule_hits_any_path() {
+        let faults = DiskFaultPlan::none().torn_at("*", 2).arm();
+        assert_eq!(faults.check("a"), None);
+        assert_eq!(faults.check("b"), None);
+        assert_eq!(faults.check("c"), Some(DiskFaultKind::Torn));
+        assert_eq!(faults.check("d"), None);
+    }
+
+    #[test]
+    fn disk_spec_round_trips() {
+        let spec = "journal:enospc@2;frame_0003:eio@0;*:torn@5";
+        let plan = DiskFaultPlan::parse(spec).expect("parse");
+        assert_eq!(plan.to_spec(), spec);
+        assert_eq!(DiskFaultPlan::parse(&plan.to_spec()).expect("re"), plan);
+        assert!(DiskFaultPlan::parse("journal:melt@2").is_err());
+        assert!(DiskFaultPlan::parse("journal:eio").is_err());
+        assert!(DiskFaultPlan::parse("enospc@2").is_err());
+    }
+
+    #[test]
+    fn chaos_spec_composes_all_three_domains() {
+        let spec = "seed=7|compute=1:corrupt@0,2:slow@1x40|net=2:drop@8000|disk=journal:enospc@2";
+        let plan = ChaosPlan::parse(spec).expect("parse");
+        assert_eq!(plan.seed, 7);
+        assert!(plan.compute.corrupts(1, 0));
+        assert!((plan.compute.slowdown(2, 1) - 40.0).abs() < 1e-12);
+        assert!(!plan.net.is_empty());
+        assert_eq!(
+            plan.disk.arm().check("x/run.journal"),
+            None,
+            "enospc@2 waits for the third write"
+        );
+        // round trip: the reparsed plan is identical
+        let reparsed = ChaosPlan::parse(&plan.to_spec()).expect("reparse");
+        assert_eq!(plan, reparsed);
+        // garbage is rejected with a reason, not a panic
+        assert!(ChaosPlan::parse("compute").is_err());
+        assert!(ChaosPlan::parse("warp=9").is_err());
+        assert!(ChaosPlan::parse("net=0:explode@1").is_err());
+    }
+
+    #[test]
+    fn injected_errors_carry_real_os_codes() {
+        assert_eq!(DiskFaultKind::Enospc.to_io_error().raw_os_error(), Some(28));
+        assert_eq!(DiskFaultKind::Eio.to_io_error().raw_os_error(), Some(5));
+        assert_eq!(
+            DiskFaultKind::Torn.to_io_error().kind(),
+            std::io::ErrorKind::WriteZero
+        );
+    }
+}

@@ -48,6 +48,11 @@ pub enum FaultKind {
     /// in transit (the work request it doubles as is lost too, so the
     /// worker sits idle until the master re-engages or excludes it).
     DropResultAtUnit(u64),
+    /// Every result from the `n`th unit onward is silently corrupted
+    /// (bit-flipped) before it reaches the master — a Byzantine worker.
+    /// The master's end-to-end checksum must catch it, requeue the unit
+    /// and eventually quarantine the worker.
+    CorruptFromUnit(u64),
 }
 
 /// A deterministic per-worker fault schedule.
@@ -107,6 +112,11 @@ impl FaultPlan {
         self.with(worker, FaultKind::DropResultAtUnit(unit))
     }
 
+    /// Worker `worker` corrupts every result from its `unit`th unit on.
+    pub fn corrupt_from(self, worker: usize, unit: u64) -> FaultPlan {
+        self.with(worker, FaultKind::CorruptFromUnit(unit))
+    }
+
     /// Unit index at which `worker` crashes, if any.
     pub fn crash_unit(&self, worker: usize) -> Option<u64> {
         self.kinds(worker).iter().find_map(|k| match k {
@@ -141,8 +151,87 @@ impl FaultPlan {
             .any(|k| matches!(k, FaultKind::DropResultAtUnit(n) if *n == unit))
     }
 
+    /// True if the result of `worker`'s `unit`th unit is corrupted.
+    pub fn corrupts(&self, worker: usize, unit: u64) -> bool {
+        self.kinds(worker)
+            .iter()
+            .any(|k| matches!(k, FaultKind::CorruptFromUnit(n) if unit >= *n))
+    }
+
     fn kinds(&self, worker: usize) -> &[FaultKind] {
         self.faults.get(&worker).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Parse a comma-separated compute-fault spec:
+    /// `WORKER:KIND@ARG` per rule, e.g.
+    /// `1:corrupt@0,2:crash@3,0:slow@2x1.5,3:drop@4,4:stall@1,5:join@0.25`.
+    ///
+    /// Kinds: `crash@N`, `stall@N`, `drop@N` (lose the result of unit N),
+    /// `corrupt@N` (corrupt every result from unit N on), `slow@NxF`
+    /// (units from N on take F× as long), `join@T` (join T seconds in).
+    /// Unit counts are 0-based counts of *started* units, matching the
+    /// builder methods.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::none();
+        for rule in spec.split(',').map(str::trim).filter(|r| !r.is_empty()) {
+            let (worker, rest) = rule
+                .split_once(':')
+                .ok_or_else(|| format!("fault rule `{rule}`: expected WORKER:KIND@ARG"))?;
+            let worker: usize = worker
+                .trim()
+                .parse()
+                .map_err(|_| format!("fault rule `{rule}`: bad worker index `{worker}`"))?;
+            let (kind, arg) = rest
+                .split_once('@')
+                .ok_or_else(|| format!("fault rule `{rule}`: expected KIND@ARG"))?;
+            let unit = |a: &str| -> Result<u64, String> {
+                a.parse()
+                    .map_err(|_| format!("fault rule `{rule}`: bad unit count `{a}`"))
+            };
+            plan = match kind.trim() {
+                "crash" => plan.crash_at(worker, unit(arg)?),
+                "stall" => plan.stall_at(worker, unit(arg)?),
+                "drop" => plan.drop_result_at(worker, unit(arg)?),
+                "corrupt" => plan.corrupt_from(worker, unit(arg)?),
+                "slow" => {
+                    let (n, f) = arg
+                        .split_once('x')
+                        .ok_or_else(|| format!("fault rule `{rule}`: slow wants N x FACTOR"))?;
+                    let factor: f64 = f
+                        .parse()
+                        .map_err(|_| format!("fault rule `{rule}`: bad factor `{f}`"))?;
+                    plan.slow_from(worker, unit(n)?, factor)
+                }
+                "join" => {
+                    let t: f64 = arg
+                        .parse()
+                        .map_err(|_| format!("fault rule `{rule}`: bad join time `{arg}`"))?;
+                    plan.join_at(worker, t)
+                }
+                other => return Err(format!("fault rule `{rule}`: unknown kind `{other}`")),
+            };
+        }
+        Ok(plan)
+    }
+
+    /// Render the plan back into the [`FaultPlan::parse`] grammar.
+    pub fn to_spec(&self) -> String {
+        let mut rules = Vec::new();
+        for (&w, kinds) in &self.faults {
+            for k in kinds {
+                rules.push(match k {
+                    FaultKind::CrashAtUnit(n) => format!("{w}:crash@{n}"),
+                    FaultKind::StallAtUnit(n) => format!("{w}:stall@{n}"),
+                    FaultKind::SlowFromUnit { unit, factor } => format!("{w}:slow@{unit}x{factor}"),
+                    FaultKind::DropResultAtUnit(n) => format!("{w}:drop@{n}"),
+                    FaultKind::CorruptFromUnit(n) => format!("{w}:corrupt@{n}"),
+                });
+            }
+        }
+        for (&w, &t) in &self.joins {
+            rules.push(format!("{w}:join@{t}"));
+        }
+        rules.join(",")
     }
 }
 
@@ -159,6 +248,23 @@ pub struct RecoveryConfig {
     /// A worker is excluded (counted lost, never assigned again) after
     /// this many consecutive lease expiries.
     pub max_worker_failures: u32,
+    /// A worker is quarantined (excluded, reconnects rejected for a
+    /// cooldown on the TCP backend) after this many *rejected results* —
+    /// payloads whose end-to-end checksum or decode failed verification.
+    /// Unlike lease expiries, strikes never reset: a Byzantine worker
+    /// that interleaves good and bad results is still evicted.
+    pub max_worker_strikes: u32,
+    /// Seconds a quarantined node identity is turned away at HELLO
+    /// before it may rejoin (TCP backend only).
+    pub quarantine_cooldown_s: f64,
+    /// Issue speculative backup leases for stragglers: when a pending
+    /// lease has been outstanding longer than `speculate_factor` × the
+    /// EWMA of completed-unit times, an idle worker re-executes the unit
+    /// and the first valid result wins (the loser is discarded by the
+    /// at-most-once ledger, so output bytes are unchanged).
+    pub speculate: bool,
+    /// Straggler threshold as a multiple of the completed-unit EWMA.
+    pub speculate_factor: f64,
 }
 
 impl Default for RecoveryConfig {
@@ -167,6 +273,10 @@ impl Default for RecoveryConfig {
             lease_timeout_s: f64::INFINITY,
             backoff: 2.0,
             max_worker_failures: 2,
+            max_worker_strikes: 3,
+            quarantine_cooldown_s: 60.0,
+            speculate: false,
+            speculate_factor: 3.0,
         }
     }
 }
@@ -202,10 +312,17 @@ pub struct FaultCounters {
     pub duplicates_dropped: u64,
     /// Workers excluded as lost.
     pub workers_lost: u64,
+    /// Results discarded because master-side verification (checksum or
+    /// decode) failed; each one requeued its unit byte-identically.
+    pub results_rejected: u64,
+    /// Workers quarantined after crossing the strike threshold.
+    pub workers_quarantined: u64,
+    /// Speculative backup leases issued against stragglers.
+    pub backup_leases: u64,
 }
 
 /// An outstanding assignment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Lease<U> {
     /// The unit (kept so it can be re-issued verbatim).
     pub unit: U,
@@ -215,6 +332,12 @@ pub struct Lease<U> {
     pub deadline: f64,
     /// Re-issue attempt (0 = first issue).
     pub attempt: u32,
+    /// Time the lease was issued (for straggler detection).
+    pub issued_at: f64,
+    /// Assignment id of this lease's speculative twin, if a backup lease
+    /// for the same unit is also outstanding. First completion wins and
+    /// removes the twin, so the pair integrates at most once.
+    pub twin: Option<u64>,
 }
 
 /// A lease that expired and was requeued.
@@ -244,6 +367,12 @@ pub struct Ledger<U> {
     consecutive_fails: Vec<u32>,
     total_fails: Vec<u64>,
     excluded: Vec<bool>,
+    quarantined: Vec<bool>,
+    /// Lifetime count of rejected results per worker; never resets.
+    strikes: Vec<u32>,
+    /// EWMA of completed-unit wall/virtual time and its sample count.
+    ewma_unit_s: f64,
+    ewma_samples: u64,
     /// Aggregate counters, exported into `RunReport` by the backends.
     pub counters: FaultCounters,
 }
@@ -259,6 +388,10 @@ impl<U: Clone> Ledger<U> {
             consecutive_fails: vec![0; workers],
             total_fails: vec![0; workers],
             excluded: vec![false; workers],
+            quarantined: vec![false; workers],
+            strikes: vec![0; workers],
+            ewma_unit_s: 0.0,
+            ewma_samples: 0,
             counters: FaultCounters::default(),
         }
     }
@@ -275,6 +408,8 @@ impl<U: Clone> Ledger<U> {
         self.consecutive_fails.push(0);
         self.total_fails.push(0);
         self.excluded.push(false);
+        self.quarantined.push(false);
+        self.strikes.push(0);
         w
     }
 
@@ -296,6 +431,8 @@ impl<U: Clone> Ledger<U> {
                 worker,
                 deadline,
                 attempt,
+                issued_at: now,
+                twin: None,
             },
         );
         id
@@ -308,6 +445,11 @@ impl<U: Clone> Ledger<U> {
         match self.pending.remove(&id) {
             Some(lease) => {
                 self.consecutive_fails[lease.worker] = 0;
+                if let Some(t) = lease.twin {
+                    // first of a speculative pair wins: retire the twin so
+                    // its (slower) result drops through the duplicate path
+                    self.pending.remove(&t);
+                }
                 Some(lease)
             }
             None => {
@@ -317,13 +459,131 @@ impl<U: Clone> Ledger<U> {
         }
     }
 
+    /// [`Ledger::complete`] that also feeds the straggler EWMA with the
+    /// lease's observed duration. Backends that know the current time
+    /// should prefer this form.
+    pub fn complete_at(&mut self, id: u64, now: f64) -> Option<Lease<U>> {
+        let lease = self.complete(id)?;
+        let dt = (now - lease.issued_at).max(0.0);
+        if dt.is_finite() {
+            self.ewma_samples += 1;
+            if self.ewma_samples == 1 {
+                self.ewma_unit_s = dt;
+            } else {
+                self.ewma_unit_s = 0.7 * self.ewma_unit_s + 0.3 * dt;
+            }
+        }
+        Some(lease)
+    }
+
+    /// A completed lease's result failed master-side verification: requeue
+    /// the unit byte-identically (the re-issue goes through `on_reassign`,
+    /// exactly like a lease expiry) and strike the offending worker.
+    /// Returns `true` when the strike crosses
+    /// [`RecoveryConfig::max_worker_strikes`] and the worker should be
+    /// quarantined via [`Ledger::quarantine`].
+    pub fn reject(&mut self, lease: Lease<U>) -> bool {
+        let w = lease.worker;
+        self.retry.push_back((lease.unit, lease.attempt + 1, w));
+        self.counters.results_rejected += 1;
+        self.total_fails[w] += 1;
+        self.strikes[w] += 1;
+        self.strikes[w] >= self.cfg.max_worker_strikes && !self.quarantined[w] && !self.excluded[w]
+    }
+
+    /// Quarantine `worker`: exclude it through the observed-death path
+    /// (requeueing whatever it still holds) and count it as quarantined.
+    pub fn quarantine(&mut self, worker: usize) -> Expiry {
+        if !self.quarantined[worker] {
+            self.quarantined[worker] = true;
+            self.counters.workers_quarantined += 1;
+        }
+        self.worker_died(worker)
+    }
+
+    /// True if `worker` was quarantined for bad results.
+    pub fn is_quarantined(&self, worker: usize) -> bool {
+        self.quarantined[worker]
+    }
+
+    /// Rejected-result count for `worker`.
+    pub fn strikes(&self, worker: usize) -> u32 {
+        self.strikes[worker]
+    }
+
     /// Earliest pending deadline, if any lease is outstanding and finite.
+    /// With speculation enabled this includes straggler deadlines, so a
+    /// blocked master wakes in time to issue backup leases.
     pub fn next_deadline(&self) -> Option<f64> {
-        self.pending
+        let lease = self
+            .pending
             .values()
             .map(|l| l.deadline)
             .filter(|d| d.is_finite())
-            .min_by(f64::total_cmp)
+            .min_by(f64::total_cmp);
+        let spec = self.straggler_threshold().and_then(|thr| {
+            self.pending
+                .values()
+                .filter(|l| l.twin.is_none())
+                .map(|l| l.issued_at + thr)
+                .min_by(f64::total_cmp)
+        });
+        match (lease, spec) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// The straggler deadline in seconds, once the EWMA has warmed up.
+    fn straggler_threshold(&self) -> Option<f64> {
+        (self.cfg.speculate && self.ewma_samples >= 3)
+            .then(|| (self.cfg.speculate_factor * self.ewma_unit_s).max(1e-9))
+    }
+
+    /// True if any un-twinned pending lease is past its straggler
+    /// deadline (speculation enabled and warmed up).
+    pub fn has_straggler(&self, now: f64) -> bool {
+        self.straggler_threshold().is_some_and(|thr| {
+            self.pending
+                .values()
+                .any(|l| l.twin.is_none() && now - l.issued_at >= thr)
+        })
+    }
+
+    /// Pick the longest-overdue straggler a backup lease could cover:
+    /// an un-twinned pending lease past the straggler deadline, not held
+    /// by `worker` itself. Returns the original assignment id plus a
+    /// clone of its unit, attempt and owner; follow up with
+    /// [`Ledger::issue_backup`] once the unit has been prepared for
+    /// re-execution (`on_reassign`).
+    pub fn straggler_for(&self, worker: usize, now: f64) -> Option<(u64, U, u32, usize)> {
+        let thr = self.straggler_threshold()?;
+        self.pending
+            .iter()
+            .filter(|(_, l)| l.twin.is_none() && l.worker != worker && now - l.issued_at >= thr)
+            .min_by(|(_, a), (_, b)| f64::total_cmp(&a.issued_at, &b.issued_at))
+            .map(|(&id, l)| (id, l.unit.clone(), l.attempt, l.worker))
+    }
+
+    /// Issue a speculative backup lease for the straggling assignment
+    /// `orig`, linking the two as twins. Returns the backup's id.
+    pub fn issue_backup(
+        &mut self,
+        orig: u64,
+        unit: U,
+        worker: usize,
+        now: f64,
+        attempt: u32,
+    ) -> u64 {
+        let id = self.issue(unit, worker, now, attempt);
+        if let Some(l) = self.pending.get_mut(&id) {
+            l.twin = Some(orig);
+        }
+        if let Some(l) = self.pending.get_mut(&orig) {
+            l.twin = Some(id);
+        }
+        self.counters.backup_leases += 1;
+        id
     }
 
     /// Expire every lease whose deadline has passed: units move to the
@@ -363,8 +623,17 @@ impl<U: Clone> Ledger<U> {
     fn expire_one(&mut self, id: u64) -> Expiry {
         let lease = self.pending.remove(&id).expect("expiring a live lease");
         let w = lease.worker;
-        self.retry.push_back((lease.unit, lease.attempt + 1, w));
-        self.counters.units_reassigned += 1;
+        match lease.twin.and_then(|t| self.pending.get_mut(&t)) {
+            Some(twin) => {
+                // the unit's speculative twin is still running: it covers
+                // the work, so expiring this copy must not requeue a third
+                twin.twin = None;
+            }
+            None => {
+                self.retry.push_back((lease.unit, lease.attempt + 1, w));
+                self.counters.units_reassigned += 1;
+            }
+        }
         self.consecutive_fails[w] += 1;
         self.total_fails[w] += 1;
         let newly_lost =
@@ -415,6 +684,7 @@ mod tests {
             lease_timeout_s: lease,
             backoff: 2.0,
             max_worker_failures: k,
+            ..RecoveryConfig::default()
         }
     }
 
@@ -555,5 +825,111 @@ mod tests {
         led.issue(1, 0, 0.0, 0);
         assert!(led.expire_due(f64::MAX).is_empty());
         assert_eq!(led.next_deadline(), None);
+    }
+
+    #[test]
+    fn fault_plan_spec_round_trips() {
+        let p = FaultPlan::none()
+            .crash_at(0, 3)
+            .stall_at(1, 2)
+            .slow_from(2, 4, 3.0)
+            .drop_result_at(2, 9)
+            .corrupt_from(5, 0)
+            .join_at(4, 1.5);
+        let spec = p.to_spec();
+        assert_eq!(FaultPlan::parse(&spec).expect("reparse"), p);
+        assert!(p.corrupts(5, 0) && p.corrupts(5, 7));
+        assert!(!p.corrupts(4, 0));
+        assert!(FaultPlan::parse("1:corrupt").is_err());
+        assert!(FaultPlan::parse("x:crash@1").is_err());
+        assert!(FaultPlan::parse("1:frobnicate@2").is_err());
+        assert!(FaultPlan::parse("").expect("empty spec").is_empty());
+    }
+
+    #[test]
+    fn rejected_results_strike_and_quarantine() {
+        let mut led: Ledger<u32> = Ledger::new(cfg(1000.0, 5), 2);
+        for round in 0..3u32 {
+            let id = led.issue(round, 1, round as f64, 0);
+            let lease = led.complete_at(id, round as f64 + 1.0).expect("fresh");
+            let quarantine = led.reject(lease);
+            assert_eq!(
+                quarantine,
+                round == 2,
+                "third strike (default K=3) triggers quarantine"
+            );
+            // the unit requeued byte-identically, tagged with the striker
+            assert_eq!(led.take_retry(), Some((round, 1, 1)));
+        }
+        assert_eq!(led.strikes(1), 3);
+        assert_eq!(led.counters.results_rejected, 3);
+        let ex = led.quarantine(1);
+        assert!(ex.newly_lost);
+        assert!(led.is_quarantined(1) && led.is_excluded(1));
+        assert!(!led.is_quarantined(0));
+        assert_eq!(led.counters.workers_quarantined, 1);
+        assert_eq!(led.counters.workers_lost, 1);
+        // quarantining again is idempotent
+        led.quarantine(1);
+        assert_eq!(led.counters.workers_quarantined, 1);
+    }
+
+    #[test]
+    fn speculation_issues_one_backup_and_first_result_wins() {
+        let mut c = cfg(1e6, 5);
+        c.speculate = true;
+        c.speculate_factor = 2.0;
+        let mut led: Ledger<u32> = Ledger::new(c, 2);
+        // warm the EWMA with three 1-second completions
+        for i in 0..3u32 {
+            let id = led.issue(i, 0, i as f64, 0);
+            assert!(led.complete_at(id, i as f64 + 1.0).is_some());
+        }
+        let slow = led.issue(100, 0, 10.0, 0);
+        assert!(!led.has_straggler(11.9), "not overdue yet");
+        assert!(led.has_straggler(12.1), "2x the ~1s EWMA has passed");
+        assert_eq!(
+            led.straggler_for(0, 12.1),
+            None,
+            "the straggling worker itself never gets the backup"
+        );
+        let (orig, unit, attempt, from) = led.straggler_for(1, 12.1).expect("straggler");
+        assert_eq!((orig, unit, attempt, from), (slow, 100, 0, 0));
+        let backup = led.issue_backup(orig, unit, 1, 12.1, attempt);
+        assert_eq!(led.counters.backup_leases, 1);
+        assert!(
+            led.straggler_for(1, 50.0).is_none(),
+            "a twinned lease is never speculated on again"
+        );
+        // the backup finishes first: it wins, the original becomes stale
+        assert!(led.complete_at(backup, 13.0).is_some());
+        assert!(led.complete(slow).is_none(), "loser is a duplicate");
+        assert_eq!(led.counters.duplicates_dropped, 1);
+        assert!(!led.has_pending());
+    }
+
+    #[test]
+    fn expiring_a_twinned_lease_does_not_requeue_a_third_copy() {
+        let mut c = cfg(10.0, 5);
+        c.speculate = true;
+        c.speculate_factor = 2.0;
+        let mut led: Ledger<u32> = Ledger::new(c, 2);
+        for i in 0..3u32 {
+            let id = led.issue(i, 0, 0.0, 0);
+            assert!(led.complete_at(id, 0.1).is_some());
+        }
+        let slow = led.issue(100, 0, 0.0, 0);
+        let (orig, unit, attempt, _) = led.straggler_for(1, 5.0).expect("straggler");
+        let backup = led.issue_backup(orig, unit, 1, 5.0, attempt);
+        // the original lease times out while the backup still runs: the
+        // worker takes the failure but the unit must not requeue
+        let reassigned_before = led.counters.units_reassigned;
+        let ex = led.expire_due(10.0);
+        assert_eq!(ex.len(), 1);
+        assert_eq!(ex[0].worker, 0);
+        assert_eq!(led.counters.units_reassigned, reassigned_before);
+        assert!(!led.has_retry(), "twin covers the unit");
+        assert_eq!(led.complete(slow), None, "expired original is stale");
+        assert!(led.complete_at(backup, 11.0).is_some(), "backup integrates");
     }
 }

@@ -41,6 +41,7 @@
 //! on-disk state is then byte-identical to a real crash at that offset,
 //! which is what the property-style resume tests enumerate.
 
+use crate::chaos::{DiskFaultKind, DiskFaults};
 use now_math::crc32;
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::Path;
@@ -161,6 +162,9 @@ pub struct JournalWriter {
     records: u64,
     dead: bool,
     fault: JournalFaultPlan,
+    /// Optional armed disk-fault plan, consulted once per append under
+    /// the given label (typically the journal's path).
+    disk: Option<(String, DiskFaults)>,
 }
 
 impl JournalWriter {
@@ -178,6 +182,7 @@ impl JournalWriter {
             records: 0,
             dead: false,
             fault,
+            disk: None,
         };
         w.write_limited(MAGIC)?;
         if !w.dead {
@@ -217,8 +222,19 @@ impl JournalWriter {
             records: log.records.len() as u64,
             dead: false,
             fault,
+            disk: None,
         };
         Ok((w, log))
+    }
+
+    /// Attach an armed [`DiskFaults`] plan: every append first consults
+    /// the plan under `label` (usually the journal's path) and suffers
+    /// whichever fault trips — `ENOSPC`/`EIO` surface as the append's
+    /// `Err`, a torn write cuts the record partway and kills the writer
+    /// exactly like a [`JournalFaultPlan`] budget crash.
+    pub fn with_disk_faults(mut self, label: &str, faults: DiskFaults) -> JournalWriter {
+        self.disk = Some((label.to_string(), faults));
+        self
     }
 
     /// Write respecting the fault budget: once cumulative bytes would
@@ -256,6 +272,22 @@ impl JournalWriter {
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(payload).to_le_bytes());
         frame.extend_from_slice(payload);
+        if let Some((label, faults)) = &self.disk {
+            match faults.check(label) {
+                None => {}
+                Some(DiskFaultKind::Torn) => {
+                    // cut the record partway (as if power died mid-write)
+                    // and play dead; recovery truncates the torn tail
+                    let cut = frame.len() / 2;
+                    self.file.write_all(&frame[..cut])?;
+                    self.written += cut as u64;
+                    let _ = self.file.sync_data();
+                    self.dead = true;
+                    return Ok(false);
+                }
+                Some(kind) => return Err(kind.to_io_error()),
+            }
+        }
         self.write_limited(&frame)?;
         if self.dead {
             return Ok(false);
@@ -463,6 +495,34 @@ mod tests {
         let log = read_log(&path).unwrap();
         assert!(log.torn);
         assert_eq!(log.records, vec![b"aaaa".to_vec()]);
+        cleanup(&path);
+    }
+
+    /// Disk faults surface as real OS errors on the failing append and a
+    /// torn write recovers to the records wholly before it.
+    #[test]
+    fn disk_faults_hit_the_scheduled_append() {
+        use crate::chaos::DiskFaultPlan;
+        let path = scratch("disk");
+        let faults = DiskFaultPlan::none()
+            .enospc_at("run.journal", 1)
+            .torn_at("run.journal", 3)
+            .arm();
+        let mut w = JournalWriter::create(&path, JournalFaultPlan::none())
+            .unwrap()
+            .with_disk_faults(path.to_str().unwrap(), faults.clone());
+        assert!(w.append(b"first").unwrap());
+        let err = w.append(b"no-space").unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(28), "ENOSPC on the 2nd append");
+        assert!(w.alive(), "an errored append does not kill the writer");
+        assert!(w.append(b"third").unwrap());
+        assert!(!w.append(b"torn").unwrap(), "torn write reports dropped");
+        assert!(!w.alive());
+        assert_eq!(faults.injected(), 2);
+        drop(w);
+
+        let (_, log) = JournalWriter::open_recover(&path, JournalFaultPlan::none()).unwrap();
+        assert_eq!(log.records, vec![b"first".to_vec(), b"third".to_vec()]);
         cleanup(&path);
     }
 

@@ -53,7 +53,14 @@
 //! drops, stalls, delays or partitions individual connections at exact
 //! byte counts, so membership churn on the TCP transport replays
 //! deterministically.
+//!
+//! [`chaos`] completes the set: a [`DiskFaultPlan`] injects `ENOSPC`,
+//! `EIO` and torn writes into the journal and frame writers, and a
+//! seeded [`ChaosPlan`] composes compute, network and disk fault plans
+//! into one spec string so a full storm can be armed, replayed and
+//! diffed against a fault-free run.
 
+pub mod chaos;
 pub mod codec;
 pub mod fault;
 pub mod journal;
@@ -65,6 +72,7 @@ pub mod report;
 pub mod sim;
 pub mod threads;
 
+pub use chaos::{ChaosPlan, DiskFaultKind, DiskFaultPlan, DiskFaults};
 pub use codec::{Decoder, Encoder};
 pub use fault::{FaultCounters, FaultKind, FaultPlan, Ledger, RecoveryConfig};
 pub use journal::{read_log, JournalFaultPlan, JournalWriter, RecoveredLog};

@@ -70,8 +70,17 @@ pub trait MasterLogic {
     fn assign(&mut self, worker: usize) -> Option<Self::Unit>;
 
     /// Fold a completed unit into the master state; returns the master-side
-    /// cost (file writing etc.).
-    fn integrate(&mut self, worker: usize, unit: Self::Unit, result: Self::Result) -> MasterWork;
+    /// cost (file writing etc.), or `None` to **reject** the result:
+    /// master-side verification (end-to-end checksum, payload decode)
+    /// failed, nothing was integrated, and the backend must requeue the
+    /// unit and strike the worker (`Ledger::reject`). Masters that do not
+    /// verify results simply always return `Some`.
+    fn integrate(
+        &mut self,
+        worker: usize,
+        unit: Self::Unit,
+        result: Self::Result,
+    ) -> Option<MasterWork>;
 
     /// Size in bytes of a unit assignment message (for the network model).
     fn unit_bytes(&self, _unit: &Self::Unit) -> u64 {
@@ -169,6 +178,14 @@ pub trait WorkerLogic: Send {
 
     /// Execute one unit, returning the result and its cost.
     fn perform(&mut self, unit: &Self::Unit) -> (Self::Result, WorkCost);
+
+    /// Deterministically damage a result in place, for `corrupt@N` fault
+    /// injection (`FaultKind::CorruptFromUnit`): the in-process backends
+    /// call this on a result the fault plan marks as corrupted, and the
+    /// master's verification must then reject it. The default is a no-op,
+    /// which makes corruption faults vacuous for workers that don't
+    /// implement it — such workers can't be used in corruption drills.
+    fn corrupt(_result: &mut Self::Result) {}
 }
 
 /// A `&mut` borrow of a worker is itself a worker, so callers can lend a
@@ -181,5 +198,9 @@ impl<W: WorkerLogic> WorkerLogic for &mut W {
 
     fn perform(&mut self, unit: &Self::Unit) -> (Self::Result, WorkCost) {
         (**self).perform(unit)
+    }
+
+    fn corrupt(result: &mut Self::Result) {
+        W::corrupt(result)
     }
 }

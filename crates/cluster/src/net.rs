@@ -33,7 +33,7 @@
 //! encoded with the honest [`crate::codec`] byte codec.
 
 use crate::codec::{DecodeError, Decoder, Encoder};
-use crate::fault::{Ledger, RecoveryConfig};
+use crate::fault::{FaultPlan, Ledger, RecoveryConfig};
 use crate::logic::{MasterLogic, WorkerLogic};
 use crate::message::{ChannelError, Message, NodeId};
 use crate::netfault::{full_jitter_delay, ConnFaultState, Gate, JitterRng, NetFaultPlan};
@@ -54,8 +54,10 @@ use std::time::{Duration, Instant};
 pub const MAGIC: u32 = u32::from_le_bytes(*b"NOWF");
 
 /// Wire protocol version; bumped on any incompatible frame change.
-/// v2 added the `HELLO` identity/fingerprint payload and `REJECT`.
-pub const VERSION: u32 = 2;
+/// v2 added the `HELLO` identity/fingerprint payload and `REJECT`;
+/// v3 appended the end-to-end content checksum to the farm's
+/// `UnitOutput` wire encoding.
+pub const VERSION: u32 = 3;
 
 /// Upper bound on a frame body. A full 640x480 result frame is ~2.2 MB;
 /// anything past this limit is a hostile or corrupt length prefix and is
@@ -359,6 +361,13 @@ pub struct TcpClusterConfig {
     pub fingerprint: Vec<u8>,
     /// Deterministic network-fault schedule, keyed by accept order.
     pub net_faults: NetFaultPlan,
+    /// Deterministic compute-fault schedule, keyed by worker slot. Only
+    /// `corrupt@N` rules are meaningful on this backend (the worker
+    /// process is remote, so crashes/stalls can't be injected from
+    /// here): the master damages the matching results on arrival, as if
+    /// the worker had computed wrong bytes, and the verification +
+    /// quarantine machinery must absorb it.
+    pub compute_faults: FaultPlan,
 }
 
 impl TcpClusterConfig {
@@ -373,6 +382,7 @@ impl TcpClusterConfig {
             job_header: Vec::new(),
             fingerprint: Vec::new(),
             net_faults: NetFaultPlan::none(),
+            compute_faults: FaultPlan::none(),
         }
     }
 }
@@ -605,6 +615,9 @@ impl TcpMaster {
         let mut conns: Vec<Option<Conn>> = Vec::new();
         let mut slots: Vec<Slot> = Vec::new();
         let mut identities: BTreeMap<u64, usize> = BTreeMap::new();
+        // node ids quarantined for bad results, mapped to the time their
+        // cooldown ends; reconnects before then are turned away
+        let mut quarantined_until: BTreeMap<u64, f64> = BTreeMap::new();
         let mut ledger: Ledger<M::Unit> = Ledger::new(cfg.recovery, 0);
         let mut accepted = 0u64; // accept-order index, keys the fault plan
         let mut joined_total = 0u64;
@@ -714,13 +727,29 @@ impl TcpMaster {
                     let next = match ledger.take_retry() {
                         Some((mut unit, attempt, from)) => {
                             master.on_reassign(from, &mut unit);
-                            Some((unit, attempt))
+                            Some((unit, attempt, None))
                         }
-                        None => master.assign(w).map(|u| (u, 0)),
+                        None => match master.assign(w) {
+                            Some(u) => Some((u, 0, None)),
+                            // no fresh work: maybe back up a straggler's
+                            // lease (first valid result wins, the loser
+                            // is dropped as a duplicate)
+                            None => ledger.straggler_for(w, now(&start)).map(
+                                |(orig, mut unit, attempt, from)| {
+                                    master.on_reassign(from, &mut unit);
+                                    (unit, attempt, Some(orig))
+                                },
+                            ),
+                        },
                     };
                     match next {
-                        Some((unit, attempt)) => {
-                            let assign = ledger.issue(unit.clone(), w, now(&start), attempt);
+                        Some((unit, attempt, twin_of)) => {
+                            let assign = match twin_of {
+                                Some(orig) => {
+                                    ledger.issue_backup(orig, unit.clone(), w, now(&start), attempt)
+                                }
+                                None => ledger.issue(unit.clone(), w, now(&start), attempt),
+                            };
                             let mut e = Encoder::new();
                             e.u64(assign);
                             unit.wire_encode(&mut e);
@@ -745,6 +774,41 @@ impl TcpMaster {
                             }
                         }
                     }
+                }
+            }};
+        }
+
+        // A completed lease's result failed verification: requeue the
+        // unit, strike the worker, and quarantine it (node-id cooldown +
+        // exclusion + shutdown) once the strike limit is crossed.
+        macro_rules! reject_result {
+            ($w:expr, $lease:expr) => {{
+                let w: usize = $w;
+                if ledger.reject($lease) && slots[w].state != WState::Done {
+                    let id = identities.iter().find(|(_, &s)| s == w).map(|(&i, _)| i);
+                    if let Some(id) = id {
+                        quarantined_until
+                            .insert(id, now(&start) + cfg.recovery.quarantine_cooldown_s);
+                    }
+                    let ex = ledger.quarantine(w);
+                    if ex.newly_lost {
+                        master.on_worker_lost(w);
+                    }
+                    now_trace::global().instant(
+                        0,
+                        "farm.quarantine",
+                        &[("worker", w as u64)],
+                        false,
+                    );
+                    let _ = send_to!(w, tag::SHUTDOWN, Vec::new());
+                    finish_worker!(w);
+                    left_early += 1;
+                    now_trace::global().instant(
+                        0,
+                        "farm.membership",
+                        &[("event", 1), ("worker", w as u64)],
+                        false,
+                    );
                 }
             }};
         }
@@ -906,6 +970,14 @@ impl TcpMaster {
                             reject_conn!(ci, "duplicate node id");
                             continue;
                         }
+                        if identity != 0
+                            && quarantined_until
+                                .get(&identity)
+                                .is_some_and(|&until| t < until)
+                        {
+                            reject_conn!(ci, "quarantined");
+                            continue;
+                        }
                         // enroll: new worker slot, WELCOME with node id
                         // (index + 1; node 0 is the master) + job header
                         let w = slots.len();
@@ -956,28 +1028,60 @@ impl TcpMaster {
                             tag::RESULT => {
                                 slots[w].in_flight = false;
                                 slots[w].started = true;
-                                let mut d = Decoder::new(&msg.payload);
-                                let decoded = (|| -> Result<_, DecodeError> {
-                                    let assign = d.u64()?;
-                                    let busy_s = d.f64()?;
-                                    let result = M::Result::wire_decode(&mut d)?;
-                                    Ok((assign, busy_s, result))
-                                })();
-                                match decoded {
-                                    Ok((assign, busy_s, result)) => {
+                                let mut payload = msg.payload;
+                                // byzantine-result injection: damage the
+                                // result bytes past the assign+busy
+                                // header, as if the worker had computed
+                                // wrong pixels
+                                if cfg.compute_faults.corrupts(w, slots[w].units_done)
+                                    && payload.len() > 16
+                                {
+                                    let last = payload.len() - 1;
+                                    payload[last] ^= 0x20;
+                                    ledger.counters.faults_injected += 1;
+                                }
+                                let mut d = Decoder::new(&payload);
+                                let header =
+                                    (|| -> Result<_, DecodeError> { Ok((d.u64()?, d.f64()?)) })();
+                                match header {
+                                    Ok((assign, busy_s)) => {
                                         slots[w].busy_s = busy_s;
                                         slots[w].units_done += 1;
-                                        if let Some(lease) = ledger.complete(assign) {
-                                            let t0 = Instant::now();
-                                            let _mw = master.integrate(w, lease.unit, result);
-                                            total_master_busy += t0.elapsed().as_secs_f64();
+                                        match M::Result::wire_decode(&mut d) {
+                                            Ok(result) => {
+                                                if let Some(lease) = ledger.complete_at(assign, t) {
+                                                    let t0 = Instant::now();
+                                                    let verdict = master.integrate(
+                                                        w,
+                                                        lease.unit.clone(),
+                                                        result,
+                                                    );
+                                                    total_master_busy += t0.elapsed().as_secs_f64();
+                                                    if verdict.is_none() {
+                                                        reject_result!(w, lease);
+                                                    }
+                                                }
+                                                // stale id: late duplicate,
+                                                // counted by the ledger and
+                                                // discarded
+                                            }
+                                            Err(_) => {
+                                                // undecodable result under a
+                                                // valid header: bad bytes,
+                                                // not a dead peer — reject
+                                                // and strike
+                                                if let Some(lease) = ledger.complete_at(assign, t) {
+                                                    reject_result!(w, lease);
+                                                }
+                                            }
                                         }
-                                        // stale id: late duplicate, counted
-                                        // by the ledger and discarded
-                                        give_work!(w);
+                                        if slots[w].state != WState::Done {
+                                            give_work!(w);
+                                        }
                                     }
                                     Err(_) => {
-                                        // undecodable result: broken peer
+                                        // can't even tell which lease this
+                                        // answers: broken peer
                                         worker_gone!(w);
                                     }
                                 }
@@ -1127,8 +1231,10 @@ impl TcpMaster {
                 .any(|s| s.state == WState::Active && s.in_flight && !s.started)
                 || ledger.has_pending();
             // a live service re-polls parked workers every sweep: a
-            // client submission can create work while `certain` holds
-            if ledger.has_retry() || !certain || service {
+            // client submission can create work while `certain` holds;
+            // a straggling lease re-polls them too, so an idle worker
+            // can draw a speculative backup lease
+            if ledger.has_retry() || !certain || service || ledger.has_straggler(t) {
                 let parked: Vec<usize> = (0..slots.len())
                     .filter(|&w| slots[w].state == WState::Parked)
                     .collect();
@@ -1238,6 +1344,9 @@ impl TcpMaster {
             workers_joined: joined_total,
             workers_left: left_early,
             workers_rejected: rejected,
+            results_rejected: ledger.counters.results_rejected,
+            workers_quarantined: ledger.counters.workers_quarantined,
+            backup_leases: ledger.counters.backup_leases,
             ..Default::default()
         };
         for (w, s) in slots.iter().enumerate() {
@@ -1392,6 +1501,7 @@ pub fn connect_worker(addr: &str, cfg: &ConnectConfig) -> Result<TcpWorkerConn, 
             Ok("scene fingerprint mismatch") => "rejected by master: scene fingerprint mismatch",
             Ok("duplicate node id") => "rejected by master: duplicate node id",
             Ok("farm full") => "rejected by master: farm full",
+            Ok("quarantined") => "rejected by master: quarantined",
             _ => "rejected by master",
         }));
     }
@@ -1602,10 +1712,13 @@ mod tests {
                 None
             }
         }
-        fn integrate(&mut self, _w: usize, unit: u64, result: u64) -> MasterWork {
-            assert_eq!(result, unit * unit);
+        fn integrate(&mut self, _w: usize, unit: u64, result: u64) -> Option<MasterWork> {
+            if result != unit * unit {
+                // wrong bytes: reject instead of integrating
+                return None;
+            }
             assert!(self.seen.insert(unit), "unit {unit} integrated twice");
-            MasterWork::default()
+            Some(MasterWork::default())
         }
     }
 
@@ -1888,5 +2001,49 @@ mod tests {
             imposter.join().expect("imposter"),
             ChannelError::Protocol("rejected by master: duplicate node id")
         );
+    }
+
+    #[test]
+    fn corrupt_worker_is_quarantined_and_its_reconnect_refused() {
+        let master = TcpMaster::bind("127.0.0.1:0").expect("bind");
+        let addr = master.local_addr().expect("addr").to_string();
+        // quorum 2 keeps the door open for the honest late joiner even
+        // after the byzantine worker has been quarantined
+        let mut cfg = TcpClusterConfig::new(2);
+        cfg.compute_faults = FaultPlan::none().corrupt_from(0, 0);
+        // the honest worker joins second and carries the run
+        let honest = {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(120));
+                let conn = connect_worker(&addr, &ConnectConfig::default()).expect("connect");
+                conn.serve(SlowSquarer(3)).expect("serve")
+            })
+        };
+        // the byzantine worker (slot 0, every result damaged) is struck
+        // out, shut down, and its identity refused on reconnect
+        let byzantine = std::thread::spawn(move || {
+            let wcfg = ConnectConfig {
+                identity: 7,
+                ..ConnectConfig::default()
+            };
+            let conn = connect_worker(&addr, &wcfg).expect("connect");
+            let summary = conn.serve(SlowSquarer(3)).expect("shut down cleanly");
+            let refused = connect_worker(&addr, &wcfg).map(|_| ()).unwrap_err();
+            (summary, refused)
+        });
+        let (m, report) = master.run(CountMaster::new(80), &cfg).expect("run");
+        assert_eq!(m.seen.len(), 80, "every unit integrated despite corruption");
+        assert_eq!(report.results_rejected, 3, "one strike per bad result");
+        assert_eq!(report.workers_quarantined, 1);
+        assert!(report.machines[0].lost);
+        assert_eq!(report.workers_rejected, 1, "the reconnect was refused");
+        let (summary, refused) = byzantine.join().expect("byzantine");
+        assert_eq!(summary.units, 3, "shut down at the strike limit");
+        assert_eq!(
+            refused,
+            ChannelError::Protocol("rejected by master: quarantined")
+        );
+        assert!(honest.join().expect("honest").units > 0);
     }
 }

@@ -100,6 +100,14 @@ pub struct RunReport {
     /// id, garbage handshake, or a half-open connection that never
     /// finished its HELLO.
     pub workers_rejected: u64,
+    /// Results discarded after failing master-side verification
+    /// (end-to-end checksum or payload decode); each one requeued its
+    /// unit byte-identically.
+    pub results_rejected: u64,
+    /// Workers quarantined after repeatedly returning bad results.
+    pub workers_quarantined: u64,
+    /// Speculative backup leases issued against stragglers.
+    pub backup_leases: u64,
     /// Intra-worker tile-pool threads per worker (1 = serial workers, as in
     /// the paper; filled in by the farm layer after the run).
     pub worker_threads: u32,
@@ -173,6 +181,17 @@ impl RunReport {
         }
         if self.workers_rejected > 0 {
             rec.counter_add_nd("farm.workers_rejected", self.workers_rejected);
+        }
+        // integrity events only exist under fault injection; guard the
+        // zero case so clean runs keep their golden traces
+        if self.results_rejected > 0 {
+            rec.counter_add_nd("farm.results_rejected", self.results_rejected);
+        }
+        if self.workers_quarantined > 0 {
+            rec.counter_add_nd("farm.workers_quarantined", self.workers_quarantined);
+        }
+        if self.backup_leases > 0 {
+            rec.counter_add_nd("farm.backup_leases", self.backup_leases);
         }
         for m in &self.machines {
             rec.observe_nd("farm.units_per_machine", m.units_done);

@@ -200,9 +200,9 @@ impl SimCluster {
     ///     fn assign(&mut self, _w: usize) -> Option<u32> {
     ///         (self.left > 0).then(|| { self.left -= 1; self.left })
     ///     }
-    ///     fn integrate(&mut self, _w: usize, _u: u32, r: u64) -> MasterWork {
+    ///     fn integrate(&mut self, _w: usize, _u: u32, r: u64) -> Option<MasterWork> {
     ///         self.sum += r;
-    ///         MasterWork::default()
+    ///         Some(MasterWork::default())
     ///     }
     /// }
     /// struct Worker;
@@ -326,30 +326,51 @@ impl SimCluster {
                     let first = done.and_then(|(assign, unit, result)| {
                         // at-most-once: a stale assignment id means the
                         // unit was already re-issued — drop the duplicate.
-                        ledger.complete(assign).map(|_| (unit, result))
+                        ledger.complete_at(assign, at).map(|l| (l, unit, result))
                     });
-                    if let Some((unit, result)) = first {
-                        let mw = master.integrate(worker, unit, result);
-                        let work_start;
-                        if mw.overlappable {
-                            // reply first, absorb the work afterwards
-                            work_start = t;
-                            master_free = t + mw.work_units;
-                        } else {
-                            work_start = t;
-                            t += mw.work_units;
-                            master_free = t;
+                    if let Some((lease, unit, result)) = first {
+                        match master.integrate(worker, unit, result) {
+                            Some(mw) => {
+                                let work_start;
+                                if mw.overlappable {
+                                    // reply first, absorb the work afterwards
+                                    work_start = t;
+                                    master_free = t + mw.work_units;
+                                } else {
+                                    work_start = t;
+                                    t += mw.work_units;
+                                    master_free = t;
+                                }
+                                if self.record_timeline && mw.work_units > 0.0 {
+                                    report.timeline.push(TimelineSpan {
+                                        machine: 0,
+                                        start: work_start,
+                                        end: work_start + mw.work_units,
+                                        kind: SpanKind::MasterWork,
+                                    });
+                                }
+                                master_busy += mw.work_units;
+                                makespan = makespan.max(master_free).max(t);
+                            }
+                            None => {
+                                // verification failed: requeue the unit
+                                // byte-identically, strike the worker and
+                                // quarantine it at the threshold
+                                master_free = t;
+                                if ledger.reject(lease) {
+                                    let ex = ledger.quarantine(worker);
+                                    now_trace::global().instant(
+                                        0,
+                                        "farm.quarantine",
+                                        &[("worker", worker as u64)],
+                                        false,
+                                    );
+                                    if ex.newly_lost {
+                                        master.on_worker_lost(worker);
+                                    }
+                                }
+                            }
                         }
-                        if self.record_timeline && mw.work_units > 0.0 {
-                            report.timeline.push(TimelineSpan {
-                                machine: 0,
-                                start: work_start,
-                                end: work_start + mw.work_units,
-                                kind: SpanKind::MasterWork,
-                            });
-                        }
-                        master_busy += mw.work_units;
-                        makespan = makespan.max(master_free).max(t);
                     } else {
                         master_free = t;
                     }
@@ -369,17 +390,32 @@ impl SimCluster {
                         active_workers = active_workers.saturating_sub(1);
                         continue;
                     }
-                    // requeued units take priority over fresh assignments
+                    // requeued units take priority over fresh assignments;
+                    // with no other work, an idle worker may re-execute a
+                    // straggler's unit as a speculative backup
                     let next = match ledger.take_retry() {
                         Some((mut unit, attempt, from)) => {
                             master.on_reassign(from, &mut unit);
-                            Some((unit, attempt))
+                            Some((unit, attempt, None))
                         }
-                        None => master.assign(worker).map(|u| (u, 0)),
+                        None => match master.assign(worker) {
+                            Some(u) => Some((u, 0, None)),
+                            None => ledger.straggler_for(worker, at).map(
+                                |(orig, mut unit, attempt, from)| {
+                                    master.on_reassign(from, &mut unit);
+                                    (unit, attempt, Some(orig))
+                                },
+                            ),
+                        },
                     };
                     match next {
-                        Some((unit, attempt)) => {
-                            let assign = ledger.issue(unit.clone(), worker, at, attempt);
+                        Some((unit, attempt, twin_of)) => {
+                            let assign = match twin_of {
+                                Some(orig) => {
+                                    ledger.issue_backup(orig, unit.clone(), worker, at, attempt)
+                                }
+                                None => ledger.issue(unit.clone(), worker, at, attempt),
+                            };
                             if self.recovery.enabled() {
                                 let deadline = at + self.recovery.lease_for_attempt(attempt);
                                 push(&mut queue, &mut seq, deadline, Event::LeaseCheck);
@@ -404,6 +440,13 @@ impl SimCluster {
                                 // sit queued behind a worker that is
                                 // momentarily between leases — park
                                 // instead of shutting down
+                                if self.recovery.speculate {
+                                    // wake in time to issue a backup lease
+                                    // should a pending unit straggle
+                                    if let Some(d) = ledger.next_deadline() {
+                                        push(&mut queue, &mut seq, d.max(at), Event::LeaseCheck);
+                                    }
+                                }
                                 parked.insert(worker);
                             } else {
                                 active_workers -= 1;
@@ -430,7 +473,11 @@ impl SimCluster {
                         ledger.counters.faults_injected += 1;
                         continue;
                     }
-                    let (result, cost) = workers[worker].perform(&unit);
+                    let (mut result, cost) = workers[worker].perform(&unit);
+                    if self.faults.corrupts(worker, idx) {
+                        W::corrupt(&mut result);
+                        ledger.counters.faults_injected += 1;
+                    }
                     let spec = &self.machines[worker];
                     let mut dur = cost.work_units / spec.speed;
                     if cost.working_set_mb > spec.memory_mb && cost.working_set_mb > 0.0 {
@@ -493,10 +540,13 @@ impl SimCluster {
                         now_trace::global().counter_add_nd("sim.lease_checks", 1);
                     }
                     let expiries = ledger.expire_due(at);
-                    if expiries.is_empty() {
+                    let straggles = !parked.is_empty() && ledger.has_straggler(at);
+                    if expiries.is_empty() && !straggles {
                         continue;
                     }
-                    makespan = makespan.max(at);
+                    if !expiries.is_empty() {
+                        makespan = makespan.max(at);
+                    }
                     for e in &expiries {
                         if self.record_timeline {
                             report.timeline.push(TimelineSpan {
@@ -531,6 +581,9 @@ impl SimCluster {
         report.units_reassigned = ledger.counters.units_reassigned;
         report.duplicates_dropped = ledger.counters.duplicates_dropped;
         report.workers_lost = ledger.counters.workers_lost;
+        report.results_rejected = ledger.counters.results_rejected;
+        report.workers_quarantined = ledger.counters.workers_quarantined;
+        report.backup_leases = ledger.counters.backup_leases;
         for w in 0..n {
             report.machines[w].failures = ledger.total_failures(w);
             report.machines[w].lost = ledger.is_excluded(w);
@@ -563,17 +616,20 @@ mod tests {
                 Some(self.remaining as u64)
             }
         }
-        fn integrate(&mut self, worker: usize, unit: u64, result: u64) -> MasterWork {
-            assert_eq!(result, unit * 2);
+        fn integrate(&mut self, worker: usize, unit: u64, result: u64) -> Option<MasterWork> {
+            if result != unit * 2 {
+                // failed verification: reject, never integrate
+                return None;
+            }
             assert!(
                 !self.integrated.iter().any(|&(_, u)| u == unit),
                 "unit {unit} integrated twice"
             );
             self.integrated.push((worker, unit));
-            MasterWork {
+            Some(MasterWork {
                 work_units: self.write_cost,
                 overlappable: self.overlappable,
-            }
+            })
         }
     }
 
@@ -594,6 +650,9 @@ mod tests {
                     working_set_mb: 0.0,
                 },
             )
+        }
+        fn corrupt(result: &mut u64) {
+            *result ^= 0xBAD0_BEEF;
         }
     }
 
@@ -810,8 +869,8 @@ mod tests {
         let faults = FaultPlan::none().crash_at(1, 3);
         let recovery = RecoveryConfig {
             lease_timeout_s: 50.0,
-            backoff: 2.0,
             max_worker_failures: 1,
+            ..RecoveryConfig::default()
         };
         let (m, r) = run_pool_faulty(machines3(), 30, 1.0, 0.0, true, faults, recovery);
         assert_eq!(
@@ -835,8 +894,8 @@ mod tests {
         let faults = FaultPlan::none().stall_at(2, 0);
         let recovery = RecoveryConfig {
             lease_timeout_s: 20.0,
-            backoff: 2.0,
             max_worker_failures: 1,
+            ..RecoveryConfig::default()
         };
         let (m, r) = run_pool_faulty(machines3(), 12, 1.0, 0.0, true, faults, recovery);
         assert_eq!(m.integrated.len(), 12);
@@ -859,8 +918,8 @@ mod tests {
         let faults = FaultPlan::none().slow_from(1, 1, 100.0);
         let recovery = RecoveryConfig {
             lease_timeout_s: 8.0,
-            backoff: 2.0,
             max_worker_failures: 10,
+            ..RecoveryConfig::default()
         };
         let (m, r) = run_pool_faulty(machines3(), 20, 1.0, 0.0, true, faults, recovery);
         assert_eq!(m.integrated.len(), 20);
@@ -877,8 +936,8 @@ mod tests {
         let faults = FaultPlan::none().drop_result_at(0, 2);
         let recovery = RecoveryConfig {
             lease_timeout_s: 30.0,
-            backoff: 2.0,
             max_worker_failures: 3,
+            ..RecoveryConfig::default()
         };
         let (m, r) = run_pool_faulty(machines3(), 15, 1.0, 0.0, true, faults, recovery);
         assert_eq!(m.integrated.len(), 15);
@@ -898,8 +957,8 @@ mod tests {
                 FaultPlan::none().crash_at(1, 2).slow_from(2, 3, 40.0),
                 RecoveryConfig {
                     lease_timeout_s: 15.0,
-                    backoff: 2.0,
                     max_worker_failures: 2,
+                    ..RecoveryConfig::default()
                 },
             )
         };
@@ -930,12 +989,101 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_worker_is_quarantined_and_survivors_finish() {
+        // worker 1 bit-flips every result: the master rejects each one,
+        // requeues the units and quarantines the worker at strike 3
+        let faults = FaultPlan::none().corrupt_from(1, 0);
+        let recovery = RecoveryConfig {
+            lease_timeout_s: 1e6,
+            ..RecoveryConfig::default()
+        };
+        let (m, r) = run_pool_faulty(machines3(), 24, 1.0, 0.0, true, faults, recovery);
+        assert_eq!(m.integrated.len(), 24, "every unit integrated once");
+        assert!(
+            m.integrated.iter().all(|&(w, _)| w != 1),
+            "no corrupt result from worker 1 was ever integrated"
+        );
+        assert_eq!(r.results_rejected, 3, "strike threshold is 3 by default");
+        assert_eq!(r.workers_quarantined, 1);
+        assert_eq!(r.workers_lost, 1, "quarantine excludes via the death path");
+        assert!(r.machines[1].lost);
+    }
+
+    #[test]
+    fn corrupt_run_is_deterministic() {
+        let mk = || {
+            let recovery = RecoveryConfig {
+                lease_timeout_s: 1e6,
+                ..RecoveryConfig::default()
+            };
+            run_pool_faulty(
+                machines3(),
+                20,
+                1.0,
+                0.01,
+                true,
+                FaultPlan::none().corrupt_from(2, 1),
+                recovery,
+            )
+        };
+        let (a_m, a_r) = mk();
+        let (b_m, b_r) = mk();
+        assert_eq!(a_m.integrated, b_m.integrated);
+        assert_eq!(a_r, b_r);
+    }
+
+    #[test]
+    fn speculation_covers_a_straggler_without_double_integration() {
+        // worker 1 turns 200x slower mid-run; with speculation on, an
+        // idle worker re-executes its straggling unit and the late
+        // original drops through the duplicate path
+        let faults = FaultPlan::none().slow_from(1, 2, 200.0);
+        let recovery = RecoveryConfig {
+            lease_timeout_s: 1e9, // leases never expire: only speculation helps
+            speculate: true,
+            speculate_factor: 3.0,
+            ..RecoveryConfig::default()
+        };
+        let (m, r) = run_pool_faulty(machines3(), 18, 1.0, 0.0, true, faults, recovery);
+        assert_eq!(
+            m.integrated.len(),
+            18,
+            "at-most-once holds (PoolMaster asserts)"
+        );
+        assert!(r.backup_leases >= 1, "a backup lease was issued");
+        assert!(r.duplicates_dropped >= 1, "the loser was discarded");
+        assert_eq!(r.workers_lost, 0, "a straggler is not excluded");
+    }
+
+    #[test]
+    fn speculation_off_and_on_integrate_the_same_units() {
+        let faults = || FaultPlan::none().slow_from(0, 1, 150.0);
+        let base = RecoveryConfig {
+            lease_timeout_s: 1e9,
+            ..RecoveryConfig::default()
+        };
+        let on = RecoveryConfig {
+            speculate: true,
+            ..base
+        };
+        let (m_off, _) = run_pool_faulty(machines3(), 15, 1.0, 0.0, true, faults(), base);
+        let (m_on, r_on) = run_pool_faulty(machines3(), 15, 1.0, 0.0, true, faults(), on);
+        let units = |m: &PoolMaster| {
+            let mut u: Vec<u64> = m.integrated.iter().map(|&(_, u)| u).collect();
+            u.sort_unstable();
+            u
+        };
+        assert_eq!(units(&m_off), units(&m_on), "same units either way");
+        assert!(r_on.backup_leases >= 1);
+    }
+
+    #[test]
     fn single_survivor_finishes_everything() {
         let faults = FaultPlan::none().crash_at(0, 1).crash_at(1, 1);
         let recovery = RecoveryConfig {
             lease_timeout_s: 25.0,
-            backoff: 2.0,
             max_worker_failures: 1,
+            ..RecoveryConfig::default()
         };
         let (m, r) = run_pool_faulty(machines3(), 18, 1.0, 0.0, true, faults, recovery);
         assert_eq!(m.integrated.len(), 18);

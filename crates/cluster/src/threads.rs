@@ -146,13 +146,19 @@ impl ThreadCluster {
                                 return (busy, injected);
                             }
                             let t0 = Instant::now();
-                            let (result, _cost) = logic.perform(&unit);
+                            let (mut result, _cost) = logic.perform(&unit);
                             let factor = plan.slowdown(i, unit_idx);
                             if factor > 1.0 {
                                 injected += 1;
                                 std::thread::sleep(t0.elapsed().mul_f64(factor - 1.0));
                             }
                             busy += t0.elapsed().as_secs_f64();
+                            if plan.corrupts(i, unit_idx) {
+                                // byzantine worker: damage the result bytes
+                                // and let the master's verification catch it
+                                W::corrupt(&mut result);
+                                injected += 1;
+                            }
                             if plan.drops_result(i, unit_idx) {
                                 // computed, but the message is "lost in
                                 // transit"; wait for the master to react
@@ -208,13 +214,29 @@ impl ThreadCluster {
                     let next = match ledger.take_retry() {
                         Some((mut unit, attempt, from)) => {
                             master.on_reassign(from, &mut unit);
-                            Some((unit, attempt))
+                            Some((unit, attempt, None))
                         }
-                        None => master.assign(w).map(|u| (u, 0)),
+                        None => match master.assign(w) {
+                            Some(u) => Some((u, 0, None)),
+                            // no fresh work: maybe back up a straggler's
+                            // lease (first valid result wins, the loser is
+                            // dropped as a duplicate)
+                            None => ledger.straggler_for(w, now(start)).map(
+                                |(orig, mut unit, attempt, from)| {
+                                    master.on_reassign(from, &mut unit);
+                                    (unit, attempt, Some(orig))
+                                },
+                            ),
+                        },
                     };
                     match next {
-                        Some((unit, attempt)) => {
-                            let assign = ledger.issue(unit.clone(), w, now(start), attempt);
+                        Some((unit, attempt, twin_of)) => {
+                            let assign = match twin_of {
+                                Some(orig) => {
+                                    ledger.issue_backup(orig, unit.clone(), w, now(start), attempt)
+                                }
+                                None => ledger.issue(unit.clone(), w, now(start), attempt),
+                            };
                             if unit_txs[w].send(ToWorker::Unit(assign, unit)).is_err() {
                                 // observed death: requeue its leases at once
                                 let ex = ledger.worker_died(w);
@@ -284,9 +306,26 @@ impl ThreadCluster {
                     report.machines[w].busy_s = msg.busy_s;
                     if let Some((assign, unit, result)) = msg.done {
                         report.machines[w].units_done += 1;
-                        if ledger.complete(assign).is_some() {
+                        if let Some(lease) = ledger.complete_at(assign, now(start)) {
                             let t0 = Instant::now();
-                            let _mw = master.integrate(w, unit, result);
+                            if master.integrate(w, unit, result).is_none() {
+                                // verification failed: requeue the unit
+                                // byte-identically and strike the worker
+                                if ledger.reject(lease) {
+                                    let ex = ledger.quarantine(w);
+                                    now_trace::global().instant(
+                                        0,
+                                        "farm.quarantine",
+                                        &[("worker", w as u64)],
+                                        false,
+                                    );
+                                    if ex.newly_lost {
+                                        master.on_worker_lost(w);
+                                    }
+                                    let _ = unit_txs[w].send(ToWorker::Shutdown);
+                                    state[w] = WState::Done;
+                                }
+                            }
                             report.master_busy_s += t0.elapsed().as_secs_f64();
                         }
                         // a stale id is a late duplicate: counted by the
@@ -349,6 +388,9 @@ impl ThreadCluster {
         report.units_reassigned = ledger.counters.units_reassigned;
         report.duplicates_dropped = ledger.counters.duplicates_dropped;
         report.workers_lost = ledger.counters.workers_lost;
+        report.results_rejected = ledger.counters.results_rejected;
+        report.workers_quarantined = ledger.counters.workers_quarantined;
+        report.backup_leases = ledger.counters.backup_leases;
         for w in 0..n {
             report.machines[w].failures = ledger.total_failures(w);
             report.machines[w].lost = ledger.is_excluded(w);
@@ -380,10 +422,13 @@ mod tests {
                 None
             }
         }
-        fn integrate(&mut self, _w: usize, unit: u64, result: u64) -> MasterWork {
-            assert_eq!(result, unit * unit);
+        fn integrate(&mut self, _w: usize, unit: u64, result: u64) -> Option<MasterWork> {
+            if result != unit * unit {
+                // wrong bytes: reject instead of integrating
+                return None;
+            }
             assert!(self.seen.insert(unit), "unit {unit} integrated twice");
-            MasterWork::default()
+            Some(MasterWork::default())
         }
     }
 
@@ -393,6 +438,9 @@ mod tests {
         type Result = u64;
         fn perform(&mut self, unit: &u64) -> (u64, WorkCost) {
             (unit * unit, WorkCost::compute_only(0.0))
+        }
+        fn corrupt(result: &mut u64) {
+            *result ^= 0xBAD0_BEEF;
         }
     }
 
@@ -405,6 +453,9 @@ mod tests {
         fn perform(&mut self, unit: &u64) -> (u64, WorkCost) {
             std::thread::sleep(self.0);
             (unit * unit, WorkCost::compute_only(0.0))
+        }
+        fn corrupt(result: &mut u64) {
+            *result ^= 0xBAD0_BEEF;
         }
     }
 
@@ -471,9 +522,9 @@ mod tests {
                     None
                 }
             }
-            fn integrate(&mut self, _w: usize, _u: u64, _r: u64) -> MasterWork {
+            fn integrate(&mut self, _w: usize, _u: u64, _r: u64) -> Option<MasterWork> {
                 self.done += 1;
-                MasterWork::default()
+                Some(MasterWork::default())
             }
         }
         let cluster = ThreadCluster::new(3);
@@ -526,6 +577,7 @@ mod tests {
             lease_timeout_s: 0.25,
             backoff: 2.0,
             max_worker_failures: 1,
+            ..RecoveryConfig::default()
         };
         let master = CountMaster {
             next: 0,
@@ -551,6 +603,7 @@ mod tests {
             lease_timeout_s: 0.15,
             backoff: 2.0,
             max_worker_failures: 1,
+            ..RecoveryConfig::default()
         };
         let master = CountMaster {
             next: 0,
@@ -582,6 +635,7 @@ mod tests {
             lease_timeout_s: 0.08,
             backoff: 2.0,
             max_worker_failures: 20,
+            ..RecoveryConfig::default()
         };
         // enough units that the healthy pair outlasts the ~200 ms late
         // result: the run must still be in progress when it arrives
@@ -605,6 +659,60 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_results_strike_and_quarantine_the_worker() {
+        // worker 1 answers every unit with damaged bytes; the master
+        // rejects each result, requeues the unit, and after
+        // `max_worker_strikes` excludes the worker for good — the run
+        // still integrates every unit via the honest survivors
+        let mut cluster = ThreadCluster::new(3);
+        cluster.faults = FaultPlan::none().corrupt_from(1, 0);
+        let master = CountMaster {
+            next: 0,
+            limit: 60,
+            seen: BTreeSet::new(),
+        };
+        let workers = (0..3)
+            .map(|_| SlowSquarer(Duration::from_millis(1)))
+            .collect();
+        let (m, r) = cluster.run(master, workers);
+        assert_eq!(m.seen.len(), 60, "every unit integrated despite corruption");
+        assert_eq!(r.results_rejected, 3, "one strike per bad result");
+        assert_eq!(r.workers_quarantined, 1);
+        assert_eq!(r.workers_lost, 1);
+        assert!(r.machines[1].lost);
+    }
+
+    #[test]
+    fn speculative_backup_covers_a_straggling_worker() {
+        // worker 0 turns 50x slower after its first unit; with
+        // speculation on, an idle survivor draws a backup lease against
+        // the straggler instead of the run waiting out a huge lease
+        let mut cluster = ThreadCluster::new(3);
+        cluster.faults = FaultPlan::none().slow_from(0, 1, 50.0);
+        cluster.recovery = RecoveryConfig {
+            lease_timeout_s: 1e9, // leases never expire: only speculation helps
+            speculate: true,
+            speculate_factor: 3.0,
+            ..RecoveryConfig::default()
+        };
+        let master = CountMaster {
+            next: 0,
+            limit: 60,
+            seen: BTreeSet::new(),
+        };
+        let workers = (0..3)
+            .map(|_| SlowSquarer(Duration::from_millis(4)))
+            .collect();
+        let t0 = Instant::now();
+        let (m, r) = cluster.run(master, workers);
+        let wall = t0.elapsed().as_secs_f64();
+        assert_eq!(m.seen.len(), 60, "at-most-once integration holds");
+        assert!(r.backup_leases >= 1, "straggler must draw a backup lease");
+        assert_eq!(r.workers_lost, 0, "slow-but-alive worker stays in the pool");
+        assert!(wall < 30.0, "speculation must beat the 1e9 s lease");
+    }
+
+    #[test]
     fn all_workers_dead_ends_gracefully_with_partial_result() {
         let mut cluster = ThreadCluster::new(2);
         cluster.faults = FaultPlan::none().crash_at(0, 1).crash_at(1, 1);
@@ -612,6 +720,7 @@ mod tests {
             lease_timeout_s: 5.0,
             backoff: 2.0,
             max_worker_failures: 3,
+            ..RecoveryConfig::default()
         };
         let master = CountMaster {
             next: 0,

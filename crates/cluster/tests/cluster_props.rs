@@ -160,11 +160,11 @@ impl MasterLogic for Pool {
             None
         }
     }
-    fn integrate(&mut self, _w: usize, unit: usize, result: usize) -> MasterWork {
+    fn integrate(&mut self, _w: usize, unit: usize, result: usize) -> Option<MasterWork> {
         assert_eq!(unit, result);
         assert!(!self.done[unit], "unit {unit} integrated twice");
         self.done[unit] = true;
-        MasterWork::default()
+        Some(MasterWork::default())
     }
 }
 
@@ -282,6 +282,7 @@ fn sim_faulty_runs_complete_exactly_once() {
             lease_timeout_s: rng.f64_in(3.0, 10.0),
             backoff: 2.0,
             max_worker_failures: rng.u32_in(1, 4),
+            ..RecoveryConfig::default()
         };
 
         let run = |cluster: &SimCluster| {

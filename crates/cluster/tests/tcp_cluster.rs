@@ -32,10 +32,10 @@ impl MasterLogic for CountMaster {
             None
         }
     }
-    fn integrate(&mut self, _w: usize, unit: u64, result: u64) -> MasterWork {
+    fn integrate(&mut self, _w: usize, unit: u64, result: u64) -> Option<MasterWork> {
         assert_eq!(result, unit * unit);
         assert!(self.seen.insert(unit), "unit {unit} integrated twice");
-        MasterWork::default()
+        Some(MasterWork::default())
     }
 }
 

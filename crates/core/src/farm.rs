@@ -18,9 +18,9 @@ use crate::partition::{PartitionScheme, RenderUnit, Scheduler};
 use now_anim::Animation;
 use now_cluster::codec::{DecodeError, Decoder, Encoder};
 use now_cluster::{
-    connect_worker, ConnectConfig, MachineSpec, MasterLogic, MasterWork, NetConfig, NetFaultPlan,
-    RecoveryConfig, SimCluster, TcpClusterConfig, TcpMaster, ThreadCluster, Wire, WorkCost,
-    WorkerLogic, WorkerSummary,
+    connect_worker, ConnectConfig, FaultPlan, MachineSpec, MasterLogic, MasterWork, NetConfig,
+    NetFaultPlan, RecoveryConfig, SimCluster, TcpClusterConfig, TcpMaster, ThreadCluster, Wire,
+    WorkCost, WorkerLogic, WorkerSummary,
 };
 use now_coherence::{CoherentRenderer, PixelRegion, RegionBuffer, TileUpdate};
 use now_grid::GridSpec;
@@ -87,10 +87,17 @@ pub struct UnitOutput {
     pub marks: u64,
     /// How the unit's pixel work spread over the worker's tile pool.
     pub parallel: ParallelStats,
+    /// End-to-end content checksum ([`fnv1a`] over every other field in
+    /// wire order), computed worker-side by [`UnitOutput::seal`] and
+    /// re-verified master-side before the result touches the canvas. A
+    /// mismatch — bit-flipped wire bytes, a buggy or byzantine worker —
+    /// discards the result and requeues the unit.
+    pub checksum: u64,
 }
 
-impl Wire for UnitOutput {
-    fn wire_encode(&self, e: &mut Encoder) {
+impl UnitOutput {
+    /// Encode everything the checksum covers, in wire order.
+    fn encode_content(&self, e: &mut Encoder) {
         e.u8(self.update.mode);
         e.u32(self.update.count);
         e.bytes(&self.update.payload);
@@ -105,6 +112,33 @@ impl Wire for UnitOutput {
             .u32(self.parallel.tiles)
             .u64(self.parallel.total_rays)
             .u64(self.parallel.critical_rays);
+    }
+
+    /// The checksum the content *should* carry.
+    pub fn content_hash(&self) -> u64 {
+        let mut e = Encoder::new();
+        self.encode_content(&mut e);
+        fnv1a(e.finish())
+    }
+
+    /// Stamp the content checksum (the worker's last act before shipping).
+    pub fn seal(&mut self) {
+        self.checksum = self.content_hash();
+    }
+
+    /// True when the carried checksum matches the content — the master's
+    /// first test before integrating.
+    pub fn verify(&self) -> bool {
+        self.checksum == self.content_hash()
+    }
+}
+
+impl Wire for UnitOutput {
+    fn wire_encode(&self, e: &mut Encoder) {
+        self.encode_content(e);
+        // the checksum rides last so the content bytes it covers are
+        // exactly the prefix (protocol v3)
+        e.u64(self.checksum);
     }
 
     fn wire_decode(d: &mut Decoder<'_>) -> Result<UnitOutput, DecodeError> {
@@ -131,11 +165,13 @@ impl Wire for UnitOutput {
             total_rays: d.u64()?,
             critical_rays: d.u64()?,
         };
+        let checksum = d.u64()?;
         Ok(UnitOutput {
             update,
             rays,
             marks,
             parallel,
+            checksum,
         })
     }
 }
@@ -284,15 +320,15 @@ impl FarmWorker {
                 .cost
                 .working_set_mb(unit.region.len(), &report.coherence),
         };
-        (
-            UnitOutput {
-                update,
-                rays: report.rays,
-                marks,
-                parallel: report.parallel,
-            },
-            cost,
-        )
+        let mut out = UnitOutput {
+            update,
+            rays: report.rays,
+            marks,
+            parallel: report.parallel,
+            checksum: 0,
+        };
+        out.seal();
+        (out, cost)
     }
 
     fn perform_plain(&mut self, unit: &RenderUnit) -> (UnitOutput, WorkCost) {
@@ -324,15 +360,15 @@ impl FarmWorker {
             result_bytes: update.wire_len() + 32,
             working_set_mb: (unit.region.len() as f64 * 48.0) / (1024.0 * 1024.0),
         };
-        (
-            UnitOutput {
-                update,
-                rays,
-                marks: 0,
-                parallel,
-            },
-            cost,
-        )
+        let mut out = UnitOutput {
+            update,
+            rays,
+            marks: 0,
+            parallel,
+            checksum: 0,
+        };
+        out.seal();
+        (out, cost)
     }
 }
 
@@ -345,6 +381,16 @@ impl WorkerLogic for FarmWorker {
             self.perform_coherent(unit)
         } else {
             self.perform_plain(unit)
+        }
+    }
+
+    fn corrupt(result: &mut UnitOutput) {
+        // byzantine-worker injection: damage the pixel payload (or, for an
+        // empty update, the mark count) while leaving the stale checksum
+        // in place — exactly what the master's verify must catch
+        match result.update.payload.first_mut() {
+            Some(b) => *b ^= 0x01,
+            None => result.marks = result.marks.wrapping_add(1),
         }
     }
 }
@@ -394,6 +440,14 @@ pub struct FarmMaster {
     /// units skipped at assignment because a resumed journal had already
     /// finalized their frames
     pub resumed_units: u64,
+    /// results discarded by integrity verification (checksum mismatch or
+    /// undecodable tile stream); each one requeued its unit
+    pub results_rejected: u64,
+    /// units handed back for reassignment (lease expiry, rejection retry,
+    /// speculative backup)
+    pub units_requeued: u64,
+    /// workers this master was told it lost (death or quarantine)
+    pub workers_lost_seen: u64,
     /// write-ahead journal, when the run is durable
     journal: Option<FarmJournal>,
     /// frames below this index were restored from the journal: their
@@ -432,6 +486,9 @@ impl FarmMaster {
             units_done: 0,
             last_decoded: Vec::new(),
             resumed_units: 0,
+            results_rejected: 0,
+            units_requeued: 0,
+            workers_lost_seen: 0,
             journal: None,
             skip_below: 0,
         }
@@ -549,19 +606,39 @@ impl MasterLogic for FarmMaster {
         }
     }
 
-    fn integrate(&mut self, worker: usize, unit: RenderUnit, result: UnitOutput) -> MasterWork {
+    fn integrate(
+        &mut self,
+        worker: usize,
+        unit: RenderUnit,
+        result: UnitOutput,
+    ) -> Option<MasterWork> {
+        if !result.verify() {
+            // damaged content (bit-flipped wire bytes, a byzantine or
+            // buggy worker): nothing touches the canvas. Drop the
+            // worker's decode stream too — its sender state advanced past
+            // what we applied, so a later delta from it must fail loudly
+            // (and strike again) instead of decoding against a stale base
+            self.decode.insert(worker, None);
+            self.results_rejected += 1;
+            return None;
+        }
+        // advance this worker's stream; every stream starts with a FULL
+        // (fresh claims and reassignments set `restart`), so a verified
+        // result can only fail to decode after an earlier rejection broke
+        // the stream — which is itself a rejection, never a panic
+        let stream = self.decode.entry(worker).or_insert(None);
+        let pixels = match result.update.decode(unit.region, self.width, stream) {
+            Ok(pixels) => pixels,
+            Err(_) => {
+                *stream = None;
+                self.results_rejected += 1;
+                return None;
+            }
+        };
         self.rays.merge(&result.rays);
         self.marks += result.marks;
         self.parallel.merge(&result.parallel);
         self.frame_bytes_wire += result.update.wire_len();
-        // advance this worker's stream; every stream starts with a FULL
-        // (fresh claims and reassignments set `restart`), so an
-        // integrated result can only fail to decode on a protocol bug
-        let stream = self.decode.entry(worker).or_insert(None);
-        let pixels = result
-            .update
-            .decode(unit.region, self.width, stream)
-            .expect("tile update from an enrolled worker must decode");
         self.pixels_shipped += pixels.len() as u64;
         self.units_done += 1;
         if let Some(j) = self.journal.as_mut() {
@@ -577,10 +654,10 @@ impl MasterLogic for FarmMaster {
         entry.1 += 1;
         self.last_decoded = pixels;
         let finalized = self.try_finalize();
-        MasterWork {
+        Some(MasterWork {
             work_units: finalized as f64 * self.file_write_s,
             overlappable: true,
-        }
+        })
     }
 
     fn unit_bytes(&self, _unit: &RenderUnit) -> u64 {
@@ -588,6 +665,7 @@ impl MasterLogic for FarmMaster {
     }
 
     fn on_reassign(&mut self, from_worker: usize, unit: &mut RenderUnit) {
+        self.units_requeued += 1;
         // the new owner has no coherence state for this region's preceding
         // frames: force a full render so the frame bytes stay identical
         unit.restart = true;
@@ -598,6 +676,7 @@ impl MasterLogic for FarmMaster {
     }
 
     fn on_worker_lost(&mut self, worker: usize) {
+        self.workers_lost_seen += 1;
         // exclusion without a retry in flight (e.g. observed death): the
         // unfinished queues go back to the pool for survivors to claim
         self.scheduler.release_worker(worker);
@@ -873,6 +952,10 @@ pub struct TcpFarmConfig {
     /// Deterministic network-fault injection (tests and drills; not a
     /// product knob).
     pub net_faults: NetFaultPlan,
+    /// Deterministic compute-fault injection; on this backend only the
+    /// `corrupt@N` rules act (the master damages matching results on
+    /// arrival, standing in for a byzantine worker process).
+    pub compute_faults: FaultPlan,
 }
 
 impl TcpFarmConfig {
@@ -884,6 +967,7 @@ impl TcpFarmConfig {
             recovery: base.recovery,
             net: base.net,
             net_faults: NetFaultPlan::default(),
+            compute_faults: FaultPlan::none(),
         }
     }
 }
@@ -919,6 +1003,7 @@ pub fn run_tcp_master_with(
     ccfg.recovery = tcp.recovery;
     ccfg.net = tcp.net.clone();
     ccfg.net_faults = tcp.net_faults.clone();
+    ccfg.compute_faults = tcp.compute_faults.clone();
     ccfg.job_header = encode_job_header(anim, cfg);
     ccfg.fingerprint = scene_fingerprint(anim);
     let master = FarmMaster::from_spec(anim, cfg, tcp.workers, journal)?;
@@ -1345,7 +1430,11 @@ mod tests {
                 total_rays: 10,
                 critical_rays: 6,
             },
+            checksum: 0,
         };
+        let mut out = out;
+        out.seal();
+        assert!(out.verify(), "a sealed output verifies");
         let mut e = Encoder::new();
         out.wire_encode(&mut e);
         let bytes = e.finish();
@@ -1357,9 +1446,38 @@ mod tests {
         assert_eq!(back.rays, out.rays);
         assert_eq!(back.marks, out.marks);
         assert_eq!(back.parallel, out.parallel);
+        assert_eq!(back.checksum, out.checksum);
+        assert!(back.verify(), "checksum survives the round trip");
         let mut decode = None;
         let pixels = back.update.decode(region, 16, &mut decode).expect("decode");
         assert_eq!(pixels, vec![(2, [1, 2, 3]), (17, [254, 0, 128])]);
+    }
+
+    /// Damaging any content field of a sealed output must flip `verify`.
+    #[test]
+    fn sealed_output_detects_tampering() {
+        let mut out = UnitOutput {
+            update: TileUpdate {
+                mode: 1,
+                count: 2,
+                payload: vec![10, 20, 30],
+            },
+            rays: RayStats::default(),
+            marks: 5,
+            parallel: ParallelStats::default(),
+            checksum: 0,
+        };
+        out.seal();
+        assert!(out.verify());
+        let mut t = out.clone();
+        t.update.payload[1] ^= 0x04;
+        assert!(!t.verify(), "payload bit flip detected");
+        let mut t = out.clone();
+        t.marks += 1;
+        assert!(!t.verify(), "mark drift detected");
+        let mut t = out.clone();
+        FarmWorker::corrupt(&mut t);
+        assert!(!t.verify(), "the injected corruption is detectable");
     }
 
     #[test]

@@ -35,10 +35,11 @@
 use crate::farm::FarmConfig;
 use crate::partition::PartitionScheme;
 use now_anim::Animation;
+use now_cluster::chaos::{DiskFaultKind, DiskFaults};
 use now_cluster::codec::{Decoder, Encoder};
 use now_cluster::journal::{JournalFaultPlan, JournalWriter};
 use now_cluster::Wire;
-use now_raytrace::image_io::{tga_bytes_rgb8, tga_decode, write_atomic};
+use now_raytrace::image_io::{tga_bytes_rgb8, tga_decode, write_atomic_with, WriteFault};
 use std::path::{Path, PathBuf};
 
 /// Record tags (first payload byte).
@@ -59,6 +60,9 @@ pub struct JournalSpec {
     pub resume: bool,
     /// Deterministic crash injection for the journal writer (tests).
     pub fault: JournalFaultPlan,
+    /// Armed disk-fault plan consulted on every journal append and frame
+    /// write (chaos harness); the default handle injects nothing.
+    pub disk: DiskFaults,
 }
 
 impl JournalSpec {
@@ -68,6 +72,7 @@ impl JournalSpec {
             dir: dir.into(),
             resume: false,
             fault: JournalFaultPlan::none(),
+            disk: DiskFaults::none(),
         }
     }
 
@@ -78,12 +83,19 @@ impl JournalSpec {
             dir: dir.into(),
             resume: true,
             fault: JournalFaultPlan::none(),
+            disk: DiskFaults::none(),
         }
     }
 
     /// Attach a crash-injection plan (tests).
     pub fn with_fault(mut self, fault: JournalFaultPlan) -> JournalSpec {
         self.fault = fault;
+        self
+    }
+
+    /// Attach an armed disk-fault plan (chaos harness).
+    pub fn with_disk_faults(mut self, disk: DiskFaults) -> JournalSpec {
+        self.disk = disk;
         self
     }
 }
@@ -113,6 +125,7 @@ pub struct FarmJournal {
     width: u32,
     height: u32,
     broken: bool,
+    disk: DiskFaults,
 }
 
 fn frame_file(dir: &Path, frame: u32) -> PathBuf {
@@ -178,9 +191,11 @@ impl FarmJournal {
         let width = anim.base.camera.width();
         let height = anim.base.camera.height();
 
+        let label = path.display().to_string();
         if !spec.resume {
             let mut writer = JournalWriter::create(&path, spec.fault)
-                .map_err(|e| format!("create journal {}: {e}", path.display()))?;
+                .map_err(|e| format!("create journal {}: {e}", path.display()))?
+                .with_disk_faults(&label, spec.disk.clone());
             writer
                 .append(&header)
                 .map_err(|e| format!("journal run header: {e}"))?;
@@ -191,13 +206,15 @@ impl FarmJournal {
                     width,
                     height,
                     broken: false,
+                    disk: spec.disk.clone(),
                 },
                 None,
             ));
         }
 
-        let (mut writer, log) = JournalWriter::open_recover(&path, spec.fault)
+        let (writer, log) = JournalWriter::open_recover(&path, spec.fault)
             .map_err(|e| format!("recover journal {}: {e}", path.display()))?;
+        let mut writer = writer.with_disk_faults(&label, spec.disk.clone());
         if log.records.is_empty() {
             // nothing durable survived (missing journal, or a crash before
             // the first record): behave exactly like a fresh run
@@ -211,6 +228,7 @@ impl FarmJournal {
                     width,
                     height,
                     broken: false,
+                    disk: spec.disk.clone(),
                 },
                 None,
             ));
@@ -273,6 +291,7 @@ impl FarmJournal {
                 width,
                 height,
                 broken: false,
+                disk: spec.disk.clone(),
             },
             Some(state),
         ))
@@ -304,8 +323,15 @@ impl FarmJournal {
         if self.broken || !self.writer.alive() {
             return;
         }
+        let file = frame_file(&self.dir, frame);
+        let fault = match self.disk.check(&file.display().to_string()) {
+            None => WriteFault::None,
+            Some(DiskFaultKind::Enospc) => WriteFault::Enospc,
+            Some(DiskFaultKind::Eio) => WriteFault::Eio,
+            Some(DiskFaultKind::Torn) => WriteFault::Torn,
+        };
         let bytes = tga_bytes_rgb8(self.width, self.height, canvas);
-        if let Err(e) = write_atomic(&frame_file(&self.dir, frame), &bytes) {
+        if let Err(e) = write_atomic_with(&file, &bytes, fault) {
             self.degrade("frame file", e);
             return;
         }

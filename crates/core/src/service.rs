@@ -336,6 +336,25 @@ pub struct ServiceConfig {
     /// Record every unit grant in [`ServiceMaster::grant_log`]
     /// (fairness tests and the property harness; off in production).
     pub record_grants: bool,
+    /// Per-tenant submission rate limit (token bucket); `None` admits at
+    /// any rate. See [`RateLimit`].
+    pub rate_limit: Option<RateLimit>,
+}
+
+/// Per-tenant token-bucket admission rate limit. The bucket's clock is
+/// the service's *total submission-attempt count* — a logical clock that
+/// advances identically on the simulator and over TCP, so rate-limit
+/// behavior is deterministic and replayable. Each tenant starts with
+/// `burst` tokens, spends one per admitted job, and earns one back per
+/// `every` submission attempts (from any tenant) arriving at the
+/// service; an empty bucket rejects with `tenant rate limit exceeded`
+/// (delivered to TCP clients as an `SVC_ERR`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateLimit {
+    /// Bucket capacity: admissions a tenant may burst ahead of the drip.
+    pub burst: u32,
+    /// Refill period, in service-wide submission attempts per token.
+    pub every: u32,
 }
 
 impl Default for ServiceConfig {
@@ -351,6 +370,7 @@ impl Default for ServiceConfig {
             cost: CostModel::default(),
             root: None,
             record_grants: false,
+            rate_limit: None,
         }
     }
 }
@@ -449,6 +469,10 @@ pub struct ServiceMaster {
     /// count reaches the key.
     cancel_plan: BTreeMap<u64, Vec<u64>>,
     journal: Option<JournalWriter>,
+    /// tenant → (tokens, logical clock at last refill) for the admission
+    /// rate limiter; kept apart from `tenants` so tenants that only ever
+    /// get rate-limited never enter the fair-share scheduler
+    rate: BTreeMap<String, (f64, u64)>,
     /// job id → client tokens watching its progressive frame stream
     watchers: BTreeMap<u64, Vec<u64>>,
     /// queued unsolicited client frames, drained by the transport
@@ -485,6 +509,7 @@ impl ServiceMaster {
             grant_log: Vec::new(),
             cancel_plan: BTreeMap::new(),
             journal: None,
+            rate: BTreeMap::new(),
             watchers: BTreeMap::new(),
             pushes: Vec::new(),
             counters: ServiceCounters::default(),
@@ -620,12 +645,37 @@ impl ServiceMaster {
         }
     }
 
+    /// Spend one rate-limit token for `tenant`, refilling the bucket from
+    /// the logical clock first. True = admitted past the limiter.
+    fn rate_check(&mut self, tenant: &str) -> bool {
+        let Some(rl) = self.cfg.rate_limit else {
+            return true;
+        };
+        let clock = self.counters.submitted;
+        let (tokens, last) = self
+            .rate
+            .entry(tenant.to_string())
+            .or_insert((rl.burst as f64, clock));
+        let earned = clock.saturating_sub(*last) as f64 / rl.every.max(1) as f64;
+        *tokens = (*tokens + earned).min(rl.burst as f64);
+        *last = clock;
+        if *tokens >= 1.0 {
+            *tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
     fn admit(&mut self, spec: JobSpec) -> Result<u64, String> {
         if self.draining {
             return Err("service is draining".to_string());
         }
         if spec.tenant.is_empty() || spec.tenant.len() > 64 {
             return Err("bad tenant name".to_string());
+        }
+        if !self.rate_check(&spec.tenant) {
+            return Err("tenant rate limit exceeded".to_string());
         }
         if spec.scene.len() > self.cfg.max_spec_bytes {
             return Err("scene spec too large".to_string());
@@ -866,13 +916,19 @@ impl ServiceMaster {
         let units_done = job.units_done;
         let rays = m.rays.total_rays();
         let pixels_shipped = m.pixels_shipped;
+        let resumed = m.resumed_units;
+        let requeued = m.units_requeued;
+        let rejected = m.results_rejected;
+        let workers_lost = m.workers_lost_seen;
         let mut e = Encoder::new();
         e.u8(REC_DONE).u64(id).u64(hash).u32(frames_done);
         self.journal_append(e.finish());
         if let Some(dir) = self.job_dir(id) {
             let json = format!(
                 "{{\n  \"job\": {id},\n  \"hash\": \"{hash:016x}\",\n  \"frames\": {frames_done},\n  \
-                 \"units\": {units_done},\n  \"rays\": {rays},\n  \"pixels_shipped\": {pixels_shipped}\n}}\n",
+                 \"units\": {units_done},\n  \"rays\": {rays},\n  \"pixels_shipped\": {pixels_shipped},\n  \
+                 \"resumed\": {resumed},\n  \"requeued\": {requeued},\n  \"rejected\": {rejected},\n  \
+                 \"workers_lost\": {workers_lost}\n}}\n",
             );
             let _ =
                 now_raytrace::image_io::write_atomic(&dir.join("metrics.json"), json.as_bytes());
@@ -933,23 +989,32 @@ impl MasterLogic for ServiceMaster {
         None
     }
 
-    fn integrate(&mut self, worker: usize, unit: ServiceUnit, result: UnitOutput) -> MasterWork {
+    fn integrate(
+        &mut self,
+        worker: usize,
+        unit: ServiceUnit,
+        result: UnitOutput,
+    ) -> Option<MasterWork> {
         let live = self
             .jobs
             .get(&unit.job)
             .is_some_and(|j| !j.state.terminal() && j.master.is_some());
         if !live {
             // cancelled mid-run (or a retry of a terminal job's unit):
-            // the work is discarded, never folded into any ledger/frame
+            // the work is discarded deliberately, never folded into any
+            // ledger/frame — an *accepted* no-op, not an integrity
+            // rejection (no strike, no requeue)
             self.counters.stale_results += 1;
-            return MasterWork::default();
+            return Some(MasterWork::default());
         }
         let watched: Vec<u64> = self.watchers.get(&unit.job).cloned().unwrap_or_default();
         let job = self.jobs.get_mut(&unit.job).expect("live job");
         let m = job.master.as_mut().expect("live job has a master");
         let (region, frame) = (unit.unit.region, unit.unit.frame);
         let frames_before = m.frames_finalized();
-        let mw = m.integrate(worker, unit.unit, result);
+        // the per-job master verifies the result's content checksum; a
+        // rejection propagates so the transport requeues + strikes
+        let mw = m.integrate(worker, unit.unit, result)?;
         job.units_done += 1;
         if !watched.is_empty() {
             // re-encode the freshly decoded pixels as a self-contained
@@ -982,7 +1047,7 @@ impl MasterLogic for ServiceMaster {
         if !watched.is_empty() && (frames_after > frames_before || done) {
             self.push_status(unit.job);
         }
-        mw
+        Some(mw)
     }
 
     fn unit_bytes(&self, unit: &ServiceUnit) -> u64 {
@@ -1301,6 +1366,7 @@ pub fn run_service_master(
     ccfg.recovery = tcp.recovery;
     ccfg.net = tcp.net.clone();
     ccfg.net_faults = tcp.net_faults.clone();
+    ccfg.compute_faults = tcp.compute_faults.clone();
     ccfg.job_header = service_job_header();
     // fingerprint stays empty: service workers are scene-agnostic
     listener

@@ -21,12 +21,45 @@ use now_math::crc32;
 use std::io::{self, Write};
 use std::path::Path;
 
+/// A disk fault to inject into one [`write_atomic_with`] call. Defined
+/// here (dependency-free) so the cluster layer's `DiskFaultPlan` can be
+/// threaded down to the image writers without this crate depending on
+/// the cluster crate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum WriteFault {
+    /// No fault: the write proceeds normally.
+    #[default]
+    None,
+    /// The write fails with `ENOSPC` before touching the target.
+    Enospc,
+    /// The write fails with `EIO` before touching the target.
+    Eio,
+    /// The write is cut partway: half the bytes land in the `.tmp`
+    /// sibling, the rename never happens, and the caller gets an error.
+    /// The target file is untouched — exactly what the atomic protocol
+    /// promises under a mid-write crash.
+    Torn,
+}
+
 /// Write `bytes` to `path` atomically: the data goes to a `NAME.tmp`
 /// sibling first, is fsynced, and is then renamed over the target, so a
 /// crash at any instant leaves either the old file or the new one — never
 /// a half-written artifact. The containing directory is synced
 /// best-effort so the rename itself is durable.
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    write_atomic_with(path, bytes, WriteFault::None)
+}
+
+/// [`write_atomic`] with deterministic fault injection: `fault` says how
+/// this particular write should fail (if at all). Used by the chaos
+/// harness to prove a frame write that dies mid-flight never corrupts
+/// the target image.
+pub fn write_atomic_with(path: &Path, bytes: &[u8], fault: WriteFault) -> io::Result<()> {
+    match fault {
+        WriteFault::None | WriteFault::Torn => {}
+        WriteFault::Enospc => return Err(io::Error::from_raw_os_error(28)),
+        WriteFault::Eio => return Err(io::Error::from_raw_os_error(5)),
+    }
     let name = path.file_name().ok_or_else(|| {
         io::Error::new(
             io::ErrorKind::InvalidInput,
@@ -38,6 +71,16 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     let tmp = path.with_file_name(tmp_name);
     {
         let mut f = std::fs::File::create(&tmp)?;
+        if fault == WriteFault::Torn {
+            // power dies mid-write: half the payload lands in the tmp
+            // sibling, the rename below never runs, the target survives
+            f.write_all(&bytes[..bytes.len() / 2])?;
+            let _ = f.sync_data();
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "injected torn write",
+            ));
+        }
         f.write_all(bytes)?;
         f.sync_data()?;
     }
@@ -311,6 +354,31 @@ mod tests {
     #[test]
     fn write_atomic_rejects_bare_root() {
         assert!(write_atomic(Path::new("/"), b"x").is_err());
+    }
+
+    /// Injected faults never touch the target: ENOSPC/EIO fail before the
+    /// tmp file, a torn write strands a half-written tmp and leaves the
+    /// previous contents intact.
+    #[test]
+    fn write_atomic_faults_leave_target_intact() {
+        let dir = std::env::temp_dir().join(format!("now_atomic_fault_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.bin");
+        write_atomic(&path, b"original").unwrap();
+
+        let err = write_atomic_with(&path, b"newer", WriteFault::Enospc).unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(28));
+        let err = write_atomic_with(&path, b"newer", WriteFault::Eio).unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(5));
+        assert!(write_atomic_with(&path, b"newer", WriteFault::Torn).is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), b"original");
+        // the torn tmp holds exactly half the payload
+        assert_eq!(std::fs::read(dir.join("out.bin.tmp")).unwrap(), b"ne");
+        // a later clean write recovers, reusing (and removing) the tmp
+        write_atomic(&path, b"newer").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"newer");
+        assert!(!dir.join("out.bin.tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

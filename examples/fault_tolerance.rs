@@ -42,6 +42,7 @@ fn main() {
         lease_timeout_s: 30.0,
         backoff: 2.0,
         max_worker_failures: 1,
+        ..RecoveryConfig::default()
     };
     let recovered = run_sim(&anim, &cfg, &faulty);
     println!(
@@ -65,6 +66,7 @@ fn main() {
         lease_timeout_s: 0.5,
         backoff: 2.0,
         max_worker_failures: 1,
+        ..RecoveryConfig::default()
     };
     let t0 = std::time::Instant::now();
     let real = run_threads_on(&anim, &cfg, &threads);

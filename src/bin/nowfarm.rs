@@ -41,6 +41,7 @@
 //!   --scheme/--plain/--pool/--out/--hashes/--expect-hashes as for `farm`
 //!   --journal DIR      write-ahead journal + durable frames into DIR
 //!   --resume           resume an interrupted run from --journal DIR
+//!   --chaos SPEC       seeded combined fault injection (see below)
 //! nowfarm worker SCENE [opts]               TCP worker process
 //!   --connect ADDR     master address (required)
 //!   --pool N           tile-pool threads for this worker (0 = auto)
@@ -63,8 +64,12 @@
 //!   --resume           reopen the job table from DIR's service journal
 //!   --max-queued N     admission bound on live jobs (default 4096)
 //!   --weight T=W       fair-share weight for tenant T (repeatable)
+//!   --rate-limit B/E   per-tenant admission token bucket: burst B, one
+//!                      token earned per E submission attempts; throttled
+//!                      submits are rejected with an explicit reason
 //!   --lease S          lease recovery with an S-second base lease
 //!   --heartbeat-s S    ping cadence towards live workers (default 0.25)
+//!   --chaos SPEC       seeded combined fault injection (see below)
 //! nowfarm submit SCENE --connect ADDR       submit a job to a service
 //!   --tenant T         tenant to bill against (default "default")
 //!   --priority P       priority within the tenant (default 0)
@@ -73,6 +78,10 @@
 //!                      reassemble the frames client-side and verify them
 //!                      against the job hash (prints `watch verified`)
 //! nowfarm status ID  --connect ADDR         one job's state
+//! nowfarm status [ID] --root DIR            offline per-job metrics from a
+//!                                           service root: ray counters plus
+//!                                           resumed/requeued/rejected/
+//!                                           workers-lost recovery counts
 //! nowfarm cancel ID  --connect ADDR         cancel a live job
 //! nowfarm jobs       --connect ADDR         list every job
 //! nowfarm drain      --connect ADDR         stop admitting; exit when idle
@@ -91,7 +100,18 @@
 //! fault injection in tests and drills. It is an environment variable,
 //! not a flag, on purpose: it is a test hook, not a product knob.
 //!
+//! `--chaos SPEC` (or `NOW_CHAOS`) arms a whole [`ChaosPlan`] — compute,
+//! network and disk faults from one seeded spec, e.g.
+//! `seed=11|compute=1:corrupt@0|net=0:drop@8000|disk=run.journal:enospc@6`.
+//! Compute faults (`corrupt@N` per connection) exercise the Byzantine
+//! defense: damaged results are rejected by checksum, requeued, and the
+//! offending worker is quarantined. Disk faults (`enospc@N`, `eio@N`,
+//! `torn@N` per path substring) hit the journal and frame writes, which
+//! degrade gracefully. An explicit `NOW_NET_FAULTS` still overrides the
+//! chaos plan's net section.
+//!
 //! [`NetFaultPlan`]: nowrender::cluster::NetFaultPlan
+//! [`ChaosPlan`]: nowrender::cluster::ChaosPlan
 //!
 //! Output bytes are identical for every `--pool` value and for every
 //! backend (sim, threads, tcp); the flags only change where and how the
@@ -100,7 +120,9 @@
 use now_math::Color;
 use nowrender::anim::scenes::{from_spec, glassball, newton, orbit};
 use nowrender::anim::Animation;
-use nowrender::cluster::{ConnectConfig, MachineSpec, NetFaultPlan, RecoveryConfig, SimCluster};
+use nowrender::cluster::{
+    ChaosPlan, ConnectConfig, MachineSpec, NetFaultPlan, RecoveryConfig, SimCluster,
+};
 use nowrender::coherence::CoherentRenderer;
 use nowrender::core::service::ServiceConfig;
 use nowrender::core::{
@@ -317,6 +339,21 @@ fn parse_scheme(args: &[String], anim: &Animation) -> Result<PartitionScheme, St
     }
 }
 
+/// The combined fault plan from `--chaos SPEC` or `NOW_CHAOS` (the flag
+/// wins). `None` when neither is set.
+fn chaos_plan(args: &[String]) -> Result<Option<ChaosPlan>, String> {
+    let spec = match flag_value(args, "--chaos") {
+        Some(s) => Some(s.to_string()),
+        None => std::env::var("NOW_CHAOS")
+            .ok()
+            .filter(|s| !s.trim().is_empty()),
+    };
+    let Some(spec) = spec else { return Ok(None) };
+    let plan = ChaosPlan::parse(&spec).map_err(|e| format!("chaos plan: {e}"))?;
+    eprintln!("chaos plan armed: {}", plan.to_spec());
+    Ok(Some(plan))
+}
+
 /// The journal configuration selected by `--journal DIR` / `--resume`.
 fn journal_spec(args: &[String]) -> Result<Option<JournalSpec>, String> {
     match flag_value(args, "--journal") {
@@ -409,6 +446,18 @@ fn print_farm_summary(result: &FarmResult) {
             result.report.workers_joined,
             result.report.workers_left,
             result.report.workers_rejected
+        );
+    }
+    if result.report.results_rejected > 0 || result.report.workers_quarantined > 0 {
+        println!(
+            "  integrity: {} results rejected, {} worker(s) quarantined",
+            result.report.results_rejected, result.report.workers_quarantined
+        );
+    }
+    if result.report.backup_leases > 0 {
+        println!(
+            "  speculation: {} backup leases, {} duplicate results dropped",
+            result.report.backup_leases, result.report.duplicates_dropped
         );
     }
     for (i, m) in result.report.machines.iter().enumerate() {
@@ -571,8 +620,15 @@ fn cmd_master(args: &[String]) -> CliResult {
         }
         tcp.net.accept_window_s = win;
     }
+    // one seeded spec for compute + net + disk faults at once
+    let chaos = chaos_plan(args)?;
+    if let Some(plan) = &chaos {
+        tcp.net_faults = plan.net.clone();
+        tcp.compute_faults = plan.compute.clone();
+    }
     // deterministic fault injection for tests/drills; an env var (not a
-    // flag) so it never looks like a supported product option
+    // flag) so it never looks like a supported product option. An
+    // explicit net spec overrides the chaos plan's net section.
     if let Ok(spec) = std::env::var("NOW_NET_FAULTS") {
         if !spec.trim().is_empty() {
             tcp.net_faults =
@@ -581,7 +637,15 @@ fn cmd_master(args: &[String]) -> CliResult {
         }
     }
 
-    let journal = journal_spec(args)?;
+    let mut journal = journal_spec(args)?;
+    if let Some(plan) = &chaos {
+        if !plan.disk.is_empty() {
+            match journal.take() {
+                Some(spec) => journal = Some(spec.with_disk_faults(plan.disk.arm())),
+                None => eprintln!("warning: chaos disk faults need --journal DIR; none will fire"),
+            }
+        }
+    }
     let listen = flag_value(args, "--listen").unwrap_or("127.0.0.1:0");
     // a master restarted with --resume rebinds the same fixed port its
     // predecessor held; the kernel may keep it busy briefly after a kill,
@@ -763,6 +827,19 @@ fn cmd_serve(args: &[String]) -> CliResult {
         let w: u32 = w.parse().map_err(|_| format!("bad weight in `{spec}`"))?;
         cfg.weights.push((tenant.to_string(), w.max(1)));
     }
+    if let Some(spec) = flag_value(args, "--rate-limit") {
+        let (burst, every) = spec
+            .split_once('/')
+            .ok_or_else(|| format!("bad --rate-limit `{spec}` (want BURST/EVERY)"))?;
+        cfg.rate_limit = Some(nowrender::core::service::RateLimit {
+            burst: burst
+                .parse()
+                .map_err(|_| format!("bad burst in `{spec}`"))?,
+            every: every
+                .parse()
+                .map_err(|_| format!("bad interval in `{spec}`"))?,
+        });
+    }
     let resume = has_flag(args, "--resume");
     if let Some(root) = flag_value(args, "--root") {
         cfg.root = Some(PathBuf::from(root));
@@ -790,6 +867,13 @@ fn cmd_serve(args: &[String]) -> CliResult {
             return Err("--heartbeat-s must be positive".into());
         }
         tcp.net.heartbeat_s = hb;
+    }
+    if let Some(plan) = chaos_plan(args)? {
+        tcp.net_faults = plan.net.clone();
+        tcp.compute_faults = plan.compute.clone();
+        if !plan.disk.is_empty() {
+            eprintln!("warning: chaos disk faults are a single-job `master` hook; none will fire");
+        }
     }
     if let Ok(spec) = std::env::var("NOW_NET_FAULTS") {
         if !spec.trim().is_empty() {
@@ -923,6 +1007,9 @@ fn print_status(st: &nowrender::core::JobStatus) {
 }
 
 fn cmd_status(args: &[String]) -> CliResult {
+    if let Some(root) = flag_value(args, "--root") {
+        return status_from_root(Path::new(root), args);
+    }
     let id = job_id_arg(args)?;
     let mut client = service_client(args)?;
     match client.status(id)? {
@@ -932,6 +1019,81 @@ fn cmd_status(args: &[String]) -> CliResult {
         }
         Err(reason) => Err(reason),
     }
+}
+
+/// Pull one unsigned field out of the flat metrics JSON the service
+/// writes (a fixed `"key": value` shape — see `ServiceMaster::finalize_job`
+/// — so a std-only scan is exact, no JSON parser needed).
+fn json_u64(text: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let rest = &text[text.find(&needle)? + needle.len()..];
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The quoted string value of a flat metrics-JSON field.
+fn json_str<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\": \"");
+    let rest = &text[text.find(&needle)? + needle.len()..];
+    rest.split('"').next()
+}
+
+fn print_metrics(path: &Path) -> CliResult {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let n = |key| json_u64(&text, key).unwrap_or(0);
+    println!(
+        "job {:<6} hash {}  frames {:3}  units {:6}  rays {:10}  pixels {:9}",
+        n("job"),
+        json_str(&text, "hash").unwrap_or("-"),
+        n("frames"),
+        n("units"),
+        n("rays"),
+        n("pixels_shipped"),
+    );
+    println!(
+        "           recovery: {} resumed, {} requeued, {} rejected, {} workers lost",
+        n("resumed"),
+        n("requeued"),
+        n("rejected"),
+        n("workers_lost"),
+    );
+    Ok(())
+}
+
+/// Offline per-job summaries from a service durability root: one line of
+/// render counters and one of recovery/integrity counters per finished
+/// job, straight from `root/jobs/job_NNNNNN/metrics.json` — no live
+/// service connection needed.
+fn status_from_root(root: &Path, args: &[String]) -> CliResult {
+    if let Ok(id) = job_id_arg(args) {
+        return print_metrics(&root.join(format!("jobs/job_{id:06}/metrics.json")));
+    }
+    let jobs = root.join("jobs");
+    let mut dirs: Vec<PathBuf> = std::fs::read_dir(&jobs)
+        .map_err(|e| format!("{}: {e}", jobs.display()))?
+        .filter_map(|d| d.ok())
+        .map(|d| d.path())
+        .filter(|p| {
+            p.file_name()
+                .is_some_and(|n| n.to_string_lossy().starts_with("job_"))
+        })
+        .collect();
+    dirs.sort();
+    let mut printed = 0;
+    for dir in dirs {
+        let metrics = dir.join("metrics.json");
+        // jobs still running (or cancelled before finalize) have no
+        // metrics file yet; skip them rather than failing the listing
+        if metrics.exists() {
+            print_metrics(&metrics)?;
+            printed += 1;
+        }
+    }
+    println!("{printed} finished jobs");
+    Ok(())
 }
 
 fn cmd_cancel(args: &[String]) -> CliResult {

@@ -50,6 +50,7 @@ fn sim_worker_crash_preserves_every_frame_byte() {
         lease_timeout_s: 30.0,
         backoff: 2.0,
         max_worker_failures: 1,
+        ..RecoveryConfig::default()
     };
     let result = run_sim(&anim, &cfg(), &cluster);
 
@@ -78,6 +79,7 @@ fn sim_stalled_and_slow_workers_preserve_every_frame_byte() {
         lease_timeout_s: 20.0,
         backoff: 2.0,
         max_worker_failures: 1,
+        ..RecoveryConfig::default()
     };
     let result = run_sim(&anim, &cfg(), &cluster);
 
@@ -116,6 +118,7 @@ fn threads_worker_crash_preserves_every_frame_byte() {
         lease_timeout_s: 2.0,
         backoff: 2.0,
         max_worker_failures: 1,
+        ..RecoveryConfig::default()
     };
     let result = run_threads_on(&anim, &cfg(), &cluster);
 
@@ -155,6 +158,7 @@ fn threads_worker_crash_plus_journal_kill_then_resume_is_byte_identical() {
             lease_timeout_s: 2.0,
             backoff: 2.0,
             max_worker_failures: 1,
+            ..RecoveryConfig::default()
         };
         cluster
     };
@@ -227,6 +231,7 @@ fn threads_stalled_worker_completes_within_lease_budget() {
         lease_timeout_s: 1.0,
         backoff: 2.0,
         max_worker_failures: 1,
+        ..RecoveryConfig::default()
     };
     let t0 = std::time::Instant::now();
     let result = run_threads_on(&anim, &cfg(), &cluster);
@@ -280,6 +285,7 @@ fn sim_poisson_churn_preserves_every_frame_byte() {
         lease_timeout_s: 5.0,
         backoff: 2.0,
         max_worker_failures: 1,
+        ..RecoveryConfig::default()
     };
 
     let a = run_sim(&anim, &cfg(), &cluster);
@@ -308,6 +314,182 @@ fn threads_midrun_join_preserves_every_frame_byte() {
         reference_hashes(),
         "late joiners must not change a single pixel"
     );
+}
+
+// ---------------------------------------------------------------------
+// Combined-fault soak: one ChaosPlan spec drives compute corruption,
+// disk faults and (on TCP) network faults at once, and the frames must
+// still match the fault-free reference byte for byte
+// ---------------------------------------------------------------------
+
+/// Thread-backend chaos soak. A single [`ChaosPlan`] string arms a
+/// byzantine worker (corrupt results from its 2nd unit on), a straggling
+/// worker (25x slowdown, covered by speculative re-execution), and two
+/// disk faults against the write-ahead journal. The corrupt worker is
+/// struck and quarantined, the journal degrades gracefully, and every
+/// frame still hashes identically to the fault-free single-worker run.
+#[test]
+fn threads_chaos_soak_is_byte_identical_under_combined_faults() {
+    use nowrender::cluster::ChaosPlan;
+
+    let anim = newton::animation_sized(W, H, FRAMES);
+    let dir = scratch_dir("soak");
+    let chaos = ChaosPlan::parse(
+        "seed=11|compute=1:corrupt@1,2:slow@4x25|disk=frame_:eio@0;run.journal:enospc@6",
+    )
+    .expect("chaos spec parses");
+    let disk = chaos.disk.arm();
+
+    let mut cluster = ThreadCluster::new(3);
+    cluster.faults = chaos.compute.clone();
+    cluster.recovery = RecoveryConfig {
+        lease_timeout_s: 30.0,
+        speculate: true,
+        speculate_factor: 3.0,
+        ..RecoveryConfig::default()
+    };
+    let spec = JournalSpec::new(&dir).with_disk_faults(disk.clone());
+    let result = run_threads_with(&anim, &cfg(), &cluster, Some(&spec)).expect("soak run starts");
+
+    assert_eq!(
+        result.frame_hashes,
+        reference_hashes(),
+        "corruption + straggler + dying disk must not change a single pixel"
+    );
+    assert_eq!(
+        result.report.workers_quarantined, 1,
+        "the byzantine worker is quarantined"
+    );
+    assert!(
+        result.report.results_rejected >= 3,
+        "one strike per rejected result up to the quarantine threshold \
+         (got {})",
+        result.report.results_rejected
+    );
+    assert!(
+        disk.injected() >= 1,
+        "at least one scheduled disk fault actually fired"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// TCP chaos soak: the same ChaosPlan grammar drives the real socket
+/// backend. Connection 0 is byzantine (the master damages its results on
+/// arrival), connection 1 is yanked off the wire mid-run; the survivors
+/// finish the render byte-identically and the quarantine is visible in
+/// the run report.
+#[test]
+fn tcp_chaos_soak_quarantines_and_stays_byte_identical() {
+    use nowrender::cluster::ChaosPlan;
+    use nowrender::core::{bind_tcp_master, run_tcp_master_on, serve_tcp_worker, TcpFarmConfig};
+
+    let chaos =
+        ChaosPlan::parse("seed=7|compute=0:corrupt@0|net=1:drop@6000").expect("chaos spec parses");
+
+    let anim = newton::animation_sized(W, H, FRAMES);
+    let listener = bind_tcp_master("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+
+    let workers: Vec<_> = (0..3)
+        .map(|i| {
+            let (anim, cfg, addr) = (anim.clone(), cfg(), addr.clone());
+            std::thread::spawn(move || {
+                // stagger connects so the accept order — and therefore
+                // which connection each fault hits — is deterministic
+                std::thread::sleep(std::time::Duration::from_millis(60 * i));
+                serve_tcp_worker(&anim, &cfg, &addr, &Default::default())
+            })
+        })
+        .collect();
+
+    let mut tcp = TcpFarmConfig::new(3);
+    tcp.net_faults = chaos.net.clone();
+    tcp.compute_faults = chaos.compute.clone();
+    let result = run_tcp_master_on(listener, &anim, &cfg(), &tcp).expect("master");
+
+    assert_eq!(
+        result.frame_hashes,
+        reference_hashes(),
+        "byzantine results + a dropped connection must not change a pixel"
+    );
+    assert_eq!(result.report.workers_joined, 3);
+    assert_eq!(
+        result.report.workers_quarantined, 1,
+        "the corrupt connection is quarantined"
+    );
+    assert!(
+        result.report.results_rejected >= 3,
+        "each damaged result drew a strike (got {})",
+        result.report.results_rejected
+    );
+    for w in workers {
+        // quarantined and dropped workers see dead sockets; that's the point
+        let _ = w.join().expect("worker thread");
+    }
+}
+
+/// Integrity property: flip any single bit of a `UnitOutput`'s wire
+/// encoding and the master must detect it — either the decode fails or
+/// the content checksum mismatches. No tampered payload is ever
+/// integrated, and the master never panics.
+#[test]
+fn any_single_bit_flip_on_the_wire_is_detected_and_never_integrated() {
+    use nowrender::cluster::{Decoder, Encoder, MasterLogic, Wire, WorkerLogic};
+    use nowrender::core::farm::UnitOutput;
+    use nowrender::core::{FarmMaster, FarmWorker};
+    use nowrender::grid::GridSpec;
+    use std::sync::Arc;
+
+    let anim = Arc::new(newton::animation_sized(W, H, 2));
+    let spec = GridSpec::for_scene(anim.swept_bounds(), 4096);
+    let mut master = FarmMaster::new(&anim, &cfg(), 1);
+    let mut worker = FarmWorker::new(anim.clone(), spec, cfg());
+
+    let unit = master.assign(0).expect("first unit");
+    let (out, _) = worker.perform(&unit);
+    assert!(out.verify(), "the worker ships a sealed result");
+    let mut e = Encoder::new();
+    out.wire_encode(&mut e);
+    let wire = e.finish();
+
+    let mut rejected_by_decode = 0u64;
+    let mut rejected_by_checksum = 0u64;
+    for bit in 0..wire.len() * 8 {
+        let mut bytes = wire.clone();
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        let mut d = Decoder::new(&bytes);
+        match UnitOutput::wire_decode(&mut d) {
+            Err(_) => rejected_by_decode += 1,
+            Ok(tampered) => {
+                assert!(
+                    !tampered.verify(),
+                    "bit {bit}: tampered output passed the checksum"
+                );
+                // feeding it to the master is a rejection, never a panic
+                let before = master.results_rejected;
+                assert!(
+                    master.integrate(0, unit, tampered).is_none(),
+                    "bit {bit}: tampered output was integrated"
+                );
+                assert_eq!(master.results_rejected, before + 1);
+                rejected_by_checksum += 1;
+            }
+        }
+    }
+    assert_eq!(
+        rejected_by_decode + rejected_by_checksum,
+        (wire.len() * 8) as u64,
+        "every single-bit flip was detected"
+    );
+    assert!(
+        rejected_by_checksum > 0,
+        "some flips decode cleanly and must fall to the checksum"
+    );
+    assert_eq!(master.units_done, 0, "nothing tampered was ever counted");
+
+    // and the genuine result still integrates after all that abuse
+    assert!(master.integrate(0, unit, out).is_some());
+    assert_eq!(master.units_done, 1);
 }
 
 /// A TCP worker yanked off the wire *while a unit is leased to it*: a

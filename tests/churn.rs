@@ -23,6 +23,14 @@ const W: u32 = 80;
 const H: u32 = 60;
 const FRAMES: usize = 8;
 
+/// Debug builds render ~20x slower, so the big fleet drill auto-shrinks
+/// (same pattern as `service_scale.rs`); release CI runs the full size.
+const FULL: bool = !cfg!(debug_assertions);
+/// Worker processes in the large-fleet churn drill.
+const FLEET: usize = if FULL { 64 } else { 12 };
+/// How many of them are SIGKILLed while possibly holding leases.
+const FLEET_KILLS: usize = FLEET / 4;
+
 /// The configuration `nowfarm master` builds for `SCENE` with default
 /// flags (frame-division scheme, coherence on, 24^3 grid).
 fn master_cfg() -> FarmConfig {
@@ -138,6 +146,47 @@ fn churned_farm_matches_single_process() {
         read_hashes(&hashes),
         reference_hashes(),
         "churned membership must reproduce the single-process hashes"
+    );
+    for w in fleet {
+        reap(w);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The large-fleet drill: ~64 loopback worker processes (12 in debug
+/// builds) piling onto one master in staggered waves, with a quarter of
+/// them SIGKILLed mid-run while they may hold leases. Scheduling is
+/// demand-driven, so however many workers actually land leases before
+/// the run ends, the hashes must match the single-process reference.
+#[test]
+fn large_fleet_churn_matches_single_process() {
+    let dir = scratch_dir("fleet");
+    let hashes = dir.join("hashes.txt");
+    let (mut master, addr) = spawn_master(&dir, &hashes, &[], &[]);
+
+    // founders first, then the rest of the fleet in four waves so joins
+    // keep landing while units are being rendered
+    let mut fleet: Vec<Child> = (0..2).map(|_| spawn_worker(&addr)).collect();
+    let wave = (FLEET - 2).div_ceil(4);
+    while fleet.len() < FLEET {
+        std::thread::sleep(Duration::from_millis(60));
+        let n = wave.min(FLEET - fleet.len());
+        fleet.extend((0..n).map(|_| spawn_worker(&addr)));
+    }
+
+    // kill every 4th worker — founders and joiners alike — with whatever
+    // leases they hold at that instant
+    std::thread::sleep(Duration::from_millis(100));
+    for i in 0..FLEET_KILLS {
+        let _ = fleet[i * 4].kill();
+    }
+
+    let status = master.wait().expect("wait master");
+    assert!(status.success(), "master exited with {status}");
+    assert_eq!(
+        read_hashes(&hashes),
+        reference_hashes(),
+        "a churned {FLEET}-process fleet must reproduce the single-process hashes"
     );
     for w in fleet {
         reap(w);

@@ -169,6 +169,7 @@ fn chaos_with_pooled_workers_preserves_every_frame_byte() {
         lease_timeout_s: 30.0,
         backoff: 2.0,
         max_worker_failures: 1,
+        ..RecoveryConfig::default()
     };
     let result = run_sim(&anim, &farm_cfg(3), &cluster);
 

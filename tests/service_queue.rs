@@ -146,6 +146,49 @@ fn no_admitted_job_starves() {
     assert_eq!(pos, m.grant_log().len() - 1, "granted last");
 }
 
+/// Per-tenant admission rate limiting: a token bucket (burst 2, one
+/// token earned per 4 submission attempts) admits a spammy tenant's
+/// first burst and then exactly one job per refill interval, rejecting
+/// the rest with an explicit reason — while another tenant's own bucket
+/// is untouched. The bucket clock is the submission counter, so the
+/// admit/reject pattern is exact, not timing-dependent.
+#[test]
+fn tenant_rate_limit_throttles_spam_deterministically() {
+    use nowrender::core::service::RateLimit;
+
+    let mut m = ServiceMaster::new(ServiceConfig {
+        rate_limit: Some(RateLimit { burst: 2, every: 4 }),
+        ..ServiceConfig::default()
+    })
+    .expect("in-memory service");
+
+    let mut admitted = Vec::new();
+    for attempt in 1u64..=12 {
+        match m.submit(tiny("spam")) {
+            Ok(_) => admitted.push(attempt),
+            Err(reason) => assert_eq!(reason, "tenant rate limit exceeded"),
+        }
+    }
+    // burst of 2 up front, then one token per 4 attempts: 5 and 9
+    // (attempt 12 has only earned 0.75 of the next token)
+    assert_eq!(admitted, vec![1, 2, 5, 9]);
+
+    // the polite tenant draws from its own full bucket
+    m.submit(tiny("polite")).expect("other tenants unaffected");
+    assert_eq!(m.counters.submitted, 13);
+    assert_eq!(m.counters.rejected, 8);
+
+    // rejected jobs never entered the table: the run drains exactly the
+    // five admitted ones
+    let (m, _) = run_service_sim(m, &sim(3));
+    assert_eq!(m.counters.completed, 5);
+    assert_eq!(
+        m.counters.completed + m.counters.rejected,
+        m.counters.submitted,
+        "lifecycle conservation"
+    );
+}
+
 /// Cancelling a running job mid-run releases its claim on the pool: no
 /// grant for the victim ever appears after the cancel point, nothing is
 /// requeued, its in-flight results are discarded as stale, and the
